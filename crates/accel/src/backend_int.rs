@@ -1,0 +1,237 @@
+//! Fully integer execution backend: the deployment path of the paper.
+//!
+//! [`IntegerBackend`] executes a calibrated QUQ model the way the QUA +
+//! SFUs would: GEMM operands are encoded as QUBs and multiplied on the
+//! integer dot-product path (Eq. 5); Softmax/GELU/LayerNorm inputs take the
+//! SFU load path (`d = D << n_sh`) and are evaluated by the integer-only
+//! kernels of [`crate::intfunc`]. Floating point appears only at operation
+//! boundaries to carry scales between sites — in hardware these are the
+//! precomputed `M/2^N` requantization constants of Eq. 2.
+//!
+//! Differential expectation (tested in the integration suite): logits agree
+//! closely with the fake-quantization [`quq_core::QuantBackend`] path, and
+//! top-1 predictions agree with FP32 at the same rate.
+
+use crate::intfunc;
+use quq_core::calib::{Coverage, Operand, ParamKey};
+use quq_core::pipeline::PtqTables;
+use quq_core::qub::QubCodec;
+use quq_core::scheme::QuqParams;
+use quq_core::dot;
+use quq_tensor::{linalg, IntTensor, Tensor};
+use quq_vit::backend::{Backend, BackendError, OpSite, Result};
+
+/// Integer-only execution over calibrated QUQ tables.
+///
+/// Construction fails at first use (with [`BackendError::MissingParams`])
+/// when the tables were calibrated with a non-QUQ method, since only QUQ
+/// fits carry the structured parameters the integer paths need.
+#[derive(Debug)]
+pub struct IntegerBackend<'a> {
+    tables: &'a PtqTables,
+}
+
+impl<'a> IntegerBackend<'a> {
+    /// Wraps calibrated tables.
+    pub fn new(tables: &'a PtqTables) -> Self {
+        Self { tables }
+    }
+
+    fn coverage(&self) -> Coverage {
+        self.tables.config().coverage
+    }
+
+    fn act_params(&self, site: OpSite, operand: Operand) -> Result<QuqParams> {
+        let key = ParamKey { site, operand };
+        self.tables
+            .activation(&key)
+            .and_then(|q| q.quq_params().copied())
+            .ok_or(BackendError::MissingParams(site))
+    }
+
+    fn weight_params(&self, site: OpSite) -> Result<QuqParams> {
+        self.tables
+            .weight_quantizer(&site)
+            .and_then(|q| q.quq_params().copied())
+            .ok_or(BackendError::MissingParams(site))
+    }
+
+    /// SFU load path: quantizes a float tensor to `(integers, scale)` where
+    /// value ≈ integer × scale — exactly what [`crate::sim::Qua::sfu_load`]
+    /// produces from a QUB stream.
+    fn sfu_quantize(&self, site: OpSite, operand: Operand, x: &Tensor) -> Result<(IntTensor, f32)> {
+        let params = self.act_params(site, operand)?;
+        let codec = QubCodec::new(params);
+        let qt = codec.encode_tensor(x);
+        Ok((qt.decode_scaled(), qt.base_delta))
+    }
+
+    /// Integer GEMM `C = A·Bᵀ` over QUB-encoded operands, returning the
+    /// rescaled float result.
+    fn int_matmul_nt(
+        &self,
+        a_params: QuqParams,
+        b_params: QuqParams,
+        a: &Tensor,
+        b: &Tensor,
+    ) -> Result<Tensor> {
+        let qa = QubCodec::new(a_params).encode_tensor(a);
+        let qb = QubCodec::new(b_params).encode_tensor(b);
+        let accs = dot::matmul_nt_qub(&qa, &qb);
+        let scale = qa.base_delta * qb.base_delta;
+        let data: Vec<f32> = accs.into_iter().map(|v| v as f32 * scale).collect();
+        Ok(Tensor::from_vec(data, &[a.shape()[0], b.shape()[0]]).map_err(BackendError::from)?)
+    }
+}
+
+impl Backend for IntegerBackend<'_> {
+    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(linalg::linear(x, w, bias)?);
+        }
+        let a_params = self.act_params(site, Operand::Input)?;
+        let w_params = self.weight_params(site)?;
+        // Flatten leading axes like linalg::linear does.
+        let (rows, cols) = x.as_matrix().map_err(BackendError::from)?;
+        let x2 = x.reshape(&[rows, cols]).map_err(BackendError::from)?;
+        let w_src = self.tables.original_weight(&site).unwrap_or(w);
+        let y = self.int_matmul_nt(a_params, w_params, &x2, w_src)?;
+        let y = match bias {
+            Some(b) => y.add_bias(b).map_err(BackendError::from)?,
+            None => y,
+        };
+        let mut shape = x.shape().to_vec();
+        *shape.last_mut().expect("rank >= 1") = w.shape()[0];
+        Ok(y.into_reshape(&shape).map_err(BackendError::from)?)
+    }
+
+    fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(linalg::matmul(a, b)?);
+        }
+        let a_params = self.act_params(site, Operand::Input)?;
+        let b_params = self.act_params(site, Operand::InputB)?;
+        // A[m,k]·B[k,n] = A·(Bᵀ)ᵀ: feed Bᵀ to the NT kernel.
+        let bt = b.transpose().map_err(BackendError::from)?;
+        self.int_matmul_nt(a_params, b_params, a, &bt)
+    }
+
+    fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(linalg::matmul_nt(a, b)?);
+        }
+        let a_params = self.act_params(site, Operand::Input)?;
+        let b_params = self.act_params(site, Operand::InputB)?;
+        self.int_matmul_nt(a_params, b_params, a, b)
+    }
+
+    fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(quq_tensor::nn::softmax(x)?);
+        }
+        let (rows, cols) = x.as_matrix().map_err(BackendError::from)?;
+        let (ints, scale) = self.sfu_quantize(site, Operand::Input, x)?;
+        let ints = ints.reshape(&[rows, cols]).map_err(BackendError::from)?;
+        let probs_fx = intfunc::i_softmax(&ints, scale);
+        let out = probs_fx.to_f32(1.0 / intfunc::ONE as f32);
+        Ok(out.into_reshape(x.shape()).map_err(BackendError::from)?)
+    }
+
+    fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(quq_tensor::nn::gelu_tensor(x));
+        }
+        let (ints, scale) = self.sfu_quantize(site, Operand::Input, x)?;
+        Ok(intfunc::i_gelu(&ints, scale).to_f32(scale))
+    }
+
+    fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(quq_tensor::nn::layer_norm(x, g, b, 1e-6)?);
+        }
+        let (ints, _scale) = self.sfu_quantize(site, Operand::Input, x)?;
+        // Output scale sized so ±4·max|γ| + max|β| fits an 8-bit-ish range.
+        let g_max = g.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let b_max = b.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let out_scale = ((4.0 * g_max + b_max) / 127.0).max(1e-6);
+        Ok(intfunc::i_layer_norm(&ints, g, b, out_scale).to_f32(out_scale))
+    }
+
+    fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(a.add(b)?);
+        }
+        // The SFU adder sums the two decoded integer streams after scale
+        // alignment; numerically this equals adding the dequantized values.
+        let (ia, sa) = self.sfu_quantize(site, Operand::Input, a)?;
+        let (ib, sb) = self.sfu_quantize(site, Operand::InputB, b)?;
+        Ok(ia.to_f32(sa).add(&ib.to_f32(sb)).map_err(BackendError::from)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_core::pipeline::{calibrate, PtqConfig};
+    use quq_core::QuqMethod;
+    use quq_vit::{Dataset, ModelConfig, VitModel};
+
+    fn setup(cfg: PtqConfig) -> (VitModel, PtqTables, Dataset) {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 33);
+        let calib = Dataset::calibration(model.config(), 4, 1);
+        let tables = calibrate(&QuqMethod::without_optimization(), &model, &calib, cfg).unwrap();
+        let eval = Dataset::teacher_labeled(&model, 12, 2).unwrap();
+        (model, tables, eval)
+    }
+
+    #[test]
+    fn integer_backend_runs_full_quantization() {
+        let (model, tables, _) = setup(PtqConfig::full_w8a8());
+        let img = model.config().dummy_image(0.3);
+        let mut be = IntegerBackend::new(&tables);
+        let logits = model.forward(&img, &mut be).unwrap();
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn integer_logits_track_fake_quant_logits() {
+        let (model, tables, _) = setup(PtqConfig::full_w8a8());
+        let img = model.config().dummy_image(-0.2);
+        let mut int_be = IntegerBackend::new(&tables);
+        let int_logits = model.forward(&img, &mut int_be).unwrap();
+        let mut fq_be = tables.backend();
+        let fq_logits = model.forward(&img, &mut fq_be).unwrap();
+        let cos = quq_tensor::stats::cosine_similarity(&int_logits, &fq_logits).unwrap();
+        assert!(cos > 0.95, "cosine {cos}");
+    }
+
+    #[test]
+    fn integer_backend_preserves_accuracy_at_8_bit() {
+        let (model, tables, eval) = setup(PtqConfig::full_w8a8());
+        let mut be = IntegerBackend::new(&tables);
+        let acc = quq_vit::evaluate(&model, &mut be, &eval).unwrap();
+        assert!(acc >= 0.7, "integer-path agreement {acc}");
+    }
+
+    #[test]
+    fn non_quq_tables_are_rejected() {
+        // A method whose fits are plain uniform quantizers: no QuqParams,
+        // so the integer path must refuse with MissingParams.
+        #[derive(Debug)]
+        struct UniformOnly;
+        impl quq_core::quantizer::QuantMethod for UniformOnly {
+            fn name(&self) -> &'static str {
+                "uniform-only"
+            }
+            fn fit_activation(&self, samples: &[f32], bits: u32) -> Box<dyn quq_core::FittedQuantizer> {
+                Box::new(quq_core::UniformQuantizer::fit_min_max(bits, samples))
+            }
+        }
+        let model = VitModel::synthesize(ModelConfig::test_config(), 33);
+        let calib = Dataset::calibration(model.config(), 2, 1);
+        let tables = calibrate(&UniformOnly, &model, &calib, PtqConfig::full_w8a8()).unwrap();
+        let mut be = IntegerBackend::new(&tables);
+        let err = model.forward(&model.config().dummy_image(0.1), &mut be).unwrap_err();
+        assert!(matches!(err, BackendError::MissingParams(_)), "{err:?}");
+    }
+}

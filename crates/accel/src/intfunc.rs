@@ -1,0 +1,295 @@
+//! Integer-only special functions for the SFUs — the I-BERT / I-ViT
+//! lineage the paper builds its SFU argument on (§4.2, refs [5, 6]).
+//!
+//! The QUA's special function units receive integers `d = D << n_sh` (the
+//! SFU load path) at a known scale `S` and must compute Softmax, GELU and
+//! LayerNorm without floating point. This module implements the standard
+//! integer kernels:
+//!
+//! * [`i_exp2`] — fixed-point `2^x` via range reduction + a quadratic fit
+//!   of `2^f` on `[0, 1)`;
+//! * [`i_softmax`] — shift-based softmax (max-subtracted, base-2
+//!   exponentials, fixed-point normalization);
+//! * [`i_gelu`] — `x · σ(1.702 x)` with an integer sigmoid;
+//! * [`i_sqrt`] — integer Newton square root (for LayerNorm);
+//! * [`i_layer_norm`] — integer mean/variance normalization with affine
+//!   parameters.
+//!
+//! All kernels take integer tensors plus a power-free scalar scale `S`
+//! (value = q·S) that in hardware is carried as the `M/2^N` pair of Eq. 2;
+//! here `S` is an `f32` used only to derive the fixed-point multiplier, as
+//! an integer-only implementation would at compile time.
+
+use quq_tensor::{IntTensor, Tensor};
+
+/// Fixed-point fraction bits used by the integer kernels.
+pub const FRAC_BITS: u32 = 16;
+/// Fixed-point "one".
+pub const ONE: i64 = 1 << FRAC_BITS;
+
+/// log2(e) in fixed point.
+fn log2e_fx() -> i64 {
+    (std::f64::consts::LOG2_E * ONE as f64).round() as i64
+}
+
+/// `2^f` for `f ∈ [0, 1)` in fixed point, by the quadratic fit
+/// `2^f ≈ 1 + 0.65617·f + 0.34383·f²` (exact at both endpoints, max error
+/// < 0.3%).
+fn exp2_frac_fx(f: i64) -> i64 {
+    debug_assert!((0..ONE).contains(&f));
+    const C1: i64 = (0.65617 * (1u64 << 16) as f64) as i64;
+    const C2: i64 = (0.34383 * (1u64 << 16) as f64) as i64;
+    let f2 = (f * f) >> FRAC_BITS;
+    ONE + ((C1 * f + C2 * f2) >> FRAC_BITS)
+}
+
+/// Fixed-point `2^x` for `x ≤ 0` given in fixed point (`x_fx = x · 2^16`).
+///
+/// Returns `2^x` in fixed point; underflows to 0 below `2^-31`.
+pub fn i_exp2(x_fx: i64) -> i64 {
+    debug_assert!(x_fx <= 0, "i_exp2 expects non-positive input");
+    let int_part = (-x_fx) >> FRAC_BITS; // magnitude of the integer part
+    let frac = x_fx + ((int_part as i64) << FRAC_BITS); // in (−1, 0]
+    let frac_pos = if frac == 0 { 0 } else { frac + ONE }; // 2^f = 2^{f+1}/2
+    let extra = if frac == 0 { 0 } else { 1 };
+    let shift = int_part + extra;
+    if shift >= 31 {
+        return 0;
+    }
+    exp2_frac_fx(frac_pos) >> shift
+}
+
+/// Fixed-point `e^x` for `x ≤ 0`: `e^x = 2^{x·log2 e}`.
+pub fn i_exp(x_fx: i64) -> i64 {
+    debug_assert!(x_fx <= 0);
+    let z = (x_fx.saturating_mul(log2e_fx())) >> FRAC_BITS;
+    i_exp2(z)
+}
+
+/// Integer Newton square root: `⌊√n⌋` for `n ≥ 0`.
+pub fn i_sqrt(n: i64) -> i64 {
+    if n < 2 {
+        return n.max(0);
+    }
+    let mut x = 1i64 << ((64 - n.leading_zeros() as i64) / 2 + 1);
+    loop {
+        let next = (x + n / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Integer softmax over the last axis of a `[rows, cols]` tensor of values
+/// `q·scale`.
+///
+/// Returns probabilities in fixed point (`p_fx / 2^16`, each row summing to
+/// ≈ `2^16`).
+///
+/// # Panics
+///
+/// Panics when the tensor is not rank 2.
+pub fn i_softmax(x: &IntTensor, scale: f32) -> IntTensor {
+    assert_eq!(x.rank(), 2, "i_softmax expects a matrix");
+    let cols = x.shape()[1];
+    // Scale multiplier to fixed point, computed once (hardware: M/2^N).
+    let s_fx = (scale as f64 * ONE as f64).round() as i64;
+    let mut out = vec![0i32; x.len()];
+    for (r, row) in x.data().chunks(cols).enumerate() {
+        let max = row.iter().copied().max().unwrap_or(0);
+        let mut exps = vec![0i64; cols];
+        let mut sum = 0i64;
+        for (c, &q) in row.iter().enumerate() {
+            let t_fx = (q as i64 - max as i64) * s_fx; // ≤ 0, fixed point
+            let e = i_exp(t_fx >> 0);
+            exps[c] = e;
+            sum += e;
+        }
+        for (c, &e) in exps.iter().enumerate() {
+            out[r * cols + c] = if sum > 0 { ((e << FRAC_BITS) / sum) as i32 } else { 0 };
+        }
+    }
+    IntTensor::from_vec(out, x.shape()).expect("sized")
+}
+
+/// Integer sigmoid `σ(z) = 1/(1+e^{−z})` in fixed point for `z_fx` in
+/// fixed point.
+pub fn i_sigmoid(z_fx: i64) -> i64 {
+    if z_fx >= 0 {
+        let e = i_exp(-z_fx);
+        (ONE << FRAC_BITS) / (ONE + e)
+    } else {
+        let e = i_exp(z_fx);
+        (e << FRAC_BITS) / (ONE + e)
+    }
+}
+
+/// Integer GELU via the sigmoid approximation `x · σ(1.702 x)` (the
+/// ShiftGELU of I-ViT). Input/output share the scale `S`.
+pub fn i_gelu(x: &IntTensor, scale: f32) -> IntTensor {
+    let s_fx = (scale as f64 * 1.702 * ONE as f64).round() as i64;
+    let data = x
+        .data()
+        .iter()
+        .map(|&q| {
+            let z_fx = q as i64 * s_fx;
+            let sig = i_sigmoid(z_fx);
+            // Round-to-nearest on the fixed-point product (plain arithmetic
+            // shift would floor, biasing negative outputs downward).
+            (((q as i64 * sig) + (1 << (FRAC_BITS - 1))) >> FRAC_BITS) as i32
+        })
+        .collect();
+    IntTensor::from_vec(data, x.shape()).expect("sized")
+}
+
+/// Integer LayerNorm over the last axis.
+///
+/// Input values are `q·scale`; `gamma`/`beta` are float parameters that the
+/// SFU holds as fixed-point constants. The output is returned at a fixed
+/// output scale `out_scale` chosen by the caller (`y_q = y / out_scale`).
+///
+/// # Panics
+///
+/// Panics when shapes disagree.
+pub fn i_layer_norm(
+    x: &IntTensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    out_scale: f32,
+) -> IntTensor {
+    let cols = *x.shape().last().expect("rank >= 1");
+    assert_eq!(gamma.len(), cols, "gamma length mismatch");
+    assert_eq!(beta.len(), cols, "beta length mismatch");
+    // Fixed-point gamma/out_scale and beta/out_scale.
+    let g_fx: Vec<i64> =
+        gamma.data().iter().map(|&g| ((g / out_scale) as f64 * ONE as f64).round() as i64).collect();
+    let b_fx: Vec<i64> =
+        beta.data().iter().map(|&b| ((b / out_scale) as f64 * ONE as f64).round() as i64).collect();
+    let mut out = vec![0i32; x.len()];
+    for (r, row) in x.data().chunks(cols).enumerate() {
+        // Integer mean and variance of the raw codes (scale cancels in the
+        // normalized value).
+        let n = cols as i64;
+        let sum: i64 = row.iter().map(|&v| v as i64).sum();
+        let mean_num = sum; // mean = sum / n
+        let mut var_num: i64 = 0;
+        for &v in row {
+            let d = v as i64 * n - mean_num; // (v - mean)·n
+            var_num += (d / n) * (d / n);
+        }
+        // std of codes ≈ sqrt(var_num / n), in integer domain.
+        let std_codes = i_sqrt(var_num / n).max(1);
+        for (c, &v) in row.iter().enumerate() {
+            let centered = v as i64 * n - mean_num; // (v − mean)·n
+            // normalized = centered / (n·std); to fixed point:
+            let norm_fx = (centered << FRAC_BITS) / (n * std_codes);
+            let y_fx = ((g_fx[c] * norm_fx) >> FRAC_BITS) + b_fx[c];
+            out[r * cols + c] = (y_fx >> FRAC_BITS) as i32;
+        }
+    }
+    IntTensor::from_vec(out, x.shape()).expect("sized")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_tensor::nn;
+
+    #[test]
+    fn i_exp2_matches_float() {
+        for i in 0..2000 {
+            let x = -(i as f64) * 0.01; // 0 .. −20
+            let x_fx = (x * ONE as f64) as i64;
+            let got = i_exp2(x_fx) as f64 / ONE as f64;
+            let want = x.exp2();
+            assert!((got - want).abs() < 0.005 * want.max(1e-6) + 1e-4, "2^{x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn i_exp_matches_float() {
+        for i in 0..1500 {
+            let x = -(i as f64) * 0.01;
+            let x_fx = (x * ONE as f64) as i64;
+            let got = i_exp(x_fx) as f64 / ONE as f64;
+            let want = x.exp();
+            assert!((got - want).abs() < 0.01 * want.max(1e-6) + 1e-4, "e^{x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn i_sqrt_is_floor_sqrt() {
+        for n in [0i64, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 20, (1 << 30) + 7] {
+            let r = i_sqrt(n);
+            assert!(r * r <= n && (r + 1) * (r + 1) > n, "sqrt({n}) = {r}");
+        }
+    }
+
+    #[test]
+    fn i_softmax_close_to_float_softmax() {
+        let scale = 0.05f32;
+        let codes: Vec<i32> = vec![-40, 0, 25, 60, -10, 80, 5, -3];
+        let x = IntTensor::from_vec(codes.clone(), &[2, 4]).unwrap();
+        let probs = i_softmax(&x, scale);
+        let xf = x.to_f32(scale);
+        let want = nn::softmax(&xf).unwrap();
+        for (p, w) in probs.data().iter().zip(want.data()) {
+            let got = *p as f32 / ONE as f32;
+            assert!((got - w).abs() < 0.01, "{got} vs {w}");
+        }
+        // Rows sum to ≈ 1 in fixed point.
+        for row in probs.data().chunks(4) {
+            let s: i64 = row.iter().map(|&v| v as i64).sum();
+            assert!((s - ONE).abs() < ONE / 100, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn i_sigmoid_matches_float() {
+        for i in -600..600 {
+            let z = i as f64 * 0.02;
+            let got = i_sigmoid((z * ONE as f64) as i64) as f64 / ONE as f64;
+            let want = 1.0 / (1.0 + (-z).exp());
+            assert!((got - want).abs() < 0.01, "σ({z}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn i_gelu_close_to_float_gelu() {
+        let scale = 0.02f32;
+        let codes: Vec<i32> = (-200..200).collect();
+        let x = IntTensor::from_vec(codes, &[400]).unwrap();
+        let got = i_gelu(&x, scale).to_f32(scale);
+        let want = x.to_f32(scale).map(nn::gelu);
+        for (g, w) in got.data().iter().zip(want.data()) {
+            // Budget: sigmoid-GELU approximation error (≤ ~0.02 in the
+            // negative tail) + one output code of rounding (0.02).
+            assert!((g - w).abs() < 0.045, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn i_layer_norm_close_to_float() {
+        let scale = 0.01f32;
+        let out_scale = 0.02f32;
+        let codes: Vec<i32> = (0..64).map(|i| (i * i % 173) as i32 - 80).collect();
+        let x = IntTensor::from_vec(codes, &[4, 16]).unwrap();
+        let gamma = Tensor::from_vec((0..16).map(|i| 0.5 + 0.1 * i as f32).collect(), &[16]).unwrap();
+        let beta = Tensor::from_vec((0..16).map(|i| -0.2 + 0.05 * i as f32).collect(), &[16]).unwrap();
+        let got = i_layer_norm(&x, &gamma, &beta, out_scale).to_f32(out_scale);
+        let want = nn::layer_norm(&x.to_f32(scale), &gamma, &beta, 1e-6).unwrap();
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 0.1 + 0.05 * w.abs(), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn i_softmax_handles_uniform_rows() {
+        let x = IntTensor::from_vec(vec![5, 5, 5, 5], &[1, 4]).unwrap();
+        let p = i_softmax(&x, 0.1);
+        for &v in p.data() {
+            assert!((v as i64 - ONE / 4).abs() <= ONE / 50);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! On-chip peak-memory simulation — the methodology behind the paper's
+//! Fig. 2 (§2).
+//!
+//! Assumptions copied from the paper: only the weights of the *current*
+//! operation are resident (edge devices cannot hold the model), while
+//! activations are always kept on chip (their dynamic production/consumption
+//! makes off-chip spills costly). We walk the operation schedule of one ViT
+//! block, do live-range analysis over its activation tensors, and report the
+//! peak of `weights(current op) + Σ live activations × batch`.
+//!
+//! Under **partial quantization (PQ)** an activation is stored at the
+//! quantized width only when *every* consumer is a GEMM operation; tensors
+//! feeding residual additions, LayerNorm, Softmax or GELU stay FP32 (the red
+//! edges of Fig. 1). Under **full quantization (FQ)** every activation is
+//! stored at the quantized width.
+
+use quq_vit::config::ModelConfig;
+
+/// Storage regime of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// Partial quantization: GEMM inputs quantized, the rest FP32.
+    Pq,
+    /// Full quantization: every activation at the quantized width.
+    Fq,
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regime::Pq => write!(f, "PQ"),
+            Regime::Fq => write!(f, "FQ"),
+        }
+    }
+}
+
+/// One step of the block schedule (for trace inspection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStep {
+    /// Operation label.
+    pub op: &'static str,
+    /// Weight bytes resident during the step.
+    pub weight_bytes: u64,
+    /// Live activation bytes during the step (already × batch).
+    pub activation_bytes: u64,
+}
+
+impl ScheduleStep {
+    /// Total on-chip bytes of the step.
+    pub fn total(&self) -> u64 {
+        self.weight_bytes + self.activation_bytes
+    }
+}
+
+/// A block-level activation tensor with its element count and a flag for
+/// whether all of its consumers are GEMM operations.
+#[derive(Debug, Clone, Copy)]
+struct Act {
+    elems: u64,
+    gemm_only: bool,
+    /// Step index after which the tensor dies.
+    last_use: usize,
+    /// Step index at which the tensor is produced (live from there on).
+    born: usize,
+}
+
+/// Peak-memory simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryReport {
+    /// The regime simulated.
+    pub regime: Regime,
+    /// Activation/weight quantization width in bits.
+    pub bits: u32,
+    /// Batch size.
+    pub batch: u64,
+    /// Peak on-chip bytes.
+    pub peak_bytes: u64,
+    /// The full schedule trace.
+    pub steps: Vec<ScheduleStep>,
+}
+
+impl MemoryReport {
+    /// Peak in KiB.
+    pub fn peak_kib(&self) -> f64 {
+        self.peak_bytes as f64 / 1024.0
+    }
+
+    /// Peak in MiB.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+fn bytes(elems: u64, bits: u32) -> u64 {
+    (elems * bits as u64).div_ceil(8)
+}
+
+/// Simulates one transformer block of `config`'s first stage.
+///
+/// `bits` is the quantization width (weights and quantized activations);
+/// FP32 tensors cost 32 bits per element.
+pub fn simulate_block(config: &ModelConfig, regime: Regime, bits: u32, batch: u64) -> MemoryReport {
+    let n = config.seq_len() as u64;
+    let d = config.stages[0].embed_dim as u64;
+    let heads = config.stages[0].num_heads as u64;
+    let h = d * config.mlp_ratio as u64;
+
+    // Activation tensors of one block, in production order, with the step
+    // ranges they are live over. Steps:
+    //   0 ln1, 1 qkv, 2 scores(QKᵀ), 3 softmax, 4 pv, 5 proj, 6 residual1,
+    //   7 ln2, 8 fc1, 9 gelu, 10 fc2, 11 residual2
+    let acts = [
+        // input x: consumed by ln1 (step 0) and residual1 (step 6).
+        Act { elems: n * d, gemm_only: false, born: 0, last_use: 6 },
+        // ln1 out: consumed by qkv (GEMM).
+        Act { elems: n * d, gemm_only: true, born: 0, last_use: 1 },
+        // qkv out: consumed by QKᵀ and P·V (GEMM).
+        Act { elems: n * 3 * d, gemm_only: true, born: 1, last_use: 4 },
+        // attention scores: consumed by softmax.
+        Act { elems: heads * n * n, gemm_only: false, born: 2, last_use: 3 },
+        // softmax probabilities: consumed by P·V (GEMM).
+        Act { elems: heads * n * n, gemm_only: true, born: 3, last_use: 4 },
+        // attention output: consumed by proj (GEMM).
+        Act { elems: n * d, gemm_only: true, born: 4, last_use: 5 },
+        // proj out: consumed by residual1.
+        Act { elems: n * d, gemm_only: false, born: 5, last_use: 6 },
+        // x1 = x + proj: consumed by ln2 (7) and residual2 (11).
+        Act { elems: n * d, gemm_only: false, born: 6, last_use: 11 },
+        // ln2 out: consumed by fc1 (GEMM).
+        Act { elems: n * d, gemm_only: true, born: 7, last_use: 8 },
+        // fc1 out: consumed by GELU.
+        Act { elems: n * h, gemm_only: false, born: 8, last_use: 9 },
+        // gelu out: consumed by fc2 (GEMM).
+        Act { elems: n * h, gemm_only: true, born: 9, last_use: 10 },
+        // fc2 out: consumed by residual2.
+        Act { elems: n * d, gemm_only: false, born: 10, last_use: 11 },
+        // block output: live at the end (next block's input).
+        Act { elems: n * d, gemm_only: false, born: 11, last_use: 11 },
+    ];
+
+    // Weights resident per step (elements, stored at `bits` in both regimes).
+    let step_weights: [(&'static str, u64); 12] = [
+        ("ln1", 2 * d),
+        ("qkv", 3 * d * d + 3 * d),
+        ("qk_matmul", 0),
+        ("softmax", 0),
+        ("pv_matmul", 0),
+        ("proj", d * d + d),
+        ("residual1", 0),
+        ("ln2", 2 * d),
+        ("fc1", d * h + h),
+        ("gelu", 0),
+        ("fc2", h * d + d),
+        ("residual2", 0),
+    ];
+
+    let act_bits = |a: &Act| -> u32 {
+        match regime {
+            Regime::Fq => bits,
+            Regime::Pq => {
+                if a.gemm_only {
+                    bits
+                } else {
+                    32
+                }
+            }
+        }
+    };
+
+    let mut steps = Vec::with_capacity(12);
+    let mut peak = 0u64;
+    for (si, (op, welems)) in step_weights.iter().enumerate() {
+        let weight_bytes = bytes(*welems, bits);
+        let mut act_bytes = 0u64;
+        for a in &acts {
+            if a.born <= si && si <= a.last_use {
+                act_bytes += bytes(a.elems, act_bits(a)) * batch;
+            }
+        }
+        let step = ScheduleStep { op, weight_bytes, activation_bytes: act_bytes };
+        peak = peak.max(step.total());
+        steps.push(step);
+    }
+
+    MemoryReport { regime, bits, batch, peak_bytes: peak, steps }
+}
+
+/// Relative extra memory of PQ over FQ: `peak(PQ)/peak(FQ) − 1`.
+pub fn pq_overhead(config: &ModelConfig, bits: u32, batch: u64) -> f64 {
+    let pq = simulate_block(config, Regime::Pq, bits, batch);
+    let fq = simulate_block(config, Regime::Fq, bits, batch);
+    pq.peak_bytes as f64 / fq.peak_bytes as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_vit::config::{ModelConfig, ModelId};
+
+    #[test]
+    fn fq_always_beats_pq() {
+        for id in ModelId::PAPER_MODELS {
+            let cfg = ModelConfig::full_scale(id);
+            for batch in [1u64, 4, 16] {
+                for bits in [6u32, 8] {
+                    let pq = simulate_block(&cfg, Regime::Pq, bits, batch);
+                    let fq = simulate_block(&cfg, Regime::Fq, bits, batch);
+                    assert!(pq.peak_bytes > fq.peak_bytes, "{id} b{bits} B{batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_in_papers_band() {
+        // Abstract: 22.3%–172.6% extra memory for partially quantized models.
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for id in ModelId::PAPER_MODELS {
+            let cfg = ModelConfig::full_scale(id);
+            for batch in [1u64, 4, 16] {
+                for bits in [6u32, 8] {
+                    let ov = pq_overhead(&cfg, bits, batch);
+                    lo = lo.min(ov);
+                    hi = hi.max(ov);
+                }
+            }
+        }
+        assert!(lo > 0.10, "minimum overhead {lo:.3} implausibly low");
+        assert!(hi < 3.0, "maximum overhead {hi:.3} implausibly high");
+        assert!(hi > 1.0, "maximum overhead {hi:.3} should exceed 100% for some config");
+    }
+
+    #[test]
+    fn larger_batch_increases_pq_overhead() {
+        // §2: a larger batch raises the activation share, amplifying FQ's
+        // advantage.
+        let cfg = ModelConfig::full_scale(ModelId::VitS);
+        let o1 = pq_overhead(&cfg, 6, 1);
+        let o16 = pq_overhead(&cfg, 6, 16);
+        assert!(o16 > o1, "batch16 {o16:.3} !> batch1 {o1:.3}");
+    }
+
+    #[test]
+    fn smaller_models_have_larger_relative_gain() {
+        // §2: "the predominance becomes more evident in small models".
+        let s = pq_overhead(&ModelConfig::full_scale(ModelId::VitS), 6, 1);
+        let l = pq_overhead(&ModelConfig::full_scale(ModelId::VitL), 6, 1);
+        assert!(s > l, "ViT-S overhead {s:.3} !> ViT-L {l:.3}");
+    }
+
+    #[test]
+    fn peak_step_is_an_mlp_step() {
+        // FC1/FC2 hold the largest weights and activations.
+        let cfg = ModelConfig::full_scale(ModelId::VitS);
+        let r = simulate_block(&cfg, Regime::Pq, 6, 1);
+        let peak_op = r.steps.iter().max_by_key(|s| s.total()).unwrap().op;
+        assert!(["fc1", "gelu", "fc2"].contains(&peak_op), "peak at {peak_op}");
+    }
+
+    #[test]
+    fn byte_accounting_rounds_up() {
+        assert_eq!(bytes(3, 6), 3); // 18 bits -> 3 bytes
+        assert_eq!(bytes(4, 6), 3); // 24 bits -> 3 bytes
+        assert_eq!(bytes(1, 32), 4);
+    }
+
+    #[test]
+    fn report_units_are_consistent() {
+        let cfg = ModelConfig::full_scale(ModelId::VitS);
+        let r = simulate_block(&cfg, Regime::Fq, 8, 1);
+        assert!((r.peak_kib() - r.peak_bytes as f64 / 1024.0).abs() < 1e-9);
+        assert!(r.peak_mib() < r.peak_kib());
+        assert_eq!(r.steps.len(), 12);
+    }
+}

@@ -1,0 +1,192 @@
+//! Deployment scheduling: mapping a ViT's GEMM workload onto a QUA
+//! instance, with cycle and energy accounting.
+//!
+//! Uses the same output-stationary tiling model as the functional simulator
+//! ([`crate::sim::Qua`]) but evaluates it analytically, so full-scale
+//! models (ViT-L has ~0.4 GMAC per block) can be scheduled instantly. This
+//! extends the paper's evaluation with the end-to-end latency/energy view
+//! its Fig. 2 + Table 4 numbers imply.
+
+use crate::cost::{estimate, AcceleratorConfig, CostReport, Tech};
+use quq_vit::config::{Family, ModelConfig};
+
+/// One GEMM of the workload: `C[m,n] = A[m,k]·B[n,k]ᵀ`, repeated `count`
+/// times (per-head attention products).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Operation label.
+    pub op: &'static str,
+    /// Output rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Repetitions (heads, windows).
+    pub count: usize,
+}
+
+impl GemmShape {
+    /// Total multiply-accumulates.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.k * self.n * self.count) as u64
+    }
+
+    /// Cycles on an `rows × cols` output-stationary array (fill/drain
+    /// included per tile, matching `Qua::gemm`).
+    pub fn cycles(&self, rows: usize, cols: usize) -> u64 {
+        let tiles = self.m.div_ceil(rows) * self.n.div_ceil(cols);
+        (tiles * (self.k + rows + cols) * self.count) as u64
+    }
+}
+
+/// The GEMM workload of one transformer block of `config`'s stage `s`.
+pub fn block_gemms(config: &ModelConfig, stage: usize) -> Vec<GemmShape> {
+    let st = &config.stages[stage];
+    let d = st.embed_dim;
+    let heads = st.num_heads;
+    let hd = d / heads;
+    let h = d * config.mlp_ratio;
+    // Tokens per attention context and number of contexts.
+    let (ctx, n_ctx) = match (config.family, config.window) {
+        (Family::Swin, Some(w)) => {
+            let g = config.grid() >> stage;
+            let w = w.min(g);
+            (w * w, (g / w) * (g / w))
+        }
+        _ => (config.seq_len(), 1),
+    };
+    let tokens = match config.family {
+        Family::Swin => config.tokens_at_stage(stage),
+        _ => config.seq_len(),
+    };
+    vec![
+        GemmShape { op: "qkv", m: tokens, k: d, n: 3 * d, count: 1 },
+        GemmShape { op: "qk_matmul", m: ctx, k: hd, n: ctx, count: heads * n_ctx },
+        GemmShape { op: "pv_matmul", m: ctx, k: ctx, n: hd, count: heads * n_ctx },
+        GemmShape { op: "proj", m: tokens, k: d, n: d, count: 1 },
+        GemmShape { op: "fc1", m: tokens, k: d, n: h, count: 1 },
+        GemmShape { op: "fc2", m: tokens, k: h, n: d, count: 1 },
+    ]
+}
+
+/// Deployment summary of one model on one accelerator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deployment {
+    /// The accelerator costed.
+    pub accelerator: CostReport,
+    /// Total MACs per image (all blocks, all stages).
+    pub macs: u64,
+    /// Total cycles per image.
+    pub cycles: u64,
+    /// Latency per image at 500 MHz (ms).
+    pub latency_ms: f64,
+    /// Energy per image (µJ), from the power model.
+    pub energy_uj: f64,
+    /// Sustained MAC utilization of the array.
+    pub utilization: f64,
+}
+
+/// Schedules every block of `config` (all stages, full depth) onto the
+/// accelerator described by `acc`.
+pub fn deploy(config: &ModelConfig, acc: AcceleratorConfig, tech: Tech) -> Deployment {
+    let report = estimate(acc, tech);
+    let mut macs = 0u64;
+    let mut cycles = 0u64;
+    for (si, st) in config.stages.iter().enumerate() {
+        let gemms = block_gemms(config, si);
+        let block_macs: u64 = gemms.iter().map(GemmShape::macs).sum();
+        let block_cycles: u64 = gemms.iter().map(|g| g.cycles(acc.array, acc.array)).sum();
+        macs += block_macs * st.depth as u64;
+        cycles += block_cycles * st.depth as u64;
+    }
+    let latency_s = cycles as f64 / 500e6;
+    let energy_uj = report.power_mw * 1e-3 * latency_s * 1e6;
+    let utilization = macs as f64 / (cycles as f64 * (acc.array * acc.array) as f64);
+    Deployment {
+        accelerator: report,
+        macs,
+        cycles,
+        latency_ms: latency_s * 1e3,
+        energy_uj,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Scheme;
+    use quq_vit::config::{ModelConfig, ModelId};
+
+    #[test]
+    fn block_gemm_macs_match_hand_count_for_vit_s() {
+        let cfg = ModelConfig::full_scale(ModelId::VitS);
+        let gemms = block_gemms(&cfg, 0);
+        let total: u64 = gemms.iter().map(GemmShape::macs).sum();
+        // ViT-S block: n=197, d=384: qkv 3nd² + attn 2n²d + proj nd² + mlp 8nd².
+        let n = 197u64;
+        let d = 384u64;
+        let expect = 3 * n * d * d + 2 * n * n * d + n * d * d + 8 * n * d * d;
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn swin_windows_reduce_attention_cost() {
+        let swin = ModelConfig::full_scale(ModelId::SwinT);
+        let gemms = block_gemms(&swin, 0);
+        let qk = gemms.iter().find(|g| g.op == "qk_matmul").unwrap();
+        // 7×7 windows: 49-token contexts, not 3136-token global attention.
+        assert_eq!(qk.m, 49);
+        assert_eq!(qk.count, 3 * (56 / 7) * (56 / 7));
+    }
+
+    #[test]
+    fn bigger_arrays_cut_latency_and_land_between_1x_and_16x() {
+        let cfg = ModelConfig::full_scale(ModelId::VitS);
+        let t = Tech::n28();
+        let d16 = deploy(&cfg, AcceleratorConfig::new(Scheme::Quq, 6, 16), t);
+        let d64 = deploy(&cfg, AcceleratorConfig::new(Scheme::Quq, 6, 64), t);
+        assert!(d64.latency_ms < d16.latency_ms);
+        let speedup = d16.latency_ms / d64.latency_ms;
+        assert!((1.0..=16.0).contains(&speedup), "speedup {speedup}");
+        assert_eq!(d16.macs, d64.macs);
+    }
+
+    #[test]
+    fn six_bit_quq_uses_less_energy_than_eight_bit_baseq() {
+        // The Table 4 headline carried to the workload level.
+        let cfg = ModelConfig::full_scale(ModelId::DeitB);
+        let t = Tech::n28();
+        let q6 = deploy(&cfg, AcceleratorConfig::new(Scheme::Quq, 6, 64), t);
+        let b8 = deploy(&cfg, AcceleratorConfig::new(Scheme::BaseQ, 8, 64), t);
+        assert_eq!(q6.cycles, b8.cycles, "same dataflow, same cycles");
+        assert!(q6.energy_uj < b8.energy_uj);
+    }
+
+    #[test]
+    fn utilization_is_physical() {
+        for id in ModelId::PAPER_MODELS {
+            let cfg = ModelConfig::full_scale(id);
+            let d = deploy(&cfg, AcceleratorConfig::new(Scheme::Quq, 6, 16), Tech::n28());
+            assert!(d.utilization > 0.05 && d.utilization <= 1.0, "{id}: {}", d.utilization);
+            assert!(d.latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn deeper_models_cost_more() {
+        let s = deploy(
+            &ModelConfig::full_scale(ModelId::VitS),
+            AcceleratorConfig::new(Scheme::Quq, 6, 64),
+            Tech::n28(),
+        );
+        let l = deploy(
+            &ModelConfig::full_scale(ModelId::VitL),
+            AcceleratorConfig::new(Scheme::Quq, 6, 64),
+            Tech::n28(),
+        );
+        assert!(l.macs > 5 * s.macs);
+        assert!(l.energy_uj > s.energy_uj);
+    }
+}

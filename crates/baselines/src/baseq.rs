@@ -1,0 +1,59 @@
+//! BaseQ — the paper's uniform-quantization baseline.
+//!
+//! §6.1: *"we substitute QUQ with uniform quantization while maintaining the
+//! rest of the PTQ process unchanged, denoted as BaseQ."* Scales come from
+//! min–max calibration (Eq. 1 with the full observed range representable),
+//! which is exactly what makes 6-bit full quantization collapse in Table 3:
+//! long-tailed tensors waste almost all codes on the tail.
+
+use quq_core::quantizer::{FittedQuantizer, QuantMethod};
+use quq_core::UniformQuantizer;
+
+/// Min–max symmetric uniform quantization for every tensor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaseQ;
+
+impl BaseQ {
+    /// Creates the baseline method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl QuantMethod for BaseQ {
+    fn name(&self) -> &'static str {
+        "BaseQ"
+    }
+
+    fn fit_activation(&self, samples: &[f32], bits: u32) -> Box<dyn FittedQuantizer> {
+        Box::new(UniformQuantizer::fit_min_max(bits, samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseq_is_minmax_uniform() {
+        let samples = [-2.0f32, 0.1, 0.2, 4.0];
+        let q = BaseQ::new().fit_activation(&samples, 6);
+        assert_eq!(q.bits(), 6);
+        // Extremes representable within half a step.
+        let t = quq_tensor::Tensor::from_vec(samples.to_vec(), &[4]).unwrap();
+        let fq = q.fake_quantize(&t);
+        assert!((fq.data()[3] - 4.0).abs() < 4.0 / 31.0);
+    }
+
+    #[test]
+    fn baseq_wastes_resolution_on_long_tails() {
+        // Bulk ±0.01 with an outlier at 10: 6-bit min–max Δ ≈ 0.32, so the
+        // entire bulk collapses to zero — the Table 3 failure mode.
+        let mut samples: Vec<f32> = (0..1000).map(|i| ((i % 21) as f32 - 10.0) * 0.001).collect();
+        samples.push(10.0);
+        let q = BaseQ::new().fit_activation(&samples, 6);
+        let t = quq_tensor::Tensor::from_vec(vec![0.009, -0.008], &[2]).unwrap();
+        let fq = q.fake_quantize(&t);
+        assert_eq!(fq.data(), &[0.0, 0.0]);
+    }
+}

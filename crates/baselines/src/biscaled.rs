@@ -1,0 +1,227 @@
+//! BiScaled-FxP (Jain et al., DAC 2019) — two fixed-point formats for
+//! long-tailed data.
+//!
+//! The original quantizes a tensor with two `b`-bit **fixed-point** formats
+//! sharing one word width: `Q(i2, f2)` sized so the tensor's maximum is
+//! representable ("scale-long", for the outliers recorded in an index
+//! table), and `Q(i1, f1)` with `BS` extra fraction bits ("scale-short",
+//! for the bulk). Both steps are powers of two and the gap between them is
+//! the small bi-scale parameter `BS` — *not* a freely fitted threshold.
+//!
+//! That structure is exactly why the scheme degrades on ViT data (paper
+//! §5/§6): with bulk-to-outlier ratios of 100–1000×, a few extra fraction
+//! bits cannot give the bulk usable resolution at 6 bits, and the symmetric
+//! formats waste codes on sign-asymmetric tensors. Following the paper's
+//! §6.1 fairness note ("the optimization techniques used in QUQ are also
+//! applied to BiScaled-FxP"), we grid-search `BS` per tensor by MSE.
+
+use quq_core::quantizer::{FittedQuantizer, QuantMethod};
+use quq_core::UniformQuantizer;
+use quq_tensor::Tensor;
+
+/// Fitted BiScaled parameters: bulk/outlier fixed-point quantizers and the
+/// magnitude threshold implied by the bulk format's range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiScaledParams {
+    fine: UniformQuantizer,
+    coarse: UniformQuantizer,
+    threshold: f32,
+    outlier_fraction: f32,
+}
+
+impl BiScaledParams {
+    /// Fits the two fixed-point formats: the coarse step is the min–max
+    /// scale rounded **up to a power of two** (fixed-point constraint); the
+    /// fine step sits `bi_scale` octaves below it. The bulk/outlier
+    /// threshold is the largest value the fine format represents.
+    pub fn fit(samples: &[f32], bits: u32, bi_scale: u32) -> Self {
+        let minmax = UniformQuantizer::fit_min_max(bits, samples);
+        let coarse_delta = minmax.delta().log2().ceil().exp2();
+        let coarse = UniformQuantizer::new(bits, coarse_delta);
+        let fine = UniformQuantizer::new(bits, coarse_delta / (bi_scale as f32).exp2());
+        let threshold = fine.max_code() as f32 * fine.delta();
+        let outliers = samples.iter().filter(|v| v.abs() > threshold).count();
+        let outlier_fraction =
+            if samples.is_empty() { 0.0 } else { outliers as f32 / samples.len() as f32 };
+        Self { fine, coarse, threshold, outlier_fraction }
+    }
+
+    /// The bulk/outlier boundary on |x| (the fine format's range).
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Fraction of calibration elements that were outliers — the index-table
+    /// overhead the paper calls "unpredictable".
+    pub fn outlier_fraction(&self) -> f32 {
+        self.outlier_fraction
+    }
+
+    /// Fake-quantizes one value.
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        if x.abs() <= self.threshold {
+            self.fine.fake_quantize(x)
+        } else {
+            self.coarse.fake_quantize(x)
+        }
+    }
+}
+
+impl FittedQuantizer for BiScaledParams {
+    fn fake_quantize(&self, t: &Tensor) -> Tensor {
+        t.map(|x| BiScaledParams::fake_quantize(self, x))
+    }
+
+    fn bits(&self) -> u32 {
+        self.fine.bits()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "BiScaled Δf={:.3e} Δc={:.3e} T={:.3e} ({:.2}% outliers)",
+            self.fine.delta(),
+            self.coarse.delta(),
+            self.threshold,
+            self.outlier_fraction * 100.0
+        )
+    }
+}
+
+/// The BiScaled-FxP method with per-tensor `BS` search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiScaledFxp {
+    /// Candidate bi-scale (extra fraction bits) values searched during
+    /// fitting; the original uses a small fixed value, we search a small
+    /// neighborhood per the paper's fairness note.
+    pub bi_scale_grid: [u32; 3],
+}
+
+impl BiScaledFxp {
+    /// Creates the method with the default `BS` grid.
+    pub fn new() -> Self {
+        Self { bi_scale_grid: [2, 3, 4] }
+    }
+}
+
+impl Default for BiScaledFxp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantMethod for BiScaledFxp {
+    fn name(&self) -> &'static str {
+        "BiScaled-FxP"
+    }
+
+    fn fit_activation(&self, samples: &[f32], bits: u32) -> Box<dyn FittedQuantizer> {
+        let mut best = BiScaledParams::fit(samples, bits, self.bi_scale_grid[0]);
+        let mut best_mse = FittedQuantizer::mse(&best, samples);
+        for &bs in &self.bi_scale_grid[1..] {
+            let cand = BiScaledParams::fit(samples, bits, bs);
+            let m = FittedQuantizer::mse(&cand, samples);
+            if m < best_mse {
+                best_mse = m;
+                best = cand;
+            }
+        }
+        Box::new(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_tensor::rng::OutlierMixture;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn long_tailed(seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        OutlierMixture::new(0.02, 0.5, 0.01).sample_vec(&mut rng, 20_000)
+    }
+
+    #[test]
+    fn biscaled_beats_plain_uniform_on_moderate_tails() {
+        let s = long_tailed(1);
+        let bi = BiScaledFxp::new().fit_activation(&s, 6);
+        let uni = UniformQuantizer::fit_min_max(6, &s);
+        assert!(bi.mse(&s) < uni.mse(&s));
+    }
+
+    #[test]
+    fn scales_are_powers_of_two() {
+        let s = long_tailed(2);
+        let p = BiScaledParams::fit(&s, 6, 3);
+        for d in [p.fine.delta(), p.coarse.delta()] {
+            let l = d.log2();
+            assert!((l - l.round()).abs() < 1e-5, "Δ = {d} not a power of two");
+        }
+        // The gap is exactly BS octaves.
+        assert!((p.coarse.delta() / p.fine.delta() - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn biscaled_collapses_on_extreme_dynamic_range_at_6_bit() {
+        // ViT-like: bulk std 0.02 with outliers reaching ~40 (LayerNorm gain
+        // channels): the fine format's step stays ≥ range/2^{b-1+BS}, far
+        // too coarse for the bulk — the paper's Table 3 collapse.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = OutlierMixture::new(0.02, 0.2, 0.01).sample_vec(&mut rng, 20_000);
+        s.extend([40.0, -38.0, 35.0]);
+        let bi = BiScaledFxp::new().fit_activation(&s, 6);
+        // Bulk values all collapse to zero.
+        let t = Tensor::from_vec(vec![0.02, -0.015, 0.03], &[3]).unwrap();
+        let fq = bi.fake_quantize(&t);
+        assert_eq!(fq.data(), &[0.0, 0.0, 0.0], "Δf = too coarse expected");
+        // QUQ handles the same tensor fine.
+        let quq = quq_core::Pra::with_defaults(6).run(&s).params;
+        assert!((quq.fake_quantize(0.02) - 0.02).abs() < 0.01);
+        assert!(quq.mse(&s) < bi.mse(&s));
+    }
+
+    #[test]
+    fn biscaled_recovers_at_8_bit() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = OutlierMixture::new(0.02, 0.2, 0.01).sample_vec(&mut rng, 20_000);
+        s.extend([40.0, -38.0]);
+        let b6 = BiScaledFxp::new().fit_activation(&s, 6);
+        let b8 = BiScaledFxp::new().fit_activation(&s, 8);
+        assert!(b8.mse(&s) < b6.mse(&s) / 4.0, "8-bit should recover sharply");
+    }
+
+    #[test]
+    fn biscaled_loses_to_quq_on_single_signed_data() {
+        // Softmax-like: non-negative, clustered near zero. BiScaled's
+        // symmetric formats idle their negative halves; QUQ's Mode B spends
+        // the whole encoding space on the live side with a free-floating Δ.
+        let mut rng = StdRng::seed_from_u64(5);
+        let s: Vec<f32> = (0..20_000)
+            .map(|_| {
+                let z = quq_tensor::rng::standard_normal(&mut rng).abs();
+                (z * z * 0.02).min(1.0)
+            })
+            .collect();
+        let bi = BiScaledFxp::new().fit_activation(&s, 6);
+        let quq = quq_core::Pra::with_defaults(6).run(&s).params;
+        assert_eq!(quq.mode(), quq_core::Mode::B);
+        assert!(quq.mse(&s) < bi.mse(&s));
+    }
+
+    #[test]
+    fn degenerate_input_does_not_panic() {
+        let p = BiScaledParams::fit(&[], 6, 3);
+        assert_eq!(p.outlier_fraction(), 0.0);
+        let q = BiScaledParams::fit(&[0.0; 10], 6, 3);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn outlier_fraction_and_describe() {
+        let s = long_tailed(6);
+        let p = BiScaledParams::fit(&s, 6, 3);
+        assert!(p.outlier_fraction() >= 0.0);
+        assert!(p.describe().contains("BiScaled"));
+        assert!(p.threshold() > 0.0);
+    }
+}

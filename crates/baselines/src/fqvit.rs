@@ -1,0 +1,216 @@
+//! FQ-ViT-like baseline (Lin et al.) — fully quantized ViT with row-wise
+//! weights and log2-quantized attention.
+//!
+//! The published method combines (a) *Power-of-Two Factor* per-channel
+//! quantization for LayerNorm inputs / row-wise weight scales, and (b)
+//! *Log-Int-Softmax*: post-Softmax attention probabilities quantized on a
+//! log2 grid. We reproduce both functionally:
+//!
+//! * weights: per-output-row min–max uniform scales ([`RowWiseUniform`]) —
+//!   the scheme the QUQ paper notes "incurs additional memory overhead and
+//!   complexity … and may not be supported by existing architectures";
+//! * post-Softmax operands (`PvMatmul` first input): [`Log2Quantizer`];
+//! * every other activation: per-tensor min–max uniform.
+
+use quq_core::calib::{Operand, ParamKey};
+use quq_core::quantizer::{FittedQuantizer, QuantMethod};
+use quq_core::UniformQuantizer;
+use quq_tensor::Tensor;
+use quq_vit::OpKind;
+
+/// Per-output-row uniform quantization of a weight matrix `[out, in]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowWiseUniform {
+    rows: Vec<UniformQuantizer>,
+    cols: usize,
+    bits: u32,
+}
+
+impl RowWiseUniform {
+    /// Fits one min–max uniform quantizer per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w` is not rank 2.
+    pub fn fit(w: &Tensor, bits: u32) -> Self {
+        assert_eq!(w.rank(), 2, "row-wise quantization needs a matrix");
+        let cols = w.shape()[1];
+        let rows = w
+            .data()
+            .chunks(cols)
+            .map(|row| UniformQuantizer::fit_min_max(bits, row))
+            .collect();
+        Self { rows, cols, bits }
+    }
+
+    /// Number of distinct row scales (the extra parameter memory).
+    pub fn num_scales(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl FittedQuantizer for RowWiseUniform {
+    fn fake_quantize(&self, t: &Tensor) -> Tensor {
+        // Row-wise application requires the same matrix layout it was fit on.
+        assert_eq!(t.rank(), 2, "row-wise quantizer applied to non-matrix");
+        assert_eq!(t.shape()[1], self.cols, "column count changed");
+        let mut out = t.clone();
+        for (row, q) in out.data_mut().chunks_mut(self.cols).zip(&self.rows) {
+            for v in row.iter_mut() {
+                *v = q.fake_quantize(*v);
+            }
+        }
+        out
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn describe(&self) -> String {
+        format!("row-wise uniform ({} scales)", self.rows.len())
+    }
+}
+
+/// Log2 quantization for non-negative attention probabilities: codes are
+/// `2^{-k}`, `k ∈ 0..2^b−1`, plus an exact zero for the all-zero code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Quantizer {
+    bits: u32,
+}
+
+impl Log2Quantizer {
+    /// Creates a `bits`-wide log2 quantizer.
+    pub fn new(bits: u32) -> Self {
+        Self { bits }
+    }
+
+    /// Largest exponent magnitude (the last code is reserved for zero).
+    fn max_k(&self) -> i32 {
+        (1 << self.bits) - 2
+    }
+
+    /// Fake-quantizes one probability.
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = (-x.log2()).round().clamp(0.0, self.max_k() as f32) as i32;
+        // Values below the smallest power-of-two code flush to zero.
+        if x < (-(self.max_k() as f32)).exp2() / 2.0_f32.sqrt() {
+            0.0
+        } else {
+            (-(k as f32)).exp2()
+        }
+    }
+}
+
+impl FittedQuantizer for Log2Quantizer {
+    fn fake_quantize(&self, t: &Tensor) -> Tensor {
+        t.map(|x| Log2Quantizer::fake_quantize(self, x))
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn describe(&self) -> String {
+        format!("log2 ({} bits)", self.bits)
+    }
+}
+
+/// The FQ-ViT-like method.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FqVit;
+
+impl FqVit {
+    /// Creates the method.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl QuantMethod for FqVit {
+    fn name(&self) -> &'static str {
+        "FQ-ViT"
+    }
+
+    fn fit_activation(&self, samples: &[f32], bits: u32) -> Box<dyn FittedQuantizer> {
+        Box::new(UniformQuantizer::fit_min_max(bits, samples))
+    }
+
+    fn fit_activation_for(&self, key: ParamKey, samples: &[f32], bits: u32) -> Box<dyn FittedQuantizer> {
+        // Log-Int-Softmax: the attention-probability operand of P·V.
+        if key.site.kind == OpKind::PvMatmul && key.operand == Operand::Input {
+            Box::new(Log2Quantizer::new(bits))
+        } else {
+            self.fit_activation(samples, bits)
+        }
+    }
+
+    fn fit_weight(&self, weight: &Tensor, bits: u32) -> Box<dyn FittedQuantizer> {
+        Box::new(RowWiseUniform::fit(weight, bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_vit::OpSite;
+
+    #[test]
+    fn row_wise_uses_independent_scales() {
+        // Row 0 tiny, row 1 large: per-tensor uniform would crush row 0.
+        let w = Tensor::from_vec(vec![0.01, -0.02, 0.015, 10.0, -8.0, 9.0], &[2, 3]).unwrap();
+        let rw = RowWiseUniform::fit(&w, 6);
+        assert_eq!(rw.num_scales(), 2);
+        let fq = FittedQuantizer::fake_quantize(&rw, &w);
+        assert!((fq.data()[0] - 0.01).abs() < 0.002, "row 0 preserved: {}", fq.data()[0]);
+        let per_tensor = UniformQuantizer::fit_min_max(6, w.data());
+        assert_eq!(per_tensor.fake_quantize(0.01), 0.0, "per-tensor crushes row 0");
+    }
+
+    #[test]
+    fn log2_handles_probability_range() {
+        let q = Log2Quantizer::new(4);
+        assert_eq!(q.fake_quantize(1.0), 1.0);
+        assert_eq!(q.fake_quantize(0.5), 0.5);
+        assert_eq!(q.fake_quantize(0.26), 0.25);
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+        assert_eq!(q.fake_quantize(-0.1), 0.0);
+        // Deep tail flushes to zero.
+        assert_eq!(q.fake_quantize(1e-9), 0.0);
+    }
+
+    #[test]
+    fn log2_is_finer_than_uniform_near_zero() {
+        // Probabilities cluster near 0 (paper Fig. 3b); log2 resolves them.
+        let probs: Vec<f32> = (1..1000).map(|i| 1.0 / (i as f32 * 7.0)).collect();
+        let log2 = Log2Quantizer::new(4);
+        let uni = UniformQuantizer::fit_min_max(4, &probs);
+        let t = Tensor::from_vec(probs.clone(), &[probs.len()]).unwrap();
+        let e_log: f64 = FittedQuantizer::mse(&log2, &probs);
+        let e_uni: f64 = uni.mse(&probs);
+        let _ = t;
+        assert!(e_log < e_uni, "log2 {e_log:.3e} vs uniform {e_uni:.3e}");
+    }
+
+    #[test]
+    fn method_routes_post_softmax_to_log2() {
+        let m = FqVit::new();
+        let pv = ParamKey { site: OpSite::in_block(0, OpKind::PvMatmul), operand: Operand::Input };
+        let q = m.fit_activation_for(pv, &[0.1, 0.5], 6);
+        assert!(q.describe().contains("log2"));
+        let other = ParamKey { site: OpSite::in_block(0, OpKind::Fc1), operand: Operand::Input };
+        let q2 = m.fit_activation_for(other, &[0.1, 0.5], 6);
+        assert!(q2.describe().contains("uniform"));
+    }
+
+    #[test]
+    fn weights_are_row_wise() {
+        let m = FqVit::new();
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let q = m.fit_weight(&w, 8);
+        assert!(q.describe().contains("row-wise"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benches, one per paper table/figure: each target times the
+//! regeneration of (a reduced-size instance of) the corresponding
+//! experiment. The full-size tables are produced by the `tables` binary;
+//! these benches quantify the cost of each experiment pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quq_bench::experiments::{fig2, fig3, fig7, table1, table2, table3, table4};
+use quq_bench::Settings;
+use quq_vit::ModelId;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_memory_simulation", |b| b.iter(|| black_box(fig2::run(6))));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_distributions", |b| b.iter(|| black_box(fig3::run(1, 7))));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_mse", |b| b.iter(|| black_box(table1::run(1, 7))));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_partial_accuracy_test_model", |b| {
+        b.iter(|| black_box(table2::cells(Settings::quick(), &[ModelId::Test])))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_full_accuracy_test_model", |b| {
+        b.iter(|| black_box(table3::cells(Settings::quick(), &[ModelId::Test])))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_attention_fidelity", |b| {
+        b.iter(|| black_box(fig7::fidelities(Settings::quick(), 1)))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("table4_cost_model", |b| b.iter(|| black_box(table4::run())));
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig3, bench_table1, bench_table2, bench_table3, bench_fig7, bench_table4
+}
+criterion_main!(experiments);

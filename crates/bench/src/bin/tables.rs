@@ -1,0 +1,47 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p quq-bench --bin tables -- all
+//! cargo run --release -p quq-bench --bin tables -- table3
+//! QUQ_QUICK=1 cargo run --release -p quq-bench --bin tables -- all
+//! ```
+//!
+//! Environment: `QUQ_QUICK=1` (small sizes), `QUQ_CALIB`, `QUQ_EVAL`,
+//! `QUQ_SEED`.
+
+use quq_bench::experiments::{ablations, deployment, fig2, fig3, fig7, table1, table2, table3, table4};
+use quq_bench::Settings;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["fig2", "fig3", "table1", "table2", "table3", "fig7", "table4", "ablations", "deployment"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let settings = Settings::from_env();
+    println!(
+        "settings: calib={} eval={} seed={}\n",
+        settings.calib_images, settings.eval_images, settings.seed
+    );
+    for name in which {
+        let t0 = Instant::now();
+        match name {
+            "fig2" => {
+                println!("{}", fig2::run(6).render());
+                println!("{}", fig2::run(8).render());
+            }
+            "fig3" => println!("{}", fig3::run(4, settings.seed)),
+            "table1" => println!("{}", table1::run(4, settings.seed).render()),
+            "table2" => println!("{}", table2::run(settings).render()),
+            "table3" => println!("{}", table3::run(settings).render()),
+            "fig7" => println!("{}", fig7::run(settings, 4)),
+            "table4" => println!("{}", table4::run().render()),
+            "ablations" => println!("{}", ablations::run(6, 2, settings.seed)),
+            "deployment" => println!("{}", deployment::run().render()),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        println!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablation studies beyond the paper's tables (DESIGN.md §6): what each
+//! design choice of QUQ contributes.
+//!
+//! * **Mode ablation** — force the fitted scheme down to uniform (Mode D,
+//!   equal scales) or to twin-style dual-uniform, isolating the benefit of
+//!   the quadruplet partition.
+//! * **Hyperparameter sweep** — λ_A and the initial quantile `q` around the
+//!   paper's `4 / 0.99` choices.
+//! * **Optimization ablation** — PRA alone vs PRA + Hessian-proxy grid
+//!   search.
+
+use crate::capture_data::{capture_fig3, thin};
+use crate::report::Table;
+use quq_core::{Pra, PraConfig, QuqParams, UniformQuantizer};
+
+/// MSE of the full QUQ fit vs its degenerate forms on one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeAblation {
+    /// Tensor name.
+    pub tensor: &'static str,
+    /// Full QUQ (PRA-fitted) MSE.
+    pub quq: f64,
+    /// Uniform special case (min–max Δ) MSE.
+    pub uniform: f64,
+    /// Dual-uniform (Mode D from the PRA coarse scales) MSE.
+    pub dual_uniform: f64,
+}
+
+/// Runs the mode ablation on the four Fig. 3 tensors at `bits`.
+pub fn mode_ablation(bits: u32, images: usize, seed: u64) -> Vec<ModeAblation> {
+    let data = capture_fig3(images, seed);
+    data.columns()
+        .into_iter()
+        .map(|(tensor, values)| {
+            let sample = thin(values, 16_000);
+            let quq = Pra::with_defaults(bits).run(&sample).params;
+            let uniform = QuqParams::uniform(bits, UniformQuantizer::fit_min_max(bits, &sample).delta())
+                .expect("valid uniform");
+            // Dual uniform: negative and positive sides each min–max uniform
+            // over 2^{b−1} codes (QUQ Mode D without the fine partition),
+            // with the two scales relaxed to a power-of-two ratio (Eq. 4).
+            let neg_max = sample.iter().copied().filter(|&v| v < 0.0).fold(0.0f32, |a, v| a.max(-v));
+            let pos_max = sample.iter().copied().fold(0.0f32, f32::max);
+            let codes = ((1u32 << (bits - 1)) - 1).max(1) as f32;
+            let dual = if neg_max <= 0.0 || pos_max <= 0.0 {
+                // Single-signed data: dual uniform degenerates to uniform.
+                QuqParams::uniform(bits, (neg_max.max(pos_max) / codes).max(f32::MIN_POSITIVE))
+            } else {
+                let (dn, dp) = quq_core::relax(
+                    (neg_max / codes).max(f32::MIN_POSITIVE),
+                    (pos_max / codes).max(f32::MIN_POSITIVE),
+                );
+                QuqParams::new(
+                    bits,
+                    quq_core::SpaceLayout::MergedPos { delta: dp },
+                    quq_core::SpaceLayout::MergedNeg { delta: dn },
+                )
+            };
+            let dual_mse = match dual {
+                Ok(p) => p.mse(&sample),
+                Err(_) => f64::INFINITY,
+            };
+            ModeAblation {
+                tensor,
+                quq: quq.mse(&sample),
+                uniform: uniform.mse(&sample),
+                dual_uniform: dual_mse,
+            }
+        })
+        .collect()
+}
+
+/// λ_A × q sweep: MSE of the PRA fit on the pre-addition tensor.
+pub fn hyperparameter_sweep(bits: u32, images: usize, seed: u64) -> Table {
+    let data = capture_fig3(images, seed);
+    let sample = thin(&data.pre_addition, 16_000);
+    let mut t = Table::new(
+        &format!("Ablation — PRA hyperparameters ({bits}-bit, pre-addition tensor)"),
+        &["λ_A", "q", "mode", "MSE"],
+    );
+    for lambda_a in [2.0f32, 4.0, 8.0] {
+        for q in [0.999f32, 0.99, 0.97] {
+            let cfg = PraConfig { lambda_a, q_init: q, q_acceptable: 0.95 };
+            let outcome = Pra::new(bits, cfg).run(&sample);
+            t.push_row(vec![
+                format!("{lambda_a}"),
+                format!("{q}"),
+                outcome.params.mode().to_string(),
+                format!("{:.3e}", outcome.params.mse(&sample)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders both ablations.
+pub fn run(bits: u32, images: usize, seed: u64) -> String {
+    let mut t = Table::new(
+        &format!("Ablation — quadruplet vs degenerate partitions ({bits}-bit MSE)"),
+        &["Tensor", "QUQ", "Dual uniform", "Uniform"],
+    );
+    for a in mode_ablation(bits, images, seed) {
+        t.push_row(vec![
+            a.tensor.to_string(),
+            format!("{:.3e}", a.quq),
+            format!("{:.3e}", a.dual_uniform),
+            format!("{:.3e}", a.uniform),
+        ]);
+    }
+    format!("{}\n{}", t.render(), hyperparameter_sweep(bits, images, seed).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadruplet_beats_both_degenerate_forms() {
+        for a in mode_ablation(6, 1, 5) {
+            assert!(a.quq <= a.uniform * 1.001, "{}: QUQ {:.3e} vs uniform {:.3e}", a.tensor, a.quq, a.uniform);
+            assert!(
+                a.quq <= a.dual_uniform * 1.001,
+                "{}: QUQ {:.3e} vs dual {:.3e}",
+                a.tensor,
+                a.quq,
+                a.dual_uniform
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_runs_and_has_nine_rows() {
+        let t = hyperparameter_sweep(6, 1, 5);
+        assert_eq!(t.len(), 9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared machinery for the accuracy tables (Tables 2 and 3): synthesize a
+//! model, build teacher-labeled data, calibrate each method, evaluate
+//! agreement.
+
+use crate::settings::Settings;
+use quq_core::pipeline::{evaluate_quantized, PtqConfig};
+use quq_core::quantizer::QuantMethod;
+use quq_vit::{Dataset, ModelConfig, ModelId, VitModel};
+
+/// One accuracy measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// The evaluated model.
+    pub model: ModelId,
+    /// Method name.
+    pub method: &'static str,
+    /// Weight/activation bit-width (shared, as in the paper's tables).
+    pub bits: u32,
+    /// Top-1 agreement with the FP32 teacher (1.0 = FP32 ceiling).
+    pub accuracy: f64,
+}
+
+/// Evaluates every (model × method × config) combination. The FP32 row is
+/// implicit: agreement 1.0 by construction.
+///
+/// # Panics
+///
+/// Panics on backend failures (synthetic pipelines never fail once
+/// calibrated on the same model).
+pub fn evaluate_grid(
+    models: &[ModelId],
+    methods: &[(&'static str, &dyn QuantMethod)],
+    configs: &[PtqConfig],
+    settings: Settings,
+) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for &id in models {
+        let model = VitModel::synthesize(ModelConfig::eval_scale(id), settings.seed ^ id as u64);
+        let calib = Dataset::calibration(model.config(), settings.calib_images, settings.seed + 1);
+        let eval = Dataset::teacher_labeled_confident(&model, settings.eval_images, settings.seed + 2)
+            .expect("teacher labeling");
+        for &cfg in configs {
+            for &(name, method) in methods {
+                let acc = evaluate_quantized(method, &model, &calib, &eval, cfg)
+                    .expect("quantized evaluation");
+                out.push(Cell { model: id, method: name, bits: cfg.bits_a, accuracy: acc });
+            }
+        }
+    }
+    out
+}
+
+/// Formats an accuracy as the tables do (percent with two decimals).
+pub fn pct(a: f64) -> String {
+    format!("{:.2}", a * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_core::QuqMethod;
+
+    #[test]
+    fn grid_covers_all_combinations() {
+        let method = QuqMethod::without_optimization();
+        let methods: Vec<(&'static str, &dyn QuantMethod)> = vec![("QUQ", &method)];
+        let cells = evaluate_grid(
+            &[ModelId::Test],
+            &methods,
+            &[PtqConfig::full_w8a8()],
+            Settings::quick(),
+        );
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].accuracy >= 0.0 && cells[0].accuracy <= 1.0);
+        assert_eq!(pct(0.5), "50.00");
+    }
+}

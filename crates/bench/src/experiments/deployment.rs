@@ -1,0 +1,47 @@
+//! Deployment table (beyond-paper): per-image latency, energy and
+//! utilization of every paper model on the QUA, at the Table 4 design
+//! points — the end-to-end view the paper's Fig. 2 + Table 4 imply.
+
+use crate::report::Table;
+use quq_accel::{deploy, AcceleratorConfig, Scheme, Tech};
+use quq_vit::{ModelConfig, ModelId};
+
+/// Renders the deployment table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Deployment — per-image latency/energy on the QUA (500 MHz, 28 nm model)",
+        &["Model", "Array", "W/A", "GMAC", "Latency (ms)", "Energy (µJ)", "Utilization"],
+    );
+    let tech = Tech::n28();
+    for id in ModelId::PAPER_MODELS {
+        let cfg = ModelConfig::full_scale(id);
+        for &array in &[16usize, 64] {
+            for &bits in &[6u32, 8] {
+                let d = deploy(&cfg, AcceleratorConfig::new(Scheme::Quq, bits, array), tech);
+                t.push_row(vec![
+                    id.to_string(),
+                    format!("{array}×{array}"),
+                    format!("{bits}/{bits}"),
+                    format!("{:.2}", d.macs as f64 / 1e9),
+                    format!("{:.2}", d.latency_ms),
+                    format!("{:.1}", d.energy_uj),
+                    format!("{:.0}%", d.utilization * 100.0),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_models_and_design_points() {
+        let t = run();
+        assert_eq!(t.len(), 6 * 2 * 2);
+        let s = t.render();
+        assert!(s.contains("Swin-S") && s.contains("64×64"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 2 — peak on-chip memory of ViT blocks: partially (PQ) vs fully
+//! (FQ) quantized, across model scales and batch sizes.
+
+use crate::report::Table;
+use quq_accel::{simulate_block, Regime};
+use quq_vit::{ModelConfig, ModelId};
+
+/// One series point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Model identifier.
+    pub model: ModelId,
+    /// Batch size.
+    pub batch: u64,
+    /// Peak memory under partial quantization (KiB).
+    pub pq_kib: f64,
+    /// Peak memory under full quantization (KiB).
+    pub fq_kib: f64,
+}
+
+impl Point {
+    /// PQ overhead relative to FQ.
+    pub fn overhead(&self) -> f64 {
+        self.pq_kib / self.fq_kib - 1.0
+    }
+}
+
+/// Computes the figure's series at 6-bit quantization over the published
+/// (full-scale) model dimensions.
+pub fn series(bits: u32) -> Vec<Point> {
+    let mut out = Vec::new();
+    for id in [ModelId::VitS, ModelId::DeitB, ModelId::VitL] {
+        let cfg = ModelConfig::full_scale(id);
+        for batch in [1u64, 4, 16] {
+            let pq = simulate_block(&cfg, Regime::Pq, bits, batch);
+            let fq = simulate_block(&cfg, Regime::Fq, bits, batch);
+            out.push(Point { model: id, batch, pq_kib: pq.peak_kib(), fq_kib: fq.peak_kib() });
+        }
+    }
+    out
+}
+
+/// Renders the figure as a table.
+pub fn run(bits: u32) -> Table {
+    let mut t = Table::new(
+        &format!("Fig. 2 — peak on-chip memory per ViT block, {bits}-bit quantization"),
+        &["Model", "Batch", "PQ (KiB)", "FQ (KiB)", "PQ overhead"],
+    );
+    for p in series(bits) {
+        t.push_row(vec![
+            p.model.to_string(),
+            p.batch.to_string(),
+            format!("{:.0}", p.pq_kib),
+            format!("{:.0}", p.fq_kib),
+            format!("+{:.1}%", p.overhead() * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_has_nine_points_and_fq_wins_everywhere() {
+        let pts = series(6);
+        assert_eq!(pts.len(), 9);
+        for p in &pts {
+            assert!(p.overhead() > 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn render_includes_all_models() {
+        let s = run(6).render();
+        for m in ["ViT-S", "DeiT-B", "ViT-L"] {
+            assert!(s.contains(m));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 3 — distributions of the four characteristic ViT tensors with the
+//! 4-bit QUQ quantization points the progressive relaxation algorithm
+//! assigns to them, rendered as ASCII histograms.
+
+use crate::capture_data::{capture_fig3, thin};
+use quq_core::{Pra, PraConfig};
+use quq_tensor::stats::Histogram;
+
+/// One panel of the figure.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Tensor name (paper caption).
+    pub name: &'static str,
+    /// The fitted 4-bit QUQ mode.
+    pub mode: quq_core::Mode,
+    /// Quantization points.
+    pub points: Vec<f32>,
+    /// Rendered histogram + point markers.
+    pub rendered: String,
+}
+
+/// Builds the four panels from `images` captured forward passes.
+pub fn panels(images: usize, seed: u64) -> Vec<Panel> {
+    let data = capture_fig3(images, seed);
+    data.columns()
+        .into_iter()
+        .map(|(name, values)| {
+            let sample = thin(values, 60_000);
+            let outcome = Pra::new(4, PraConfig::default()).run(&sample);
+            let params = outcome.params;
+            let lo = sample.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = sample.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 1.0, lo + 1.0) };
+            let hist = Histogram::new(&sample, lo, hi, 64).expect("valid range");
+            let mut rendered = hist.render_ascii(6);
+            // Mark quantization points on a baseline row.
+            let mut marks = vec![' '; 64];
+            for &p in &params.quantization_points() {
+                let idx = (((p - lo) / (hi - lo)) * 64.0) as isize;
+                if (0..64).contains(&idx) {
+                    marks[idx as usize] = '|';
+                }
+            }
+            rendered.push_str(&marks.iter().collect::<String>());
+            rendered.push('\n');
+            rendered.push_str(&format!("range [{lo:.3}, {hi:.3}], mode {}\n", params.mode()));
+            Panel { name, mode: params.mode(), points: params.quantization_points(), rendered }
+        })
+        .collect()
+}
+
+/// Renders the whole figure.
+pub fn run(images: usize, seed: u64) -> String {
+    let mut out = String::from("== Fig. 3 — tensor distributions and 4-bit QUQ points ==\n");
+    for p in panels(images, seed) {
+        out.push_str(&format!("--- {} (mode {}) ---\n{}", p.name, p.mode, p.rendered));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_core::Mode;
+
+    #[test]
+    fn four_panels_with_sensible_modes() {
+        let ps = panels(1, 7);
+        assert_eq!(ps.len(), 4);
+        // Post-Softmax is non-negative → Mode B (paper Fig. 3b).
+        let softmax = &ps[1];
+        assert_eq!(softmax.mode, Mode::B);
+        assert!(softmax.points.iter().all(|&p| p >= 0.0));
+        // Every panel produces a non-empty render and points.
+        for p in &ps {
+            assert!(!p.points.is_empty(), "{}", p.name);
+            assert!(p.rendered.contains('|') || p.rendered.contains('█'));
+        }
+    }
+
+    #[test]
+    fn run_produces_figure_text() {
+        let s = run(1, 7);
+        assert!(s.contains("Query W"));
+        assert!(s.contains("Post-GELU"));
+    }
+}

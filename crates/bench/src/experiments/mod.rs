@@ -1,0 +1,12 @@
+//! Experiment implementations, one module per table/figure of the paper.
+
+pub mod ablations;
+pub mod accuracy;
+pub mod deployment;
+pub mod fig2;
+pub mod fig3;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,96 @@
+//! Table 1 — MSE of BaseQ vs QUQ at 4/6/8 bits on the four Fig. 3 tensors.
+
+use crate::capture_data::{capture_fig3, thin};
+use crate::report::Table;
+use quq_core::quantizer::QuantMethod;
+use quq_core::QuqMethod;
+use quq_baselines::BaseQ;
+
+/// One table row: method, bits, and the four MSEs in paper column order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Method name.
+    pub method: &'static str,
+    /// Quantization bit-width.
+    pub bits: u32,
+    /// MSE per tensor (Query W, post-Softmax, pre-Addition, post-GELU).
+    pub mse: [f64; 4],
+}
+
+/// Computes all rows.
+pub fn rows(images: usize, seed: u64) -> Vec<Row> {
+    let data = capture_fig3(images, seed);
+    let columns = data.columns();
+    // Table 1 measures pure quantization error, so QUQ's grid search runs
+    // under the MSE objective here (the accuracy tables use the
+    // Hessian-proxy objective of §6.1).
+    let quq = QuqMethod { objective: quq_core::Objective::Mse, ..QuqMethod::paper() };
+    let methods: [(&'static str, Box<dyn QuantMethod>); 2] =
+        [("BaseQ", Box::new(BaseQ::new())), ("QUQ", Box::new(quq))];
+    let mut out = Vec::new();
+    for bits in [4u32, 6, 8] {
+        for (name, method) in &methods {
+            let mut mse = [0.0f64; 4];
+            for (i, (_, values)) in columns.iter().enumerate() {
+                let sample = thin(values, 16_000);
+                let q = method.fit_activation(&sample, bits);
+                mse[i] = q.mse(&sample);
+            }
+            out.push(Row { method: name, bits, mse });
+        }
+    }
+    out
+}
+
+/// Renders the table.
+pub fn run(images: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Table 1 — MSEs of different quantization methods",
+        &["Method", "Bit", "Query W", "Post-Softmax A", "Pre-Addition A", "Post-GELU A"],
+    );
+    for r in rows(images, seed) {
+        t.push_row(vec![
+            r.method.to_string(),
+            r.bits.to_string(),
+            format!("{:.2e}", r.mse[0]),
+            format!("{:.2e}", r.mse[1]),
+            format!("{:.2e}", r.mse[2]),
+            format!("{:.2e}", r.mse[3]),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quq_beats_baseq_on_every_tensor_and_bitwidth() {
+        let rs = rows(1, 11);
+        assert_eq!(rs.len(), 6);
+        for bits in [4u32, 6, 8] {
+            let base = rs.iter().find(|r| r.method == "BaseQ" && r.bits == bits).unwrap();
+            let quq = rs.iter().find(|r| r.method == "QUQ" && r.bits == bits).unwrap();
+            for i in 0..4 {
+                assert!(
+                    quq.mse[i] <= base.mse[i],
+                    "bits {bits}, col {i}: QUQ {:.3e} vs BaseQ {:.3e}",
+                    quq.mse[i],
+                    base.mse[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mse_decreases_with_bits() {
+        let rs = rows(1, 11);
+        for method in ["BaseQ", "QUQ"] {
+            let by_bits: Vec<&Row> = rs.iter().filter(|r| r.method == method).collect();
+            for i in 0..4 {
+                assert!(by_bits[0].mse[i] >= by_bits[2].mse[i], "{method} col {i}");
+            }
+        }
+    }
+}

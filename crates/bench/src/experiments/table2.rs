@@ -1,0 +1,66 @@
+//! Table 2 — top-1 agreement of *partially* quantized ViTs at W6/A6:
+//! BaseQ, PTQ4ViT, APQ-ViT, QUQ across the six models.
+
+use super::accuracy::{evaluate_grid, pct, Cell};
+use crate::report::Table;
+use crate::settings::Settings;
+use quq_baselines::{ApqVit, BaseQ, Ptq4Vit};
+use quq_core::pipeline::PtqConfig;
+use quq_core::quantizer::QuantMethod;
+use quq_core::QuqMethod;
+use quq_vit::ModelId;
+
+/// Method names in paper row order.
+pub const METHODS: [&str; 4] = ["BaseQ", "PTQ4ViT", "APQ-ViT", "QUQ"];
+
+/// Computes the table cells.
+pub fn cells(settings: Settings, models: &[ModelId]) -> Vec<Cell> {
+    let baseq = BaseQ::new();
+    let ptq4 = Ptq4Vit::new();
+    let apq = ApqVit::new();
+    let quq = QuqMethod::paper();
+    let methods: Vec<(&'static str, &dyn QuantMethod)> =
+        vec![("BaseQ", &baseq), ("PTQ4ViT", &ptq4), ("APQ-ViT", &apq), ("QUQ", &quq)];
+    evaluate_grid(models, &methods, &[PtqConfig::partial_w6a6()], settings)
+}
+
+/// Renders the table (rows = methods, columns = models, like the paper).
+pub fn run(settings: Settings) -> Table {
+    let models = ModelId::PAPER_MODELS;
+    let all = cells(settings, &models);
+    let mut header = vec!["Method".to_string(), "W/A".to_string()];
+    header.extend(models.iter().map(|m| m.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table 2 — agreement of partially quantized ViTs (FP32 teacher = 100.00)",
+        &header_refs,
+    );
+    t.push_row(
+        std::iter::once("Original".to_string())
+            .chain(std::iter::once("32/32".to_string()))
+            .chain(models.iter().map(|_| "100.00".to_string()))
+            .collect(),
+    );
+    for method in METHODS {
+        let mut row = vec![method.to_string(), "6/6".to_string()];
+        for m in models {
+            let cell = all.iter().find(|c| c.model == m && c.method == method).expect("cell");
+            row.push(pct(cell.accuracy));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_orders_quq_at_or_above_baseq() {
+        // One small model, quick sizes: QUQ should not lose to BaseQ.
+        let cells = cells(Settings::quick(), &[ModelId::Test]);
+        let acc = |m: &str| cells.iter().find(|c| c.method == m).unwrap().accuracy;
+        assert!(acc("QUQ") >= acc("BaseQ"), "QUQ {} vs BaseQ {}", acc("QUQ"), acc("BaseQ"));
+    }
+}

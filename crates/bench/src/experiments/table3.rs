@@ -1,0 +1,89 @@
+//! Table 3 — top-1 agreement of *fully* quantized ViTs at W6/A6 and W8/A8:
+//! BaseQ, BiScaled-FxP, FQ-ViT, QUQ across the six models.
+
+use super::accuracy::{evaluate_grid, pct, Cell};
+use crate::report::Table;
+use crate::settings::Settings;
+use quq_baselines::{BaseQ, BiScaledFxp, FqVit};
+use quq_core::pipeline::PtqConfig;
+use quq_core::quantizer::QuantMethod;
+use quq_core::QuqMethod;
+use quq_vit::ModelId;
+
+/// Method names in paper row order.
+pub const METHODS: [&str; 4] = ["BaseQ", "BiScaled-FxP", "FQ-ViT", "QUQ"];
+
+/// Computes all cells for both bit-widths.
+pub fn cells(settings: Settings, models: &[ModelId]) -> Vec<Cell> {
+    let baseq = BaseQ::new();
+    let biscaled = BiScaledFxp::new();
+    let fqvit = FqVit::new();
+    let quq = QuqMethod::paper();
+    let methods: Vec<(&'static str, &dyn QuantMethod)> = vec![
+        ("BaseQ", &baseq),
+        ("BiScaled-FxP", &biscaled),
+        ("FQ-ViT", &fqvit),
+        ("QUQ", &quq),
+    ];
+    evaluate_grid(
+        models,
+        &methods,
+        &[PtqConfig::full_w6a6(), PtqConfig::full_w8a8()],
+        settings,
+    )
+}
+
+/// Renders the table (methods × bit-widths as rows, models as columns).
+pub fn run(settings: Settings) -> Table {
+    let models = ModelId::PAPER_MODELS;
+    let all = cells(settings, &models);
+    let mut header = vec!["Method".to_string(), "W/A".to_string()];
+    header.extend(models.iter().map(|m| m.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Table 3 — agreement of fully quantized ViTs (FP32 teacher = 100.00)",
+        &header_refs,
+    );
+    t.push_row(
+        std::iter::once("Original".to_string())
+            .chain(std::iter::once("32/32".to_string()))
+            .chain(models.iter().map(|_| "100.00".to_string()))
+            .collect(),
+    );
+    for bits in [6u32, 8] {
+        for method in METHODS {
+            let mut row = vec![method.to_string(), format!("{bits}/{bits}")];
+            for m in models {
+                let cell = all
+                    .iter()
+                    .find(|c| c.model == m && c.method == method && c.bits == bits)
+                    .expect("cell");
+                row.push(pct(cell.accuracy));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_quq_leading_at_6_bit_full() {
+        let cells = cells(Settings::quick(), &[ModelId::Test]);
+        let acc = |m: &str, b: u32| {
+            cells.iter().find(|c| c.method == m && c.bits == b).unwrap().accuracy
+        };
+        // The headline claim: QUQ is the only viable 6-bit full quantizer.
+        assert!(
+            acc("QUQ", 6) >= acc("BaseQ", 6),
+            "QUQ {} vs BaseQ {}",
+            acc("QUQ", 6),
+            acc("BaseQ", 6)
+        );
+        // And 8-bit is no worse than 6-bit for QUQ.
+        assert!(acc("QUQ", 8) >= acc("QUQ", 6) - 0.15);
+    }
+}

@@ -1,0 +1,76 @@
+//! Run-size settings for the experiment harness, overridable via
+//! environment variables so quick smoke runs and full reproductions share
+//! one binary.
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Settings {
+    /// Calibration images (paper §6.1 uses 32).
+    pub calib_images: usize,
+    /// Teacher-labeled evaluation images per model.
+    pub eval_images: usize,
+    /// Master seed for model synthesis and data generation.
+    pub seed: u64,
+}
+
+impl Settings {
+    /// Paper-faithful defaults: 32 calibration images, 32 evaluation images.
+    pub fn paper() -> Self {
+        Self { calib_images: 32, eval_images: 32, seed: 20240623 }
+    }
+
+    /// Tiny sizes for smoke tests.
+    pub fn quick() -> Self {
+        Self { calib_images: 4, eval_images: 8, seed: 20240623 }
+    }
+
+    /// Reads `QUQ_CALIB`, `QUQ_EVAL`, `QUQ_SEED` from the environment on
+    /// top of the paper defaults; `QUQ_QUICK=1` switches to quick sizes.
+    pub fn from_env() -> Self {
+        let mut s = if std::env::var("QUQ_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Self::quick()
+        } else {
+            Self::paper()
+        };
+        if let Ok(v) = std::env::var("QUQ_CALIB") {
+            if let Ok(n) = v.parse() {
+                s.calib_images = n;
+            }
+        }
+        if let Ok(v) = std::env::var("QUQ_EVAL") {
+            if let Ok(n) = v.parse() {
+                s.eval_images = n;
+            }
+        }
+        if let Ok(v) = std::env::var("QUQ_SEED") {
+            if let Ok(n) = v.parse() {
+                s.seed = n;
+            }
+        }
+        s
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_6_1() {
+        assert_eq!(Settings::paper().calib_images, 32);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Settings::quick();
+        let p = Settings::paper();
+        assert!(q.calib_images < p.calib_images);
+        assert!(q.eval_images < p.eval_images);
+    }
+}

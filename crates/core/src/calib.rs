@@ -1,0 +1,325 @@
+//! Calibration-sample collection.
+//!
+//! The paper calibrates on 32 images (§6.1). [`Collector`] is a [`Backend`]
+//! that executes exactly like FP32 while recording, per quantizable operand
+//! (a [`ParamKey`]), a reservoir-subsampled set of the values that flowed
+//! through it, plus one copy of every weight tensor it saw. PTQ pipelines
+//! then fit per-tensor quantizers from these samples.
+
+use quq_tensor::{linalg, Tensor};
+use quq_vit::backend::{Backend, OpKind, OpSite, Result};
+use std::collections::BTreeMap;
+
+/// Which operand of an operation a parameter set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// The first (or only) activation input.
+    Input,
+    /// The second activation input (matmul RHS, residual branch).
+    InputB,
+}
+
+/// Identifies one quantized activation tensor edge in the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ParamKey {
+    /// The operation consuming the tensor.
+    pub site: OpSite,
+    /// Which of its operands.
+    pub operand: Operand,
+}
+
+impl ParamKey {
+    /// Key for the first input of `site`.
+    pub fn input(site: OpSite) -> Self {
+        Self { site, operand: Operand::Input }
+    }
+
+    /// Key for the second input of `site`.
+    pub fn input_b(site: OpSite) -> Self {
+        Self { site, operand: Operand::InputB }
+    }
+}
+
+impl std::fmt::Display for ParamKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{:?}", self.site, self.operand)
+    }
+}
+
+/// Quantization coverage — the paper's central dichotomy (Fig. 1/2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coverage {
+    /// Only GEMM inputs are quantized (PTQ4ViT/APQ-ViT style, Table 2).
+    Partial,
+    /// Every activation edge is quantized (FQ-ViT/QUQ style, Table 3).
+    Full,
+}
+
+impl Coverage {
+    /// Whether operands of `kind` are quantized under this coverage.
+    pub fn covers(self, kind: OpKind) -> bool {
+        match self {
+            Coverage::Partial => kind.is_gemm(),
+            Coverage::Full => true,
+        }
+    }
+}
+
+/// Fixed-capacity reservoir sample with exact min/max retention.
+///
+/// Keeps every value until `cap`, then replaces uniformly at random
+/// (deterministic LCG), while separately tracking the exact extremes so
+/// range-sensitive fitting (Algorithm 2 uses `Max`) never loses outliers.
+#[derive(Debug, Clone)]
+pub struct SampleSet {
+    values: Vec<f32>,
+    cap: usize,
+    seen: u64,
+    state: u64,
+    min: f32,
+    max: f32,
+}
+
+impl SampleSet {
+    /// Creates an empty reservoir with the given capacity.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        Self {
+            values: Vec::new(),
+            cap: cap.max(16),
+            seen: 0,
+            state: seed | 1,
+            min: f32::INFINITY,
+            max: f32::NEG_INFINITY,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// Adds values to the reservoir.
+    pub fn extend_from(&mut self, data: &[f32]) {
+        for &v in data {
+            self.seen += 1;
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+            if self.values.len() < self.cap {
+                self.values.push(v);
+            } else {
+                // Classic reservoir replacement: keep with probability cap/seen.
+                let j = (self.next_u64() % self.seen) as usize;
+                if j < self.cap {
+                    self.values[j] = v;
+                }
+            }
+        }
+    }
+
+    /// The collected sample, with the exact extremes appended so fitting
+    /// sees the true range.
+    pub fn to_values(&self) -> Vec<f32> {
+        let mut out = self.values.clone();
+        if self.seen > 0 {
+            out.push(self.min);
+            out.push(self.max);
+        }
+        out
+    }
+
+    /// Number of values observed (not retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Default per-site reservoir capacity.
+pub const DEFAULT_SAMPLE_CAP: usize = 32_768;
+
+/// A calibration collector: executes FP32 and records operand samples and
+/// weight tensors under the configured coverage.
+#[derive(Debug)]
+pub struct Collector {
+    coverage: Coverage,
+    cap: usize,
+    samples: BTreeMap<ParamKey, SampleSet>,
+    weights: BTreeMap<OpSite, Tensor>,
+}
+
+impl Collector {
+    /// Creates a collector for the given coverage.
+    pub fn new(coverage: Coverage) -> Self {
+        Self::with_capacity(coverage, DEFAULT_SAMPLE_CAP)
+    }
+
+    /// Creates a collector with a custom per-site reservoir capacity.
+    pub fn with_capacity(coverage: Coverage, cap: usize) -> Self {
+        Self { coverage, cap, samples: BTreeMap::new(), weights: BTreeMap::new() }
+    }
+
+    fn record(&mut self, key: ParamKey, t: &Tensor) {
+        let cap = self.cap;
+        let seed = (key.site.block.unwrap_or(usize::MAX) as u64) << 8 | key.site.kind as u64;
+        self.samples.entry(key).or_insert_with(|| SampleSet::new(cap, seed)).extend_from(t.data());
+    }
+
+    /// Recorded activation samples.
+    pub fn samples(&self) -> &BTreeMap<ParamKey, SampleSet> {
+        &self.samples
+    }
+
+    /// Recorded weight tensors (one per linear site).
+    pub fn weights(&self) -> &BTreeMap<OpSite, Tensor> {
+        &self.weights
+    }
+
+    /// The configured coverage.
+    pub fn coverage(&self) -> Coverage {
+        self.coverage
+    }
+
+    /// Consumes the collector, returning samples and weights.
+    pub fn into_parts(self) -> (BTreeMap<ParamKey, SampleSet>, BTreeMap<OpSite, Tensor>) {
+        (self.samples, self.weights)
+    }
+}
+
+impl Backend for Collector {
+    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), x);
+            self.weights.entry(site).or_insert_with(|| w.clone());
+        }
+        Ok(linalg::linear(x, w, b)?)
+    }
+
+    fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), a);
+            self.record(ParamKey::input_b(site), b);
+        }
+        Ok(linalg::matmul(a, b)?)
+    }
+
+    fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), a);
+            self.record(ParamKey::input_b(site), b);
+        }
+        Ok(linalg::matmul_nt(a, b)?)
+    }
+
+    fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), x);
+        }
+        Ok(quq_tensor::nn::softmax(x)?)
+    }
+
+    fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), x);
+        }
+        Ok(quq_tensor::nn::gelu_tensor(x))
+    }
+
+    fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), x);
+        }
+        Ok(quq_tensor::nn::layer_norm(x, g, b, 1e-6)?)
+    }
+
+    fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if self.coverage.covers(site.kind) {
+            self.record(ParamKey::input(site), a);
+            self.record(ParamKey::input_b(site), b);
+        }
+        Ok(a.add(b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quq_vit::{Fp32Backend, ModelConfig, VitModel};
+
+    #[test]
+    fn reservoir_keeps_everything_under_cap() {
+        let mut s = SampleSet::new(100, 7);
+        s.extend_from(&[1.0, 2.0, 3.0]);
+        let v = s.to_values();
+        assert_eq!(s.seen(), 3);
+        // 3 values + appended extremes.
+        assert_eq!(v.len(), 5);
+        assert!(v.contains(&1.0) && v.contains(&3.0));
+    }
+
+    #[test]
+    fn reservoir_caps_but_keeps_extremes() {
+        let mut s = SampleSet::new(64, 7);
+        let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.37).sin()).collect();
+        s.extend_from(&data);
+        s.extend_from(&[99.0, -99.0]);
+        let v = s.to_values();
+        assert!(v.len() <= 64 + 2);
+        assert!(v.contains(&99.0));
+        assert!(v.contains(&-99.0));
+    }
+
+    #[test]
+    fn partial_coverage_collects_only_gemm_sites() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 5);
+        let img = model.config().dummy_image(0.2);
+        let mut c = Collector::with_capacity(Coverage::Partial, 1024);
+        let out = model.forward(&img, &mut c).unwrap();
+        // Execution identical to FP32.
+        let reference = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        assert_eq!(out, reference);
+        assert!(c.samples().keys().all(|k| k.site.kind.is_gemm()));
+        assert!(c.samples().keys().any(|k| k.site.kind == OpKind::Qkv));
+        assert!(!c.weights().is_empty());
+    }
+
+    #[test]
+    fn full_coverage_collects_special_functions_too() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 5);
+        let img = model.config().dummy_image(0.2);
+        let mut c = Collector::with_capacity(Coverage::Full, 1024);
+        model.forward(&img, &mut c).unwrap();
+        let kinds: std::collections::BTreeSet<OpKind> =
+            c.samples().keys().map(|k| k.site.kind).collect();
+        for k in [OpKind::Softmax, OpKind::Gelu, OpKind::Norm1, OpKind::Residual1, OpKind::Residual2] {
+            assert!(kinds.contains(&k), "missing {k}");
+        }
+        // Residual adds record both operands.
+        let res_site = OpSite::in_block(0, OpKind::Residual1);
+        assert!(c.samples().contains_key(&ParamKey::input(res_site)));
+        assert!(c.samples().contains_key(&ParamKey::input_b(res_site)));
+    }
+
+    #[test]
+    fn weights_recorded_once_per_site() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 5);
+        let img = model.config().dummy_image(0.2);
+        let mut c = Collector::with_capacity(Coverage::Partial, 256);
+        model.forward(&img, &mut c).unwrap();
+        model.forward(&img, &mut c).unwrap();
+        // Two forwards, still one weight per site; qkv weights match model.
+        let qkv_site = OpSite::in_block(0, OpKind::Qkv);
+        let w = c.weights().get(&qkv_site).unwrap();
+        assert_eq!(w, &model.weights().stages[0].blocks[0].qkv_w);
+    }
+
+    #[test]
+    fn coverage_predicate_matches_figure1() {
+        assert!(Coverage::Partial.covers(OpKind::Fc1));
+        assert!(!Coverage::Partial.covers(OpKind::Softmax));
+        assert!(Coverage::Full.covers(OpKind::Softmax));
+        assert!(Coverage::Full.covers(OpKind::Residual2));
+    }
+}

@@ -1,0 +1,224 @@
+//! Binary wire format for QUB tensor streams — the artifact a host would
+//! ship to a QUA-equipped device.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "QUB1"          4 bytes
+//! bits   u8              QUB width b (2..=8)
+//! fine   u8              fine FC register
+//! coarse u8              coarse FC register
+//! pad    u8              reserved, zero
+//! delta  f32             base scale Δ
+//! rank   u32             number of dimensions
+//! dims   u64 × rank      shape
+//! data   u8 × ∏dims      QUB payload bytes
+//! ```
+//!
+//! The header carries exactly the sideband the paper's Fig. 5 defines: the
+//! two FC registers plus the base scale; [`crate::qub::params_from_fc`]
+//! reconstructs the full quantizer from it.
+
+use crate::qub::{params_from_fc, FcRegisters, QubTensor};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Magic prefix of the format.
+pub const MAGIC: [u8; 4] = *b"QUB1";
+
+/// Errors of the QUB wire format.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the byte stream.
+    Format(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Format(m) => write!(f, "malformed QUB stream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Serializes a QUB tensor. A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_qub_tensor<W: Write>(mut w: W, t: &QubTensor) -> Result<(), WireError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&[t.bits as u8, t.fc.fine, t.fc.coarse, 0])?;
+    w.write_all(&t.base_delta.to_le_bytes())?;
+    w.write_all(&(t.shape.len() as u32).to_le_bytes())?;
+    for &d in &t.shape {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    w.write_all(&t.bytes)?;
+    Ok(())
+}
+
+/// Deserializes a QUB tensor. A `&mut` reference may be passed as the
+/// reader.
+///
+/// # Errors
+///
+/// Returns [`WireError::Format`] for bad magic, widths outside `2..=8`,
+/// non-positive scales, FC registers that do not describe a valid
+/// quantizer, or truncated payloads; I/O errors are propagated.
+pub fn read_qub_tensor<R: Read>(mut r: R) -> Result<QubTensor, WireError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(WireError::Format(format!("bad magic {magic:02x?}")));
+    }
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    let bits = head[0] as u32;
+    if !(2..=8).contains(&bits) {
+        return Err(WireError::Format(format!("unsupported bit-width {bits}")));
+    }
+    let fc = FcRegisters { fine: head[1], coarse: head[2] };
+    let mut f4 = [0u8; 4];
+    r.read_exact(&mut f4)?;
+    let base_delta = f32::from_le_bytes(f4);
+    if !(base_delta.is_finite() && base_delta > 0.0) {
+        return Err(WireError::Format(format!("invalid base scale {base_delta}")));
+    }
+    // Validate that the sideband describes a real quantizer.
+    params_from_fc(bits, fc, base_delta)
+        .map_err(|e| WireError::Format(format!("invalid FC registers: {e}")))?;
+    r.read_exact(&mut f4)?;
+    let rank = u32::from_le_bytes(f4) as usize;
+    if rank > 8 {
+        return Err(WireError::Format(format!("implausible rank {rank}")));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    let mut d8 = [0u8; 8];
+    let mut len: u128 = 1;
+    for _ in 0..rank {
+        r.read_exact(&mut d8)?;
+        let d = u64::from_le_bytes(d8);
+        len = len.saturating_mul(d as u128);
+        shape.push(d as usize);
+    }
+    if len > (1 << 34) {
+        return Err(WireError::Format(format!("implausible element count {len}")));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    r.read_exact(&mut bytes)?;
+    let limit = (1u16 << bits) as u16;
+    if let Some(bad) = bytes.iter().find(|&&b| b as u16 >= limit) {
+        return Err(WireError::Format(format!("payload byte {bad:#04x} exceeds {bits}-bit QUB range")));
+    }
+    Ok(QubTensor { bytes, shape, fc, bits, base_delta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qub::QubCodec;
+    use crate::relax::Pra;
+    use quq_tensor::rng::OutlierMixture;
+    use quq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_tensor(bits: u32) -> QubTensor {
+        let mut rng = StdRng::seed_from_u64(17);
+        let vals = OutlierMixture::new(0.04, 0.5, 0.02).sample_vec(&mut rng, 96);
+        let params = Pra::with_defaults(bits).run(&vals).params;
+        QubCodec::new(params).encode_tensor(&Tensor::from_vec(vals, &[8, 12]).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for bits in [4u32, 6, 8] {
+            let t = sample_tensor(bits);
+            let mut buf = Vec::new();
+            write_qub_tensor(&mut buf, &t).unwrap();
+            let back = read_qub_tensor(buf.as_slice()).unwrap();
+            assert_eq!(back, t);
+            // And the decoded values match too.
+            assert_eq!(back.dequantize(), t.dequantize());
+        }
+    }
+
+    #[test]
+    fn params_survive_the_wire_via_fc_registers() {
+        let t = sample_tensor(8);
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &t).unwrap();
+        let back = read_qub_tensor(buf.as_slice()).unwrap();
+        let params = params_from_fc(back.bits, back.fc, back.base_delta).unwrap();
+        // Reconstructed parameters dequantize every byte identically.
+        let codec = QubCodec::new(params);
+        for &b in &back.bytes {
+            let via_params = codec.dequantize(b);
+            let via_stream =
+                crate::qub::decode_qub(b, back.fc, back.bits).scaled() as f32 * back.base_delta;
+            assert!((via_params - via_stream).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Format(_))));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn out_of_range_payload_is_rejected() {
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
+        let last = buf.len() - 1;
+        buf[last] = 0xFF; // 6-bit QUBs must stay below 64
+        let err = read_qub_tensor(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn invalid_scale_is_rejected() {
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
+        // Overwrite delta with NaN.
+        buf[8..12].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Format(_))));
+    }
+
+    #[test]
+    fn implausible_rank_is_rejected() {
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
+        buf[12..16].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Format(_))));
+    }
+}

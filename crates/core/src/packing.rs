@@ -1,0 +1,144 @@
+//! Sub-byte packing of QUB streams.
+//!
+//! A *b*-bit QUB occupies `b` bits; the memory savings of Fig. 2 and the
+//! bandwidth claims of the accelerator assume dense packing (e.g. four
+//! 6-bit QUBs in three bytes). [`pack_qubs`]/[`unpack_qubs`] implement the
+//! little-endian bit stream both simulator and wire format can share.
+
+use crate::qub::QubTensor;
+
+/// Packs `b`-bit codes (stored one-per-byte) into a dense little-endian bit
+/// stream.
+///
+/// # Panics
+///
+/// Panics when `bits` is outside `2..=8` or any code exceeds `b` bits.
+pub fn pack_qubs(codes: &[u8], bits: u32) -> Vec<u8> {
+    assert!((2..=8).contains(&bits), "bit-width {bits} outside 2..=8");
+    let mask = ((1u16 << bits) - 1) as u16;
+    let total_bits = codes.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    let mut bitpos = 0usize;
+    for &c in codes {
+        assert!(c as u16 <= mask, "code {c:#04x} exceeds {bits} bits");
+        let byte = bitpos / 8;
+        let off = bitpos % 8;
+        let v = (c as u16) << off;
+        out[byte] |= (v & 0xFF) as u8;
+        if off + bits as usize > 8 {
+            out[byte + 1] |= (v >> 8) as u8;
+        }
+        bitpos += bits as usize;
+    }
+    out
+}
+
+/// Unpacks `count` `b`-bit codes from a dense little-endian bit stream.
+///
+/// # Panics
+///
+/// Panics when `bits` is outside `2..=8` or the stream is too short.
+pub fn unpack_qubs(packed: &[u8], count: usize, bits: u32) -> Vec<u8> {
+    assert!((2..=8).contains(&bits), "bit-width {bits} outside 2..=8");
+    let need = (count * bits as usize).div_ceil(8);
+    assert!(packed.len() >= need, "stream too short: {} < {need}", packed.len());
+    let mask = ((1u16 << bits) - 1) as u16;
+    let mut out = Vec::with_capacity(count);
+    let mut bitpos = 0usize;
+    for _ in 0..count {
+        let byte = bitpos / 8;
+        let off = bitpos % 8;
+        let mut v = (packed[byte] as u16) >> off;
+        if off + bits as usize > 8 {
+            v |= (packed[byte + 1] as u16) << (8 - off);
+        }
+        out.push((v & mask) as u8);
+        bitpos += bits as usize;
+    }
+    out
+}
+
+impl QubTensor {
+    /// Densely packed payload (the storage format Fig. 2 accounts).
+    pub fn packed_bytes(&self) -> Vec<u8> {
+        pack_qubs(&self.bytes, self.bits)
+    }
+
+    /// Rebuilds a tensor from a packed payload plus its sideband.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the payload is too short for the shape.
+    pub fn from_packed(
+        packed: &[u8],
+        shape: Vec<usize>,
+        fc: crate::qub::FcRegisters,
+        bits: u32,
+        base_delta: f32,
+    ) -> Self {
+        let count = shape.iter().product();
+        Self { bytes: unpack_qubs(packed, count, bits), shape, fc, bits, base_delta }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qub::QubCodec;
+    use crate::relax::Pra;
+    use quq_tensor::rng::OutlierMixture;
+    use quq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pack_unpack_roundtrip_all_widths() {
+        for bits in 2u32..=8 {
+            let mask = ((1u16 << bits) - 1) as u8;
+            let codes: Vec<u8> = (0..997u32).map(|i| (i.wrapping_mul(31) % 256) as u8 & mask).collect();
+            let packed = pack_qubs(&codes, bits);
+            assert_eq!(packed.len(), (codes.len() * bits as usize).div_ceil(8));
+            let back = unpack_qubs(&packed, codes.len(), bits);
+            assert_eq!(back, codes, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn six_bit_packing_saves_a_quarter() {
+        let codes = vec![0x3Fu8; 4000];
+        let packed = pack_qubs(&codes, 6);
+        assert_eq!(packed.len(), 3000);
+    }
+
+    #[test]
+    fn four_bit_packing_is_nibbles() {
+        let packed = pack_qubs(&[0x1, 0x2, 0x3], 4);
+        assert_eq!(packed, vec![0x21, 0x03]);
+        assert_eq!(unpack_qubs(&packed, 3, 4), vec![0x1, 0x2, 0x3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_code_rejected() {
+        let _ = pack_qubs(&[0x40], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_stream_rejected() {
+        let _ = unpack_qubs(&[0xFF], 3, 6);
+    }
+
+    #[test]
+    fn qub_tensor_packing_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let vals = OutlierMixture::new(0.04, 0.5, 0.02).sample_vec(&mut rng, 123);
+        let params = Pra::with_defaults(6).run(&vals).params;
+        let qt = QubCodec::new(params).encode_tensor(&Tensor::from_vec(vals, &[123]).unwrap());
+        let packed = qt.packed_bytes();
+        assert!(packed.len() < qt.bytes.len());
+        let back = QubTensor::from_packed(&packed, qt.shape.clone(), qt.fc, qt.bits, qt.base_delta);
+        assert_eq!(back, qt);
+        assert_eq!(back.dequantize(), qt.dequantize());
+    }
+}

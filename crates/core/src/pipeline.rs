@@ -1,0 +1,327 @@
+//! End-to-end PTQ pipelines: calibrate → fit → execute quantized.
+//!
+//! [`calibrate`] runs the calibration images through a [`Collector`], fits a
+//! quantizer for every recorded operand with the chosen [`QuantMethod`], and
+//! pre-quantizes the weights. The resulting [`PtqTables`] build a
+//! [`QuantBackend`] that fake-quantizes every covered operand during
+//! inference — the functional model of a partially (Table 2) or fully
+//! (Table 3) quantized ViT. Bit-exact integer execution of the same
+//! arithmetic lives in `quq-accel`.
+
+use crate::calib::{Collector, Coverage, Operand, ParamKey};
+use crate::quantizer::QuantMethod;
+use quq_tensor::{linalg, Tensor};
+use quq_vit::backend::{Backend, BackendError, OpSite, Result};
+use quq_vit::{Dataset, VitModel};
+use std::collections::BTreeMap;
+
+/// Bit-widths and coverage of one PTQ experiment (the `W/A` column of the
+/// paper's tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PtqConfig {
+    /// Weight bit-width.
+    pub bits_w: u32,
+    /// Activation bit-width.
+    pub bits_a: u32,
+    /// Partial (GEMM-only) or full quantization.
+    pub coverage: Coverage,
+}
+
+impl PtqConfig {
+    /// `W6/A6` partial quantization (Table 2).
+    pub fn partial_w6a6() -> Self {
+        Self { bits_w: 6, bits_a: 6, coverage: Coverage::Partial }
+    }
+
+    /// `W6/A6` full quantization (Table 3, upper half).
+    pub fn full_w6a6() -> Self {
+        Self { bits_w: 6, bits_a: 6, coverage: Coverage::Full }
+    }
+
+    /// `W8/A8` full quantization (Table 3, lower half).
+    pub fn full_w8a8() -> Self {
+        Self { bits_w: 8, bits_a: 8, coverage: Coverage::Full }
+    }
+}
+
+/// Fitted quantization state of one model under one method and config.
+pub struct PtqTables {
+    config: PtqConfig,
+    method_name: &'static str,
+    activations: BTreeMap<ParamKey, Box<dyn crate::quantizer::FittedQuantizer>>,
+    /// Weights pre-fake-quantized at calibration time (per linear site).
+    quantized_weights: BTreeMap<OpSite, Tensor>,
+    /// The fitted weight quantizers (integer paths need their parameters).
+    weight_quantizers: BTreeMap<OpSite, Box<dyn crate::quantizer::FittedQuantizer>>,
+    /// The original FP32 weights (integer paths re-encode from these).
+    original_weights: BTreeMap<OpSite, Tensor>,
+}
+
+impl std::fmt::Debug for PtqTables {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PtqTables")
+            .field("config", &self.config)
+            .field("method", &self.method_name)
+            .field("activation_sites", &self.activations.len())
+            .field("weight_sites", &self.quantized_weights.len())
+            .finish()
+    }
+}
+
+impl PtqTables {
+    /// The experiment configuration.
+    pub fn config(&self) -> PtqConfig {
+        self.config
+    }
+
+    /// The fitting method's name.
+    pub fn method_name(&self) -> &'static str {
+        self.method_name
+    }
+
+    /// Number of fitted activation quantizers.
+    pub fn activation_sites(&self) -> usize {
+        self.activations.len()
+    }
+
+    /// Fitted quantizer for an operand, if present.
+    pub fn activation(&self, key: &ParamKey) -> Option<&dyn crate::quantizer::FittedQuantizer> {
+        self.activations.get(key).map(|b| b.as_ref())
+    }
+
+    /// Human-readable description of a weight quantizer.
+    pub fn weight_description(&self, site: &OpSite) -> Option<String> {
+        self.weight_quantizers.get(site).map(|q| q.describe())
+    }
+
+    /// Fitted quantizer for a weight site, if present.
+    pub fn weight_quantizer(&self, site: &OpSite) -> Option<&dyn crate::quantizer::FittedQuantizer> {
+        self.weight_quantizers.get(site).map(|b| b.as_ref())
+    }
+
+    /// The original (FP32) weight tensor recorded for a site.
+    pub fn original_weight(&self, site: &OpSite) -> Option<&Tensor> {
+        self.original_weights.get(site)
+    }
+
+    /// Builds an execution backend over these tables.
+    pub fn backend(&self) -> QuantBackend<'_> {
+        QuantBackend { tables: self }
+    }
+}
+
+/// Calibrates `model` on `calibration` images with `method` (paper §6.1 uses
+/// 32 images), returning the fitted tables.
+///
+/// # Errors
+///
+/// Propagates backend errors from the calibration forward passes.
+pub fn calibrate(
+    method: &dyn QuantMethod,
+    model: &VitModel,
+    calibration: &Dataset,
+    config: PtqConfig,
+) -> Result<PtqTables> {
+    let mut collector = Collector::new(config.coverage);
+    for img in &calibration.images {
+        model.forward(img, &mut collector)?;
+    }
+    let (samples, weights) = collector.into_parts();
+    let mut activations = BTreeMap::new();
+    for (key, set) in samples {
+        let fitted = method.fit_activation_for(key, &set.to_values(), config.bits_a);
+        activations.insert(key, fitted);
+    }
+    let mut quantized_weights = BTreeMap::new();
+    let mut weight_quantizers = BTreeMap::new();
+    let mut original_weights = BTreeMap::new();
+    for (site, w) in weights {
+        let q = method.fit_weight(&w, config.bits_w);
+        quantized_weights.insert(site, q.fake_quantize(&w));
+        weight_quantizers.insert(site, q);
+        original_weights.insert(site, w);
+    }
+    Ok(PtqTables {
+        config,
+        method_name: method.name(),
+        activations,
+        quantized_weights,
+        weight_quantizers,
+        original_weights,
+    })
+}
+
+/// Quantized-execution backend: fake-quantizes every covered operand and
+/// swaps weights for their pre-quantized copies.
+#[derive(Debug)]
+pub struct QuantBackend<'a> {
+    tables: &'a PtqTables,
+}
+
+impl QuantBackend<'_> {
+    fn coverage(&self) -> Coverage {
+        self.tables.config.coverage
+    }
+
+    fn apply(&self, site: OpSite, operand: Operand, t: &Tensor) -> Result<Tensor> {
+        let key = ParamKey { site, operand };
+        match self.tables.activations.get(&key) {
+            Some(q) => Ok(q.fake_quantize(t)),
+            None => Err(BackendError::MissingParams(site)),
+        }
+    }
+}
+
+impl Backend for QuantBackend<'_> {
+    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(linalg::linear(x, w, b)?);
+        }
+        let xq = self.apply(site, Operand::Input, x)?;
+        let wq = self.tables.quantized_weights.get(&site).ok_or(BackendError::MissingParams(site))?;
+        Ok(linalg::linear(&xq, wq, b)?)
+    }
+
+    fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(linalg::matmul(a, b)?);
+        }
+        let aq = self.apply(site, Operand::Input, a)?;
+        let bq = self.apply(site, Operand::InputB, b)?;
+        Ok(linalg::matmul(&aq, &bq)?)
+    }
+
+    fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(linalg::matmul_nt(a, b)?);
+        }
+        let aq = self.apply(site, Operand::Input, a)?;
+        let bq = self.apply(site, Operand::InputB, b)?;
+        Ok(linalg::matmul_nt(&aq, &bq)?)
+    }
+
+    fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        let x = if self.coverage().covers(site.kind) { self.apply(site, Operand::Input, x)? } else { x.clone() };
+        Ok(quq_tensor::nn::softmax(&x)?)
+    }
+
+    fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        let x = if self.coverage().covers(site.kind) { self.apply(site, Operand::Input, x)? } else { x.clone() };
+        Ok(quq_tensor::nn::gelu_tensor(&x))
+    }
+
+    fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let x = if self.coverage().covers(site.kind) { self.apply(site, Operand::Input, x)? } else { x.clone() };
+        Ok(quq_tensor::nn::layer_norm(&x, g, b, 1e-6)?)
+    }
+
+    fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        if !self.coverage().covers(site.kind) {
+            return Ok(a.add(b)?);
+        }
+        let aq = self.apply(site, Operand::Input, a)?;
+        let bq = self.apply(site, Operand::InputB, b)?;
+        Ok(aq.add(&bq)?)
+    }
+}
+
+/// Convenience: calibrate and evaluate in one call, returning top-1
+/// agreement with the teacher labels.
+///
+/// # Errors
+///
+/// Propagates backend errors.
+pub fn evaluate_quantized(
+    method: &dyn QuantMethod,
+    model: &VitModel,
+    calibration: &Dataset,
+    eval: &Dataset,
+    config: PtqConfig,
+) -> Result<f64> {
+    let tables = calibrate(method, model, calibration, config)?;
+    let mut backend = tables.backend();
+    quq_vit::evaluate(model, &mut backend, eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::QuqMethod;
+    use quq_vit::{Fp32Backend, ModelConfig};
+
+    fn setup() -> (VitModel, Dataset, Dataset) {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 21);
+        let calib = Dataset::calibration(model.config(), 4, 1);
+        let eval = Dataset::teacher_labeled(&model, 16, 2).unwrap();
+        (model, calib, eval)
+    }
+
+    #[test]
+    fn calibrate_fits_all_gemm_sites() {
+        let (model, calib, _) = setup();
+        let method = QuqMethod::without_optimization();
+        let t = calibrate(&method, &model, &calib, PtqConfig::partial_w6a6()).unwrap();
+        // Test config: 2 blocks × (qkv, qk, pv, proj, fc1, fc2) + patch + head.
+        // matmul sites have two operands each.
+        assert!(t.activation_sites() >= 2 * 8 + 2);
+        assert_eq!(t.method_name(), "QUQ");
+        assert!(format!("{t:?}").contains("QUQ"));
+    }
+
+    #[test]
+    fn full_coverage_has_more_sites_than_partial() {
+        let (model, calib, _) = setup();
+        let method = QuqMethod::without_optimization();
+        let p = calibrate(&method, &model, &calib, PtqConfig::partial_w6a6()).unwrap();
+        let f = calibrate(&method, &model, &calib, PtqConfig::full_w6a6()).unwrap();
+        assert!(f.activation_sites() > p.activation_sites());
+    }
+
+    #[test]
+    fn quantized_execution_stays_close_to_fp32_at_8_bit() {
+        let (model, calib, eval) = setup();
+        let method = QuqMethod::without_optimization();
+        let acc = evaluate_quantized(&method, &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
+        assert!(acc >= 0.75, "8-bit full QUQ agreement {acc} too low");
+    }
+
+    #[test]
+    fn lower_bits_do_not_increase_agreement() {
+        let (model, calib, eval) = setup();
+        let method = QuqMethod::without_optimization();
+        let a8 = evaluate_quantized(&method, &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
+        let a4 = evaluate_quantized(
+            &method,
+            &model,
+            &calib,
+            &eval,
+            PtqConfig { bits_w: 4, bits_a: 4, coverage: Coverage::Full },
+        )
+        .unwrap();
+        assert!(a8 >= a4, "8-bit {a8} vs 4-bit {a4}");
+    }
+
+    #[test]
+    fn partial_quantization_leaves_special_functions_exact() {
+        let (model, calib, _) = setup();
+        let method = QuqMethod::without_optimization();
+        let tables = calibrate(&method, &model, &calib, PtqConfig::partial_w6a6()).unwrap();
+        // Softmax input key must not exist under partial coverage.
+        let softmax_key = ParamKey::input(OpSite::in_block(0, quq_vit::OpKind::Softmax));
+        assert!(tables.activation(&softmax_key).is_none());
+    }
+
+    #[test]
+    fn quantized_logits_differ_from_fp32_but_correlate() {
+        let (model, calib, _) = setup();
+        let method = QuqMethod::without_optimization();
+        let tables = calibrate(&method, &model, &calib, PtqConfig::full_w6a6()).unwrap();
+        let img = model.config().dummy_image(0.3);
+        let fp = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        let mut qb = tables.backend();
+        let q = model.forward(&img, &mut qb).unwrap();
+        assert_ne!(fp, q);
+        let cos = quq_tensor::stats::cosine_similarity(&fp, &q).unwrap();
+        assert!(cos > 0.8, "logit cosine {cos}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Quadruplet uniform bytes (QUBs) and FC registers — paper §4.1.
+//!
+//! A *b*-bit QUB is `{flag, payload}` where the flag bit `E_{b−1}` selects
+//! the fine (`1`) or coarse (`0`) encoding space and the payload is the
+//! `p = b − 1` low bits. Two per-tensor 8-bit **FC registers** describe how
+//! to interpret each space (paper Fig. 5):
+//!
+//! ```text
+//! bit 7    : space contains both signs (split/signed payload)
+//! bit 6    : if not split, 1 = the merged side is negative
+//! bits 5..3: n_sh for the negative subrange (log2 Δ_neg/Δ)
+//! bits 2..0: n_sh for the positive subrange (log2 Δ_pos/Δ)
+//! ```
+//!
+//! Decoding (Eq. 6/7) turns a QUB into a signed integer `D` plus a shift
+//! `n_sh`, such that the represented value is `D · 2^{n_sh} · Δ`. Crucially,
+//! decode uses *only* the byte and the FC registers — exactly what the
+//! hardware decoding unit sees.
+
+use crate::scheme::{QuqCode, QuqParams, SpaceLayout};
+use quq_tensor::{IntTensor, Tensor};
+
+/// The pair of per-tensor FC registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FcRegisters {
+    /// Register describing the fine encoding space (`f7..f0`).
+    pub fine: u8,
+    /// Register describing the coarse encoding space (`c7..c0`).
+    pub coarse: u8,
+}
+
+fn encode_space(space: SpaceLayout, base: f32) -> u8 {
+    let sh = |d: f32| -> u8 { ((d / base).log2().round() as u8) & 0x7 };
+    match space {
+        SpaceLayout::Split { neg, pos } => 0x80 | (sh(neg) << 3) | sh(pos),
+        SpaceLayout::MergedNeg { delta } => 0x40 | (sh(delta) << 3),
+        SpaceLayout::MergedPos { delta } => sh(delta),
+    }
+}
+
+impl FcRegisters {
+    /// Derives the FC registers from a parameter set and its base scale.
+    pub fn from_params(params: &QuqParams) -> Self {
+        let base = params.base_delta();
+        Self {
+            fine: encode_space(params.fine(), base),
+            coarse: encode_space(params.coarse(), base),
+        }
+    }
+}
+
+/// Reconstructs a space layout from one FC register and the base scale —
+/// the inverse of the register encoding, showing that `(b, FC, Δ)` is a
+/// *complete* description of a QUQ tensor's quantizer.
+fn decode_space(reg: u8, base: f32) -> SpaceLayout {
+    let sh_neg = ((reg >> 3) & 0x7) as f32;
+    let sh_pos = (reg & 0x7) as f32;
+    if reg & 0x80 != 0 {
+        SpaceLayout::Split { neg: base * sh_neg.exp2(), pos: base * sh_pos.exp2() }
+    } else if reg & 0x40 != 0 {
+        SpaceLayout::MergedNeg { delta: base * sh_neg.exp2() }
+    } else {
+        SpaceLayout::MergedPos { delta: base * sh_pos.exp2() }
+    }
+}
+
+/// Rebuilds full [`QuqParams`] from the wire description `(bits, FC
+/// registers, base Δ)` — what a consumer of a serialized QUB stream does.
+///
+/// # Errors
+///
+/// Returns [`crate::scheme::InvalidParams`] for invalid widths or scales.
+pub fn params_from_fc(
+    bits: u32,
+    fc: FcRegisters,
+    base_delta: f32,
+) -> Result<QuqParams, crate::scheme::InvalidParams> {
+    QuqParams::new(bits, decode_space(fc.fine, base_delta), decode_space(fc.coarse, base_delta))
+}
+
+/// A decoded QUB: the signed integer `D` and shift `n_sh` of Eq. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Signed payload value `D` (fits the *b*-bit signed range).
+    pub d: i32,
+    /// Shift count `n_sh` (0..=7).
+    pub n_sh: u32,
+}
+
+impl Decoded {
+    /// The represented integer `D · 2^{n_sh}` (value in units of `Δ_base`).
+    pub fn scaled(&self) -> i32 {
+        self.d << self.n_sh
+    }
+}
+
+/// Encoder/decoder between [`QuqCode`]s, QUB bytes, and [`Decoded`]
+/// integers for one tensor's parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QubCodec {
+    params: QuqParams,
+    fc: FcRegisters,
+}
+
+impl QubCodec {
+    /// Builds the codec for a parameter set.
+    pub fn new(params: QuqParams) -> Self {
+        let fc = FcRegisters::from_params(&params);
+        Self { params, fc }
+    }
+
+    /// The underlying parameters.
+    pub fn params(&self) -> &QuqParams {
+        &self.params
+    }
+
+    /// The FC registers shipped with the tensor.
+    pub fn fc(&self) -> FcRegisters {
+        self.fc
+    }
+
+    /// The base scale `Δ` shipped with the tensor.
+    pub fn base_delta(&self) -> f32 {
+        self.params.base_delta()
+    }
+
+    /// Packs a [`QuqCode`] into a *b*-bit QUB (stored in the low bits of a
+    /// byte; for b = 8 the byte layout matches the paper exactly).
+    pub fn encode(&self, code: QuqCode) -> u8 {
+        let p = self.params.payload_bits();
+        let mask = (1u16 << p) - 1;
+        let payload = (code.code as i16 as u16) & mask;
+        (((code.fine as u16) << p) | payload) as u8
+    }
+
+    /// Decodes a QUB into `(D, n_sh)` using only the byte and the FC
+    /// registers — Eq. 6/7, the hardware decoding-unit function.
+    pub fn decode(&self, qub: u8) -> Decoded {
+        decode_qub(qub, self.fc, self.params.bits())
+    }
+
+    /// Quantizes a real value straight to its QUB byte.
+    pub fn quantize(&self, x: f32) -> u8 {
+        self.encode(self.params.quantize(x))
+    }
+
+    /// Reconstructs the real value of a QUB byte.
+    pub fn dequantize(&self, qub: u8) -> f32 {
+        self.decode(qub).scaled() as f32 * self.base_delta()
+    }
+
+    /// Encodes a whole tensor to QUB bytes (row-major, one byte per value).
+    pub fn encode_tensor(&self, t: &Tensor) -> QubTensor {
+        QubTensor {
+            bytes: t.data().iter().map(|&x| self.quantize(x)).collect(),
+            shape: t.shape().to_vec(),
+            fc: self.fc,
+            bits: self.params.bits(),
+            base_delta: self.base_delta(),
+        }
+    }
+}
+
+/// Stateless QUB decode: byte + FC registers + bit-width only (what the
+/// hardware DU computes).
+pub fn decode_qub(qub: u8, fc: FcRegisters, bits: u32) -> Decoded {
+    let p = bits - 1;
+    let flag_fine = (qub >> p) & 1 == 1;
+    let payload = (qub & ((1u16 << p) as u8).wrapping_sub(1)) as i32;
+    let reg = if flag_fine { fc.fine } else { fc.coarse };
+    let split = reg & 0x80 != 0;
+    let d = if split {
+        // Signed p-bit payload: sign-extend from bit p−1.
+        if payload & (1 << (p - 1)) != 0 {
+            payload - (1 << p)
+        } else {
+            payload
+        }
+    } else if reg & 0x40 != 0 {
+        // Merged negative: {1, payload} as (p+1)-bit two's complement.
+        payload - (1 << p)
+    } else {
+        // Merged positive: plain unsigned payload.
+        payload
+    };
+    let n_sh = if d < 0 { (reg >> 3) & 0x7 } else { reg & 0x7 } as u32;
+    Decoded { d, n_sh }
+}
+
+/// A tensor of QUB bytes plus the sideband data a consumer needs: FC
+/// registers, bit-width and base scale. This is exactly the wire format the
+/// accelerator streams (paper Fig. 5/6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QubTensor {
+    /// QUB bytes, row-major.
+    pub bytes: Vec<u8>,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Per-tensor FC registers.
+    pub fc: FcRegisters,
+    /// QUB bit-width `b`.
+    pub bits: u32,
+    /// Base scale factor `Δ`.
+    pub base_delta: f32,
+}
+
+impl QubTensor {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Decodes every byte to `D · 2^{n_sh}` integers (units of `Δ_base`).
+    pub fn decode_scaled(&self) -> IntTensor {
+        let data = self.bytes.iter().map(|&b| decode_qub(b, self.fc, self.bits).scaled()).collect();
+        IntTensor::from_vec(data, &self.shape).expect("sized")
+    }
+
+    /// Decodes every byte to `(D, n_sh)` pairs.
+    pub fn decode_pairs(&self) -> Vec<Decoded> {
+        self.bytes.iter().map(|&b| decode_qub(b, self.fc, self.bits)).collect()
+    }
+
+    /// Reconstructs the real-valued tensor.
+    pub fn dequantize(&self) -> Tensor {
+        self.decode_scaled().to_f32(self.base_delta)
+    }
+
+    /// Memory footprint in bits (payload only, excluding the two FC
+    /// registers and the base scale): `len · b`.
+    pub fn payload_bits_total(&self) -> usize {
+        self.len() * self.bits as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relax::Pra;
+    use crate::scheme::SpaceLayout;
+    use quq_tensor::rng::OutlierMixture;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn all_mode_params(bits: u32) -> Vec<QuqParams> {
+        vec![
+            // Mode A
+            QuqParams::new(
+                bits,
+                SpaceLayout::Split { neg: 0.01, pos: 0.02 },
+                SpaceLayout::Split { neg: 0.16, pos: 0.08 },
+            )
+            .unwrap(),
+            // Mode B (positive)
+            QuqParams::new(
+                bits,
+                SpaceLayout::MergedPos { delta: 0.01 },
+                SpaceLayout::MergedPos { delta: 0.08 },
+            )
+            .unwrap(),
+            // Mode B (negative)
+            QuqParams::new(
+                bits,
+                SpaceLayout::MergedNeg { delta: 0.01 },
+                SpaceLayout::MergedNeg { delta: 0.04 },
+            )
+            .unwrap(),
+            // Mode C
+            QuqParams::new(
+                bits,
+                SpaceLayout::Split { neg: 0.04, pos: 0.01 },
+                SpaceLayout::MergedPos { delta: 0.08 },
+            )
+            .unwrap(),
+            // Mode D / uniform
+            QuqParams::uniform(bits, 0.05).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn fc_registers_encode_layout() {
+        let p = QuqParams::new(
+            8,
+            SpaceLayout::Split { neg: 0.01, pos: 0.02 },
+            SpaceLayout::Split { neg: 0.16, pos: 0.08 },
+        )
+        .unwrap();
+        let fc = FcRegisters::from_params(&p);
+        // Fine: split, shifts (0, 1) → 1000_0001.
+        assert_eq!(fc.fine, 0b1000_0001);
+        // Coarse: split, shifts (4, 3) → 1010_0011.
+        assert_eq!(fc.coarse, 0b1010_0011);
+    }
+
+    #[test]
+    fn fc_registers_merged_sides() {
+        let p = QuqParams::new(
+            8,
+            SpaceLayout::MergedNeg { delta: 0.02 },
+            SpaceLayout::MergedNeg { delta: 0.08 },
+        )
+        .unwrap();
+        let fc = FcRegisters::from_params(&p);
+        assert_eq!(fc.fine, 0b0100_0000); // merged-neg, shift 0 in bits 5..3
+        assert_eq!(fc.coarse, 0b0101_0000); // merged-neg, shift 2
+    }
+
+    #[test]
+    fn roundtrip_code_to_byte_to_decoded_all_modes_all_bits() {
+        for bits in [4u32, 6, 8] {
+            for params in all_mode_params(bits) {
+                let codec = QubCodec::new(params);
+                // Sweep a dense grid of values including extremes.
+                for i in -3000..3000 {
+                    let x = i as f32 * 0.004;
+                    let code = params.quantize(x);
+                    let byte = codec.encode(code);
+                    // The byte fits in b bits.
+                    assert!(byte as u32 <= (1u32 << bits) - 1, "byte {byte} overflows {bits} bits");
+                    let dec = codec.decode(byte);
+                    assert_eq!(dec.d, code.code, "D mismatch at x = {x} ({params:?})");
+                    assert_eq!(dec.n_sh, params.shift_for(code), "shift mismatch at x = {x}");
+                    // Eq. 7: the reconstructed value matches dequantize.
+                    let recon = dec.scaled() as f32 * codec.base_delta();
+                    let expect = params.dequantize(code);
+                    assert!((recon - expect).abs() <= 1e-5 * expect.abs().max(1.0), "value mismatch at {x}: {recon} vs {expect}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_byte_decode_is_total_for_8_bit() {
+        // Every possible byte must decode without panicking for every mode,
+        // and D must fit an i8-like range (the paper's 8-bit signed claim).
+        for params in all_mode_params(8) {
+            let codec = QubCodec::new(params);
+            for byte in 0..=255u8 {
+                let dec = codec.decode(byte);
+                assert!((-128..=127).contains(&dec.d), "D = {} out of i8 range", dec.d);
+                assert!(dec.n_sh <= 7);
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_d_fits_signed_bits_wide_multiplier() {
+        // §4.1: a b-bit signed multiplier accommodates QUBs in any mode.
+        for bits in [4u32, 6, 8] {
+            let lo = -(1i32 << (bits - 1));
+            let hi = (1i32 << (bits - 1)) - 1;
+            for params in all_mode_params(bits) {
+                let codec = QubCodec::new(params);
+                for byte in 0..(1u16 << bits) {
+                    let dec = codec.decode(byte as u8);
+                    assert!(dec.d >= lo && dec.d <= hi, "{bits}-bit D = {} outside [{lo}, {hi}]", dec.d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_roundtrip_preserves_fake_quantization() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let values = OutlierMixture::new(0.05, 0.8, 0.02).sample_vec(&mut rng, 4096);
+        let params = Pra::with_defaults(8).run(&values).params;
+        let codec = QubCodec::new(params);
+        let t = Tensor::from_vec(values.clone(), &[64, 64]).unwrap();
+        let qt = codec.encode_tensor(&t);
+        assert_eq!(qt.len(), 4096);
+        assert_eq!(qt.payload_bits_total(), 4096 * 8);
+        let back = qt.dequantize();
+        let direct = params.fake_quantize_tensor(&t);
+        for (a, b) in back.data().iter().zip(direct.data()) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn six_bit_qub_uses_low_six_bits() {
+        let params = Pra::with_defaults(6).run(&[-1.0, -0.02, 0.01, 0.03, 1.2]).params;
+        let codec = QubCodec::new(params);
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 0.5], &[3]).unwrap();
+        let qt = codec.encode_tensor(&t);
+        assert!(qt.bytes.iter().all(|&b| b < 64));
+    }
+}

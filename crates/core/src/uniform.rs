@@ -1,0 +1,216 @@
+//! Symmetric uniform quantization — Eq. 1 of the paper.
+//!
+//! `x̂ = U_b(x; Δ) = clip(⌊x/Δ⌉; −2^{b−1}, 2^{b−1}−1)`
+//!
+//! This is both the building block of QUQ (each subrange is uniformly
+//! quantized) and, on its own, the paper's `BaseQ` baseline.
+
+use quq_tensor::Tensor;
+
+/// A symmetric uniform quantizer: bit-width `b` and scale factor `Δ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformQuantizer {
+    bits: u32,
+    delta: f32,
+}
+
+impl UniformQuantizer {
+    /// Creates a quantizer with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is not in `1..=16` or `delta` is not positive
+    /// finite.
+    pub fn new(bits: u32, delta: f32) -> Self {
+        assert!((1..=16).contains(&bits), "unsupported bit-width {bits}");
+        assert!(delta.is_finite() && delta > 0.0, "invalid scale factor {delta}");
+        Self { bits, delta }
+    }
+
+    /// Fits `Δ` so the full observed range `[min, max]` is representable:
+    /// `Δ = max(|min|/2^{b−1}, max/(2^{b−1}−1))` (min–max calibration).
+    ///
+    /// Degenerate all-zero data falls back to `Δ = 1`.
+    pub fn fit_min_max(bits: u32, values: &[f32]) -> Self {
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        for &v in values {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        let neg_codes = (1i64 << (bits - 1)) as f32;
+        let pos_codes = ((1i64 << (bits - 1)) - 1) as f32;
+        let delta = (lo.abs() / neg_codes).max(if pos_codes > 0.0 { hi / pos_codes } else { 0.0 });
+        Self::new(bits, if delta > 0.0 { delta } else { 1.0 })
+    }
+
+    /// Fits `Δ` by grid search minimizing quantization MSE over scales
+    /// spanning twelve octaves below the min–max scale (half-octave steps) —
+    /// the standard "MSE-optimal uniform" calibration, able to clip far
+    /// outliers in exchange for bulk resolution.
+    pub fn fit_mse(bits: u32, values: &[f32]) -> Self {
+        let minmax = Self::fit_min_max(bits, values);
+        if values.is_empty() {
+            return minmax;
+        }
+        let mut best = minmax;
+        let mut best_err = best.mse(values);
+        for i in 1..=24 {
+            let cand = Self::new(bits, minmax.delta * (-(i as f32) / 2.0).exp2());
+            let err = cand.mse(values);
+            if err < best_err {
+                best_err = err;
+                best = cand;
+            }
+        }
+        best
+    }
+
+    /// The quantizer's bit-width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The quantizer's scale factor `Δ`.
+    pub fn delta(&self) -> f32 {
+        self.delta
+    }
+
+    /// Smallest representable code.
+    pub fn min_code(&self) -> i32 {
+        -(1 << (self.bits - 1))
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> i32 {
+        (1 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes one value to its integer code (Eq. 1).
+    pub fn quantize(&self, x: f32) -> i32 {
+        let code = (x / self.delta).round_ties_even() as i64;
+        code.clamp(self.min_code() as i64, self.max_code() as i64) as i32
+    }
+
+    /// Reconstructs the real value of a code.
+    pub fn dequantize(&self, code: i32) -> f32 {
+        code as f32 * self.delta
+    }
+
+    /// Quantize-then-dequantize ("fake quantization") of one value.
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Fake-quantizes a whole tensor.
+    pub fn fake_quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.fake_quantize(x))
+    }
+
+    /// Mean squared quantization error over a sample.
+    pub fn mse(&self, values: &[f32]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values
+            .iter()
+            .map(|&v| {
+                let d = (v - self.fake_quantize(v)) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let q = UniformQuantizer::new(8, 0.5);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(0.24), 0);
+        assert_eq!(q.quantize(0.26), 1);
+        assert_eq!(q.quantize(-0.26), -1);
+        assert_eq!(q.quantize(1.0), 2);
+    }
+
+    #[test]
+    fn quantize_clips_to_code_range() {
+        let q = UniformQuantizer::new(4, 1.0);
+        assert_eq!(q.quantize(100.0), 7);
+        assert_eq!(q.quantize(-100.0), -8);
+        assert_eq!(q.min_code(), -8);
+        assert_eq!(q.max_code(), 7);
+    }
+
+    #[test]
+    fn round_half_to_even_matches_nearest_rounding() {
+        // ⌊·⌉ in the paper is nearest rounding; ties-to-even avoids bias.
+        let q = UniformQuantizer::new(8, 1.0);
+        assert_eq!(q.quantize(0.5), 0);
+        assert_eq!(q.quantize(1.5), 2);
+        assert_eq!(q.quantize(2.5), 2);
+    }
+
+    #[test]
+    fn fake_quantize_error_is_bounded_by_half_delta() {
+        let q = UniformQuantizer::new(8, 0.1);
+        for i in -100..100 {
+            let x = i as f32 * 0.031;
+            if x.abs() < q.max_code() as f32 * q.delta() {
+                assert!((x - q.fake_quantize(x)).abs() <= 0.05 + 1e-6, "x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_min_max_covers_range() {
+        let values = [-3.0f32, 0.5, 2.9];
+        let q = UniformQuantizer::fit_min_max(6, &values);
+        // Both extremes must be representable without clipping.
+        assert!((q.fake_quantize(-3.0) - -3.0).abs() <= q.delta() / 2.0 + 1e-6);
+        assert!((q.fake_quantize(2.9) - 2.9).abs() <= q.delta() / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn fit_min_max_handles_degenerate_input() {
+        let q = UniformQuantizer::fit_min_max(8, &[0.0, 0.0]);
+        assert_eq!(q.delta(), 1.0);
+        let e = UniformQuantizer::fit_min_max(8, &[]);
+        assert_eq!(e.delta(), 1.0);
+    }
+
+    #[test]
+    fn fit_mse_beats_min_max_on_long_tails() {
+        // Dense bulk in ±0.1 plus one moderate outlier: clipping the outlier
+        // buys more bulk resolution than it costs.
+        let mut values: Vec<f32> = (0..1000).map(|i| ((i % 21) as f32 - 10.0) * 0.01).collect();
+        values.push(0.25);
+        let mm = UniformQuantizer::fit_min_max(4, &values);
+        let ms = UniformQuantizer::fit_mse(4, &values);
+        assert!(ms.mse(&values) < mm.mse(&values));
+        assert!(ms.delta() < mm.delta());
+    }
+
+    #[test]
+    fn higher_bits_reduce_error() {
+        let values: Vec<f32> = (0..500).map(|i| (i as f32 * 0.73).sin()).collect();
+        let e4 = UniformQuantizer::fit_min_max(4, &values).mse(&values);
+        let e6 = UniformQuantizer::fit_min_max(6, &values).mse(&values);
+        let e8 = UniformQuantizer::fit_min_max(8, &values).mse(&values);
+        assert!(e4 > e6 && e6 > e8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported bit-width")]
+    fn zero_bits_rejected() {
+        let _ = UniformQuantizer::new(0, 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the QUQ core invariants.
+
+use proptest::prelude::*;
+use quq_core::{relax, Pra, PraConfig, QubCodec, QuqParams, SpaceLayout};
+
+fn sample_strategy() -> impl Strategy<Value = Vec<f32>> {
+    // Mixture of a tight bulk and occasional outliers, arbitrary signs.
+    prop::collection::vec(
+        prop_oneof![
+            8 => -0.1f32..0.1,
+            1 => -50.0f32..50.0,
+        ],
+        8..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn relax_yields_power_of_two_ratio(d1 in 1e-6f32..1e6, d2 in 1e-6f32..1e6) {
+        let (a, b) = relax(d1, d2);
+        let l = (b / a).log2();
+        prop_assert!((l - l.round()).abs() < 1e-4, "ratio 2^{l}");
+        prop_assert!(a >= d1 * (1.0 - 1e-5));
+        prop_assert!(b >= d2 * (1.0 - 1e-5));
+    }
+
+    #[test]
+    fn pra_params_satisfy_eq4(values in sample_strategy(), bits in 4u32..=8) {
+        let outcome = Pra::new(bits, PraConfig::default()).run(&values);
+        let base = outcome.params.base_delta();
+        for d in outcome.params.deltas() {
+            let k = (d / base).log2();
+            prop_assert!((k - k.round()).abs() < 1e-3, "Δ ratio 2^{k} not integral");
+            prop_assert!((0.0..=7.5).contains(&k), "shift {k} outside FC budget");
+        }
+    }
+
+    #[test]
+    fn pra_never_clips_the_data_range_in_two_sided_modes(values in sample_strategy()) {
+        prop_assume!(values.iter().any(|&v| v > 0.0) && values.iter().any(|&v| v < 0.0));
+        let params = Pra::with_defaults(8).run(&values).params;
+        let max = values.iter().copied().fold(0.0f32, f32::max);
+        let min = values.iter().copied().fold(0.0f32, f32::min);
+        // Representable range covers the calibration extremes (Algorithm 1
+        // never shrinks a scale factor) up to rounding slack of one step.
+        if let Some(hi) = params.max_representable() {
+            let slack = params.deltas().iter().copied().fold(0.0f32, f32::max);
+            prop_assert!(hi + slack >= max * 0.999, "hi {hi} < max {max}");
+        }
+        if let Some(lo) = params.min_representable() {
+            let slack = params.deltas().iter().copied().fold(0.0f32, f32::max);
+            prop_assert!(lo - slack <= min * 0.999 + 1e-12, "lo {lo} > min {min}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_coarsest_step(values in sample_strategy(), x in -100.0f32..100.0) {
+        let params = Pra::with_defaults(8).run(&values).params;
+        let hi = params.max_representable().unwrap_or(0.0);
+        let lo = params.min_representable().unwrap_or(0.0);
+        prop_assume!(x >= lo && x <= hi);
+        let err = (x - params.fake_quantize(x)).abs();
+        let coarsest = params.deltas().iter().copied().fold(0.0f32, f32::max);
+        prop_assert!(err <= coarsest / 2.0 + 1e-5, "err {err} > Δmax/2 {}", coarsest / 2.0);
+    }
+
+    #[test]
+    fn qub_roundtrip_is_exact(values in sample_strategy(), bits in 4u32..=8, probe in -100.0f32..100.0) {
+        let params = Pra::new(bits, PraConfig::default()).run(&values).params;
+        let codec = QubCodec::new(params);
+        let code = params.quantize(probe);
+        let byte = codec.encode(code);
+        let dec = codec.decode(byte);
+        prop_assert_eq!(dec.d, code.code);
+        prop_assert_eq!(dec.n_sh, params.shift_for(code));
+        let recon = dec.scaled() as f32 * codec.base_delta();
+        let expect = params.dequantize(code);
+        prop_assert!((recon - expect).abs() <= 1e-4 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn fc_registers_fully_describe_the_quantizer(values in sample_strategy(), bits in 4u32..=8) {
+        // params → (FC, Δ) → params must reproduce every dequantized value:
+        // the wire format of io.rs depends on this.
+        let params = Pra::new(bits, PraConfig::default()).run(&values).params;
+        let fc = quq_core::FcRegisters::from_params(&params);
+        let rebuilt = quq_core::params_from_fc(bits, fc, params.base_delta()).unwrap();
+        prop_assert_eq!(params.mode(), rebuilt.mode());
+        for byte in 0..(1u16 << bits) {
+            let a = QubCodec::new(params).dequantize(byte as u8);
+            let b = QubCodec::new(rebuilt).dequantize(byte as u8);
+            prop_assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "byte {byte}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_tensors(values in sample_strategy(), bits in 4u32..=8) {
+        let params = Pra::new(bits, PraConfig::default()).run(&values).params;
+        let n = values.len();
+        let t = quq_tensor::Tensor::from_vec(values.clone(), &[n]).unwrap();
+        let qt = QubCodec::new(params).encode_tensor(&t);
+        let mut buf = Vec::new();
+        quq_core::write_qub_tensor(&mut buf, &qt).unwrap();
+        let back = quq_core::read_qub_tensor(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, qt);
+    }
+
+    #[test]
+    fn fake_quantize_is_idempotent(values in sample_strategy(), x in -100.0f32..100.0) {
+        let params = Pra::with_defaults(6).run(&values).params;
+        let once = params.fake_quantize(x);
+        let twice = params.fake_quantize(once);
+        prop_assert!((once - twice).abs() <= 1e-5 * once.abs().max(1.0), "{once} vs {twice}");
+    }
+
+    #[test]
+    fn scaled_params_preserve_mode_and_ratios(values in sample_strategy(), factor in 0.25f32..4.0) {
+        let params = Pra::with_defaults(8).run(&values).params;
+        let scaled = params.scaled(factor);
+        prop_assert_eq!(params.mode(), scaled.mode());
+        prop_assert!((scaled.base_delta() / params.base_delta() - factor).abs() < 1e-4 * factor);
+    }
+
+    #[test]
+    fn uniform_special_case_is_symmetric(delta in 1e-4f32..10.0, x in -100.0f32..100.0) {
+        let p = QuqParams::uniform(8, delta).unwrap();
+        let q = p.fake_quantize(x);
+        let qn = p.fake_quantize(-x);
+        // Symmetric up to the one-code asymmetry of two's complement.
+        prop_assert!((q + qn).abs() <= delta + 1e-5, "q {q}, qn {qn}");
+    }
+
+    #[test]
+    fn mode_a_dequantize_is_monotone(values in sample_strategy()) {
+        let params = Pra::with_defaults(6).run(&values).params;
+        let mut last = f32::NEG_INFINITY;
+        for i in -60..=60 {
+            let x = i as f32 * 0.05;
+            let q = params.fake_quantize(x);
+            prop_assert!(q >= last - 1e-6, "non-monotone at {x}: {q} < {last}");
+            last = q;
+        }
+    }
+}
+
+#[test]
+fn space_layout_accessors_are_consistent() {
+    let s = SpaceLayout::Split { neg: 0.5, pos: 0.25 };
+    assert_eq!(s.neg_delta(), Some(0.5));
+    assert_eq!(s.pos_delta(), Some(0.25));
+    let m = SpaceLayout::MergedPos { delta: 0.1 };
+    assert_eq!(m.neg_delta(), None);
+    assert_eq!(m.pos_delta(), Some(0.1));
+}

@@ -1,0 +1,43 @@
+//! # quq-tensor — dense tensor substrate for the QUQ reproduction
+//!
+//! A small, dependency-light tensor library providing exactly what a
+//! from-scratch vision-transformer inference stack needs:
+//!
+//! * [`Tensor`] — a dense, row-major `f32` tensor with shape arithmetic,
+//!   elementwise maps, and slicing along the leading axis.
+//! * [`IntTensor`] — the integer twin used by quantized execution paths.
+//! * [`linalg`] — GEMM and batched matrix multiplication (the paper's
+//!   "compute-intensive operations that can be implemented by GEMM").
+//! * [`nn`] — Softmax, GELU, LayerNorm: the non-GEMM special functions a ViT
+//!   block needs (paper Fig. 1).
+//! * [`stats`] — quantiles, histograms, MSE/cosine metrics used by the
+//!   progressive relaxation algorithm and by the evaluation harness.
+//! * [`rng`] — deterministic samplers (normal, Laplace, Student-t, mixtures)
+//!   used to build distribution-matched synthetic models.
+//!
+//! The library is deliberately *not* generic over element type: the QUQ paper
+//! operates on `f32` model data and small signed integers, and the two
+//! concrete types keep the quantized/unquantized worlds visibly distinct.
+//!
+//! ```
+//! use quq_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = quq_tensor::linalg::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), quq_tensor::TensorError>(())
+//! ```
+
+pub mod int_tensor;
+pub mod linalg;
+pub mod nn;
+pub mod rng;
+pub mod stats;
+mod tensor;
+
+pub use int_tensor::IntTensor;
+pub use tensor::{Tensor, TensorError};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

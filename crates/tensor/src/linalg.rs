@@ -1,0 +1,212 @@
+//! Matrix products: the GEMM core that all "green" (quantizable) operations
+//! of the paper's Fig. 1 reduce to.
+
+use crate::{IntTensor, Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors: `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// Uses an i-k-j loop order with a transposed accumulation pattern that keeps
+/// the inner loop contiguous for both operands, which is enough for the model
+/// sizes exercised here.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] when either input is not rank 2 and
+/// [`TensorError::InnerDimMismatch`] when `A`'s columns differ from `B`'s rows.
+pub fn matmul(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Multiplies `A[m,k]` by the transpose of `B[n,k]`: `C[m,n] = A · Bᵀ`.
+///
+/// Attention scores `Q·Kᵀ` use this directly so `K` never needs an explicit
+/// transpose copy.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
+/// as for [`matmul`].
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Applies a linear layer `y = x·Wᵀ + bias` where `x` is `[..., in]` and `w`
+/// is `[out, in]` (PyTorch weight layout, which the ViT substrate mirrors).
+///
+/// # Errors
+///
+/// Returns a shape error when the trailing dimension of `x` differs from
+/// `w.shape()[1]` or when `bias` (if present) has length ≠ `w.shape()[0]`.
+pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> crate::Result<Tensor> {
+    let (rows, cols) = x.as_matrix()?;
+    let x2 = x.reshape(&[rows, cols])?;
+    let y = matmul_nt(&x2, w)?;
+    let y = match bias {
+        Some(b) => y.add_bias(b)?,
+        None => y,
+    };
+    let mut shape = x.shape().to_vec();
+    *shape.last_mut().expect("rank >= 1") = w.shape()[0];
+    y.into_reshape(&shape)
+}
+
+/// Integer matrix product with 32-bit accumulation: `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// This models the PE-array accumulation path of the paper's accelerator:
+/// products of b-bit codes accumulated in wide integers (Eq. 2 before the
+/// requantization scale).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
+/// as for [`matmul`].
+pub fn int_matmul(a: &IntTensor, b: &IntTensor) -> crate::Result<IntTensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+    }
+    let mut out = vec![0i32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = o.wrapping_add(av.wrapping_mul(bv));
+            }
+        }
+    }
+    IntTensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3, 1]);
+        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        let v = t(&[1.0], &[1]);
+        assert!(matches!(matmul(&v, &a), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 1.0, 2.0, 3.0], &[2, 3]);
+        let via_nt = matmul_nt(&a, &b).unwrap();
+        let via_t = matmul(&a, &b.transpose().unwrap()).unwrap();
+        assert_eq!(via_nt, via_t);
+    }
+
+    #[test]
+    fn linear_matches_manual_gemm() {
+        // x: [2, 3], w: [4, 3] (out=4, in=3)
+        let x = t(&[1.0, 0.0, -1.0, 2.0, 2.0, 2.0], &[2, 3]);
+        let w = t(&(0..12).map(|i| i as f32 * 0.1).collect::<Vec<_>>(), &[4, 3]);
+        let b = t(&[1.0, 1.0, 1.0, 1.0], &[4]);
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.shape(), &[2, 4]);
+        // First row, first output: 1*0 + 0*0.1 + (-1)*0.2 + 1 = 0.8
+        assert!((y.at(&[0, 0]) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_preserves_leading_axes() {
+        let x = Tensor::zeros(&[2, 5, 3]);
+        let w = Tensor::zeros(&[4, 3]);
+        let y = linear(&x, &w, None).unwrap();
+        assert_eq!(y.shape(), &[2, 5, 4]);
+    }
+
+    #[test]
+    fn int_matmul_matches_float_on_integers() {
+        let a = IntTensor::from_vec(vec![1, -2, 3, 4, 0, -1], &[2, 3]).unwrap();
+        let b = IntTensor::from_vec(vec![2, 1, 0, -1, 1, 3], &[3, 2]).unwrap();
+        let c = int_matmul(&a, &b).unwrap();
+        let af = a.to_f32(1.0);
+        let bf = b.to_f32(1.0);
+        let cf = matmul(&af, &bf).unwrap();
+        for (ci, cfi) in c.data().iter().zip(cf.data()) {
+            assert_eq!(*ci as f32, *cfi);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic samplers for distribution-matched synthetic model data.
+//!
+//! The QUQ paper's central observation is that ViT tensors are *long-tailed*
+//! and often *sign-asymmetric* (Fig. 3). To reproduce those shapes without
+//! pretrained checkpoints, the ViT substrate draws weights from the families
+//! here: Gaussian bulk, Laplace/Student-t tails, and outlier-channel mixtures.
+//! All samplers take `&mut impl Rng` so experiments stay seed-reproducible.
+
+use rand::Rng;
+
+/// Draws a standard normal variate via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Draws from `N(mean, std²)`.
+pub fn normal(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    mean + std * standard_normal(rng)
+}
+
+/// Draws from a Laplace distribution with location `mu` and scale `b`
+/// (heavier tails than a Gaussian; a good match for attention projections).
+pub fn laplace(rng: &mut impl Rng, mu: f32, b: f32) -> f32 {
+    let u: f32 = rng.gen::<f32>() - 0.5;
+    mu - b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Draws from a Student-t distribution with `dof` degrees of freedom
+/// (constructed as `Z / sqrt(χ²_dof / dof)`; small `dof` ⇒ heavy tails).
+///
+/// # Panics
+///
+/// Panics when `dof == 0`.
+pub fn student_t(rng: &mut impl Rng, dof: u32) -> f32 {
+    assert!(dof > 0, "student_t requires dof >= 1");
+    let z = standard_normal(rng);
+    let chi2: f32 = (0..dof).map(|_| {
+        let n = standard_normal(rng);
+        n * n
+    }).sum();
+    z / (chi2 / dof as f32).sqrt()
+}
+
+/// Parameters of a two-component "bulk + outlier" Gaussian mixture, the
+/// workhorse for long-tailed weight/activation synthesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierMixture {
+    /// Standard deviation of the bulk component.
+    pub bulk_std: f32,
+    /// Standard deviation of the outlier component (≫ `bulk_std`).
+    pub outlier_std: f32,
+    /// Probability that a sample comes from the outlier component.
+    pub outlier_prob: f32,
+    /// Constant shift applied to every sample (sign asymmetry knob).
+    pub mean: f32,
+}
+
+impl OutlierMixture {
+    /// A symmetric long-tailed mixture with the given bulk/outlier spread.
+    pub fn new(bulk_std: f32, outlier_std: f32, outlier_prob: f32) -> Self {
+        Self { bulk_std, outlier_std, outlier_prob, mean: 0.0 }
+    }
+
+    /// Returns a copy with the given mean shift.
+    pub fn with_mean(mut self, mean: f32) -> Self {
+        self.mean = mean;
+        self
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f32 {
+        let std = if rng.gen::<f32>() < self.outlier_prob { self.outlier_std } else { self.bulk_std };
+        self.mean + std * standard_normal(rng)
+    }
+
+    /// Fills a vector with `n` samples.
+    pub fn sample_vec(&self, rng: &mut impl Rng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_std(v: &[f32]) -> (f32, f32) {
+        let m = v.iter().sum::<f32>() / v.len() as f32;
+        let var = v.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32;
+        (m, var.sqrt())
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v: Vec<f32> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let (m, s) = mean_std(&v);
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((s - 1.0).abs() < 0.03, "std {s}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<f32> = (0..20_000).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        let (m, s) = mean_std(&v);
+        assert!((m - 3.0).abs() < 0.02);
+        assert!((s - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = 2.0;
+        let v: Vec<f32> = (0..40_000).map(|_| laplace(&mut rng, 0.0, b)).collect();
+        let (m, s) = mean_std(&v);
+        assert!(m.abs() < 0.05, "mean {m}");
+        // Laplace std = b·√2.
+        assert!((s - b * std::f32::consts::SQRT_2).abs() < 0.1, "std {s}");
+    }
+
+    #[test]
+    fn student_t_has_heavier_tails_than_normal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 40_000;
+        let t: Vec<f32> = (0..n).map(|_| student_t(&mut rng, 3)).collect();
+        let g: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let tail = |v: &[f32]| v.iter().filter(|&&x| x.abs() > 4.0).count();
+        assert!(tail(&t) > tail(&g) * 3, "t tail {} vs normal tail {}", tail(&t), tail(&g));
+    }
+
+    #[test]
+    fn mixture_produces_outliers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mix = OutlierMixture::new(0.02, 0.5, 0.01);
+        let v = mix.sample_vec(&mut rng, 50_000);
+        let big = v.iter().filter(|&&x| x.abs() > 0.2).count();
+        // ~1% outliers with std 0.5: a meaningful fraction exceeds 0.2.
+        assert!(big > 100, "only {big} outliers");
+        // Bulk stays tight: the 90th percentile of |x| is small.
+        let mut absx: Vec<f32> = v.iter().map(|x| x.abs()).collect();
+        absx.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(absx[(0.9 * v.len() as f32) as usize] < 0.1);
+    }
+
+    #[test]
+    fn mixture_mean_shift() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mix = OutlierMixture::new(0.1, 0.1, 0.0).with_mean(2.0);
+        let v = mix.sample_vec(&mut rng, 10_000);
+        let (m, _) = mean_std(&v);
+        assert!((m - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

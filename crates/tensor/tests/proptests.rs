@@ -1,0 +1,128 @@
+//! Property-based tests for the tensor substrate invariants.
+
+use proptest::prelude::*;
+use quq_tensor::{linalg, nn, stats, Tensor};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0e3f32..1.0e3f32, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn reshape_round_trip(data in finite_vec(64)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]).unwrap();
+        let r = t.reshape(&[1, n]).unwrap().into_reshape(&[n]).unwrap();
+        prop_assert_eq!(t, r);
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let data: Vec<f32> = (0..rows * cols).map(|_| next()).collect();
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn matmul_identity(n in 1usize..8, data in finite_vec(64)) {
+        prop_assume!(data.len() >= n * n);
+        let a = Tensor::from_vec(data[..n * n].to_vec(), &[n, n]).unwrap();
+        let i = Tensor::eye(n);
+        let left = linalg::matmul(&i, &a).unwrap();
+        let right = linalg::matmul(&a, &i).unwrap();
+        prop_assert_eq!(&left, &a);
+        prop_assert_eq!(&right, &a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(n in 1usize..5, seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let mk = |next: &mut dyn FnMut() -> f32| {
+            Tensor::from_vec((0..n * n).map(|_| next()).collect(), &[n, n]).unwrap()
+        };
+        let a = mk(&mut next);
+        let b = mk(&mut next);
+        let c = mk(&mut next);
+        let lhs = linalg::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = linalg::matmul(&a, &b).unwrap().add(&linalg::matmul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in finite_vec(48)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[1, n]).unwrap();
+        let s = nn::softmax(&t).unwrap();
+        let sum: f32 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(s.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(data in finite_vec(16), shift in -50.0f32..50.0) {
+        let n = data.len();
+        let t = Tensor::from_vec(data.clone(), &[1, n]).unwrap();
+        let shifted = Tensor::from_vec(data.iter().map(|x| x + shift).collect(), &[1, n]).unwrap();
+        let a = nn::softmax(&t).unwrap();
+        let b = nn::softmax(&shifted).unwrap();
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(data in finite_vec(64), q1 in 0.0f32..1.0, q2 in 0.0f32..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = stats::quantile(&data, lo).unwrap();
+        let b = stats::quantile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-6);
+    }
+
+    #[test]
+    fn quantile_within_range(data in finite_vec(64), q in 0.0f32..1.0) {
+        let v = stats::quantile(&data, q).unwrap();
+        let min = data.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+    }
+
+    #[test]
+    fn mse_is_symmetric_and_nonnegative(pairs in prop::collection::vec((-1.0e3f32..1.0e3, -1.0e3f32..1.0e3), 1..32)) {
+        let (data, other): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let n = data.len();
+        let a = Tensor::from_vec(data, &[n]).unwrap();
+        let b = Tensor::from_vec(other, &[n]).unwrap();
+        let ab = stats::mse(&a, &b).unwrap();
+        let ba = stats::mse(&b, &a).unwrap();
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardized(data in finite_vec(32)) {
+        prop_assume!(data.len() >= 4);
+        // Skip degenerate constant rows where variance ≈ 0.
+        let mean0 = data.iter().sum::<f32>() / data.len() as f32;
+        let var0 = data.iter().map(|&v| (v - mean0) * (v - mean0)).sum::<f32>() / data.len() as f32;
+        prop_assume!(var0 > 1e-3);
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[1, n]).unwrap();
+        let g = Tensor::full(&[n], 1.0);
+        let b = Tensor::zeros(&[n]);
+        let y = nn::layer_norm(&t, &g, &b, 1e-6).unwrap();
+        let mean: f32 = y.data().iter().sum::<f32>() / n as f32;
+        prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+    }
+}

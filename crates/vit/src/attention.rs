@@ -1,0 +1,178 @@
+//! Attention-map post-processing for the paper's Fig. 7 visualization.
+//!
+//! The paper inspects how quantization degrades the attention a ViT pays to
+//! the crucial image regions. We implement *attention rollout* (Abnar &
+//! Zuidema): per-block head-averaged attention matrices are mixed with the
+//! identity (to model residual flow) and multiplied through the depth; the
+//! CLS row of the product is the saliency over patch tokens.
+
+use quq_tensor::{linalg, stats, Tensor, TensorError};
+
+/// Computes the attention rollout saliency map from per-block attention
+/// matrices (`[n, n]`, row-stochastic, CLS at row/column 0).
+///
+/// Returns a `[grid, grid]` map over patch tokens, normalized to max 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when `maps` is empty or when
+/// `n - 1` is not a perfect square.
+pub fn rollout(maps: &[Tensor]) -> Result<Tensor, TensorError> {
+    let first = maps
+        .first()
+        .ok_or_else(|| TensorError::InvalidArgument("rollout requires at least one map".to_string()))?;
+    let n = first.shape()[0];
+    let grid = ((n - 1) as f64).sqrt() as usize;
+    if grid * grid != n - 1 {
+        return Err(TensorError::InvalidArgument(format!("{} patch tokens is not a square grid", n - 1)));
+    }
+    let eye = Tensor::eye(n);
+    let mut acc = eye.clone();
+    for m in maps {
+        if m.shape() != first.shape() {
+            return Err(TensorError::ShapeMismatch { lhs: first.shape().to_vec(), rhs: m.shape().to_vec() });
+        }
+        // 0.5·A + 0.5·I, rows re-normalized, then accumulated.
+        let mut mixed = m.scale(0.5).add(&eye.scale(0.5))?;
+        for row in mixed.data_mut().chunks_mut(n) {
+            let s: f32 = row.iter().sum();
+            if s > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= s;
+                }
+            }
+        }
+        acc = linalg::matmul(&mixed, &acc)?;
+    }
+    // CLS row over patch tokens.
+    let mut sal: Vec<f32> = (1..n).map(|j| acc.at(&[0, j])).collect();
+    let max = sal.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max > 0.0 {
+        for v in &mut sal {
+            *v /= max;
+        }
+    }
+    Tensor::from_vec(sal, &[grid, grid])
+}
+
+/// Similarity of a (possibly degraded) saliency map to a reference map:
+/// plain cosine similarity in `[0, 1]` for non-negative maps.
+///
+/// # Errors
+///
+/// Returns a shape error when the maps differ in shape.
+pub fn map_similarity(reference: &Tensor, other: &Tensor) -> Result<f64, TensorError> {
+    stats::cosine_similarity(reference, other)
+}
+
+/// Fraction of total saliency mass that falls inside the reference map's
+/// top-`k` cells — the paper's "attention in crucial regions" notion made
+/// quantitative.
+///
+/// # Errors
+///
+/// Returns a shape error when the maps differ in shape, or
+/// [`TensorError::InvalidArgument`] when `k` is zero or exceeds the map size.
+pub fn crucial_region_mass(reference: &Tensor, other: &Tensor, k: usize) -> Result<f64, TensorError> {
+    if reference.shape() != other.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: reference.shape().to_vec(),
+            rhs: other.shape().to_vec(),
+        });
+    }
+    if k == 0 || k > reference.len() {
+        return Err(TensorError::InvalidArgument(format!("invalid k = {k}")));
+    }
+    let mut order: Vec<usize> = (0..reference.len()).collect();
+    order.sort_by(|&a, &b| {
+        reference.data()[b].partial_cmp(&reference.data()[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let total: f64 = other.data().iter().map(|&x| x as f64).sum();
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let mass: f64 = order[..k].iter().map(|&i| other.data()[i] as f64).sum();
+    Ok(mass / total)
+}
+
+/// Renders a saliency map as ASCII art using a ramp of shade characters
+/// (darker = stronger attention), one text row per grid row.
+pub fn render_map(map: &Tensor) -> String {
+    const RAMP: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let (rows, cols) = (map.shape()[0], map.shape()[1]);
+    let max = map.max().max(1e-12);
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (map.at(&[r, c]) / max).clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Fp32Backend;
+    use crate::config::ModelConfig;
+    use crate::model::VitModel;
+
+    fn uniform_attention(n: usize) -> Tensor {
+        Tensor::full(&[n, n], 1.0 / n as f32)
+    }
+
+    #[test]
+    fn rollout_of_uniform_attention_is_uniform() {
+        let maps = vec![uniform_attention(5); 3];
+        let sal = rollout(&maps).unwrap();
+        assert_eq!(sal.shape(), &[2, 2]);
+        let first = sal.data()[0];
+        assert!(sal.data().iter().all(|&v| (v - first).abs() < 1e-5));
+    }
+
+    #[test]
+    fn rollout_rejects_bad_inputs() {
+        assert!(rollout(&[]).is_err());
+        let maps = vec![uniform_attention(4)]; // 3 patches: not a square
+        assert!(rollout(&maps).is_err());
+    }
+
+    #[test]
+    fn rollout_from_real_model_is_valid() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 3);
+        let img = model.config().dummy_image(0.25);
+        let (_, maps) = model.forward_with_attention(&img, &mut Fp32Backend::new()).unwrap();
+        let sal = rollout(&maps).unwrap();
+        assert_eq!(sal.shape(), &[4, 4]);
+        assert!((sal.max() - 1.0).abs() < 1e-6);
+        assert!(sal.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn map_similarity_is_one_for_identical() {
+        let m = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2], &[2, 2]).unwrap();
+        assert!((map_similarity(&m, &m).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crucial_region_mass_behaves() {
+        let reference = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let same = reference.clone();
+        let elsewhere = Tensor::from_vec(vec![0.0, 1.0, 1.0, 1.0], &[2, 2]).unwrap();
+        assert!((crucial_region_mass(&reference, &same, 1).unwrap() - 1.0).abs() < 1e-9);
+        assert!(crucial_region_mass(&reference, &elsewhere, 1).unwrap() < 1e-9);
+        assert!(crucial_region_mass(&reference, &same, 0).is_err());
+        assert!(crucial_region_mass(&reference, &same, 5).is_err());
+    }
+
+    #[test]
+    fn render_map_shape() {
+        let m = Tensor::from_vec(vec![0.0, 0.5, 1.0, 0.25], &[2, 2]).unwrap();
+        let s = render_map(&m);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('█'));
+    }
+}

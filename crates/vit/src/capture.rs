@@ -1,0 +1,218 @@
+//! Activation capture: a wrapping backend that records tensors flowing
+//! through chosen operation sites.
+//!
+//! Used for two things:
+//!
+//! * regenerating the paper's Fig. 3 distribution plots (post-Softmax,
+//!   pre-addition, post-GELU activations), and
+//! * feeding calibration samples to PTQ pipelines (paper §6.1 uses 32
+//!   calibration images).
+
+use crate::backend::{Backend, Fp32Backend, OpKind, OpSite, Result};
+use quq_tensor::Tensor;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which side of an operation to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TapSide {
+    /// The operation's (first) input.
+    Input,
+    /// The operation's output.
+    Output,
+    /// The non-skip operand of a residual addition — the paper's
+    /// "pre-addition activation" (Fig. 3c).
+    ResidualBranch,
+}
+
+/// A capture request: record `side` of every site with this kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tap {
+    /// Operation kind to record.
+    pub kind: OpKind,
+    /// Which tensor of the operation to record.
+    pub side: TapSide,
+}
+
+impl Tap {
+    /// Records the input of `kind`.
+    pub fn input(kind: OpKind) -> Self {
+        Self { kind, side: TapSide::Input }
+    }
+
+    /// Records the output of `kind`.
+    pub fn output(kind: OpKind) -> Self {
+        Self { kind, side: TapSide::Output }
+    }
+}
+
+/// Backend wrapper that executes `inner` unchanged while recording flattened
+/// values at the requested taps.
+///
+/// Values (not tensors) are stored so multiple forward passes accumulate one
+/// growing sample per `(site, side)` — exactly what calibration and histogram
+/// rendering need.
+#[derive(Debug)]
+pub struct CaptureBackend<B = Fp32Backend> {
+    inner: B,
+    taps: BTreeSet<Tap>,
+    samples: BTreeMap<(OpSite, TapSide), Vec<f32>>,
+}
+
+impl CaptureBackend<Fp32Backend> {
+    /// Capture around exact `f32` execution.
+    pub fn new(taps: impl IntoIterator<Item = Tap>) -> Self {
+        Self::wrapping(Fp32Backend::new(), taps)
+    }
+}
+
+impl<B: Backend> CaptureBackend<B> {
+    /// Capture around an arbitrary backend.
+    pub fn wrapping(inner: B, taps: impl IntoIterator<Item = Tap>) -> Self {
+        Self { inner, taps: taps.into_iter().collect(), samples: BTreeMap::new() }
+    }
+
+    fn record(&mut self, site: OpSite, side: TapSide, t: &Tensor) {
+        if self.taps.contains(&Tap { kind: site.kind, side }) {
+            self.samples.entry((site, side)).or_default().extend_from_slice(t.data());
+        }
+    }
+
+    /// All recorded samples, keyed by site and side.
+    pub fn samples(&self) -> &BTreeMap<(OpSite, TapSide), Vec<f32>> {
+        &self.samples
+    }
+
+    /// Concatenated samples for a given kind/side across all sites.
+    pub fn samples_for(&self, kind: OpKind, side: TapSide) -> Vec<f32> {
+        let mut out = Vec::new();
+        for ((site, s), v) in &self.samples {
+            if site.kind == kind && *s == side {
+                out.extend_from_slice(v);
+            }
+        }
+        out
+    }
+
+    /// Consumes the wrapper and returns the recorded samples.
+    pub fn into_samples(self) -> BTreeMap<(OpSite, TapSide), Vec<f32>> {
+        self.samples
+    }
+
+    /// Access to the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: Backend> Backend for CaptureBackend<B> {
+    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+        self.record(site, TapSide::Input, x);
+        let y = self.inner.linear(site, x, w, b)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+
+    fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.record(site, TapSide::Input, a);
+        let y = self.inner.matmul(site, a, b)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+
+    fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.record(site, TapSide::Input, a);
+        let y = self.inner.matmul_nt(site, a, b)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+
+    fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        self.record(site, TapSide::Input, x);
+        let y = self.inner.softmax(site, x)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+
+    fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        self.record(site, TapSide::Input, x);
+        let y = self.inner.gelu(site, x)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+
+    fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.record(site, TapSide::Input, x);
+        let y = self.inner.layer_norm(site, x, g, b)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+
+    fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.record(site, TapSide::Input, a);
+        self.record(site, TapSide::ResidualBranch, b);
+        let y = self.inner.add(site, a, b)?;
+        self.record(site, TapSide::Output, &y);
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::VitModel;
+
+    #[test]
+    fn capture_matches_plain_execution() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 1);
+        let img = model.config().dummy_image(0.4);
+        let plain = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        let mut cap = CaptureBackend::new([Tap::output(OpKind::Softmax)]);
+        let captured = model.forward(&img, &mut cap).unwrap();
+        assert_eq!(plain, captured);
+    }
+
+    #[test]
+    fn captures_only_requested_taps() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 1);
+        let img = model.config().dummy_image(0.4);
+        let mut cap = CaptureBackend::new([Tap::output(OpKind::Softmax), Tap::output(OpKind::Gelu)]);
+        model.forward(&img, &mut cap).unwrap();
+        assert!(!cap.samples_for(OpKind::Softmax, TapSide::Output).is_empty());
+        assert!(!cap.samples_for(OpKind::Gelu, TapSide::Output).is_empty());
+        assert!(cap.samples_for(OpKind::Fc1, TapSide::Input).is_empty());
+    }
+
+    #[test]
+    fn softmax_outputs_are_probabilities() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 1);
+        let img = model.config().dummy_image(-0.1);
+        let mut cap = CaptureBackend::new([Tap::output(OpKind::Softmax)]);
+        model.forward(&img, &mut cap).unwrap();
+        let v = cap.samples_for(OpKind::Softmax, TapSide::Output);
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn residual_branch_tap_records_branch_only() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 1);
+        let img = model.config().dummy_image(0.2);
+        let mut cap = CaptureBackend::new([Tap { kind: OpKind::Residual1, side: TapSide::ResidualBranch }]);
+        model.forward(&img, &mut cap).unwrap();
+        let n = model.config().seq_len() * model.config().stages[0].embed_dim;
+        let v = cap.samples_for(OpKind::Residual1, TapSide::ResidualBranch);
+        // One [n, d] tensor per block.
+        assert_eq!(v.len(), n * model.config().total_depth());
+    }
+
+    #[test]
+    fn samples_accumulate_across_forward_passes() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 1);
+        let img = model.config().dummy_image(0.2);
+        let mut cap = CaptureBackend::new([Tap::output(OpKind::Gelu)]);
+        model.forward(&img, &mut cap).unwrap();
+        let once = cap.samples_for(OpKind::Gelu, TapSide::Output).len();
+        model.forward(&img, &mut cap).unwrap();
+        assert_eq!(cap.samples_for(OpKind::Gelu, TapSide::Output).len(), 2 * once);
+    }
+}

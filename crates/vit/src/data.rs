@@ -1,0 +1,240 @@
+//! Synthetic image data and teacher-labeled evaluation sets.
+//!
+//! Without ImageNet, inputs are smooth random fields (sums of Gaussian blobs
+//! plus pixel noise, roughly unit-normalized) and labels are defined by the
+//! FP32 model's own predictions ("teacher labels"). A quantized model's
+//! accuracy on such a set is its top-1 *agreement* with the FP32 model —
+//! exactly the fidelity PTQ accuracy-drop experiments measure (DESIGN.md §2).
+
+use crate::backend::{Backend, Fp32Backend, Result};
+use crate::config::ModelConfig;
+use crate::model::VitModel;
+use quq_tensor::rng::normal;
+use quq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates one smooth synthetic image `[C, S, S]`: per channel, a sum of
+/// 4–7 Gaussian blobs with random centers/widths/signs plus mild pixel noise.
+pub fn synthetic_image(config: &ModelConfig, rng: &mut StdRng) -> Tensor {
+    let c = config.in_chans;
+    let s = config.img_size;
+    let mut data = vec![0.0f32; c * s * s];
+    for ch in 0..c {
+        let blobs = 4 + rng.gen_range(0..4);
+        let params: Vec<(f32, f32, f32, f32)> = (0..blobs)
+            .map(|_| {
+                let cx = rng.gen::<f32>() * s as f32;
+                let cy = rng.gen::<f32>() * s as f32;
+                let sigma = s as f32 * (0.08 + 0.22 * rng.gen::<f32>());
+                let amp = if rng.gen::<bool>() { 1.0 } else { -1.0 } * (0.4 + rng.gen::<f32>());
+                (cx, cy, sigma, amp)
+            })
+            .collect();
+        for y in 0..s {
+            for x in 0..s {
+                let mut v = 0.0f32;
+                for &(cx, cy, sigma, amp) in &params {
+                    let dx = x as f32 - cx;
+                    let dy = y as f32 - cy;
+                    v += amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+                }
+                v += normal(rng, 0.0, 0.05);
+                data[ch * s * s + y * s + x] = v;
+            }
+        }
+    }
+    Tensor::from_vec(data, &[c, s, s]).expect("sized")
+}
+
+/// A labeled evaluation (or calibration) set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Input images, each `[C, S, S]`.
+    pub images: Vec<Tensor>,
+    /// Teacher labels (FP32 argmax), parallel to `images`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generates `n` images and labels them with the FP32 predictions of
+    /// `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors from the labeling forward passes.
+    pub fn teacher_labeled(model: &VitModel, n: usize, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut be = Fp32Backend::new();
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let img = synthetic_image(model.config(), &mut rng);
+            let logits = model.forward(&img, &mut be)?;
+            labels.push(logits.argmax());
+            images.push(img);
+        }
+        Ok(Self { images, labels })
+    }
+
+    /// Generates `n` teacher-labeled images, keeping the most confidently
+    /// classified from a 2×-oversampled pool (largest top-1/top-2 logit
+    /// margin).
+    ///
+    /// Real validation images are mostly classified with a solid margin by
+    /// a trained model; uniformly random synthetic inputs over-represent
+    /// decision-boundary cases. Margin filtering restores a
+    /// validation-like margin profile (see DESIGN.md §2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors from the labeling forward passes.
+    pub fn teacher_labeled_confident(model: &VitModel, n: usize, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut be = Fp32Backend::new();
+        let pool = 2 * n;
+        let mut scored: Vec<(f32, Tensor, usize)> = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            let img = synthetic_image(model.config(), &mut rng);
+            let logits = model.forward(&img, &mut be)?;
+            let top = logits.argmax();
+            let top_v = logits.data()[top];
+            let second = logits
+                .data()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != top)
+                .map(|(_, &v)| v)
+                .fold(f32::NEG_INFINITY, f32::max);
+            scored.push((top_v - second, img, top));
+        }
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(n);
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for (_, img, label) in scored {
+            images.push(img);
+            labels.push(label);
+        }
+        Ok(Self { images, labels })
+    }
+
+    /// Generates `n` unlabeled calibration images (labels all zero).
+    pub fn calibration(config: &ModelConfig, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let images = (0..n).map(|_| synthetic_image(config, &mut rng)).collect();
+        Self { images, labels: vec![0; n] }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+/// Top-1 accuracy of `model` executed through `backend` on `dataset`
+/// (fraction of predictions matching the teacher labels).
+///
+/// # Errors
+///
+/// Propagates backend errors.
+pub fn evaluate<B: Backend>(model: &VitModel, backend: &mut B, dataset: &Dataset) -> Result<f64> {
+    if dataset.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (img, &label) in dataset.images.iter().zip(&dataset.labels) {
+        let logits = model.forward(img, backend)?;
+        if logits.argmax() == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / dataset.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_images_are_finite_and_varied() {
+        let cfg = ModelConfig::test_config();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = synthetic_image(&cfg, &mut rng);
+        let b = synthetic_image(&cfg, &mut rng);
+        assert_eq!(a.shape(), &[3, 16, 16]);
+        assert!(a.data().iter().all(|v| v.is_finite()));
+        assert_ne!(a, b);
+        // Roughly unit scale.
+        assert!(a.max() < 5.0 && a.min() > -5.0);
+    }
+
+    #[test]
+    fn teacher_labels_are_consistent() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 11);
+        let ds = Dataset::teacher_labeled(&model, 8, 5).unwrap();
+        assert_eq!(ds.len(), 8);
+        // By construction FP32 evaluation is perfect.
+        let acc = evaluate(&model, &mut Fp32Backend::new(), &ds).unwrap();
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn labels_use_multiple_classes() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 11);
+        let ds = Dataset::teacher_labeled(&model, 24, 5).unwrap();
+        let distinct: std::collections::BTreeSet<_> = ds.labels.iter().collect();
+        assert!(distinct.len() > 1, "teacher predicts a single class — margins degenerate");
+    }
+
+    #[test]
+    fn confident_set_has_larger_margins_than_plain() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 11);
+        let confident = Dataset::teacher_labeled_confident(&model, 8, 5).unwrap();
+        assert_eq!(confident.len(), 8);
+        // FP32 evaluation is still perfect (labels are FP32 argmax).
+        let acc = evaluate(&model, &mut Fp32Backend::new(), &confident).unwrap();
+        assert_eq!(acc, 1.0);
+        // Mean top-1/top-2 margin exceeds the unfiltered set's.
+        let margin = |ds: &Dataset| -> f32 {
+            let mut be = Fp32Backend::new();
+            let mut total = 0.0;
+            for img in &ds.images {
+                let logits = model.forward(img, &mut be).unwrap();
+                let top = logits.argmax();
+                let top_v = logits.data()[top];
+                let second = logits
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != top)
+                    .map(|(_, &v)| v)
+                    .fold(f32::NEG_INFINITY, f32::max);
+                total += top_v - second;
+            }
+            total / ds.len() as f32
+        };
+        let plain = Dataset::teacher_labeled(&model, 8, 5).unwrap();
+        assert!(margin(&confident) > margin(&plain));
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 11);
+        let a = Dataset::teacher_labeled(&model, 4, 9).unwrap();
+        let b = Dataset::teacher_labeled(&model, 4, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 11);
+        let ds = Dataset { images: vec![], labels: vec![] };
+        assert_eq!(evaluate(&model, &mut Fp32Backend::new(), &ds).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # quq-vit — vision-transformer substrate for the QUQ reproduction
+//!
+//! A from-scratch inference stack for the three model families the paper
+//! evaluates (ViT, DeiT, Swin), built so quantization schemes can intercept
+//! every operation of the Fig. 1 data flow:
+//!
+//! * [`ModelConfig`] / [`ModelId`] — published ("full-scale") and reduced
+//!   ("eval-scale") hyperparameters for ViT-S/L, DeiT-S/B, Swin-T/S.
+//! * [`Backend`] — the execution trait; [`Fp32Backend`] is exact inference,
+//!   and PTQ pipelines in `quq-core`/`quq-baselines` provide quantized
+//!   implementations.
+//! * [`VitModel`] — the forward pass (global or windowed attention, patch
+//!   merging, CLS/avg pooling) written once against [`Backend`].
+//! * [`CaptureBackend`] — records activations at chosen sites (calibration,
+//!   Fig. 3 distributions).
+//! * [`attention`] — attention rollout and map-fidelity metrics (Fig. 7).
+//! * [`data`] — synthetic images and teacher-labeled evaluation sets
+//!   (the ImageNet substitution; see DESIGN.md §2).
+//!
+//! ```
+//! use quq_vit::{Fp32Backend, ModelConfig, VitModel};
+//!
+//! let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+//! let image = model.config().dummy_image(0.1);
+//! let logits = model.forward(&image, &mut Fp32Backend::new())?;
+//! assert_eq!(logits.len(), 10);
+//! # Ok::<(), quq_vit::BackendError>(())
+//! ```
+
+pub mod attention;
+pub mod backend;
+pub mod capture;
+pub mod config;
+pub mod data;
+pub mod model;
+pub mod weights;
+
+pub use backend::{Backend, BackendError, Fp32Backend, OpKind, OpSite};
+pub use capture::{CaptureBackend, Tap, TapSide};
+pub use config::{Family, ModelConfig, ModelId, StageConfig};
+pub use data::{evaluate, Dataset};
+pub use model::{AttentionMaps, VitModel};
+pub use weights::{BlockWeights, ModelWeights, StageWeights};

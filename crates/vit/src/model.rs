@@ -1,0 +1,423 @@
+//! Vision-transformer forward pass, written once against [`Backend`].
+//!
+//! Supports the plain ViT/DeiT architecture (CLS token, global attention) and
+//! the hierarchical Swin architecture (windowed attention with alternating
+//! cyclic shifts, patch merging between stages). The data flow matches the
+//! paper's Fig. 1 per block:
+//!
+//! ```text
+//! x ── LayerNorm ── QKV ── Q·Kᵀ ── Softmax ── P·V ── Proj ──(+)── x'
+//! x' ─ LayerNorm ── FC1 ── GELU ── FC2 ──(+)── out
+//! ```
+//!
+//! Note on Swin fidelity: shifted windows are realized by cyclic rolls of the
+//! token grid; the attention mask real Swin applies at rolled boundaries is
+//! omitted. The compute structure and tensor statistics — what the QUQ
+//! experiments depend on — are unchanged (documented in DESIGN.md §2).
+
+use crate::backend::{Backend, OpKind, OpSite, Result};
+use crate::config::{Family, ModelConfig};
+use crate::weights::{BlockWeights, ModelWeights};
+use quq_tensor::Tensor;
+
+/// Extracts columns `[start, end)` of a rank-2 tensor into a new tensor.
+fn slice_cols(t: &Tensor, start: usize, end: usize) -> Tensor {
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    debug_assert!(end <= cols && start < end);
+    let mut data = Vec::with_capacity(rows * (end - start));
+    for r in 0..rows {
+        data.extend_from_slice(&t.data()[r * cols + start..r * cols + end]);
+    }
+    Tensor::from_vec(data, &[rows, end - start]).expect("sized")
+}
+
+/// Gathers the given rows of a rank-2 tensor into a new tensor.
+fn gather_rows(t: &Tensor, rows: &[usize]) -> Tensor {
+    let cols = t.shape()[1];
+    let mut data = Vec::with_capacity(rows.len() * cols);
+    for &r in rows {
+        data.extend_from_slice(&t.data()[r * cols..(r + 1) * cols]);
+    }
+    Tensor::from_vec(data, &[rows.len(), cols]).expect("sized")
+}
+
+/// Scatters `src` rows back into `dst` at the given row indices.
+fn scatter_rows(dst: &mut Tensor, src: &Tensor, rows: &[usize]) {
+    let cols = dst.shape()[1];
+    for (i, &r) in rows.iter().enumerate() {
+        let s = &src.data()[i * cols..(i + 1) * cols];
+        dst.data_mut()[r * cols..(r + 1) * cols].copy_from_slice(s);
+    }
+}
+
+/// A synthesized vision transformer: configuration plus weights.
+///
+/// ```
+/// use quq_vit::{VitModel, ModelConfig, Fp32Backend};
+///
+/// let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+/// let image = model.config().dummy_image(0.5);
+/// let logits = model.forward(&image, &mut Fp32Backend::new())?;
+/// assert_eq!(logits.len(), model.config().num_classes);
+/// # Ok::<(), quq_vit::BackendError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VitModel {
+    config: ModelConfig,
+    weights: ModelWeights,
+}
+
+impl ModelConfig {
+    /// Builds a constant-valued image of this model's input shape
+    /// (`[in_chans, img, img]`) — handy for examples and tests.
+    pub fn dummy_image(&self, value: f32) -> Tensor {
+        Tensor::full(&[self.in_chans, self.img_size, self.img_size], value)
+    }
+}
+
+/// Attention probabilities captured by [`VitModel::forward_with_attention`]:
+/// one `[tokens, tokens]` head-averaged matrix per block (global-attention
+/// models only).
+pub type AttentionMaps = Vec<Tensor>;
+
+impl VitModel {
+    /// Generates a model with synthetic weights from `seed`.
+    pub fn synthesize(config: ModelConfig, seed: u64) -> Self {
+        let weights = ModelWeights::synthesize(&config, seed);
+        Self { config, weights }
+    }
+
+    /// Builds a model from explicit weights.
+    pub fn from_weights(config: ModelConfig, weights: ModelWeights) -> Self {
+        Self { config, weights }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The model's weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Converts an image `[C, H, W]` to patch tokens `[n_patches, patch_dim]`
+    /// in row-major grid order (flattened per patch as `c, py, px`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image shape does not match the configuration.
+    pub fn patchify(&self, image: &Tensor) -> Tensor {
+        let c = self.config.in_chans;
+        let s = self.config.img_size;
+        let p = self.config.patch_size;
+        assert_eq!(image.shape(), &[c, s, s], "image shape mismatch");
+        let g = self.config.grid();
+        let mut data = Vec::with_capacity(g * g * self.config.patch_dim());
+        for gy in 0..g {
+            for gx in 0..g {
+                for ch in 0..c {
+                    for py in 0..p {
+                        for px in 0..p {
+                            data.push(image.at(&[ch, gy * p + py, gx * p + px]));
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(data, &[g * g, self.config.patch_dim()]).expect("sized")
+    }
+
+    /// Runs inference on one image, returning logits `[num_classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors (shape errors, missing quantization
+    /// parameters, …).
+    pub fn forward<B: Backend>(&self, image: &Tensor, be: &mut B) -> Result<Tensor> {
+        self.forward_inner(image, be, None)
+    }
+
+    /// Runs inference and additionally captures head-averaged attention
+    /// probabilities per block (paper Fig. 7 needs these).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors. Swin models return an empty map list
+    /// (the paper visualizes ViT-S only).
+    pub fn forward_with_attention<B: Backend>(&self, image: &Tensor, be: &mut B) -> Result<(Tensor, AttentionMaps)> {
+        let mut maps = AttentionMaps::new();
+        let logits = self.forward_inner(image, be, Some(&mut maps))?;
+        Ok((logits, maps))
+    }
+
+    fn forward_inner<B: Backend>(
+        &self,
+        image: &Tensor,
+        be: &mut B,
+        mut attn_out: Option<&mut AttentionMaps>,
+    ) -> Result<Tensor> {
+        let cfg = &self.config;
+        let w = &self.weights;
+        let patches = self.patchify(image);
+        let body = be.linear(OpSite::global(OpKind::PatchEmbed), &patches, &w.patch_w, Some(&w.patch_b))?;
+
+        // Prepend the CLS token (ViT/DeiT) and add the positional embedding.
+        let mut x = match &w.cls_token {
+            Some(cls) => {
+                let d = cls.len();
+                let mut data = Vec::with_capacity((patches.shape()[0] + 1) * d);
+                data.extend_from_slice(cls.data());
+                data.extend_from_slice(body.data());
+                Tensor::from_vec(data, &[patches.shape()[0] + 1, d])
+                    .map_err(crate::backend::BackendError::from)?
+            }
+            None => body,
+        };
+        x = x.add(&w.pos_embed).map_err(crate::backend::BackendError::from)?;
+
+        let mut grid = cfg.grid();
+        let mut block_idx = 0usize;
+        for stage in &w.stages {
+            for (bi, blk) in stage.blocks.iter().enumerate() {
+                let shift = cfg.window.is_some() && bi % 2 == 1;
+                x = self.block_forward(be, block_idx, blk, &x, grid, shift, attn_out.as_deref_mut())?;
+                block_idx += 1;
+            }
+            if let Some((mw, mb)) = &stage.merge {
+                x = self.patch_merge(be, block_idx - 1, &x, grid, mw, mb)?;
+                grid /= 2;
+            }
+        }
+
+        let x = be.layer_norm(OpSite::global(OpKind::FinalNorm), &x, &w.final_g, &w.final_b)?;
+        let pooled = match cfg.family {
+            Family::Vit | Family::Deit => gather_rows(&x, &[0]),
+            Family::Swin => {
+                // Global average pool over tokens.
+                let (rows, cols) = (x.shape()[0], x.shape()[1]);
+                let mut data = vec![0.0f32; cols];
+                for r in 0..rows {
+                    for (cix, dv) in data.iter_mut().enumerate() {
+                        *dv += x.data()[r * cols + cix];
+                    }
+                }
+                for dv in &mut data {
+                    *dv /= rows as f32;
+                }
+                Tensor::from_vec(data, &[1, cols]).map_err(crate::backend::BackendError::from)?
+            }
+        };
+        let logits = be.linear(OpSite::global(OpKind::Head), &pooled, &w.head_w, Some(&w.head_b))?;
+        logits.into_reshape(&[cfg.num_classes]).map_err(crate::backend::BackendError::from)
+    }
+
+    /// One transformer block on tokens `x: [n, d]`.
+    ///
+    /// For windowed (Swin) configurations, `shift` rolls the grid by half a
+    /// window before partitioning and rolls back after.
+    fn block_forward<B: Backend>(
+        &self,
+        be: &mut B,
+        block: usize,
+        blk: &BlockWeights,
+        x: &Tensor,
+        grid: usize,
+        shift: bool,
+        mut attn_out: Option<&mut AttentionMaps>,
+    ) -> Result<Tensor> {
+        let d = blk.embed_dim;
+        let heads = blk.num_heads;
+        let hd = d / heads;
+        let n = x.shape()[0];
+
+        let x_ln = be.layer_norm(OpSite::in_block(block, OpKind::Norm1), x, &blk.ln1_g, &blk.ln1_b)?;
+        let qkv = be.linear(OpSite::in_block(block, OpKind::Qkv), &x_ln, &blk.qkv_w, Some(&blk.qkv_b))?;
+
+        // Window partition (global attention = one window covering all rows).
+        let windows: Vec<Vec<usize>> = match self.config.window {
+            None => vec![(0..n).collect()],
+            Some(wsize) => {
+                let w = wsize.min(grid);
+                let half = w / 2;
+                let roll = |i: usize| if shift { (i + half) % grid } else { i };
+                let per_side = grid / w;
+                let mut out = Vec::with_capacity(per_side * per_side);
+                for wy in 0..per_side {
+                    for wx in 0..per_side {
+                        let mut idx = Vec::with_capacity(w * w);
+                        for iy in 0..w {
+                            for ix in 0..w {
+                                let y = roll(wy * w + iy);
+                                let xcoord = roll(wx * w + ix);
+                                idx.push(y * grid + xcoord);
+                            }
+                        }
+                        out.push(idx);
+                    }
+                }
+                out
+            }
+        };
+
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut attn_accum = if attn_out.is_some() { Some(Tensor::zeros(&[n, n])) } else { None };
+        let mut attended = Tensor::zeros(&[n, d]);
+        for idx in &windows {
+            let qkv_w = gather_rows(&qkv, idx);
+            let mut head_outs = Vec::with_capacity(heads);
+            for h in 0..heads {
+                let q = slice_cols(&qkv_w, h * hd, (h + 1) * hd).scale(scale);
+                let k = slice_cols(&qkv_w, d + h * hd, d + (h + 1) * hd);
+                let v = slice_cols(&qkv_w, 2 * d + h * hd, 2 * d + (h + 1) * hd);
+                let scores = be.matmul_nt(OpSite::in_block(block, OpKind::QkMatmul), &q, &k)?;
+                let probs = be.softmax(OpSite::in_block(block, OpKind::Softmax), &scores)?;
+                if let Some(acc) = attn_accum.as_mut() {
+                    // Accumulate head-averaged probabilities at global indices.
+                    let m = idx.len();
+                    for (wi, &gi) in idx.iter().enumerate() {
+                        for (wj, &gj) in idx.iter().enumerate() {
+                            let cur = acc.at(&[gi, gj]);
+                            acc.set(&[gi, gj], cur + probs.data()[wi * m + wj] / heads as f32);
+                        }
+                    }
+                }
+                let out_h = be.matmul(OpSite::in_block(block, OpKind::PvMatmul), &probs, &v)?;
+                head_outs.push(out_h);
+            }
+            let concat = Tensor::concat_last(&head_outs).map_err(crate::backend::BackendError::from)?;
+            scatter_rows(&mut attended, &concat, idx);
+        }
+        if let (Some(maps), Some(acc)) = (attn_out.as_deref_mut(), attn_accum) {
+            maps.push(acc);
+        }
+
+        let proj = be.linear(OpSite::in_block(block, OpKind::AttnProj), &attended, &blk.proj_w, Some(&blk.proj_b))?;
+        let x = be.add(OpSite::in_block(block, OpKind::Residual1), x, &proj)?;
+
+        let x_ln2 = be.layer_norm(OpSite::in_block(block, OpKind::Norm2), &x, &blk.ln2_g, &blk.ln2_b)?;
+        let h1 = be.linear(OpSite::in_block(block, OpKind::Fc1), &x_ln2, &blk.fc1_w, Some(&blk.fc1_b))?;
+        let act = be.gelu(OpSite::in_block(block, OpKind::Gelu), &h1)?;
+        let h2 = be.linear(OpSite::in_block(block, OpKind::Fc2), &act, &blk.fc2_w, Some(&blk.fc2_b))?;
+        be.add(OpSite::in_block(block, OpKind::Residual2), &x, &h2)
+    }
+
+    /// Patch merging: each 2×2 neighborhood of the `grid×grid` token map is
+    /// concatenated (`[4d]`) and projected to the next stage's dimension.
+    fn patch_merge<B: Backend>(
+        &self,
+        be: &mut B,
+        block: usize,
+        x: &Tensor,
+        grid: usize,
+        mw: &Tensor,
+        mb: &Tensor,
+    ) -> Result<Tensor> {
+        let d = x.shape()[1];
+        let ng = grid / 2;
+        let mut data = Vec::with_capacity(ng * ng * 4 * d);
+        for gy in 0..ng {
+            for gx in 0..ng {
+                for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                    let src = (2 * gy + dy) * grid + (2 * gx + dx);
+                    data.extend_from_slice(&x.data()[src * d..(src + 1) * d]);
+                }
+            }
+        }
+        let merged = Tensor::from_vec(data, &[ng * ng, 4 * d]).map_err(crate::backend::BackendError::from)?;
+        be.linear(OpSite::in_block(block, OpKind::PatchMerge), &merged, mw, Some(mb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Fp32Backend;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn slice_cols_and_gather_rows() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let c = slice_cols(&t, 1, 3);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+        let g = gather_rows(&t, &[2, 0]);
+        assert_eq!(g.data(), &[8.0, 9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn scatter_is_inverse_of_gather() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let rows = [2usize, 0];
+        let g = gather_rows(&t, &rows);
+        let mut out = Tensor::zeros(&[3, 4]);
+        scatter_rows(&mut out, &g, &rows);
+        assert_eq!(out.data()[8..12], t.data()[8..12]);
+        assert_eq!(out.data()[0..4], t.data()[0..4]);
+        assert!(out.data()[4..8].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn patchify_orders_patches_row_major() {
+        let cfg = ModelConfig::test_config(); // 16px, patch 4 -> 4x4 grid
+        let model = VitModel::synthesize(cfg, 0);
+        let mut img = Tensor::zeros(&[3, 16, 16]);
+        img.set(&[0, 0, 4], 9.0); // second patch in the top row
+        let p = model.patchify(&img);
+        assert_eq!(p.shape(), &[16, 48]);
+        assert_eq!(p.at(&[1, 0]), 9.0);
+        assert_eq!(p.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+        let img = model.config().dummy_image(0.3);
+        let logits = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        assert_eq!(logits.len(), 10);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+        let img = model.config().dummy_image(-0.2);
+        let a = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        let b = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_images_give_different_logits() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+        let a = model.forward(&model.config().dummy_image(0.5), &mut Fp32Backend::new()).unwrap();
+        let b = model.forward(&model.config().dummy_image(-0.5), &mut Fp32Backend::new()).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn swin_forward_runs_and_pools() {
+        let model = VitModel::synthesize(ModelConfig::test_swin_config(), 7);
+        let img = model.config().dummy_image(0.1);
+        let logits = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        assert_eq!(logits.len(), 10);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_maps_are_row_stochastic() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+        let img = model.config().dummy_image(0.2);
+        let (_, maps) = model.forward_with_attention(&img, &mut Fp32Backend::new()).unwrap();
+        assert_eq!(maps.len(), model.config().total_depth());
+        let n = model.config().seq_len();
+        for m in &maps {
+            assert_eq!(m.shape(), &[n, n]);
+            for r in 0..n {
+                let sum: f32 = (0..n).map(|c| m.at(&[r, c])).sum();
+                assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic, distribution-matched model weights.
+//!
+//! Without pretrained checkpoints, weights are drawn from families chosen to
+//! reproduce the distribution traits the paper's Fig. 3 documents and QUQ
+//! exploits:
+//!
+//! * linear weights: Gaussian bulk at the usual `1/√fan_in` scale plus a small
+//!   fraction of outlier weights and a few amplified output channels — the
+//!   long-tailed "Query W" shape of Fig. 3a;
+//! * LayerNorm gains: near 1 with rare large-magnitude channels, the known
+//!   ViT trait that makes pre-addition activations long-tailed (Fig. 3c);
+//! * biases and positional embeddings: small Gaussians.
+//!
+//! Everything is generated from a caller-supplied seed, so models are
+//! reproducible and cheap to rebuild.
+
+use crate::config::{Family, ModelConfig};
+use quq_tensor::rng::{normal, OutlierMixture};
+use quq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weights of one transformer block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockWeights {
+    /// LayerNorm gain before attention, `[d]`.
+    pub ln1_g: Tensor,
+    /// LayerNorm bias before attention, `[d]`.
+    pub ln1_b: Tensor,
+    /// Fused QKV projection, `[3d, d]`.
+    pub qkv_w: Tensor,
+    /// QKV bias, `[3d]`.
+    pub qkv_b: Tensor,
+    /// Attention output projection, `[d, d]`.
+    pub proj_w: Tensor,
+    /// Projection bias, `[d]`.
+    pub proj_b: Tensor,
+    /// LayerNorm gain before the MLP, `[d]`.
+    pub ln2_g: Tensor,
+    /// LayerNorm bias before the MLP, `[d]`.
+    pub ln2_b: Tensor,
+    /// First MLP linear, `[h, d]`.
+    pub fc1_w: Tensor,
+    /// First MLP bias, `[h]`.
+    pub fc1_b: Tensor,
+    /// Second MLP linear, `[d, h]`.
+    pub fc2_w: Tensor,
+    /// Second MLP bias, `[d]`.
+    pub fc2_b: Tensor,
+    /// Embedding dimension of the block.
+    pub embed_dim: usize,
+    /// Attention heads of the block.
+    pub num_heads: usize,
+}
+
+/// Weights of one hierarchical stage: its blocks plus the optional patch
+/// merging projection into the next stage (`[d_next, 4d]`, bias `[d_next]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageWeights {
+    /// Transformer blocks of the stage.
+    pub blocks: Vec<BlockWeights>,
+    /// Patch-merging projection into the following stage, if any.
+    pub merge: Option<(Tensor, Tensor)>,
+}
+
+/// Complete weight set of a model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelWeights {
+    /// Patch embedding projection, `[d0, patch_dim]`.
+    pub patch_w: Tensor,
+    /// Patch embedding bias, `[d0]`.
+    pub patch_b: Tensor,
+    /// CLS token, `[d0]` (ViT/DeiT only).
+    pub cls_token: Option<Tensor>,
+    /// Positional embedding, `[seq_len, d0]`.
+    pub pos_embed: Tensor,
+    /// Per-stage weights.
+    pub stages: Vec<StageWeights>,
+    /// Final LayerNorm gain, `[d_last]`.
+    pub final_g: Tensor,
+    /// Final LayerNorm bias, `[d_last]`.
+    pub final_b: Tensor,
+    /// Classifier head, `[classes, d_last]`.
+    pub head_w: Tensor,
+    /// Classifier bias, `[classes]`.
+    pub head_b: Tensor,
+}
+
+/// Draws a `[rows, cols]` weight matrix with long-tailed structure:
+/// bulk `N(0, (gain/√cols)²)`, a `0.5%` outlier component at 6× the bulk
+/// scale, and ~2% of rows (output channels) amplified 3×.
+fn long_tailed_matrix(rng: &mut StdRng, rows: usize, cols: usize, gain: f32) -> Tensor {
+    let bulk = gain / (cols as f32).sqrt();
+    let mix = OutlierMixture::new(bulk, 6.0 * bulk, 0.005);
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        let row_gain = if rng.gen::<f32>() < 0.02 { 3.0 } else { 1.0 };
+        for _ in 0..cols {
+            data.push(row_gain * mix.sample(rng));
+        }
+    }
+    Tensor::from_vec(data, &[rows, cols]).expect("sized to shape")
+}
+
+/// Draws a small-Gaussian bias vector.
+fn bias_vec(rng: &mut StdRng, n: usize, std: f32) -> Tensor {
+    Tensor::from_vec((0..n).map(|_| normal(rng, 0.0, std)).collect(), &[n]).expect("sized")
+}
+
+/// Draws a LayerNorm gain vector: `N(1, 0.2²)` bulk with ~1.5% outlier
+/// channels of magnitude 3–8 (kept positive, as in real ViTs) — the
+/// per-channel spread that makes residual-branch activations long-tailed
+/// (Fig. 3c).
+fn layernorm_gain(rng: &mut StdRng, n: usize) -> Tensor {
+    let data = (0..n)
+        .map(|_| {
+            if rng.gen::<f32>() < 0.015 {
+                3.0 + 5.0 * rng.gen::<f32>()
+            } else {
+                normal(rng, 1.0, 0.2).abs().max(0.05)
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, &[n]).expect("sized")
+}
+
+fn synthesize_block(rng: &mut StdRng, d: usize, heads: usize, mlp_ratio: usize) -> BlockWeights {
+    let h = d * mlp_ratio;
+    BlockWeights {
+        ln1_g: layernorm_gain(rng, d),
+        ln1_b: bias_vec(rng, d, 0.1),
+        qkv_w: long_tailed_matrix(rng, 3 * d, d, 1.0),
+        qkv_b: bias_vec(rng, 3 * d, 0.02),
+        proj_w: long_tailed_matrix(rng, d, d, 1.0),
+        proj_b: bias_vec(rng, d, 0.02),
+        ln2_g: layernorm_gain(rng, d),
+        ln2_b: bias_vec(rng, d, 0.1),
+        fc1_w: long_tailed_matrix(rng, h, d, 1.0),
+        fc1_b: bias_vec(rng, h, 0.05),
+        fc2_w: long_tailed_matrix(rng, d, h, 1.0),
+        fc2_b: bias_vec(rng, d, 0.02),
+        embed_dim: d,
+        num_heads: heads,
+    }
+}
+
+impl ModelWeights {
+    /// Generates a full weight set for `config` from `seed`.
+    pub fn synthesize(config: &ModelConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d0 = config.stages[0].embed_dim;
+        let seq = config.seq_len();
+        let patch_w = long_tailed_matrix(&mut rng, d0, config.patch_dim(), 1.0);
+        let patch_b = bias_vec(&mut rng, d0, 0.02);
+        let cls_token = match config.family {
+            Family::Vit | Family::Deit => Some(bias_vec(&mut rng, d0, 0.5)),
+            Family::Swin => None,
+        };
+        let pos_embed = {
+            let data = (0..seq * d0).map(|_| normal(&mut rng, 0.0, 0.15)).collect();
+            Tensor::from_vec(data, &[seq, d0]).expect("sized")
+        };
+        let mut stages = Vec::with_capacity(config.stages.len());
+        for (si, st) in config.stages.iter().enumerate() {
+            let blocks = (0..st.depth)
+                .map(|_| synthesize_block(&mut rng, st.embed_dim, st.num_heads, config.mlp_ratio))
+                .collect();
+            let merge = if si + 1 < config.stages.len() {
+                let dn = config.stages[si + 1].embed_dim;
+                let w = long_tailed_matrix(&mut rng, dn, 4 * st.embed_dim, 1.0);
+                let b = bias_vec(&mut rng, dn, 0.02);
+                Some((w, b))
+            } else {
+                None
+            };
+            stages.push(StageWeights { blocks, merge });
+        }
+        let d_last = config.stages.last().expect("stage").embed_dim;
+        Self {
+            patch_w,
+            patch_b,
+            cls_token,
+            pos_embed,
+            stages,
+            final_g: layernorm_gain(&mut rng, d_last),
+            final_b: bias_vec(&mut rng, d_last, 0.1),
+            head_w: long_tailed_matrix(&mut rng, config.num_classes, d_last, 2.0),
+            head_b: bias_vec(&mut rng, config.num_classes, 0.02),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let c = ModelConfig::test_config();
+        let a = ModelWeights::synthesize(&c, 7);
+        let b = ModelWeights::synthesize(&c, 7);
+        assert_eq!(a.patch_w, b.patch_w);
+        assert_eq!(a.stages[0].blocks[0].fc1_w, b.stages[0].blocks[0].fc1_w);
+        let c2 = ModelWeights::synthesize(&c, 8);
+        assert_ne!(a.patch_w, c2.patch_w);
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let c = ModelConfig::test_config();
+        let w = ModelWeights::synthesize(&c, 1);
+        let d = c.stages[0].embed_dim;
+        assert_eq!(w.patch_w.shape(), &[d, c.patch_dim()]);
+        assert_eq!(w.pos_embed.shape(), &[c.seq_len(), d]);
+        let blk = &w.stages[0].blocks[0];
+        assert_eq!(blk.qkv_w.shape(), &[3 * d, d]);
+        assert_eq!(blk.fc1_w.shape(), &[d * c.mlp_ratio, d]);
+        assert_eq!(w.head_w.shape(), &[c.num_classes, d]);
+        assert!(w.cls_token.is_some());
+    }
+
+    #[test]
+    fn swin_has_merge_layers_and_no_cls() {
+        let c = ModelConfig::test_swin_config();
+        let w = ModelWeights::synthesize(&c, 1);
+        assert!(w.cls_token.is_none());
+        assert!(w.stages[0].merge.is_some());
+        assert!(w.stages[1].merge.is_none());
+        let (mw, _) = w.stages[0].merge.as_ref().unwrap();
+        assert_eq!(mw.shape(), &[c.stages[1].embed_dim, 4 * c.stages[0].embed_dim]);
+    }
+
+    #[test]
+    fn weights_are_long_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = long_tailed_matrix(&mut rng, 256, 256, 1.0);
+        let bulk = 1.0 / 16.0; // 1/sqrt(256)
+        let n_out = w.data().iter().filter(|&&x| x.abs() > 4.0 * bulk).count();
+        // Outlier mixture + amplified rows: clearly more 4σ events than the
+        // ~0.006% a pure Gaussian would give, but still a small minority.
+        assert!(n_out > 64, "too few outliers: {n_out}");
+        assert!((n_out as f64) < 0.06 * w.len() as f64, "too many outliers: {n_out}");
+    }
+
+    #[test]
+    fn layernorm_gains_have_outlier_channels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = layernorm_gain(&mut rng, 4096);
+        let big = g.data().iter().filter(|&&x| x > 2.5).count();
+        assert!(big > 10, "expected outlier gain channels, got {big}");
+        assert!(g.data().iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests of the ViT substrate.
+
+use proptest::prelude::*;
+use quq_vit::{Fp32Backend, ModelConfig, VitModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn forward_is_finite_for_bounded_inputs(seed in 0u64..1000, pixel in -2.0f32..2.0) {
+        let model = VitModel::synthesize(ModelConfig::test_config(), seed);
+        let img = model.config().dummy_image(pixel);
+        let logits = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        prop_assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attention_rows_always_stochastic(seed in 0u64..1000) {
+        let model = VitModel::synthesize(ModelConfig::test_config(), seed);
+        let img = model.config().dummy_image(0.3);
+        let (_, maps) = model.forward_with_attention(&img, &mut Fp32Backend::new()).unwrap();
+        for m in &maps {
+            let n = m.shape()[0];
+            for r in 0..n {
+                let sum: f32 = (0..n).map(|c| m.at(&[r, c])).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-3, "row {r}: {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn swin_forward_is_finite(seed in 0u64..200) {
+        let model = VitModel::synthesize(ModelConfig::test_swin_config(), seed);
+        let img = model.config().dummy_image(-0.4);
+        let logits = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+        prop_assert!(logits.data().iter().all(|v| v.is_finite()));
+        prop_assert_eq!(logits.len(), model.config().num_classes);
+    }
+
+    #[test]
+    fn patchify_is_a_bijection_of_pixels(seed in 0u64..1000) {
+        let model = VitModel::synthesize(ModelConfig::test_config(), seed);
+        let cfg = model.config();
+        let mut img = cfg.dummy_image(0.0);
+        // Tag every pixel with a unique value; the patchified multiset must
+        // match exactly (no pixel lost or duplicated).
+        for (i, v) in img.data_mut().iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let patches = model.patchify(&img);
+        let mut all: Vec<f32> = patches.data().to_vec();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, v) in all.iter().enumerate() {
+            prop_assert_eq!(*v, i as f32);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Deploy a QUQ-quantized layer onto the QUA simulator: encode operands as
+//! QUBs, run the bit-accurate PE-array model, check it against the software
+//! integer reference, and report the analytical area/power of the design —
+//! the paper's §4 hardware story end to end.
+//!
+//! ```text
+//! cargo run --release -p quq-bench --example accelerator_deploy
+//! ```
+
+use quq_accel::{estimate, AcceleratorConfig, Qua, Scheme, Tech};
+use quq_core::{dot::matmul_nt_qub, Pra, QubCodec, QuqParams};
+use quq_tensor::rng::OutlierMixture;
+use quq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = 6;
+    let (m, k, n) = (64usize, 192usize, 96usize);
+
+    // A linear layer: activations [m, k] and weights [n, k].
+    let mut rng = StdRng::seed_from_u64(3);
+    let act = OutlierMixture::new(0.05, 0.8, 0.01).sample_vec(&mut rng, m * k);
+    let wgt = OutlierMixture::new(0.03, 0.3, 0.01).sample_vec(&mut rng, n * k);
+    let a_params = Pra::with_defaults(bits).run(&act).params;
+    let w_params = Pra::with_defaults(bits).run(&wgt).params;
+    let qa = QubCodec::new(a_params).encode_tensor(&Tensor::from_vec(act, &[m, k])?);
+    let qw = QubCodec::new(w_params).encode_tensor(&Tensor::from_vec(wgt, &[n, k])?);
+    let out_params = QuqParams::uniform(bits, 0.05)?;
+
+    // Run on a 16×16 QUA.
+    let qua = Qua::new(16, 16, bits);
+    let (out, stats) = qua.gemm(&qa, &qw, &out_params);
+    println!("GEMM {m}×{k} · {n}×{k}ᵀ on 16×16 QUA:");
+    println!("  {} MACs over {} tiles in {} cycles (utilization {:.1}%)", stats.macs, stats.tiles, stats.cycles, stats.utilization(&qua) * 100.0);
+    println!("  {} QUB decodes, {} requantizations", stats.decodes, stats.requants);
+
+    // Verify against the software integer reference (bit-exact).
+    let reference = matmul_nt_qub(&qa, &qw);
+    let codec = QubCodec::new(out_params);
+    let ok = reference.iter().zip(&out.bytes).all(|(&acc, &byte)| {
+        codec.encode(out_params.quantize(acc as f32 * qa.base_delta * qw.base_delta)) == byte
+    });
+    println!("  bit-exact vs software reference: {ok}");
+    assert!(ok, "simulator diverged from the software integer path");
+
+    // Analytical cost of this accelerator vs the uniform baseline (Table 4).
+    println!("\n28 nm cost model (500 MHz):");
+    for scheme in [Scheme::BaseQ, Scheme::Quq] {
+        for b in [6u32, 8] {
+            let r = estimate(AcceleratorConfig::new(scheme, b, 16), Tech::n28());
+            println!("  {r}");
+        }
+    }
+    println!("\nThe paper's headline: 6-bit QUQ beats 8-bit BaseQ in both accuracy and cost.");
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration: synthesize a model, calibrate, execute quantized,
+//! and check the paper's qualitative claims on a fast test configuration.
+
+use quq_baselines::BaseQ;
+use quq_core::pipeline::{calibrate, evaluate_quantized, PtqConfig};
+use quq_core::{Coverage, QuantMethod, QuqMethod};
+use quq_vit::{evaluate, Dataset, Fp32Backend, ModelConfig, VitModel};
+
+fn test_model(seed: u64) -> VitModel {
+    VitModel::synthesize(ModelConfig::test_config(), seed)
+}
+
+#[test]
+fn fp32_evaluation_is_perfect_by_construction() {
+    let model = test_model(1);
+    let ds = Dataset::teacher_labeled(&model, 12, 2).unwrap();
+    let acc = evaluate(&model, &mut Fp32Backend::new(), &ds).unwrap();
+    assert_eq!(acc, 1.0);
+}
+
+#[test]
+fn quantized_pipeline_is_deterministic() {
+    let model = test_model(3);
+    let calib = Dataset::calibration(model.config(), 4, 5);
+    let eval = Dataset::teacher_labeled(&model, 12, 6).unwrap();
+    let method = QuqMethod::paper();
+    let cfg = PtqConfig::full_w6a6();
+    let a = evaluate_quantized(&method, &model, &calib, &eval, cfg).unwrap();
+    let b = evaluate_quantized(&method, &model, &calib, &eval, cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn partial_quantization_degrades_less_than_full() {
+    let model = test_model(4);
+    let calib = Dataset::calibration(model.config(), 6, 7);
+    let eval = Dataset::teacher_labeled(&model, 24, 8).unwrap();
+    let method = BaseQ::new();
+    let partial = evaluate_quantized(
+        &method,
+        &model,
+        &calib,
+        &eval,
+        PtqConfig { bits_w: 6, bits_a: 6, coverage: Coverage::Partial },
+    )
+    .unwrap();
+    let full = evaluate_quantized(
+        &method,
+        &model,
+        &calib,
+        &eval,
+        PtqConfig { bits_w: 6, bits_a: 6, coverage: Coverage::Full },
+    )
+    .unwrap();
+    // The paper's Fig. 1/2 motivation: full quantization touches the hard
+    // tensors, so (for a uniform quantizer) it can only be harder.
+    assert!(partial >= full, "partial {partial} < full {full}");
+}
+
+#[test]
+fn quq_at_least_matches_baseq_on_full_quantization() {
+    let model = test_model(5);
+    let calib = Dataset::calibration(model.config(), 6, 9);
+    let eval = Dataset::teacher_labeled_confident(&model, 24, 10).unwrap();
+    let cfg = PtqConfig::full_w6a6();
+    let quq = evaluate_quantized(&QuqMethod::paper(), &model, &calib, &eval, cfg).unwrap();
+    let baseq = evaluate_quantized(&BaseQ::new(), &model, &calib, &eval, cfg).unwrap();
+    assert!(quq >= baseq, "QUQ {quq} < BaseQ {baseq}");
+}
+
+#[test]
+fn eight_bit_full_quq_is_near_lossless() {
+    let model = test_model(6);
+    let calib = Dataset::calibration(model.config(), 6, 11);
+    let eval = Dataset::teacher_labeled_confident(&model, 24, 12).unwrap();
+    let acc = evaluate_quantized(&QuqMethod::paper(), &model, &calib, &eval, PtqConfig::full_w8a8())
+        .unwrap();
+    assert!(acc >= 0.9, "8-bit QUQ agreement {acc}");
+}
+
+#[test]
+fn swin_models_run_through_the_full_pipeline() {
+    let model = VitModel::synthesize(ModelConfig::test_swin_config(), 7);
+    let calib = Dataset::calibration(model.config(), 4, 13);
+    let eval = Dataset::teacher_labeled(&model, 8, 14).unwrap();
+    let acc = evaluate_quantized(&QuqMethod::paper(), &model, &calib, &eval, PtqConfig::full_w8a8())
+        .unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn calibration_tables_describe_their_quantizers() {
+    let model = test_model(8);
+    let calib = Dataset::calibration(model.config(), 4, 15);
+    let tables = calibrate(&QuqMethod::paper(), &model, &calib, PtqConfig::full_w6a6()).unwrap();
+    let site = quq_vit::OpSite::in_block(0, quq_vit::OpKind::Qkv);
+    let desc = tables.weight_description(&site).expect("qkv weight description");
+    assert!(desc.contains("QUQ"), "{desc}");
+}
+
+#[test]
+fn method_trait_objects_are_interchangeable() {
+    let model = test_model(9);
+    let calib = Dataset::calibration(model.config(), 3, 16);
+    let eval = Dataset::teacher_labeled(&model, 6, 17).unwrap();
+    let methods: Vec<Box<dyn QuantMethod>> = vec![
+        Box::new(BaseQ::new()),
+        Box::new(quq_baselines::BiScaledFxp::new()),
+        Box::new(quq_baselines::FqVit::new()),
+        Box::new(quq_baselines::Ptq4Vit::new()),
+        Box::new(quq_baselines::ApqVit::new()),
+        Box::new(QuqMethod::paper()),
+    ];
+    for m in &methods {
+        let acc =
+            evaluate_quantized(m.as_ref(), &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
+        assert!((0.0..=1.0).contains(&acc), "{}", m.name());
+    }
+}

@@ -1,0 +1,116 @@
+//! Hardware/software equivalence: the QUA functional simulator must compute
+//! exactly what the QUQ software stack defines, across bit-widths and modes
+//! — the property the paper's accelerator design (§4) rests on.
+
+use quq_accel::Qua;
+use quq_core::dot::{accumulator_value, matmul_nt_qub};
+use quq_core::{decode_qub, Pra, QubCodec, QuqParams};
+use quq_tensor::rng::{standard_normal, OutlierMixture};
+use quq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn encode(seed: u64, rows: usize, cols: usize, bits: u32, mix: OutlierMixture) -> quq_core::QubTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vals = mix.sample_vec(&mut rng, rows * cols);
+    let params = Pra::with_defaults(bits).run(&vals).params;
+    QubCodec::new(params).encode_tensor(&Tensor::from_vec(vals, &[rows, cols]).unwrap())
+}
+
+#[test]
+fn qua_gemm_is_bit_exact_across_bit_widths_and_array_shapes() {
+    for bits in [4u32, 6, 8] {
+        for (rows, cols) in [(2usize, 2usize), (4, 8), (16, 16)] {
+            let a = encode(bits as u64 * 7 + 1, 9, 21, bits, OutlierMixture::new(0.05, 0.6, 0.02));
+            let w = encode(bits as u64 * 7 + 2, 6, 21, bits, OutlierMixture::new(0.02, 0.3, 0.01));
+            let out_params = QuqParams::uniform(bits, 0.125).unwrap();
+            let (c, _) = Qua::new(rows, cols, bits).gemm(&a, &w, &out_params);
+            let reference = matmul_nt_qub(&a, &w);
+            let codec = QubCodec::new(out_params);
+            for (i, &acc) in reference.iter().enumerate() {
+                let v = accumulator_value(acc, a.base_delta, w.base_delta);
+                assert_eq!(
+                    c.bytes[i],
+                    codec.encode(out_params.quantize(v)),
+                    "bits {bits}, array {rows}×{cols}, element {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mode_b_tensors_flow_through_the_accelerator() {
+    // Non-negative (softmax-like) activations: Mode B encodings.
+    let mut rng = StdRng::seed_from_u64(11);
+    let probs: Vec<f32> = (0..64).map(|_| standard_normal(&mut rng).abs().min(3.0) / 3.0).collect();
+    let params = Pra::with_defaults(6).run(&probs).params;
+    assert_eq!(params.mode(), quq_core::Mode::B);
+    let qa = QubCodec::new(params).encode_tensor(&Tensor::from_vec(probs, &[4, 16]).unwrap());
+    let w = encode(12, 4, 16, 6, OutlierMixture::new(0.05, 0.4, 0.02));
+    let (c, _) = Qua::new(2, 2, 6).gemm(&qa, &w, &QuqParams::uniform(6, 0.05).unwrap());
+    // Spot-check against the float product of the dequantized operands.
+    let fa = qa.dequantize();
+    let fw = w.dequantize();
+    let reference = quq_tensor::linalg::matmul_nt(&fa, &fw).unwrap();
+    let got = c.dequantize();
+    for (g, r) in got.data().iter().zip(reference.data()) {
+        assert!((g - r).abs() <= 0.05 / 2.0 + 0.05, "{g} vs {r}");
+    }
+}
+
+#[test]
+fn du_decode_is_pure_function_of_byte_and_registers() {
+    // The decoding unit needs no access to the parameter object — only the
+    // FC registers (paper §4.1). Cross-check the two code paths.
+    let values = {
+        let mut rng = StdRng::seed_from_u64(13);
+        OutlierMixture::new(0.04, 0.7, 0.03).sample_vec(&mut rng, 5000)
+    };
+    for bits in [4u32, 6, 8] {
+        let params = Pra::with_defaults(bits).run(&values).params;
+        let codec = QubCodec::new(params);
+        let fc = codec.fc();
+        for byte in 0..(1u16 << bits) as u16 {
+            let via_codec = codec.decode(byte as u8);
+            let via_fn = decode_qub(byte as u8, fc, bits);
+            assert_eq!(via_codec, via_fn);
+        }
+    }
+}
+
+#[test]
+fn sfu_path_equals_dequantization_for_special_functions() {
+    // §4.2: SFUs consume d = D << n_sh; Softmax over the SFU-decoded
+    // integers (scaled) must equal Softmax over the dequantized floats.
+    let values = {
+        let mut rng = StdRng::seed_from_u64(14);
+        OutlierMixture::new(0.3, 2.0, 0.05).sample_vec(&mut rng, 32)
+    };
+    let params = Pra::with_defaults(8).run(&values).params;
+    let codec = QubCodec::new(params);
+    let t = Tensor::from_vec(values, &[4, 8]).unwrap();
+    let qt = codec.encode_tensor(&t);
+    let qua = Qua::new(2, 2, 8);
+    let ints = qua.sfu_load(&qt);
+    let via_sfu = ints.to_f32(qt.base_delta);
+    let direct = qt.dequantize();
+    let s1 = quq_tensor::nn::softmax(&via_sfu).unwrap();
+    let s2 = quq_tensor::nn::softmax(&direct).unwrap();
+    for (a, b) in s1.data().iter().zip(s2.data()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn memory_model_and_cost_model_agree_on_bit_width_direction() {
+    // Cross-model sanity: lowering bits shrinks both memory and silicon.
+    let cfg = quq_vit::ModelConfig::full_scale(quq_vit::ModelId::VitS);
+    let m6 = quq_accel::simulate_block(&cfg, quq_accel::Regime::Fq, 6, 1).peak_bytes;
+    let m8 = quq_accel::simulate_block(&cfg, quq_accel::Regime::Fq, 8, 1).peak_bytes;
+    assert!(m6 < m8);
+    let t = quq_accel::Tech::n28();
+    let a6 = quq_accel::estimate(quq_accel::AcceleratorConfig::new(quq_accel::Scheme::Quq, 6, 16), t);
+    let a8 = quq_accel::estimate(quq_accel::AcceleratorConfig::new(quq_accel::Scheme::Quq, 8, 16), t);
+    assert!(a6.area_mm2 < a8.area_mm2);
+}

@@ -1,0 +1,88 @@
+//! The paper's headline claims, checked end to end at reduced scale.
+
+use quq_bench::experiments::{fig2, table1, table4};
+use quq_bench::Settings;
+
+#[test]
+fn claim_fig2_full_quantization_saves_memory_everywhere() {
+    for bits in [6u32, 8] {
+        for p in fig2::series(bits) {
+            assert!(p.fq_kib < p.pq_kib, "{p:?}");
+        }
+    }
+}
+
+#[test]
+fn claim_fig2_memory_overhead_band_overlaps_papers() {
+    // Paper abstract: 22.3%–172.6% extra memory for partial quantization.
+    let overheads: Vec<f64> = [6u32, 8]
+        .iter()
+        .flat_map(|&b| fig2::series(b))
+        .map(|p| p.overhead())
+        .collect();
+    let lo = overheads.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = overheads.iter().cloned().fold(0.0, f64::max);
+    assert!(lo < 1.0 && hi > 0.5, "band [{lo:.2}, {hi:.2}] does not overlap the paper's");
+}
+
+#[test]
+fn claim_table1_quq_mse_below_baseq_everywhere() {
+    let rows = table1::rows(1, Settings::paper().seed);
+    for bits in [4u32, 6, 8] {
+        let base = rows.iter().find(|r| r.method == "BaseQ" && r.bits == bits).unwrap();
+        let quq = rows.iter().find(|r| r.method == "QUQ" && r.bits == bits).unwrap();
+        for i in 0..4 {
+            assert!(
+                quq.mse[i] <= base.mse[i] * 1.0001,
+                "bits {bits}, tensor {i}: {:.3e} vs {:.3e}",
+                quq.mse[i],
+                base.mse[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_table4_quq_cheaper_than_higher_bit_baseq() {
+    let reports = table4::reports();
+    let find = |scheme: quq_accel::Scheme, bits: u32, array: usize| {
+        reports
+            .iter()
+            .find(|r| r.config.scheme == scheme && r.config.bits == bits && r.config.array == array)
+            .unwrap()
+    };
+    for array in [16usize, 64] {
+        let q6 = find(quq_accel::Scheme::Quq, 6, array);
+        let b8 = find(quq_accel::Scheme::BaseQ, 8, array);
+        assert!(q6.area_mm2 < b8.area_mm2, "area at {array}");
+        assert!(q6.power_mw < b8.power_mw, "power at {array}");
+        let b6 = find(quq_accel::Scheme::BaseQ, 6, array);
+        let q = find(quq_accel::Scheme::Quq, 6, array);
+        assert!(q.area_mm2 / b6.area_mm2 < 1.08, "area overhead at {array}");
+        assert!(q.power_mw / b6.power_mw < 1.10, "power overhead at {array}");
+    }
+}
+
+#[test]
+fn claim_uniform_is_a_special_case_of_quq() {
+    // §3.2: Mode D with equal scales = symmetric uniform quantization.
+    let delta = 0.07f32;
+    let quq = quq_core::QuqParams::uniform(6, delta).unwrap();
+    let uni = quq_core::UniformQuantizer::new(6, delta);
+    for i in -500..500 {
+        let x = i as f32 * 0.011;
+        assert!((quq.fake_quantize(x) - uni.fake_quantize(x)).abs() < 1e-6, "at {x}");
+    }
+}
+
+#[test]
+fn claim_pra_adapts_mode_to_distribution_shape() {
+    // Fig. 3/4: the algorithm picks different modes for the four tensor
+    // families. Verified on real captured activations.
+    let panels = quq_bench::experiments::fig3::panels(1, Settings::paper().seed);
+    let modes: std::collections::BTreeSet<String> =
+        panels.iter().map(|p| p.mode.to_string()).collect();
+    assert!(modes.len() >= 2, "PRA fit only modes {modes:?} across the four tensors");
+    // Post-Softmax (non-negative) must merge to one side: Mode B.
+    assert_eq!(panels[1].mode, quq_core::Mode::B);
+}
