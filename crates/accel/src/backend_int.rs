@@ -14,10 +14,10 @@
 
 use crate::intfunc;
 use quq_core::calib::{Coverage, Operand, ParamKey};
+use quq_core::dot;
 use quq_core::pipeline::PtqTables;
 use quq_core::qub::QubCodec;
 use quq_core::scheme::QuqParams;
-use quq_core::dot;
 use quq_tensor::{linalg, IntTensor, Tensor};
 use quq_vit::backend::{Backend, BackendError, OpSite, Result};
 
@@ -80,12 +80,18 @@ impl<'a> IntegerBackend<'a> {
         let accs = dot::matmul_nt_qub(&qa, &qb);
         let scale = qa.base_delta * qb.base_delta;
         let data: Vec<f32> = accs.into_iter().map(|v| v as f32 * scale).collect();
-        Ok(Tensor::from_vec(data, &[a.shape()[0], b.shape()[0]]).map_err(BackendError::from)?)
+        Tensor::from_vec(data, &[a.shape()[0], b.shape()[0]]).map_err(BackendError::from)
     }
 }
 
 impl Backend for IntegerBackend<'_> {
-    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        bias: Option<&Tensor>,
+    ) -> Result<Tensor> {
         if !self.coverage().covers(site.kind) {
             return Ok(linalg::linear(x, w, bias)?);
         }
@@ -102,7 +108,7 @@ impl Backend for IntegerBackend<'_> {
         };
         let mut shape = x.shape().to_vec();
         *shape.last_mut().expect("rank >= 1") = w.shape()[0];
-        Ok(y.into_reshape(&shape).map_err(BackendError::from)?)
+        y.into_reshape(&shape).map_err(BackendError::from)
     }
 
     fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
@@ -134,7 +140,7 @@ impl Backend for IntegerBackend<'_> {
         let ints = ints.reshape(&[rows, cols]).map_err(BackendError::from)?;
         let probs_fx = intfunc::i_softmax(&ints, scale);
         let out = probs_fx.to_f32(1.0 / intfunc::ONE as f32);
-        Ok(out.into_reshape(x.shape()).map_err(BackendError::from)?)
+        out.into_reshape(x.shape()).map_err(BackendError::from)
     }
 
     fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
@@ -165,7 +171,9 @@ impl Backend for IntegerBackend<'_> {
         // alignment; numerically this equals adding the dequantized values.
         let (ia, sa) = self.sfu_quantize(site, Operand::Input, a)?;
         let (ib, sb) = self.sfu_quantize(site, Operand::InputB, b)?;
-        Ok(ia.to_f32(sa).add(&ib.to_f32(sb)).map_err(BackendError::from)?)
+        ia.to_f32(sa)
+            .add(&ib.to_f32(sb))
+            .map_err(BackendError::from)
     }
 }
 
@@ -223,7 +231,11 @@ mod tests {
             fn name(&self) -> &'static str {
                 "uniform-only"
             }
-            fn fit_activation(&self, samples: &[f32], bits: u32) -> Box<dyn quq_core::FittedQuantizer> {
+            fn fit_activation(
+                &self,
+                samples: &[f32],
+                bits: u32,
+            ) -> Box<dyn quq_core::FittedQuantizer> {
                 Box::new(quq_core::UniformQuantizer::fit_min_max(bits, samples))
             }
         }
@@ -231,7 +243,9 @@ mod tests {
         let calib = Dataset::calibration(model.config(), 2, 1);
         let tables = calibrate(&UniformOnly, &model, &calib, PtqConfig::full_w8a8()).unwrap();
         let mut be = IntegerBackend::new(&tables);
-        let err = model.forward(&model.config().dummy_image(0.1), &mut be).unwrap_err();
+        let err = model
+            .forward(&model.config().dummy_image(0.1), &mut be)
+            .unwrap_err();
         assert!(matches!(err, BackendError::MissingParams(_)), "{err:?}");
     }
 }

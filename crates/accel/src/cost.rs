@@ -47,7 +47,11 @@ pub struct AcceleratorConfig {
 impl AcceleratorConfig {
     /// Convenience constructor.
     pub fn new(scheme: Scheme, bits: u32, array: usize) -> Self {
-        Self { scheme, bits, array }
+        Self {
+            scheme,
+            bits,
+            array,
+        }
     }
 }
 
@@ -69,7 +73,11 @@ impl Tech {
     /// constant calibrated so the BaseQ 6-bit 16×16 design lands on the
     /// paper's 0.148 mm² (Table 4).
     pub fn n28() -> Self {
-        Self { ge_area_um2: 0.775, comb_ge_power_uw: 0.275, reg_ge_power_uw: 0.52 }
+        Self {
+            ge_area_um2: 0.775,
+            comb_ge_power_uw: 0.275,
+            reg_ge_power_uw: 0.52,
+        }
     }
 }
 
@@ -105,7 +113,7 @@ pub fn register_ge(w: u32) -> f64 {
 
 /// Logarithmic barrel shifter: datapath `width`, shift range `0..=max_shift`.
 pub fn barrel_shifter_ge(width: u32, max_shift: u32) -> f64 {
-    let stages = 32 - (max_shift as u32).leading_zeros(); // ceil(log2(max+1))
+    let stages = 32 - max_shift.leading_zeros(); // ceil(log2(max+1))
     MUX2_GE * width as f64 * stages as f64
 }
 
@@ -196,9 +204,7 @@ fn pe_cost(scheme: Scheme, bits: u32) -> (f64, f64) {
                 + adder_ge(3) // n_sh_x + n_sh_w
                 + MUX2_GE * product_w as f64 * (QUQ_MAX_SHIFT as f64).log2().ceil() * 0.5
                 + 30.0;
-            let regs = register_ge(acc_w)
-                + 2.0 * register_ge(bits)
-                + 2.0 * register_ge(3); // pipelined n_sh (the power hotspot)
+            let regs = register_ge(acc_w) + 2.0 * register_ge(bits) + 2.0 * register_ge(3); // pipelined n_sh (the power hotspot)
             (comb, regs)
         }
     }
@@ -255,11 +261,19 @@ pub fn estimate(config: AcceleratorConfig, tech: Tech) -> CostReport {
 
     let comb_total = pe_comb
         + qu_comb_1 * n as f64
-        + if config.scheme == Scheme::Quq { du_cost(config.bits).0 * (2 * n) as f64 } else { 0.0 };
+        + if config.scheme == Scheme::Quq {
+            du_cost(config.bits).0 * (2 * n) as f64
+        } else {
+            0.0
+        };
     let reg_total = pe_reg
         + qu_reg_1 * n as f64
         + periphery_ge
-        + if config.scheme == Scheme::Quq { du_cost(config.bits).1 * (2 * n) as f64 } else { 0.0 };
+        + if config.scheme == Scheme::Quq {
+            du_cost(config.bits).1 * (2 * n) as f64
+        } else {
+            0.0
+        };
     let total_ge = comb_total + reg_total;
 
     let area_mm2 = total_ge * tech.ge_area_um2 / 1e6;
@@ -336,8 +350,14 @@ mod tests {
             let ov16 = q16.area_mm2 / b16.area_mm2 - 1.0;
             let ov64 = q64.area_mm2 / b64.area_mm2 - 1.0;
             // Paper: < 5% area overhead in the considered cases.
-            assert!(ov16 > 0.0 && ov16 < 0.08, "bits {bits}: 16×16 overhead {ov16:.3}");
-            assert!(ov64 > 0.0 && ov64 < 0.08, "bits {bits}: 64×64 overhead {ov64:.3}");
+            assert!(
+                ov16 > 0.0 && ov16 < 0.08,
+                "bits {bits}: 16×16 overhead {ov16:.3}"
+            );
+            assert!(
+                ov64 > 0.0 && ov64 < 0.08,
+                "bits {bits}: 64×64 overhead {ov64:.3}"
+            );
             // Peripheral DUs/QUs amortize: overhead shrinks as PEs grow O(n²).
             assert!(ov64 < ov16, "bits {bits}: {ov64:.4} !< {ov16:.4}");
         }
@@ -350,7 +370,10 @@ mod tests {
                 let b = rep(Scheme::BaseQ, bits, array);
                 let q = rep(Scheme::Quq, bits, array);
                 let ov = q.power_mw / b.power_mw - 1.0;
-                assert!(ov > 0.0 && ov < 0.10, "bits {bits} array {array}: power overhead {ov:.3}");
+                assert!(
+                    ov > 0.0 && ov < 0.10,
+                    "bits {bits} array {array}: power overhead {ov:.3}"
+                );
             }
         }
     }
@@ -367,7 +390,10 @@ mod tests {
                 (0.05..0.30).contains(&area_saving),
                 "array {array}: area saving {area_saving:.3}"
             );
-            assert!(power_saving > 0.0, "array {array}: power saving {power_saving:.3}");
+            assert!(
+                power_saving > 0.0,
+                "array {array}: power saving {power_saving:.3}"
+            );
         }
     }
 
@@ -409,7 +435,9 @@ mod tests {
     fn table4_configs_cover_all_rows() {
         let cfgs = table4_configs();
         assert_eq!(cfgs.len(), 8);
-        assert!(cfgs.iter().any(|c| c.scheme == Scheme::Quq && c.bits == 8 && c.array == 64));
+        assert!(cfgs
+            .iter()
+            .any(|c| c.scheme == Scheme::Quq && c.bits == 8 && c.array == 64));
     }
 
     #[test]
@@ -436,15 +464,25 @@ mod energy_tests {
     #[test]
     fn gemm_energy_scales_with_cycles() {
         let r = estimate(AcceleratorConfig::new(Scheme::BaseQ, 6, 16), Tech::n28());
-        let short = GemmStats { cycles: 100, ..Default::default() };
-        let long = GemmStats { cycles: 1000, ..Default::default() };
+        let short = GemmStats {
+            cycles: 100,
+            ..Default::default()
+        };
+        let long = GemmStats {
+            cycles: 1000,
+            ..Default::default()
+        };
         assert!((gemm_energy_nj(&r, &long) / gemm_energy_nj(&r, &short) - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn six_bit_quq_gemm_cheaper_than_eight_bit_baseq_gemm() {
         // Same workload, same cycles: energy ratio follows power ratio.
-        let stats = GemmStats { cycles: 4096, macs: 1 << 20, ..Default::default() };
+        let stats = GemmStats {
+            cycles: 4096,
+            macs: 1 << 20,
+            ..Default::default()
+        };
         let q6 = estimate(AcceleratorConfig::new(Scheme::Quq, 6, 16), Tech::n28());
         let b8 = estimate(AcceleratorConfig::new(Scheme::BaseQ, 8, 16), Tech::n28());
         assert!(gemm_energy_nj(&q6, &stats) < gemm_energy_nj(&b8, &stats));

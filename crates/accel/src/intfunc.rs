@@ -49,7 +49,7 @@ fn exp2_frac_fx(f: i64) -> i64 {
 pub fn i_exp2(x_fx: i64) -> i64 {
     debug_assert!(x_fx <= 0, "i_exp2 expects non-positive input");
     let int_part = (-x_fx) >> FRAC_BITS; // magnitude of the integer part
-    let frac = x_fx + ((int_part as i64) << FRAC_BITS); // in (−1, 0]
+    let frac = x_fx + (int_part << FRAC_BITS); // in (−1, 0]
     let frac_pos = if frac == 0 { 0 } else { frac + ONE }; // 2^f = 2^{f+1}/2
     let extra = if frac == 0 { 0 } else { 1 };
     let shift = int_part + extra;
@@ -102,12 +102,16 @@ pub fn i_softmax(x: &IntTensor, scale: f32) -> IntTensor {
         let mut sum = 0i64;
         for (c, &q) in row.iter().enumerate() {
             let t_fx = (q as i64 - max as i64) * s_fx; // ≤ 0, fixed point
-            let e = i_exp(t_fx >> 0);
+            let e = i_exp(t_fx);
             exps[c] = e;
             sum += e;
         }
         for (c, &e) in exps.iter().enumerate() {
-            out[r * cols + c] = if sum > 0 { ((e << FRAC_BITS) / sum) as i32 } else { 0 };
+            out[r * cols + c] = if sum > 0 {
+                ((e << FRAC_BITS) / sum) as i32
+            } else {
+                0
+            };
         }
     }
     IntTensor::from_vec(out, x.shape()).expect("sized")
@@ -152,20 +156,21 @@ pub fn i_gelu(x: &IntTensor, scale: f32) -> IntTensor {
 /// # Panics
 ///
 /// Panics when shapes disagree.
-pub fn i_layer_norm(
-    x: &IntTensor,
-    gamma: &Tensor,
-    beta: &Tensor,
-    out_scale: f32,
-) -> IntTensor {
+pub fn i_layer_norm(x: &IntTensor, gamma: &Tensor, beta: &Tensor, out_scale: f32) -> IntTensor {
     let cols = *x.shape().last().expect("rank >= 1");
     assert_eq!(gamma.len(), cols, "gamma length mismatch");
     assert_eq!(beta.len(), cols, "beta length mismatch");
     // Fixed-point gamma/out_scale and beta/out_scale.
-    let g_fx: Vec<i64> =
-        gamma.data().iter().map(|&g| ((g / out_scale) as f64 * ONE as f64).round() as i64).collect();
-    let b_fx: Vec<i64> =
-        beta.data().iter().map(|&b| ((b / out_scale) as f64 * ONE as f64).round() as i64).collect();
+    let g_fx: Vec<i64> = gamma
+        .data()
+        .iter()
+        .map(|&g| ((g / out_scale) as f64 * ONE as f64).round() as i64)
+        .collect();
+    let b_fx: Vec<i64> = beta
+        .data()
+        .iter()
+        .map(|&b| ((b / out_scale) as f64 * ONE as f64).round() as i64)
+        .collect();
     let mut out = vec![0i32; x.len()];
     for (r, row) in x.data().chunks(cols).enumerate() {
         // Integer mean and variance of the raw codes (scale cancels in the
@@ -182,7 +187,7 @@ pub fn i_layer_norm(
         let std_codes = i_sqrt(var_num / n).max(1);
         for (c, &v) in row.iter().enumerate() {
             let centered = v as i64 * n - mean_num; // (v − mean)·n
-            // normalized = centered / (n·std); to fixed point:
+                                                    // normalized = centered / (n·std); to fixed point:
             let norm_fx = (centered << FRAC_BITS) / (n * std_codes);
             let y_fx = ((g_fx[c] * norm_fx) >> FRAC_BITS) + b_fx[c];
             out[r * cols + c] = (y_fx >> FRAC_BITS) as i32;
@@ -203,7 +208,10 @@ mod tests {
             let x_fx = (x * ONE as f64) as i64;
             let got = i_exp2(x_fx) as f64 / ONE as f64;
             let want = x.exp2();
-            assert!((got - want).abs() < 0.005 * want.max(1e-6) + 1e-4, "2^{x}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 0.005 * want.max(1e-6) + 1e-4,
+                "2^{x}: {got} vs {want}"
+            );
         }
     }
 
@@ -214,13 +222,29 @@ mod tests {
             let x_fx = (x * ONE as f64) as i64;
             let got = i_exp(x_fx) as f64 / ONE as f64;
             let want = x.exp();
-            assert!((got - want).abs() < 0.01 * want.max(1e-6) + 1e-4, "e^{x}: {got} vs {want}");
+            assert!(
+                (got - want).abs() < 0.01 * want.max(1e-6) + 1e-4,
+                "e^{x}: {got} vs {want}"
+            );
         }
     }
 
     #[test]
     fn i_sqrt_is_floor_sqrt() {
-        for n in [0i64, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 20, (1 << 30) + 7] {
+        for n in [
+            0i64,
+            1,
+            2,
+            3,
+            4,
+            15,
+            16,
+            17,
+            99,
+            100,
+            1 << 20,
+            (1 << 30) + 7,
+        ] {
             let r = i_sqrt(n);
             assert!(r * r <= n && (r + 1) * (r + 1) > n, "sqrt({n}) = {r}");
         }
@@ -273,10 +297,12 @@ mod tests {
     fn i_layer_norm_close_to_float() {
         let scale = 0.01f32;
         let out_scale = 0.02f32;
-        let codes: Vec<i32> = (0..64).map(|i| (i * i % 173) as i32 - 80).collect();
+        let codes: Vec<i32> = (0..64).map(|i| (i * i % 173) - 80).collect();
         let x = IntTensor::from_vec(codes, &[4, 16]).unwrap();
-        let gamma = Tensor::from_vec((0..16).map(|i| 0.5 + 0.1 * i as f32).collect(), &[16]).unwrap();
-        let beta = Tensor::from_vec((0..16).map(|i| -0.2 + 0.05 * i as f32).collect(), &[16]).unwrap();
+        let gamma =
+            Tensor::from_vec((0..16).map(|i| 0.5 + 0.1 * i as f32).collect(), &[16]).unwrap();
+        let beta =
+            Tensor::from_vec((0..16).map(|i| -0.2 + 0.05 * i as f32).collect(), &[16]).unwrap();
         let got = i_layer_norm(&x, &gamma, &beta, out_scale).to_f32(out_scale);
         let want = nn::layer_norm(&x.to_f32(scale), &gamma, &beta, 1e-6).unwrap();
         for (g, w) in got.data().iter().zip(want.data()) {

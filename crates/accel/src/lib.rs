@@ -17,15 +17,17 @@
 //! assert!(report.area_mm2 > 0.0);
 //! ```
 
-pub mod cost;
 pub mod backend_int;
+pub mod cost;
 pub mod intfunc;
 pub mod memory;
 pub mod schedule;
 pub mod sim;
 
 pub use backend_int::IntegerBackend;
-pub use cost::{estimate, gemm_energy_nj, table4_configs, AcceleratorConfig, CostReport, Scheme, Tech};
+pub use cost::{
+    estimate, gemm_energy_nj, table4_configs, AcceleratorConfig, CostReport, Scheme, Tech,
+};
 pub use memory::{pq_overhead, simulate_block, MemoryReport, Regime};
 pub use schedule::{block_gemms, deploy, Deployment, GemmShape};
 pub use sim::{GemmStats, Qua};

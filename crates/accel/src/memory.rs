@@ -111,31 +111,96 @@ pub fn simulate_block(config: &ModelConfig, regime: Regime, bits: u32, batch: u6
     //   7 ln2, 8 fc1, 9 gelu, 10 fc2, 11 residual2
     let acts = [
         // input x: consumed by ln1 (step 0) and residual1 (step 6).
-        Act { elems: n * d, gemm_only: false, born: 0, last_use: 6 },
+        Act {
+            elems: n * d,
+            gemm_only: false,
+            born: 0,
+            last_use: 6,
+        },
         // ln1 out: consumed by qkv (GEMM).
-        Act { elems: n * d, gemm_only: true, born: 0, last_use: 1 },
+        Act {
+            elems: n * d,
+            gemm_only: true,
+            born: 0,
+            last_use: 1,
+        },
         // qkv out: consumed by QKᵀ and P·V (GEMM).
-        Act { elems: n * 3 * d, gemm_only: true, born: 1, last_use: 4 },
+        Act {
+            elems: n * 3 * d,
+            gemm_only: true,
+            born: 1,
+            last_use: 4,
+        },
         // attention scores: consumed by softmax.
-        Act { elems: heads * n * n, gemm_only: false, born: 2, last_use: 3 },
+        Act {
+            elems: heads * n * n,
+            gemm_only: false,
+            born: 2,
+            last_use: 3,
+        },
         // softmax probabilities: consumed by P·V (GEMM).
-        Act { elems: heads * n * n, gemm_only: true, born: 3, last_use: 4 },
+        Act {
+            elems: heads * n * n,
+            gemm_only: true,
+            born: 3,
+            last_use: 4,
+        },
         // attention output: consumed by proj (GEMM).
-        Act { elems: n * d, gemm_only: true, born: 4, last_use: 5 },
+        Act {
+            elems: n * d,
+            gemm_only: true,
+            born: 4,
+            last_use: 5,
+        },
         // proj out: consumed by residual1.
-        Act { elems: n * d, gemm_only: false, born: 5, last_use: 6 },
+        Act {
+            elems: n * d,
+            gemm_only: false,
+            born: 5,
+            last_use: 6,
+        },
         // x1 = x + proj: consumed by ln2 (7) and residual2 (11).
-        Act { elems: n * d, gemm_only: false, born: 6, last_use: 11 },
+        Act {
+            elems: n * d,
+            gemm_only: false,
+            born: 6,
+            last_use: 11,
+        },
         // ln2 out: consumed by fc1 (GEMM).
-        Act { elems: n * d, gemm_only: true, born: 7, last_use: 8 },
+        Act {
+            elems: n * d,
+            gemm_only: true,
+            born: 7,
+            last_use: 8,
+        },
         // fc1 out: consumed by GELU.
-        Act { elems: n * h, gemm_only: false, born: 8, last_use: 9 },
+        Act {
+            elems: n * h,
+            gemm_only: false,
+            born: 8,
+            last_use: 9,
+        },
         // gelu out: consumed by fc2 (GEMM).
-        Act { elems: n * h, gemm_only: true, born: 9, last_use: 10 },
+        Act {
+            elems: n * h,
+            gemm_only: true,
+            born: 9,
+            last_use: 10,
+        },
         // fc2 out: consumed by residual2.
-        Act { elems: n * d, gemm_only: false, born: 10, last_use: 11 },
+        Act {
+            elems: n * d,
+            gemm_only: false,
+            born: 10,
+            last_use: 11,
+        },
         // block output: live at the end (next block's input).
-        Act { elems: n * d, gemm_only: false, born: 11, last_use: 11 },
+        Act {
+            elems: n * d,
+            gemm_only: false,
+            born: 11,
+            last_use: 11,
+        },
     ];
 
     // Weights resident per step (elements, stored at `bits` in both regimes).
@@ -177,12 +242,22 @@ pub fn simulate_block(config: &ModelConfig, regime: Regime, bits: u32, batch: u6
                 act_bytes += bytes(a.elems, act_bits(a)) * batch;
             }
         }
-        let step = ScheduleStep { op, weight_bytes, activation_bytes: act_bytes };
+        let step = ScheduleStep {
+            op,
+            weight_bytes,
+            activation_bytes: act_bytes,
+        };
         peak = peak.max(step.total());
         steps.push(step);
     }
 
-    MemoryReport { regime, bits, batch, peak_bytes: peak, steps }
+    MemoryReport {
+        regime,
+        bits,
+        batch,
+        peak_bytes: peak,
+        steps,
+    }
 }
 
 /// Relative extra memory of PQ over FQ: `peak(PQ)/peak(FQ) − 1`.
@@ -228,7 +303,10 @@ mod tests {
         }
         assert!(lo > 0.10, "minimum overhead {lo:.3} implausibly low");
         assert!(hi < 3.0, "maximum overhead {hi:.3} implausibly high");
-        assert!(hi > 1.0, "maximum overhead {hi:.3} should exceed 100% for some config");
+        assert!(
+            hi > 1.0,
+            "maximum overhead {hi:.3} should exceed 100% for some config"
+        );
     }
 
     #[test]
@@ -255,7 +333,10 @@ mod tests {
         let cfg = ModelConfig::full_scale(ModelId::VitS);
         let r = simulate_block(&cfg, Regime::Pq, 6, 1);
         let peak_op = r.steps.iter().max_by_key(|s| s.total()).unwrap().op;
-        assert!(["fc1", "gelu", "fc2"].contains(&peak_op), "peak at {peak_op}");
+        assert!(
+            ["fc1", "gelu", "fc2"].contains(&peak_op),
+            "peak at {peak_op}"
+        );
     }
 
     #[test]

@@ -61,12 +61,48 @@ pub fn block_gemms(config: &ModelConfig, stage: usize) -> Vec<GemmShape> {
         _ => config.seq_len(),
     };
     vec![
-        GemmShape { op: "qkv", m: tokens, k: d, n: 3 * d, count: 1 },
-        GemmShape { op: "qk_matmul", m: ctx, k: hd, n: ctx, count: heads * n_ctx },
-        GemmShape { op: "pv_matmul", m: ctx, k: ctx, n: hd, count: heads * n_ctx },
-        GemmShape { op: "proj", m: tokens, k: d, n: d, count: 1 },
-        GemmShape { op: "fc1", m: tokens, k: d, n: h, count: 1 },
-        GemmShape { op: "fc2", m: tokens, k: h, n: d, count: 1 },
+        GemmShape {
+            op: "qkv",
+            m: tokens,
+            k: d,
+            n: 3 * d,
+            count: 1,
+        },
+        GemmShape {
+            op: "qk_matmul",
+            m: ctx,
+            k: hd,
+            n: ctx,
+            count: heads * n_ctx,
+        },
+        GemmShape {
+            op: "pv_matmul",
+            m: ctx,
+            k: ctx,
+            n: hd,
+            count: heads * n_ctx,
+        },
+        GemmShape {
+            op: "proj",
+            m: tokens,
+            k: d,
+            n: d,
+            count: 1,
+        },
+        GemmShape {
+            op: "fc1",
+            m: tokens,
+            k: d,
+            n: h,
+            count: 1,
+        },
+        GemmShape {
+            op: "fc2",
+            m: tokens,
+            k: h,
+            n: d,
+            count: 1,
+        },
     ]
 }
 
@@ -168,8 +204,16 @@ mod tests {
     fn utilization_is_physical() {
         for id in ModelId::PAPER_MODELS {
             let cfg = ModelConfig::full_scale(id);
-            let d = deploy(&cfg, AcceleratorConfig::new(Scheme::Quq, 6, 16), Tech::n28());
-            assert!(d.utilization > 0.05 && d.utilization <= 1.0, "{id}: {}", d.utilization);
+            let d = deploy(
+                &cfg,
+                AcceleratorConfig::new(Scheme::Quq, 6, 16),
+                Tech::n28(),
+            );
+            assert!(
+                d.utilization > 0.05 && d.utilization <= 1.0,
+                "{id}: {}",
+                d.utilization
+            );
             assert!(d.latency_ms > 0.0);
         }
     }

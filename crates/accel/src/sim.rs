@@ -75,9 +75,22 @@ impl Qua {
     ///
     /// Panics when shapes are incompatible or operand widths disagree with
     /// the array's configured width.
-    pub fn gemm(&self, a: &QubTensor, w: &QubTensor, out_params: &QuqParams) -> (QubTensor, GemmStats) {
-        assert_eq!(a.bits, self.bits, "activation width {} != array width {}", a.bits, self.bits);
-        assert_eq!(w.bits, self.bits, "weight width {} != array width {}", w.bits, self.bits);
+    pub fn gemm(
+        &self,
+        a: &QubTensor,
+        w: &QubTensor,
+        out_params: &QuqParams,
+    ) -> (QubTensor, GemmStats) {
+        assert_eq!(
+            a.bits, self.bits,
+            "activation width {} != array width {}",
+            a.bits, self.bits
+        );
+        assert_eq!(
+            w.bits, self.bits,
+            "weight width {} != array width {}",
+            w.bits, self.bits
+        );
         assert_eq!(a.shape.len(), 2, "activations must be rank 2");
         assert_eq!(w.shape.len(), 2, "weights must be rank 2");
         let (m, k) = (a.shape[0], a.shape[1]);
@@ -85,16 +98,26 @@ impl Qua {
         assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
 
         // DU stage: decode every operand once (streamed row-/column-wise).
-        let ad: Vec<Decoded> = a.bytes.iter().map(|&b| decode_qub(b, a.fc, a.bits)).collect();
-        let wd: Vec<Decoded> = w.bytes.iter().map(|&b| decode_qub(b, w.fc, w.bits)).collect();
+        let ad: Vec<Decoded> = a
+            .bytes
+            .iter()
+            .map(|&b| decode_qub(b, a.fc, a.bits))
+            .collect();
+        let wd: Vec<Decoded> = w
+            .bytes
+            .iter()
+            .map(|&b| decode_qub(b, w.fc, w.bits))
+            .collect();
 
         // PE stage: tiled output-stationary multiply-shift-accumulate.
         let mut acc = vec![0i64; m * n];
-        let mut stats = GemmStats::default();
-        stats.decodes = (ad.len() + wd.len()) as u64;
         let row_tiles = m.div_ceil(self.rows);
         let col_tiles = n.div_ceil(self.cols);
-        stats.tiles = (row_tiles * col_tiles) as u64;
+        let mut stats = GemmStats {
+            decodes: (ad.len() + wd.len()) as u64,
+            tiles: (row_tiles * col_tiles) as u64,
+            ..GemmStats::default()
+        };
         for rt in 0..row_tiles {
             for ct in 0..col_tiles {
                 let r_end = ((rt + 1) * self.rows).min(m);
@@ -172,7 +195,11 @@ mod tests {
             let reference = matmul_nt_qub(&a, &w);
             let codec = QubCodec::new(out_params);
             for (i, &acc) in reference.iter().enumerate() {
-                let expect = codec.encode(out_params.quantize(accumulator_value(acc, a.base_delta, w.base_delta)));
+                let expect = codec.encode(out_params.quantize(accumulator_value(
+                    acc,
+                    a.base_delta,
+                    w.base_delta,
+                )));
                 assert_eq!(c.bytes[i], expect, "bits {bits}, element {i}");
             }
             assert_eq!(stats.macs, 7 * 5 * 33);
@@ -194,8 +221,16 @@ mod tests {
         let (c, _) = qua.gemm(&a, &a, &params);
         // C = A·Aᵀ: C[0,0] = 0.5² + (−1)² = 1.25; C[0,1] = 0.75 − 2 = −1.25.
         let dec = c.dequantize();
-        assert!((dec.data()[0] - 1.25).abs() <= 0.25 + 1e-6, "C00 = {}", dec.data()[0]);
-        assert!((dec.data()[1] - -1.25).abs() <= 0.25 + 1e-6, "C01 = {}", dec.data()[1]);
+        assert!(
+            (dec.data()[0] - 1.25).abs() <= 0.25 + 1e-6,
+            "C00 = {}",
+            dec.data()[0]
+        );
+        assert!(
+            (dec.data()[1] - -1.25).abs() <= 0.25 + 1e-6,
+            "C01 = {}",
+            dec.data()[1]
+        );
     }
 
     #[test]

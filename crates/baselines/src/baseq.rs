@@ -49,7 +49,9 @@ mod tests {
     fn baseq_wastes_resolution_on_long_tails() {
         // Bulk ±0.01 with an outlier at 10: 6-bit min–max Δ ≈ 0.32, so the
         // entire bulk collapses to zero — the Table 3 failure mode.
-        let mut samples: Vec<f32> = (0..1000).map(|i| ((i % 21) as f32 - 10.0) * 0.001).collect();
+        let mut samples: Vec<f32> = (0..1000)
+            .map(|i| ((i % 21) as f32 - 10.0) * 0.001)
+            .collect();
         samples.push(10.0);
         let q = BaseQ::new().fit_activation(&samples, 6);
         let t = quq_tensor::Tensor::from_vec(vec![0.009, -0.008], &[2]).unwrap();

@@ -139,7 +139,12 @@ impl QuantMethod for FqVit {
         Box::new(UniformQuantizer::fit_min_max(bits, samples))
     }
 
-    fn fit_activation_for(&self, key: ParamKey, samples: &[f32], bits: u32) -> Box<dyn FittedQuantizer> {
+    fn fit_activation_for(
+        &self,
+        key: ParamKey,
+        samples: &[f32],
+        bits: u32,
+    ) -> Box<dyn FittedQuantizer> {
         // Log-Int-Softmax: the attention-probability operand of P·V.
         if key.site.kind == OpKind::PvMatmul && key.operand == Operand::Input {
             Box::new(Log2Quantizer::new(bits))
@@ -165,9 +170,17 @@ mod tests {
         let rw = RowWiseUniform::fit(&w, 6);
         assert_eq!(rw.num_scales(), 2);
         let fq = FittedQuantizer::fake_quantize(&rw, &w);
-        assert!((fq.data()[0] - 0.01).abs() < 0.002, "row 0 preserved: {}", fq.data()[0]);
+        assert!(
+            (fq.data()[0] - 0.01).abs() < 0.002,
+            "row 0 preserved: {}",
+            fq.data()[0]
+        );
         let per_tensor = UniformQuantizer::fit_min_max(6, w.data());
-        assert_eq!(per_tensor.fake_quantize(0.01), 0.0, "per-tensor crushes row 0");
+        assert_eq!(
+            per_tensor.fake_quantize(0.01),
+            0.0,
+            "per-tensor crushes row 0"
+        );
     }
 
     #[test]
@@ -198,10 +211,16 @@ mod tests {
     #[test]
     fn method_routes_post_softmax_to_log2() {
         let m = FqVit::new();
-        let pv = ParamKey { site: OpSite::in_block(0, OpKind::PvMatmul), operand: Operand::Input };
+        let pv = ParamKey {
+            site: OpSite::in_block(0, OpKind::PvMatmul),
+            operand: Operand::Input,
+        };
         let q = m.fit_activation_for(pv, &[0.1, 0.5], 6);
         assert!(q.describe().contains("log2"));
-        let other = ParamKey { site: OpSite::in_block(0, OpKind::Fc1), operand: Operand::Input };
+        let other = ParamKey {
+            site: OpSite::in_block(0, OpKind::Fc1),
+            operand: Operand::Input,
+        };
         let q2 = m.fit_activation_for(other, &[0.1, 0.5], 6);
         assert!(q2.describe().contains("uniform"));
     }

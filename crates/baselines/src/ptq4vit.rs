@@ -29,7 +29,11 @@ impl TwinUniformParams {
         let mags: Vec<f32> = samples.iter().map(|v| v.abs()).collect();
         let bound = quantile(&mags, q).unwrap_or(1.0).max(f32::MIN_POSITIVE);
         let half_bits = (bits - 1).max(1);
-        let bulk: Vec<f32> = samples.iter().copied().filter(|v| v.abs() <= bound).collect();
+        let bulk: Vec<f32> = samples
+            .iter()
+            .copied()
+            .filter(|v| v.abs() <= bound)
+            .collect();
         let fine = UniformQuantizer::fit_min_max(half_bits, &bulk);
         let coarse = UniformQuantizer::fit_min_max(half_bits, samples);
         Self { fine, coarse, bits }
@@ -58,7 +62,11 @@ impl FittedQuantizer for TwinUniformParams {
     }
 
     fn describe(&self) -> String {
-        format!("twin uniform Δf={:.3e} Δc={:.3e}", self.fine.delta(), self.coarse.delta())
+        format!(
+            "twin uniform Δf={:.3e} Δc={:.3e}",
+            self.fine.delta(),
+            self.coarse.delta()
+        )
     }
 }
 
@@ -79,7 +87,9 @@ pub struct Ptq4Vit {
 impl Ptq4Vit {
     /// Creates the method with the default search grid.
     pub fn new() -> Self {
-        Self { q_grid: [0.999, 0.99, 0.97, 0.95] }
+        Self {
+            q_grid: [0.999, 0.99, 0.97, 0.95],
+        }
     }
 }
 
@@ -178,7 +188,14 @@ mod tests {
             })
             .collect();
         let twin = Ptq4Vit::new().fit_activation(&s, 6);
-        let quq = quq_core::Pra::with_defaults(6).run(&s).params;
+        // The dominance claim is about the paper's full method (PRA + the
+        // §6.1 grid search), not the raw PRA initialization.
+        let quq = quq_core::grid_search_quq(
+            &s,
+            6,
+            quq_core::PraConfig::default(),
+            quq_core::Objective::Mse,
+        );
         assert!(
             quq.mse(&s) < twin.mse(&s),
             "QUQ {:.3e} vs twin {:.3e}",

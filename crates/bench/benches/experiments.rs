@@ -10,11 +10,15 @@ use quq_vit::ModelId;
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_memory_simulation", |b| b.iter(|| black_box(fig2::run(6))));
+    c.bench_function("fig2_memory_simulation", |b| {
+        b.iter(|| black_box(fig2::run(6)))
+    });
 }
 
 fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_distributions", |b| b.iter(|| black_box(fig3::run(1, 7))));
+    c.bench_function("fig3_distributions", |b| {
+        b.iter(|| black_box(fig3::run(1, 7)))
+    });
 }
 
 fn bench_table1(c: &mut Criterion) {

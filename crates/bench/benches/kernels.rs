@@ -38,7 +38,9 @@ fn bench_qub_codec(c: &mut Criterion) {
     g.throughput(Throughput::Elements(65_536));
     g.bench_function("encode", |b| b.iter(|| codec.encode_tensor(black_box(&t))));
     g.bench_function("decode", |b| b.iter(|| black_box(&encoded).decode_scaled()));
-    g.bench_function("fake_quantize", |b| b.iter(|| params.fake_quantize_tensor(black_box(&t))));
+    g.bench_function("fake_quantize", |b| {
+        b.iter(|| params.fake_quantize_tensor(black_box(&t)))
+    });
     g.finish();
 }
 
@@ -57,7 +59,11 @@ fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm");
     g.throughput(Throughput::Elements((m * k * n) as u64));
     g.bench_function("qua_int6", |b| {
-        b.iter_batched(|| (), |()| qua.gemm(black_box(&qa), black_box(&qw), &out), BatchSize::SmallInput)
+        b.iter_batched(
+            || (),
+            |()| qua.gemm(black_box(&qa), black_box(&qw), &out),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("f32_reference", |b| {
         b.iter(|| linalg::matmul_nt(black_box(&at), black_box(&wt)).unwrap())

@@ -9,14 +9,26 @@
 //! Environment: `QUQ_QUICK=1` (small sizes), `QUQ_CALIB`, `QUQ_EVAL`,
 //! `QUQ_SEED`.
 
-use quq_bench::experiments::{ablations, deployment, fig2, fig3, fig7, table1, table2, table3, table4};
+use quq_bench::experiments::{
+    ablations, deployment, fig2, fig3, fig7, table1, table2, table3, table4,
+};
 use quq_bench::Settings;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["fig2", "fig3", "table1", "table2", "table3", "fig7", "table4", "ablations", "deployment"]
+        vec![
+            "fig2",
+            "fig3",
+            "table1",
+            "table2",
+            "table3",
+            "fig7",
+            "table4",
+            "ablations",
+            "deployment",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };

@@ -1,0 +1,174 @@
+//! Inference throughput benchmark: images/sec for FP32 and QUQ execution,
+//! serial vs parallel, emitting `BENCH_throughput.json`.
+//!
+//! ```text
+//! cargo run --release -p quq-bench --bin throughput
+//! QUQ_THREADS=8 cargo run --release -p quq-bench --bin throughput
+//! QUQ_QUICK=1 cargo run --release -p quq-bench --bin throughput
+//! ```
+//!
+//! *Serial* pins the whole stack to inline execution ([`pool::run_serial`],
+//! the `QUQ_THREADS=1` reference); *parallel* uses the pool as configured.
+//! Before timing, the run asserts that parallel and serial execution
+//! produce **bit-identical logits** on every benchmark image — the
+//! determinism guarantee the thread pool is built around. Speedups are
+//! only expected when the host grants more than one core.
+
+use quq_core::pipeline::{calibrate, PtqConfig};
+use quq_core::quantizer::QuqMethod;
+use quq_tensor::pool;
+use quq_vit::{evaluate_parallel, Dataset, Fp32Backend, ModelConfig, ModelId, VitModel};
+use std::time::Instant;
+
+struct Measurement {
+    backend: &'static str,
+    mode: &'static str,
+    seconds: f64,
+    images_per_sec: f64,
+}
+
+fn time_run(images: usize, f: impl FnOnce()) -> (f64, f64) {
+    let t0 = Instant::now();
+    f();
+    let seconds = t0.elapsed().as_secs_f64();
+    (seconds, images as f64 / seconds)
+}
+
+fn main() {
+    let quick = std::env::var("QUQ_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (config, images, repeats) = if quick {
+        (ModelConfig::test_config(), 8, 1)
+    } else {
+        (ModelConfig::eval_scale(ModelId::VitS), 32, 2)
+    };
+    let threads = pool::num_threads();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "model: {} | images: {images} | pool threads: {threads} | host cores: {host}",
+        config.id
+    );
+
+    let model = VitModel::synthesize(config, 20240623);
+    let eval = Dataset::teacher_labeled(&model, images, 7).expect("dataset");
+    let calib = Dataset::calibration(model.config(), 4, 3);
+    let tables = calibrate(
+        &QuqMethod::without_optimization(),
+        &model,
+        &calib,
+        PtqConfig::full_w6a6(),
+    )
+    .expect("calibration");
+
+    // Determinism gate: parallel logits must equal the serial reference
+    // bit-for-bit on every image, for both backends.
+    for img in &eval.images {
+        let fp_par = model
+            .forward(img, &mut Fp32Backend::new())
+            .expect("forward");
+        let fp_ser = pool::run_serial(|| {
+            model
+                .forward(img, &mut Fp32Backend::new())
+                .expect("forward")
+        });
+        assert_eq!(
+            fp_par.data(),
+            fp_ser.data(),
+            "FP32 parallel/serial logits diverged"
+        );
+        let q_par = model.forward(img, &mut tables.backend()).expect("forward");
+        let q_ser =
+            pool::run_serial(|| model.forward(img, &mut tables.backend()).expect("forward"));
+        assert_eq!(
+            q_par.data(),
+            q_ser.data(),
+            "QUQ parallel/serial logits diverged"
+        );
+    }
+    println!("bit-identical parallel/serial logits: verified on {images} images");
+
+    let mut results: Vec<Measurement> = Vec::new();
+    let mut best = |backend: &'static str, mode: &'static str, runs: &[(f64, f64)]| {
+        let &(seconds, images_per_sec) = runs
+            .iter()
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))
+            .expect("at least one run");
+        println!("{backend:>5} {mode:<8} {seconds:7.3}s  {images_per_sec:8.2} images/sec");
+        results.push(Measurement {
+            backend,
+            mode,
+            seconds,
+            images_per_sec,
+        });
+    };
+
+    let fp32_serial: Vec<_> = (0..repeats)
+        .map(|_| {
+            time_run(images, || {
+                pool::run_serial(|| {
+                    evaluate_parallel(&model, Fp32Backend::new, &eval).expect("evaluate");
+                });
+            })
+        })
+        .collect();
+    best("fp32", "serial", &fp32_serial);
+    let fp32_parallel: Vec<_> = (0..repeats)
+        .map(|_| {
+            time_run(images, || {
+                evaluate_parallel(&model, Fp32Backend::new, &eval).expect("evaluate");
+            })
+        })
+        .collect();
+    best("fp32", "parallel", &fp32_parallel);
+    let quq_serial: Vec<_> = (0..repeats)
+        .map(|_| {
+            time_run(images, || {
+                pool::run_serial(|| {
+                    evaluate_parallel(&model, || tables.backend(), &eval).expect("evaluate");
+                });
+            })
+        })
+        .collect();
+    best("quq", "serial", &quq_serial);
+    let quq_parallel: Vec<_> = (0..repeats)
+        .map(|_| {
+            time_run(images, || {
+                evaluate_parallel(&model, || tables.backend(), &eval).expect("evaluate");
+            })
+        })
+        .collect();
+    best("quq", "parallel", &quq_parallel);
+
+    let rate = |backend: &str, mode: &str| {
+        results
+            .iter()
+            .find(|m| m.backend == backend && m.mode == mode)
+            .map(|m| m.images_per_sec)
+            .expect("measured")
+    };
+    let speedup_fp32 = rate("fp32", "parallel") / rate("fp32", "serial");
+    let speedup_quq = rate("quq", "parallel") / rate("quq", "serial");
+    println!("speedup (parallel / serial): fp32 {speedup_fp32:.2}x, quq {speedup_quq:.2}x");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"model\": \"{}\",\n", model.config().id));
+    json.push_str(&format!("  \"images\": {images},\n"));
+    json.push_str(&format!("  \"pool_threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_cores\": {host},\n"));
+    json.push_str("  \"bit_identical_serial_parallel\": true,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"seconds\": {:.4}, \"images_per_sec\": {:.3}}}{comma}\n",
+            m.backend, m.mode, m.seconds, m.images_per_sec
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_fp32\": {speedup_fp32:.3},\n"));
+    json.push_str(&format!("  \"speedup_quq\": {speedup_quq:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

@@ -45,8 +45,14 @@ pub fn capture_fig3(images: usize, seed: u64) -> Fig3Tensors {
 
     let mut cap = CaptureBackend::new([
         Tap::output(OpKind::Softmax),
-        Tap { kind: OpKind::Residual1, side: TapSide::ResidualBranch },
-        Tap { kind: OpKind::Residual2, side: TapSide::ResidualBranch },
+        Tap {
+            kind: OpKind::Residual1,
+            side: TapSide::ResidualBranch,
+        },
+        Tap {
+            kind: OpKind::Residual2,
+            side: TapSide::ResidualBranch,
+        },
         Tap::output(OpKind::Gelu),
     ]);
     let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0x5eed);
@@ -58,7 +64,12 @@ pub fn capture_fig3(images: usize, seed: u64) -> Fig3Tensors {
     let mut pre_addition = cap.samples_for(OpKind::Residual1, TapSide::ResidualBranch);
     pre_addition.extend(cap.samples_for(OpKind::Residual2, TapSide::ResidualBranch));
     let post_gelu = cap.samples_for(OpKind::Gelu, TapSide::Output);
-    Fig3Tensors { query_w, post_softmax, pre_addition, post_gelu }
+    Fig3Tensors {
+        query_w,
+        post_softmax,
+        pre_addition,
+        post_gelu,
+    }
 }
 
 /// Subsamples a slice to at most `cap` evenly spaced values (keeps fitting

@@ -11,14 +11,14 @@
 
 use crate::capture_data::{capture_fig3, thin};
 use crate::report::Table;
-use quq_core::{Pra, PraConfig, QuqParams, UniformQuantizer};
+use quq_core::{grid_search_quq, Objective, Pra, PraConfig, QuqParams, UniformQuantizer};
 
 /// MSE of the full QUQ fit vs its degenerate forms on one sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModeAblation {
     /// Tensor name.
     pub tensor: &'static str,
-    /// Full QUQ (PRA-fitted) MSE.
+    /// Full QUQ (PRA + §6.1 grid search) MSE.
     pub quq: f64,
     /// Uniform special case (min–max Δ) MSE.
     pub uniform: f64,
@@ -33,13 +33,20 @@ pub fn mode_ablation(bits: u32, images: usize, seed: u64) -> Vec<ModeAblation> {
         .into_iter()
         .map(|(tensor, values)| {
             let sample = thin(values, 16_000);
-            let quq = Pra::with_defaults(bits).run(&sample).params;
-            let uniform = QuqParams::uniform(bits, UniformQuantizer::fit_min_max(bits, &sample).delta())
-                .expect("valid uniform");
+            // The full method: the grid search's candidate set includes the
+            // min–max uniform special case, so QUQ ≤ uniform by construction.
+            let quq = grid_search_quq(&sample, bits, PraConfig::default(), Objective::Mse);
+            let uniform =
+                QuqParams::uniform(bits, UniformQuantizer::fit_min_max(bits, &sample).delta())
+                    .expect("valid uniform");
             // Dual uniform: negative and positive sides each min–max uniform
             // over 2^{b−1} codes (QUQ Mode D without the fine partition),
             // with the two scales relaxed to a power-of-two ratio (Eq. 4).
-            let neg_max = sample.iter().copied().filter(|&v| v < 0.0).fold(0.0f32, |a, v| a.max(-v));
+            let neg_max = sample
+                .iter()
+                .copied()
+                .filter(|&v| v < 0.0)
+                .fold(0.0f32, |a, v| a.max(-v));
             let pos_max = sample.iter().copied().fold(0.0f32, f32::max);
             let codes = ((1u32 << (bits - 1)) - 1).max(1) as f32;
             let dual = if neg_max <= 0.0 || pos_max <= 0.0 {
@@ -80,7 +87,11 @@ pub fn hyperparameter_sweep(bits: u32, images: usize, seed: u64) -> Table {
     );
     for lambda_a in [2.0f32, 4.0, 8.0] {
         for q in [0.999f32, 0.99, 0.97] {
-            let cfg = PraConfig { lambda_a, q_init: q, q_acceptable: 0.95 };
+            let cfg = PraConfig {
+                lambda_a,
+                q_init: q,
+                q_acceptable: 0.95,
+            };
             let outcome = Pra::new(bits, cfg).run(&sample);
             t.push_row(vec![
                 format!("{lambda_a}"),
@@ -107,7 +118,11 @@ pub fn run(bits: u32, images: usize, seed: u64) -> String {
             format!("{:.3e}", a.uniform),
         ]);
     }
-    format!("{}\n{}", t.render(), hyperparameter_sweep(bits, images, seed).render())
+    format!(
+        "{}\n{}",
+        t.render(),
+        hyperparameter_sweep(bits, images, seed).render()
+    )
 }
 
 #[cfg(test)]
@@ -117,7 +132,13 @@ mod tests {
     #[test]
     fn quadruplet_beats_both_degenerate_forms() {
         for a in mode_ablation(6, 1, 5) {
-            assert!(a.quq <= a.uniform * 1.001, "{}: QUQ {:.3e} vs uniform {:.3e}", a.tensor, a.quq, a.uniform);
+            assert!(
+                a.quq <= a.uniform * 1.001,
+                "{}: QUQ {:.3e} vs uniform {:.3e}",
+                a.tensor,
+                a.quq,
+                a.uniform
+            );
             assert!(
                 a.quq <= a.dual_uniform * 1.001,
                 "{}: QUQ {:.3e} vs dual {:.3e}",

@@ -37,13 +37,19 @@ pub fn evaluate_grid(
     for &id in models {
         let model = VitModel::synthesize(ModelConfig::eval_scale(id), settings.seed ^ id as u64);
         let calib = Dataset::calibration(model.config(), settings.calib_images, settings.seed + 1);
-        let eval = Dataset::teacher_labeled_confident(&model, settings.eval_images, settings.seed + 2)
-            .expect("teacher labeling");
+        let eval =
+            Dataset::teacher_labeled_confident(&model, settings.eval_images, settings.seed + 2)
+                .expect("teacher labeling");
         for &cfg in configs {
             for &(name, method) in methods {
                 let acc = evaluate_quantized(method, &model, &calib, &eval, cfg)
                     .expect("quantized evaluation");
-                out.push(Cell { model: id, method: name, bits: cfg.bits_a, accuracy: acc });
+                out.push(Cell {
+                    model: id,
+                    method: name,
+                    bits: cfg.bits_a,
+                    accuracy: acc,
+                });
             }
         }
     }

@@ -10,7 +10,15 @@ use quq_vit::{ModelConfig, ModelId};
 pub fn run() -> Table {
     let mut t = Table::new(
         "Deployment — per-image latency/energy on the QUA (500 MHz, 28 nm model)",
-        &["Model", "Array", "W/A", "GMAC", "Latency (ms)", "Energy (µJ)", "Utilization"],
+        &[
+            "Model",
+            "Array",
+            "W/A",
+            "GMAC",
+            "Latency (ms)",
+            "Energy (µJ)",
+            "Utilization",
+        ],
     );
     let tech = Tech::n28();
     for id in ModelId::PAPER_MODELS {

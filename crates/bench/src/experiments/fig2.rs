@@ -34,7 +34,12 @@ pub fn series(bits: u32) -> Vec<Point> {
         for batch in [1u64, 4, 16] {
             let pq = simulate_block(&cfg, Regime::Pq, bits, batch);
             let fq = simulate_block(&cfg, Regime::Fq, bits, batch);
-            out.push(Point { model: id, batch, pq_kib: pq.peak_kib(), fq_kib: fq.peak_kib() });
+            out.push(Point {
+                model: id,
+                batch,
+                pq_kib: pq.peak_kib(),
+                fq_kib: fq.peak_kib(),
+            });
         }
     }
     out

@@ -30,7 +30,11 @@ pub fn panels(images: usize, seed: u64) -> Vec<Panel> {
             let params = outcome.params;
             let lo = sample.iter().copied().fold(f32::INFINITY, f32::min);
             let hi = sample.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 1.0, lo + 1.0) };
+            let (lo, hi) = if lo < hi {
+                (lo, hi)
+            } else {
+                (lo - 1.0, lo + 1.0)
+            };
             let hist = Histogram::new(&sample, lo, hi, 64).expect("valid range");
             let mut rendered = hist.render_ascii(6);
             // Mark quantization points on a baseline row.
@@ -43,8 +47,16 @@ pub fn panels(images: usize, seed: u64) -> Vec<Panel> {
             }
             rendered.push_str(&marks.iter().collect::<String>());
             rendered.push('\n');
-            rendered.push_str(&format!("range [{lo:.3}, {hi:.3}], mode {}\n", params.mode()));
-            Panel { name, mode: params.mode(), points: params.quantization_points(), rendered }
+            rendered.push_str(&format!(
+                "range [{lo:.3}, {hi:.3}], mode {}\n",
+                params.mode()
+            ));
+            Panel {
+                name,
+                mode: params.mode(),
+                points: params.quantization_points(),
+                rendered,
+            }
         })
         .collect()
 }
@@ -53,7 +65,10 @@ pub fn panels(images: usize, seed: u64) -> Vec<Panel> {
 pub fn run(images: usize, seed: u64) -> String {
     let mut out = String::from("== Fig. 3 — tensor distributions and 4-bit QUQ points ==\n");
     for p in panels(images, seed) {
-        out.push_str(&format!("--- {} (mode {}) ---\n{}", p.name, p.mode, p.rendered));
+        out.push_str(&format!(
+            "--- {} (mode {}) ---\n{}",
+            p.name, p.mode, p.rendered
+        ));
     }
     out
 }

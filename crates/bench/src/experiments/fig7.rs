@@ -43,7 +43,9 @@ pub fn fidelities(settings: Settings, n_images: usize) -> Vec<MapFidelity> {
     let reference: Vec<Tensor> = images
         .iter()
         .map(|img| {
-            let (_, maps) = model.forward_with_attention(img, &mut fp).expect("fp32 forward");
+            let (_, maps) = model
+                .forward_with_attention(img, &mut fp)
+                .expect("fp32 forward");
             rollout(&maps).expect("rollout")
         })
         .collect();
@@ -55,14 +57,20 @@ pub fn fidelities(settings: Settings, n_images: usize) -> Vec<MapFidelity> {
     let mut out = Vec::new();
     for bits in [8u32, 6] {
         for (name, method) in methods {
-            let cfg = PtqConfig { bits_w: bits, bits_a: bits, coverage: quq_core::Coverage::Full };
+            let cfg = PtqConfig {
+                bits_w: bits,
+                bits_a: bits,
+                coverage: quq_core::Coverage::Full,
+            };
             let tables = calibrate(method, &model, &calib, cfg).expect("calibration");
             let mut backend = tables.backend();
             let mut cos_sum = 0.0;
             let mut mass_sum = 0.0;
             let mut first_render = String::new();
             for (i, img) in images.iter().enumerate() {
-                let (_, maps) = model.forward_with_attention(img, &mut backend).expect("forward");
+                let (_, maps) = model
+                    .forward_with_attention(img, &mut backend)
+                    .expect("forward");
                 let sal = rollout(&maps).expect("rollout");
                 cos_sum += map_similarity(&reference[i], &sal).expect("cosine");
                 mass_sum += crucial_region_mass(&reference[i], &sal, k).expect("mass");
@@ -85,9 +93,13 @@ pub fn fidelities(settings: Settings, n_images: usize) -> Vec<MapFidelity> {
 /// Renders the figure: reference map, per-method maps, and the metric table.
 pub fn run(settings: Settings, n_images: usize) -> String {
     let model = VitModel::synthesize(ModelConfig::eval_scale(ModelId::VitS), settings.seed ^ 7);
-    let img = Dataset::calibration(model.config(), 1, settings.seed + 32).images.remove(0);
+    let img = Dataset::calibration(model.config(), 1, settings.seed + 32)
+        .images
+        .remove(0);
     let mut fp = Fp32Backend::new();
-    let (_, maps) = model.forward_with_attention(&img, &mut fp).expect("fp32 forward");
+    let (_, maps) = model
+        .forward_with_attention(&img, &mut fp)
+        .expect("fp32 forward");
     let reference = rollout(&maps).expect("rollout");
 
     let mut out = String::from("== Fig. 7 — attention maps (ViT-S), FP32 vs quantized ==\n");
@@ -95,7 +107,10 @@ pub fn run(settings: Settings, n_images: usize) -> String {
     out.push_str(&render_map(&reference));
     let fids = fidelities(settings, n_images);
     for f in &fids {
-        out.push_str(&format!("--- {} {}-bit ---\n{}", f.method, f.bits, f.rendered));
+        out.push_str(&format!(
+            "--- {} {}-bit ---\n{}",
+            f.method, f.bits, f.rendered
+        ));
     }
     let mut t = Table::new(
         "Attention fidelity vs FP32",

@@ -2,9 +2,9 @@
 
 use crate::capture_data::{capture_fig3, thin};
 use crate::report::Table;
+use quq_baselines::BaseQ;
 use quq_core::quantizer::QuantMethod;
 use quq_core::QuqMethod;
-use quq_baselines::BaseQ;
 
 /// One table row: method, bits, and the four MSEs in paper column order.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +24,10 @@ pub fn rows(images: usize, seed: u64) -> Vec<Row> {
     // Table 1 measures pure quantization error, so QUQ's grid search runs
     // under the MSE objective here (the accuracy tables use the
     // Hessian-proxy objective of §6.1).
-    let quq = QuqMethod { objective: quq_core::Objective::Mse, ..QuqMethod::paper() };
+    let quq = QuqMethod {
+        objective: quq_core::Objective::Mse,
+        ..QuqMethod::paper()
+    };
     let methods: [(&'static str, Box<dyn QuantMethod>); 2] =
         [("BaseQ", Box::new(BaseQ::new())), ("QUQ", Box::new(quq))];
     let mut out = Vec::new();
@@ -36,7 +39,11 @@ pub fn rows(images: usize, seed: u64) -> Vec<Row> {
                 let q = method.fit_activation(&sample, bits);
                 mse[i] = q.mse(&sample);
             }
-            out.push(Row { method: name, bits, mse });
+            out.push(Row {
+                method: name,
+                bits,
+                mse,
+            });
         }
     }
     out
@@ -46,7 +53,14 @@ pub fn rows(images: usize, seed: u64) -> Vec<Row> {
 pub fn run(images: usize, seed: u64) -> Table {
     let mut t = Table::new(
         "Table 1 — MSEs of different quantization methods",
-        &["Method", "Bit", "Query W", "Post-Softmax A", "Pre-Addition A", "Post-GELU A"],
+        &[
+            "Method",
+            "Bit",
+            "Query W",
+            "Post-Softmax A",
+            "Pre-Addition A",
+            "Post-GELU A",
+        ],
     );
     for r in rows(images, seed) {
         t.push_row(vec![
@@ -70,8 +84,14 @@ mod tests {
         let rs = rows(1, 11);
         assert_eq!(rs.len(), 6);
         for bits in [4u32, 6, 8] {
-            let base = rs.iter().find(|r| r.method == "BaseQ" && r.bits == bits).unwrap();
-            let quq = rs.iter().find(|r| r.method == "QUQ" && r.bits == bits).unwrap();
+            let base = rs
+                .iter()
+                .find(|r| r.method == "BaseQ" && r.bits == bits)
+                .unwrap();
+            let quq = rs
+                .iter()
+                .find(|r| r.method == "QUQ" && r.bits == bits)
+                .unwrap();
             for i in 0..4 {
                 assert!(
                     quq.mse[i] <= base.mse[i],

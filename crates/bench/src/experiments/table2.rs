@@ -19,8 +19,12 @@ pub fn cells(settings: Settings, models: &[ModelId]) -> Vec<Cell> {
     let ptq4 = Ptq4Vit::new();
     let apq = ApqVit::new();
     let quq = QuqMethod::paper();
-    let methods: Vec<(&'static str, &dyn QuantMethod)> =
-        vec![("BaseQ", &baseq), ("PTQ4ViT", &ptq4), ("APQ-ViT", &apq), ("QUQ", &quq)];
+    let methods: Vec<(&'static str, &dyn QuantMethod)> = vec![
+        ("BaseQ", &baseq),
+        ("PTQ4ViT", &ptq4),
+        ("APQ-ViT", &apq),
+        ("QUQ", &quq),
+    ];
     evaluate_grid(models, &methods, &[PtqConfig::partial_w6a6()], settings)
 }
 
@@ -44,7 +48,10 @@ pub fn run(settings: Settings) -> Table {
     for method in METHODS {
         let mut row = vec![method.to_string(), "6/6".to_string()];
         for m in models {
-            let cell = all.iter().find(|c| c.model == m && c.method == method).expect("cell");
+            let cell = all
+                .iter()
+                .find(|c| c.model == m && c.method == method)
+                .expect("cell");
             row.push(pct(cell.accuracy));
         }
         t.push_row(row);
@@ -61,6 +68,11 @@ mod tests {
         // One small model, quick sizes: QUQ should not lose to BaseQ.
         let cells = cells(Settings::quick(), &[ModelId::Test]);
         let acc = |m: &str| cells.iter().find(|c| c.method == m).unwrap().accuracy;
-        assert!(acc("QUQ") >= acc("BaseQ"), "QUQ {} vs BaseQ {}", acc("QUQ"), acc("BaseQ"));
+        assert!(
+            acc("QUQ") >= acc("BaseQ"),
+            "QUQ {} vs BaseQ {}",
+            acc("QUQ"),
+            acc("BaseQ")
+        );
     }
 }

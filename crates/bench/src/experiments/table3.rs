@@ -74,7 +74,11 @@ mod tests {
     fn quick_run_shows_quq_leading_at_6_bit_full() {
         let cells = cells(Settings::quick(), &[ModelId::Test]);
         let acc = |m: &str, b: u32| {
-            cells.iter().find(|c| c.method == m && c.bits == b).unwrap().accuracy
+            cells
+                .iter()
+                .find(|c| c.method == m && c.bits == b)
+                .unwrap()
+                .accuracy
         };
         // The headline claim: QUQ is the only viable 6-bit full quantizer.
         assert!(

@@ -23,7 +23,14 @@ pub fn reports() -> Vec<CostReport> {
 pub fn run() -> Table {
     let mut t = Table::new(
         "Table 4 — area and power of NN accelerators (28 nm model, 500 MHz)",
-        &["Method", "W/A", "16×16 Area(mm²)", "16×16 Power(mW)", "64×64 Area(mm²)", "64×64 Power(mW)"],
+        &[
+            "Method",
+            "W/A",
+            "16×16 Area(mm²)",
+            "16×16 Power(mW)",
+            "64×64 Area(mm²)",
+            "64×64 Power(mW)",
+        ],
     );
     let rs = reports();
     let find = |scheme: Scheme, bits: u32, array: usize| {
@@ -65,7 +72,9 @@ mod tests {
             .unwrap();
         let b8 = rs
             .iter()
-            .find(|r| r.config.scheme == Scheme::BaseQ && r.config.bits == 8 && r.config.array == 64)
+            .find(|r| {
+                r.config.scheme == Scheme::BaseQ && r.config.bits == 8 && r.config.array == 64
+            })
             .unwrap();
         assert!(q6.area_mm2 < b8.area_mm2);
     }

@@ -16,18 +16,29 @@ pub struct Settings {
 impl Settings {
     /// Paper-faithful defaults: 32 calibration images, 32 evaluation images.
     pub fn paper() -> Self {
-        Self { calib_images: 32, eval_images: 32, seed: 20240623 }
+        Self {
+            calib_images: 32,
+            eval_images: 32,
+            seed: 20240623,
+        }
     }
 
     /// Tiny sizes for smoke tests.
     pub fn quick() -> Self {
-        Self { calib_images: 4, eval_images: 8, seed: 20240623 }
+        Self {
+            calib_images: 4,
+            eval_images: 8,
+            seed: 20240623,
+        }
     }
 
     /// Reads `QUQ_CALIB`, `QUQ_EVAL`, `QUQ_SEED` from the environment on
     /// top of the paper defaults; `QUQ_QUICK=1` switches to quick sizes.
     pub fn from_env() -> Self {
-        let mut s = if std::env::var("QUQ_QUICK").map(|v| v == "1").unwrap_or(false) {
+        let mut s = if std::env::var("QUQ_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Self::quick()
         } else {
             Self::paper()

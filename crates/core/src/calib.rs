@@ -31,12 +31,18 @@ pub struct ParamKey {
 impl ParamKey {
     /// Key for the first input of `site`.
     pub fn input(site: OpSite) -> Self {
-        Self { site, operand: Operand::Input }
+        Self {
+            site,
+            operand: Operand::Input,
+        }
     }
 
     /// Key for the second input of `site`.
     pub fn input_b(site: OpSite) -> Self {
-        Self { site, operand: Operand::InputB }
+        Self {
+            site,
+            operand: Operand::InputB,
+        }
     }
 }
 
@@ -94,7 +100,10 @@ impl SampleSet {
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.state
     }
 
@@ -158,13 +167,21 @@ impl Collector {
 
     /// Creates a collector with a custom per-site reservoir capacity.
     pub fn with_capacity(coverage: Coverage, cap: usize) -> Self {
-        Self { coverage, cap, samples: BTreeMap::new(), weights: BTreeMap::new() }
+        Self {
+            coverage,
+            cap,
+            samples: BTreeMap::new(),
+            weights: BTreeMap::new(),
+        }
     }
 
     fn record(&mut self, key: ParamKey, t: &Tensor) {
         let cap = self.cap;
         let seed = (key.site.block.unwrap_or(usize::MAX) as u64) << 8 | key.site.kind as u64;
-        self.samples.entry(key).or_insert_with(|| SampleSet::new(cap, seed)).extend_from(t.data());
+        self.samples
+            .entry(key)
+            .or_insert_with(|| SampleSet::new(cap, seed))
+            .extend_from(t.data());
     }
 
     /// Recorded activation samples.
@@ -189,7 +206,13 @@ impl Collector {
 }
 
 impl Backend for Collector {
-    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+    ) -> Result<Tensor> {
         if self.coverage.covers(site.kind) {
             self.record(ParamKey::input(site), x);
             self.weights.entry(site).or_insert_with(|| w.clone());
@@ -293,7 +316,13 @@ mod tests {
         model.forward(&img, &mut c).unwrap();
         let kinds: std::collections::BTreeSet<OpKind> =
             c.samples().keys().map(|k| k.site.kind).collect();
-        for k in [OpKind::Softmax, OpKind::Gelu, OpKind::Norm1, OpKind::Residual1, OpKind::Residual2] {
+        for k in [
+            OpKind::Softmax,
+            OpKind::Gelu,
+            OpKind::Norm1,
+            OpKind::Residual1,
+            OpKind::Residual2,
+        ] {
             assert!(kinds.contains(&k), "missing {k}");
         }
         // Residual adds record both operands.

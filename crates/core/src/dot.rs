@@ -39,7 +39,9 @@ pub fn accumulator_value(acc: i64, dx: f32, dw: f32) -> f32 {
 /// where `b` is `[n, k]` (linear-layer weight layout).
 ///
 /// Returns the raw accumulators; scale them with [`accumulator_value`] or
-/// requantize with [`requantize`].
+/// requantize with [`requantize`]. Output rows are computed in parallel on
+/// the [`quq_tensor::pool`]; integer accumulation is exact, so results are
+/// identical at every thread count.
 ///
 /// # Panics
 ///
@@ -53,10 +55,16 @@ pub fn matmul_nt_qub(a: &QubTensor, b: &QubTensor) -> Vec<i64> {
     let ad = a.decode_pairs();
     let bd = b.decode_pairs();
     let mut out = vec![0i64; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[i * n + j] = dot_decoded(&ad[i * k..(i + 1) * k], &bd[j * k..(j + 1) * k]);
-        }
+    if n > 0 {
+        quq_tensor::pool::parallel_rows_mut(&mut out, n, 4, |first_row, block| {
+            for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+                let i = first_row + r;
+                let arow = &ad[i * k..(i + 1) * k];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = dot_decoded(arow, &bd[j * k..(j + 1) * k]);
+                }
+            }
+        });
     }
     out
 }
@@ -104,7 +112,10 @@ mod tests {
             .zip(qw.dequantize().data())
             .map(|(&a, &b)| a as f64 * b as f64)
             .sum();
-        assert!((y_int as f64 - y_ref).abs() < 1e-2 * y_ref.abs().max(1.0), "{y_int} vs {y_ref}");
+        assert!(
+            (y_int as f64 - y_ref).abs() < 1e-2 * y_ref.abs().max(1.0),
+            "{y_int} vs {y_ref}"
+        );
     }
 
     #[test]
@@ -120,7 +131,11 @@ mod tests {
         let reference = linalg::matmul_nt(&a, &w).unwrap();
         for (i, acc) in accs.iter().enumerate() {
             let v = accumulator_value(*acc, 0.25, 0.5);
-            assert!((v - reference.data()[i]).abs() < 1e-5, "{v} vs {}", reference.data()[i]);
+            assert!(
+                (v - reference.data()[i]).abs() < 1e-5,
+                "{v} vs {}",
+                reference.data()[i]
+            );
         }
     }
 

@@ -45,7 +45,8 @@ pub fn score_fn(fq: impl Fn(f32) -> f32, samples: &[f32], objective: Objective) 
                 / samples.len() as f64
         }
         Objective::HessianProxy => {
-            let mean_sq = samples.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / samples.len() as f64;
+            let mean_sq =
+                samples.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / samples.len() as f64;
             let norm = mean_sq.max(1e-20);
             samples
                 .iter()
@@ -75,7 +76,12 @@ const FIT_CAP: usize = 16_384;
 /// multipliers, scored by `objective`. The PRA-with-defaults solution is
 /// always in the candidate set, so the result is never worse than plain PRA
 /// under the chosen objective.
-pub fn grid_search_quq(samples: &[f32], bits: u32, base: PraConfig, objective: Objective) -> QuqParams {
+pub fn grid_search_quq(
+    samples: &[f32],
+    bits: u32,
+    base: PraConfig,
+    objective: Objective,
+) -> QuqParams {
     let thinned: Vec<f32>;
     let fit_samples = if samples.len() > FIT_CAP {
         let stride = samples.len() / FIT_CAP;
@@ -97,7 +103,11 @@ pub fn grid_search_quq(samples: &[f32], bits: u32, base: PraConfig, objective: O
         }
     }
     for q in Q_GRID {
-        let cfg = PraConfig { q_init: q, q_acceptable: base.q_acceptable.min(q), ..base };
+        let cfg = PraConfig {
+            q_init: q,
+            q_acceptable: base.q_acceptable.min(q),
+            ..base
+        };
         let fitted = Pra::new(bits, cfg).run(fit_samples).params;
         for s in SCALE_GRID {
             let cand = fitted.scaled(s);
@@ -146,9 +156,12 @@ mod tests {
         let keeping = Pra::with_defaults(8).run(&s).params;
         let clipping = keeping.scaled(0.05); // tiny scales clip the tail
         let mse_ratio = score(&clipping, &s, Objective::Mse) / score(&keeping, &s, Objective::Mse);
-        let hes_ratio =
-            score(&clipping, &s, Objective::HessianProxy) / score(&keeping, &s, Objective::HessianProxy);
-        assert!(hes_ratio > mse_ratio, "proxy should penalize clipping more: {hes_ratio} vs {mse_ratio}");
+        let hes_ratio = score(&clipping, &s, Objective::HessianProxy)
+            / score(&keeping, &s, Objective::HessianProxy);
+        assert!(
+            hes_ratio > mse_ratio,
+            "proxy should penalize clipping more: {hes_ratio} vs {mse_ratio}"
+        );
     }
 
     #[test]

@@ -96,12 +96,17 @@ pub fn read_qub_tensor<R: Read>(mut r: R) -> Result<QubTensor, WireError> {
     if !(2..=8).contains(&bits) {
         return Err(WireError::Format(format!("unsupported bit-width {bits}")));
     }
-    let fc = FcRegisters { fine: head[1], coarse: head[2] };
+    let fc = FcRegisters {
+        fine: head[1],
+        coarse: head[2],
+    };
     let mut f4 = [0u8; 4];
     r.read_exact(&mut f4)?;
     let base_delta = f32::from_le_bytes(f4);
     if !(base_delta.is_finite() && base_delta > 0.0) {
-        return Err(WireError::Format(format!("invalid base scale {base_delta}")));
+        return Err(WireError::Format(format!(
+            "invalid base scale {base_delta}"
+        )));
     }
     // Validate that the sideband describes a real quantizer.
     params_from_fc(bits, fc, base_delta)
@@ -121,15 +126,25 @@ pub fn read_qub_tensor<R: Read>(mut r: R) -> Result<QubTensor, WireError> {
         shape.push(d as usize);
     }
     if len > (1 << 34) {
-        return Err(WireError::Format(format!("implausible element count {len}")));
+        return Err(WireError::Format(format!(
+            "implausible element count {len}"
+        )));
     }
     let mut bytes = vec![0u8; len as usize];
     r.read_exact(&mut bytes)?;
-    let limit = (1u16 << bits) as u16;
+    let limit = 1u16 << bits;
     if let Some(bad) = bytes.iter().find(|&&b| b as u16 >= limit) {
-        return Err(WireError::Format(format!("payload byte {bad:#04x} exceeds {bits}-bit QUB range")));
+        return Err(WireError::Format(format!(
+            "payload byte {bad:#04x} exceeds {bits}-bit QUB range"
+        )));
     }
-    Ok(QubTensor { bytes, shape, fc, bits, base_delta })
+    Ok(QubTensor {
+        bytes,
+        shape,
+        fc,
+        bits,
+        base_delta,
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +199,10 @@ mod tests {
         let mut buf = Vec::new();
         write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
         buf[0] = b'X';
-        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Format(_))));
+        assert!(matches!(
+            read_qub_tensor(buf.as_slice()),
+            Err(WireError::Format(_))
+        ));
     }
 
     #[test]
@@ -192,7 +210,10 @@ mod tests {
         let mut buf = Vec::new();
         write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Io(_))));
+        assert!(matches!(
+            read_qub_tensor(buf.as_slice()),
+            Err(WireError::Io(_))
+        ));
     }
 
     #[test]
@@ -211,7 +232,10 @@ mod tests {
         write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
         // Overwrite delta with NaN.
         buf[8..12].copy_from_slice(&f32::NAN.to_le_bytes());
-        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Format(_))));
+        assert!(matches!(
+            read_qub_tensor(buf.as_slice()),
+            Err(WireError::Format(_))
+        ));
     }
 
     #[test]
@@ -219,6 +243,9 @@ mod tests {
         let mut buf = Vec::new();
         write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
         buf[12..16].copy_from_slice(&1000u32.to_le_bytes());
-        assert!(matches!(read_qub_tensor(buf.as_slice()), Err(WireError::Format(_))));
+        assert!(matches!(
+            read_qub_tensor(buf.as_slice()),
+            Err(WireError::Format(_))
+        ));
     }
 }

@@ -35,8 +35,8 @@ pub mod hessian;
 pub mod io;
 pub mod packing;
 pub mod pipeline;
-pub mod qub;
 pub mod quantizer;
+pub mod qub;
 pub mod relax;
 pub mod scheme;
 pub mod uniform;
@@ -44,11 +44,11 @@ pub mod uniform;
 pub use calib::{Collector, Coverage, Operand, ParamKey, SampleSet};
 pub use dot::{accumulator_value, dot_decoded, matmul_nt_qub, requantize};
 pub use hessian::{grid_search_quq, Objective};
+pub use io::{read_qub_tensor, write_qub_tensor, WireError};
 pub use packing::{pack_qubs, unpack_qubs};
 pub use pipeline::{calibrate, evaluate_quantized, PtqConfig, PtqTables, QuantBackend};
-pub use io::{read_qub_tensor, write_qub_tensor, WireError};
-pub use qub::{decode_qub, params_from_fc, Decoded, FcRegisters, QubCodec, QubTensor};
 pub use quantizer::{FittedQuantizer, QuantMethod, QuqMethod};
+pub use qub::{decode_qub, params_from_fc, Decoded, FcRegisters, QubCodec, QubTensor};
 pub use relax::{relax, Pra, PraConfig, PraOutcome};
 pub use scheme::{Mode, QuqCode, QuqParams, SpaceLayout};
 pub use uniform::UniformQuantizer;

@@ -15,7 +15,7 @@ use crate::qub::QubTensor;
 /// Panics when `bits` is outside `2..=8` or any code exceeds `b` bits.
 pub fn pack_qubs(codes: &[u8], bits: u32) -> Vec<u8> {
     assert!((2..=8).contains(&bits), "bit-width {bits} outside 2..=8");
-    let mask = ((1u16 << bits) - 1) as u16;
+    let mask = (1u16 << bits) - 1;
     let total_bits = codes.len() * bits as usize;
     let mut out = vec![0u8; total_bits.div_ceil(8)];
     let mut bitpos = 0usize;
@@ -41,8 +41,12 @@ pub fn pack_qubs(codes: &[u8], bits: u32) -> Vec<u8> {
 pub fn unpack_qubs(packed: &[u8], count: usize, bits: u32) -> Vec<u8> {
     assert!((2..=8).contains(&bits), "bit-width {bits} outside 2..=8");
     let need = (count * bits as usize).div_ceil(8);
-    assert!(packed.len() >= need, "stream too short: {} < {need}", packed.len());
-    let mask = ((1u16 << bits) - 1) as u16;
+    assert!(
+        packed.len() >= need,
+        "stream too short: {} < {need}",
+        packed.len()
+    );
+    let mask = (1u16 << bits) - 1;
     let mut out = Vec::with_capacity(count);
     let mut bitpos = 0usize;
     for _ in 0..count {
@@ -77,7 +81,13 @@ impl QubTensor {
         base_delta: f32,
     ) -> Self {
         let count = shape.iter().product();
-        Self { bytes: unpack_qubs(packed, count, bits), shape, fc, bits, base_delta }
+        Self {
+            bytes: unpack_qubs(packed, count, bits),
+            shape,
+            fc,
+            bits,
+            base_delta,
+        }
     }
 }
 
@@ -95,7 +105,9 @@ mod tests {
     fn pack_unpack_roundtrip_all_widths() {
         for bits in 2u32..=8 {
             let mask = ((1u16 << bits) - 1) as u8;
-            let codes: Vec<u8> = (0..997u32).map(|i| (i.wrapping_mul(31) % 256) as u8 & mask).collect();
+            let codes: Vec<u8> = (0..997u32)
+                .map(|i| (i.wrapping_mul(31) % 256) as u8 & mask)
+                .collect();
             let packed = pack_qubs(&codes, bits);
             assert_eq!(packed.len(), (codes.len() * bits as usize).div_ceil(8));
             let back = unpack_qubs(&packed, codes.len(), bits);

@@ -30,17 +30,29 @@ pub struct PtqConfig {
 impl PtqConfig {
     /// `W6/A6` partial quantization (Table 2).
     pub fn partial_w6a6() -> Self {
-        Self { bits_w: 6, bits_a: 6, coverage: Coverage::Partial }
+        Self {
+            bits_w: 6,
+            bits_a: 6,
+            coverage: Coverage::Partial,
+        }
     }
 
     /// `W6/A6` full quantization (Table 3, upper half).
     pub fn full_w6a6() -> Self {
-        Self { bits_w: 6, bits_a: 6, coverage: Coverage::Full }
+        Self {
+            bits_w: 6,
+            bits_a: 6,
+            coverage: Coverage::Full,
+        }
     }
 
     /// `W8/A8` full quantization (Table 3, lower half).
     pub fn full_w8a8() -> Self {
-        Self { bits_w: 8, bits_a: 8, coverage: Coverage::Full }
+        Self {
+            bits_w: 8,
+            bits_a: 8,
+            coverage: Coverage::Full,
+        }
     }
 }
 
@@ -95,7 +107,10 @@ impl PtqTables {
     }
 
     /// Fitted quantizer for a weight site, if present.
-    pub fn weight_quantizer(&self, site: &OpSite) -> Option<&dyn crate::quantizer::FittedQuantizer> {
+    pub fn weight_quantizer(
+        &self,
+        site: &OpSite,
+    ) -> Option<&dyn crate::quantizer::FittedQuantizer> {
         self.weight_quantizers.get(site).map(|b| b.as_ref())
     }
 
@@ -113,6 +128,12 @@ impl PtqTables {
 /// Calibrates `model` on `calibration` images with `method` (paper §6.1 uses
 /// 32 images), returning the fitted tables.
 ///
+/// Sample collection stays serial (the collector is stateful), but the
+/// per-site quantizer fits — the dominant cost with the grid search on —
+/// run in parallel on the [`quq_tensor::pool`]. Each site's fit is
+/// self-contained and the results land in `BTreeMap`s, so the tables are
+/// identical at every thread count.
+///
 /// # Errors
 ///
 /// Propagates backend errors from the calibration forward passes.
@@ -127,17 +148,43 @@ pub fn calibrate(
         model.forward(img, &mut collector)?;
     }
     let (samples, weights) = collector.into_parts();
-    let mut activations = BTreeMap::new();
-    for (key, set) in samples {
-        let fitted = method.fit_activation_for(key, &set.to_values(), config.bits_a);
-        activations.insert(key, fitted);
-    }
+
+    let sites: Vec<(ParamKey, Vec<f32>)> = samples
+        .into_iter()
+        .map(|(key, set)| (key, set.to_values()))
+        .collect();
+    let mut fitted: Vec<Option<Box<dyn crate::quantizer::FittedQuantizer>>> = Vec::new();
+    fitted.resize_with(sites.len(), || None);
+    quq_tensor::pool::parallel_chunks_mut(&mut fitted, 1, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let (key, values) = &sites[start + off];
+            *slot = Some(method.fit_activation_for(*key, values, config.bits_a));
+        }
+    });
+    let activations: BTreeMap<_, _> = sites
+        .iter()
+        .zip(fitted)
+        .map(|((key, _), q)| (*key, q.expect("every site fitted")))
+        .collect();
+
+    type WeightFit = Option<(Box<dyn crate::quantizer::FittedQuantizer>, Tensor)>;
+    let weight_sites: Vec<(OpSite, Tensor)> = weights.into_iter().collect();
+    let mut weight_fits: Vec<WeightFit> = Vec::new();
+    weight_fits.resize_with(weight_sites.len(), || None);
+    quq_tensor::pool::parallel_chunks_mut(&mut weight_fits, 1, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let (_, w) = &weight_sites[start + off];
+            let q = method.fit_weight(w, config.bits_w);
+            let fq = q.fake_quantize(w);
+            *slot = Some((q, fq));
+        }
+    });
     let mut quantized_weights = BTreeMap::new();
     let mut weight_quantizers = BTreeMap::new();
     let mut original_weights = BTreeMap::new();
-    for (site, w) in weights {
-        let q = method.fit_weight(&w, config.bits_w);
-        quantized_weights.insert(site, q.fake_quantize(&w));
+    for ((site, w), fit) in weight_sites.into_iter().zip(weight_fits) {
+        let (q, fq) = fit.expect("every weight fitted");
+        quantized_weights.insert(site, fq);
         weight_quantizers.insert(site, q);
         original_weights.insert(site, w);
     }
@@ -173,12 +220,22 @@ impl QuantBackend<'_> {
 }
 
 impl Backend for QuantBackend<'_> {
-    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+    ) -> Result<Tensor> {
         if !self.coverage().covers(site.kind) {
             return Ok(linalg::linear(x, w, b)?);
         }
         let xq = self.apply(site, Operand::Input, x)?;
-        let wq = self.tables.quantized_weights.get(&site).ok_or(BackendError::MissingParams(site))?;
+        let wq = self
+            .tables
+            .quantized_weights
+            .get(&site)
+            .ok_or(BackendError::MissingParams(site))?;
         Ok(linalg::linear(&xq, wq, b)?)
     }
 
@@ -201,17 +258,29 @@ impl Backend for QuantBackend<'_> {
     }
 
     fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
-        let x = if self.coverage().covers(site.kind) { self.apply(site, Operand::Input, x)? } else { x.clone() };
+        let x = if self.coverage().covers(site.kind) {
+            self.apply(site, Operand::Input, x)?
+        } else {
+            x.clone()
+        };
         Ok(quq_tensor::nn::softmax(&x)?)
     }
 
     fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
-        let x = if self.coverage().covers(site.kind) { self.apply(site, Operand::Input, x)? } else { x.clone() };
+        let x = if self.coverage().covers(site.kind) {
+            self.apply(site, Operand::Input, x)?
+        } else {
+            x.clone()
+        };
         Ok(quq_tensor::nn::gelu_tensor(&x))
     }
 
     fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
-        let x = if self.coverage().covers(site.kind) { self.apply(site, Operand::Input, x)? } else { x.clone() };
+        let x = if self.coverage().covers(site.kind) {
+            self.apply(site, Operand::Input, x)?
+        } else {
+            x.clone()
+        };
         Ok(quq_tensor::nn::layer_norm(&x, g, b, 1e-6)?)
     }
 
@@ -226,7 +295,10 @@ impl Backend for QuantBackend<'_> {
 }
 
 /// Convenience: calibrate and evaluate in one call, returning top-1
-/// agreement with the teacher labels.
+/// agreement with the teacher labels. Evaluation images run in parallel on
+/// the pool (each worker builds its own [`QuantBackend`] over the shared
+/// tables); the result is identical to serial evaluation at every thread
+/// count.
 ///
 /// # Errors
 ///
@@ -239,8 +311,7 @@ pub fn evaluate_quantized(
     config: PtqConfig,
 ) -> Result<f64> {
     let tables = calibrate(method, model, calibration, config)?;
-    let mut backend = tables.backend();
-    quq_vit::evaluate(model, &mut backend, eval)
+    quq_vit::evaluate_parallel(model, || tables.backend(), eval)
 }
 
 #[cfg(test)]
@@ -281,7 +352,8 @@ mod tests {
     fn quantized_execution_stays_close_to_fp32_at_8_bit() {
         let (model, calib, eval) = setup();
         let method = QuqMethod::without_optimization();
-        let acc = evaluate_quantized(&method, &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
+        let acc =
+            evaluate_quantized(&method, &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
         assert!(acc >= 0.75, "8-bit full QUQ agreement {acc} too low");
     }
 
@@ -289,13 +361,18 @@ mod tests {
     fn lower_bits_do_not_increase_agreement() {
         let (model, calib, eval) = setup();
         let method = QuqMethod::without_optimization();
-        let a8 = evaluate_quantized(&method, &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
+        let a8 =
+            evaluate_quantized(&method, &model, &calib, &eval, PtqConfig::full_w8a8()).unwrap();
         let a4 = evaluate_quantized(
             &method,
             &model,
             &calib,
             &eval,
-            PtqConfig { bits_w: 4, bits_a: 4, coverage: Coverage::Full },
+            PtqConfig {
+                bits_w: 4,
+                bits_a: 4,
+                coverage: Coverage::Full,
+            },
         )
         .unwrap();
         assert!(a8 >= a4, "8-bit {a8} vs 4-bit {a4}");

@@ -80,7 +80,7 @@ impl FittedQuantizer for UniformQuantizer {
 }
 
 /// A PTQ method: a strategy for fitting per-tensor quantizers.
-pub trait QuantMethod: fmt::Debug {
+pub trait QuantMethod: fmt::Debug + Sync {
     /// Method name as it appears in the paper's tables.
     fn name(&self) -> &'static str;
 
@@ -90,7 +90,12 @@ pub trait QuantMethod: fmt::Debug {
     /// Fits an activation quantizer knowing which operand it feeds. The
     /// default ignores the context; methods with op-specific encodings
     /// (e.g. FQ-ViT's log2 quantization of post-Softmax attention) override.
-    fn fit_activation_for(&self, key: crate::calib::ParamKey, samples: &[f32], bits: u32) -> Box<dyn FittedQuantizer> {
+    fn fit_activation_for(
+        &self,
+        key: crate::calib::ParamKey,
+        samples: &[f32],
+        bits: u32,
+    ) -> Box<dyn FittedQuantizer> {
         let _ = key;
         self.fit_activation(samples, bits)
     }
@@ -124,12 +129,20 @@ impl QuqMethod {
     /// over-protects far outliers on hard tensors and measurably hurts
     /// end-to-end agreement, so it is not the default.
     pub fn paper() -> Self {
-        Self { pra: PraConfig::default(), optimize: true, objective: Objective::Mse }
+        Self {
+            pra: PraConfig::default(),
+            optimize: true,
+            objective: Objective::Mse,
+        }
     }
 
     /// PRA only, no grid search (ablation).
     pub fn without_optimization() -> Self {
-        Self { pra: PraConfig::default(), optimize: false, objective: Objective::Mse }
+        Self {
+            pra: PraConfig::default(),
+            optimize: false,
+            objective: Objective::Mse,
+        }
     }
 }
 
@@ -181,7 +194,11 @@ mod tests {
         let s = sample(2);
         for bits in [4u32, 6, 8] {
             let plain = QuqMethod::without_optimization().fit_activation(&s, bits);
-            let opt = QuqMethod { objective: Objective::Mse, ..QuqMethod::paper() }.fit_activation(&s, bits);
+            let opt = QuqMethod {
+                objective: Objective::Mse,
+                ..QuqMethod::paper()
+            }
+            .fit_activation(&s, bits);
             assert!(
                 opt.mse(&s) <= plain.mse(&s) * 1.0001,
                 "bits {bits}: optimized {:.3e} worse than plain {:.3e}",

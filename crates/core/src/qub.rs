@@ -30,7 +30,20 @@ pub struct FcRegisters {
 }
 
 fn encode_space(space: SpaceLayout, base: f32) -> u8 {
-    let sh = |d: f32| -> u8 { ((d / base).log2().round() as u8) & 0x7 };
+    // Each n_sh field is 3 bits wide (Fig. 5), so the register can only
+    // describe scale ratios up to 2^7 over the base Δ. Eq. 4 plus the PRA
+    // construction guarantee fitted parameters stay in range; a ratio
+    // outside it cannot be represented and silently masking it (`& 0x7`)
+    // would alias e.g. 2^8 onto 2^0. Debug builds reject such layouts;
+    // release builds saturate at the widest representable ratio.
+    let sh = |d: f32| -> u8 {
+        let ratio = (d / base).log2().round();
+        debug_assert!(
+            (0.0..=7.0).contains(&ratio),
+            "scale ratio 2^{ratio} does not fit the 3-bit n_sh field (Δ = {d}, base = {base})"
+        );
+        ratio.clamp(0.0, 7.0) as u8
+    };
     match space {
         SpaceLayout::Split { neg, pos } => 0x80 | (sh(neg) << 3) | sh(pos),
         SpaceLayout::MergedNeg { delta } => 0x40 | (sh(delta) << 3),
@@ -56,11 +69,18 @@ fn decode_space(reg: u8, base: f32) -> SpaceLayout {
     let sh_neg = ((reg >> 3) & 0x7) as f32;
     let sh_pos = (reg & 0x7) as f32;
     if reg & 0x80 != 0 {
-        SpaceLayout::Split { neg: base * sh_neg.exp2(), pos: base * sh_pos.exp2() }
+        SpaceLayout::Split {
+            neg: base * sh_neg.exp2(),
+            pos: base * sh_pos.exp2(),
+        }
     } else if reg & 0x40 != 0 {
-        SpaceLayout::MergedNeg { delta: base * sh_neg.exp2() }
+        SpaceLayout::MergedNeg {
+            delta: base * sh_neg.exp2(),
+        }
     } else {
-        SpaceLayout::MergedPos { delta: base * sh_pos.exp2() }
+        SpaceLayout::MergedPos {
+            delta: base * sh_pos.exp2(),
+        }
     }
 }
 
@@ -75,7 +95,11 @@ pub fn params_from_fc(
     fc: FcRegisters,
     base_delta: f32,
 ) -> Result<QuqParams, crate::scheme::InvalidParams> {
-    QuqParams::new(bits, decode_space(fc.fine, base_delta), decode_space(fc.coarse, base_delta))
+    QuqParams::new(
+        bits,
+        decode_space(fc.fine, base_delta),
+        decode_space(fc.coarse, base_delta),
+    )
 }
 
 /// A decoded QUB: the signed integer `D` and shift `n_sh` of Eq. 7.
@@ -217,13 +241,20 @@ impl QubTensor {
 
     /// Decodes every byte to `D · 2^{n_sh}` integers (units of `Δ_base`).
     pub fn decode_scaled(&self) -> IntTensor {
-        let data = self.bytes.iter().map(|&b| decode_qub(b, self.fc, self.bits).scaled()).collect();
+        let data = self
+            .bytes
+            .iter()
+            .map(|&b| decode_qub(b, self.fc, self.bits).scaled())
+            .collect();
         IntTensor::from_vec(data, &self.shape).expect("sized")
     }
 
     /// Decodes every byte to `(D, n_sh)` pairs.
     pub fn decode_pairs(&self) -> Vec<Decoded> {
-        self.bytes.iter().map(|&b| decode_qub(b, self.fc, self.bits)).collect()
+        self.bytes
+            .iter()
+            .map(|&b| decode_qub(b, self.fc, self.bits))
+            .collect()
     }
 
     /// Reconstructs the real-valued tensor.
@@ -252,8 +283,14 @@ mod tests {
             // Mode A
             QuqParams::new(
                 bits,
-                SpaceLayout::Split { neg: 0.01, pos: 0.02 },
-                SpaceLayout::Split { neg: 0.16, pos: 0.08 },
+                SpaceLayout::Split {
+                    neg: 0.01,
+                    pos: 0.02,
+                },
+                SpaceLayout::Split {
+                    neg: 0.16,
+                    pos: 0.08,
+                },
             )
             .unwrap(),
             // Mode B (positive)
@@ -273,7 +310,10 @@ mod tests {
             // Mode C
             QuqParams::new(
                 bits,
-                SpaceLayout::Split { neg: 0.04, pos: 0.01 },
+                SpaceLayout::Split {
+                    neg: 0.04,
+                    pos: 0.01,
+                },
                 SpaceLayout::MergedPos { delta: 0.08 },
             )
             .unwrap(),
@@ -286,8 +326,14 @@ mod tests {
     fn fc_registers_encode_layout() {
         let p = QuqParams::new(
             8,
-            SpaceLayout::Split { neg: 0.01, pos: 0.02 },
-            SpaceLayout::Split { neg: 0.16, pos: 0.08 },
+            SpaceLayout::Split {
+                neg: 0.01,
+                pos: 0.02,
+            },
+            SpaceLayout::Split {
+                neg: 0.16,
+                pos: 0.08,
+            },
         )
         .unwrap();
         let fc = FcRegisters::from_params(&p);
@@ -321,14 +367,24 @@ mod tests {
                     let code = params.quantize(x);
                     let byte = codec.encode(code);
                     // The byte fits in b bits.
-                    assert!(byte as u32 <= (1u32 << bits) - 1, "byte {byte} overflows {bits} bits");
+                    assert!(
+                        (byte as u32) < (1u32 << bits),
+                        "byte {byte} overflows {bits} bits"
+                    );
                     let dec = codec.decode(byte);
                     assert_eq!(dec.d, code.code, "D mismatch at x = {x} ({params:?})");
-                    assert_eq!(dec.n_sh, params.shift_for(code), "shift mismatch at x = {x}");
+                    assert_eq!(
+                        dec.n_sh,
+                        params.shift_for(code),
+                        "shift mismatch at x = {x}"
+                    );
                     // Eq. 7: the reconstructed value matches dequantize.
                     let recon = dec.scaled() as f32 * codec.base_delta();
                     let expect = params.dequantize(code);
-                    assert!((recon - expect).abs() <= 1e-5 * expect.abs().max(1.0), "value mismatch at {x}: {recon} vs {expect}");
+                    assert!(
+                        (recon - expect).abs() <= 1e-5 * expect.abs().max(1.0),
+                        "value mismatch at {x}: {recon} vs {expect}"
+                    );
                 }
             }
         }
@@ -342,7 +398,11 @@ mod tests {
             let codec = QubCodec::new(params);
             for byte in 0..=255u8 {
                 let dec = codec.decode(byte);
-                assert!((-128..=127).contains(&dec.d), "D = {} out of i8 range", dec.d);
+                assert!(
+                    (-128..=127).contains(&dec.d),
+                    "D = {} out of i8 range",
+                    dec.d
+                );
                 assert!(dec.n_sh <= 7);
             }
         }
@@ -358,7 +418,11 @@ mod tests {
                 let codec = QubCodec::new(params);
                 for byte in 0..(1u16 << bits) {
                     let dec = codec.decode(byte as u8);
-                    assert!(dec.d >= lo && dec.d <= hi, "{bits}-bit D = {} outside [{lo}, {hi}]", dec.d);
+                    assert!(
+                        dec.d >= lo && dec.d <= hi,
+                        "{bits}-bit D = {} outside [{lo}, {hi}]",
+                        dec.d
+                    );
                 }
             }
         }
@@ -383,7 +447,9 @@ mod tests {
 
     #[test]
     fn six_bit_qub_uses_low_six_bits() {
-        let params = Pra::with_defaults(6).run(&[-1.0, -0.02, 0.01, 0.03, 1.2]).params;
+        let params = Pra::with_defaults(6)
+            .run(&[-1.0, -0.02, 0.01, 0.03, 1.2])
+            .params;
         let codec = QubCodec::new(params);
         let t = Tensor::from_vec(vec![-1.0, 0.0, 0.5], &[3]).unwrap();
         let qt = codec.encode_tensor(&t);

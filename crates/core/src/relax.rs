@@ -26,7 +26,11 @@ pub struct PraConfig {
 
 impl Default for PraConfig {
     fn default() -> Self {
-        Self { lambda_a: 4.0, q_init: 0.99, q_acceptable: 0.95 }
+        Self {
+            lambda_a: 4.0,
+            q_init: 0.99,
+            q_acceptable: 0.95,
+        }
     }
 }
 
@@ -108,7 +112,11 @@ impl Pra {
             let outcome = self.run_symmetric(mags);
             let flip = neg.is_empty();
             let params = self.mode_b_params(outcome.0, outcome.1, flip);
-            return PraOutcome { params, q_final: outcome.2, recursions: outcome.3 };
+            return PraOutcome {
+                params,
+                q_final: outcome.2,
+                recursions: outcome.3,
+            };
         }
         self.run_two_sided(&neg, &pos)
     }
@@ -119,8 +127,16 @@ impl Pra {
         let cfg = self.config;
         let neg_codes = (1u32 << (self.bits - 2)) as f32;
         let pos_codes = ((1u32 << (self.bits - 2)) - 1).max(1) as f32;
-        let max_n = neg.iter().copied().fold(0.0f32, f32::max).max(f32::MIN_POSITIVE);
-        let max_p = pos.iter().copied().fold(0.0f32, f32::max).max(f32::MIN_POSITIVE);
+        let max_n = neg
+            .iter()
+            .copied()
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE);
+        let max_p = pos
+            .iter()
+            .copied()
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE);
         let (d_cn, d_cp) = relax(max_n / neg_codes, max_p / pos_codes);
 
         let mut q = cfg.q_init;
@@ -150,19 +166,47 @@ impl Pra {
                 // Line 12–13, Mode C: the negative side lacks a long tail —
                 // quantize it uniformly with the initial coarse scale and
                 // hand its coarse encoding space to the positive side.
-                self.finish(SpaceLayout::Split { neg: d_cn2, pos: d_fp }, SpaceLayout::MergedPos { delta: d_cp2 / 2.0 })
+                self.finish(
+                    SpaceLayout::Split {
+                        neg: d_cn2,
+                        pos: d_fp,
+                    },
+                    SpaceLayout::MergedPos { delta: d_cp2 / 2.0 },
+                )
             } else if ratio_p < cfg.lambda_a && d_cp2 <= d_fn * (1.0 + 1e-6) {
                 // Line 14–15, Mode C mirrored.
-                self.finish(SpaceLayout::Split { neg: d_fn, pos: d_cp2 }, SpaceLayout::MergedNeg { delta: d_cn2 / 2.0 })
+                self.finish(
+                    SpaceLayout::Split {
+                        neg: d_fn,
+                        pos: d_cp2,
+                    },
+                    SpaceLayout::MergedNeg { delta: d_cn2 / 2.0 },
+                )
             } else if ratio_n < cfg.lambda_a || ratio_p < cfg.lambda_a {
                 // Line 16–17, Mode D fallback: dual uniform, negative side in
                 // the coarse space, positive side in the fine space.
-                self.finish(SpaceLayout::MergedPos { delta: d_cp2 / 2.0 }, SpaceLayout::MergedNeg { delta: d_cn2 / 2.0 })
+                self.finish(
+                    SpaceLayout::MergedPos { delta: d_cp2 / 2.0 },
+                    SpaceLayout::MergedNeg { delta: d_cn2 / 2.0 },
+                )
             } else {
                 // Mode A.
-                self.finish(SpaceLayout::Split { neg: d_fn, pos: d_fp }, SpaceLayout::Split { neg: d_cn2, pos: d_cp2 })
+                self.finish(
+                    SpaceLayout::Split {
+                        neg: d_fn,
+                        pos: d_fp,
+                    },
+                    SpaceLayout::Split {
+                        neg: d_cn2,
+                        pos: d_cp2,
+                    },
+                )
             };
-            return PraOutcome { params, q_final: q, recursions };
+            return PraOutcome {
+                params,
+                q_final: q,
+                recursions,
+            };
         }
     }
 
@@ -171,7 +215,11 @@ impl Pra {
     fn run_symmetric(&self, mags: &[f32]) -> (f32, f32, f32, u32) {
         let cfg = self.config;
         let pos_codes = ((1u32 << (self.bits - 2)) - 1).max(1) as f32;
-        let max = mags.iter().copied().fold(0.0f32, f32::max).max(f32::MIN_POSITIVE);
+        let max = mags
+            .iter()
+            .copied()
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE);
         let d_c = max / pos_codes;
         let mut q = cfg.q_init;
         let mut recursions = 0u32;
@@ -191,9 +239,15 @@ impl Pra {
     /// scales halved because the merged payload has twice the codes.
     fn mode_b_params(&self, d_f: f32, d_c: f32, positive: bool) -> QuqParams {
         let (fine, coarse) = if positive {
-            (SpaceLayout::MergedPos { delta: d_f / 2.0 }, SpaceLayout::MergedPos { delta: d_c / 2.0 })
+            (
+                SpaceLayout::MergedPos { delta: d_f / 2.0 },
+                SpaceLayout::MergedPos { delta: d_c / 2.0 },
+            )
         } else {
-            (SpaceLayout::MergedNeg { delta: d_f / 2.0 }, SpaceLayout::MergedNeg { delta: d_c / 2.0 })
+            (
+                SpaceLayout::MergedNeg { delta: d_f / 2.0 },
+                SpaceLayout::MergedNeg { delta: d_c / 2.0 },
+            )
         };
         self.finish(fine, coarse)
     }
@@ -205,16 +259,28 @@ impl Pra {
     /// fits (slightly reducing fine resolution on pathological data).
     fn finish(&self, fine: SpaceLayout, coarse: SpaceLayout) -> QuqParams {
         let deltas = |s: &SpaceLayout| -> Vec<f32> {
-            [s.neg_delta(), s.pos_delta()].into_iter().flatten().collect()
+            [s.neg_delta(), s.pos_delta()]
+                .into_iter()
+                .flatten()
+                .collect()
         };
         let max_delta = deltas(&fine)
             .into_iter()
             .chain(deltas(&coarse))
             .fold(f32::MIN_POSITIVE, f32::max);
         let floor = max_delta / (1u32 << MAX_SHIFT) as f32;
-        let lift = |d: f32| if d < floor { d * (floor / d).log2().ceil().exp2() } else { d };
+        let lift = |d: f32| {
+            if d < floor {
+                d * (floor / d).log2().ceil().exp2()
+            } else {
+                d
+            }
+        };
         let lift_space = |s: SpaceLayout| match s {
-            SpaceLayout::Split { neg, pos } => SpaceLayout::Split { neg: lift(neg), pos: lift(pos) },
+            SpaceLayout::Split { neg, pos } => SpaceLayout::Split {
+                neg: lift(neg),
+                pos: lift(pos),
+            },
             SpaceLayout::MergedNeg { delta } => SpaceLayout::MergedNeg { delta: lift(delta) },
             SpaceLayout::MergedPos { delta } => SpaceLayout::MergedPos { delta: lift(delta) },
         };
@@ -238,7 +304,10 @@ mod tests {
             assert!(a2 >= a * (1.0 - 1e-6), "Δ1 shrank: {a} -> {a2}");
             assert!(b2 >= b * (1.0 - 1e-6), "Δ2 shrank: {b} -> {b2}");
             let l = (b2 / a2).log2();
-            assert!((l - l.round()).abs() < 1e-5, "ratio 2^{l} not integral for ({a}, {b})");
+            assert!(
+                (l - l.round()).abs() < 1e-5,
+                "ratio 2^{l} not integral for ({a}, {b})"
+            );
             // One of the two is unchanged.
             assert!((a2 - a).abs() < 1e-9 * a.max(1.0) || (b2 - b).abs() < 1e-9 * b.max(1.0));
         }
@@ -273,12 +342,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let values: Vec<f32> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
         let outcome = Pra::with_defaults(6).run(&values);
-        assert_ne!(outcome.params.mode(), Mode::A, "Gaussian data should not stay in Mode A");
+        assert_ne!(
+            outcome.params.mode(),
+            Mode::A,
+            "Gaussian data should not stay in Mode A"
+        );
     }
 
     #[test]
     fn non_negative_data_yields_mode_b() {
-        let values: Vec<f32> = long_tailed_sample(3, 20_000).into_iter().map(f32::abs).collect();
+        let values: Vec<f32> = long_tailed_sample(3, 20_000)
+            .into_iter()
+            .map(f32::abs)
+            .collect();
         let outcome = Pra::with_defaults(8).run(&values);
         assert_eq!(outcome.params.mode(), Mode::B);
         assert!(outcome.params.min_representable().is_none());
@@ -286,7 +362,10 @@ mod tests {
 
     #[test]
     fn non_positive_data_yields_negative_mode_b() {
-        let values: Vec<f32> = long_tailed_sample(4, 20_000).into_iter().map(|v| -v.abs()).collect();
+        let values: Vec<f32> = long_tailed_sample(4, 20_000)
+            .into_iter()
+            .map(|v| -v.abs())
+            .collect();
         let outcome = Pra::with_defaults(8).run(&values);
         assert_eq!(outcome.params.mode(), Mode::B);
         assert!(outcome.params.max_representable().is_none());
@@ -303,7 +382,12 @@ mod tests {
             values.push(if z < 0.0 { z * 0.05 } else { z * z * z * 0.5 });
         }
         let outcome = Pra::with_defaults(8).run(&values);
-        assert_eq!(outcome.params.mode(), Mode::C, "mode = {:?}", outcome.params.mode());
+        assert_eq!(
+            outcome.params.mode(),
+            Mode::C,
+            "mode = {:?}",
+            outcome.params.mode()
+        );
     }
 
     #[test]
@@ -330,7 +414,10 @@ mod tests {
         let outcome = Pra::with_defaults(6).run(&values);
         assert!(outcome.q_final >= 0.95 - 1e-6);
         assert!(outcome.q_final <= 0.99 + 1e-6);
-        assert_eq!(outcome.recursions, ((0.99 - outcome.q_final) / 0.01).round() as u32);
+        assert_eq!(
+            outcome.recursions,
+            ((0.99 - outcome.q_final) / 0.01).round() as u32
+        );
     }
 
     #[test]
@@ -368,7 +455,9 @@ mod tests {
     #[test]
     fn extreme_dynamic_range_is_clamped_to_shift_budget() {
         // Bulk at 1e-4 with outliers at 1e3: raw ratio far exceeds 2^7.
-        let mut values: Vec<f32> = (0..10_000).map(|i| ((i % 19) as f32 - 9.0) * 1e-4).collect();
+        let mut values: Vec<f32> = (0..10_000)
+            .map(|i| ((i % 19) as f32 - 9.0) * 1e-4)
+            .collect();
         values.extend([1000.0, -950.0, 800.0]);
         let outcome = Pra::with_defaults(8).run(&values);
         let base = outcome.params.base_delta();

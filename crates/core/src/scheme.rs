@@ -157,7 +157,10 @@ impl QuqParams {
         }
         // Zero must be representable: fine-pos, coarse-pos, or any split.
         if params.fine.pos_code_range(params.payload_bits()).is_none()
-            && params.coarse.pos_code_range(params.payload_bits()).is_none()
+            && params
+                .coarse
+                .pos_code_range(params.payload_bits())
+                .is_none()
         {
             // All-negative layouts (Mode B on non-positive data) are allowed;
             // zero then maps to the smallest-magnitude negative code.
@@ -168,7 +171,9 @@ impl QuqParams {
             let ratio = d / base;
             let k = ratio.log2().round();
             if (ratio.log2() - k).abs() > 1e-4 {
-                return Err(InvalidParams(format!("Δ ratio {ratio} is not a power of two")));
+                return Err(InvalidParams(format!(
+                    "Δ ratio {ratio} is not a power of two"
+                )));
             }
             if !(0.0..=MAX_SHIFT as f32).contains(&k) {
                 return Err(InvalidParams(format!("shift {k} outside 0..={MAX_SHIFT}")));
@@ -236,9 +241,13 @@ impl QuqParams {
     pub fn shift_for(&self, code: QuqCode) -> u32 {
         let space = if code.fine { &self.fine } else { &self.coarse };
         let delta = if code.code < 0 {
-            space.neg_delta().unwrap_or_else(|| space.pos_delta().expect("space covers a side"))
+            space
+                .neg_delta()
+                .unwrap_or_else(|| space.pos_delta().expect("space covers a side"))
         } else {
-            space.pos_delta().unwrap_or_else(|| space.neg_delta().expect("space covers a side"))
+            space
+                .pos_delta()
+                .unwrap_or_else(|| space.neg_delta().expect("space covers a side"))
         };
         self.shift_of(delta)
     }
@@ -280,7 +289,8 @@ impl QuqParams {
                 // then toward the fine space for determinism.
                 Some((bc, berr, bmag)) => {
                     err < *berr - 1e-12
-                        || ((err - *berr).abs() <= 1e-12 && (mag < *bmag || (mag == *bmag && code.fine && !bc.fine)))
+                        || ((err - *berr).abs() <= 1e-12
+                            && (mag < *bmag || (mag == *bmag && code.fine && !bc.fine)))
                 }
             };
             if better {
@@ -290,7 +300,13 @@ impl QuqParams {
         for (is_fine, space) in [(true, &self.fine), (false, &self.coarse)] {
             if let Some((d, (lo, hi))) = pick(space) {
                 let c = ((x / d).round_ties_even() as i64).clamp(lo as i64, hi as i64) as i32;
-                consider(QuqCode { fine: is_fine, code: c }, c as f32 * d);
+                consider(
+                    QuqCode {
+                        fine: is_fine,
+                        code: c,
+                    },
+                    c as f32 * d,
+                );
             }
         }
         let zero = self.nearest_to_zero();
@@ -306,9 +322,15 @@ impl QuqParams {
         let mut best: Option<(QuqCode, f32)> = None;
         for (is_fine, space) in [(true, &self.fine), (false, &self.coarse)] {
             let cand = if positive {
-                space.pos_delta().zip(space.pos_code_range(p)).map(|(d, (_, hi))| (hi, hi as f32 * d))
+                space
+                    .pos_delta()
+                    .zip(space.pos_code_range(p))
+                    .map(|(d, (_, hi))| (hi, hi as f32 * d))
             } else {
-                space.neg_delta().zip(space.neg_code_range(p)).map(|(d, (lo, _))| (lo, lo as f32 * d))
+                space
+                    .neg_delta()
+                    .zip(space.neg_code_range(p))
+                    .map(|(d, (lo, _))| (lo, lo as f32 * d))
             };
             if let Some((code, value)) = cand {
                 let better = match best {
@@ -322,24 +344,43 @@ impl QuqParams {
                     }
                 };
                 if better {
-                    best = Some((QuqCode { fine: is_fine, code }, value));
+                    best = Some((
+                        QuqCode {
+                            fine: is_fine,
+                            code,
+                        },
+                        value,
+                    ));
                 }
             }
         }
-        best.map(|(c, _)| c).unwrap_or_else(|| self.nearest_to_zero())
+        best.map(|(c, _)| c)
+            .unwrap_or_else(|| self.nearest_to_zero())
     }
 
     /// The representable code closest to zero.
     fn nearest_to_zero(&self) -> QuqCode {
         let p = self.payload_bits();
         if self.fine.pos_code_range(p).is_some() {
-            QuqCode { fine: true, code: 0 }
+            QuqCode {
+                fine: true,
+                code: 0,
+            }
         } else if self.coarse.pos_code_range(p).is_some() {
-            QuqCode { fine: false, code: 0 }
+            QuqCode {
+                fine: false,
+                code: 0,
+            }
         } else if self.fine.neg_code_range(p).is_some() {
-            QuqCode { fine: true, code: -1 }
+            QuqCode {
+                fine: true,
+                code: -1,
+            }
         } else {
-            QuqCode { fine: false, code: -1 }
+            QuqCode {
+                fine: false,
+                code: -1,
+            }
         }
     }
 
@@ -352,9 +393,13 @@ impl QuqParams {
     pub fn dequantize(&self, code: QuqCode) -> f32 {
         let space = if code.fine { self.fine } else { self.coarse };
         let delta = if code.code < 0 {
-            space.neg_delta().expect("negative code in a space without a negative side")
+            space
+                .neg_delta()
+                .expect("negative code in a space without a negative side")
         } else {
-            space.pos_delta().expect("non-negative code in a space without a positive side")
+            space
+                .pos_delta()
+                .expect("non-negative code in a space without a positive side")
         };
         code.code as f32 * delta
     }
@@ -442,13 +487,27 @@ impl QuqParams {
     ///
     /// Panics when `factor` is not positive finite.
     pub fn scaled(&self, factor: f32) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "invalid scale factor {factor}");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid scale factor {factor}"
+        );
         let scale_space = |s: SpaceLayout| match s {
-            SpaceLayout::Split { neg, pos } => SpaceLayout::Split { neg: neg * factor, pos: pos * factor },
-            SpaceLayout::MergedNeg { delta } => SpaceLayout::MergedNeg { delta: delta * factor },
-            SpaceLayout::MergedPos { delta } => SpaceLayout::MergedPos { delta: delta * factor },
+            SpaceLayout::Split { neg, pos } => SpaceLayout::Split {
+                neg: neg * factor,
+                pos: pos * factor,
+            },
+            SpaceLayout::MergedNeg { delta } => SpaceLayout::MergedNeg {
+                delta: delta * factor,
+            },
+            SpaceLayout::MergedPos { delta } => SpaceLayout::MergedPos {
+                delta: delta * factor,
+            },
         };
-        Self { bits: self.bits, fine: scale_space(self.fine), coarse: scale_space(self.coarse) }
+        Self {
+            bits: self.bits,
+            fine: scale_space(self.fine),
+            coarse: scale_space(self.coarse),
+        }
     }
 
     /// A parameter set realizing plain symmetric uniform quantization with
@@ -459,7 +518,11 @@ impl QuqParams {
     ///
     /// Returns [`InvalidParams`] for invalid `bits`/`delta`.
     pub fn uniform(bits: u32, delta: f32) -> Result<Self, InvalidParams> {
-        Self::new(bits, SpaceLayout::MergedPos { delta }, SpaceLayout::MergedNeg { delta })
+        Self::new(
+            bits,
+            SpaceLayout::MergedPos { delta },
+            SpaceLayout::MergedNeg { delta },
+        )
     }
 }
 
@@ -470,8 +533,14 @@ mod tests {
     fn mode_a(bits: u32) -> QuqParams {
         QuqParams::new(
             bits,
-            SpaceLayout::Split { neg: 0.01, pos: 0.02 },
-            SpaceLayout::Split { neg: 0.16, pos: 0.16 },
+            SpaceLayout::Split {
+                neg: 0.01,
+                pos: 0.02,
+            },
+            SpaceLayout::Split {
+                neg: 0.16,
+                pos: 0.16,
+            },
         )
         .unwrap()
     }
@@ -480,8 +549,14 @@ mod tests {
     fn validates_power_of_two_ratios() {
         assert!(QuqParams::new(
             8,
-            SpaceLayout::Split { neg: 0.01, pos: 0.02 },
-            SpaceLayout::Split { neg: 0.03, pos: 0.08 },
+            SpaceLayout::Split {
+                neg: 0.01,
+                pos: 0.02
+            },
+            SpaceLayout::Split {
+                neg: 0.03,
+                pos: 0.08
+            },
         )
         .is_err());
         assert!(mode_a(8).base_delta() == 0.01);
@@ -492,8 +567,14 @@ mod tests {
         // Ratio 256 = 2^8 exceeds the 3-bit shift field.
         assert!(QuqParams::new(
             8,
-            SpaceLayout::Split { neg: 0.01, pos: 0.01 },
-            SpaceLayout::Split { neg: 2.56, pos: 2.56 },
+            SpaceLayout::Split {
+                neg: 0.01,
+                pos: 0.01
+            },
+            SpaceLayout::Split {
+                neg: 2.56,
+                pos: 2.56
+            },
         )
         .is_err());
     }
@@ -518,7 +599,10 @@ mod tests {
         assert_eq!(b.mode(), Mode::B);
         let c = QuqParams::new(
             8,
-            SpaceLayout::Split { neg: 0.02, pos: 0.01 },
+            SpaceLayout::Split {
+                neg: 0.02,
+                pos: 0.01,
+            },
             SpaceLayout::MergedPos { delta: 0.08 },
         )
         .unwrap();

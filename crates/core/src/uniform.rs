@@ -23,7 +23,10 @@ impl UniformQuantizer {
     /// finite.
     pub fn new(bits: u32, delta: f32) -> Self {
         assert!((1..=16).contains(&bits), "unsupported bit-width {bits}");
-        assert!(delta.is_finite() && delta > 0.0, "invalid scale factor {delta}");
+        assert!(
+            delta.is_finite() && delta > 0.0,
+            "invalid scale factor {delta}"
+        );
         Self { bits, delta }
     }
 

@@ -96,6 +96,50 @@ proptest! {
     }
 
     #[test]
+    fn fc_roundtrip_is_exact_for_every_layout_variant(
+        bits in 2u32..=8,
+        base_exp in -12i32..4,
+        fine_variant in 0usize..3,
+        coarse_variant in 0usize..3,
+        fine_sh in (0u32..=7, 0u32..=7),
+        coarse_sh in (0u32..=7, 0u32..=7),
+    ) {
+        // Explicit layouts over every SpaceLayout variant pair with shifts
+        // spanning the full 3-bit n_sh budget: from_params → params_from_fc
+        // must reproduce variants and deltas exactly (powers of two are
+        // exact in f32 at these exponents).
+        let base = (base_exp as f32).exp2();
+        let delta = |sh: u32| base * (sh as f32).exp2();
+        let layout = |variant: usize, sh: (u32, u32)| match variant {
+            0 => SpaceLayout::Split { neg: delta(sh.0), pos: delta(sh.1) },
+            1 => SpaceLayout::MergedNeg { delta: delta(sh.0) },
+            _ => SpaceLayout::MergedPos { delta: delta(sh.0) },
+        };
+        let fine = layout(fine_variant, fine_sh);
+        let coarse = layout(coarse_variant, coarse_sh);
+        let params = QuqParams::new(bits, fine, coarse).expect("valid layout");
+        let fc = quq_core::FcRegisters::from_params(&params);
+        let rebuilt = quq_core::params_from_fc(bits, fc, params.base_delta()).unwrap();
+        prop_assert_eq!(rebuilt.fine(), fine);
+        prop_assert_eq!(rebuilt.coarse(), coarse);
+        prop_assert_eq!(rebuilt.mode(), params.mode());
+    }
+
+    #[test]
+    fn shifts_beyond_the_3_bit_field_are_rejected(
+        bits in 2u32..=8,
+        base_exp in -12i32..4,
+        excess in 8u32..=16,
+    ) {
+        // A scale ratio of 2^8 or more cannot be encoded in the 3-bit n_sh
+        // field; constructing such params must fail rather than alias.
+        let base = (base_exp as f32).exp2();
+        let fine = SpaceLayout::MergedPos { delta: base };
+        let coarse = SpaceLayout::MergedPos { delta: base * (excess as f32).exp2() };
+        prop_assert!(QuqParams::new(bits, fine, coarse).is_err());
+    }
+
+    #[test]
     fn wire_roundtrip_preserves_tensors(values in sample_strategy(), bits in 4u32..=8) {
         let params = Pra::new(bits, PraConfig::default()).run(&values).params;
         let n = values.len();
@@ -147,7 +191,10 @@ proptest! {
 
 #[test]
 fn space_layout_accessors_are_consistent() {
-    let s = SpaceLayout::Split { neg: 0.5, pos: 0.25 };
+    let s = SpaceLayout::Split {
+        neg: 0.5,
+        pos: 0.25,
+    };
     assert_eq!(s.neg_delta(), Some(0.5));
     assert_eq!(s.pos_delta(), Some(0.25));
     let m = SpaceLayout::MergedPos { delta: 0.1 };

@@ -1,0 +1,222 @@
+//! # criterion — offline stand-in for the `criterion` crate
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of the criterion 0.5 API its benches use: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! [`Throughput`], and [`Bencher::iter`]/[`Bencher::iter_batched`].
+//! Measurement is a plain median-of-samples wall-clock timer — no warm-up
+//! modeling, outlier analysis, or HTML reports — but bench files are
+//! source-compatible with upstream.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration input sizing for [`Bencher::iter_batched`] (ignored by this
+/// shim; batches are regenerated every iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn run_samples(&mut self, mut once: impl FnMut()) {
+        // One untimed warm-up iteration, then `samples` timed ones.
+        once();
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                once();
+                t0.elapsed().as_nanos() as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.median_ns = times[times.len() / 2];
+    }
+
+    /// Times `routine` over the sample budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.run_samples(|| {
+            std::hint::black_box(routine());
+        });
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded from
+    /// timing is *not* guaranteed by this shim; keep setups cheap).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.run_samples(|| {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, self.throughput, &mut f);
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        self.run_one(id, None, &mut f);
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.median_ns;
+        match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / (per_iter * 1e-9);
+                println!("{id:<40} {:>12.0} ns/iter {rate:>14.0} elem/s", per_iter);
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let rate = n as f64 / (per_iter * 1e-9);
+                println!(
+                    "{id:<40} {:>12.0} ns/iter {:>11.1} MiB/s",
+                    per_iter,
+                    rate / (1 << 20) as f64
+                );
+            }
+            _ => println!("{id:<40} {:>12.0} ns/iter", per_iter),
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; a leading filter argument is
+            // accepted and ignored (this shim always runs everything).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_nonzero_time() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

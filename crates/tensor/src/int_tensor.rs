@@ -31,15 +31,24 @@ impl IntTensor {
     pub fn from_vec(data: Vec<i32>, shape: &[usize]) -> crate::Result<Self> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
-            return Err(TensorError::ShapeDataMismatch { shape: shape.to_vec(), len: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: data.len(),
+            });
         }
-        Ok(Self { shape: shape.to_vec(), data })
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// Creates a zero-filled integer tensor.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0; len],
+        }
     }
 
     /// The tensor's shape.
@@ -79,7 +88,10 @@ impl IntTensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(i32) -> i32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Converts each element to `f32` after multiplying by `scale`.

@@ -14,6 +14,10 @@
 //!   progressive relaxation algorithm and by the evaluation harness.
 //! * [`rng`] — deterministic samplers (normal, Laplace, Student-t, mixtures)
 //!   used to build distribution-matched synthetic models.
+//! * [`pool`] — a std-only work-stealing thread pool behind the parallel
+//!   GEMM, calibration, and evaluation paths. Thread count comes from
+//!   `QUQ_THREADS` (default: available parallelism); results are
+//!   bit-identical at every thread count.
 //!
 //! The library is deliberately *not* generic over element type: the QUQ paper
 //! operates on `f32` model data and small signed integers, and the two
@@ -32,6 +36,7 @@
 pub mod int_tensor;
 pub mod linalg;
 pub mod nn;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 mod tensor;

@@ -1,85 +1,168 @@
 //! Matrix products: the GEMM core that all "green" (quantizable) operations
 //! of the paper's Fig. 1 reduce to.
+//!
+//! The kernels are cache-blocked and row-parallel on the [`crate::pool`]
+//! work-stealing pool. Output rows are independent and every output element
+//! accumulates its `k` products in ascending-index order regardless of how
+//! rows are chunked across threads, so results are **bit-identical at every
+//! thread count** (including the `QUQ_THREADS=1` serial reference).
 
-use crate::{IntTensor, Tensor, TensorError};
+use crate::{pool, IntTensor, Tensor, TensorError};
+
+/// Rows of `B` (the shared operand) processed per pass so the active block
+/// stays cache-resident while a chunk of output rows streams over it.
+const KC: usize = 128;
+
+/// Output columns accumulated together in `matmul_nt`'s inner kernel: four
+/// dot products share one pass over the `A` row.
+const JB: usize = 4;
+
+/// Rows of output per work-stealing chunk. Small enough to balance the
+/// pool on ViT-sized matrices (a few hundred rows), large enough that a
+/// chunk amortizes its claim.
+const ROW_GRAIN: usize = 8;
+
+fn check_rank2(t: &Tensor) -> crate::Result<()> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok(())
+}
 
 /// Multiplies two rank-2 tensors: `C[m,n] = A[m,k] · B[k,n]`.
 ///
-/// Uses an i-k-j loop order with a transposed accumulation pattern that keeps
-/// the inner loop contiguous for both operands, which is enough for the model
-/// sizes exercised here.
+/// Row-parallel i-k-j kernel with `k` blocked in [`KC`]-row panels of `B`:
+/// each panel is reused across every output row of a chunk while the inner
+/// loop streams both operands contiguously. Zero entries of `A` are *not*
+/// skipped — `0 × NaN` and `0 × ∞` must propagate into the product exactly
+/// as IEEE 754 defines them.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] when either input is not rank 2 and
 /// [`TensorError::InnerDimMismatch`] when `A`'s columns differ from `B`'s rows.
 pub fn matmul(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
-    if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
-    }
-    if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
-    }
+    check_rank2(a)?;
+    check_rank2(b)?;
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     if k != k2 {
-        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+        return Err(TensorError::InnerDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
     }
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+    if n > 0 {
+        pool::parallel_rows_mut(&mut out, n, ROW_GRAIN, |first_row, block| {
+            matmul_block(ad, bd, block, first_row, k, n);
+        });
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes a block of output rows of `A·B` starting at `first_row`.
+///
+/// Accumulation into each element runs over `p = 0..k` ascending (panels
+/// ascend, `p` ascends within a panel), independent of the block split.
+fn matmul_block(ad: &[f32], bd: &[f32], block: &mut [f32], first_row: usize, k: usize, n: usize) {
+    for panel_start in (0..k).step_by(KC) {
+        let panel_end = (panel_start + KC).min(k);
+        for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+            let arow = &ad[(first_row + r) * k..(first_row + r + 1) * k];
+            for p in panel_start..panel_end {
+                let av = arow[p];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Multiplies `A[m,k]` by the transpose of `B[n,k]`: `C[m,n] = A · Bᵀ`.
 ///
 /// Attention scores `Q·Kᵀ` use this directly so `K` never needs an explicit
-/// transpose copy.
+/// transpose copy. Row-parallel dot-product kernel computing [`JB`] output
+/// columns per pass over the `A` row (one load of `A` feeds four
+/// independent accumulators).
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] or [`TensorError::InnerDimMismatch`]
 /// as for [`matmul`].
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
-    if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
-    }
-    if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
-    }
+    check_rank2(a)?;
+    check_rank2(b)?;
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (n, k2) = (b.shape()[0], b.shape()[1]);
     if k != k2 {
-        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+        return Err(TensorError::InnerDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
     }
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
+    if n > 0 {
+        pool::parallel_rows_mut(&mut out, n, ROW_GRAIN, |first_row, block| {
+            matmul_nt_block(ad, bd, block, first_row, k, n);
+        });
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes a block of output rows of `A·Bᵀ` starting at `first_row`.
+///
+/// Each output element is an independent ascending-`k` dot product, so the
+/// [`JB`]-wide column tiling never reorders any element's accumulation.
+fn matmul_nt_block(
+    ad: &[f32],
+    bd: &[f32],
+    block: &mut [f32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
+    for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+        let arow = &ad[(first_row + r) * k..(first_row + r + 1) * k];
+        let mut j = 0;
+        while j + JB <= n {
+            let b0 = &bd[j * k..(j + 1) * k];
+            let b1 = &bd[(j + 1) * k..(j + 2) * k];
+            let b2 = &bd[(j + 2) * k..(j + 3) * k];
+            let b3 = &bd[(j + 3) * k..(j + 4) * k];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for p in 0..k {
+                let x = arow[p];
+                a0 += x * b0[p];
+                a1 += x * b1[p];
+                a2 += x * b2[p];
+                a3 += x * b3[p];
+            }
+            orow[j] = a0;
+            orow[j + 1] = a1;
+            orow[j + 2] = a2;
+            orow[j + 3] = a3;
+            j += JB;
+        }
+        while j < n {
             let brow = &bd[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &y) in arow.iter().zip(brow) {
                 acc += x * y;
             }
-            out[i * n + j] = acc;
+            orow[j] = acc;
+            j += 1;
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Applies a linear layer `y = x·Wᵀ + bias` where `x` is `[..., in]` and `w`
@@ -106,7 +189,8 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> crate::Result<Te
 ///
 /// This models the PE-array accumulation path of the paper's accelerator:
 /// products of b-bit codes accumulated in wide integers (Eq. 2 before the
-/// requantization scale).
+/// requantization scale). Row-parallel like [`matmul`]; the zero-skip is
+/// kept here because integer `0 × b` contributes exactly nothing.
 ///
 /// # Errors
 ///
@@ -114,31 +198,44 @@ pub fn linear(x: &Tensor, w: &Tensor, bias: Option<&Tensor>) -> crate::Result<Te
 /// as for [`matmul`].
 pub fn int_matmul(a: &IntTensor, b: &IntTensor) -> crate::Result<IntTensor> {
     if a.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: a.rank(),
+        });
     }
     if b.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: b.rank(),
+        });
     }
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     if k != k2 {
-        return Err(TensorError::InnerDimMismatch { lhs_cols: k, rhs_rows: k2 });
+        return Err(TensorError::InnerDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
     }
     let mut out = vec![0i32; m * n];
     let ad = a.data();
     let bd = b.data();
-    for i in 0..m {
-        for p in 0..k {
-            let av = ad[i * k + p];
-            if av == 0 {
-                continue;
+    if n > 0 {
+        pool::parallel_rows_mut(&mut out, n, ROW_GRAIN, |first_row, block| {
+            for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+                let i = first_row + r;
+                for p in 0..k {
+                    let av = ad[i * k + p];
+                    if av == 0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o = o.wrapping_add(av.wrapping_mul(bv));
+                    }
+                }
             }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o = o.wrapping_add(av.wrapping_mul(bv));
-            }
-        }
+        });
     }
     IntTensor::from_vec(out, &[m, n])
 }
@@ -146,9 +243,18 @@ pub fn int_matmul(a: &IntTensor, b: &IntTensor) -> crate::Result<IntTensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::standard_normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn t(data: &[f32], shape: &[usize]) -> Tensor {
         Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    fn random(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len: usize = shape.iter().product();
+        Tensor::from_vec((0..len).map(|_| standard_normal(&mut rng)).collect(), shape).unwrap()
     }
 
     #[test]
@@ -163,9 +269,15 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = t(&[1.0, 2.0], &[1, 2]);
         let b = t(&[1.0, 2.0, 3.0], &[3, 1]);
-        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::InnerDimMismatch { .. })
+        ));
         let v = t(&[1.0], &[1]);
-        assert!(matches!(matmul(&v, &a), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&v, &a),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -174,14 +286,51 @@ mod tests {
         let b = t(&[7.0, 8.0, 9.0, 1.0, 2.0, 3.0], &[2, 3]);
         let via_nt = matmul_nt(&a, &b).unwrap();
         let via_t = matmul(&a, &b.transpose().unwrap()).unwrap();
-        assert_eq!(via_nt, via_t);
+        // Different kernels, so compare numerically rather than bitwise.
+        for (x, y) in via_nt.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_rows() {
+        // A zero entry of `A` must not short-circuit a NaN/∞ in `B`:
+        // IEEE 754 says 0 × NaN = NaN and 0 × ∞ = NaN.
+        let a = t(&[0.0, 1.0], &[1, 2]);
+        let b = t(&[f32::NAN, 0.0, f32::INFINITY, 2.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN + 1·∞ must not be finite");
+        assert_eq!(c.data()[1], 2.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_matmul_are_bit_identical() {
+        // Sizes straddle the KC panel and ROW_GRAIN chunk boundaries.
+        for (m, k, n, seed) in [(3, 5, 4, 1), (17, 130, 9, 2), (64, 300, 33, 3)] {
+            let a = random(&[m, k], seed);
+            let b = random(&[k, n], seed + 100);
+            let bt = random(&[n, k], seed + 200);
+            let par = matmul(&a, &b).unwrap();
+            let par_nt = matmul_nt(&a, &bt).unwrap();
+            let (ser, ser_nt) =
+                pool::run_serial(|| (matmul(&a, &b).unwrap(), matmul_nt(&a, &bt).unwrap()));
+            assert_eq!(par.data(), ser.data(), "matmul {m}x{k}x{n} diverged");
+            assert_eq!(
+                par_nt.data(),
+                ser_nt.data(),
+                "matmul_nt {m}x{k}x{n} diverged"
+            );
+        }
     }
 
     #[test]
     fn linear_matches_manual_gemm() {
         // x: [2, 3], w: [4, 3] (out=4, in=3)
         let x = t(&[1.0, 0.0, -1.0, 2.0, 2.0, 2.0], &[2, 3]);
-        let w = t(&(0..12).map(|i| i as f32 * 0.1).collect::<Vec<_>>(), &[4, 3]);
+        let w = t(
+            &(0..12).map(|i| i as f32 * 0.1).collect::<Vec<_>>(),
+            &[4, 3],
+        );
         let b = t(&[1.0, 1.0, 1.0, 1.0], &[4]);
         let y = linear(&x, &w, Some(&b)).unwrap();
         assert_eq!(y.shape(), &[2, 4]);

@@ -42,7 +42,10 @@ pub fn gelu_tensor(x: &Tensor) -> Tensor {
 /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
 pub fn softmax(x: &Tensor) -> crate::Result<Tensor> {
     if x.rank() == 0 {
-        return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: 0,
+        });
     }
     let last = *x.shape().last().expect("rank >= 1");
     let mut out = x.clone();
@@ -76,10 +79,16 @@ pub fn layer_norm(x: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> crate:
         .last()
         .ok_or_else(|| TensorError::InvalidArgument("layer_norm requires rank >= 1".to_string()))?;
     if gamma.rank() != 1 || gamma.len() != last {
-        return Err(TensorError::ShapeMismatch { lhs: x.shape().to_vec(), rhs: gamma.shape().to_vec() });
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().to_vec(),
+            rhs: gamma.shape().to_vec(),
+        });
     }
     if beta.rank() != 1 || beta.len() != last {
-        return Err(TensorError::ShapeMismatch { lhs: x.shape().to_vec(), rhs: beta.shape().to_vec() });
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().to_vec(),
+            rhs: beta.shape().to_vec(),
+        });
     }
     let mut out = x.clone();
     let g = gamma.data();
@@ -114,8 +123,13 @@ mod tests {
         assert!((gelu(10.0) - 10.0).abs() < 1e-4);
         assert!(gelu(-10.0).abs() < 1e-4);
         // Global minimum ≈ −0.17 near x ≈ −0.7518: the bounded negative side.
-        let min = (-200..0).map(|i| gelu(i as f32 * 0.01)).fold(f32::INFINITY, f32::min);
-        assert!(min > -0.18 && min < -0.16, "GELU min {min} outside expected band");
+        let min = (-200..0)
+            .map(|i| gelu(i as f32 * 0.01))
+            .fold(f32::INFINITY, f32::min);
+        assert!(
+            min > -0.18 && min < -0.16,
+            "GELU min {min} outside expected band"
+        );
     }
 
     #[test]
@@ -144,7 +158,12 @@ mod tests {
         let b = Tensor::zeros(&[4]);
         let y = layer_norm(&x, &g, &b, 1e-6).unwrap();
         let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = y.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var: f32 = y
+            .data()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

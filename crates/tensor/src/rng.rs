@@ -37,10 +37,12 @@ pub fn laplace(rng: &mut impl Rng, mu: f32, b: f32) -> f32 {
 pub fn student_t(rng: &mut impl Rng, dof: u32) -> f32 {
     assert!(dof > 0, "student_t requires dof >= 1");
     let z = standard_normal(rng);
-    let chi2: f32 = (0..dof).map(|_| {
-        let n = standard_normal(rng);
-        n * n
-    }).sum();
+    let chi2: f32 = (0..dof)
+        .map(|_| {
+            let n = standard_normal(rng);
+            n * n
+        })
+        .sum();
     z / (chi2 / dof as f32).sqrt()
 }
 
@@ -61,7 +63,12 @@ pub struct OutlierMixture {
 impl OutlierMixture {
     /// A symmetric long-tailed mixture with the given bulk/outlier spread.
     pub fn new(bulk_std: f32, outlier_std: f32, outlier_prob: f32) -> Self {
-        Self { bulk_std, outlier_std, outlier_prob, mean: 0.0 }
+        Self {
+            bulk_std,
+            outlier_std,
+            outlier_prob,
+            mean: 0.0,
+        }
     }
 
     /// Returns a copy with the given mean shift.
@@ -72,7 +79,11 @@ impl OutlierMixture {
 
     /// Draws one sample.
     pub fn sample(&self, rng: &mut impl Rng) -> f32 {
-        let std = if rng.gen::<f32>() < self.outlier_prob { self.outlier_std } else { self.bulk_std };
+        let std = if rng.gen::<f32>() < self.outlier_prob {
+            self.outlier_std
+        } else {
+            self.bulk_std
+        };
         self.mean + std * standard_normal(rng)
     }
 
@@ -130,7 +141,12 @@ mod tests {
         let t: Vec<f32> = (0..n).map(|_| student_t(&mut rng, 3)).collect();
         let g: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let tail = |v: &[f32]| v.iter().filter(|&&x| x.abs() > 4.0).count();
-        assert!(tail(&t) > tail(&g) * 3, "t tail {} vs normal tail {}", tail(&t), tail(&g));
+        assert!(
+            tail(&t) > tail(&g) * 3,
+            "t tail {} vs normal tail {}",
+            tail(&t),
+            tail(&g)
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn quantile(values: &[f32], q: f32) -> Option<f32> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn mse(a: &Tensor, b: &Tensor) -> crate::Result<f64> {
     if a.shape() != b.shape() {
-        return Err(TensorError::ShapeMismatch { lhs: a.shape().to_vec(), rhs: b.shape().to_vec() });
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
     }
     if a.is_empty() {
         return Ok(0.0);
@@ -56,7 +59,10 @@ pub fn mse(a: &Tensor, b: &Tensor) -> crate::Result<f64> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn cosine_similarity(a: &Tensor, b: &Tensor) -> crate::Result<f64> {
     if a.shape() != b.shape() {
-        return Err(TensorError::ShapeMismatch { lhs: a.shape().to_vec(), rhs: b.shape().to_vec() });
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
     }
     let mut dot = 0.0f64;
     let mut na = 0.0f64;
@@ -95,10 +101,15 @@ impl Histogram {
     /// `lo >= hi`.
     pub fn new(values: &[f32], lo: f32, hi: f32, bins: usize) -> crate::Result<Self> {
         if bins == 0 {
-            return Err(TensorError::InvalidArgument("histogram needs at least one bin".to_string()));
+            return Err(TensorError::InvalidArgument(
+                "histogram needs at least one bin".to_string(),
+            ));
         }
-        if !(lo < hi) {
-            return Err(TensorError::InvalidArgument(format!("invalid histogram range [{lo}, {hi}]")));
+        // `partial_cmp` (not `lo >= hi`) so that NaN bounds are rejected too.
+        if !matches!(lo.partial_cmp(&hi), Some(std::cmp::Ordering::Less)) {
+            return Err(TensorError::InvalidArgument(format!(
+                "invalid histogram range [{lo}, {hi}]"
+            )));
         }
         let mut counts = vec![0u64; bins];
         let width = (hi - lo) / bins as f32;
@@ -106,7 +117,12 @@ impl Histogram {
             let idx = (((v - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
             counts[idx] += 1;
         }
-        Ok(Self { lo, hi, counts, total: values.len() as u64 })
+        Ok(Self {
+            lo,
+            hi,
+            counts,
+            total: values.len() as u64,
+        })
     }
 
     /// Lower edge of the range.

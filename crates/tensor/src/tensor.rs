@@ -48,7 +48,11 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeDataMismatch { shape, len } => {
-                write!(f, "shape {shape:?} requires {} elements, got {len}", shape.iter().product::<usize>())
+                write!(
+                    f,
+                    "shape {shape:?} requires {} elements, got {len}",
+                    shape.iter().product::<usize>()
+                )
             }
             TensorError::ShapeMismatch { lhs, rhs } => {
                 write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
@@ -98,21 +102,33 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> crate::Result<Self> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
-            return Err(TensorError::ShapeDataMismatch { shape: shape.to_vec(), len: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: data.len(),
+            });
         }
-        Ok(Self { shape: shape.to_vec(), data })
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// Creates a zero-filled tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![0.0; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Self { shape: shape.to_vec(), data: vec![value; len] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
     }
 
     /// Creates an `n`×`n` identity matrix.
@@ -126,7 +142,10 @@ impl Tensor {
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: Vec::new(), data: vec![value] }
+        Self {
+            shape: Vec::new(),
+            data: vec![value],
+        }
     }
 
     /// The tensor's shape.
@@ -184,10 +203,19 @@ impl Tensor {
     }
 
     fn offset(&self, index: &[usize]) -> usize {
-        assert_eq!(index.len(), self.shape.len(), "index rank {} != tensor rank {}", index.len(), self.shape.len());
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} != tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} with size {dim}");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} with size {dim}"
+            );
             off = off * dim + ix;
         }
         off
@@ -213,7 +241,10 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -230,10 +261,21 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn zip_with(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> crate::Result<Self> {
         if self.shape != other.shape {
-            return Err(TensorError::ShapeMismatch { lhs: self.shape.clone(), rhs: other.shape.clone() });
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise sum.
@@ -279,7 +321,10 @@ impl Tensor {
             TensorError::InvalidArgument("add_bias requires rank >= 1".to_string())
         })?;
         if bias.rank() != 1 || bias.len() != last {
-            return Err(TensorError::ShapeMismatch { lhs: self.shape.clone(), rhs: bias.shape.clone() });
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: bias.shape.clone(),
+            });
         }
         let mut out = self.clone();
         for row in out.data.chunks_mut(last) {
@@ -299,7 +344,10 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for tensors of rank < 1.
     pub fn as_matrix(&self) -> crate::Result<(usize, usize)> {
         if self.shape.is_empty() {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let cols = *self.shape.last().expect("non-empty shape");
         let rows = self.len() / cols.max(1);
@@ -315,11 +363,18 @@ impl Tensor {
     /// Panics if the tensor is rank 0 or `i` is out of range.
     pub fn index_axis0(&self, i: usize) -> Self {
         assert!(!self.shape.is_empty(), "cannot slice a scalar");
-        assert!(i < self.shape[0], "index {i} out of range for axis 0 with size {}", self.shape[0]);
+        assert!(
+            i < self.shape[0],
+            "index {i} out of range for axis 0 with size {}",
+            self.shape[0]
+        );
         let sub_shape: Vec<usize> = self.shape[1..].to_vec();
         let sub_len: usize = sub_shape.iter().product();
         let data = self.data[i * sub_len..(i + 1) * sub_len].to_vec();
-        Self { shape: sub_shape, data }
+        Self {
+            shape: sub_shape,
+            data,
+        }
     }
 
     /// Stacks equally shaped tensors along a new leading axis.
@@ -335,7 +390,10 @@ impl Tensor {
         let mut data = Vec::with_capacity(first.len() * parts.len());
         for p in parts {
             if p.shape != first.shape {
-                return Err(TensorError::ShapeMismatch { lhs: first.shape.clone(), rhs: p.shape.clone() });
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: p.shape.clone(),
+                });
             }
             data.extend_from_slice(&p.data);
         }
@@ -357,14 +415,20 @@ impl Tensor {
             TensorError::InvalidArgument("concat_last requires at least one tensor".to_string())
         })?;
         if first.shape.is_empty() {
-            return Err(TensorError::RankMismatch { expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
         }
         let lead = &first.shape[..first.shape.len() - 1];
         let rows: usize = lead.iter().product();
         let mut total_last = 0;
         for p in parts {
             if p.shape.len() != first.shape.len() || &p.shape[..p.shape.len() - 1] != lead {
-                return Err(TensorError::ShapeMismatch { lhs: first.shape.clone(), rhs: p.shape.clone() });
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: p.shape.clone(),
+                });
             }
             total_last += *p.shape.last().expect("non-empty shape");
         }
@@ -387,7 +451,10 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for tensors that are not rank 2.
     pub fn transpose(&self) -> crate::Result<Self> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = Self::zeros(&[c, r]);
@@ -449,7 +516,12 @@ impl Default for Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}(", self.shape)?;
-        let preview: Vec<String> = self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|x| format!("{x:.4}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 8 {
             write!(f, ", …")?;

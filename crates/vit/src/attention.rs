@@ -18,19 +18,25 @@ use quq_tensor::{linalg, stats, Tensor, TensorError};
 /// Returns [`TensorError::InvalidArgument`] when `maps` is empty or when
 /// `n - 1` is not a perfect square.
 pub fn rollout(maps: &[Tensor]) -> Result<Tensor, TensorError> {
-    let first = maps
-        .first()
-        .ok_or_else(|| TensorError::InvalidArgument("rollout requires at least one map".to_string()))?;
+    let first = maps.first().ok_or_else(|| {
+        TensorError::InvalidArgument("rollout requires at least one map".to_string())
+    })?;
     let n = first.shape()[0];
     let grid = ((n - 1) as f64).sqrt() as usize;
     if grid * grid != n - 1 {
-        return Err(TensorError::InvalidArgument(format!("{} patch tokens is not a square grid", n - 1)));
+        return Err(TensorError::InvalidArgument(format!(
+            "{} patch tokens is not a square grid",
+            n - 1
+        )));
     }
     let eye = Tensor::eye(n);
     let mut acc = eye.clone();
     for m in maps {
         if m.shape() != first.shape() {
-            return Err(TensorError::ShapeMismatch { lhs: first.shape().to_vec(), rhs: m.shape().to_vec() });
+            return Err(TensorError::ShapeMismatch {
+                lhs: first.shape().to_vec(),
+                rhs: m.shape().to_vec(),
+            });
         }
         // 0.5·A + 0.5·I, rows re-normalized, then accumulated.
         let mut mixed = m.scale(0.5).add(&eye.scale(0.5))?;
@@ -73,7 +79,11 @@ pub fn map_similarity(reference: &Tensor, other: &Tensor) -> Result<f64, TensorE
 ///
 /// Returns a shape error when the maps differ in shape, or
 /// [`TensorError::InvalidArgument`] when `k` is zero or exceeds the map size.
-pub fn crucial_region_mass(reference: &Tensor, other: &Tensor, k: usize) -> Result<f64, TensorError> {
+pub fn crucial_region_mass(
+    reference: &Tensor,
+    other: &Tensor,
+    k: usize,
+) -> Result<f64, TensorError> {
     if reference.shape() != other.shape() {
         return Err(TensorError::ShapeMismatch {
             lhs: reference.shape().to_vec(),
@@ -85,7 +95,9 @@ pub fn crucial_region_mass(reference: &Tensor, other: &Tensor, k: usize) -> Resu
     }
     let mut order: Vec<usize> = (0..reference.len()).collect();
     order.sort_by(|&a, &b| {
-        reference.data()[b].partial_cmp(&reference.data()[a]).unwrap_or(std::cmp::Ordering::Equal)
+        reference.data()[b]
+            .partial_cmp(&reference.data()[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let total: f64 = other.data().iter().map(|&x| x as f64).sum();
     if total <= 0.0 {
@@ -144,7 +156,9 @@ mod tests {
     fn rollout_from_real_model_is_valid() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 3);
         let img = model.config().dummy_image(0.25);
-        let (_, maps) = model.forward_with_attention(&img, &mut Fp32Backend::new()).unwrap();
+        let (_, maps) = model
+            .forward_with_attention(&img, &mut Fp32Backend::new())
+            .unwrap();
         let sal = rollout(&maps).unwrap();
         assert_eq!(sal.shape(), &[4, 4]);
         assert!((sal.max() - 1.0).abs() < 1e-6);

@@ -27,7 +27,9 @@ impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BackendError::Tensor(e) => write!(f, "tensor error: {e}"),
-            BackendError::MissingParams(site) => write!(f, "no quantization parameters for site {site}"),
+            BackendError::MissingParams(site) => {
+                write!(f, "no quantization parameters for site {site}")
+            }
             BackendError::Other(msg) => write!(f, "{msg}"),
         }
     }
@@ -127,7 +129,10 @@ pub struct OpSite {
 impl OpSite {
     /// Site inside block `block`.
     pub fn in_block(block: usize, kind: OpKind) -> Self {
-        Self { block: Some(block), kind }
+        Self {
+            block: Some(block),
+            kind,
+        }
     }
 
     /// Model-level site (patch embed, final norm, head).
@@ -157,7 +162,13 @@ pub trait Backend {
     ///
     /// Propagates shape errors; quantized backends may also report
     /// [`BackendError::MissingParams`].
-    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+    ) -> Result<Tensor> {
         let _ = site;
         Ok(linalg::linear(x, w, b)?)
     }
@@ -245,18 +256,33 @@ mod tests {
         let mut be = Fp32Backend::new();
         let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
         let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
-        let y = be.linear(OpSite::global(OpKind::Head), &x, &w, None).unwrap();
+        let y = be
+            .linear(OpSite::global(OpKind::Head), &x, &w, None)
+            .unwrap();
         assert_eq!(y.data(), &[1.0, 2.0, 3.0]);
     }
 
     #[test]
     fn op_kind_gemm_partition_matches_figure1() {
         // Green components (quantized under partial quantization).
-        for k in [OpKind::Qkv, OpKind::QkMatmul, OpKind::PvMatmul, OpKind::Fc1, OpKind::Fc2, OpKind::Head] {
+        for k in [
+            OpKind::Qkv,
+            OpKind::QkMatmul,
+            OpKind::PvMatmul,
+            OpKind::Fc1,
+            OpKind::Fc2,
+            OpKind::Head,
+        ] {
             assert!(k.is_gemm(), "{k} should be GEMM");
         }
         // Red components (untouched by partial quantization).
-        for k in [OpKind::Softmax, OpKind::Gelu, OpKind::Norm1, OpKind::Residual1, OpKind::Residual2] {
+        for k in [
+            OpKind::Softmax,
+            OpKind::Gelu,
+            OpKind::Norm1,
+            OpKind::Residual1,
+            OpKind::Residual2,
+        ] {
             assert!(!k.is_gemm(), "{k} should not be GEMM");
         }
     }

@@ -36,12 +36,18 @@ pub struct Tap {
 impl Tap {
     /// Records the input of `kind`.
     pub fn input(kind: OpKind) -> Self {
-        Self { kind, side: TapSide::Input }
+        Self {
+            kind,
+            side: TapSide::Input,
+        }
     }
 
     /// Records the output of `kind`.
     pub fn output(kind: OpKind) -> Self {
-        Self { kind, side: TapSide::Output }
+        Self {
+            kind,
+            side: TapSide::Output,
+        }
     }
 }
 
@@ -68,12 +74,22 @@ impl CaptureBackend<Fp32Backend> {
 impl<B: Backend> CaptureBackend<B> {
     /// Capture around an arbitrary backend.
     pub fn wrapping(inner: B, taps: impl IntoIterator<Item = Tap>) -> Self {
-        Self { inner, taps: taps.into_iter().collect(), samples: BTreeMap::new() }
+        Self {
+            inner,
+            taps: taps.into_iter().collect(),
+            samples: BTreeMap::new(),
+        }
     }
 
     fn record(&mut self, site: OpSite, side: TapSide, t: &Tensor) {
-        if self.taps.contains(&Tap { kind: site.kind, side }) {
-            self.samples.entry((site, side)).or_default().extend_from_slice(t.data());
+        if self.taps.contains(&Tap {
+            kind: site.kind,
+            side,
+        }) {
+            self.samples
+                .entry((site, side))
+                .or_default()
+                .extend_from_slice(t.data());
         }
     }
 
@@ -105,7 +121,13 @@ impl<B: Backend> CaptureBackend<B> {
 }
 
 impl<B: Backend> Backend for CaptureBackend<B> {
-    fn linear(&mut self, site: OpSite, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+    ) -> Result<Tensor> {
         self.record(site, TapSide::Input, x);
         let y = self.inner.linear(site, x, w, b)?;
         self.record(site, TapSide::Output, &y);
@@ -176,7 +198,8 @@ mod tests {
     fn captures_only_requested_taps() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 1);
         let img = model.config().dummy_image(0.4);
-        let mut cap = CaptureBackend::new([Tap::output(OpKind::Softmax), Tap::output(OpKind::Gelu)]);
+        let mut cap =
+            CaptureBackend::new([Tap::output(OpKind::Softmax), Tap::output(OpKind::Gelu)]);
         model.forward(&img, &mut cap).unwrap();
         assert!(!cap.samples_for(OpKind::Softmax, TapSide::Output).is_empty());
         assert!(!cap.samples_for(OpKind::Gelu, TapSide::Output).is_empty());
@@ -197,7 +220,10 @@ mod tests {
     fn residual_branch_tap_records_branch_only() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 1);
         let img = model.config().dummy_image(0.2);
-        let mut cap = CaptureBackend::new([Tap { kind: OpKind::Residual1, side: TapSide::ResidualBranch }]);
+        let mut cap = CaptureBackend::new([Tap {
+            kind: OpKind::Residual1,
+            side: TapSide::ResidualBranch,
+        }]);
         model.forward(&img, &mut cap).unwrap();
         let n = model.config().seq_len() * model.config().stages[0].embed_dim;
         let v = cap.samples_for(OpKind::Residual1, TapSide::ResidualBranch);
@@ -213,6 +239,9 @@ mod tests {
         model.forward(&img, &mut cap).unwrap();
         let once = cap.samples_for(OpKind::Gelu, TapSide::Output).len();
         model.forward(&img, &mut cap).unwrap();
-        assert_eq!(cap.samples_for(OpKind::Gelu, TapSide::Output).len(), 2 * once);
+        assert_eq!(
+            cap.samples_for(OpKind::Gelu, TapSide::Output).len(),
+            2 * once
+        );
     }
 }

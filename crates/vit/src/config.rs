@@ -56,8 +56,14 @@ pub enum ModelId {
 
 impl ModelId {
     /// The six paper models, in the column order of Tables 2–3.
-    pub const PAPER_MODELS: [ModelId; 6] =
-        [ModelId::VitS, ModelId::VitL, ModelId::DeitS, ModelId::DeitB, ModelId::SwinT, ModelId::SwinS];
+    pub const PAPER_MODELS: [ModelId; 6] = [
+        ModelId::VitS,
+        ModelId::VitL,
+        ModelId::DeitS,
+        ModelId::DeitB,
+        ModelId::SwinT,
+        ModelId::SwinS,
+    ];
 }
 
 impl fmt::Display for ModelId {
@@ -117,7 +123,11 @@ impl ModelConfig {
     /// Never panics; `ModelId::Test` maps to the same tiny config as
     /// [`test_config`](Self::test_config).
     pub fn full_scale(id: ModelId) -> Self {
-        let stage = |depth, embed_dim, num_heads| StageConfig { depth, embed_dim, num_heads };
+        let stage = |depth, embed_dim, num_heads| StageConfig {
+            depth,
+            embed_dim,
+            num_heads,
+        };
         match id {
             ModelId::VitS => Self {
                 id,
@@ -169,7 +179,12 @@ impl ModelConfig {
                 img_size: 224,
                 in_chans: 3,
                 patch_size: 4,
-                stages: vec![stage(2, 96, 3), stage(2, 192, 6), stage(6, 384, 12), stage(2, 768, 24)],
+                stages: vec![
+                    stage(2, 96, 3),
+                    stage(2, 192, 6),
+                    stage(6, 384, 12),
+                    stage(2, 768, 24),
+                ],
                 mlp_ratio: 4,
                 window: Some(7),
                 num_classes: 1000,
@@ -180,7 +195,12 @@ impl ModelConfig {
                 img_size: 224,
                 in_chans: 3,
                 patch_size: 4,
-                stages: vec![stage(2, 96, 3), stage(2, 192, 6), stage(18, 384, 12), stage(2, 768, 24)],
+                stages: vec![
+                    stage(2, 96, 3),
+                    stage(2, 192, 6),
+                    stage(18, 384, 12),
+                    stage(2, 768, 24),
+                ],
                 mlp_ratio: 4,
                 window: Some(7),
                 num_classes: 1000,
@@ -196,7 +216,11 @@ impl ModelConfig {
     /// (keeping ≥ 2 per stage), classes reduce to 100. Model-to-model ratios
     /// are preserved.
     pub fn eval_scale(id: ModelId) -> Self {
-        let stage = |depth, embed_dim, num_heads| StageConfig { depth, embed_dim, num_heads };
+        let stage = |depth, embed_dim, num_heads| StageConfig {
+            depth,
+            embed_dim,
+            num_heads,
+        };
         match id {
             ModelId::VitS => Self {
                 id,
@@ -276,7 +300,11 @@ impl ModelConfig {
             img_size: 16,
             in_chans: 3,
             patch_size: 4,
-            stages: vec![StageConfig { depth: 2, embed_dim: 32, num_heads: 2 }],
+            stages: vec![StageConfig {
+                depth: 2,
+                embed_dim: 32,
+                num_heads: 2,
+            }],
             mlp_ratio: 2,
             window: None,
             num_classes: 10,
@@ -292,8 +320,16 @@ impl ModelConfig {
             in_chans: 3,
             patch_size: 2,
             stages: vec![
-                StageConfig { depth: 1, embed_dim: 16, num_heads: 2 },
-                StageConfig { depth: 1, embed_dim: 32, num_heads: 2 },
+                StageConfig {
+                    depth: 1,
+                    embed_dim: 16,
+                    num_heads: 2,
+                },
+                StageConfig {
+                    depth: 1,
+                    embed_dim: 32,
+                    num_heads: 2,
+                },
             ],
             mlp_ratio: 2,
             window: Some(4),
@@ -380,10 +416,26 @@ mod tests {
     fn full_scale_param_counts_are_in_published_ballpark() {
         // ViT-S ≈ 22M, ViT-L ≈ 300M, DeiT-B ≈ 86M, Swin-T ≈ 28M.
         let m = |id| ModelConfig::full_scale(id).param_count() as f64 / 1e6;
-        assert!((20.0..25.0).contains(&m(ModelId::VitS)), "ViT-S {}M", m(ModelId::VitS));
-        assert!((290.0..320.0).contains(&m(ModelId::VitL)), "ViT-L {}M", m(ModelId::VitL));
-        assert!((82.0..90.0).contains(&m(ModelId::DeitB)), "DeiT-B {}M", m(ModelId::DeitB));
-        assert!((25.0..32.0).contains(&m(ModelId::SwinT)), "Swin-T {}M", m(ModelId::SwinT));
+        assert!(
+            (20.0..25.0).contains(&m(ModelId::VitS)),
+            "ViT-S {}M",
+            m(ModelId::VitS)
+        );
+        assert!(
+            (290.0..320.0).contains(&m(ModelId::VitL)),
+            "ViT-L {}M",
+            m(ModelId::VitL)
+        );
+        assert!(
+            (82.0..90.0).contains(&m(ModelId::DeitB)),
+            "DeiT-B {}M",
+            m(ModelId::DeitB)
+        );
+        assert!(
+            (25.0..32.0).contains(&m(ModelId::SwinT)),
+            "Swin-T {}M",
+            m(ModelId::SwinT)
+        );
     }
 
     #[test]
@@ -410,7 +462,11 @@ mod tests {
             let w = c.window.expect("swin has windows");
             for s in 0..c.stages.len() {
                 let g = c.grid() >> s;
-                assert_eq!(g % w.min(g), 0, "{id}: stage {s} grid {g} not divisible by window");
+                assert_eq!(
+                    g % w.min(g),
+                    0,
+                    "{id}: stage {s} grid {g} not divisible by window"
+                );
             }
         }
     }

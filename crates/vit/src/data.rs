@@ -123,7 +123,10 @@ impl Dataset {
     pub fn calibration(config: &ModelConfig, n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let images = (0..n).map(|_| synthetic_image(config, &mut rng)).collect();
-        Self { images, labels: vec![0; n] }
+        Self {
+            images,
+            labels: vec![0; n],
+        }
     }
 
     /// Number of samples.
@@ -140,6 +143,11 @@ impl Dataset {
 /// Top-1 accuracy of `model` executed through `backend` on `dataset`
 /// (fraction of predictions matching the teacher labels).
 ///
+/// Runs images serially through the single borrowed backend (which may be
+/// stateful, e.g. a calibration collector); the GEMMs inside each forward
+/// still use the parallel kernels. For per-image parallelism use
+/// [`evaluate_parallel`].
+///
 /// # Errors
 ///
 /// Propagates backend errors.
@@ -151,6 +159,44 @@ pub fn evaluate<B: Backend>(model: &VitModel, backend: &mut B, dataset: &Dataset
     for (img, &label) in dataset.images.iter().zip(&dataset.labels) {
         let logits = model.forward(img, backend)?;
         if logits.argmax() == label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / dataset.len() as f64)
+}
+
+/// [`evaluate`] with per-image parallelism on the [`quq_tensor::pool`]:
+/// images are scored concurrently, each worker chunk building its own
+/// backend from `factory`. Every forward pass is deterministic and the
+/// accuracy is an order-independent count, so the result equals the serial
+/// [`evaluate`] exactly at every thread count.
+///
+/// # Errors
+///
+/// Propagates backend errors (the lowest-indexed image's error wins).
+pub fn evaluate_parallel<B, F>(model: &VitModel, factory: F, dataset: &Dataset) -> Result<f64>
+where
+    B: Backend,
+    F: Fn() -> B + Sync,
+{
+    if dataset.is_empty() {
+        return Ok(0.0);
+    }
+    let mut outcomes: Vec<Option<Result<bool>>> = Vec::new();
+    outcomes.resize_with(dataset.len(), || None);
+    quq_tensor::pool::parallel_chunks_mut(&mut outcomes, 1, |start, chunk| {
+        let mut backend = factory();
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let i = start + off;
+            let verdict = model
+                .forward(&dataset.images[i], &mut backend)
+                .map(|logits| logits.argmax() == dataset.labels[i]);
+            *slot = Some(verdict);
+        }
+    });
+    let mut correct = 0usize;
+    for outcome in outcomes {
+        if outcome.expect("every image scored")? {
             correct += 1;
         }
     }
@@ -189,7 +235,10 @@ mod tests {
         let model = VitModel::synthesize(ModelConfig::test_config(), 11);
         let ds = Dataset::teacher_labeled(&model, 24, 5).unwrap();
         let distinct: std::collections::BTreeSet<_> = ds.labels.iter().collect();
-        assert!(distinct.len() > 1, "teacher predicts a single class — margins degenerate");
+        assert!(
+            distinct.len() > 1,
+            "teacher predicts a single class — margins degenerate"
+        );
     }
 
     #[test]
@@ -224,6 +273,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_evaluation_are_bit_identical() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 11);
+        let ds = Dataset::teacher_labeled(&model, 8, 5).unwrap();
+        let par = evaluate_parallel(&model, Fp32Backend::new, &ds).unwrap();
+        let ser = quq_tensor::pool::run_serial(|| {
+            evaluate(&model, &mut Fp32Backend::new(), &ds).unwrap()
+        });
+        assert_eq!(par, ser);
+        // Stronger than equal accuracy: per-image logits match bitwise
+        // between pooled and forced-serial execution.
+        for img in &ds.images {
+            let a = model.forward(img, &mut Fp32Backend::new()).unwrap();
+            let b = quq_tensor::pool::run_serial(|| {
+                model.forward(img, &mut Fp32Backend::new()).unwrap()
+            });
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
     fn dataset_generation_is_deterministic() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 11);
         let a = Dataset::teacher_labeled(&model, 4, 9).unwrap();
@@ -234,7 +303,10 @@ mod tests {
     #[test]
     fn evaluate_empty_dataset_is_zero() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 11);
-        let ds = Dataset { images: vec![], labels: vec![] };
+        let ds = Dataset {
+            images: vec![],
+            labels: vec![],
+        };
         assert_eq!(evaluate(&model, &mut Fp32Backend::new(), &ds).unwrap(), 0.0);
     }
 }

@@ -146,7 +146,11 @@ impl VitModel {
     ///
     /// Propagates backend errors. Swin models return an empty map list
     /// (the paper visualizes ViT-S only).
-    pub fn forward_with_attention<B: Backend>(&self, image: &Tensor, be: &mut B) -> Result<(Tensor, AttentionMaps)> {
+    pub fn forward_with_attention<B: Backend>(
+        &self,
+        image: &Tensor,
+        be: &mut B,
+    ) -> Result<(Tensor, AttentionMaps)> {
         let mut maps = AttentionMaps::new();
         let logits = self.forward_inner(image, be, Some(&mut maps))?;
         Ok((logits, maps))
@@ -161,7 +165,12 @@ impl VitModel {
         let cfg = &self.config;
         let w = &self.weights;
         let patches = self.patchify(image);
-        let body = be.linear(OpSite::global(OpKind::PatchEmbed), &patches, &w.patch_w, Some(&w.patch_b))?;
+        let body = be.linear(
+            OpSite::global(OpKind::PatchEmbed),
+            &patches,
+            &w.patch_w,
+            Some(&w.patch_b),
+        )?;
 
         // Prepend the CLS token (ViT/DeiT) and add the positional embedding.
         let mut x = match &w.cls_token {
@@ -175,14 +184,24 @@ impl VitModel {
             }
             None => body,
         };
-        x = x.add(&w.pos_embed).map_err(crate::backend::BackendError::from)?;
+        x = x
+            .add(&w.pos_embed)
+            .map_err(crate::backend::BackendError::from)?;
 
         let mut grid = cfg.grid();
         let mut block_idx = 0usize;
         for stage in &w.stages {
             for (bi, blk) in stage.blocks.iter().enumerate() {
                 let shift = cfg.window.is_some() && bi % 2 == 1;
-                x = self.block_forward(be, block_idx, blk, &x, grid, shift, attn_out.as_deref_mut())?;
+                x = self.block_forward(
+                    be,
+                    block_idx,
+                    blk,
+                    &x,
+                    grid,
+                    shift,
+                    attn_out.as_deref_mut(),
+                )?;
                 block_idx += 1;
             }
             if let Some((mw, mb)) = &stage.merge {
@@ -191,7 +210,12 @@ impl VitModel {
             }
         }
 
-        let x = be.layer_norm(OpSite::global(OpKind::FinalNorm), &x, &w.final_g, &w.final_b)?;
+        let x = be.layer_norm(
+            OpSite::global(OpKind::FinalNorm),
+            &x,
+            &w.final_g,
+            &w.final_b,
+        )?;
         let pooled = match cfg.family {
             Family::Vit | Family::Deit => gather_rows(&x, &[0]),
             Family::Swin => {
@@ -209,14 +233,22 @@ impl VitModel {
                 Tensor::from_vec(data, &[1, cols]).map_err(crate::backend::BackendError::from)?
             }
         };
-        let logits = be.linear(OpSite::global(OpKind::Head), &pooled, &w.head_w, Some(&w.head_b))?;
-        logits.into_reshape(&[cfg.num_classes]).map_err(crate::backend::BackendError::from)
+        let logits = be.linear(
+            OpSite::global(OpKind::Head),
+            &pooled,
+            &w.head_w,
+            Some(&w.head_b),
+        )?;
+        logits
+            .into_reshape(&[cfg.num_classes])
+            .map_err(crate::backend::BackendError::from)
     }
 
     /// One transformer block on tokens `x: [n, d]`.
     ///
     /// For windowed (Swin) configurations, `shift` rolls the grid by half a
     /// window before partitioning and rolls back after.
+    #[allow(clippy::too_many_arguments)]
     fn block_forward<B: Backend>(
         &self,
         be: &mut B,
@@ -225,15 +257,25 @@ impl VitModel {
         x: &Tensor,
         grid: usize,
         shift: bool,
-        mut attn_out: Option<&mut AttentionMaps>,
+        attn_out: Option<&mut AttentionMaps>,
     ) -> Result<Tensor> {
         let d = blk.embed_dim;
         let heads = blk.num_heads;
         let hd = d / heads;
         let n = x.shape()[0];
 
-        let x_ln = be.layer_norm(OpSite::in_block(block, OpKind::Norm1), x, &blk.ln1_g, &blk.ln1_b)?;
-        let qkv = be.linear(OpSite::in_block(block, OpKind::Qkv), &x_ln, &blk.qkv_w, Some(&blk.qkv_b))?;
+        let x_ln = be.layer_norm(
+            OpSite::in_block(block, OpKind::Norm1),
+            x,
+            &blk.ln1_g,
+            &blk.ln1_b,
+        )?;
+        let qkv = be.linear(
+            OpSite::in_block(block, OpKind::Qkv),
+            &x_ln,
+            &blk.qkv_w,
+            Some(&blk.qkv_b),
+        )?;
 
         // Window partition (global attention = one window covering all rows).
         let windows: Vec<Vec<usize>> = match self.config.window {
@@ -262,7 +304,11 @@ impl VitModel {
         };
 
         let scale = 1.0 / (hd as f32).sqrt();
-        let mut attn_accum = if attn_out.is_some() { Some(Tensor::zeros(&[n, n])) } else { None };
+        let mut attn_accum = if attn_out.is_some() {
+            Some(Tensor::zeros(&[n, n]))
+        } else {
+            None
+        };
         let mut attended = Tensor::zeros(&[n, d]);
         for idx in &windows {
             let qkv_w = gather_rows(&qkv, idx);
@@ -286,20 +332,41 @@ impl VitModel {
                 let out_h = be.matmul(OpSite::in_block(block, OpKind::PvMatmul), &probs, &v)?;
                 head_outs.push(out_h);
             }
-            let concat = Tensor::concat_last(&head_outs).map_err(crate::backend::BackendError::from)?;
+            let concat =
+                Tensor::concat_last(&head_outs).map_err(crate::backend::BackendError::from)?;
             scatter_rows(&mut attended, &concat, idx);
         }
-        if let (Some(maps), Some(acc)) = (attn_out.as_deref_mut(), attn_accum) {
+        if let (Some(maps), Some(acc)) = (attn_out, attn_accum) {
             maps.push(acc);
         }
 
-        let proj = be.linear(OpSite::in_block(block, OpKind::AttnProj), &attended, &blk.proj_w, Some(&blk.proj_b))?;
+        let proj = be.linear(
+            OpSite::in_block(block, OpKind::AttnProj),
+            &attended,
+            &blk.proj_w,
+            Some(&blk.proj_b),
+        )?;
         let x = be.add(OpSite::in_block(block, OpKind::Residual1), x, &proj)?;
 
-        let x_ln2 = be.layer_norm(OpSite::in_block(block, OpKind::Norm2), &x, &blk.ln2_g, &blk.ln2_b)?;
-        let h1 = be.linear(OpSite::in_block(block, OpKind::Fc1), &x_ln2, &blk.fc1_w, Some(&blk.fc1_b))?;
+        let x_ln2 = be.layer_norm(
+            OpSite::in_block(block, OpKind::Norm2),
+            &x,
+            &blk.ln2_g,
+            &blk.ln2_b,
+        )?;
+        let h1 = be.linear(
+            OpSite::in_block(block, OpKind::Fc1),
+            &x_ln2,
+            &blk.fc1_w,
+            Some(&blk.fc1_b),
+        )?;
         let act = be.gelu(OpSite::in_block(block, OpKind::Gelu), &h1)?;
-        let h2 = be.linear(OpSite::in_block(block, OpKind::Fc2), &act, &blk.fc2_w, Some(&blk.fc2_b))?;
+        let h2 = be.linear(
+            OpSite::in_block(block, OpKind::Fc2),
+            &act,
+            &blk.fc2_w,
+            Some(&blk.fc2_b),
+        )?;
         be.add(OpSite::in_block(block, OpKind::Residual2), &x, &h2)
     }
 
@@ -325,8 +392,14 @@ impl VitModel {
                 }
             }
         }
-        let merged = Tensor::from_vec(data, &[ng * ng, 4 * d]).map_err(crate::backend::BackendError::from)?;
-        be.linear(OpSite::in_block(block, OpKind::PatchMerge), &merged, mw, Some(mb))
+        let merged = Tensor::from_vec(data, &[ng * ng, 4 * d])
+            .map_err(crate::backend::BackendError::from)?;
+        be.linear(
+            OpSite::in_block(block, OpKind::PatchMerge),
+            &merged,
+            mw,
+            Some(mb),
+        )
     }
 }
 
@@ -391,8 +464,12 @@ mod tests {
     #[test]
     fn different_images_give_different_logits() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 42);
-        let a = model.forward(&model.config().dummy_image(0.5), &mut Fp32Backend::new()).unwrap();
-        let b = model.forward(&model.config().dummy_image(-0.5), &mut Fp32Backend::new()).unwrap();
+        let a = model
+            .forward(&model.config().dummy_image(0.5), &mut Fp32Backend::new())
+            .unwrap();
+        let b = model
+            .forward(&model.config().dummy_image(-0.5), &mut Fp32Backend::new())
+            .unwrap();
         assert_ne!(a, b);
     }
 
@@ -409,7 +486,9 @@ mod tests {
     fn attention_maps_are_row_stochastic() {
         let model = VitModel::synthesize(ModelConfig::test_config(), 42);
         let img = model.config().dummy_image(0.2);
-        let (_, maps) = model.forward_with_attention(&img, &mut Fp32Backend::new()).unwrap();
+        let (_, maps) = model
+            .forward_with_attention(&img, &mut Fp32Backend::new())
+            .unwrap();
         assert_eq!(maps.len(), model.config().total_depth());
         let n = model.config().seq_len();
         for m in &maps {

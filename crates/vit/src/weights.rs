@@ -228,7 +228,10 @@ mod tests {
         assert!(w.stages[0].merge.is_some());
         assert!(w.stages[1].merge.is_none());
         let (mw, _) = w.stages[0].merge.as_ref().unwrap();
-        assert_eq!(mw.shape(), &[c.stages[1].embed_dim, 4 * c.stages[0].embed_dim]);
+        assert_eq!(
+            mw.shape(),
+            &[c.stages[1].embed_dim, 4 * c.stages[0].embed_dim]
+        );
     }
 
     #[test]
@@ -240,7 +243,10 @@ mod tests {
         // Outlier mixture + amplified rows: clearly more 4σ events than the
         // ~0.006% a pure Gaussian would give, but still a small minority.
         assert!(n_out > 64, "too few outliers: {n_out}");
-        assert!((n_out as f64) < 0.06 * w.len() as f64, "too many outliers: {n_out}");
+        assert!(
+            (n_out as f64) < 0.06 * w.len() as f64,
+            "too many outliers: {n_out}"
+        );
     }
 
     #[test]

@@ -32,8 +32,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qua = Qua::new(16, 16, bits);
     let (out, stats) = qua.gemm(&qa, &qw, &out_params);
     println!("GEMM {m}×{k} · {n}×{k}ᵀ on 16×16 QUA:");
-    println!("  {} MACs over {} tiles in {} cycles (utilization {:.1}%)", stats.macs, stats.tiles, stats.cycles, stats.utilization(&qua) * 100.0);
-    println!("  {} QUB decodes, {} requantizations", stats.decodes, stats.requants);
+    println!(
+        "  {} MACs over {} tiles in {} cycles (utilization {:.1}%)",
+        stats.macs,
+        stats.tiles,
+        stats.cycles,
+        stats.utilization(&qua) * 100.0
+    );
+    println!(
+        "  {} QUB decodes, {} requantizations",
+        stats.decodes, stats.requants
+    );
 
     // Verify against the software integer reference (bit-exact).
     let reference = matmul_nt_qub(&qa, &qw);

@@ -21,16 +21,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = rollout(&maps)?;
     println!("FP32 attention rollout:\n{}", render_map(&reference));
 
-    let cfg = PtqConfig { bits_w: 6, bits_a: 6, coverage: Coverage::Full };
-    for (name, method) in
-        [("BaseQ", &BaseQ::new() as &dyn QuantMethod), ("QUQ", &QuqMethod::paper())]
-    {
+    let cfg = PtqConfig {
+        bits_w: 6,
+        bits_a: 6,
+        coverage: Coverage::Full,
+    };
+    for (name, method) in [
+        ("BaseQ", &BaseQ::new() as &dyn QuantMethod),
+        ("QUQ", &QuqMethod::paper()),
+    ] {
         let tables = calibrate(method, &model, &calib, cfg)?;
         let mut backend = tables.backend();
         let (_, maps) = model.forward_with_attention(&img, &mut backend)?;
         let sal = rollout(&maps)?;
         let cos = map_similarity(&reference, &sal)?;
-        println!("{name} 6-bit full quantization (cosine to FP32: {cos:.3}):\n{}", render_map(&sal));
+        println!(
+            "{name} 6-bit full quantization (cosine to FP32: {cos:.3}):\n{}",
+            render_map(&sal)
+        );
     }
     println!("Expected shape (paper Fig. 7): QUQ's map stays close to FP32; BaseQ's degrades.");
     Ok(())

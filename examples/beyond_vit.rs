@@ -13,6 +13,9 @@ use quq_tensor::{linalg, nn, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Per-layer quantizer: `(layer index, tensor, is_weight) -> quantized`.
+type LayerQuant<'a> = &'a dyn Fn(usize, &Tensor, bool) -> Tensor;
+
 /// A three-layer MLP: 64 → 128 → 128 → 10 with GELU activations.
 struct Mlp {
     layers: Vec<(Tensor, Tensor)>,
@@ -24,10 +27,13 @@ impl Mlp {
         let layers = dims
             .iter()
             .map(|&(out, inp)| {
-                let mix = OutlierMixture::new(1.0 / (inp as f32).sqrt(), 5.0 / (inp as f32).sqrt(), 0.01);
-                let w = Tensor::from_vec(mix.sample_vec(rng, out * inp), &[out, inp]).expect("sized");
-                let b = Tensor::from_vec((0..out).map(|_| normal(rng, 0.0, 0.02)).collect(), &[out])
-                    .expect("sized");
+                let mix =
+                    OutlierMixture::new(1.0 / (inp as f32).sqrt(), 5.0 / (inp as f32).sqrt(), 0.01);
+                let w =
+                    Tensor::from_vec(mix.sample_vec(rng, out * inp), &[out, inp]).expect("sized");
+                let b =
+                    Tensor::from_vec((0..out).map(|_| normal(rng, 0.0, 0.02)).collect(), &[out])
+                        .expect("sized");
                 (w, b)
             })
             .collect();
@@ -35,7 +41,7 @@ impl Mlp {
     }
 
     /// Forward pass with optional per-layer weight/activation quantizers.
-    fn forward(&self, x: &Tensor, quant: Option<&dyn Fn(usize, &Tensor, bool) -> Tensor>) -> Tensor {
+    fn forward(&self, x: &Tensor, quant: Option<LayerQuant>) -> Tensor {
         let mut h = x.clone();
         for (li, (w, b)) in self.layers.iter().enumerate() {
             let (wq, hq) = match quant {
@@ -62,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Tensor::from_vec(mix.sample_vec(&mut rng, 64), &[1, 64]).expect("sized")
         })
         .collect();
-    let labels: Vec<usize> = inputs.iter().map(|x| mlp.forward(x, None).argmax()).collect();
+    let labels: Vec<usize> = inputs
+        .iter()
+        .map(|x| mlp.forward(x, None).argmax())
+        .collect();
 
     // Calibrate per-layer quantizers on the first 32 inputs.
     let bits = 6;
@@ -77,16 +86,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let quq_w: Vec<QuqParams> =
-        mlp.layers.iter().map(|(w, _)| Pra::with_defaults(bits).run(w.data()).params).collect();
-    let quq_a: Vec<QuqParams> =
-        act_samples.iter().map(|s| Pra::with_defaults(bits).run(s).params).collect();
-    let uni_w: Vec<UniformQuantizer> =
-        mlp.layers.iter().map(|(w, _)| UniformQuantizer::fit_min_max(bits, w.data())).collect();
-    let uni_a: Vec<UniformQuantizer> =
-        act_samples.iter().map(|s| UniformQuantizer::fit_min_max(bits, s)).collect();
+    let quq_w: Vec<QuqParams> = mlp
+        .layers
+        .iter()
+        .map(|(w, _)| Pra::with_defaults(bits).run(w.data()).params)
+        .collect();
+    let quq_a: Vec<QuqParams> = act_samples
+        .iter()
+        .map(|s| Pra::with_defaults(bits).run(s).params)
+        .collect();
+    let uni_w: Vec<UniformQuantizer> = mlp
+        .layers
+        .iter()
+        .map(|(w, _)| UniformQuantizer::fit_min_max(bits, w.data()))
+        .collect();
+    let uni_a: Vec<UniformQuantizer> = act_samples
+        .iter()
+        .map(|s| UniformQuantizer::fit_min_max(bits, s))
+        .collect();
 
-    let accuracy = |quant: &dyn Fn(usize, &Tensor, bool) -> Tensor| -> f64 {
+    let accuracy = |quant: LayerQuant| -> f64 {
         let hits = inputs
             .iter()
             .zip(&labels)
@@ -96,10 +115,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let quq_acc = accuracy(&|li, t, is_w| {
-        if is_w { quq_w[li].fake_quantize_tensor(t) } else { quq_a[li].fake_quantize_tensor(t) }
+        if is_w {
+            quq_w[li].fake_quantize_tensor(t)
+        } else {
+            quq_a[li].fake_quantize_tensor(t)
+        }
     });
     let uni_acc = accuracy(&|li, t, is_w| {
-        if is_w { uni_w[li].fake_quantize_tensor(t) } else { uni_a[li].fake_quantize_tensor(t) }
+        if is_w {
+            uni_w[li].fake_quantize_tensor(t)
+        } else {
+            uni_a[li].fake_quantize_tensor(t)
+        }
     });
 
     println!("MLP classifier, {bits}-bit weights+activations:");

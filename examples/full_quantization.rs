@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval = Dataset::teacher_labeled(&model, 24, 2)?;
 
     for bits in [8u32, 6] {
-        let cfg = PtqConfig { bits_w: bits, bits_a: bits, coverage: quq_core::Coverage::Full };
+        let cfg = PtqConfig {
+            bits_w: bits,
+            bits_a: bits,
+            coverage: quq_core::Coverage::Full,
+        };
         for (name, method) in [
             ("BaseQ", &BaseQ::new() as &dyn quq_core::QuantMethod),
             ("QUQ", &QuqMethod::paper()),

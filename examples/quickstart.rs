@@ -22,12 +22,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (Algorithm 2; λ_A = 4, q = 0.99, q_A = 0.95 as in §6.1).
     let act_fit = Pra::with_defaults(8).run(&activations);
     let wgt_fit = Pra::with_defaults(8).run(&weights);
-    println!("activation params: mode {:?}, base Δ = {:.4e}", act_fit.params.mode(), act_fit.params.base_delta());
-    println!("weight params:     mode {:?}, base Δ = {:.4e}", wgt_fit.params.mode(), wgt_fit.params.base_delta());
+    println!(
+        "activation params: mode {:?}, base Δ = {:.4e}",
+        act_fit.params.mode(),
+        act_fit.params.base_delta()
+    );
+    println!(
+        "weight params:     mode {:?}, base Δ = {:.4e}",
+        wgt_fit.params.mode(),
+        wgt_fit.params.base_delta()
+    );
 
     // 3. Quantization error vs plain uniform quantization (Table 1's story).
     let uniform = quq_core::UniformQuantizer::fit_min_max(8, &activations);
-    println!("MSE: QUQ {:.3e} vs uniform {:.3e}", act_fit.params.mse(&activations), uniform.mse(&activations));
+    println!(
+        "MSE: QUQ {:.3e} vs uniform {:.3e}",
+        act_fit.params.mse(&activations),
+        uniform.mse(&activations)
+    );
 
     // 4. Encode to quadruplet uniform bytes (QUBs) and decode like the
     //    hardware decoding unit would (Eq. 6/7).
@@ -35,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = 0.137f32;
     let qub = codec.quantize(x);
     let decoded = codec.decode(qub);
-    println!("x = {x} -> QUB 0b{qub:08b} -> D = {}, n_sh = {} -> x̂ = {:.4}", decoded.d, decoded.n_sh, codec.dequantize(qub));
+    println!(
+        "x = {x} -> QUB 0b{qub:08b} -> D = {}, n_sh = {} -> x̂ = {:.4}",
+        decoded.d,
+        decoded.n_sh,
+        codec.dequantize(qub)
+    );
 
     // 5. Integer-only dot product between QUB streams (Eq. 5).
     let xa = Tensor::from_vec(activations.clone(), &[activations.len()])?;
@@ -44,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qw = QubCodec::new(wgt_fit.params).encode_tensor(&xw);
     let acc = dot_decoded(&qa.decode_pairs(), &qw.decode_pairs());
     let y = accumulator_value(acc, qa.base_delta, qw.base_delta);
-    let y_fp: f64 = activations.iter().zip(&weights).map(|(&a, &w)| a as f64 * w as f64).sum();
+    let y_fp: f64 = activations
+        .iter()
+        .zip(&weights)
+        .map(|(&a, &w)| a as f64 * w as f64)
+        .sum();
     println!("dot product: integer path {y:.4} vs FP32 {y_fp:.4}");
     Ok(())
 }

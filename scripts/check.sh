@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the tier-1 build+test cycle.
+#
+#   scripts/check.sh            # everything
+#   QUQ_THREADS=1 scripts/check.sh   # serial reference run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

@@ -41,7 +41,11 @@ fn partial_quantization_degrades_less_than_full() {
         &model,
         &calib,
         &eval,
-        PtqConfig { bits_w: 6, bits_a: 6, coverage: Coverage::Partial },
+        PtqConfig {
+            bits_w: 6,
+            bits_a: 6,
+            coverage: Coverage::Partial,
+        },
     )
     .unwrap();
     let full = evaluate_quantized(
@@ -49,7 +53,11 @@ fn partial_quantization_degrades_less_than_full() {
         &model,
         &calib,
         &eval,
-        PtqConfig { bits_w: 6, bits_a: 6, coverage: Coverage::Full },
+        PtqConfig {
+            bits_w: 6,
+            bits_a: 6,
+            coverage: Coverage::Full,
+        },
     )
     .unwrap();
     // The paper's Fig. 1/2 motivation: full quantization touches the hard
@@ -73,8 +81,14 @@ fn eight_bit_full_quq_is_near_lossless() {
     let model = test_model(6);
     let calib = Dataset::calibration(model.config(), 6, 11);
     let eval = Dataset::teacher_labeled_confident(&model, 24, 12).unwrap();
-    let acc = evaluate_quantized(&QuqMethod::paper(), &model, &calib, &eval, PtqConfig::full_w8a8())
-        .unwrap();
+    let acc = evaluate_quantized(
+        &QuqMethod::paper(),
+        &model,
+        &calib,
+        &eval,
+        PtqConfig::full_w8a8(),
+    )
+    .unwrap();
     assert!(acc >= 0.9, "8-bit QUQ agreement {acc}");
 }
 
@@ -83,8 +97,14 @@ fn swin_models_run_through_the_full_pipeline() {
     let model = VitModel::synthesize(ModelConfig::test_swin_config(), 7);
     let calib = Dataset::calibration(model.config(), 4, 13);
     let eval = Dataset::teacher_labeled(&model, 8, 14).unwrap();
-    let acc = evaluate_quantized(&QuqMethod::paper(), &model, &calib, &eval, PtqConfig::full_w8a8())
-        .unwrap();
+    let acc = evaluate_quantized(
+        &QuqMethod::paper(),
+        &model,
+        &calib,
+        &eval,
+        PtqConfig::full_w8a8(),
+    )
+    .unwrap();
     assert!((0.0..=1.0).contains(&acc));
 }
 
@@ -94,7 +114,9 @@ fn calibration_tables_describe_their_quantizers() {
     let calib = Dataset::calibration(model.config(), 4, 15);
     let tables = calibrate(&QuqMethod::paper(), &model, &calib, PtqConfig::full_w6a6()).unwrap();
     let site = quq_vit::OpSite::in_block(0, quq_vit::OpKind::Qkv);
-    let desc = tables.weight_description(&site).expect("qkv weight description");
+    let desc = tables
+        .weight_description(&site)
+        .expect("qkv weight description");
     assert!(desc.contains("QUQ"), "{desc}");
 }
 

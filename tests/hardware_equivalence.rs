@@ -10,7 +10,13 @@ use quq_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn encode(seed: u64, rows: usize, cols: usize, bits: u32, mix: OutlierMixture) -> quq_core::QubTensor {
+fn encode(
+    seed: u64,
+    rows: usize,
+    cols: usize,
+    bits: u32,
+    mix: OutlierMixture,
+) -> quq_core::QubTensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let vals = mix.sample_vec(&mut rng, rows * cols);
     let params = Pra::with_defaults(bits).run(&vals).params;
@@ -21,8 +27,20 @@ fn encode(seed: u64, rows: usize, cols: usize, bits: u32, mix: OutlierMixture) -
 fn qua_gemm_is_bit_exact_across_bit_widths_and_array_shapes() {
     for bits in [4u32, 6, 8] {
         for (rows, cols) in [(2usize, 2usize), (4, 8), (16, 16)] {
-            let a = encode(bits as u64 * 7 + 1, 9, 21, bits, OutlierMixture::new(0.05, 0.6, 0.02));
-            let w = encode(bits as u64 * 7 + 2, 6, 21, bits, OutlierMixture::new(0.02, 0.3, 0.01));
+            let a = encode(
+                bits as u64 * 7 + 1,
+                9,
+                21,
+                bits,
+                OutlierMixture::new(0.05, 0.6, 0.02),
+            );
+            let w = encode(
+                bits as u64 * 7 + 2,
+                6,
+                21,
+                bits,
+                OutlierMixture::new(0.02, 0.3, 0.01),
+            );
             let out_params = QuqParams::uniform(bits, 0.125).unwrap();
             let (c, _) = Qua::new(rows, cols, bits).gemm(&a, &w, &out_params);
             let reference = matmul_nt_qub(&a, &w);
@@ -43,7 +61,9 @@ fn qua_gemm_is_bit_exact_across_bit_widths_and_array_shapes() {
 fn mode_b_tensors_flow_through_the_accelerator() {
     // Non-negative (softmax-like) activations: Mode B encodings.
     let mut rng = StdRng::seed_from_u64(11);
-    let probs: Vec<f32> = (0..64).map(|_| standard_normal(&mut rng).abs().min(3.0) / 3.0).collect();
+    let probs: Vec<f32> = (0..64)
+        .map(|_| standard_normal(&mut rng).abs().min(3.0) / 3.0)
+        .collect();
     let params = Pra::with_defaults(6).run(&probs).params;
     assert_eq!(params.mode(), quq_core::Mode::B);
     let qa = QubCodec::new(params).encode_tensor(&Tensor::from_vec(probs, &[4, 16]).unwrap());
@@ -71,7 +91,7 @@ fn du_decode_is_pure_function_of_byte_and_registers() {
         let params = Pra::with_defaults(bits).run(&values).params;
         let codec = QubCodec::new(params);
         let fc = codec.fc();
-        for byte in 0..(1u16 << bits) as u16 {
+        for byte in 0..(1u16 << bits) {
             let via_codec = codec.decode(byte as u8);
             let via_fn = decode_qub(byte as u8, fc, bits);
             assert_eq!(via_codec, via_fn);
@@ -110,7 +130,13 @@ fn memory_model_and_cost_model_agree_on_bit_width_direction() {
     let m8 = quq_accel::simulate_block(&cfg, quq_accel::Regime::Fq, 8, 1).peak_bytes;
     assert!(m6 < m8);
     let t = quq_accel::Tech::n28();
-    let a6 = quq_accel::estimate(quq_accel::AcceleratorConfig::new(quq_accel::Scheme::Quq, 6, 16), t);
-    let a8 = quq_accel::estimate(quq_accel::AcceleratorConfig::new(quq_accel::Scheme::Quq, 8, 16), t);
+    let a6 = quq_accel::estimate(
+        quq_accel::AcceleratorConfig::new(quq_accel::Scheme::Quq, 6, 16),
+        t,
+    );
+    let a8 = quq_accel::estimate(
+        quq_accel::AcceleratorConfig::new(quq_accel::Scheme::Quq, 8, 16),
+        t,
+    );
     assert!(a6.area_mm2 < a8.area_mm2);
 }

@@ -22,15 +22,24 @@ fn claim_fig2_memory_overhead_band_overlaps_papers() {
         .collect();
     let lo = overheads.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = overheads.iter().cloned().fold(0.0, f64::max);
-    assert!(lo < 1.0 && hi > 0.5, "band [{lo:.2}, {hi:.2}] does not overlap the paper's");
+    assert!(
+        lo < 1.0 && hi > 0.5,
+        "band [{lo:.2}, {hi:.2}] does not overlap the paper's"
+    );
 }
 
 #[test]
 fn claim_table1_quq_mse_below_baseq_everywhere() {
     let rows = table1::rows(1, Settings::paper().seed);
     for bits in [4u32, 6, 8] {
-        let base = rows.iter().find(|r| r.method == "BaseQ" && r.bits == bits).unwrap();
-        let quq = rows.iter().find(|r| r.method == "QUQ" && r.bits == bits).unwrap();
+        let base = rows
+            .iter()
+            .find(|r| r.method == "BaseQ" && r.bits == bits)
+            .unwrap();
+        let quq = rows
+            .iter()
+            .find(|r| r.method == "QUQ" && r.bits == bits)
+            .unwrap();
         for i in 0..4 {
             assert!(
                 quq.mse[i] <= base.mse[i] * 1.0001,
@@ -71,7 +80,10 @@ fn claim_uniform_is_a_special_case_of_quq() {
     let uni = quq_core::UniformQuantizer::new(6, delta);
     for i in -500..500 {
         let x = i as f32 * 0.011;
-        assert!((quq.fake_quantize(x) - uni.fake_quantize(x)).abs() < 1e-6, "at {x}");
+        assert!(
+            (quq.fake_quantize(x) - uni.fake_quantize(x)).abs() < 1e-6,
+            "at {x}"
+        );
     }
 }
 
@@ -82,7 +94,10 @@ fn claim_pra_adapts_mode_to_distribution_shape() {
     let panels = quq_bench::experiments::fig3::panels(1, Settings::paper().seed);
     let modes: std::collections::BTreeSet<String> =
         panels.iter().map(|p| p.mode.to_string()).collect();
-    assert!(modes.len() >= 2, "PRA fit only modes {modes:?} across the four tensors");
+    assert!(
+        modes.len() >= 2,
+        "PRA fit only modes {modes:?} across the four tensors"
+    );
     // Post-Softmax (non-negative) must merge to one side: Mode B.
     assert_eq!(panels[1].mode, quq_core::Mode::B);
 }
