@@ -16,10 +16,55 @@ use crate::intfunc;
 use quq_core::calib::{Coverage, Operand, ParamKey};
 use quq_core::dot;
 use quq_core::pipeline::PtqTables;
-use quq_core::qub::QubCodec;
+use quq_core::qub::{QubCodec, QubTensor};
 use quq_core::scheme::QuqParams;
 use quq_tensor::{linalg, IntTensor, Tensor};
 use quq_vit::backend::{Backend, BackendError, OpSite, Result};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared per-site cache of QUB-encoded weights.
+///
+/// Without it, every image re-encodes every layer weight from FP32 *and*
+/// re-decodes it inside every GEMM. With it, each weight site is encoded
+/// once, its pre-shifted `i16` panel is built once
+/// ([`QubTensor::preshifted`]), and every subsequent image reuses both —
+/// the software analogue of weights living on-chip in the paper's
+/// accelerator. Clone the [`Arc`] into each worker's backend to share the
+/// cache across parallel evaluation.
+#[derive(Debug, Default)]
+pub struct WeightQubCache {
+    entries: Mutex<BTreeMap<OpSite, Arc<QubTensor>>>,
+}
+
+impl WeightQubCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of weight sites encoded so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether no site has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the encoded weight for `site`, encoding (and pre-decoding
+    /// the packed panel) on first use. The lock is held across the encode
+    /// so concurrent workers never duplicate the work.
+    fn get_or_encode(&self, site: OpSite, params: QuqParams, w: &Tensor) -> Arc<QubTensor> {
+        let mut entries = self.entries.lock().expect("cache lock");
+        Arc::clone(entries.entry(site).or_insert_with(|| {
+            let qw = QubCodec::new(params).encode_tensor(w);
+            qw.preshifted();
+            Arc::new(qw)
+        }))
+    }
+}
 
 /// Integer-only execution over calibrated QUQ tables.
 ///
@@ -29,12 +74,24 @@ use quq_vit::backend::{Backend, BackendError, OpSite, Result};
 #[derive(Debug)]
 pub struct IntegerBackend<'a> {
     tables: &'a PtqTables,
+    weights: Arc<WeightQubCache>,
 }
 
 impl<'a> IntegerBackend<'a> {
-    /// Wraps calibrated tables.
+    /// Wraps calibrated tables with a private weight cache.
     pub fn new(tables: &'a PtqTables) -> Self {
-        Self { tables }
+        Self::with_cache(tables, Arc::new(WeightQubCache::new()))
+    }
+
+    /// Wraps calibrated tables sharing `weights` with other backends (e.g.
+    /// one backend per evaluation worker over one model's weights).
+    pub fn with_cache(tables: &'a PtqTables, weights: Arc<WeightQubCache>) -> Self {
+        Self { tables, weights }
+    }
+
+    /// A handle to the weight cache (for sharing with further backends).
+    pub fn weight_cache(&self) -> Arc<WeightQubCache> {
+        Arc::clone(&self.weights)
     }
 
     fn coverage(&self) -> Coverage {
@@ -66,8 +123,18 @@ impl<'a> IntegerBackend<'a> {
         Ok((qt.decode_scaled(), qt.base_delta))
     }
 
-    /// Integer GEMM `C = A·Bᵀ` over QUB-encoded operands, returning the
-    /// rescaled float result.
+    /// Integer GEMM `C = A·Bᵀ` over already-encoded QUB operands, returning
+    /// the rescaled float result. Runs on the pre-shifted packed kernel
+    /// ([`dot::matmul_nt_qub`]).
+    fn int_matmul_nt_qub(&self, qa: &QubTensor, qb: &QubTensor) -> Result<Tensor> {
+        let accs = dot::matmul_nt_qub(qa, qb);
+        let scale = qa.base_delta * qb.base_delta;
+        let data: Vec<f32> = accs.into_iter().map(|v| v as f32 * scale).collect();
+        Tensor::from_vec(data, &[qa.shape[0], qb.shape[0]]).map_err(BackendError::from)
+    }
+
+    /// Integer GEMM `C = A·Bᵀ` encoding both operands fresh (the
+    /// activation × activation case: neither operand recurs across images).
     fn int_matmul_nt(
         &self,
         a_params: QuqParams,
@@ -77,10 +144,7 @@ impl<'a> IntegerBackend<'a> {
     ) -> Result<Tensor> {
         let qa = QubCodec::new(a_params).encode_tensor(a);
         let qb = QubCodec::new(b_params).encode_tensor(b);
-        let accs = dot::matmul_nt_qub(&qa, &qb);
-        let scale = qa.base_delta * qb.base_delta;
-        let data: Vec<f32> = accs.into_iter().map(|v| v as f32 * scale).collect();
-        Tensor::from_vec(data, &[a.shape()[0], b.shape()[0]]).map_err(BackendError::from)
+        self.int_matmul_nt_qub(&qa, &qb)
     }
 }
 
@@ -101,7 +165,10 @@ impl Backend for IntegerBackend<'_> {
         let (rows, cols) = x.as_matrix().map_err(BackendError::from)?;
         let x2 = x.reshape(&[rows, cols]).map_err(BackendError::from)?;
         let w_src = self.tables.original_weight(&site).unwrap_or(w);
-        let y = self.int_matmul_nt(a_params, w_params, &x2, w_src)?;
+        // Weights recur image after image: encode + panel-decode once.
+        let qw = self.weights.get_or_encode(site, w_params, w_src);
+        let qa = QubCodec::new(a_params).encode_tensor(&x2);
+        let y = self.int_matmul_nt_qub(&qa, &qw)?;
         let y = match bias {
             Some(b) => y.add_bias(b).map_err(BackendError::from)?,
             None => y,
@@ -219,6 +286,35 @@ mod tests {
         let mut be = IntegerBackend::new(&tables);
         let acc = quq_vit::evaluate(&model, &mut be, &eval).unwrap();
         assert!(acc >= 0.7, "integer-path agreement {acc}");
+    }
+
+    #[test]
+    fn weight_cache_fills_once_and_is_shareable() {
+        let (model, tables, _) = setup(PtqConfig::full_w8a8());
+        let cache = Arc::new(WeightQubCache::new());
+        assert!(cache.is_empty());
+        let img = model.config().dummy_image(0.3);
+        let mut be = IntegerBackend::with_cache(&tables, Arc::clone(&cache));
+        let first = model.forward(&img, &mut be).unwrap();
+        let filled = cache.len();
+        assert!(filled > 0, "forward must populate the weight cache");
+        // A second backend sharing the cache reuses every entry and
+        // produces bit-identical logits.
+        let mut be2 = IntegerBackend::with_cache(&tables, be.weight_cache());
+        let second = model.forward(&img, &mut be2).unwrap();
+        assert_eq!(first.data(), second.data());
+        assert_eq!(cache.len(), filled, "no re-encoding on reuse");
+    }
+
+    #[test]
+    fn cached_and_fresh_backends_agree_bitwise() {
+        let (model, tables, _) = setup(PtqConfig::full_w8a8());
+        let img = model.config().dummy_image(-0.1);
+        let mut fresh = IntegerBackend::new(&tables);
+        let mut again = IntegerBackend::new(&tables);
+        let a = model.forward(&img, &mut fresh).unwrap();
+        let b = model.forward(&img, &mut again).unwrap();
+        assert_eq!(a.data(), b.data());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod memory;
 pub mod schedule;
 pub mod sim;
 
-pub use backend_int::IntegerBackend;
+pub use backend_int::{IntegerBackend, WeightQubCache};
 pub use cost::{
     estimate, gemm_energy_nj, table4_configs, AcceleratorConfig, CostReport, Scheme, Tech,
 };

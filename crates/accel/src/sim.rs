@@ -146,13 +146,7 @@ impl Qua {
             .map(|&s| codec.encode(out_params.quantize(s as f32 * scale)))
             .collect();
         stats.requants = bytes.len() as u64;
-        let out = QubTensor {
-            bytes,
-            shape: vec![m, n],
-            fc: codec.fc(),
-            bits: self.bits,
-            base_delta: codec.base_delta(),
-        };
+        let out = QubTensor::new(bytes, vec![m, n], codec.fc(), self.bits, codec.base_delta());
         (out, stats)
     }
 

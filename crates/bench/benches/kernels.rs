@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use quq_accel::Qua;
-use quq_core::{Pra, QubCodec, QuqParams};
+use quq_core::{matmul_nt_qub, matmul_nt_qub_reference, Pra, QubCodec, QuqParams};
 use quq_tensor::rng::OutlierMixture;
 use quq_tensor::{linalg, Tensor};
 use rand::rngs::StdRng;
@@ -38,6 +38,9 @@ fn bench_qub_codec(c: &mut Criterion) {
     g.throughput(Throughput::Elements(65_536));
     g.bench_function("encode", |b| b.iter(|| codec.encode_tensor(black_box(&t))));
     g.bench_function("decode", |b| b.iter(|| black_box(&encoded).decode_scaled()));
+    g.bench_function("decode_preshifted", |b| {
+        b.iter(|| black_box(&encoded).decode_preshifted())
+    });
     g.bench_function("fake_quantize", |b| {
         b.iter(|| params.fake_quantize_tensor(black_box(&t)))
     });
@@ -67,6 +70,15 @@ fn bench_gemm(c: &mut Criterion) {
     });
     g.bench_function("f32_reference", |b| {
         b.iter(|| linalg::matmul_nt(black_box(&at), black_box(&wt)).unwrap())
+    });
+    // Packed pre-shifted i16 kernel (panels cached — deployment steady
+    // state) vs the pairwise-decoding reference it replaced.
+    let _ = matmul_nt_qub(&qa, &qw); // warm the panel caches
+    g.bench_function("packed_int6", |b| {
+        b.iter(|| matmul_nt_qub(black_box(&qa), black_box(&qw)))
+    });
+    g.bench_function("reference_int6", |b| {
+        b.iter(|| matmul_nt_qub_reference(black_box(&qa), black_box(&qw)))
     });
     g.finish();
 }

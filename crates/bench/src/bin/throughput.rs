@@ -1,55 +1,144 @@
-//! Inference throughput benchmark: images/sec for FP32 and QUQ execution,
-//! serial vs parallel, emitting `BENCH_throughput.json`.
+//! Inference throughput benchmark: images/sec for FP32, fake-quant QUQ,
+//! and integer-deployment QUQ execution across a `QUQ_THREADS` sweep,
+//! emitting `BENCH_throughput.json`.
 //!
 //! ```text
 //! cargo run --release -p quq-bench --bin throughput
-//! QUQ_THREADS=8 cargo run --release -p quq-bench --bin throughput
 //! QUQ_QUICK=1 cargo run --release -p quq-bench --bin throughput
+//! QUQ_BENCH_OUT=/tmp/t.json cargo run --release -p quq-bench --bin throughput
 //! ```
 //!
-//! *Serial* pins the whole stack to inline execution ([`pool::run_serial`],
-//! the `QUQ_THREADS=1` reference); *parallel* uses the pool as configured.
-//! Before timing, the run asserts that parallel and serial execution
-//! produce **bit-identical logits** on every benchmark image — the
-//! determinism guarantee the thread pool is built around. Speedups are
-//! only expected when the host grants more than one core.
+//! The thread pool reads `QUQ_THREADS` once at first use, so the sweep
+//! re-executes this binary as a child process per thread count
+//! (`QUQ_SWEEP_OUT` marks child mode; children write JSON fragments the
+//! parent aggregates). Each child:
+//!
+//! * asserts **bit-identical logits** between parallel and serial
+//!   execution for every measured backend (the pool's determinism
+//!   guarantee) — the run fails hard otherwise;
+//! * measures three backends, reporting wall-clock and the time spent in
+//!   GEMM operations (via [`quq_vit::GemmTimed`]): `fp32` (exact),
+//!   `quq-fakequant` (the functional PTQ model), and `quq` (the integer
+//!   deployment path: QUB operands, pre-shifted packed panels, shared
+//!   weight-decode cache);
+//! * times the packed integer GEMM ([`quq_core::matmul_nt_qub`]) against
+//!   the pre-panel reference ([`quq_core::matmul_nt_qub_reference`]) on a
+//!   ViT-sized shape at the child's thread count, verifying exact
+//!   agreement.
 
-use quq_core::pipeline::{calibrate, PtqConfig};
+use quq_accel::{IntegerBackend, WeightQubCache};
+use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::quantizer::QuqMethod;
-use quq_tensor::pool;
-use quq_vit::{evaluate_parallel, Dataset, Fp32Backend, ModelConfig, ModelId, VitModel};
+use quq_core::{matmul_nt_qub, matmul_nt_qub_reference, Pra, QubCodec};
+use quq_tensor::rng::OutlierMixture;
+use quq_tensor::{pool, Tensor};
+use quq_vit::{
+    evaluate_parallel, Backend, Dataset, Fp32Backend, GemmTimed, ModelConfig, ModelId, VitModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var("QUQ_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
 
 struct Measurement {
     backend: &'static str,
-    mode: &'static str,
     seconds: f64,
     images_per_sec: f64,
+    gemm_seconds: f64,
 }
 
-fn time_run(images: usize, f: impl FnOnce()) -> (f64, f64) {
-    let t0 = Instant::now();
-    f();
-    let seconds = t0.elapsed().as_secs_f64();
-    (seconds, images as f64 / seconds)
-}
-
-fn main() {
-    let quick = std::env::var("QUQ_QUICK")
-        .map(|v| v == "1")
-        .unwrap_or(false);
-    let (config, images, repeats) = if quick {
-        (ModelConfig::test_config(), 8, 1)
-    } else {
-        (ModelConfig::eval_scale(ModelId::VitS), 32, 2)
-    };
-    let threads = pool::num_threads();
-    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+/// Times `repeats` runs of an evaluation and keeps the fastest, reading
+/// the GEMM counter across each run.
+fn measure<B: Backend, F: Fn() -> B + Sync>(
+    backend: &'static str,
+    model: &VitModel,
+    eval: &Dataset,
+    repeats: usize,
+    gemm_nanos: &Arc<AtomicU64>,
+    factory: F,
+) -> Measurement {
+    let mut best: Option<(f64, f64)> = None;
+    for _ in 0..repeats {
+        let before = gemm_nanos.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        evaluate_parallel(model, &factory, eval).expect("evaluate");
+        let seconds = t0.elapsed().as_secs_f64();
+        let gemm = (gemm_nanos.load(Ordering::Relaxed) - before) as f64 * 1e-9;
+        if best.is_none_or(|(s, _)| seconds < s) {
+            best = Some((seconds, gemm));
+        }
+    }
+    let (seconds, gemm_seconds) = best.expect("at least one run");
+    let images_per_sec = eval.len() as f64 / seconds;
     println!(
-        "model: {} | images: {images} | pool threads: {threads} | host cores: {host}",
-        config.id
+        "{backend:>13} {seconds:7.3}s  {images_per_sec:8.2} images/sec  (gemm {gemm_seconds:6.3}s)"
     );
+    Measurement {
+        backend,
+        seconds,
+        images_per_sec,
+        gemm_seconds,
+    }
+}
 
+/// Packed-vs-reference integer GEMM microbenchmark at the current thread
+/// count. Returns a JSON fragment.
+fn int_gemm_microbench() -> String {
+    let (m, k, n, reps) = if quick() {
+        (32, 48, 48, 2)
+    } else {
+        (256, 384, 384, 5)
+    };
+    let bits = 6u32;
+    let mut rng = StdRng::seed_from_u64(77);
+    let av = OutlierMixture::new(0.05, 0.6, 0.02).sample_vec(&mut rng, m * k);
+    let wv = OutlierMixture::new(0.02, 0.3, 0.01).sample_vec(&mut rng, n * k);
+    let pa = Pra::with_defaults(bits).run(&av).params;
+    let pw = Pra::with_defaults(bits).run(&wv).params;
+    let qa = QubCodec::new(pa).encode_tensor(&Tensor::from_vec(av, &[m, k]).expect("shape"));
+    let qw = QubCodec::new(pw).encode_tensor(&Tensor::from_vec(wv, &[n, k]).expect("shape"));
+
+    // Exactness gate: the packed kernel must reproduce the reference
+    // accumulators bit-for-bit.
+    let packed = matmul_nt_qub(&qa, &qw);
+    let reference = matmul_nt_qub_reference(&qa, &qw);
+    assert_eq!(packed, reference, "packed kernel diverged from reference");
+
+    let time_best = |f: &dyn Fn() -> Vec<i64>| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Reference: decodes both operands on every call (the PR 1 behavior).
+    let reference_seconds = time_best(&|| matmul_nt_qub_reference(&qa, &qw));
+    // Packed: panels were cached above — the deployment steady state.
+    let packed_seconds = time_best(&|| matmul_nt_qub(&qa, &qw));
+    let speedup = reference_seconds / packed_seconds;
+    println!(
+        "int GEMM {m}x{k}x{n} ({bits}-bit): reference {reference_seconds:.4}s, packed {packed_seconds:.4}s → {speedup:.2}x"
+    );
+    format!(
+        "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"bits\": {bits}, \"reference_seconds\": {reference_seconds:.5}, \"packed_seconds\": {packed_seconds:.5}, \"speedup\": {speedup:.3}, \"bit_identical_packed_vs_reference\": true}}"
+    )
+}
+
+fn setup(images: usize) -> (VitModel, Dataset, PtqTables) {
+    let config = if quick() {
+        ModelConfig::test_config()
+    } else {
+        ModelConfig::eval_scale(ModelId::VitS)
+    };
     let model = VitModel::synthesize(config, 20240623);
     let eval = Dataset::teacher_labeled(&model, images, 7).expect("dataset");
     let calib = Dataset::calibration(model.config(), 4, 3);
@@ -60,10 +149,21 @@ fn main() {
         PtqConfig::full_w6a6(),
     )
     .expect("calibration");
+    (model, eval, tables)
+}
 
-    // Determinism gate: parallel logits must equal the serial reference
-    // bit-for-bit on every image, for both backends.
-    for img in &eval.images {
+/// Child mode: run every measurement at the pool size configured by
+/// `QUQ_THREADS` and write a JSON fragment to `out_path`.
+fn run_child(out_path: &str) {
+    let threads = pool::num_threads();
+    let (images, repeats) = if quick() { (8, 1) } else { (32, 2) };
+    println!("-- child: {threads} pool thread(s), {images} images --");
+    let (model, eval, tables) = setup(images);
+    let weight_cache = Arc::new(WeightQubCache::new());
+
+    // Determinism gate (also warms the shared weight cache): parallel
+    // logits must equal the serial reference bit-for-bit per backend.
+    for img in eval.images.iter().take(4) {
         let fp_par = model
             .forward(img, &mut Fp32Backend::new())
             .expect("forward");
@@ -77,98 +177,153 @@ fn main() {
             fp_ser.data(),
             "FP32 parallel/serial logits diverged"
         );
-        let q_par = model.forward(img, &mut tables.backend()).expect("forward");
-        let q_ser =
+        let fq_par = model.forward(img, &mut tables.backend()).expect("forward");
+        let fq_ser =
             pool::run_serial(|| model.forward(img, &mut tables.backend()).expect("forward"));
         assert_eq!(
-            q_par.data(),
-            q_ser.data(),
-            "QUQ parallel/serial logits diverged"
+            fq_par.data(),
+            fq_ser.data(),
+            "fake-quant parallel/serial logits diverged"
+        );
+        let mk_int = || IntegerBackend::with_cache(&tables, Arc::clone(&weight_cache));
+        let int_par = model.forward(img, &mut mk_int()).expect("forward");
+        let int_ser = pool::run_serial(|| model.forward(img, &mut mk_int()).expect("forward"));
+        assert_eq!(
+            int_par.data(),
+            int_ser.data(),
+            "integer parallel/serial logits diverged"
         );
     }
-    println!("bit-identical parallel/serial logits: verified on {images} images");
+    println!("bit-identical parallel/serial logits: verified");
 
-    let mut results: Vec<Measurement> = Vec::new();
-    let mut best = |backend: &'static str, mode: &'static str, runs: &[(f64, f64)]| {
-        let &(seconds, images_per_sec) = runs
-            .iter()
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))
-            .expect("at least one run");
-        println!("{backend:>5} {mode:<8} {seconds:7.3}s  {images_per_sec:8.2} images/sec");
-        results.push(Measurement {
-            backend,
-            mode,
-            seconds,
-            images_per_sec,
-        });
+    let gemm_nanos = Arc::new(AtomicU64::new(0));
+    let results = [
+        measure("fp32", &model, &eval, repeats, &gemm_nanos, || {
+            GemmTimed::new(Fp32Backend::new(), Arc::clone(&gemm_nanos))
+        }),
+        measure("quq-fakequant", &model, &eval, repeats, &gemm_nanos, || {
+            GemmTimed::new(tables.backend(), Arc::clone(&gemm_nanos))
+        }),
+        measure("quq", &model, &eval, repeats, &gemm_nanos, || {
+            GemmTimed::new(
+                IntegerBackend::with_cache(&tables, Arc::clone(&weight_cache)),
+                Arc::clone(&gemm_nanos),
+            )
+        }),
+    ];
+    let int_gemm = int_gemm_microbench();
+
+    let mut json = format!(
+        "{{\"threads\": {threads}, \"bit_identical_serial_parallel\": true, \"int_gemm\": {int_gemm}, \"backends\": ["
+    );
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { ", " } else { "" };
+        json.push_str(&format!(
+            "{{\"backend\": \"{}\", \"seconds\": {:.4}, \"images_per_sec\": {:.3}, \"gemm_seconds\": {:.4}}}{comma}",
+            m.backend, m.seconds, m.images_per_sec, m.gemm_seconds
+        ));
+    }
+    json.push_str("]}");
+    std::fs::write(out_path, &json).expect("write sweep fragment");
+}
+
+/// Pulls a `"key": <number>` value out of a JSON fragment (the fragments
+/// are machine-written by this binary, so plain string search suffices).
+fn json_number(fragment: &str, key: &str, after: &str) -> f64 {
+    let hay = &fragment[fragment.find(after).map_or(0, |i| i)..];
+    let pat = format!("\"{key}\": ");
+    let start = hay.find(&pat).expect("key present") + pat.len();
+    let rest = &hay[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("numeric value")
+}
+
+fn backend_rate(fragment: &str, backend: &str) -> f64 {
+    json_number(
+        fragment,
+        "images_per_sec",
+        &format!("\"backend\": \"{backend}\""),
+    )
+}
+
+/// Parent mode: sweep `QUQ_THREADS`, spawn one child per count, aggregate.
+fn run_parent() {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sweep: Vec<usize> = if quick() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, host]
     };
+    sweep.sort_unstable();
+    sweep.dedup();
+    let model_name = if quick() { "test" } else { "ViT-S" };
+    let images = if quick() { 8 } else { 32 };
+    println!("model: {model_name} | images: {images} | host cores: {host} | sweep: {sweep:?}");
 
-    let fp32_serial: Vec<_> = (0..repeats)
-        .map(|_| {
-            time_run(images, || {
-                pool::run_serial(|| {
-                    evaluate_parallel(&model, Fp32Backend::new, &eval).expect("evaluate");
-                });
-            })
-        })
-        .collect();
-    best("fp32", "serial", &fp32_serial);
-    let fp32_parallel: Vec<_> = (0..repeats)
-        .map(|_| {
-            time_run(images, || {
-                evaluate_parallel(&model, Fp32Backend::new, &eval).expect("evaluate");
-            })
-        })
-        .collect();
-    best("fp32", "parallel", &fp32_parallel);
-    let quq_serial: Vec<_> = (0..repeats)
-        .map(|_| {
-            time_run(images, || {
-                pool::run_serial(|| {
-                    evaluate_parallel(&model, || tables.backend(), &eval).expect("evaluate");
-                });
-            })
-        })
-        .collect();
-    best("quq", "serial", &quq_serial);
-    let quq_parallel: Vec<_> = (0..repeats)
-        .map(|_| {
-            time_run(images, || {
-                evaluate_parallel(&model, || tables.backend(), &eval).expect("evaluate");
-            })
-        })
-        .collect();
-    best("quq", "parallel", &quq_parallel);
+    let exe = std::env::current_exe().expect("current exe");
+    let mut fragments: Vec<String> = Vec::new();
+    for &threads in &sweep {
+        let out = std::env::temp_dir().join(format!("quq_sweep_{threads}.json"));
+        let status = std::process::Command::new(&exe)
+            .env("QUQ_THREADS", threads.to_string())
+            .env("QUQ_SWEEP_OUT", &out)
+            .status()
+            .expect("spawn sweep child");
+        assert!(
+            status.success(),
+            "sweep child for {threads} thread(s) failed"
+        );
+        fragments.push(std::fs::read_to_string(&out).expect("read sweep fragment"));
+        let _ = std::fs::remove_file(&out);
+    }
 
-    let rate = |backend: &str, mode: &str| {
-        results
-            .iter()
-            .find(|m| m.backend == backend && m.mode == mode)
-            .map(|m| m.images_per_sec)
-            .expect("measured")
-    };
-    let speedup_fp32 = rate("fp32", "parallel") / rate("fp32", "serial");
-    let speedup_quq = rate("quq", "parallel") / rate("quq", "serial");
-    println!("speedup (parallel / serial): fp32 {speedup_fp32:.2}x, quq {speedup_quq:.2}x");
+    let rate_at = |idx: usize, backend: &str| backend_rate(&fragments[idx], backend);
+    let last = fragments.len() - 1;
+    let speedup_fp32 = rate_at(last, "fp32") / rate_at(0, "fp32");
+    let speedup_quq = rate_at(last, "quq") / rate_at(0, "quq");
+    let int_gemm_speedup = json_number(&fragments[0], "speedup", "\"int_gemm\"");
+    println!(
+        "thread-sweep speedup ({} vs 1 thread): fp32 {speedup_fp32:.2}x, quq {speedup_quq:.2}x",
+        sweep[last]
+    );
+    println!("packed int GEMM vs reference at 1 thread: {int_gemm_speedup:.2}x");
 
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"model\": \"{}\",\n", model.config().id));
+    json.push_str(&format!("  \"model\": \"{model_name}\",\n"));
     json.push_str(&format!("  \"images\": {images},\n"));
-    json.push_str(&format!("  \"pool_threads\": {threads},\n"));
     json.push_str(&format!("  \"host_cores\": {host},\n"));
+    json.push_str(&format!(
+        "  \"thread_sweep\": [{}],\n",
+        sweep
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     json.push_str("  \"bit_identical_serial_parallel\": true,\n");
-    json.push_str("  \"results\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"seconds\": {:.4}, \"images_per_sec\": {:.3}}}{comma}\n",
-            m.backend, m.mode, m.seconds, m.images_per_sec
-        ));
+    json.push_str(&format!(
+        "  \"int_gemm_speedup_packed_vs_reference\": {int_gemm_speedup:.3},\n"
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, frag) in fragments.iter().enumerate() {
+        let comma = if i + 1 < fragments.len() { "," } else { "" };
+        json.push_str(&format!("    {frag}{comma}\n"));
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"speedup_fp32\": {speedup_fp32:.3},\n"));
     json.push_str(&format!("  \"speedup_quq\": {speedup_quq:.3}\n"));
     json.push_str("}\n");
-    std::fs::write("BENCH_throughput.json", &json).expect("write BENCH_throughput.json");
-    println!("wrote BENCH_throughput.json");
+    let out_path =
+        std::env::var("QUQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    std::fs::write(&out_path, &json).expect("write throughput JSON");
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    match std::env::var("QUQ_SWEEP_OUT") {
+        Ok(path) => run_child(&path),
+        Err(_) => run_parent(),
+    }
 }

@@ -35,37 +35,69 @@ pub fn accumulator_value(acc: i64, dx: f32, dw: f32) -> f32 {
     acc as f32 * dx * dw
 }
 
-/// Integer matrix product between QUB tensors: `C[m,n] = A[m,k] · B[k,n]ᵀ`
-/// where `b` is `[n, k]` (linear-layer weight layout).
-///
-/// Returns the raw accumulators; scale them with [`accumulator_value`] or
-/// requantize with [`requantize`]. Output rows are computed in parallel on
-/// the [`quq_tensor::pool`]; integer accumulation is exact, so results are
-/// identical at every thread count.
-///
-/// # Panics
-///
-/// Panics when shapes are not rank-2 compatible.
-pub fn matmul_nt_qub(a: &QubTensor, b: &QubTensor) -> Vec<i64> {
+fn check_nt_shapes(a: &QubTensor, b: &QubTensor) -> (usize, usize, usize) {
     assert_eq!(a.shape.len(), 2, "lhs must be rank 2");
     assert_eq!(b.shape.len(), 2, "rhs must be rank 2");
     let (m, k) = (a.shape[0], a.shape[1]);
     let (n, k2) = (b.shape[0], b.shape[1]);
     assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+    (m, k, n)
+}
+
+/// Integer matrix product between QUB tensors: `C[m,n] = A[m,k] · B[k,n]ᵀ`
+/// where `b` is `[n, k]` (linear-layer weight layout).
+///
+/// Operands are expanded to *pre-shifted packed panels*
+/// ([`QubTensor::preshifted`]: `D << n_sh` as `i16`, cached per tensor) and
+/// multiplied by the cache-blocked [`quq_tensor::linalg::i16_matmul_nt_i64`]
+/// kernel — a dense widening MAC with no per-element shift, exactly the
+/// arithmetic split between the paper's decoding units and PE array.
+/// `(D_x·D_w) << (s_x+s_w)` equals `(D_x<<s_x)·(D_w<<s_w)`, so the
+/// accumulators are bit-identical to the [`matmul_nt_qub_reference`] path,
+/// and integer accumulation keeps them identical at every thread count.
+///
+/// Returns the raw accumulators; scale them with [`accumulator_value`] or
+/// requantize with [`requantize`]. Empty shapes (`m == 0 || n == 0`) return
+/// immediately without decoding either operand.
+///
+/// # Panics
+///
+/// Panics when shapes are not rank-2 compatible.
+pub fn matmul_nt_qub(a: &QubTensor, b: &QubTensor) -> Vec<i64> {
+    let (m, k, n) = check_nt_shapes(a, b);
+    if m == 0 || n == 0 {
+        return vec![0i64; m * n];
+    }
+    let ap = a.preshifted();
+    let bp = b.preshifted();
+    quq_tensor::linalg::i16_matmul_nt_i64(ap.data(), bp.data(), m, k, n)
+}
+
+/// The pre-panel reference implementation of [`matmul_nt_qub`]: decodes
+/// both operands to `(D, n_sh)` pairs and applies [`dot_decoded`] per
+/// output element. Kept as the differential baseline the packed kernel is
+/// tested (and benchmarked) against.
+///
+/// # Panics
+///
+/// Panics when shapes are not rank-2 compatible.
+pub fn matmul_nt_qub_reference(a: &QubTensor, b: &QubTensor) -> Vec<i64> {
+    let (m, k, n) = check_nt_shapes(a, b);
+    let mut out = vec![0i64; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
     let ad = a.decode_pairs();
     let bd = b.decode_pairs();
-    let mut out = vec![0i64; m * n];
-    if n > 0 {
-        quq_tensor::pool::parallel_rows_mut(&mut out, n, 4, |first_row, block| {
-            for (r, orow) in block.chunks_exact_mut(n).enumerate() {
-                let i = first_row + r;
-                let arow = &ad[i * k..(i + 1) * k];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    *o = dot_decoded(arow, &bd[j * k..(j + 1) * k]);
-                }
+    quq_tensor::pool::parallel_rows_mut(&mut out, n, 4, |first_row, block| {
+        for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+            let i = first_row + r;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot_decoded(arow, &bd[j * k..(j + 1) * k]);
             }
-        });
-    }
+        }
+    });
     out
 }
 
@@ -159,5 +191,34 @@ mod tests {
         let x = [Decoded { d: 3, n_sh: 2 }];
         let w = [Decoded { d: -5, n_sh: 1 }];
         assert_eq!(dot_decoded(&x, &w), (3 * -5) << 3);
+    }
+
+    #[test]
+    fn packed_matmul_equals_reference_exactly() {
+        for (bits, m, k, n, seed) in [(4u32, 3, 7, 5, 1u64), (6, 9, 130, 6, 2), (8, 5, 33, 9, 3)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let av = OutlierMixture::new(0.05, 0.6, 0.02).sample_vec(&mut rng, m * k);
+            let wv = OutlierMixture::new(0.02, 0.3, 0.01).sample_vec(&mut rng, n * k);
+            let pa = Pra::with_defaults(bits).run(&av).params;
+            let pw = Pra::with_defaults(bits).run(&wv).params;
+            let qa = QubCodec::new(pa).encode_tensor(&Tensor::from_vec(av, &[m, k]).unwrap());
+            let qw = QubCodec::new(pw).encode_tensor(&Tensor::from_vec(wv, &[n, k]).unwrap());
+            assert_eq!(
+                matmul_nt_qub(&qa, &qw),
+                matmul_nt_qub_reference(&qa, &qw),
+                "bits {bits}, {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_shapes_return_without_decoding() {
+        let params = crate::scheme::QuqParams::uniform(8, 0.5).unwrap();
+        let codec = QubCodec::new(params);
+        let empty_rows = codec.encode_tensor(&Tensor::zeros(&[0, 16]));
+        let full = codec.encode_tensor(&Tensor::from_vec(vec![0.5; 48], &[3, 16]).unwrap());
+        assert!(matmul_nt_qub(&empty_rows, &full).is_empty());
+        assert!(matmul_nt_qub(&full, &empty_rows).is_empty());
+        assert!(matmul_nt_qub_reference(&empty_rows, &full).is_empty());
     }
 }

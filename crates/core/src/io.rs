@@ -138,13 +138,7 @@ pub fn read_qub_tensor<R: Read>(mut r: R) -> Result<QubTensor, WireError> {
             "payload byte {bad:#04x} exceeds {bits}-bit QUB range"
         )));
     }
-    Ok(QubTensor {
-        bytes,
-        shape,
-        fc,
-        bits,
-        base_delta,
-    })
+    Ok(QubTensor::new(bytes, shape, fc, bits, base_delta))
 }
 
 #[cfg(test)]

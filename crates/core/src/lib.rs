@@ -42,13 +42,15 @@ pub mod scheme;
 pub mod uniform;
 
 pub use calib::{Collector, Coverage, Operand, ParamKey, SampleSet};
-pub use dot::{accumulator_value, dot_decoded, matmul_nt_qub, requantize};
+pub use dot::{accumulator_value, dot_decoded, matmul_nt_qub, matmul_nt_qub_reference, requantize};
 pub use hessian::{grid_search_quq, Objective};
 pub use io::{read_qub_tensor, write_qub_tensor, WireError};
 pub use packing::{pack_qubs, unpack_qubs};
 pub use pipeline::{calibrate, evaluate_quantized, PtqConfig, PtqTables, QuantBackend};
 pub use quantizer::{FittedQuantizer, QuantMethod, QuqMethod};
-pub use qub::{decode_qub, params_from_fc, Decoded, FcRegisters, QubCodec, QubTensor};
+pub use qub::{
+    decode_qub, params_from_fc, preshift_lut, Decoded, FcRegisters, QubCodec, QubTensor,
+};
 pub use relax::{relax, Pra, PraConfig, PraOutcome};
 pub use scheme::{Mode, QuqCode, QuqParams, SpaceLayout};
 pub use uniform::UniformQuantizer;

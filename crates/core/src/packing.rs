@@ -81,13 +81,13 @@ impl QubTensor {
         base_delta: f32,
     ) -> Self {
         let count = shape.iter().product();
-        Self {
-            bytes: unpack_qubs(packed, count, bits),
+        Self::new(
+            unpack_qubs(packed, count, bits),
             shape,
             fc,
             bits,
             base_delta,
-        }
+        )
     }
 }
 

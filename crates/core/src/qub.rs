@@ -18,7 +18,8 @@
 //! hardware decoding unit sees.
 
 use crate::scheme::{QuqCode, QuqParams, SpaceLayout};
-use quq_tensor::{IntTensor, Tensor};
+use quq_tensor::{I16Tensor, IntTensor, Tensor};
+use std::sync::{Arc, OnceLock};
 
 /// The pair of per-tensor FC registers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,8 +114,22 @@ pub struct Decoded {
 
 impl Decoded {
     /// The represented integer `D · 2^{n_sh}` (value in units of `Δ_base`).
+    ///
+    /// For every bit-width the format supports (b ≤ 8), `|D| ≤ 2^{b−1} ≤
+    /// 128` and `n_sh ≤ 7`, so the pre-shifted value is bounded by 2^14 and
+    /// fits an `i16`. The packed GEMM pipeline stores panels of these
+    /// values as `i16` ([`QubTensor::decode_preshifted`]); a future
+    /// bit-width bump past 8 would overflow that panel format, so debug
+    /// builds assert the bound here.
     pub fn scaled(&self) -> i32 {
-        self.d << self.n_sh
+        let v = self.d << self.n_sh;
+        debug_assert!(
+            i16::try_from(v).is_ok(),
+            "pre-shifted value {v} (D = {}, n_sh = {}) overflows the i16 panel format",
+            self.d,
+            self.n_sh
+        );
+        v
     }
 }
 
@@ -175,13 +190,13 @@ impl QubCodec {
 
     /// Encodes a whole tensor to QUB bytes (row-major, one byte per value).
     pub fn encode_tensor(&self, t: &Tensor) -> QubTensor {
-        QubTensor {
-            bytes: t.data().iter().map(|&x| self.quantize(x)).collect(),
-            shape: t.shape().to_vec(),
-            fc: self.fc,
-            bits: self.params.bits(),
-            base_delta: self.base_delta(),
-        }
+        QubTensor::new(
+            t.data().iter().map(|&x| self.quantize(x)).collect(),
+            t.shape().to_vec(),
+            self.fc,
+            self.params.bits(),
+            self.base_delta(),
+        )
     }
 }
 
@@ -211,6 +226,52 @@ pub fn decode_qub(qub: u8, fc: FcRegisters, bits: u32) -> Decoded {
     Decoded { d, n_sh }
 }
 
+/// Builds the pre-shift decode table for one `(FC, b)` description: entry
+/// `q` is `decode_qub(q).scaled()` narrowed to the `i16` panel format. A
+/// QUB stream decodes by indexing this table — the software analogue of the
+/// hardware decoding unit's combinational output, amortized over the whole
+/// tensor.
+///
+/// # Panics
+///
+/// Panics when any pre-shifted value exceeds the `i16` range, which Eq. 4
+/// rules out for b ≤ 8 (see [`Decoded::scaled`]).
+pub fn preshift_lut(fc: FcRegisters, bits: u32) -> Vec<i16> {
+    (0..1u32 << bits)
+        .map(|q| {
+            let v = decode_qub(q as u8, fc, bits).scaled();
+            i16::try_from(v).expect("pre-shifted QUB value must fit the i16 panel format")
+        })
+        .collect()
+}
+
+/// Lazily-built pre-shifted decode panel attached to a [`QubTensor`].
+///
+/// The panel is derived data (a pure function of bytes + FC + bits), so the
+/// cache is invisible to equality, survives clones, and is shared across
+/// threads once built. Layer weights in particular are decoded once per
+/// model rather than once per image per GEMM.
+#[derive(Debug, Default)]
+pub struct DecodeCache(OnceLock<Arc<I16Tensor>>);
+
+impl Clone for DecodeCache {
+    fn clone(&self) -> Self {
+        let fresh = OnceLock::new();
+        if let Some(panel) = self.0.get() {
+            let _ = fresh.set(Arc::clone(panel));
+        }
+        Self(fresh)
+    }
+}
+
+impl PartialEq for DecodeCache {
+    fn eq(&self, _other: &Self) -> bool {
+        // Derived data: two tensors with equal bytes/FC/bits always decode
+        // to the same panel, so cache state never distinguishes tensors.
+        true
+    }
+}
+
 /// A tensor of QUB bytes plus the sideband data a consumer needs: FC
 /// registers, bit-width and base scale. This is exactly the wire format the
 /// accelerator streams (paper Fig. 5/6).
@@ -226,9 +287,38 @@ pub struct QubTensor {
     pub bits: u32,
     /// Base scale factor `Δ`.
     pub base_delta: f32,
+    /// Lazily-built pre-shifted decode panel (derived, never serialized).
+    pub(crate) panel: DecodeCache,
 }
 
 impl QubTensor {
+    /// Assembles a tensor from its wire parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes.len()` differs from the product of `shape`.
+    pub fn new(
+        bytes: Vec<u8>,
+        shape: Vec<usize>,
+        fc: FcRegisters,
+        bits: u32,
+        base_delta: f32,
+    ) -> Self {
+        assert_eq!(
+            bytes.len(),
+            shape.iter().product::<usize>(),
+            "byte count must match shape"
+        );
+        Self {
+            bytes,
+            shape,
+            fc,
+            bits,
+            base_delta,
+            panel: DecodeCache::default(),
+        }
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.bytes.len()
@@ -241,12 +331,7 @@ impl QubTensor {
 
     /// Decodes every byte to `D · 2^{n_sh}` integers (units of `Δ_base`).
     pub fn decode_scaled(&self) -> IntTensor {
-        let data = self
-            .bytes
-            .iter()
-            .map(|&b| decode_qub(b, self.fc, self.bits).scaled())
-            .collect();
-        IntTensor::from_vec(data, &self.shape).expect("sized")
+        self.decode_preshifted().to_i32()
     }
 
     /// Decodes every byte to `(D, n_sh)` pairs.
@@ -255,6 +340,27 @@ impl QubTensor {
             .iter()
             .map(|&b| decode_qub(b, self.fc, self.bits))
             .collect()
+    }
+
+    /// Decodes every byte to a pre-shifted packed panel: `D << n_sh` stored
+    /// as `i16` (2 bytes/element, no shift left for the inner loop). Decode
+    /// goes through [`preshift_lut`], one table index per element.
+    pub fn decode_preshifted(&self) -> I16Tensor {
+        let lut = preshift_lut(self.fc, self.bits);
+        let data = self.bytes.iter().map(|&b| lut[b as usize]).collect();
+        I16Tensor::from_vec(data, &self.shape).expect("sized")
+    }
+
+    /// The pre-shifted packed panel, decoded at most once per tensor and
+    /// cached (interior-mutable; shared by clones made after the first
+    /// decode). The integer GEMM path calls this so reused operands — layer
+    /// weights above all — pay the decode exactly once per model.
+    pub fn preshifted(&self) -> Arc<I16Tensor> {
+        Arc::clone(
+            self.panel
+                .0
+                .get_or_init(|| Arc::new(self.decode_preshifted())),
+        )
     }
 
     /// Reconstructs the real-valued tensor.
@@ -443,6 +549,64 @@ mod tests {
         for (a, b) in back.data().iter().zip(direct.data()) {
             assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn preshifted_panel_matches_pairwise_decode() {
+        for bits in [4u32, 6, 8] {
+            for params in all_mode_params(bits) {
+                let codec = QubCodec::new(params);
+                let mut rng = StdRng::seed_from_u64(41);
+                let vals = OutlierMixture::new(0.05, 0.6, 0.02).sample_vec(&mut rng, 256);
+                let qt = codec.encode_tensor(&Tensor::from_vec(vals, &[16, 16]).unwrap());
+                let panel = qt.decode_preshifted();
+                let pairs = qt.decode_pairs();
+                assert_eq!(panel.len(), pairs.len());
+                for (p, d) in panel.data().iter().zip(&pairs) {
+                    assert_eq!(*p as i32, d.scaled(), "bits {bits}");
+                }
+                // And the i32 path agrees elementwise.
+                assert_eq!(qt.decode_scaled().data(), panel.to_i32().data());
+            }
+        }
+    }
+
+    #[test]
+    fn preshift_lut_covers_every_byte() {
+        for bits in [4u32, 6, 8] {
+            for params in all_mode_params(bits) {
+                let codec = QubCodec::new(params);
+                let lut = preshift_lut(codec.fc(), bits);
+                assert_eq!(lut.len(), 1 << bits);
+                for (q, &v) in lut.iter().enumerate() {
+                    assert_eq!(v as i32, codec.decode(q as u8).scaled());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preshifted_cache_decodes_once_and_survives_clones() {
+        let params = QuqParams::uniform(8, 0.25).unwrap();
+        let codec = QubCodec::new(params);
+        let t = Tensor::from_vec(vec![0.25, -0.5, 1.0, 0.0], &[2, 2]).unwrap();
+        let qt = codec.encode_tensor(&t);
+        let first = qt.preshifted();
+        let second = qt.preshifted();
+        assert!(Arc::ptr_eq(&first, &second), "cache must hit");
+        // A clone made after the first decode shares the same panel.
+        let cloned = qt.clone();
+        assert!(Arc::ptr_eq(&first, &cloned.preshifted()));
+        // Cache state never affects equality.
+        let fresh = codec.encode_tensor(&t);
+        assert_eq!(fresh, qt);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte count")]
+    fn qub_tensor_new_rejects_shape_mismatch() {
+        let fc = FcRegisters { fine: 0, coarse: 0 };
+        let _ = QubTensor::new(vec![0u8; 3], vec![2, 2], fc, 8, 0.1);
     }
 
     #[test]

@@ -128,6 +128,105 @@ impl Default for IntTensor {
     }
 }
 
+/// A dense, row-major tensor of `i16` values: the *packed panel* format of
+/// the integer GEMM pipeline.
+///
+/// QUB decode produces pre-shifted values `D · 2^{n_sh}`; with `b ≤ 8` and
+/// `n_sh ≤ 7` every such value fits an `i16` (|D·2^{n_sh}| ≤ 2^14), so a
+/// decoded operand occupies 2 bytes per element — a quarter of a
+/// `(D, n_sh)` pair — and feeds a dense multiply-accumulate kernel with no
+/// per-element shift. This mirrors the paper's decoding-unit/PE-array
+/// split: the DU output (`d = D << n_sh`) is exactly what the PE array
+/// consumes.
+///
+/// ```
+/// use quq_tensor::I16Tensor;
+/// let p = I16Tensor::from_vec(vec![-3, 0, 7], &[3])?;
+/// assert_eq!(p.data(), &[-3, 0, 7]);
+/// # Ok::<(), quq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I16Tensor {
+    shape: Vec<usize>,
+    data: Vec<i16>,
+}
+
+impl I16Tensor {
+    /// Creates a packed tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when `data.len()` does not
+    /// equal the product of `shape`.
+    pub fn from_vec(data: Vec<i16>, shape: &[usize]) -> crate::Result<Self> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a zero-filled packed tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0; len],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer (row-major).
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Consumes the tensor and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<i16> {
+        self.data
+    }
+
+    /// Widens every element to `i32`, producing an [`IntTensor`].
+    pub fn to_i32(&self) -> IntTensor {
+        IntTensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| x as i32).collect(),
+        }
+    }
+
+    /// Converts each element to `f32` after multiplying by `scale`.
+    pub fn to_f32(&self, scale: f32) -> Tensor {
+        let data = self.data.iter().map(|&x| x as f32 * scale).collect();
+        Tensor::from_vec(data, &self.shape).expect("shape preserved")
+    }
+}
+
+impl Default for I16Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
 impl std::fmt::Display for IntTensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "IntTensor{:?}(", self.shape)?;
@@ -177,5 +276,27 @@ mod tests {
     fn display_is_nonempty() {
         let q = IntTensor::zeros(&[2]);
         assert!(!format!("{q}").is_empty());
+    }
+
+    #[test]
+    fn i16_from_vec_checks_len() {
+        assert!(I16Tensor::from_vec(vec![1, 2, 3], &[3]).is_ok());
+        assert!(I16Tensor::from_vec(vec![1, 2], &[3]).is_err());
+    }
+
+    #[test]
+    fn i16_widens_and_scales() {
+        let p = I16Tensor::from_vec(vec![-2, 0, 4], &[3]).unwrap();
+        assert_eq!(p.to_i32().data(), &[-2, 0, 4]);
+        assert_eq!(p.to_f32(0.5).data(), &[-1.0, 0.0, 2.0]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.shape(), &[3]);
+    }
+
+    #[test]
+    fn i16_default_is_empty() {
+        assert!(I16Tensor::default().is_empty());
+        assert_eq!(I16Tensor::zeros(&[2, 2]).into_vec(), vec![0; 4]);
     }
 }

@@ -41,7 +41,7 @@ pub mod rng;
 pub mod stats;
 mod tensor;
 
-pub use int_tensor::IntTensor;
+pub use int_tensor::{I16Tensor, IntTensor};
 pub use tensor::{Tensor, TensorError};
 
 /// Crate-wide result alias.

@@ -240,6 +240,246 @@ pub fn int_matmul(a: &IntTensor, b: &IntTensor) -> crate::Result<IntTensor> {
     IntTensor::from_vec(out, &[m, n])
 }
 
+/// Integer matrix product over *pre-shifted packed panels*:
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` with `i64` accumulators.
+///
+/// `a` and `b` hold pre-shifted decoded QUB values (`D << n_sh`, each
+/// fitting an `i16` for b ≤ 8), so the inner loop is a dense widening
+/// multiply-accumulate with no per-element shift — the software analogue of
+/// the paper's PE array consuming decoding-unit output. The kernel is
+/// cache-blocked in [`KC`]-element panels of `k` and computes [`JB`] output
+/// columns per pass over an `A` row (four independent accumulators share
+/// one load of `A`). Output rows are partitioned disjointly across the
+/// [`crate::pool`]; integer accumulation is exact, so results are
+/// bit-identical at every thread count and blocking order.
+///
+/// Magnitude bound on packed-panel entries: `|D << n_sh| ≤ 2^7 · 2^7`
+/// for b ≤ 8 (payload fits b−1 ≤ 7 bits, `n_sh` fits 3 bits). The
+/// kernels below rely on it: any two products fit 2^29 (so `pmaddwd`
+/// pair sums are exact) and any four-product partial sum fits 2^30
+/// (so short `i32` chunks never wrap).
+pub const PANEL_BOUND: i32 = 1 << 14;
+
+/// # Preconditions
+///
+/// Every element of `a` and `b` must satisfy `|v| ≤` [`PANEL_BOUND`]
+/// (guaranteed by the QUB pre-shift decode for b ≤ 8; checked by a
+/// `debug_assert!`). Larger magnitudes can overflow the `i32` partial
+/// sums the blocked kernels use.
+///
+/// # Panics
+///
+/// Panics when `a.len() != m·k` or `b.len() != n·k`.
+pub fn i16_matmul_nt_i64(a: &[i16], b: &[i16], m: usize, k: usize, n: usize) -> Vec<i64> {
+    assert_eq!(a.len(), m * k, "lhs panel must be m·k elements");
+    assert_eq!(b.len(), n * k, "rhs panel must be n·k elements");
+    debug_assert!(
+        a.iter()
+            .chain(b.iter())
+            .all(|&v| (v as i32).abs() <= PANEL_BOUND),
+        "panel values must satisfy |v| ≤ 2^14 (the pre-shifted QUB bound)"
+    );
+    let mut out = vec![0i64; m * n];
+    if m == 0 || n == 0 {
+        return out;
+    }
+    pool::parallel_rows_mut(&mut out, n, ROW_GRAIN, |first_row, block| {
+        i16_nt_block(a, b, block, first_row, k, n);
+    });
+    out
+}
+
+/// Computes a block of output rows of the packed `A·Bᵀ` starting at
+/// `first_row`. Every path computes each product exactly and sums in
+/// exact integer arithmetic, so the scalar and SIMD kernels (and any
+/// panel/thread split) produce identical bytes.
+fn i16_nt_block(ad: &[i16], bd: &[i16], block: &mut [i64], first_row: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was verified at runtime on this line.
+        unsafe { i16_nt_block_avx2(ad, bd, block, first_row, k, n) };
+        return;
+    }
+    i16_nt_block_scalar(ad, bd, block, first_row, k, n);
+}
+
+/// Portable kernel: [`KC`]-deep panels, [`JB`]-wide column tiles, and
+/// four-product `i32` partial sums (exact under [`PANEL_BOUND`]) widened
+/// into `i64` accumulators.
+fn i16_nt_block_scalar(
+    ad: &[i16],
+    bd: &[i16],
+    block: &mut [i64],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
+    for panel_start in (0..k).step_by(KC) {
+        let panel_end = (panel_start + KC).min(k);
+        for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+            let row = first_row + r;
+            let arow = &ad[row * k + panel_start..row * k + panel_end];
+            let len = arow.len();
+            let mut j = 0;
+            while j + JB <= n {
+                let b0 = &bd[j * k + panel_start..j * k + panel_end];
+                let b1 = &bd[(j + 1) * k + panel_start..(j + 1) * k + panel_end];
+                let b2 = &bd[(j + 2) * k + panel_start..(j + 2) * k + panel_end];
+                let b3 = &bd[(j + 3) * k + panel_start..(j + 3) * k + panel_end];
+                let (mut a0, mut a1, mut a2, mut a3) = (0i64, 0i64, 0i64, 0i64);
+                let mut p = 0;
+                while p + 4 <= len {
+                    let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
+                    for q in p..p + 4 {
+                        let x = arow[q] as i32;
+                        s0 += x * b0[q] as i32;
+                        s1 += x * b1[q] as i32;
+                        s2 += x * b2[q] as i32;
+                        s3 += x * b3[q] as i32;
+                    }
+                    a0 += s0 as i64;
+                    a1 += s1 as i64;
+                    a2 += s2 as i64;
+                    a3 += s3 as i64;
+                    p += 4;
+                }
+                while p < len {
+                    let x = arow[p] as i32;
+                    a0 += (x * b0[p] as i32) as i64;
+                    a1 += (x * b1[p] as i32) as i64;
+                    a2 += (x * b2[p] as i32) as i64;
+                    a3 += (x * b3[p] as i32) as i64;
+                    p += 1;
+                }
+                orow[j] += a0;
+                orow[j + 1] += a1;
+                orow[j + 2] += a2;
+                orow[j + 3] += a3;
+                j += JB;
+            }
+            while j < n {
+                let brow = &bd[j * k + panel_start..j * k + panel_end];
+                let mut acc = 0i64;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += (x as i32 * y as i32) as i64;
+                }
+                orow[j] += acc;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Folds 16 `i16×i16` products into four `i64` lanes: `vpmaddwd` pair
+/// sums (each ≤ 2^29 under [`PANEL_BOUND`], so exact) widened and added.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn madd_fold_i64(
+    acc: std::arch::x86_64::__m256i,
+    va: std::arch::x86_64::__m256i,
+    vb: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    let prod = _mm256_madd_epi16(va, vb);
+    let lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
+    let hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1));
+    _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi))
+}
+
+/// Horizontal sum of four exact `i64` lanes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn hsum_i64(v: std::arch::x86_64::__m256i) -> i64 {
+    use std::arch::x86_64::*;
+    let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+    _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1)
+}
+
+/// AVX2 kernel: same panel/tile structure as the scalar path, consuming
+/// 16 panel elements per step. Exact under [`PANEL_BOUND`], hence
+/// bit-identical to [`i16_nt_block_scalar`].
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn i16_nt_block_avx2(
+    ad: &[i16],
+    bd: &[i16],
+    block: &mut [i64],
+    first_row: usize,
+    k: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    for panel_start in (0..k).step_by(KC) {
+        let panel_end = (panel_start + KC).min(k);
+        let plen = panel_end - panel_start;
+        for (r, orow) in block.chunks_exact_mut(n).enumerate() {
+            let row = first_row + r;
+            // SAFETY: all pointer arithmetic below stays inside `ad`
+            // (offsets < row·k + panel_end ≤ m·k) and `bd` (offsets
+            // < col·k + panel_end ≤ n·k); vector loads read 16 elements
+            // only while `p + 16 ≤ plen`.
+            let abase = ad.as_ptr().add(row * k + panel_start);
+            let zero = _mm256_setzero_si256();
+            let mut j = 0;
+            while j + JB <= n {
+                let bb0 = bd.as_ptr().add(j * k + panel_start);
+                let bb1 = bd.as_ptr().add((j + 1) * k + panel_start);
+                let bb2 = bd.as_ptr().add((j + 2) * k + panel_start);
+                let bb3 = bd.as_ptr().add((j + 3) * k + panel_start);
+                let (mut v0, mut v1, mut v2, mut v3) = (zero, zero, zero, zero);
+                let mut p = 0;
+                while p + 16 <= plen {
+                    let va = _mm256_loadu_si256(abase.add(p) as *const __m256i);
+                    v0 = madd_fold_i64(v0, va, _mm256_loadu_si256(bb0.add(p) as *const __m256i));
+                    v1 = madd_fold_i64(v1, va, _mm256_loadu_si256(bb1.add(p) as *const __m256i));
+                    v2 = madd_fold_i64(v2, va, _mm256_loadu_si256(bb2.add(p) as *const __m256i));
+                    v3 = madd_fold_i64(v3, va, _mm256_loadu_si256(bb3.add(p) as *const __m256i));
+                    p += 16;
+                }
+                let (mut a0, mut a1, mut a2, mut a3) =
+                    (hsum_i64(v0), hsum_i64(v1), hsum_i64(v2), hsum_i64(v3));
+                while p < plen {
+                    let x = *abase.add(p) as i32;
+                    a0 += (x * *bb0.add(p) as i32) as i64;
+                    a1 += (x * *bb1.add(p) as i32) as i64;
+                    a2 += (x * *bb2.add(p) as i32) as i64;
+                    a3 += (x * *bb3.add(p) as i32) as i64;
+                    p += 1;
+                }
+                orow[j] += a0;
+                orow[j + 1] += a1;
+                orow[j + 2] += a2;
+                orow[j + 3] += a3;
+                j += JB;
+            }
+            while j < n {
+                let bbase = bd.as_ptr().add(j * k + panel_start);
+                let mut v = zero;
+                let mut p = 0;
+                while p + 16 <= plen {
+                    let va = _mm256_loadu_si256(abase.add(p) as *const __m256i);
+                    let vb = _mm256_loadu_si256(bbase.add(p) as *const __m256i);
+                    v = madd_fold_i64(v, va, vb);
+                    p += 16;
+                }
+                let mut acc = hsum_i64(v);
+                while p < plen {
+                    acc += (*abase.add(p) as i32 * *bbase.add(p) as i32) as i64;
+                    p += 1;
+                }
+                orow[j] += acc;
+                j += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +584,90 @@ mod tests {
         let w = Tensor::zeros(&[4, 3]);
         let y = linear(&x, &w, None).unwrap();
         assert_eq!(y.shape(), &[2, 5, 4]);
+    }
+
+    #[test]
+    fn i16_matmul_nt_matches_naive_dot() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Sizes straddle the KC panel and JB tile boundaries.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 4), (9, 130, 7), (16, 300, 13)] {
+            let a: Vec<i16> = (0..m * k)
+                .map(|_| (standard_normal(&mut rng) * 1000.0) as i16)
+                .collect();
+            let b: Vec<i16> = (0..n * k)
+                .map(|_| (standard_normal(&mut rng) * 1000.0) as i16)
+                .collect();
+            let c = i16_matmul_nt_i64(&a, &b, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let expect: i64 = (0..k)
+                        .map(|p| a[i * k + p] as i64 * b[j * k + p] as i64)
+                        .sum();
+                    assert_eq!(c[i * n + j], expect, "({m},{k},{n}) at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i16_matmul_nt_parallel_equals_serial() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (m, k, n) = (33, 150, 21);
+        let a: Vec<i16> = (0..m * k)
+            .map(|_| (standard_normal(&mut rng) * 500.0) as i16)
+            .collect();
+        let b: Vec<i16> = (0..n * k)
+            .map(|_| (standard_normal(&mut rng) * 500.0) as i16)
+            .collect();
+        let par = i16_matmul_nt_i64(&a, &b, m, k, n);
+        let ser = pool::run_serial(|| i16_matmul_nt_i64(&a, &b, m, k, n));
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn i16_matmul_nt_empty_shapes() {
+        assert!(i16_matmul_nt_i64(&[], &[1, 2], 0, 2, 1).is_empty());
+        assert!(i16_matmul_nt_i64(&[1, 2], &[], 1, 2, 0).is_empty());
+        // k = 0: well-defined all-zero output.
+        assert_eq!(i16_matmul_nt_i64(&[], &[], 2, 0, 3), vec![0i64; 6]);
+    }
+
+    #[test]
+    fn i16_matmul_nt_extreme_values_do_not_overflow() {
+        // Saturate the panel contract: every entry at ±PANEL_BOUND with a
+        // deep reduction, so pmaddwd pair sums hit 2^29 and the scalar
+        // four-product chunks hit 2^30 — the worst cases both kernels
+        // must survive exactly.
+        let k = 4096;
+        let hi = PANEL_BOUND as i16;
+        let a = vec![-hi; k];
+        let b = vec![-hi; k];
+        let c = i16_matmul_nt_i64(&a, &b, 1, k, 1);
+        assert_eq!(c[0], (hi as i64 * hi as i64) * k as i64);
+        let mixed: Vec<i16> = (0..k).map(|i| if i % 2 == 0 { hi } else { -hi }).collect();
+        let c2 = i16_matmul_nt_i64(&mixed, &b, 1, k, 1);
+        assert_eq!(c2[0], 0);
+    }
+
+    #[test]
+    fn i16_nt_block_scalar_and_dispatch_agree() {
+        // On AVX2 hosts the public entry dispatches to the SIMD kernel;
+        // its bytes must match the portable scalar path exactly, tail
+        // lanes (k not a multiple of 16, n not a multiple of JB) included.
+        let mut rng = StdRng::seed_from_u64(9);
+        for (m, k, n) in [(1, 1, 1), (3, 17, 5), (4, 129, 9), (7, 200, 13)] {
+            let sample = |len: usize, rng: &mut StdRng| -> Vec<i16> {
+                (0..len)
+                    .map(|_| (standard_normal(rng) * 8000.0).clamp(-16384.0, 16384.0) as i16)
+                    .collect()
+            };
+            let a = sample(m * k, &mut rng);
+            let b = sample(n * k, &mut rng);
+            let got = i16_matmul_nt_i64(&a, &b, m, k, n);
+            let mut want = vec![0i64; m * n];
+            i16_nt_block_scalar(&a, &b, &mut want, 0, k, n);
+            assert_eq!(got, want, "dispatch diverged at {m}x{k}x{n}");
+        }
     }
 
     #[test]

@@ -234,6 +234,74 @@ pub trait Backend {
     }
 }
 
+/// Wraps any backend and accumulates wall-clock time spent in its GEMM
+/// operations (`linear`, `matmul`, `matmul_nt`) into a shared counter.
+///
+/// The counter is an [`AtomicU64`] of nanoseconds so one counter can be
+/// shared across the per-worker backends of
+/// [`crate::evaluate_parallel`] — each worker wraps its own inner backend
+/// but adds into the same total. Non-GEMM operations pass through
+/// untimed. Used by the throughput benchmark to report a per-backend
+/// GEMM-time breakdown.
+#[derive(Debug)]
+pub struct GemmTimed<B> {
+    inner: B,
+    gemm_nanos: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<B: Backend> GemmTimed<B> {
+    /// Wraps `inner`, accumulating GEMM time into `gemm_nanos`.
+    pub fn new(inner: B, gemm_nanos: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
+        Self { inner, gemm_nanos }
+    }
+
+    fn timed<T>(&mut self, f: impl FnOnce(&mut B) -> T) -> T {
+        let t0 = std::time::Instant::now();
+        let out = f(&mut self.inner);
+        self.gemm_nanos.fetch_add(
+            t0.elapsed().as_nanos() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        out
+    }
+}
+
+impl<B: Backend> Backend for GemmTimed<B> {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        self.timed(|inner| inner.linear(site, x, w, b))
+    }
+
+    fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.timed(|inner| inner.matmul(site, a, b))
+    }
+
+    fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.timed(|inner| inner.matmul_nt(site, a, b))
+    }
+
+    fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        self.inner.softmax(site, x)
+    }
+
+    fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        self.inner.gelu(site, x)
+    }
+
+    fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.inner.layer_norm(site, x, g, b)
+    }
+
+    fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        self.inner.add(site, a, b)
+    }
+}
+
 /// Exact `f32` execution: every method is the trait default.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Fp32Backend;
@@ -260,6 +328,27 @@ mod tests {
             .linear(OpSite::global(OpKind::Head), &x, &w, None)
             .unwrap();
         assert_eq!(y.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gemm_timed_is_transparent_and_counts_gemm_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let nanos = Arc::new(AtomicU64::new(0));
+        let mut timed = GemmTimed::new(Fp32Backend::new(), Arc::clone(&nanos));
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let site = OpSite::global(OpKind::Head);
+        let y = timed.linear(site, &x, &w, None).unwrap();
+        let mut plain = Fp32Backend::new();
+        assert_eq!(y.data(), plain.linear(site, &x, &w, None).unwrap().data());
+        let after_linear = nanos.load(Ordering::Relaxed);
+        assert!(after_linear > 0, "linear must be timed");
+        // Non-GEMM ops pass through untimed.
+        let _ = timed.gelu(site, &x).unwrap();
+        assert_eq!(nanos.load(Ordering::Relaxed), after_linear);
+        let _ = timed.matmul_nt(site, &x, &w).unwrap();
+        assert!(nanos.load(Ordering::Relaxed) > after_linear);
     }
 
     #[test]

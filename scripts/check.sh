@@ -16,4 +16,15 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> tier-2: packed-kernel proptests under a 4-worker pool"
+QUQ_THREADS=4 cargo test -q -p quq-core --test proptests
+
+echo "==> tier-2: throughput smoke (quick config, determinism gate)"
+smoke_out=target/bench_smoke.json
+QUQ_QUICK=1 QUQ_BENCH_OUT="$smoke_out" cargo run --release -q -p quq-bench --bin throughput
+grep -q '"bit_identical_serial_parallel": true' "$smoke_out" || {
+    echo "throughput smoke lost serial/parallel bit-identity" >&2
+    exit 1
+}
+
 echo "All checks passed."
