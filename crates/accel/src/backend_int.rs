@@ -21,7 +21,7 @@ use quq_core::scheme::QuqParams;
 use quq_tensor::{linalg, IntTensor, Tensor};
 use quq_vit::backend::{Backend, BackendError, OpSite, Result};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Shared per-site cache of QUB-encoded weights.
 ///
@@ -43,9 +43,15 @@ impl WeightQubCache {
         Self::default()
     }
 
+    /// Recovers the cache lock even if a panicking thread poisoned it: every
+    /// map entry is inserted fully formed, so the cache is always consistent.
+    fn entries(&self) -> MutexGuard<'_, BTreeMap<OpSite, Arc<QubTensor>>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Number of weight sites encoded so far.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.entries().len()
     }
 
     /// Whether no site has been encoded yet.
@@ -57,12 +63,17 @@ impl WeightQubCache {
     /// the packed panel) on first use. The lock is held across the encode
     /// so concurrent workers never duplicate the work.
     fn get_or_encode(&self, site: OpSite, params: QuqParams, w: &Tensor) -> Arc<QubTensor> {
-        let mut entries = self.entries.lock().expect("cache lock");
-        Arc::clone(entries.entry(site).or_insert_with(|| {
-            let qw = QubCodec::new(params).encode_tensor(w);
-            qw.preshifted();
-            Arc::new(qw)
-        }))
+        let mut entries = self.entries();
+        if let Some(hit) = entries.get(&site) {
+            quq_obs::add("cache.weight_qub.hit", 1);
+            return Arc::clone(hit);
+        }
+        quq_obs::add("cache.weight_qub.miss", 1);
+        let qw = QubCodec::new(params).encode_tensor(w);
+        qw.preshifted();
+        let qw = Arc::new(qw);
+        entries.insert(site, Arc::clone(&qw));
+        qw
     }
 }
 

@@ -81,6 +81,44 @@ pub fn i_sqrt(n: i64) -> i64 {
     }
 }
 
+/// `⌊√n⌋` over the full `u128` range (LayerNorm's exact squared-deviation
+/// sums exceed `i64` for large codes × wide rows).
+fn isqrt_u128(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = 1u128 << ((128 - n.leading_zeros()) / 2 + 1);
+    loop {
+        let next = (x + n / x) / 2;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Round-to-nearest integer square root: the `r` minimizing `|r² − n|`.
+fn isqrt_round_u128(n: u128) -> u128 {
+    let r = isqrt_u128(n);
+    // (r+1)² − n < n − r²  ⟺  n > r² + r.
+    if n - r * r > r {
+        r + 1
+    } else {
+        r
+    }
+}
+
+/// Signed round-to-nearest division (ties away from zero); `den` must be
+/// positive.
+fn div_round(num: i128, den: i128) -> i128 {
+    debug_assert!(den > 0);
+    if num >= 0 {
+        (num + den / 2) / den
+    } else {
+        -((-num + den / 2) / den)
+    }
+}
+
 /// Integer softmax over the last axis of a `[rows, cols]` tensor of values
 /// `q·scale`.
 ///
@@ -91,6 +129,7 @@ pub fn i_sqrt(n: i64) -> i64 {
 ///
 /// Panics when the tensor is not rank 2.
 pub fn i_softmax(x: &IntTensor, scale: f32) -> IntTensor {
+    let _span = quq_obs::span("sfu.softmax");
     assert_eq!(x.rank(), 2, "i_softmax expects a matrix");
     let cols = x.shape()[1];
     // Scale multiplier to fixed point, computed once (hardware: M/2^N).
@@ -132,6 +171,7 @@ pub fn i_sigmoid(z_fx: i64) -> i64 {
 /// Integer GELU via the sigmoid approximation `x · σ(1.702 x)` (the
 /// ShiftGELU of I-ViT). Input/output share the scale `S`.
 pub fn i_gelu(x: &IntTensor, scale: f32) -> IntTensor {
+    let _span = quq_obs::span("sfu.gelu");
     let s_fx = (scale as f64 * 1.702 * ONE as f64).round() as i64;
     let data = x
         .data()
@@ -153,10 +193,19 @@ pub fn i_gelu(x: &IntTensor, scale: f32) -> IntTensor {
 /// SFU holds as fixed-point constants. The output is returned at a fixed
 /// output scale `out_scale` chosen by the caller (`y_q = y / out_scale`).
 ///
+/// The per-row statistics are exact: with `d = v·n − Σv` (the deviation
+/// times `n`), the squared-deviation sum `Σd²` is accumulated in 128-bit
+/// integers and `n·std = √(Σd²/n)` is extracted with round-to-nearest
+/// division and square root. An earlier version accumulated `(d/n)²` with
+/// truncating division — biasing the std low for small-magnitude rows
+/// (codes within `±n` of the mean contribute *zero*) — and could overflow
+/// `i64` for large codes × wide rows.
+///
 /// # Panics
 ///
 /// Panics when shapes disagree.
 pub fn i_layer_norm(x: &IntTensor, gamma: &Tensor, beta: &Tensor, out_scale: f32) -> IntTensor {
+    let _span = quq_obs::span("sfu.layer_norm");
     let cols = *x.shape().last().expect("rank >= 1");
     assert_eq!(gamma.len(), cols, "gamma length mismatch");
     assert_eq!(beta.len(), cols, "beta length mismatch");
@@ -174,23 +223,30 @@ pub fn i_layer_norm(x: &IntTensor, gamma: &Tensor, beta: &Tensor, out_scale: f32
     let mut out = vec![0i32; x.len()];
     for (r, row) in x.data().chunks(cols).enumerate() {
         // Integer mean and variance of the raw codes (scale cancels in the
-        // normalized value).
-        let n = cols as i64;
-        let sum: i64 = row.iter().map(|&v| v as i64).sum();
-        let mean_num = sum; // mean = sum / n
-        let mut var_num: i64 = 0;
-        for &v in row {
-            let d = v as i64 * n - mean_num; // (v - mean)·n
-            var_num += (d / n) * (d / n);
-        }
-        // std of codes ≈ sqrt(var_num / n), in integer domain.
-        let std_codes = i_sqrt(var_num / n).max(1);
+        // normalized value). All deviations are carried scaled by n, so no
+        // truncating division happens before the final normalization:
+        // d = v·n − Σv = (v − mean)·n exactly.
+        let n = cols as i128;
+        let sum: i128 = row.iter().map(|&v| v as i128).sum();
+        // Σd² ≤ n·(2·2³¹·n)²: exact in u128 for any realistic row width
+        // (safe through n ≤ 2²⁰ even at extreme i32 codes).
+        let sum_d2: u128 = row
+            .iter()
+            .map(|&v| {
+                let d = v as i128 * n - sum;
+                (d * d) as u128
+            })
+            .sum();
+        // n·std = √(Σd²/n), round-to-nearest at both steps; the n× scaling
+        // keeps integer-sqrt granularity error at the 1/n level instead of
+        // one whole code.
+        let std_n = isqrt_round_u128((sum_d2 + (n as u128) / 2) / n as u128).max(1) as i128;
         for (c, &v) in row.iter().enumerate() {
-            let centered = v as i64 * n - mean_num; // (v − mean)·n
-                                                    // normalized = centered / (n·std); to fixed point:
-            let norm_fx = (centered << FRAC_BITS) / (n * std_codes);
-            let y_fx = ((g_fx[c] * norm_fx) >> FRAC_BITS) + b_fx[c];
-            out[r * cols + c] = (y_fx >> FRAC_BITS) as i32;
+            let centered = v as i128 * n - sum; // (v − mean)·n
+                                                // normalized = centered / (n·std); to fixed point:
+            let norm_fx = div_round(centered << FRAC_BITS, std_n);
+            let y_fx = div_round(g_fx[c] as i128 * norm_fx, ONE as i128) + b_fx[c] as i128;
+            out[r * cols + c] = div_round(y_fx, ONE as i128) as i32;
         }
     }
     IntTensor::from_vec(out, x.shape()).expect("sized")
@@ -308,6 +364,73 @@ mod tests {
         for (g, w) in got.data().iter().zip(want.data()) {
             assert!((g - w).abs() < 0.1 + 0.05 * w.abs(), "{g} vs {w}");
         }
+    }
+
+    /// Small-magnitude rows: with codes within ±n of the mean, the old
+    /// truncating `(d/n)²` accumulation computed a *zero* variance (every
+    /// per-element term floored to 0), so the std clamped to 1 instead of
+    /// the true 0.5 here and every normalized value came out 2× too small.
+    #[test]
+    fn i_layer_norm_small_magnitude_rows_are_not_biased() {
+        let out_scale = 0.02f32;
+        let cols = 16;
+        // Alternating 0/1 codes: mean 0.5, std exactly 0.5.
+        let codes: Vec<i32> = (0..cols as i32).map(|i| i % 2).collect();
+        let x = IntTensor::from_vec(codes, &[1, cols]).unwrap();
+        let gamma = Tensor::from_vec(vec![1.0; cols], &[cols]).unwrap();
+        let beta = Tensor::from_vec(vec![0.0; cols], &[cols]).unwrap();
+        let got = i_layer_norm(&x, &gamma, &beta, out_scale).to_f32(out_scale);
+        // True normalized values are ±1 (up to the float-LayerNorm eps).
+        let want = nn::layer_norm(&x.to_f32(0.01), &gamma, &beta, 1e-6).unwrap();
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 0.1, "{g} vs {w}");
+        }
+    }
+
+    /// Large codes × wide rows: the old `i64` accumulation of `(d/n)²`
+    /// overflowed (4096 terms of ~2⁶⁰ each), panicking in debug builds and
+    /// wrapping silently in release. The exact path must normalize such
+    /// rows correctly.
+    #[test]
+    fn i_layer_norm_extreme_codes_do_not_overflow() {
+        let out_scale = 0.05f32;
+        let cols = 4096;
+        let big = 1i32 << 30;
+        let codes: Vec<i32> = (0..cols as i32)
+            .map(|i| if i % 2 == 0 { big } else { -big })
+            .collect();
+        let x = IntTensor::from_vec(codes, &[1, cols]).unwrap();
+        let gamma = Tensor::from_vec(vec![1.5; cols], &[cols]).unwrap();
+        let beta = Tensor::from_vec(vec![0.25; cols], &[cols]).unwrap();
+        let got = i_layer_norm(&x, &gamma, &beta, out_scale).to_f32(out_scale);
+        // Normalized values are exactly ±1 → y = ±1.5 + 0.25.
+        for (i, g) in got.data().iter().enumerate() {
+            let want = if i % 2 == 0 { 1.75 } else { -1.25 };
+            assert!((g - want).abs() < 0.1, "col {i}: {g} vs {want}");
+        }
+    }
+
+    #[test]
+    fn isqrt_round_minimizes_error() {
+        for n in [
+            0u128, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 24, 25, 30, 31, 99, 10_000_000,
+        ] {
+            let r = isqrt_round_u128(n);
+            let down = r.saturating_sub(1);
+            let up = r + 1;
+            let err = |x: u128| (x * x).abs_diff(n);
+            assert!(err(r) <= err(down) && err(r) <= err(up), "sqrt({n}) = {r}");
+        }
+    }
+
+    #[test]
+    fn div_round_rounds_to_nearest_both_signs() {
+        assert_eq!(div_round(7, 2), 4);
+        assert_eq!(div_round(-7, 2), -4);
+        assert_eq!(div_round(6, 4), 2);
+        assert_eq!(div_round(-6, 4), -2);
+        assert_eq!(div_round(5, 4), 1);
+        assert_eq!(div_round(-5, 4), -1);
     }
 
     #[test]

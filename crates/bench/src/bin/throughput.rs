@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p quq-bench --bin throughput
+//! cargo run --release -p quq-bench --bin throughput -- --metrics
 //! QUQ_QUICK=1 cargo run --release -p quq-bench --bin throughput
 //! QUQ_BENCH_OUT=/tmp/t.json cargo run --release -p quq-bench --bin throughput
 //! ```
@@ -16,11 +17,17 @@
 //! * asserts **bit-identical logits** between parallel and serial
 //!   execution for every measured backend (the pool's determinism
 //!   guarantee) — the run fails hard otherwise;
-//! * measures three backends, reporting wall-clock and the time spent in
-//!   GEMM operations (via [`quq_vit::GemmTimed`]): `fp32` (exact),
-//!   `quq-fakequant` (the functional PTQ model), and `quq` (the integer
-//!   deployment path: QUB operands, pre-shifted packed panels, shared
-//!   weight-decode cache);
+//! * asserts **bit-identical logits** with the `quq-obs` recorder on
+//!   versus off (observability must never perturb the computation);
+//! * measures three backends with the recorder enabled, wrapping each in
+//!   [`quq_vit::Observed`] so per-site spans and the GEMM/cache/pool
+//!   counters accumulate: `fp32` (exact), `quq-fakequant` (the functional
+//!   PTQ model), and `quq` (the integer deployment path: QUB operands,
+//!   pre-shifted packed panels, shared weight-decode cache). GEMM time is
+//!   the summed `op.linear`/`op.matmul`/`op.matmul_nt` span time from the
+//!   best repeat's snapshot delta;
+//! * with `--metrics` (or `QUQ_METRICS=1`), embeds that snapshot delta as
+//!   a per-layer/per-op breakdown under each backend's `"metrics"` key;
 //! * times the packed integer GEMM ([`quq_core::matmul_nt_qub`]) against
 //!   the pre-panel reference ([`quq_core::matmul_nt_qub_reference`]) on a
 //!   ViT-sized shape at the child's thread count, verifying exact
@@ -30,14 +37,14 @@ use quq_accel::{IntegerBackend, WeightQubCache};
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::quantizer::QuqMethod;
 use quq_core::{matmul_nt_qub, matmul_nt_qub_reference, Pra, QubCodec};
+use quq_obs::Snapshot;
 use quq_tensor::rng::OutlierMixture;
 use quq_tensor::{pool, Tensor};
 use quq_vit::{
-    evaluate_parallel, Backend, Dataset, Fp32Backend, GemmTimed, ModelConfig, ModelId, VitModel,
+    evaluate_parallel, Backend, Dataset, Fp32Backend, ModelConfig, ModelId, Observed, VitModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,45 +54,87 @@ fn quick() -> bool {
         .unwrap_or(false)
 }
 
+/// Whether the per-layer metrics breakdown is embedded in the JSON. The
+/// recorder itself is always enabled during measurement (so `gemm_seconds`
+/// is available either way); the flag only controls report size.
+fn metrics_enabled() -> bool {
+    std::env::var("QUQ_METRICS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--metrics")
+}
+
 struct Measurement {
     backend: &'static str,
     seconds: f64,
     images_per_sec: f64,
     gemm_seconds: f64,
+    /// Metrics delta over the best repeat.
+    delta: Snapshot,
 }
 
-/// Times `repeats` runs of an evaluation and keeps the fastest, reading
-/// the GEMM counter across each run.
+/// Summed GEMM span time (seconds) in a metrics window: every `linear`,
+/// `matmul`, and `matmul_nt` dispatched through the [`Observed`] wrapper.
+fn gemm_seconds(delta: &Snapshot) -> f64 {
+    let nanos =
+        delta.hist_sum("op.linear") + delta.hist_sum("op.matmul") + delta.hist_sum("op.matmul_nt");
+    nanos as f64 * 1e-9
+}
+
+/// Times `repeats` runs of an evaluation and keeps the fastest, capturing
+/// the `quq-obs` snapshot delta across each run.
 fn measure<B: Backend, F: Fn() -> B + Sync>(
     backend: &'static str,
     model: &VitModel,
     eval: &Dataset,
     repeats: usize,
-    gemm_nanos: &Arc<AtomicU64>,
     factory: F,
 ) -> Measurement {
-    let mut best: Option<(f64, f64)> = None;
+    let mut best: Option<(f64, Snapshot)> = None;
     for _ in 0..repeats {
-        let before = gemm_nanos.load(Ordering::Relaxed);
+        let before = quq_obs::snapshot();
         let t0 = Instant::now();
         evaluate_parallel(model, &factory, eval).expect("evaluate");
         let seconds = t0.elapsed().as_secs_f64();
-        let gemm = (gemm_nanos.load(Ordering::Relaxed) - before) as f64 * 1e-9;
-        if best.is_none_or(|(s, _)| seconds < s) {
-            best = Some((seconds, gemm));
+        let delta = quq_obs::snapshot().delta_since(&before);
+        if best.as_ref().is_none_or(|(s, _)| seconds < *s) {
+            best = Some((seconds, delta));
         }
     }
-    let (seconds, gemm_seconds) = best.expect("at least one run");
+    let (seconds, delta) = best.expect("at least one run");
     let images_per_sec = eval.len() as f64 / seconds;
-    println!(
-        "{backend:>13} {seconds:7.3}s  {images_per_sec:8.2} images/sec  (gemm {gemm_seconds:6.3}s)"
-    );
+    let gemm = gemm_seconds(&delta);
+    println!("{backend:>13} {seconds:7.3}s  {images_per_sec:8.2} images/sec  (gemm {gemm:6.3}s)");
     Measurement {
         backend,
         seconds,
         images_per_sec,
-        gemm_seconds,
+        gemm_seconds: gemm,
+        delta,
     }
+}
+
+/// Checks that the per-op span breakdown covers the whole model: every
+/// backend op under some site, every block index, and the global sites.
+fn sites_complete(delta: &Snapshot, depth: usize) -> bool {
+    let op_names = [
+        "op.linear",
+        "op.matmul",
+        "op.matmul_nt",
+        "op.softmax",
+        "op.gelu",
+        "op.layer_norm",
+        "op.add",
+    ];
+    let all: Vec<String> = op_names.iter().flat_map(|n| delta.hist_sites(n)).collect();
+    op_names.iter().all(|n| !delta.hist_sites(n).is_empty())
+        && (0..depth).all(|b| {
+            let prefix = format!("block{b}.");
+            all.iter().any(|s| s.starts_with(&prefix))
+        })
+        && ["PatchEmbed", "FinalNorm", "Head"]
+            .iter()
+            .all(|g| all.iter().any(|s| s == g))
 }
 
 /// Packed-vs-reference integer GEMM microbenchmark at the current thread
@@ -160,6 +209,7 @@ fn run_child(out_path: &str) {
     println!("-- child: {threads} pool thread(s), {images} images --");
     let (model, eval, tables) = setup(images);
     let weight_cache = Arc::new(WeightQubCache::new());
+    let mk_int = || IntegerBackend::with_cache(&tables, Arc::clone(&weight_cache));
 
     // Determinism gate (also warms the shared weight cache): parallel
     // logits must equal the serial reference bit-for-bit per backend.
@@ -185,7 +235,6 @@ fn run_child(out_path: &str) {
             fq_ser.data(),
             "fake-quant parallel/serial logits diverged"
         );
-        let mk_int = || IntegerBackend::with_cache(&tables, Arc::clone(&weight_cache));
         let int_par = model.forward(img, &mut mk_int()).expect("forward");
         let int_ser = pool::run_serial(|| model.forward(img, &mut mk_int()).expect("forward"));
         assert_eq!(
@@ -196,32 +245,78 @@ fn run_child(out_path: &str) {
     }
     println!("bit-identical parallel/serial logits: verified");
 
-    let gemm_nanos = Arc::new(AtomicU64::new(0));
+    // Observability gate: enabling the recorder must not change a single
+    // bit of any backend's logits (spans and counters are read-only taps).
+    for img in eval.images.iter().take(2) {
+        quq_obs::set_enabled(false);
+        let fp_off = model
+            .forward(img, &mut Observed::new(Fp32Backend::new()))
+            .expect("forward");
+        let fq_off = model
+            .forward(img, &mut Observed::new(tables.backend()))
+            .expect("forward");
+        let int_off = model
+            .forward(img, &mut Observed::new(mk_int()))
+            .expect("forward");
+        quq_obs::set_enabled(true);
+        let fp_on = model
+            .forward(img, &mut Observed::new(Fp32Backend::new()))
+            .expect("forward");
+        let fq_on = model
+            .forward(img, &mut Observed::new(tables.backend()))
+            .expect("forward");
+        let int_on = model
+            .forward(img, &mut Observed::new(mk_int()))
+            .expect("forward");
+        assert_eq!(
+            fp_off.data(),
+            fp_on.data(),
+            "FP32 logits changed with metrics on"
+        );
+        assert_eq!(
+            fq_off.data(),
+            fq_on.data(),
+            "fake-quant logits changed with metrics on"
+        );
+        assert_eq!(
+            int_off.data(),
+            int_on.data(),
+            "integer logits changed with metrics on"
+        );
+    }
+    println!("bit-identical logits with metrics on/off: verified");
+
+    // Measure with the recorder enabled: spans feed `gemm_seconds` and the
+    // optional per-layer breakdown.
+    quq_obs::set_enabled(true);
     let results = [
-        measure("fp32", &model, &eval, repeats, &gemm_nanos, || {
-            GemmTimed::new(Fp32Backend::new(), Arc::clone(&gemm_nanos))
+        measure("fp32", &model, &eval, repeats, || {
+            Observed::new(Fp32Backend::new())
         }),
-        measure("quq-fakequant", &model, &eval, repeats, &gemm_nanos, || {
-            GemmTimed::new(tables.backend(), Arc::clone(&gemm_nanos))
+        measure("quq-fakequant", &model, &eval, repeats, || {
+            Observed::new(tables.backend())
         }),
-        measure("quq", &model, &eval, repeats, &gemm_nanos, || {
-            GemmTimed::new(
-                IntegerBackend::with_cache(&tables, Arc::clone(&weight_cache)),
-                Arc::clone(&gemm_nanos),
-            )
-        }),
+        measure("quq", &model, &eval, repeats, || Observed::new(mk_int())),
     ];
+    let depth = model.config().total_depth();
+    let complete = results.iter().all(|m| sites_complete(&m.delta, depth));
+    assert!(complete, "per-op metrics breakdown is missing sites");
     let int_gemm = int_gemm_microbench();
 
+    let embed_metrics = metrics_enabled();
     let mut json = format!(
-        "{{\"threads\": {threads}, \"bit_identical_serial_parallel\": true, \"int_gemm\": {int_gemm}, \"backends\": ["
+        "{{\"threads\": {threads}, \"bit_identical_serial_parallel\": true, \"bit_identical_metrics_on_off\": true, \"metrics_sites_complete\": {complete}, \"int_gemm\": {int_gemm}, \"backends\": ["
     );
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { ", " } else { "" };
         json.push_str(&format!(
-            "{{\"backend\": \"{}\", \"seconds\": {:.4}, \"images_per_sec\": {:.3}, \"gemm_seconds\": {:.4}}}{comma}",
+            "{{\"backend\": \"{}\", \"seconds\": {:.4}, \"images_per_sec\": {:.3}, \"gemm_seconds\": {:.4}",
             m.backend, m.seconds, m.images_per_sec, m.gemm_seconds
         ));
+        if embed_metrics {
+            json.push_str(&format!(", \"metrics\": {}", m.delta.to_json()));
+        }
+        json.push_str(&format!("}}{comma}"));
     }
     json.push_str("]}");
     std::fs::write(out_path, &json).expect("write sweep fragment");
@@ -260,7 +355,10 @@ fn run_parent() {
     sweep.dedup();
     let model_name = if quick() { "test" } else { "ViT-S" };
     let images = if quick() { 8 } else { 32 };
-    println!("model: {model_name} | images: {images} | host cores: {host} | sweep: {sweep:?}");
+    let metrics = metrics_enabled();
+    println!(
+        "model: {model_name} | images: {images} | host cores: {host} | sweep: {sweep:?} | metrics: {metrics}"
+    );
 
     let exe = std::env::current_exe().expect("current exe");
     let mut fragments: Vec<String> = Vec::new();
@@ -269,6 +367,7 @@ fn run_parent() {
         let status = std::process::Command::new(&exe)
             .env("QUQ_THREADS", threads.to_string())
             .env("QUQ_SWEEP_OUT", &out)
+            .env("QUQ_METRICS", if metrics { "1" } else { "0" })
             .status()
             .expect("spawn sweep child");
         assert!(
@@ -277,6 +376,16 @@ fn run_parent() {
         );
         fragments.push(std::fs::read_to_string(&out).expect("read sweep fragment"));
         let _ = std::fs::remove_file(&out);
+    }
+    for frag in &fragments {
+        assert!(
+            frag.contains("\"bit_identical_metrics_on_off\": true"),
+            "child lost metrics on/off bit-identity"
+        );
+        assert!(
+            frag.contains("\"metrics_sites_complete\": true"),
+            "child metrics breakdown is missing sites"
+        );
     }
 
     let rate_at = |idx: usize, backend: &str| backend_rate(&fragments[idx], backend);
@@ -303,6 +412,9 @@ fn run_parent() {
             .join(", ")
     ));
     json.push_str("  \"bit_identical_serial_parallel\": true,\n");
+    json.push_str("  \"bit_identical_metrics_on_off\": true,\n");
+    json.push_str("  \"metrics_sites_complete\": true,\n");
+    json.push_str(&format!("  \"metrics_embedded\": {metrics},\n"));
     json.push_str(&format!(
         "  \"int_gemm_speedup_packed_vs_reference\": {int_gemm_speedup:.3},\n"
     ));

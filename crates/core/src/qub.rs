@@ -190,6 +190,7 @@ impl QubCodec {
 
     /// Encodes a whole tensor to QUB bytes (row-major, one byte per value).
     pub fn encode_tensor(&self, t: &Tensor) -> QubTensor {
+        let _span = quq_obs::span("qub.encode");
         QubTensor::new(
             t.data().iter().map(|&x| self.quantize(x)).collect(),
             t.shape().to_vec(),
@@ -237,6 +238,7 @@ pub fn decode_qub(qub: u8, fc: FcRegisters, bits: u32) -> Decoded {
 /// Panics when any pre-shifted value exceeds the `i16` range, which Eq. 4
 /// rules out for b ≤ 8 (see [`Decoded::scaled`]).
 pub fn preshift_lut(fc: FcRegisters, bits: u32) -> Vec<i16> {
+    quq_obs::add("qub.lut_builds", 1);
     (0..1u32 << bits)
         .map(|q| {
             let v = decode_qub(q as u8, fc, bits).scaled();
@@ -346,6 +348,7 @@ impl QubTensor {
     /// as `i16` (2 bytes/element, no shift left for the inner loop). Decode
     /// goes through [`preshift_lut`], one table index per element.
     pub fn decode_preshifted(&self) -> I16Tensor {
+        let _span = quq_obs::span("qub.decode_preshifted");
         let lut = preshift_lut(self.fc, self.bits);
         let data = self.bytes.iter().map(|&b| lut[b as usize]).collect();
         I16Tensor::from_vec(data, &self.shape).expect("sized")

@@ -94,11 +94,24 @@ impl Pra {
 
     /// Fits QUQ parameters to a calibration sample.
     ///
-    /// Degenerate inputs (empty or all-zero) yield the uniform special case
-    /// with `Δ = 1`.
+    /// Non-finite samples are excluded before fitting: a single NaN or ±∞
+    /// activation would otherwise poison the max/quantile statistics (±∞
+    /// drove [`relax`] into its finiteness assert, aborting whole-model
+    /// calibration). Degenerate inputs (empty, all-zero, or all-non-finite)
+    /// yield the uniform special case with `Δ = 1`.
     pub fn run(&self, values: &[f32]) -> PraOutcome {
-        let neg: Vec<f32> = values.iter().filter(|&&v| v < 0.0).map(|&v| -v).collect();
-        let pos: Vec<f32> = values.iter().filter(|&&v| v > 0.0).copied().collect();
+        let neg: Vec<f32> = values
+            .iter()
+            .filter(|v| v.is_finite())
+            .filter(|&&v| v < 0.0)
+            .map(|&v| -v)
+            .collect();
+        let pos: Vec<f32> = values
+            .iter()
+            .filter(|v| v.is_finite())
+            .filter(|&&v| v > 0.0)
+            .copied()
+            .collect();
         if neg.is_empty() && pos.is_empty() {
             return PraOutcome {
                 params: QuqParams::uniform(self.bits, 1.0).expect("valid uniform"),
@@ -395,6 +408,26 @@ mod tests {
         let pra = Pra::with_defaults(8);
         assert_eq!(pra.run(&[]).params.mode(), Mode::D);
         assert_eq!(pra.run(&[0.0, 0.0, 0.0]).params.mode(), Mode::D);
+    }
+
+    /// A NaN/∞-poisoned calibration set must fit exactly as if the poison
+    /// were absent: pre-fix, an ∞ sample flowed into `max` and panicked
+    /// `relax`'s finiteness assert, and NaNs corrupted the quantile sweep.
+    #[test]
+    fn nan_poisoned_calibration_fits_like_clean_data() {
+        let clean = long_tailed_sample(8, 20_000);
+        let mut poisoned = clean.clone();
+        poisoned.insert(0, f32::NAN);
+        poisoned.insert(poisoned.len() / 2, f32::INFINITY);
+        poisoned.push(f32::NEG_INFINITY);
+        for bits in [4u32, 8] {
+            let a = Pra::with_defaults(bits).run(&clean);
+            let b = Pra::with_defaults(bits).run(&poisoned);
+            assert_eq!(a, b, "bits {bits}: poison changed the fit");
+        }
+        // All-non-finite degenerates gracefully instead of panicking.
+        let junk = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        assert_eq!(Pra::with_defaults(8).run(&junk).params.mode(), Mode::D);
     }
 
     #[test]

@@ -459,6 +459,11 @@ impl QuqParams {
 
     /// Every distinct representable value, sorted ascending — the
     /// "quantization points" drawn as vertical lines in the paper's Fig. 3/4.
+    ///
+    /// Non-finite points (possible only if a scale was corrupted after
+    /// validation, e.g. by NaN-poisoned calibration feeding a raw
+    /// constructor) are skipped rather than panicking the sort: one bad
+    /// tensor must not abort whole-model calibration.
     pub fn quantization_points(&self) -> Vec<f32> {
         let p = self.payload_bits();
         let mut pts = Vec::new();
@@ -474,7 +479,8 @@ impl QuqParams {
                 }
             }
         }
-        pts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        pts.retain(|v| v.is_finite());
+        pts.sort_by(f32::total_cmp);
         pts.dedup();
         pts
     }
@@ -707,6 +713,31 @@ mod tests {
             assert!(w[0] < w[1]);
         }
         assert!(pts.contains(&0.0));
+    }
+
+    /// NaN-corrupted scales (reachable when NaN-poisoned calibration data
+    /// bypasses validation) must not panic the point sort: pre-fix the
+    /// `partial_cmp(..).expect("finite")` comparator aborted, taking the
+    /// whole calibration run with it. The valid space's points survive.
+    #[test]
+    fn quantization_points_skip_non_finite_scales() {
+        let poisoned = QuqParams {
+            bits: 6,
+            fine: SpaceLayout::Split {
+                neg: f32::NAN,
+                pos: 0.02,
+            },
+            coarse: SpaceLayout::Split {
+                neg: 0.16,
+                pos: f32::INFINITY,
+            },
+        };
+        let pts = poisoned.quantization_points();
+        assert!(!pts.is_empty());
+        assert!(pts.iter().all(|v| v.is_finite()));
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
             rhs_rows: k2,
         });
     }
+    let _span = quq_obs::span("gemm.matmul");
+    record_gemm_work(m, k, n, 4, 4);
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -64,6 +66,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
         });
     }
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Reports one GEMM's arithmetic intensity on the global recorder:
+/// `gemm.macs` counts `m·k·n` multiply-accumulates, `gemm.bytes` the
+/// compulsory operand + output traffic (each matrix touched once).
+#[inline]
+fn record_gemm_work(m: usize, k: usize, n: usize, in_bytes: usize, out_bytes: usize) {
+    if quq_obs::enabled() {
+        quq_obs::add("gemm.macs", (m * k * n) as u64);
+        quq_obs::add(
+            "gemm.bytes",
+            ((m * k + k * n) * in_bytes + m * n * out_bytes) as u64,
+        );
+    }
 }
 
 /// Computes a block of output rows of `A·B` starting at `first_row`.
@@ -108,6 +124,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> crate::Result<Tensor> {
             rhs_rows: k2,
         });
     }
+    let _span = quq_obs::span("gemm.matmul_nt");
+    record_gemm_work(m, k, n, 4, 4);
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -217,6 +235,8 @@ pub fn int_matmul(a: &IntTensor, b: &IntTensor) -> crate::Result<IntTensor> {
             rhs_rows: k2,
         });
     }
+    let _span = quq_obs::span("gemm.int_matmul");
+    record_gemm_work(m, k, n, 4, 4);
     let mut out = vec![0i32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -279,6 +299,8 @@ pub fn i16_matmul_nt_i64(a: &[i16], b: &[i16], m: usize, k: usize, n: usize) -> 
             .all(|&v| (v as i32).abs() <= PANEL_BOUND),
         "panel values must satisfy |v| ≤ 2^14 (the pre-shifted QUB bound)"
     );
+    let _span = quq_obs::span("gemm.i16_nt");
+    record_gemm_work(m, k, n, 2, 8);
     let mut out = vec![0i64; m * n];
     if m == 0 || n == 0 {
         return out;

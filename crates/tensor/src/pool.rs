@@ -28,11 +28,22 @@
 //! Thread count comes from the `QUQ_THREADS` environment variable (read
 //! once, at first use), defaulting to [`std::thread::available_parallelism`].
 
+use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks `m`, recovering the guard even if another thread panicked while
+/// holding it. Every mutex in this module protects state that stays
+/// consistent across a panic (span bounds are updated before user code
+/// runs; job lists and flags are plain values), so poisoning carries no
+/// information here — propagating it would only cascade one task's panic
+/// into unrelated jobs on the shared pool.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     /// Set on pool workers and inside [`run_serial`]: forces inline runs.
@@ -57,8 +68,8 @@ struct Job {
     grain: usize,
     /// Indices not yet completed; 0 means the job is finished.
     pending: AtomicUsize,
-    /// Set when any chunk panicked (the submitter re-raises).
-    poisoned: AtomicBool,
+    /// Payload of the first chunk panic (the submitter re-raises it).
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     func: RawFunc,
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -69,11 +80,12 @@ impl Job {
     /// the fullest span. Returns `None` when no unclaimed work remains.
     fn claim(&self, home: usize) -> Option<Range<usize>> {
         {
-            let mut span = self.spans[home].lock().expect("span lock");
+            let mut span = lock_unpoisoned(&self.spans[home]);
             if span.0 < span.1 {
                 let start = span.0;
                 let end = span.1.min(start + self.grain);
                 span.0 = end;
+                quq_obs::add("pool.chunks", 1);
                 return Some(start..end);
             }
         }
@@ -85,17 +97,17 @@ impl Job {
                 .enumerate()
                 .filter(|&(i, _)| i != home)
                 .max_by_key(|(_, s)| {
-                    let s = s.lock().expect("span lock");
+                    let s = lock_unpoisoned(s);
                     s.1.saturating_sub(s.0)
                 })?;
-            let mut span = victim.1.lock().expect("span lock");
+            let mut span = lock_unpoisoned(victim.1);
             let len = span.1.saturating_sub(span.0);
             if len == 0 {
                 drop(span);
                 // The fullest span drained between scan and lock; rescan,
                 // and stop once every span reads empty.
                 if self.spans.iter().all(|s| {
-                    let s = s.lock().expect("span lock");
+                    let s = lock_unpoisoned(s);
                     s.0 >= s.1
                 }) {
                     return None;
@@ -111,13 +123,15 @@ impl Job {
             drop(span);
             let chunk_end = stolen_end.min(stolen_start + self.grain);
             if chunk_end < stolen_end {
-                let mut home_span = self.spans[home].lock().expect("span lock");
+                let mut home_span = lock_unpoisoned(&self.spans[home]);
                 debug_assert!(
                     home_span.0 >= home_span.1,
                     "home span must be dry before install"
                 );
                 *home_span = (chunk_end, stolen_end);
             }
+            quq_obs::add("pool.steals", 1);
+            quq_obs::add("pool.chunks", 1);
             return Some(stolen_start..chunk_end);
         }
     }
@@ -129,11 +143,15 @@ impl Job {
             // SAFETY: the submitter blocks until `pending` hits zero, so the
             // closure behind the raw pointer is still alive here.
             let func = unsafe { &*self.func.0 };
-            if catch_unwind(AssertUnwindSafe(|| func(chunk))).is_err() {
-                self.poisoned.store(true, Ordering::SeqCst);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(chunk))) {
+                // Keep the first payload; the submitter re-raises it so the
+                // original panic (message and all) surfaces at the
+                // `parallel_for` call site instead of wedging the pool.
+                let mut slot = lock_unpoisoned(&self.panic_payload);
+                slot.get_or_insert(payload);
             }
             if self.pending.fetch_sub(len, Ordering::SeqCst) == len {
-                let mut done = self.done.lock().expect("done lock");
+                let mut done = lock_unpoisoned(&self.done);
                 *done = true;
                 self.done_cv.notify_all();
             }
@@ -143,7 +161,7 @@ impl Job {
     /// Whether any span still holds unclaimed indices.
     fn has_work(&self) -> bool {
         self.spans.iter().any(|s| {
-            let s = s.lock().expect("span lock");
+            let s = lock_unpoisoned(s);
             s.0 < s.1
         })
     }
@@ -210,14 +228,16 @@ impl ThreadPool {
             spans: spans.into_iter().map(Mutex::new).collect(),
             grain,
             pending: AtomicUsize::new(n),
-            poisoned: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
             func: RawFunc(func),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
         {
-            let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+            let mut jobs = lock_unpoisoned(&self.shared.jobs);
             jobs.push(Arc::clone(&job));
+            quq_obs::add("pool.jobs", 1);
+            quq_obs::record("pool.queue_depth", jobs.len() as u64);
             self.shared.jobs_cv.notify_all();
         }
         // Participate as thread 0 (nested calls from here run inline).
@@ -225,19 +245,25 @@ impl ThreadPool {
         job.work(0);
         FORCE_INLINE.with(|flag| flag.set(false));
         // Wait for chunks still in flight on workers.
-        let mut done = job.done.lock().expect("done lock");
+        let mut done = lock_unpoisoned(&job.done);
         while !*done {
-            done = job.done_cv.wait(done).expect("done wait");
+            done = match job.done_cv.wait(done) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
         drop(done);
         // Retire the job so workers stop scanning it.
-        let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+        let mut jobs = lock_unpoisoned(&self.shared.jobs);
         jobs.retain(|j| !Arc::ptr_eq(j, &job));
         drop(jobs);
-        assert!(
-            !job.poisoned.load(Ordering::SeqCst),
-            "a parallel chunk panicked"
-        );
+        // Re-raise the first chunk panic at the submitting call site. The
+        // pool itself stays healthy: spans are drained, the job is retired,
+        // and no mutex poisoning leaks into later jobs.
+        let payload = lock_unpoisoned(&job.panic_payload).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -259,12 +285,15 @@ fn worker_loop(shared: &Shared, home: usize) {
     FORCE_INLINE.with(|flag| flag.set(true));
     loop {
         let job = {
-            let mut jobs = shared.jobs.lock().expect("jobs lock");
+            let mut jobs = lock_unpoisoned(&shared.jobs);
             loop {
                 if let Some(job) = jobs.iter().find(|j| j.has_work()) {
                     break Arc::clone(job);
                 }
-                jobs = shared.jobs_cv.wait(jobs).expect("jobs wait");
+                jobs = match shared.jobs_cv.wait(jobs) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
         };
         job.work(home % job.spans.len());
@@ -483,6 +512,50 @@ mod tests {
     #[test]
     fn empty_range_is_a_no_op() {
         parallel_for(0, 8, |_| panic!("must not run"));
+    }
+
+    /// A panicking chunk must surface its original payload at the submitting
+    /// call site and must not wedge the pool: pre-fix, the submitter raised a
+    /// generic "a parallel chunk panicked" assert and every later lock on a
+    /// poisoned mutex cascaded the failure into unrelated jobs.
+    #[test]
+    fn panicking_chunk_surfaces_payload_and_pool_survives() {
+        // A private 2-thread pool forces the pooled (non-inline) path even
+        // on single-core hosts and keeps panic fallout away from the global
+        // pool other tests share.
+        let pool = ThreadPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(64, 4, &|range: Range<usize>| {
+                if range.contains(&17) {
+                    panic!("boom-42");
+                }
+            });
+        }));
+        let payload = caught.expect_err("chunk panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("payload must be the original panic message");
+        assert_eq!(msg, "boom-42");
+        // The same pool still runs jobs to completion afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.scope(1000, 16, &|range: Range<usize>| {
+            sum.fetch_add(range.sum::<usize>(), Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 1000 * 999 / 2);
+    }
+
+    /// The inline path (serial config) must also deliver the original
+    /// payload.
+    #[test]
+    fn inline_panic_keeps_original_payload() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_serial(|| parallel_for(8, 2, |_| panic!("inline-boom")));
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"inline-boom"));
     }
 
     #[test]

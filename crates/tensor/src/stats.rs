@@ -9,13 +9,27 @@ use crate::{Tensor, TensorError};
 /// The `q`-th quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation
 /// between closest ranks (the "linear" method of NumPy).
 ///
-/// Returns `None` for an empty sample or a `q` outside `[0, 1]`.
+/// Non-finite samples (NaN, ±∞) are excluded before ranking: a NaN would
+/// otherwise land at an arbitrary sort position (`partial_cmp` returns
+/// `None`) and silently corrupt the PRA quantile sweep that feeds
+/// calibration. The number of excluded samples is reported on the
+/// `stats.nonfinite_dropped` counter when the metrics recorder is enabled.
+///
+/// Returns `None` for a sample with no finite values or a `q` outside
+/// `[0, 1]`.
 pub fn quantile(values: &[f32], q: f32) -> Option<f32> {
-    if values.is_empty() || !(0.0..=1.0).contains(&q) || q.is_nan() {
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
         return None;
     }
-    let mut sorted: Vec<f32> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut sorted: Vec<f32> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let dropped = values.len() - sorted.len();
+    if dropped > 0 {
+        quq_obs::add("stats.nonfinite_dropped", dropped as u64);
+    }
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(f32::total_cmp);
     let pos = q as f64 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -202,6 +216,24 @@ mod tests {
         assert_eq!(quantile(&[1.0], 2.0), None);
         assert_eq!(quantile(&[1.0], -0.1), None);
         assert_eq!(quantile(&[5.0], 0.73), Some(5.0));
+    }
+
+    /// NaN-poisoned samples must rank as if the NaNs were absent: pre-fix,
+    /// `partial_cmp(..).unwrap_or(Equal)` left NaNs at arbitrary positions,
+    /// shifting every rank (the median below came out as 2.0 or NaN
+    /// depending on input order).
+    #[test]
+    fn quantile_ignores_nonfinite_samples() {
+        let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let poisoned = [f32::NAN, 1.0, 2.0, f32::NAN, 3.0, 4.0, 5.0, f32::NAN];
+        assert_eq!(quantile(&poisoned, 0.5), quantile(&clean, 0.5));
+        assert_eq!(quantile(&poisoned, 0.5), Some(3.0));
+        // Infinities are dropped too — PRA deltas must stay finite.
+        let inf = [f32::NEG_INFINITY, 1.0, 3.0, f32::INFINITY];
+        assert_eq!(quantile(&inf, 1.0), Some(3.0));
+        assert_eq!(quantile(&inf, 0.0), Some(1.0));
+        // All-non-finite behaves like an empty sample.
+        assert_eq!(quantile(&[f32::NAN, f32::INFINITY], 0.5), None);
     }
 
     #[test]

@@ -91,6 +91,29 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// The kind's stable name, used as the observability site label (so
+    /// metric sites match this type's `Display`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::PatchEmbed => "PatchEmbed",
+            OpKind::Norm1 => "Norm1",
+            OpKind::Qkv => "Qkv",
+            OpKind::QkMatmul => "QkMatmul",
+            OpKind::Softmax => "Softmax",
+            OpKind::PvMatmul => "PvMatmul",
+            OpKind::AttnProj => "AttnProj",
+            OpKind::Residual1 => "Residual1",
+            OpKind::Norm2 => "Norm2",
+            OpKind::Fc1 => "Fc1",
+            OpKind::Gelu => "Gelu",
+            OpKind::Fc2 => "Fc2",
+            OpKind::Residual2 => "Residual2",
+            OpKind::PatchMerge => "PatchMerge",
+            OpKind::FinalNorm => "FinalNorm",
+            OpKind::Head => "Head",
+        }
+    }
+
     /// Whether the operation is implementable as GEMM — the "green"
     /// components of the paper's Fig. 1, i.e. what *partial* quantization
     /// covers.
@@ -146,6 +169,15 @@ impl fmt::Display for OpSite {
         match self.block {
             Some(b) => write!(f, "block{b}.{}", self.kind),
             None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+impl From<OpSite> for quq_obs::SiteKey {
+    fn from(site: OpSite) -> Self {
+        Self {
+            block: site.block,
+            op: std::borrow::Cow::Borrowed(site.kind.as_str()),
         }
     }
 }
@@ -234,39 +266,35 @@ pub trait Backend {
     }
 }
 
-/// Wraps any backend and accumulates wall-clock time spent in its GEMM
-/// operations (`linear`, `matmul`, `matmul_nt`) into a shared counter.
+/// Wraps any backend and records every operation as a per-site latency span
+/// on the global [`quq_obs`] recorder: `op.linear` at `block3.Qkv`,
+/// `op.softmax` at `block0.Softmax`, and so on — the per-layer breakdown the
+/// throughput benchmark embeds in `BENCH_throughput.json`.
 ///
-/// The counter is an [`AtomicU64`] of nanoseconds so one counter can be
-/// shared across the per-worker backends of
-/// [`crate::evaluate_parallel`] — each worker wraps its own inner backend
-/// but adds into the same total. Non-GEMM operations pass through
-/// untimed. Used by the throughput benchmark to report a per-backend
-/// GEMM-time breakdown.
-#[derive(Debug)]
-pub struct GemmTimed<B> {
+/// The wrapper only *times* calls; inputs and outputs pass through the inner
+/// backend untouched, so results are bit-identical wrapped or not, recorder
+/// on or off. While the recorder is disabled (the default) each call pays a
+/// single relaxed atomic load. Because the recorder is process-global, the
+/// per-worker backends of [`crate::evaluate_parallel`] all report into the
+/// same registry without sharing any handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Observed<B> {
     inner: B,
-    gemm_nanos: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
-impl<B: Backend> GemmTimed<B> {
-    /// Wraps `inner`, accumulating GEMM time into `gemm_nanos`.
-    pub fn new(inner: B, gemm_nanos: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
-        Self { inner, gemm_nanos }
+impl<B: Backend> Observed<B> {
+    /// Wraps `inner` so every operation records a per-site span.
+    pub fn new(inner: B) -> Self {
+        Self { inner }
     }
 
-    fn timed<T>(&mut self, f: impl FnOnce(&mut B) -> T) -> T {
-        let t0 = std::time::Instant::now();
-        let out = f(&mut self.inner);
-        self.gemm_nanos.fetch_add(
-            t0.elapsed().as_nanos() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
-        out
+    /// Returns the wrapped backend.
+    pub fn into_inner(self) -> B {
+        self.inner
     }
 }
 
-impl<B: Backend> Backend for GemmTimed<B> {
+impl<B: Backend> Backend for Observed<B> {
     fn linear(
         &mut self,
         site: OpSite,
@@ -274,30 +302,37 @@ impl<B: Backend> Backend for GemmTimed<B> {
         w: &Tensor,
         b: Option<&Tensor>,
     ) -> Result<Tensor> {
-        self.timed(|inner| inner.linear(site, x, w, b))
+        let _span = quq_obs::span_at("op.linear", || site.into());
+        self.inner.linear(site, x, w, b)
     }
 
     fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
-        self.timed(|inner| inner.matmul(site, a, b))
+        let _span = quq_obs::span_at("op.matmul", || site.into());
+        self.inner.matmul(site, a, b)
     }
 
     fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
-        self.timed(|inner| inner.matmul_nt(site, a, b))
+        let _span = quq_obs::span_at("op.matmul_nt", || site.into());
+        self.inner.matmul_nt(site, a, b)
     }
 
     fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        let _span = quq_obs::span_at("op.softmax", || site.into());
         self.inner.softmax(site, x)
     }
 
     fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        let _span = quq_obs::span_at("op.gelu", || site.into());
         self.inner.gelu(site, x)
     }
 
     fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let _span = quq_obs::span_at("op.layer_norm", || site.into());
         self.inner.layer_norm(site, x, g, b)
     }
 
     fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let _span = quq_obs::span_at("op.add", || site.into());
         self.inner.add(site, a, b)
     }
 }
@@ -331,24 +366,33 @@ mod tests {
     }
 
     #[test]
-    fn gemm_timed_is_transparent_and_counts_gemm_time() {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        use std::sync::Arc;
-        let nanos = Arc::new(AtomicU64::new(0));
-        let mut timed = GemmTimed::new(Fp32Backend::new(), Arc::clone(&nanos));
+    fn observed_is_transparent_and_records_per_site_spans() {
+        let mut observed = Observed::new(Fp32Backend::new());
         let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
         let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
-        let site = OpSite::global(OpKind::Head);
-        let y = timed.linear(site, &x, &w, None).unwrap();
+        let site = OpSite::in_block(7, OpKind::Fc1);
+        let hist = quq_obs::histogram_at("op.linear", site.into());
+        // Recorder off: bit-identical output, nothing recorded.
+        let before = hist.count();
+        let y = observed.linear(site, &x, &w, None).unwrap();
         let mut plain = Fp32Backend::new();
         assert_eq!(y.data(), plain.linear(site, &x, &w, None).unwrap().data());
-        let after_linear = nanos.load(Ordering::Relaxed);
-        assert!(after_linear > 0, "linear must be timed");
-        // Non-GEMM ops pass through untimed.
-        let _ = timed.gelu(site, &x).unwrap();
-        assert_eq!(nanos.load(Ordering::Relaxed), after_linear);
-        let _ = timed.matmul_nt(site, &x, &w).unwrap();
-        assert!(nanos.load(Ordering::Relaxed) > after_linear);
+        assert_eq!(hist.count(), before);
+        // Recorder on: same output, one span at the call's site.
+        quq_obs::set_enabled(true);
+        let y2 = observed.linear(site, &x, &w, None).unwrap();
+        quq_obs::set_enabled(false);
+        assert_eq!(y2.data(), y.data());
+        assert!(hist.count() > before, "linear span must be recorded");
+    }
+
+    #[test]
+    fn op_site_converts_to_matching_obs_site_key() {
+        let site = OpSite::in_block(3, OpKind::Qkv);
+        let key: quq_obs::SiteKey = site.into();
+        assert_eq!(key.label(), site.to_string());
+        let head: quq_obs::SiteKey = OpSite::global(OpKind::Head).into();
+        assert_eq!(head.label(), "Head");
     }
 
     #[test]

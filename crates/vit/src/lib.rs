@@ -35,7 +35,7 @@ pub mod data;
 pub mod model;
 pub mod weights;
 
-pub use backend::{Backend, BackendError, Fp32Backend, GemmTimed, OpKind, OpSite};
+pub use backend::{Backend, BackendError, Fp32Backend, Observed, OpKind, OpSite};
 pub use capture::{CaptureBackend, Tap, TapSide};
 pub use config::{Family, ModelConfig, ModelId, StageConfig};
 pub use data::{evaluate, evaluate_parallel, Dataset};

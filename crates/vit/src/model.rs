@@ -162,6 +162,7 @@ impl VitModel {
         be: &mut B,
         mut attn_out: Option<&mut AttentionMaps>,
     ) -> Result<Tensor> {
+        let _span = quq_obs::span("model.forward");
         let cfg = &self.config;
         let w = &self.weights;
         let patches = self.patchify(image);

@@ -4,14 +4,20 @@
 //!
 //! ```text
 //! cargo run --release -p quq-bench --example integer_inference
+//! cargo run --release -p quq-bench --example integer_inference -- --metrics
 //! ```
+//!
+//! With `--metrics` the `quq-obs` recorder is enabled around the integer
+//! evaluation and a per-op breakdown (span time per site, GEMM work,
+//! decode-cache hits) is printed afterwards.
 
 use quq_accel::IntegerBackend;
 use quq_core::pipeline::{calibrate, PtqConfig};
 use quq_core::QuqMethod;
-use quq_vit::{evaluate, Dataset, Fp32Backend, ModelConfig, ModelId, VitModel};
+use quq_vit::{evaluate, Dataset, Fp32Backend, ModelConfig, ModelId, Observed, VitModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let model = VitModel::synthesize(ModelConfig::eval_scale(ModelId::VitS), 5);
     let calib = Dataset::calibration(model.config(), 16, 1);
     let eval = Dataset::teacher_labeled_confident(&model, 24, 2)?;
@@ -23,8 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fp32 = evaluate(&model, &mut Fp32Backend::new(), &eval)?;
     let mut fake = tables.backend();
     let fake_acc = evaluate(&model, &mut fake, &eval)?;
-    let mut int = IntegerBackend::new(&tables);
+    quq_obs::set_enabled(metrics);
+    let before = quq_obs::snapshot();
+    let mut int = Observed::new(IntegerBackend::new(&tables));
     let int_acc = evaluate(&model, &mut int, &eval)?;
+    let delta = quq_obs::snapshot().delta_since(&before);
+    quq_obs::set_enabled(false);
 
     println!("W8/A8 full quantization of eval-scale ViT-S:");
     println!("  FP32 reference:            {:.1}%", fp32 * 100.0);
@@ -39,5 +49,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  fake-quant vs integer logit cosine: {cos:.4}");
     println!("\nThe integer path runs no floating-point kernel inside the network —");
     println!("only the per-tensor scale constants that hardware folds into M/2^N.");
+
+    if metrics {
+        println!("\nInteger-path metrics ({} images):", eval.len());
+        println!(
+            "  GEMM: {:.3}s across ops ({} MACs, {} bytes moved)",
+            (delta.hist_sum("op.linear")
+                + delta.hist_sum("op.matmul")
+                + delta.hist_sum("op.matmul_nt")) as f64
+                * 1e-9,
+            delta.counter_total("gemm.macs"),
+            delta.counter_total("gemm.bytes"),
+        );
+        println!(
+            "  weight-decode cache: {} hits / {} misses",
+            delta.counter_total("cache.weight_qub.hit"),
+            delta.counter_total("cache.weight_qub.miss"),
+        );
+        println!(
+            "  SFU: softmax {:.3}s, gelu {:.3}s, layer_norm {:.3}s",
+            delta.hist_sum("sfu.softmax") as f64 * 1e-9,
+            delta.hist_sum("sfu.gelu") as f64 * 1e-9,
+            delta.hist_sum("sfu.layer_norm") as f64 * 1e-9,
+        );
+        // The ten slowest op sites by total span time.
+        let mut by_site: Vec<(&str, Option<&str>, u64)> = delta
+            .hists
+            .iter()
+            .filter(|h| h.name.starts_with("op.") && h.count > 0)
+            .map(|h| (h.name.as_str(), h.site.as_deref(), h.sum))
+            .collect();
+        by_site.sort_by_key(|&(_, _, sum)| std::cmp::Reverse(sum));
+        println!("  slowest op sites:");
+        for (name, site, sum) in by_site.iter().take(10) {
+            println!(
+                "    {:>22}  {:<14} {:.4}s",
+                site.unwrap_or("-"),
+                name,
+                *sum as f64 * 1e-9
+            );
+        }
+    }
     Ok(())
 }

@@ -27,4 +27,41 @@ grep -q '"bit_identical_serial_parallel": true' "$smoke_out" || {
     exit 1
 }
 
+echo "==> tier-2: metrics smoke (--metrics breakdown, bit-identity, site coverage)"
+metrics_out=target/bench_smoke_metrics.json
+QUQ_QUICK=1 QUQ_BENCH_OUT="$metrics_out" \
+    cargo run --release -q -p quq-bench --bin throughput -- --metrics
+python3 - "$metrics_out" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)  # must be valid JSON even with metrics embedded
+
+assert report["bit_identical_serial_parallel"] is True
+assert report["bit_identical_metrics_on_off"] is True
+assert report["metrics_sites_complete"] is True
+assert report["metrics_embedded"] is True
+
+for entry in report["sweep"]:
+    assert entry["bit_identical_metrics_on_off"] is True
+    assert entry["metrics_sites_complete"] is True
+    for backend in entry["backends"]:
+        metrics = backend["metrics"]
+        sites = {
+            h.get("site")
+            for h in metrics["histograms"]
+            if h["name"].startswith("op.") and h.get("site")
+        }
+        # Every op site of the 2-block quick model must appear.
+        for block in (0, 1):
+            assert any(s.startswith(f"block{block}.") for s in sites), (
+                backend["backend"],
+                block,
+            )
+        for site in ("PatchEmbed", "FinalNorm", "Head"):
+            assert site in sites, (backend["backend"], site)
+
+print("metrics smoke: JSON parses, all op sites present, bit-identity holds")
+PY
+
 echo "All checks passed."
