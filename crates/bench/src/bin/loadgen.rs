@@ -1,0 +1,483 @@
+//! Load generator for `quq-serve`, emitting `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p quq-bench --bin loadgen
+//! cargo run --release -p quq-bench --bin loadgen -- --metrics
+//! QUQ_QUICK=1 cargo run --release -p quq-bench --bin loadgen
+//! QUQ_BENCH_OUT=/tmp/s.json cargo run --release -p quq-bench --bin loadgen
+//! ```
+//!
+//! The benchmark starts an in-process integer-QUQ server on an ephemeral
+//! port and drives it through four phases, all at the current
+//! `QUQ_THREADS` pool size so serving and offline numbers are an
+//! equal-thread comparison:
+//!
+//! 1. **Correctness gate** — served logits must equal the offline
+//!    `forward` output *bitwise* for every probe image (batching must not
+//!    change a single bit);
+//! 2. **Offline baseline** — `evaluate_parallel` images/sec over the same
+//!    model and tables (the PR 3 throughput configuration);
+//! 3. **Closed-loop serving** — concurrent clients each running
+//!    request/response cycles, once against a `max_batch = 1` server
+//!    (unbatched) and once with dynamic batching; reports images/sec,
+//!    client-observed p50/p99 latency, and the server-side mean batch
+//!    size;
+//! 4. **Fixed-rate sweep** — offered load at multiples of measured
+//!    capacity; reports achieved throughput and shed rate per point (the
+//!    backpressure curve), with the admission queue bounded throughout.
+//!
+//! A graceful drain ends every phase: the exit code is non-zero if any
+//! admitted request was dropped or any gate failed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use quq_accel::IntegerBackend;
+use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
+use quq_core::quantizer::QuqMethod;
+use quq_serve::{Client, InferResponse, IntegerProvider, ServeConfig, Server};
+use quq_tensor::{pool, Tensor};
+use quq_vit::{evaluate_parallel, Dataset, ModelConfig, ModelId, Observed, VitModel};
+
+fn quick() -> bool {
+    std::env::var("QUQ_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn metrics_enabled() -> bool {
+    std::env::var("QUQ_METRICS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--metrics")
+}
+
+fn setup() -> (Arc<VitModel>, Dataset, Arc<PtqTables>) {
+    let config = if quick() {
+        ModelConfig::test_config()
+    } else {
+        ModelConfig::eval_scale(ModelId::VitS)
+    };
+    let model = Arc::new(VitModel::synthesize(config, 20240623));
+    let images = if quick() { 8 } else { 32 };
+    let eval = Dataset::teacher_labeled(&model, images, 7).expect("dataset");
+    let calib = Dataset::calibration(model.config(), 4, 3);
+    let tables = calibrate(
+        &QuqMethod::without_optimization(),
+        &model,
+        &calib,
+        PtqConfig::full_w6a6(),
+    )
+    .expect("calibration");
+    (model, eval, Arc::new(tables))
+}
+
+/// Admission bound used by every server in this benchmark; the shed curve
+/// needs more concurrent senders than this so the queue can actually fill.
+const QUEUE_CAPACITY: usize = 64;
+
+fn start_server(model: &Arc<VitModel>, tables: &Arc<PtqTables>, max_batch: usize) -> Server {
+    Server::start(
+        Arc::clone(model),
+        Arc::new(IntegerProvider::new(Arc::clone(tables))),
+        ServeConfig {
+            workers: 1,
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: QUEUE_CAPACITY,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Closed loop: `clients` threads, each its own connection, each running
+/// request→response cycles until `total` requests complete overall.
+/// Returns (seconds, latencies).
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    images: &[Tensor],
+    clients: usize,
+    total: usize,
+) -> (f64, Vec<Duration>) {
+    let remaining = Arc::new(AtomicUsize::new(total));
+    let lats: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::with_capacity(total)));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|ci| {
+            let remaining = Arc::clone(&remaining);
+            let lats = Arc::clone(&lats);
+            let images = images.to_vec();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut i = ci;
+                let mut mine = Vec::new();
+                loop {
+                    if remaining
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    let img = &images[i % images.len()];
+                    i += 1;
+                    let s = Instant::now();
+                    match c.infer(img).expect("infer") {
+                        InferResponse::Ok { .. } => mine.push(s.elapsed()),
+                        other => panic!("closed loop under capacity got {other:?}"),
+                    }
+                }
+                lats.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let lats = Arc::try_unwrap(lats).unwrap().into_inner().unwrap();
+    (seconds, lats)
+}
+
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+struct ServingResult {
+    mode: &'static str,
+    max_batch: usize,
+    clients: usize,
+    images_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch: f64,
+}
+
+/// One closed-loop measurement against a fresh server; drains it after.
+fn measure_serving(
+    model: &Arc<VitModel>,
+    tables: &Arc<PtqTables>,
+    images: &[Tensor],
+    mode: &'static str,
+    max_batch: usize,
+    clients: usize,
+    total: usize,
+) -> ServingResult {
+    let server = start_server(model, tables, max_batch);
+    let addr = server.local_addr();
+    // Warm the shared weight cache outside the timed window.
+    let mut warm = Client::connect(addr).expect("connect");
+    match warm.infer(&images[0]).expect("warmup") {
+        InferResponse::Ok { .. } => {}
+        other => panic!("warmup got {other:?}"),
+    }
+    let before = quq_obs::snapshot();
+    let (seconds, mut lats) = closed_loop(addr, images, clients, total);
+    let delta = quq_obs::snapshot().delta_since(&before);
+    server.shutdown();
+    lats.sort_unstable();
+    let batches: u64 = delta
+        .hists
+        .iter()
+        .filter(|h| h.name == "serve.batch_size")
+        .map(|h| h.count)
+        .sum();
+    let batched_imgs: u64 = delta
+        .hists
+        .iter()
+        .filter(|h| h.name == "serve.batch_size")
+        .map(|h| h.sum)
+        .sum();
+    let mean_batch = if batches > 0 {
+        batched_imgs as f64 / batches as f64
+    } else {
+        0.0
+    };
+    let r = ServingResult {
+        mode,
+        max_batch,
+        clients,
+        images_per_sec: total as f64 / seconds,
+        p50_ms: percentile_ms(&lats, 0.50),
+        p99_ms: percentile_ms(&lats, 0.99),
+        mean_batch,
+    };
+    println!(
+        "{:>10} serving (max_batch {}, {} clients): {:7.2} img/s  p50 {:6.1}ms  p99 {:6.1}ms  mean batch {:.2}",
+        r.mode, r.max_batch, r.clients, r.images_per_sec, r.p50_ms, r.p99_ms, r.mean_batch
+    );
+    r
+}
+
+struct RatePoint {
+    offered_per_sec: f64,
+    achieved_per_sec: f64,
+    ok: usize,
+    shed: usize,
+    max_queue_depth: usize,
+}
+
+/// Fixed-rate phase: offers `rate` req/s for `duration` against `server`
+/// using `senders` persistent connections pulling from a shared schedule.
+fn fixed_rate(
+    server: &Server,
+    images: &[Tensor],
+    rate: f64,
+    duration: Duration,
+    senders: usize,
+) -> RatePoint {
+    let n = (rate * duration.as_secs_f64()).round().max(1.0) as usize;
+    let start = Instant::now() + Duration::from_millis(20);
+    let schedule: Arc<Mutex<std::collections::VecDeque<Instant>>> = Arc::new(Mutex::new(
+        (0..n)
+            .map(|i| start + Duration::from_secs_f64(i as f64 / rate))
+            .collect(),
+    ));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let depth_seen = Arc::new(AtomicUsize::new(0));
+    let addr = server.local_addr();
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..senders)
+        .map(|si| {
+            let schedule = Arc::clone(&schedule);
+            let ok = Arc::clone(&ok);
+            let shed = Arc::clone(&shed);
+            let images = images.to_vec();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut i = si;
+                loop {
+                    let due = match schedule.lock().unwrap().pop_front() {
+                        Some(d) => d,
+                        None => break,
+                    };
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let img = &images[i % images.len()];
+                    i += 1;
+                    match c.infer(img).expect("infer") {
+                        InferResponse::Ok { .. } => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        InferResponse::Overloaded => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("fixed-rate got {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    // Sample the queue depth while the load runs: it must stay bounded.
+    while threads.iter().any(|t| !t.is_finished()) {
+        depth_seen.fetch_max(server.queue_depth(), Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for t in threads {
+        t.join().expect("sender thread");
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let p = RatePoint {
+        offered_per_sec: rate,
+        achieved_per_sec: ok.load(Ordering::Relaxed) as f64 / seconds,
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        max_queue_depth: depth_seen.load(Ordering::Relaxed),
+    };
+    println!(
+        "  offered {:7.2} req/s → achieved {:7.2} img/s, ok {}, shed {} ({:.0}%), max queue {}",
+        p.offered_per_sec,
+        p.achieved_per_sec,
+        p.ok,
+        p.shed,
+        100.0 * p.shed as f64 / (p.ok + p.shed).max(1) as f64,
+        p.max_queue_depth
+    );
+    p
+}
+
+fn main() {
+    let threads = pool::num_threads();
+    let embed_metrics = metrics_enabled();
+    println!("loadgen: {threads} pool thread(s), quick={}", quick());
+    let (model, eval, tables) = setup();
+    // The recorder stays on for the whole run: serving metrics (accepted/
+    // shed/batch size/e2e) feed the report, and correctness is asserted
+    // with metrics enabled (observability must not perturb results).
+    quq_obs::set_enabled(true);
+    let run_start = quq_obs::snapshot();
+
+    // Phase 1 — correctness gate: served bits == offline bits.
+    {
+        let server = start_server(&model, &tables, 8);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for img in eval.images.iter().take(4) {
+            let mut be = Observed::new(IntegerBackend::with_cache(
+                &tables,
+                Arc::clone(
+                    &Arc::new(quq_accel::WeightQubCache::new()), // fresh: no cross-talk
+                ),
+            ));
+            let offline = model.forward(img, &mut be).expect("offline forward");
+            match client.infer(img).expect("infer") {
+                InferResponse::Ok { logits, .. } => {
+                    assert_eq!(
+                        logits,
+                        offline.data(),
+                        "served logits are not bit-identical to offline forward"
+                    );
+                }
+                other => panic!("correctness probe got {other:?}"),
+            }
+        }
+        server.shutdown();
+        println!("served == offline logits (bitwise): verified");
+    }
+
+    // Phase 2 — offline baseline at the same thread count.
+    let offline_images_per_sec = {
+        let cache = Arc::new(quq_accel::WeightQubCache::new());
+        let mk = || Observed::new(IntegerBackend::with_cache(&tables, Arc::clone(&cache)));
+        evaluate_parallel(&model, mk, &eval).expect("warmup");
+        let t0 = Instant::now();
+        evaluate_parallel(&model, mk, &eval).expect("evaluate");
+        let ips = eval.len() as f64 / t0.elapsed().as_secs_f64();
+        println!("   offline evaluate_parallel: {ips:7.2} img/s");
+        ips
+    };
+
+    // Phase 3 — closed-loop serving, unbatched vs batched.
+    let clients = 8;
+    let total = if quick() { 24 } else { 96 };
+    let unbatched = measure_serving(
+        &model,
+        &tables,
+        &eval.images,
+        "unbatched",
+        1,
+        clients,
+        total,
+    );
+    let batched = measure_serving(&model, &tables, &eval.images, "batched", 8, clients, total);
+
+    // Phase 4 — fixed-rate sweep around measured capacity.
+    let capacity = batched.images_per_sec;
+    let duration = Duration::from_secs_f64(if quick() { 1.0 } else { 2.0 });
+    let server = start_server(&model, &tables, 8);
+    let mut warm = Client::connect(server.local_addr()).expect("connect");
+    assert!(matches!(
+        warm.infer(&eval.images[0]).expect("warmup"),
+        InferResponse::Ok { .. }
+    ));
+    // More senders than the queue can hold, so offered load beyond
+    // capacity translates into a full queue (and sheds) rather than being
+    // silently throttled by sender concurrency.
+    let senders = QUEUE_CAPACITY + 32;
+    println!("shed curve (capacity ≈ {capacity:.2} img/s):");
+    let mut curve: Vec<RatePoint> = [0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&mult| fixed_rate(&server, &eval.images, capacity * mult, duration, senders))
+        .collect();
+    // The closed-loop "capacity" can underestimate a dynamically batched
+    // server (clients bound in-flight work); escalate until backpressure
+    // actually engages so the curve always shows the shed regime.
+    let mut mult = 8.0;
+    while curve.last().is_none_or(|p| p.shed == 0) && mult <= 64.0 {
+        curve.push(fixed_rate(
+            &server,
+            &eval.images,
+            capacity * mult,
+            duration,
+            senders,
+        ));
+        mult *= 2.0;
+    }
+    server.shutdown();
+    let overload_sheds = curve.last().map_or(0, |p| p.shed) > 0;
+    assert!(
+        overload_sheds,
+        "4x capacity must shed (backpressure is load-tested here)"
+    );
+    let queue_bounded = curve.iter().all(|p| p.max_queue_depth <= 64);
+    assert!(queue_bounded, "queue depth exceeded its configured bound");
+
+    // Metric-site coverage: the serving path must have reported its
+    // counters and per-backend histograms during the phases above.
+    let delta = quq_obs::snapshot().delta_since(&run_start);
+    quq_obs::set_enabled(false);
+    let serve_sites_complete = delta.counter_total("serve.accepted") > 0
+        && delta.counter_total("serve.shed") > 0
+        && ["serve.batch_size", "serve.e2e", "serve.queue_depth"]
+            .iter()
+            .all(|name| {
+                delta
+                    .hists
+                    .iter()
+                    .any(|h| h.name == *name && h.site.as_deref() == Some("quq-int") && h.count > 0)
+            });
+    assert!(serve_sites_complete, "serve.* metric sites are incomplete");
+    println!("serve.* metric site coverage: verified");
+
+    let batched_ge_offline = batched.images_per_sec >= offline_images_per_sec;
+    println!(
+        "batched serving vs offline at {threads} thread(s): {:.2} vs {:.2} img/s ({})",
+        batched.images_per_sec,
+        offline_images_per_sec,
+        if batched_ge_offline {
+            "≥ offline ✓"
+        } else {
+            "below offline ✗"
+        }
+    );
+
+    // Emit BENCH_serve.json.
+    let mut json = format!(
+        "{{\"threads\": {threads}, \"backend\": \"quq-int\", \"quick\": {}, \"offline_images_per_sec\": {:.3}, \"responses_match_offline_bitwise\": true, \"serve_sites_complete\": {serve_sites_complete}, \"queue_depth_bounded\": {queue_bounded}, \"batched_ge_offline\": {batched_ge_offline}, \"serving\": [",
+        quick(),
+        offline_images_per_sec,
+    );
+    for (i, r) in [&unbatched, &batched].into_iter().enumerate() {
+        json.push_str(&format!(
+            "{}{{\"mode\": \"{}\", \"max_batch\": {}, \"clients\": {}, \"images_per_sec\": {:.3}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"mean_batch\": {:.3}}}",
+            if i > 0 { ", " } else { "" },
+            r.mode,
+            r.max_batch,
+            r.clients,
+            r.images_per_sec,
+            r.p50_ms,
+            r.p99_ms,
+            r.mean_batch
+        ));
+    }
+    json.push_str("], \"shed_curve\": [");
+    for (i, p) in curve.iter().enumerate() {
+        json.push_str(&format!(
+            "{}{{\"offered_per_sec\": {:.3}, \"achieved_per_sec\": {:.3}, \"ok\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"max_queue_depth\": {}}}",
+            if i > 0 { ", " } else { "" },
+            p.offered_per_sec,
+            p.achieved_per_sec,
+            p.ok,
+            p.shed,
+            p.shed as f64 / (p.ok + p.shed).max(1) as f64,
+            p.max_queue_depth
+        ));
+    }
+    json.push(']');
+    if embed_metrics {
+        json.push_str(&format!(", \"metrics\": {}", delta.to_json()));
+        println!("slowest op sites during the run:");
+        print!("{}", quq_obs::report::slowest_sites_table(&delta, 10, "  "));
+    }
+    json.push('}');
+    let out = std::env::var("QUQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

@@ -73,13 +73,7 @@ struct Measurement {
     delta: Snapshot,
 }
 
-/// Summed GEMM span time (seconds) in a metrics window: every `linear`,
-/// `matmul`, and `matmul_nt` dispatched through the [`Observed`] wrapper.
-fn gemm_seconds(delta: &Snapshot) -> f64 {
-    let nanos =
-        delta.hist_sum("op.linear") + delta.hist_sum("op.matmul") + delta.hist_sum("op.matmul_nt");
-    nanos as f64 * 1e-9
-}
+use quq_obs::report::gemm_seconds;
 
 /// Times `repeats` runs of an evaluation and keeps the fastest, capturing
 /// the `quq-obs` snapshot delta across each run.

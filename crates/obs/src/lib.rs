@@ -37,6 +37,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
+pub mod report;
+
 /// Number of log2 buckets a [`Histogram`] holds (`u64` value range).
 pub const HIST_BUCKETS: usize = 65;
 
@@ -235,6 +237,15 @@ pub fn add_at(name: &'static str, site: impl FnOnce() -> SiteKey, n: u64) {
 pub fn record(name: &'static str, value: u64) {
     if enabled() {
         histogram(name).record(value);
+    }
+}
+
+/// Records `value` into histogram `name` at `site` — no-op while disabled.
+/// The site is built lazily so the disabled path never allocates.
+#[inline]
+pub fn record_at(name: &'static str, site: impl FnOnce() -> SiteKey, value: u64) {
+    if enabled() {
+        histogram_at(name, site()).record(value);
     }
 }
 

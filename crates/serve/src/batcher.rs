@@ -1,0 +1,304 @@
+//! A bounded admission queue with dynamic micro-batching.
+//!
+//! [`BatchQueue`] is the single synchronization point between connection
+//! handlers (producers) and inference workers (consumers):
+//!
+//! * **Bounded admission** — [`BatchQueue::push`] never blocks and never
+//!   buffers beyond `capacity`; a full queue sheds the item back to the
+//!   caller ([`PushError::Full`]), which is the server's backpressure
+//!   signal (an `OVERLOADED` reply). Queue depth is bounded by
+//!   construction, not by load.
+//! * **Dynamic batching** — [`BatchQueue::next_batch`] blocks for the
+//!   first item, then keeps collecting until either `max_batch` items are
+//!   waiting or `max_wait` has elapsed since the first item was seen,
+//!   whichever comes first. Under saturation batches fill instantly; under
+//!   trickle load a lone request pays at most `max_wait` of batching
+//!   delay.
+//! * **Drain for shutdown** — after [`BatchQueue::drain`], pushes are
+//!   refused ([`PushError::Draining`]) while consumers flush whatever is
+//!   queued *without* waiting out the deadline, then get `None` — so every
+//!   admitted item is processed and workers exit promptly.
+//!
+//! The queue is generic over the item type: the server queues inference
+//! jobs, the unit tests queue integers.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a [`BatchQueue::push`] was refused; the item comes back to the
+/// caller either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the request (backpressure).
+    Full(T),
+    /// The queue is draining for shutdown — no new admissions.
+    Draining(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    draining: bool,
+}
+
+/// A bounded MPMC queue whose consumers receive items in micro-batches.
+pub struct BatchQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue admitting at most `capacity` items at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (such a queue could never admit).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits one item without blocking, or returns it with the reason it
+    /// was refused.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Draining`] after
+    /// [`BatchQueue::drain`].
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.draining {
+            return Err(PushError::Draining(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.state).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`BatchQueue::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        lock_unpoisoned(&self.state).draining
+    }
+
+    /// Starts draining: refuses new pushes, flushes queued items to
+    /// consumers immediately, and releases consumers (with `None`) once
+    /// the queue is empty.
+    pub fn drain(&self) {
+        lock_unpoisoned(&self.state).draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a batch is ready and takes it: up to `max_batch`
+    /// items, flushed when the batch is full, when `max_wait` has elapsed
+    /// since the first item was observed, or immediately when draining.
+    /// Returns `None` once the queue is draining *and* empty — the
+    /// consumer's signal to exit.
+    pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
+        debug_assert!(max_batch > 0);
+        let mut st = lock_unpoisoned(&self.state);
+        // Phase 1: wait indefinitely for the first item (or drain).
+        loop {
+            if !st.items.is_empty() {
+                break;
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        // Phase 2: batch up to the deadline.
+        let deadline = Instant::now() + max_wait;
+        while st.items.len() < max_batch && !st.draining {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = st.items.len().min(max_batch);
+        let batch: Vec<T> = st.items.drain(..take).collect();
+        let more = !st.items.is_empty();
+        drop(st);
+        if more {
+            // Leftovers beyond max_batch: wake another consumer.
+            self.cv.notify_one();
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const LONG: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn size_trigger_flushes_without_waiting_out_the_deadline() {
+        let q = BatchQueue::new(16);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        let t0 = Instant::now();
+        let batch = q.next_batch(4, LONG).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "a full batch must not wait for the deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_a_partial_batch() {
+        let q = BatchQueue::new(16);
+        q.push(7).unwrap();
+        let t0 = Instant::now();
+        let batch = q.next_batch(4, Duration::from_millis(30)).unwrap();
+        assert_eq!(batch, vec![7]);
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(25), "waited {waited:?}");
+        assert!(waited < Duration::from_secs(2), "waited {waited:?}");
+    }
+
+    #[test]
+    fn items_beyond_max_batch_stay_queued() {
+        let q = BatchQueue::new(16);
+        for i in 0..6 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.next_batch(4, LONG).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(q.next_batch(4, LONG).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_the_item_returned() {
+        let q = BatchQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        match q.push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Shedding is stateless: after a pop the queue admits again.
+        q.next_batch(1, Duration::ZERO).unwrap();
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn drain_flushes_queued_items_then_releases_consumers() {
+        let q = BatchQueue::new(16);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.drain();
+        // Queued items still come out — immediately, ignoring the deadline.
+        let t0 = Instant::now();
+        assert_eq!(q.next_batch(8, LONG).unwrap(), vec![1, 2]);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Then consumers are released.
+        assert_eq!(q.next_batch(8, LONG), None);
+        // And new pushes are refused.
+        match q.push(9) {
+            Err(PushError::Draining(item)) => assert_eq!(item, 9),
+            other => panic!("expected Draining, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_wakes_a_blocked_consumer() {
+        let q = Arc::new(BatchQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.next_batch(4, LONG));
+        // Give the consumer time to block in phase 1.
+        std::thread::sleep(Duration::from_millis(20));
+        q.drain();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(BatchQueue::new(64));
+        let total: usize = 300;
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..total / 3 {
+                        let mut item = p * 1000 + i;
+                        loop {
+                            match q.push(item) {
+                                Ok(_) => break,
+                                Err(PushError::Full(it)) => {
+                                    item = it;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Draining(_)) => panic!("drained early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(batch) = q.next_batch(7, Duration::from_millis(5)) {
+                        got.extend(batch);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.drain();
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<usize> = (0..3)
+            .flat_map(|p| (0..total / 3).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect, "every admitted item is delivered exactly once");
+    }
+}

@@ -1,0 +1,59 @@
+//! A minimal blocking client for the serve protocol, used by the load
+//! generator, the smoke tests, and as the README example.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use quq_tensor::Tensor;
+
+use crate::protocol::{
+    decode_response, encode_infer_request, read_frame, write_frame, InferResponse,
+};
+
+/// A blocking connection to a [`crate::Server`]. One request is in flight
+/// at a time; open more clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Bounds how long [`Client::infer`] waits for a response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one image and waits for the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; an unexpected EOF mid-exchange reports
+    /// [`io::ErrorKind::UnexpectedEof`]. Server-side conditions
+    /// (overload, drain, backend failure) are `Ok` variants of
+    /// [`InferResponse`], not errors.
+    pub fn infer(&mut self, image: &Tensor) -> io::Result<InferResponse> {
+        write_frame(&mut self.stream, &encode_infer_request(image))?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => decode_response(&payload),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            )),
+        }
+    }
+}

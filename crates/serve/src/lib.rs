@@ -1,0 +1,51 @@
+//! `quq-serve`: a dynamic-batching TCP inference server over the QUQ
+//! integer runtime.
+//!
+//! The offline stack (PRs 1–3) evaluates datasets; this crate serves
+//! individual requests the way the ROADMAP's production framing demands:
+//!
+//! * a **length-prefixed TCP protocol** ([`protocol`]) — image tensor in,
+//!   logits + top-1 out;
+//! * a **bounded admission queue** with shed-on-full backpressure and a
+//!   **dynamic micro-batcher** ([`batcher`]) that flushes on `max_batch`
+//!   requests or `max_wait` elapsed, whichever comes first;
+//! * a **worker shard** ([`server`]) where each worker runs whole batches
+//!   through [`VitModel::forward_batch`](quq_vit::VitModel::forward_batch)
+//!   on a backend built by a shared [`BackendProvider`] — integer workers
+//!   share one weight-decode cache, so batching amortizes QUB decode
+//!   exactly as the paper's accelerator amortizes its on-chip weight
+//!   buffer;
+//! * **graceful shutdown**: new connections refused, every admitted
+//!   request completed, workers and handlers joined.
+//!
+//! Batching changes *when* requests are computed, never *what*: the
+//! batched forward is bit-identical to per-image forwards, so a client
+//! cannot tell (except by latency) how its request was batched.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use quq_serve::{Client, Fp32Provider, ServeConfig, Server};
+//! use quq_vit::{ModelConfig, VitModel};
+//!
+//! let model = Arc::new(VitModel::synthesize(ModelConfig::test_config(), 42));
+//! let server = Server::start(
+//!     Arc::clone(&model),
+//!     Arc::new(Fp32Provider),
+//!     ServeConfig::default(),
+//!     "127.0.0.1:0", // ephemeral port
+//! )?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let reply = client.infer(&model.config().dummy_image(0.3))?;
+//! server.shutdown(); // drains, then joins
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchQueue, PushError};
+pub use client::Client;
+pub use protocol::InferResponse;
+pub use server::{BackendProvider, Fp32Provider, IntegerProvider, ServeConfig, Server};

@@ -1,0 +1,101 @@
+//! The `quq-serve` binary: synthesize + calibrate a model, serve it over
+//! TCP, and drain gracefully on stdin EOF (or a line of input).
+//!
+//! ```text
+//! cargo run --release -p quq-serve -- --backend int --addr 127.0.0.1:7878
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--backend int|fp32` — integer QUQ path (default) or f32 reference
+//! * `--model vits|test`  — eval-scale ViT-S (default) or the tiny test config
+//! * `--addr HOST:PORT`   — bind address (default `127.0.0.1:7878`; port 0 = ephemeral)
+//! * `--workers N` `--max-batch N` `--max-wait-us N` `--queue N` — tuning
+//! * `--metrics`          — enable the `quq-obs` recorder and print a
+//!   summary (`serve.*` counters, slowest op sites) after the drain
+
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Duration;
+
+use quq_core::pipeline::{calibrate, PtqConfig};
+use quq_core::QuqMethod;
+use quq_serve::{BackendProvider, Fp32Provider, IntegerProvider, ServeConfig, Server};
+use quq_vit::{Dataset, ModelConfig, ModelId, VitModel};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let backend = arg_value("--backend").unwrap_or_else(|| "int".into());
+    let model_name = arg_value("--model").unwrap_or_else(|| "vits".into());
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let config = ServeConfig {
+        workers: arg_value("--workers").map_or(1, |v| v.parse().expect("--workers")),
+        max_batch: arg_value("--max-batch").map_or(8, |v| v.parse().expect("--max-batch")),
+        max_wait: Duration::from_micros(
+            arg_value("--max-wait-us").map_or(2000, |v| v.parse().expect("--max-wait-us")),
+        ),
+        queue_capacity: arg_value("--queue").map_or(64, |v| v.parse().expect("--queue")),
+    };
+
+    let model_cfg = match model_name.as_str() {
+        "test" => ModelConfig::test_config(),
+        "vits" => ModelConfig::eval_scale(ModelId::VitS),
+        other => return Err(format!("unknown --model {other}").into()),
+    };
+    eprintln!("synthesizing {model_name} model…");
+    let model = Arc::new(VitModel::synthesize(model_cfg, 5));
+
+    let provider: Arc<dyn BackendProvider> = match backend.as_str() {
+        "fp32" => Arc::new(Fp32Provider),
+        "int" => {
+            eprintln!("calibrating W8/A8 full quantization…");
+            let calib = Dataset::calibration(model.config(), 8, 1);
+            let tables = calibrate(
+                &QuqMethod::without_optimization(),
+                &model,
+                &calib,
+                PtqConfig::full_w8a8(),
+            )?;
+            Arc::new(IntegerProvider::new(Arc::new(tables)))
+        }
+        other => return Err(format!("unknown --backend {other}").into()),
+    };
+
+    quq_obs::set_enabled(metrics);
+    let before = quq_obs::snapshot();
+    let server = Server::start(model, provider, config, addr.as_str())?;
+    println!(
+        "serving on {} ({backend}); press Enter to drain",
+        server.local_addr()
+    );
+
+    // Block until the operator sends a line or closes stdin.
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    eprintln!("draining…");
+    server.shutdown();
+    quq_obs::set_enabled(false);
+
+    if metrics {
+        let delta = quq_obs::snapshot().delta_since(&before);
+        println!(
+            "accepted {} · shed {}",
+            delta.counter_total("serve.accepted"),
+            delta.counter_total("serve.shed"),
+        );
+        print!("{}", quq_obs::report::window_summary(&delta, "  "));
+        println!("  slowest op sites:");
+        print!(
+            "{}",
+            quq_obs::report::slowest_sites_table(&delta, 10, "    ")
+        );
+    }
+    Ok(())
+}

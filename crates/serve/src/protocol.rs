@@ -1,0 +1,307 @@
+//! The wire protocol: length-prefixed frames over TCP, little-endian.
+//!
+//! Every message is one frame: a `u32` payload length followed by the
+//! payload. A request payload is
+//!
+//! ```text
+//! opcode: u8 (1 = INFER)
+//! rank:   u8
+//! dims:   rank × u32
+//! data:   Π dims × f32
+//! ```
+//!
+//! and a response payload starts with a status byte:
+//!
+//! ```text
+//! 0 OK         u32 top1 · u32 n_logits · n_logits × f32
+//! 1 OVERLOADED (empty — admission queue full, retry later)
+//! 2 ERROR      u32 len · len × u8 (UTF-8 message)
+//! 3 DRAINING   (empty — server is shutting down, request not admitted)
+//! ```
+//!
+//! Everything is plain `std::io` on byte slices, shared verbatim by the
+//! server, the [`crate::client::Client`], and the load generator.
+
+use std::io::{self, Read, Write};
+
+use quq_tensor::Tensor;
+
+/// Largest accepted frame: a generous bound for one image tensor
+/// (16 MiB ≈ a 2048×2048 3-channel f32 image), protecting the server from
+/// a hostile or corrupt length prefix.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Request opcode: run inference on one image tensor.
+pub const OP_INFER: u8 = 1;
+
+/// Response status bytes.
+pub const STATUS_OK: u8 = 0;
+/// The admission queue was full; the request was shed.
+pub const STATUS_OVERLOADED: u8 = 1;
+/// The backend failed on this request (message follows).
+pub const STATUS_ERROR: u8 = 2;
+/// The server is draining; the request was not admitted.
+pub const STATUS_DRAINING: u8 = 3;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// Propagates I/O errors (including read timeouts as
+/// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`]) and rejects
+/// frames larger than [`MAX_FRAME`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte means the peer is done.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes an INFER request for `image`.
+pub fn encode_infer_request(image: &Tensor) -> Vec<u8> {
+    let shape = image.shape();
+    let mut out = Vec::with_capacity(2 + 4 * shape.len() + 4 * image.data().len());
+    out.push(OP_INFER);
+    out.push(shape.len() as u8);
+    for &d in shape {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in image.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an INFER request payload into the image tensor.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
+/// payload, or element-count mismatch.
+pub fn decode_infer_request(payload: &[u8]) -> io::Result<Tensor> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if payload.len() < 2 {
+        return Err(bad("truncated request header"));
+    }
+    if payload[0] != OP_INFER {
+        return Err(bad("unknown opcode"));
+    }
+    let rank = payload[1] as usize;
+    let dims_end = 2 + 4 * rank;
+    if payload.len() < dims_end {
+        return Err(bad("truncated dims"));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let b: [u8; 4] = payload[2 + 4 * i..2 + 4 * i + 4].try_into().expect("sized");
+        shape.push(u32::from_le_bytes(b) as usize);
+    }
+    let n: usize = shape.iter().product();
+    if payload.len() != dims_end + 4 * n {
+        return Err(bad("element count mismatch"));
+    }
+    let data: Vec<f32> = payload[dims_end..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+        .collect();
+    Tensor::from_vec(data, &shape).map_err(|e| bad(&format!("bad tensor shape: {e:?}")))
+}
+
+/// A decoded inference response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferResponse {
+    /// Inference completed; `top1` is the argmax class of `logits`.
+    Ok {
+        /// Argmax class index.
+        top1: u32,
+        /// Raw logits, one per class.
+        logits: Vec<f32>,
+    },
+    /// The admission queue was full — the request was shed, retry later.
+    Overloaded,
+    /// The server is draining for shutdown — the request was not admitted.
+    Draining,
+    /// The backend failed on this request.
+    Error(String),
+}
+
+/// Encodes an OK response from logits.
+pub fn encode_ok_response(logits: &[f32]) -> Vec<u8> {
+    let top1 = logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i) as u32;
+    let mut out = Vec::with_capacity(9 + 4 * logits.len());
+    out.push(STATUS_OK);
+    out.extend_from_slice(&top1.to_le_bytes());
+    out.extend_from_slice(&(logits.len() as u32).to_le_bytes());
+    for &v in logits {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes a status-only response (`OVERLOADED` / `DRAINING`).
+pub fn encode_status_response(status: u8) -> Vec<u8> {
+    vec![status]
+}
+
+/// Encodes an ERROR response with a message.
+pub fn encode_error_response(msg: &str) -> Vec<u8> {
+    let bytes = msg.as_bytes();
+    let mut out = Vec::with_capacity(5 + bytes.len());
+    out.push(STATUS_ERROR);
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on an unknown status byte or a
+/// truncated body.
+pub fn decode_response(payload: &[u8]) -> io::Result<InferResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    match payload.first() {
+        Some(&STATUS_OK) => {
+            if payload.len() < 9 {
+                return Err(bad("truncated OK response"));
+            }
+            let top1 = u32::from_le_bytes(payload[1..5].try_into().expect("sized"));
+            let n = u32::from_le_bytes(payload[5..9].try_into().expect("sized")) as usize;
+            if payload.len() != 9 + 4 * n {
+                return Err(bad("logit count mismatch"));
+            }
+            let logits = payload[9..]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+                .collect();
+            Ok(InferResponse::Ok { top1, logits })
+        }
+        Some(&STATUS_OVERLOADED) => Ok(InferResponse::Overloaded),
+        Some(&STATUS_DRAINING) => Ok(InferResponse::Draining),
+        Some(&STATUS_ERROR) => {
+            if payload.len() < 5 {
+                return Err(bad("truncated ERROR response"));
+            }
+            let n = u32::from_le_bytes(payload[1..5].try_into().expect("sized")) as usize;
+            if payload.len() != 5 + n {
+                return Err(bad("message length mismatch"));
+            }
+            let msg = String::from_utf8_lossy(&payload[5..]).into_owned();
+            Ok(InferResponse::Error(msg))
+        }
+        _ => Err(bad("unknown response status")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_preserves_tensor_bits() {
+        let t = Tensor::from_vec(
+            vec![0.5, -1.25, f32::MIN_POSITIVE, 3.0e8, -0.0, 7.0],
+            &[2, 3],
+        )
+        .unwrap();
+        let enc = encode_infer_request(&t);
+        let dec = decode_infer_request(&enc).unwrap();
+        assert_eq!(dec.shape(), t.shape());
+        // Bit-level comparison: -0.0 and subnormals must survive.
+        let a: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = dec.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        let logits = vec![0.1f32, 2.5, -3.0];
+        match decode_response(&encode_ok_response(&logits)).unwrap() {
+            InferResponse::Ok { top1, logits: l } => {
+                assert_eq!(top1, 1);
+                assert_eq!(l, logits);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            decode_response(&encode_status_response(STATUS_OVERLOADED)).unwrap(),
+            InferResponse::Overloaded
+        );
+        assert_eq!(
+            decode_response(&encode_status_response(STATUS_DRAINING)).unwrap(),
+            InferResponse::Draining
+        );
+        assert_eq!(
+            decode_response(&encode_error_response("boom")).unwrap(),
+            InferResponse::Error("boom".into())
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(decode_infer_request(&[]).is_err());
+        assert!(decode_infer_request(&[9, 0]).is_err()); // bad opcode
+        let mut short = encode_infer_request(&Tensor::from_vec(vec![1.0; 6], &[2, 3]).unwrap());
+        short.pop();
+        assert!(decode_infer_request(&short).is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! The TCP inference server: accept loop, connection handlers, and the
+//! worker shard that runs batched forwards.
+//!
+//! ## Data flow
+//!
+//! ```text
+//! client ──frame──▶ handler ──push──▶ BatchQueue ──next_batch──▶ worker
+//!   ▲                  │ (bounded; full ⇒ OVERLOADED)    │ forward_batch
+//!   └──────frame───────┴──────────mpsc reply◀────────────┘
+//! ```
+//!
+//! One handler thread per connection decodes requests and admits them to
+//! the bounded [`BatchQueue`]; `workers` threads each pull micro-batches
+//! and run [`VitModel::forward_batch`] on a backend built per batch by the
+//! shared [`BackendProvider`] (integer workers share one
+//! [`WeightQubCache`](quq_accel::WeightQubCache) through their provider).
+//! Because `forward_batch` is bit-identical to per-image `forward`, a
+//! client observes the same logits regardless of which requests it was
+//! batched with.
+//!
+//! ## Backpressure
+//!
+//! Admission is the only buffering point and it is bounded by
+//! `queue_capacity`; when full the handler replies `OVERLOADED`
+//! immediately (shedding) instead of queueing. TCP's own flow control
+//! covers bytes in flight; nothing in the server grows with offered load.
+//!
+//! ## Graceful shutdown
+//!
+//! [`Server::shutdown`] stops the accept loop (closing the listener, so
+//! new connections are refused), drains the queue — every *admitted*
+//! request is still batched, executed, and answered — then joins workers
+//! and handlers. Requests arriving after the drain begins get a
+//! `DRAINING` reply.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use quq_accel::{IntegerBackend, WeightQubCache};
+use quq_core::pipeline::PtqTables;
+use quq_obs::SiteKey;
+use quq_tensor::Tensor;
+use quq_vit::{Backend, Fp32Backend, Observed, VitModel};
+
+use crate::batcher::{BatchQueue, PushError};
+use crate::protocol::{
+    decode_infer_request, encode_error_response, encode_ok_response, encode_status_response,
+    read_frame, write_frame, STATUS_DRAINING, STATUS_OVERLOADED,
+};
+
+/// Builds an inference backend for a worker, once per batch.
+///
+/// The server's workers run on `'static` threads, but the integer backend
+/// borrows its calibration tables — so instead of *storing* backends, the
+/// server stores one shared provider and workers ask it to run each batch
+/// `work` against a fresh backend. Providers own whatever the backends
+/// borrow (tables, the shared weight-decode cache) behind `Arc`s.
+pub trait BackendProvider: Send + Sync {
+    /// Label used as the metrics site for this backend family.
+    fn name(&self) -> &'static str;
+
+    /// Runs `work` with a freshly built backend.
+    fn with_backend(&self, work: &mut dyn FnMut(&mut dyn Backend));
+}
+
+/// Provider for the exact-f32 reference backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fp32Provider;
+
+impl BackendProvider for Fp32Provider {
+    fn name(&self) -> &'static str {
+        "fp32"
+    }
+
+    fn with_backend(&self, work: &mut dyn FnMut(&mut dyn Backend)) {
+        let mut be = Observed::new(Fp32Backend::new());
+        work(&mut be);
+    }
+}
+
+/// Provider for the fully-integer QUQ backend: owns the calibrated tables
+/// and the weight-decode cache every worker shares, so each model weight
+/// is QUB-encoded and panel-decoded once per process, not once per worker.
+pub struct IntegerProvider {
+    tables: Arc<PtqTables>,
+    cache: Arc<WeightQubCache>,
+}
+
+impl IntegerProvider {
+    /// Wraps calibrated tables with a fresh shared weight cache.
+    pub fn new(tables: Arc<PtqTables>) -> Self {
+        Self {
+            tables,
+            cache: Arc::new(WeightQubCache::new()),
+        }
+    }
+
+    /// The shared weight-decode cache (for inspection in tests).
+    pub fn cache(&self) -> &Arc<WeightQubCache> {
+        &self.cache
+    }
+}
+
+impl BackendProvider for IntegerProvider {
+    fn name(&self) -> &'static str {
+        "quq-int"
+    }
+
+    fn with_backend(&self, work: &mut dyn FnMut(&mut dyn Backend)) {
+        let mut be = Observed::new(IntegerBackend::with_cache(
+            &self.tables,
+            Arc::clone(&self.cache),
+        ));
+        work(&mut be);
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Inference worker threads (each runs whole batches).
+    pub workers: usize,
+    /// Flush a batch at this many requests…
+    pub max_batch: usize,
+    /// …or this long after its first request, whichever comes first.
+    pub max_wait: Duration,
+    /// Bounded admission-queue capacity; beyond it requests are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One admitted request: the decoded image and the channel its pre-encoded
+/// response payload travels back on.
+struct Job {
+    image: Tensor,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+/// How often blocked reads and the accept loop re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+struct Shared {
+    model: Arc<VitModel>,
+    provider: Arc<dyn BackendProvider>,
+    queue: BatchQueue<Job>,
+    shutdown: AtomicBool,
+    backend_name: &'static str,
+}
+
+/// A running inference server. Dropping it without calling
+/// [`Server::shutdown`] aborts ungracefully (threads are detached);
+/// call `shutdown` to drain and join.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `bind` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and `config.workers` inference workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn start(
+        model: Arc<VitModel>,
+        provider: Arc<dyn BackendProvider>,
+        config: ServeConfig,
+        bind: impl ToSocketAddrs,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let backend_name = provider.name();
+        let shared = Arc::new(Shared {
+            model,
+            provider,
+            queue: BatchQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            backend_name,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let cfg = config.clone();
+                std::thread::Builder::new()
+                    .name(format!("quq-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &cfg))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("quq-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Gracefully shuts down: refuses new connections, completes every
+    /// admitted request (queued and in-flight), then joins all threads.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The accept thread exits on its next poll, dropping the listener:
+        // from here on new connections are refused by the OS.
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Drain: queued jobs flush to workers immediately; workers exit
+        // once the queue is empty. Every admitted request gets its reply.
+        self.shared.queue.drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Handlers exit after their pending replies are delivered and the
+        // next read poll observes the flag.
+        let handles = std::mem::take(
+            &mut *self
+                .conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // drops the listener → refuses new connections
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("quq-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn connection handler");
+                conns
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    // Reads time out so the handler can observe the shutdown flag while a
+    // client sits idle on an open connection.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                if !handle_request(&mut stream, shared, &payload) {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one decoded frame; returns `false` when the connection should
+/// close.
+fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let t0 = Instant::now();
+    let site = || SiteKey::global(shared.backend_name);
+    let image = match decode_infer_request(payload) {
+        Ok(img) => img,
+        Err(e) => {
+            return write_frame(stream, &encode_error_response(&e.to_string())).is_ok();
+        }
+    };
+    // Validate the shape up front so one malformed request can never fail
+    // a whole batch inside the worker.
+    let cfg = shared.model.config();
+    let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
+    if image.shape() != want {
+        let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
+        return write_frame(stream, &encode_error_response(&msg)).is_ok();
+    }
+
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.push(Job { image, reply: tx }) {
+        Ok(depth) => {
+            quq_obs::add("serve.accepted", 1);
+            quq_obs::record_at("serve.queue_depth", site, depth as u64);
+            // The reply always arrives: workers flush every admitted job
+            // before exiting, and a worker panic drops the sender, which
+            // surfaces here as an error reply instead of a hang.
+            let resp = rx
+                .recv()
+                .unwrap_or_else(|_| encode_error_response("worker dropped the request"));
+            let ok = write_frame(stream, &resp).is_ok();
+            quq_obs::record_at("serve.e2e", site, t0.elapsed().as_nanos() as u64);
+            ok
+        }
+        Err(PushError::Full(_)) => {
+            quq_obs::add("serve.shed", 1);
+            write_frame(stream, &encode_status_response(STATUS_OVERLOADED)).is_ok()
+        }
+        Err(PushError::Draining(_)) => {
+            let _ = write_frame(stream, &encode_status_response(STATUS_DRAINING));
+            false
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
+    let site = || SiteKey::global(shared.backend_name);
+    while let Some(batch) = shared.queue.next_batch(cfg.max_batch, cfg.max_wait) {
+        if batch.is_empty() {
+            continue;
+        }
+        quq_obs::record_at("serve.batch_size", site, batch.len() as u64);
+        let images: Vec<Tensor> = batch.iter().map(|j| j.image.clone()).collect();
+        shared.provider.with_backend(&mut |be| {
+            let mut be: &mut dyn Backend = be;
+            match shared.model.forward_batch(&images, &mut be) {
+                Ok(logits) => {
+                    for (job, l) in batch.iter().zip(&logits) {
+                        let _ = job.reply.send(encode_ok_response(l.data()));
+                    }
+                }
+                Err(e) => {
+                    let msg = format!("backend error: {e:?}");
+                    for job in &batch {
+                        let _ = job.reply.send(encode_error_response(&msg));
+                    }
+                }
+            }
+        });
+    }
+}

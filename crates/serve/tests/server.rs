@@ -1,0 +1,297 @@
+//! End-to-end tests of the serving path: correctness against the offline
+//! forward, backpressure under overload, and graceful drain.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use quq_serve::{
+    BackendProvider, Client, Fp32Provider, InferResponse, IntegerProvider, ServeConfig, Server,
+};
+use quq_vit::{Backend, Fp32Backend, ModelConfig, Observed, VitModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_model() -> Arc<VitModel> {
+    Arc::new(VitModel::synthesize(ModelConfig::test_config(), 42))
+}
+
+fn images(model: &VitModel, n: usize, seed: u64) -> Vec<quq_tensor::Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| quq_vit::synthetic_image(model.config(), &mut rng))
+        .collect()
+}
+
+#[test]
+fn served_logits_match_offline_forward_bitwise() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let imgs = images(&model, 6, 3);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for img in &imgs {
+        let offline = model.forward(img, &mut Fp32Backend::new()).unwrap();
+        match client.infer(img).unwrap() {
+            InferResponse::Ok { top1, logits } => {
+                assert_eq!(logits, offline.data(), "served logits diverge from offline");
+                let want = offline
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .unwrap()
+                    .0 as u32;
+                assert_eq!(top1, want);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_batched_and_all_answered() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let imgs = images(&model, 8, 9);
+    let clients: Vec<_> = imgs
+        .iter()
+        .cloned()
+        .map(|img| {
+            let model = Arc::clone(&model);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let offline = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+                match c.infer(&img).unwrap() {
+                    InferResponse::Ok { logits, .. } => assert_eq!(logits, offline.data()),
+                    other => panic!("expected Ok, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    server.shutdown();
+}
+
+#[test]
+fn integer_backend_serves_the_same_bits_as_offline() {
+    let model = test_model();
+    let calib = quq_vit::Dataset::calibration(model.config(), 4, 1);
+    let tables = quq_core::pipeline::calibrate(
+        &quq_core::QuqMethod::without_optimization(),
+        &model,
+        &calib,
+        quq_core::pipeline::PtqConfig::full_w8a8(),
+    )
+    .unwrap();
+    let tables = Arc::new(tables);
+    let provider = Arc::new(IntegerProvider::new(Arc::clone(&tables)));
+    let cache = Arc::clone(provider.cache());
+    let server = Server::start(
+        Arc::clone(&model),
+        provider,
+        ServeConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let imgs = images(&model, 3, 5);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for img in &imgs {
+        let mut be = quq_accel::IntegerBackend::new(&tables);
+        let offline = model.forward(img, &mut be).unwrap();
+        match client.infer(img).unwrap() {
+            InferResponse::Ok { logits, .. } => assert_eq!(logits, offline.data()),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    assert!(!cache.is_empty(), "serving must populate the shared cache");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_misshapen_requests_get_error_replies() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Wrong image shape: an explicit error, not a dead connection.
+    let bad = quq_tensor::Tensor::zeros(&[1, 4, 4]);
+    match client.infer(&bad).unwrap() {
+        InferResponse::Error(msg) => assert!(msg.contains("shape"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The connection survives and still serves good requests.
+    let good = images(&model, 1, 2).remove(0);
+    assert!(matches!(
+        client.infer(&good).unwrap(),
+        InferResponse::Ok { .. }
+    ));
+    server.shutdown();
+}
+
+/// An Fp32 provider that stalls each batch, so tests can fill the
+/// admission queue deterministically.
+struct SlowProvider {
+    delay: Duration,
+    batches: AtomicUsize,
+}
+
+impl BackendProvider for SlowProvider {
+    fn name(&self) -> &'static str {
+        "slow-fp32"
+    }
+
+    fn with_backend(&self, work: &mut dyn FnMut(&mut dyn Backend)) {
+        std::thread::sleep(self.delay);
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        let mut be = Observed::new(Fp32Backend::new());
+        work(&mut be);
+    }
+}
+
+#[test]
+fn overload_sheds_with_overload_reply_and_bounded_queue() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(SlowProvider {
+            delay: Duration::from_millis(150),
+            batches: AtomicUsize::new(0),
+        }),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let img = images(&model, 1, 4).remove(0);
+    // Far more concurrent requests than queue (2) + in-flight batch (2)
+    // can hold: the excess must be shed, not buffered.
+    let n = 12;
+    let replies: Vec<_> = (0..n)
+        .map(|_| {
+            let img = img.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.infer(&img).unwrap()
+            })
+        })
+        .collect();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for r in replies {
+        match r.join().unwrap() {
+            InferResponse::Ok { .. } => ok += 1,
+            InferResponse::Overloaded => shed += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(ok + shed, n);
+    assert!(
+        shed > 0,
+        "queue capacity 2 with 12 bursty clients must shed"
+    );
+    assert!(ok > 0, "some requests must still be served");
+    assert!(
+        server.queue_depth() <= 2,
+        "queue depth is bounded by config"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests_before_exit() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(SlowProvider {
+            delay: Duration::from_millis(100),
+            batches: AtomicUsize::new(0),
+        }),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 16,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let img = images(&model, 1, 6).remove(0);
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let img = img.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.infer(&img)
+            })
+        })
+        .collect();
+    // Let the requests get admitted, then shut down while they are queued
+    // behind the slow worker.
+    std::thread::sleep(Duration::from_millis(60));
+    server.shutdown();
+    let mut answered = 0usize;
+    for c in clients {
+        match c.join().unwrap() {
+            Ok(InferResponse::Ok { .. }) => answered += 1,
+            Ok(InferResponse::Draining) => {} // raced the drain at admission
+            Ok(other) => panic!("unexpected reply {other:?}"),
+            Err(e) => panic!("client error during drain: {e}"),
+        }
+    }
+    assert!(
+        answered > 0,
+        "requests admitted before shutdown must be completed, not dropped"
+    );
+}
+
+#[test]
+fn connections_after_shutdown_are_refused() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    server.shutdown();
+    // The listener is gone: either connect fails outright, or the stale
+    // socket EOFs/errors on first use. Either way no service.
+    if let Ok(mut c) = Client::connect(addr) {
+        let img = quq_tensor::Tensor::zeros(&[3, 16, 16]);
+        assert!(c.infer(&img).is_err(), "shut-down server must not serve");
+    }
+}

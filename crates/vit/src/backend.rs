@@ -266,6 +266,47 @@ pub trait Backend {
     }
 }
 
+// A `&mut` reference to a backend is itself a backend that forwards every
+// call to the referent. Each method must forward explicitly — inheriting the
+// trait's f32 defaults here would silently bypass the inner backend. This is
+// what lets the serving worker hand `&mut dyn Backend` to
+// `VitModel::forward_batch` without knowing the concrete type.
+impl<B: Backend + ?Sized> Backend for &mut B {
+    fn linear(
+        &mut self,
+        site: OpSite,
+        x: &Tensor,
+        w: &Tensor,
+        b: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        (**self).linear(site, x, w, b)
+    }
+
+    fn matmul(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        (**self).matmul(site, a, b)
+    }
+
+    fn matmul_nt(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        (**self).matmul_nt(site, a, b)
+    }
+
+    fn softmax(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        (**self).softmax(site, x)
+    }
+
+    fn gelu(&mut self, site: OpSite, x: &Tensor) -> Result<Tensor> {
+        (**self).gelu(site, x)
+    }
+
+    fn layer_norm(&mut self, site: OpSite, x: &Tensor, g: &Tensor, b: &Tensor) -> Result<Tensor> {
+        (**self).layer_norm(site, x, g, b)
+    }
+
+    fn add(&mut self, site: OpSite, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        (**self).add(site, a, b)
+    }
+}
+
 /// Wraps any backend and records every operation as a per-site latency span
 /// on the global [`quq_obs`] recorder: `op.linear` at `block3.Qkv`,
 /// `op.softmax` at `block0.Softmax`, and so on — the per-layer breakdown the

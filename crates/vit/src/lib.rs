@@ -38,6 +38,6 @@ pub mod weights;
 pub use backend::{Backend, BackendError, Fp32Backend, Observed, OpKind, OpSite};
 pub use capture::{CaptureBackend, Tap, TapSide};
 pub use config::{Family, ModelConfig, ModelId, StageConfig};
-pub use data::{evaluate, evaluate_parallel, Dataset};
+pub use data::{evaluate, evaluate_parallel, synthetic_image, Dataset};
 pub use model::{AttentionMaps, VitModel};
 pub use weights::{BlockWeights, ModelWeights, StageWeights};

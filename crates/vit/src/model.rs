@@ -50,6 +50,29 @@ fn scatter_rows(dst: &mut Tensor, src: &Tensor, rows: &[usize]) {
     }
 }
 
+/// Concatenates rank-2 tensors along rows: `[(Σ rows_i), cols]`.
+fn concat_rows(parts: &[Tensor]) -> Tensor {
+    debug_assert!(!parts.is_empty());
+    let cols = parts[0].shape()[1];
+    let rows: usize = parts.iter().map(|p| p.shape()[0]).sum();
+    let mut data = Vec::with_capacity(rows * cols);
+    for p in parts {
+        debug_assert_eq!(p.shape()[1], cols, "column mismatch in row concat");
+        data.extend_from_slice(p.data());
+    }
+    Tensor::from_vec(data, &[rows, cols]).expect("sized")
+}
+
+/// Repeats a rank-2 tensor's rows `times` times: `[times·rows, cols]`.
+fn tile_rows(t: &Tensor, times: usize) -> Tensor {
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    let mut data = Vec::with_capacity(times * rows * cols);
+    for _ in 0..times {
+        data.extend_from_slice(t.data());
+    }
+    Tensor::from_vec(data, &[times * rows, cols]).expect("sized")
+}
+
 /// A synthesized vision transformer: configuration plus weights.
 ///
 /// ```
@@ -131,12 +154,39 @@ impl VitModel {
 
     /// Runs inference on one image, returning logits `[num_classes]`.
     ///
+    /// Implemented as [`VitModel::forward_batch`] with a batch of one; the
+    /// kernels are row-independent, so the result is bit-identical to any
+    /// larger batch containing the same image.
+    ///
     /// # Errors
     ///
     /// Propagates backend errors (shape errors, missing quantization
     /// parameters, …).
     pub fn forward<B: Backend>(&self, image: &Tensor, be: &mut B) -> Result<Tensor> {
-        self.forward_inner(image, be, None)
+        let mut logits = self.forward_batch_inner(std::slice::from_ref(image), be, None)?;
+        Ok(logits.pop().expect("batch of one"))
+    }
+
+    /// Runs inference on a batch of images, returning one logits tensor
+    /// `[num_classes]` per image, in order.
+    ///
+    /// All images are stacked into one `(B·tokens) × dim` activation so
+    /// every linear / LayerNorm / GELU / residual runs as a single large
+    /// call — one GEMM per site per *batch* instead of per image, which is
+    /// what amortizes weight decode and panel streaming in the serving
+    /// path. Attention stays per image (tokens of one image never attend
+    /// across the batch). Because every kernel in the stack computes each
+    /// output row from its own input row with a fixed accumulation order,
+    /// the per-image results are **bit-identical to B separate
+    /// [`VitModel::forward`] calls at every batch size and thread count**
+    /// (asserted by the proptest suite and the serving smoke test).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors. All images must share the model's input
+    /// shape ([`VitModel::patchify`] panics otherwise, as for `forward`).
+    pub fn forward_batch<B: Backend>(&self, images: &[Tensor], be: &mut B) -> Result<Vec<Tensor>> {
+        self.forward_batch_inner(images, be, None)
     }
 
     /// Runs inference and additionally captures head-averaged attention
@@ -152,20 +202,32 @@ impl VitModel {
         be: &mut B,
     ) -> Result<(Tensor, AttentionMaps)> {
         let mut maps = AttentionMaps::new();
-        let logits = self.forward_inner(image, be, Some(&mut maps))?;
-        Ok((logits, maps))
+        let mut logits =
+            self.forward_batch_inner(std::slice::from_ref(image), be, Some(&mut maps))?;
+        Ok((logits.pop().expect("batch of one"), maps))
     }
 
-    fn forward_inner<B: Backend>(
+    fn forward_batch_inner<B: Backend>(
         &self,
-        image: &Tensor,
+        images: &[Tensor],
         be: &mut B,
         mut attn_out: Option<&mut AttentionMaps>,
-    ) -> Result<Tensor> {
+    ) -> Result<Vec<Tensor>> {
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        debug_assert!(
+            attn_out.is_none() || images.len() == 1,
+            "attention capture is single-image"
+        );
         let _span = quq_obs::span("model.forward");
+        quq_obs::record("model.batch_size", images.len() as u64);
         let cfg = &self.config;
         let w = &self.weights;
-        let patches = self.patchify(image);
+        let batch = images.len();
+        let per_image: Vec<Tensor> = images.iter().map(|img| self.patchify(img)).collect();
+        let n_patches = per_image[0].shape()[0];
+        let patches = concat_rows(&per_image);
         let body = be.linear(
             OpSite::global(OpKind::PatchEmbed),
             &patches,
@@ -173,20 +235,26 @@ impl VitModel {
             Some(&w.patch_b),
         )?;
 
-        // Prepend the CLS token (ViT/DeiT) and add the positional embedding.
+        // Prepend the CLS token (ViT/DeiT) per image and add the positional
+        // embedding to every image's token block.
         let mut x = match &w.cls_token {
             Some(cls) => {
                 let d = cls.len();
-                let mut data = Vec::with_capacity((patches.shape()[0] + 1) * d);
-                data.extend_from_slice(cls.data());
-                data.extend_from_slice(body.data());
-                Tensor::from_vec(data, &[patches.shape()[0] + 1, d])
+                let n = n_patches + 1;
+                let mut data = Vec::with_capacity(batch * n * d);
+                for b in 0..batch {
+                    data.extend_from_slice(cls.data());
+                    data.extend_from_slice(
+                        &body.data()[b * n_patches * d..(b + 1) * n_patches * d],
+                    );
+                }
+                Tensor::from_vec(data, &[batch * n, d])
                     .map_err(crate::backend::BackendError::from)?
             }
             None => body,
         };
         x = x
-            .add(&w.pos_embed)
+            .add(&tile_rows(&w.pos_embed, batch))
             .map_err(crate::backend::BackendError::from)?;
 
         let mut grid = cfg.grid();
@@ -199,6 +267,7 @@ impl VitModel {
                     block_idx,
                     blk,
                     &x,
+                    batch,
                     grid,
                     shift,
                     attn_out.as_deref_mut(),
@@ -206,7 +275,7 @@ impl VitModel {
                 block_idx += 1;
             }
             if let Some((mw, mb)) = &stage.merge {
-                x = self.patch_merge(be, block_idx - 1, &x, grid, mw, mb)?;
+                x = self.patch_merge(be, block_idx - 1, &x, batch, grid, mw, mb)?;
                 grid /= 2;
             }
         }
@@ -217,21 +286,29 @@ impl VitModel {
             &w.final_g,
             &w.final_b,
         )?;
+        let tokens = x.shape()[0] / batch;
+        let cols = x.shape()[1];
         let pooled = match cfg.family {
-            Family::Vit | Family::Deit => gather_rows(&x, &[0]),
+            Family::Vit | Family::Deit => {
+                let rows: Vec<usize> = (0..batch).map(|b| b * tokens).collect();
+                gather_rows(&x, &rows)
+            }
             Family::Swin => {
-                // Global average pool over tokens.
-                let (rows, cols) = (x.shape()[0], x.shape()[1]);
-                let mut data = vec![0.0f32; cols];
-                for r in 0..rows {
-                    for (cix, dv) in data.iter_mut().enumerate() {
-                        *dv += x.data()[r * cols + cix];
+                // Global average pool over each image's tokens.
+                let mut data = vec![0.0f32; batch * cols];
+                for (b, out) in data.chunks_mut(cols).enumerate() {
+                    for r in 0..tokens {
+                        let row = &x.data()[(b * tokens + r) * cols..(b * tokens + r + 1) * cols];
+                        for (dv, &v) in out.iter_mut().zip(row) {
+                            *dv += v;
+                        }
+                    }
+                    for dv in out.iter_mut() {
+                        *dv /= tokens as f32;
                     }
                 }
-                for dv in &mut data {
-                    *dv /= rows as f32;
-                }
-                Tensor::from_vec(data, &[1, cols]).map_err(crate::backend::BackendError::from)?
+                Tensor::from_vec(data, &[batch, cols])
+                    .map_err(crate::backend::BackendError::from)?
             }
         };
         let logits = be.linear(
@@ -240,46 +317,20 @@ impl VitModel {
             &w.head_w,
             Some(&w.head_b),
         )?;
-        logits
-            .into_reshape(&[cfg.num_classes])
-            .map_err(crate::backend::BackendError::from)
+        (0..batch)
+            .map(|b| {
+                gather_rows(&logits, &[b])
+                    .into_reshape(&[cfg.num_classes])
+                    .map_err(crate::backend::BackendError::from)
+            })
+            .collect()
     }
 
-    /// One transformer block on tokens `x: [n, d]`.
-    ///
-    /// For windowed (Swin) configurations, `shift` rolls the grid by half a
-    /// window before partitioning and rolls back after.
-    #[allow(clippy::too_many_arguments)]
-    fn block_forward<B: Backend>(
-        &self,
-        be: &mut B,
-        block: usize,
-        blk: &BlockWeights,
-        x: &Tensor,
-        grid: usize,
-        shift: bool,
-        attn_out: Option<&mut AttentionMaps>,
-    ) -> Result<Tensor> {
-        let d = blk.embed_dim;
-        let heads = blk.num_heads;
-        let hd = d / heads;
-        let n = x.shape()[0];
-
-        let x_ln = be.layer_norm(
-            OpSite::in_block(block, OpKind::Norm1),
-            x,
-            &blk.ln1_g,
-            &blk.ln1_b,
-        )?;
-        let qkv = be.linear(
-            OpSite::in_block(block, OpKind::Qkv),
-            &x_ln,
-            &blk.qkv_w,
-            Some(&blk.qkv_b),
-        )?;
-
-        // Window partition (global attention = one window covering all rows).
-        let windows: Vec<Vec<usize>> = match self.config.window {
+    /// The window partition of one image's `n` tokens (global attention =
+    /// one window covering all rows). For windowed (Swin) configurations,
+    /// `shift` rolls the grid by half a window before partitioning.
+    fn window_indices(&self, n: usize, grid: usize, shift: bool) -> Vec<Vec<usize>> {
+        match self.config.window {
             None => vec![(0..n).collect()],
             Some(wsize) => {
                 let w = wsize.min(grid);
@@ -302,40 +353,82 @@ impl VitModel {
                 }
                 out
             }
-        };
+        }
+    }
 
+    /// One transformer block on stacked tokens `x: [batch·n, d]`.
+    ///
+    /// LayerNorm, QKV, projection, residuals, and the MLP run on the whole
+    /// stack; attention runs per image (and per window for Swin), so a
+    /// token only ever attends within its own image.
+    #[allow(clippy::too_many_arguments)]
+    fn block_forward<B: Backend>(
+        &self,
+        be: &mut B,
+        block: usize,
+        blk: &BlockWeights,
+        x: &Tensor,
+        batch: usize,
+        grid: usize,
+        shift: bool,
+        attn_out: Option<&mut AttentionMaps>,
+    ) -> Result<Tensor> {
+        let d = blk.embed_dim;
+        let heads = blk.num_heads;
+        let hd = d / heads;
+        let n = x.shape()[0] / batch;
+
+        let x_ln = be.layer_norm(
+            OpSite::in_block(block, OpKind::Norm1),
+            x,
+            &blk.ln1_g,
+            &blk.ln1_b,
+        )?;
+        let qkv = be.linear(
+            OpSite::in_block(block, OpKind::Qkv),
+            &x_ln,
+            &blk.qkv_w,
+            Some(&blk.qkv_b),
+        )?;
+
+        let windows = self.window_indices(n, grid, shift);
         let scale = 1.0 / (hd as f32).sqrt();
         let mut attn_accum = if attn_out.is_some() {
             Some(Tensor::zeros(&[n, n]))
         } else {
             None
         };
-        let mut attended = Tensor::zeros(&[n, d]);
-        for idx in &windows {
-            let qkv_w = gather_rows(&qkv, idx);
-            let mut head_outs = Vec::with_capacity(heads);
-            for h in 0..heads {
-                let q = slice_cols(&qkv_w, h * hd, (h + 1) * hd).scale(scale);
-                let k = slice_cols(&qkv_w, d + h * hd, d + (h + 1) * hd);
-                let v = slice_cols(&qkv_w, 2 * d + h * hd, 2 * d + (h + 1) * hd);
-                let scores = be.matmul_nt(OpSite::in_block(block, OpKind::QkMatmul), &q, &k)?;
-                let probs = be.softmax(OpSite::in_block(block, OpKind::Softmax), &scores)?;
-                if let Some(acc) = attn_accum.as_mut() {
-                    // Accumulate head-averaged probabilities at global indices.
-                    let m = idx.len();
-                    for (wi, &gi) in idx.iter().enumerate() {
-                        for (wj, &gj) in idx.iter().enumerate() {
-                            let cur = acc.at(&[gi, gj]);
-                            acc.set(&[gi, gj], cur + probs.data()[wi * m + wj] / heads as f32);
+        let mut attended = Tensor::zeros(&[batch * n, d]);
+        for image in 0..batch {
+            let off = image * n;
+            for idx in &windows {
+                let gidx: Vec<usize> = idx.iter().map(|&i| i + off).collect();
+                let qkv_w = gather_rows(&qkv, &gidx);
+                let mut head_outs = Vec::with_capacity(heads);
+                for h in 0..heads {
+                    let q = slice_cols(&qkv_w, h * hd, (h + 1) * hd).scale(scale);
+                    let k = slice_cols(&qkv_w, d + h * hd, d + (h + 1) * hd);
+                    let v = slice_cols(&qkv_w, 2 * d + h * hd, 2 * d + (h + 1) * hd);
+                    let scores = be.matmul_nt(OpSite::in_block(block, OpKind::QkMatmul), &q, &k)?;
+                    let probs = be.softmax(OpSite::in_block(block, OpKind::Softmax), &scores)?;
+                    if let Some(acc) = attn_accum.as_mut() {
+                        // Accumulate head-averaged probabilities at global
+                        // indices (single-image capture, so off == 0).
+                        let m = idx.len();
+                        for (wi, &gi) in idx.iter().enumerate() {
+                            for (wj, &gj) in idx.iter().enumerate() {
+                                let cur = acc.at(&[gi, gj]);
+                                acc.set(&[gi, gj], cur + probs.data()[wi * m + wj] / heads as f32);
+                            }
                         }
                     }
+                    let out_h = be.matmul(OpSite::in_block(block, OpKind::PvMatmul), &probs, &v)?;
+                    head_outs.push(out_h);
                 }
-                let out_h = be.matmul(OpSite::in_block(block, OpKind::PvMatmul), &probs, &v)?;
-                head_outs.push(out_h);
+                let concat =
+                    Tensor::concat_last(&head_outs).map_err(crate::backend::BackendError::from)?;
+                scatter_rows(&mut attended, &concat, &gidx);
             }
-            let concat =
-                Tensor::concat_last(&head_outs).map_err(crate::backend::BackendError::from)?;
-            scatter_rows(&mut attended, &concat, idx);
         }
         if let (Some(maps), Some(acc)) = (attn_out, attn_accum) {
             maps.push(acc);
@@ -371,29 +464,36 @@ impl VitModel {
         be.add(OpSite::in_block(block, OpKind::Residual2), &x, &h2)
     }
 
-    /// Patch merging: each 2×2 neighborhood of the `grid×grid` token map is
-    /// concatenated (`[4d]`) and projected to the next stage's dimension.
+    /// Patch merging: each 2×2 neighborhood of every image's `grid×grid`
+    /// token map is concatenated (`[4d]`); the stacked batch is projected
+    /// to the next stage's dimension in one linear.
+    #[allow(clippy::too_many_arguments)]
     fn patch_merge<B: Backend>(
         &self,
         be: &mut B,
         block: usize,
         x: &Tensor,
+        batch: usize,
         grid: usize,
         mw: &Tensor,
         mb: &Tensor,
     ) -> Result<Tensor> {
         let d = x.shape()[1];
+        let n = x.shape()[0] / batch;
         let ng = grid / 2;
-        let mut data = Vec::with_capacity(ng * ng * 4 * d);
-        for gy in 0..ng {
-            for gx in 0..ng {
-                for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-                    let src = (2 * gy + dy) * grid + (2 * gx + dx);
-                    data.extend_from_slice(&x.data()[src * d..(src + 1) * d]);
+        let mut data = Vec::with_capacity(batch * ng * ng * 4 * d);
+        for image in 0..batch {
+            let off = image * n;
+            for gy in 0..ng {
+                for gx in 0..ng {
+                    for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                        let src = off + (2 * gy + dy) * grid + (2 * gx + dx);
+                        data.extend_from_slice(&x.data()[src * d..(src + 1) * d]);
+                    }
                 }
             }
         }
-        let merged = Tensor::from_vec(data, &[ng * ng, 4 * d])
+        let merged = Tensor::from_vec(data, &[batch * ng * ng, 4 * d])
             .map_err(crate::backend::BackendError::from)?;
         be.linear(
             OpSite::in_block(block, OpKind::PatchMerge),
@@ -409,6 +509,8 @@ mod tests {
     use super::*;
     use crate::backend::Fp32Backend;
     use crate::config::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn slice_cols_and_gather_rows() {
@@ -481,6 +583,51 @@ mod tests {
         let logits = model.forward(&img, &mut Fp32Backend::new()).unwrap();
         assert_eq!(logits.len(), 10);
         assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_batch_matches_per_image_forward() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+        let mut rng = StdRng::seed_from_u64(9);
+        let images: Vec<Tensor> = (0..4)
+            .map(|_| crate::data::synthetic_image(model.config(), &mut rng))
+            .collect();
+        let solo: Vec<Tensor> = images
+            .iter()
+            .map(|img| model.forward(img, &mut Fp32Backend::new()).unwrap())
+            .collect();
+        for bsz in 1..=images.len() {
+            let batched = model
+                .forward_batch(&images[..bsz], &mut Fp32Backend::new())
+                .unwrap();
+            assert_eq!(batched.len(), bsz);
+            for (b, s) in batched.iter().zip(&solo) {
+                assert_eq!(b.data(), s.data(), "batch of {bsz} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_swin_matches_per_image() {
+        let model = VitModel::synthesize(ModelConfig::test_swin_config(), 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let images: Vec<Tensor> = (0..3)
+            .map(|_| crate::data::synthetic_image(model.config(), &mut rng))
+            .collect();
+        let batched = model
+            .forward_batch(&images, &mut Fp32Backend::new())
+            .unwrap();
+        for (img, b) in images.iter().zip(&batched) {
+            let s = model.forward(img, &mut Fp32Backend::new()).unwrap();
+            assert_eq!(b.data(), s.data());
+        }
+    }
+
+    #[test]
+    fn forward_batch_of_nothing_is_empty() {
+        let model = VitModel::synthesize(ModelConfig::test_config(), 42);
+        let out = model.forward_batch(&[], &mut Fp32Backend::new()).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use proptest::prelude::*;
 use quq_vit::{Fp32Backend, ModelConfig, VitModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -35,6 +37,43 @@ proptest! {
         let logits = model.forward(&img, &mut Fp32Backend::new()).unwrap();
         prop_assert!(logits.data().iter().all(|v| v.is_finite()));
         prop_assert_eq!(logits.len(), model.config().num_classes);
+    }
+
+    // The serving tentpole's determinism contract: a batched forward is
+    // bit-identical to per-image forwards, at any batch size, whether the
+    // kernels run on the pool or serially (check.sh re-runs this suite with
+    // QUQ_THREADS=4 to cover the multi-thread count).
+    #[test]
+    fn forward_batch_bit_identical_to_forward(seed in 0u64..500, bsz in 1usize..=8) {
+        let model = VitModel::synthesize(ModelConfig::test_config(), seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let images: Vec<_> = (0..bsz)
+            .map(|_| quq_vit::synthetic_image(model.config(), &mut rng))
+            .collect();
+        let batched = model.forward_batch(&images, &mut Fp32Backend::new()).unwrap();
+        let serial = quq_tensor::pool::run_serial(|| {
+            model.forward_batch(&images, &mut Fp32Backend::new()).unwrap()
+        });
+        prop_assert_eq!(batched.len(), bsz);
+        for (i, img) in images.iter().enumerate() {
+            let solo = model.forward(img, &mut Fp32Backend::new()).unwrap();
+            prop_assert_eq!(batched[i].data(), solo.data(), "image {} diverged", i);
+            prop_assert_eq!(serial[i].data(), solo.data(), "image {} serial diverged", i);
+        }
+    }
+
+    #[test]
+    fn swin_forward_batch_bit_identical(seed in 0u64..100, bsz in 1usize..=4) {
+        let model = VitModel::synthesize(ModelConfig::test_swin_config(), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let images: Vec<_> = (0..bsz)
+            .map(|_| quq_vit::synthetic_image(model.config(), &mut rng))
+            .collect();
+        let batched = model.forward_batch(&images, &mut Fp32Backend::new()).unwrap();
+        for (i, img) in images.iter().enumerate() {
+            let solo = model.forward(img, &mut Fp32Backend::new()).unwrap();
+            prop_assert_eq!(batched[i].data(), solo.data(), "image {} diverged", i);
+        }
     }
 
     #[test]

@@ -52,43 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if metrics {
         println!("\nInteger-path metrics ({} images):", eval.len());
-        println!(
-            "  GEMM: {:.3}s across ops ({} MACs, {} bytes moved)",
-            (delta.hist_sum("op.linear")
-                + delta.hist_sum("op.matmul")
-                + delta.hist_sum("op.matmul_nt")) as f64
-                * 1e-9,
-            delta.counter_total("gemm.macs"),
-            delta.counter_total("gemm.bytes"),
-        );
-        println!(
-            "  weight-decode cache: {} hits / {} misses",
-            delta.counter_total("cache.weight_qub.hit"),
-            delta.counter_total("cache.weight_qub.miss"),
-        );
-        println!(
-            "  SFU: softmax {:.3}s, gelu {:.3}s, layer_norm {:.3}s",
-            delta.hist_sum("sfu.softmax") as f64 * 1e-9,
-            delta.hist_sum("sfu.gelu") as f64 * 1e-9,
-            delta.hist_sum("sfu.layer_norm") as f64 * 1e-9,
-        );
-        // The ten slowest op sites by total span time.
-        let mut by_site: Vec<(&str, Option<&str>, u64)> = delta
-            .hists
-            .iter()
-            .filter(|h| h.name.starts_with("op.") && h.count > 0)
-            .map(|h| (h.name.as_str(), h.site.as_deref(), h.sum))
-            .collect();
-        by_site.sort_by_key(|&(_, _, sum)| std::cmp::Reverse(sum));
+        print!("{}", quq_obs::report::window_summary(&delta, "  "));
         println!("  slowest op sites:");
-        for (name, site, sum) in by_site.iter().take(10) {
-            println!(
-                "    {:>22}  {:<14} {:.4}s",
-                site.unwrap_or("-"),
-                name,
-                *sum as f64 * 1e-9
-            );
-        }
+        print!(
+            "{}",
+            quq_obs::report::slowest_sites_table(&delta, 10, "    ")
+        );
     }
     Ok(())
 }

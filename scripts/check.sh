@@ -19,6 +19,10 @@ cargo test -q
 echo "==> tier-2: packed-kernel proptests under a 4-worker pool"
 QUQ_THREADS=4 cargo test -q -p quq-core --test proptests
 
+echo "==> tier-2: batched-forward bit-identity under a 4-worker pool"
+QUQ_THREADS=4 cargo test -q -p quq-vit --test proptests
+QUQ_THREADS=4 cargo test -q -p quq-accel --test batch_identity
+
 echo "==> tier-2: throughput smoke (quick config, determinism gate)"
 smoke_out=target/bench_smoke.json
 QUQ_QUICK=1 QUQ_BENCH_OUT="$smoke_out" cargo run --release -q -p quq-bench --bin throughput
@@ -62,6 +66,40 @@ for entry in report["sweep"]:
             assert site in sites, (backend["backend"], site)
 
 print("metrics smoke: JSON parses, all op sites present, bit-identity holds")
+PY
+
+echo "==> tier-2: serve smoke (ephemeral port, mixed load, graceful drain)"
+serve_out=target/bench_smoke_serve.json
+# loadgen starts its own in-process server on an ephemeral port, asserts
+# served logits are bit-identical to offline forward, drives a mixed
+# closed-loop + fixed-rate load (including an overload regime that must
+# shed), and drains gracefully; a non-zero exit fails the gate.
+QUQ_QUICK=1 QUQ_BENCH_OUT="$serve_out" \
+    cargo run --release -q -p quq-bench --bin loadgen -- --metrics
+python3 - "$serve_out" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["responses_match_offline_bitwise"] is True
+assert report["serve_sites_complete"] is True
+assert report["queue_depth_bounded"] is True
+# Backpressure engaged somewhere on the curve and the queue stayed bounded.
+assert any(p["shed"] > 0 for p in report["shed_curve"])
+assert all(p["max_queue_depth"] <= 64 for p in report["shed_curve"])
+# Batching actually batched.
+batched = next(s for s in report["serving"] if s["mode"] == "batched")
+assert batched["mean_batch"] > 1.0
+
+# serve.* metric sites are present in the embedded snapshot.
+names = {(h["name"], h.get("site")) for h in report["metrics"]["histograms"]}
+for metric in ("serve.batch_size", "serve.e2e", "serve.queue_depth"):
+    assert (metric, "quq-int") in names, metric
+counters = {c["name"] for c in report["metrics"]["counters"]}
+assert "serve.accepted" in counters and "serve.shed" in counters
+
+print("serve smoke: bit-identical responses, bounded queue, sheds under overload, drains clean")
 PY
 
 echo "All checks passed."
