@@ -59,6 +59,25 @@ impl WeightQubCache {
         self.len() == 0
     }
 
+    /// Pre-populates a cache from a stored artifact's QUB records, skipping
+    /// the per-site encode entirely — the cold-start path. Every record is
+    /// checksum-verified by the store as it is read, and its pre-shifted
+    /// panel is built here so the first inference pays no decode cost.
+    pub fn from_artifact(
+        artifact: &quq_store::Artifact,
+    ) -> std::result::Result<Self, quq_store::StoreError> {
+        let cache = Self::new();
+        {
+            let mut entries = cache.entries();
+            for site in artifact.qub_sites() {
+                let qub = artifact.load_qub(site)?;
+                qub.preshifted();
+                entries.insert(site, Arc::new(qub));
+            }
+        }
+        Ok(cache)
+    }
+
     /// Returns the encoded weight for `site`, encoding (and pre-decoding
     /// the packed panel) on first use. The lock is held across the encode
     /// so concurrent workers never duplicate the work.

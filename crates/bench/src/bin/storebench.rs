@@ -1,0 +1,317 @@
+//! Artifact-store benchmark and smoke utility: cold-start serving from a
+//! QUQM artifact versus calibrating from scratch, emitting
+//! `BENCH_store.json`.
+//!
+//! ```text
+//! cargo run --release -p quq-bench --bin storebench                 # benchmark
+//! QUQ_QUICK=1 QUQ_BENCH_OUT=/tmp/s.json cargo run ... --bin storebench
+//! cargo run ... --bin storebench -- --save /tmp/m.quqm              # calibrate + save
+//! cargo run ... --bin storebench -- --verify /tmp/m.quqm            # open + load (exit 1 on corruption)
+//! cargo run ... --bin storebench -- --probe 127.0.0.1:7878 --artifact /tmp/m.quqm
+//! ```
+//!
+//! The benchmark, per model scale (the tiny test config, plus eval-scale
+//! ViT-S unless `QUQ_QUICK=1`):
+//!
+//! * times **calibrate-and-save** (synthesize → calibrate → write the
+//!   artifact) against **open-and-serve-ready** (open the artifact →
+//!   restore model + tables → pre-populate the weight-QUB cache — exactly
+//!   `quq_serve::artifact_state`);
+//! * asserts the cold-started model's logits are **bit-identical** to the
+//!   in-memory calibrated model's on both the fp32 and integer backends;
+//! * flips one byte of the artifact and asserts the store rejects it;
+//! * reports the `store.*` observability counters for the run.
+//!
+//! `--verify` exits non-zero with the structured `StoreError` on stderr
+//! when the artifact fails validation — the corruption gate in
+//! `scripts/check.sh` relies on this. `--probe` sends one inference to a
+//! running server and asserts the response is bit-identical to the
+//! artifact's own integer forward — the cold-start serving gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
+use quq_core::quantizer::QuqMethod;
+use quq_serve::{artifact_state, Client, InferResponse, ModelState};
+use quq_store::{Artifact, ArtifactWriter};
+use quq_tensor::Tensor;
+use quq_vit::{Backend, Dataset, Fp32Backend, ModelConfig, ModelId, VitModel};
+
+fn quick() -> bool {
+    std::env::var("QUQ_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn model_config(name: &str) -> ModelConfig {
+    match name {
+        "test" => ModelConfig::test_config(),
+        "vits" => ModelConfig::eval_scale(ModelId::VitS),
+        other => panic!("unknown --model {other} (want test|vits)"),
+    }
+}
+
+fn calibrated(config: ModelConfig, seed: u64) -> (VitModel, PtqTables) {
+    let model = VitModel::synthesize(config, seed);
+    let calib = Dataset::calibration(model.config(), 8, 1);
+    let tables = calibrate(
+        &QuqMethod::without_optimization(),
+        &model,
+        &calib,
+        PtqConfig::full_w8a8(),
+    )
+    .expect("calibration");
+    (model, tables)
+}
+
+/// Runs one forward through a provider-built backend (the serving path).
+fn provider_logits(state: &ModelState, img: &Tensor) -> Vec<f32> {
+    let mut out = Vec::new();
+    state.provider.with_backend(&mut |be| {
+        let mut be: &mut dyn Backend = be;
+        out = state
+            .model
+            .forward(img, &mut be)
+            .expect("forward")
+            .data()
+            .to_vec();
+    });
+    out
+}
+
+struct ScaleResult {
+    name: &'static str,
+    calibrate_and_save_s: f64,
+    open_ready_s: f64,
+    speedup: f64,
+    artifact_bytes: u64,
+    chunks: usize,
+}
+
+/// Benchmarks one model scale; returns the JSON fragment fields.
+fn bench_scale(name: &'static str, config: ModelConfig, dir: &Path) -> ScaleResult {
+    let path = dir.join(format!("storebench-{name}.quqm"));
+
+    // Hot path: everything from scratch, then persist.
+    let t0 = Instant::now();
+    let (model, tables) = calibrated(config, 20240623);
+    let artifact_bytes = ArtifactWriter::save(&model, &tables, &path).expect("save");
+    let calibrate_and_save_s = t0.elapsed().as_secs_f64();
+
+    // Cold path: serving-ready state purely from the artifact.
+    let t1 = Instant::now();
+    let cold_int = artifact_state(&path, "int").expect("cold start (int)");
+    let open_ready_s = t1.elapsed().as_secs_f64();
+
+    // Bit-identity gates, both backends.
+    let img = model.config().dummy_image(0.3);
+    let mut int_be = quq_accel::IntegerBackend::new(&tables);
+    let warm_int = model.forward(&img, &mut int_be).expect("forward");
+    assert_eq!(
+        provider_logits(&cold_int, &img),
+        warm_int.data(),
+        "{name}: cold-start integer logits diverge from the calibrated model"
+    );
+    let cold_fp = artifact_state(&path, "fp32").expect("cold start (fp32)");
+    let warm_fp = model
+        .forward(&img, &mut Fp32Backend::new())
+        .expect("forward");
+    assert_eq!(
+        provider_logits(&cold_fp, &img),
+        warm_fp.data(),
+        "{name}: cold-start fp32 logits diverge from the in-memory model"
+    );
+
+    // Corruption gate: one flipped byte must be rejected.
+    let mut corrupt = std::fs::read(&path).expect("read artifact");
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let bad_path = dir.join(format!("storebench-{name}-corrupt.quqm"));
+    std::fs::write(&bad_path, &corrupt).expect("write corrupt copy");
+    let rejected = Artifact::open(&bad_path)
+        .and_then(|a| a.load_all().map(|_| ()))
+        .is_err();
+    assert!(rejected, "{name}: corrupt artifact was not rejected");
+    let _ = std::fs::remove_file(&bad_path);
+
+    let chunks = Artifact::open(&path).expect("re-open").chunks().len();
+    let _ = std::fs::remove_file(&path);
+
+    let speedup = calibrate_and_save_s / open_ready_s;
+    println!(
+        "{name:>6}: calibrate+save {calibrate_and_save_s:7.3}s | open+ready {open_ready_s:7.4}s \
+         | {speedup:6.1}x | {artifact_bytes} bytes, {chunks} chunks"
+    );
+    ScaleResult {
+        name,
+        calibrate_and_save_s,
+        open_ready_s,
+        speedup,
+        artifact_bytes,
+        chunks,
+    }
+}
+
+fn run_bench() {
+    quq_obs::set_enabled(true);
+    let before = quq_obs::snapshot();
+    let dir = std::env::temp_dir();
+    let mut results = vec![bench_scale("test", ModelConfig::test_config(), &dir)];
+    if !quick() {
+        results.push(bench_scale(
+            "ViT-S",
+            ModelConfig::eval_scale(ModelId::VitS),
+            &dir,
+        ));
+        let vits = results.last().expect("vits result");
+        assert!(
+            vits.speedup >= 5.0,
+            "cold start must be ≥5x faster than calibrating at ViT-S scale, got {:.1}x",
+            vits.speedup
+        );
+    }
+    let delta = quq_obs::snapshot().delta_since(&before);
+    quq_obs::set_enabled(false);
+
+    let counters: Vec<String> = [
+        "store.bytes_written",
+        "store.bytes_read",
+        "store.chunk_loads",
+        "store.checksum_failures",
+    ]
+    .iter()
+    .map(|n| {
+        let key = n.strip_prefix("store.").expect("store prefix");
+        format!("\"{key}\": {}", delta.counter_total(n))
+    })
+    .collect();
+    // Clean opens/loads must never trip a checksum; the corruption gate's
+    // failed open increments the counter, so expect exactly one per scale.
+    let failures = delta.counter_total("store.checksum_failures");
+    assert_eq!(
+        failures,
+        results.len() as u64,
+        "expected exactly one checksum failure per corruption gate"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str("  \"cold_start_bit_identical_fp32\": true,\n");
+    json.push_str("  \"cold_start_bit_identical_int\": true,\n");
+    json.push_str("  \"corrupt_byte_rejected\": true,\n");
+    json.push_str(&format!(
+        "  \"store_counters\": {{{}}},\n",
+        counters.join(", ")
+    ));
+    json.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"calibrate_and_save_seconds\": {:.4}, \
+             \"open_and_serve_ready_seconds\": {:.5}, \"cold_start_speedup\": {:.2}, \
+             \"artifact_bytes\": {}, \"chunks\": {}}}{comma}\n",
+            r.name, r.calibrate_and_save_s, r.open_ready_s, r.speedup, r.artifact_bytes, r.chunks
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::var("QUQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_store.json".to_string());
+    std::fs::write(&out, &json).expect("write store JSON");
+    println!("wrote {out}");
+}
+
+fn run_save(path: &str) -> ExitCode {
+    let name = arg_value("--model").unwrap_or_else(|| "test".into());
+    let (model, tables) = calibrated(model_config(&name), 20240623);
+    match ArtifactWriter::save(&model, &tables, Path::new(path)) {
+        Ok(bytes) => {
+            println!("saved {name} artifact to {path} ({bytes} bytes)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("save failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_verify(path: &str) -> ExitCode {
+    match Artifact::open(Path::new(path)).and_then(|a| a.load_all().map(|loaded| (a, loaded))) {
+        Ok((artifact, (model, _tables))) => {
+            println!(
+                "{path}: valid QUQM artifact ({} chunks, {} bytes, model {})",
+                artifact.chunks().len(),
+                artifact.size_bytes(),
+                model.config().id
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: rejected: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_probe(addr: &str, artifact: &str) -> ExitCode {
+    let state = match artifact_state(Path::new(artifact), "int") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("probe: cannot load {artifact}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let img = state.model.config().dummy_image(0.3);
+    let expect = provider_logits(&state, &img);
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("probe: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.infer(&img) {
+        Ok(InferResponse::Ok { logits, .. }) if logits == expect => {
+            println!("probe: served logits bit-identical to the artifact's integer forward");
+            ExitCode::SUCCESS
+        }
+        Ok(InferResponse::Ok { .. }) => {
+            eprintln!("probe: served logits diverge from the artifact's integer forward");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("probe: unexpected response {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("probe: request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    if let Some(path) = arg_value("--save") {
+        return run_save(&path);
+    }
+    if let Some(path) = arg_value("--verify") {
+        return run_verify(&path);
+    }
+    if let Some(addr) = arg_value("--probe") {
+        let artifact = arg_value("--artifact").unwrap_or_else(|| {
+            eprintln!("--probe requires --artifact PATH");
+            std::process::exit(2);
+        });
+        return run_probe(&addr, &artifact);
+    }
+    run_bench();
+    ExitCode::SUCCESS
+}

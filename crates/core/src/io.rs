@@ -26,6 +26,17 @@ use std::io::{Read, Write};
 /// Magic prefix of the format.
 pub const MAGIC: [u8; 4] = *b"QUB1";
 
+/// Default payload bound of [`read_qub_tensor`]: 16 GiB, far above any
+/// model in this repo but small enough to refuse absurd headers. Callers
+/// that know the true payload size (e.g. a chunk length from a checksummed
+/// manifest) should pass it to [`read_qub_tensor_bounded`] instead.
+pub const MAX_PAYLOAD_BYTES: u64 = 1 << 34;
+
+/// Increment size for payload reads: corrupt headers cost at most one
+/// spare buffer of memory before the stream runs dry, never an up-front
+/// multi-GiB allocation.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Errors of the QUB wire format.
 #[derive(Debug)]
 pub enum WireError {
@@ -76,15 +87,33 @@ pub fn write_qub_tensor<W: Write>(mut w: W, t: &QubTensor) -> Result<(), WireErr
     Ok(())
 }
 
-/// Deserializes a QUB tensor. A `&mut` reference may be passed as the
-/// reader.
+/// Deserializes a QUB tensor with the default [`MAX_PAYLOAD_BYTES`] bound.
+/// A `&mut` reference may be passed as the reader.
 ///
 /// # Errors
 ///
 /// Returns [`WireError::Format`] for bad magic, widths outside `2..=8`,
 /// non-positive scales, FC registers that do not describe a valid
 /// quantizer, or truncated payloads; I/O errors are propagated.
-pub fn read_qub_tensor<R: Read>(mut r: R) -> Result<QubTensor, WireError> {
+pub fn read_qub_tensor<R: Read>(r: R) -> Result<QubTensor, WireError> {
+    read_qub_tensor_bounded(r, MAX_PAYLOAD_BYTES)
+}
+
+/// Deserializes a QUB tensor whose payload may not exceed
+/// `max_payload_bytes`. Callers that already know the record's true size —
+/// the store passes its manifest chunk length — get headers rejected
+/// *before* any allocation, and the payload is read in bounded increments
+/// so a truncated stream errors after at most one spare buffer instead of
+/// provoking a huge up-front `vec![0u8; len]`.
+///
+/// # Errors
+///
+/// As [`read_qub_tensor`], plus [`WireError::Format`] when the header
+/// declares more payload bytes than `max_payload_bytes`.
+pub fn read_qub_tensor_bounded<R: Read>(
+    mut r: R,
+    max_payload_bytes: u64,
+) -> Result<QubTensor, WireError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
@@ -125,13 +154,19 @@ pub fn read_qub_tensor<R: Read>(mut r: R) -> Result<QubTensor, WireError> {
         len = len.saturating_mul(d as u128);
         shape.push(d as usize);
     }
-    if len > (1 << 34) {
+    if len > u128::from(max_payload_bytes) {
         return Err(WireError::Format(format!(
-            "implausible element count {len}"
+            "payload of {len} bytes exceeds the caller's bound of {max_payload_bytes}"
         )));
     }
-    let mut bytes = vec![0u8; len as usize];
-    r.read_exact(&mut bytes)?;
+    let len = len as usize;
+    let mut bytes = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut buf = [0u8; READ_CHUNK];
+    while bytes.len() < len {
+        let step = READ_CHUNK.min(len - bytes.len());
+        r.read_exact(&mut buf[..step])?;
+        bytes.extend_from_slice(&buf[..step]);
+    }
     let limit = 1u16 << bits;
     if let Some(bad) = bytes.iter().find(|&&b| b as u16 >= limit) {
         return Err(WireError::Format(format!(
@@ -229,6 +264,43 @@ mod tests {
         assert!(matches!(
             read_qub_tensor(buf.as_slice()),
             Err(WireError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn caller_byte_limit_bounds_the_payload() {
+        let t = sample_tensor(6);
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &t).unwrap();
+        let n = t.bytes.len() as u64;
+        // The exact payload size passes; one byte less rejects the header
+        // before any payload is read.
+        assert_eq!(read_qub_tensor_bounded(buf.as_slice(), n).unwrap(), t);
+        let err = read_qub_tensor_bounded(buf.as_slice(), n - 1).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the caller's bound"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn huge_declared_payload_errors_without_a_huge_allocation() {
+        let mut buf = Vec::new();
+        write_qub_tensor(&mut buf, &sample_tensor(6)).unwrap();
+        // Rewrite the dims (rank 2 at offsets 16..32) to declare 2^33 × 1
+        // elements, keeping the original (tiny) payload behind them.
+        buf[16..24].copy_from_slice(&(1u64 << 33).to_le_bytes());
+        buf[24..32].copy_from_slice(&1u64.to_le_bytes());
+        // A caller-supplied bound rejects in the header.
+        assert!(matches!(
+            read_qub_tensor_bounded(buf.as_slice(), 1 << 20),
+            Err(WireError::Format(_))
+        ));
+        // Even the permissive default cannot be driven to a 8 GiB
+        // allocation: incremental reads hit EOF after the real bytes.
+        assert!(matches!(
+            read_qub_tensor(buf.as_slice()),
+            Err(WireError::Io(_))
         ));
     }
 

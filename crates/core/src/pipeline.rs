@@ -123,6 +123,47 @@ impl PtqTables {
     pub fn backend(&self) -> QuantBackend<'_> {
         QuantBackend { tables: self }
     }
+
+    /// Iterates every fitted activation quantizer with its operand key, in
+    /// `BTreeMap` (deterministic) order. Serialization paths walk this.
+    pub fn activations(
+        &self,
+    ) -> impl Iterator<Item = (&ParamKey, &dyn crate::quantizer::FittedQuantizer)> {
+        self.activations.iter().map(|(k, q)| (k, q.as_ref()))
+    }
+
+    /// Iterates every weight site with its fitted quantizer, in
+    /// deterministic order.
+    pub fn weight_quantizers(
+        &self,
+    ) -> impl Iterator<Item = (&OpSite, &dyn crate::quantizer::FittedQuantizer)> {
+        self.weight_quantizers.iter().map(|(k, q)| (k, q.as_ref()))
+    }
+
+    /// Reassembles tables from previously serialized parts (the inverse of
+    /// walking [`PtqTables::activations`] / [`PtqTables::weight_quantizers`]).
+    ///
+    /// `original_weights` may be empty: execution backends that re-encode
+    /// from FP32 fall back to the live model weight at each site, which for
+    /// a model restored alongside these tables is exactly the tensor
+    /// calibration recorded.
+    pub fn from_parts(
+        config: PtqConfig,
+        method_name: &'static str,
+        activations: BTreeMap<ParamKey, Box<dyn crate::quantizer::FittedQuantizer>>,
+        weight_quantizers: BTreeMap<OpSite, Box<dyn crate::quantizer::FittedQuantizer>>,
+        quantized_weights: BTreeMap<OpSite, Tensor>,
+        original_weights: BTreeMap<OpSite, Tensor>,
+    ) -> Self {
+        Self {
+            config,
+            method_name,
+            activations,
+            quantized_weights,
+            weight_quantizers,
+            original_weights,
+        }
+    }
 }
 
 /// Calibrates `model` on `calibration` images with `method` (paper §6.1 uses

@@ -152,6 +152,49 @@ proptest! {
     }
 
     #[test]
+    fn wire_roundtrip_covers_every_layout_variant(
+        bits in 4u32..=8,
+        base_exp in -12i32..0,
+        fine_variant in 0usize..3,
+        coarse_variant in 0usize..3,
+        fine_sh in (0u32..=7, 0u32..=7),
+        coarse_sh in (0u32..=7, 0u32..=7),
+        values in prop::collection::vec(-8.0f32..8.0, 1..128),
+    ) {
+        // QUB1 round-trips for explicit layouts over every SpaceLayout
+        // variant pair and the full 4–8 bit range, through both the default
+        // and the caller-bounded reader. The bound set to the exact payload
+        // size must accept; one byte less must reject in the header.
+        let base = (base_exp as f32).exp2();
+        let delta = |sh: u32| base * (sh as f32).exp2();
+        let layout = |variant: usize, sh: (u32, u32)| match variant {
+            0 => SpaceLayout::Split { neg: delta(sh.0), pos: delta(sh.1) },
+            1 => SpaceLayout::MergedNeg { delta: delta(sh.0) },
+            _ => SpaceLayout::MergedPos { delta: delta(sh.0) },
+        };
+        let params = QuqParams::new(
+            bits,
+            layout(fine_variant, fine_sh),
+            layout(coarse_variant, coarse_sh),
+        )
+        .expect("valid layout");
+        let n = values.len();
+        let t = quq_tensor::Tensor::from_vec(values.clone(), &[n]).unwrap();
+        let qt = QubCodec::new(params).encode_tensor(&t);
+        let mut buf = Vec::new();
+        quq_core::write_qub_tensor(&mut buf, &qt).unwrap();
+        let back = quq_core::read_qub_tensor(buf.as_slice()).unwrap();
+        prop_assert_eq!(&back, &qt);
+        prop_assert_eq!(back.dequantize().data(), qt.dequantize().data());
+        let bounded =
+            quq_core::read_qub_tensor_bounded(buf.as_slice(), qt.bytes.len() as u64).unwrap();
+        prop_assert_eq!(&bounded, &qt);
+        prop_assert!(
+            quq_core::read_qub_tensor_bounded(buf.as_slice(), qt.bytes.len() as u64 - 1).is_err()
+        );
+    }
+
+    #[test]
     fn fake_quantize_is_idempotent(values in sample_strategy(), x in -100.0f32..100.0) {
         let params = Pra::with_defaults(6).run(&values).params;
         let once = params.fake_quantize(x);

@@ -8,7 +8,8 @@ use std::time::Duration;
 use quq_tensor::Tensor;
 
 use crate::protocol::{
-    decode_response, encode_infer_request, read_frame, write_frame, InferResponse,
+    decode_response, encode_infer_request, encode_reload_request, read_frame, write_frame,
+    InferResponse,
 };
 
 /// A blocking connection to a [`crate::Server`]. One request is in flight
@@ -48,6 +49,24 @@ impl Client {
     /// [`InferResponse`], not errors.
     pub fn infer(&mut self, image: &Tensor) -> io::Result<InferResponse> {
         write_frame(&mut self.stream, &encode_infer_request(image))?;
+        self.read_response()
+    }
+
+    /// Asks the server to hot-swap its model from the QUQM artifact at
+    /// `path` (a path on the *server's* filesystem). Returns
+    /// [`InferResponse::Reloaded`] on success and
+    /// [`InferResponse::Error`] when the artifact is rejected — a failed
+    /// reload leaves the served model untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn reload(&mut self, path: &str) -> io::Result<InferResponse> {
+        write_frame(&mut self.stream, &encode_reload_request(path))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<InferResponse> {
         match read_frame(&mut self.stream)? {
             Some(payload) => decode_response(&payload),
             None => Err(io::Error::new(

@@ -16,7 +16,12 @@
 //!   exactly as the paper's accelerator amortizes its on-chip weight
 //!   buffer;
 //! * **graceful shutdown**: new connections refused, every admitted
-//!   request completed, workers and handlers joined.
+//!   request completed, workers and handlers joined;
+//! * **cold start and hot reload** over the `quq-store` artifact format:
+//!   [`server::artifact_state`] restores a served model from a QUQM file
+//!   without synthesis or calibration, and the admin `RELOAD` message
+//!   ([`Client::reload`]) atomically hot-swaps the served model between
+//!   batches — in-flight requests finish on the old model.
 //!
 //! Batching changes *when* requests are computed, never *what*: the
 //! batched forward is bit-identical to per-image forwards, so a client
@@ -48,4 +53,6 @@ pub mod server;
 pub use batcher::{BatchQueue, PushError};
 pub use client::Client;
 pub use protocol::InferResponse;
-pub use server::{BackendProvider, Fp32Provider, IntegerProvider, ServeConfig, Server};
+pub use server::{
+    artifact_state, BackendProvider, Fp32Provider, IntegerProvider, ModelState, ServeConfig, Server,
+};

@@ -1,26 +1,42 @@
-//! The `quq-serve` binary: synthesize + calibrate a model, serve it over
-//! TCP, and drain gracefully on stdin EOF (or a line of input).
+//! The `quq-serve` binary: serve a model over TCP and drain gracefully on
+//! stdin EOF (or a line of input). The model comes from one of three paths:
+//!
+//! * default: synthesize + calibrate in-process (slow start);
+//! * `--model-path FILE.quqm`: **cold start** from a saved artifact — no
+//!   synthesis, no calibration, weight QUBs pre-decoded from disk;
+//! * `--save-model FILE.quqm`: synthesize + calibrate, save the artifact,
+//!   and exit (pair with a later `--model-path` run).
 //!
 //! ```text
-//! cargo run --release -p quq-serve -- --backend int --addr 127.0.0.1:7878
+//! cargo run --release -p quq-serve -- --save-model /tmp/vits.quqm
+//! cargo run --release -p quq-serve -- --model-path /tmp/vits.quqm
 //! ```
 //!
 //! Flags (all optional):
 //!
 //! * `--backend int|fp32` — integer QUQ path (default) or f32 reference
 //! * `--model vits|test`  — eval-scale ViT-S (default) or the tiny test config
+//! * `--model-path FILE`  — cold-start from a QUQM artifact (skips `--model`)
+//! * `--save-model FILE`  — calibrate, save a QUQM artifact, and exit
 //! * `--addr HOST:PORT`   — bind address (default `127.0.0.1:7878`; port 0 = ephemeral)
 //! * `--workers N` `--max-batch N` `--max-wait-us N` `--queue N` — tuning
 //! * `--metrics`          — enable the `quq-obs` recorder and print a
 //!   summary (`serve.*` counters, slowest op sites) after the drain
+//!
+//! A running server also accepts the admin `RELOAD` protocol message
+//! ([`quq_serve::Client::reload`]), hot-swapping the served model from
+//! another artifact without dropping in-flight requests.
 
 use std::io::BufRead;
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use quq_core::pipeline::{calibrate, PtqConfig};
+use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::QuqMethod;
-use quq_serve::{BackendProvider, Fp32Provider, IntegerProvider, ServeConfig, Server};
+use quq_serve::server::artifact_state;
+use quq_serve::{BackendProvider, Fp32Provider, IntegerProvider, ModelState, ServeConfig, Server};
+use quq_store::ArtifactWriter;
 use quq_vit::{Dataset, ModelConfig, ModelId, VitModel};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -44,33 +60,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queue_capacity: arg_value("--queue").map_or(64, |v| v.parse().expect("--queue")),
     };
 
-    let model_cfg = match model_name.as_str() {
-        "test" => ModelConfig::test_config(),
-        "vits" => ModelConfig::eval_scale(ModelId::VitS),
-        other => return Err(format!("unknown --model {other}").into()),
-    };
-    eprintln!("synthesizing {model_name} model…");
-    let model = Arc::new(VitModel::synthesize(model_cfg, 5));
+    let state: Arc<ModelState> = if let Some(path) = arg_value("--model-path") {
+        // Cold start: everything (weights, tables, weight QUBs) comes from
+        // the artifact — no synthesis, no calibration.
+        let t0 = Instant::now();
+        let state = artifact_state(Path::new(&path), &backend)?;
+        eprintln!(
+            "cold start from {path}: {} ready in {:.1} ms",
+            state.model.config().id,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        Arc::new(state)
+    } else {
+        let model_cfg = match model_name.as_str() {
+            "test" => ModelConfig::test_config(),
+            "vits" => ModelConfig::eval_scale(ModelId::VitS),
+            other => return Err(format!("unknown --model {other}").into()),
+        };
+        eprintln!("synthesizing {model_name} model…");
+        let model = Arc::new(VitModel::synthesize(model_cfg, 5));
 
-    let provider: Arc<dyn BackendProvider> = match backend.as_str() {
-        "fp32" => Arc::new(Fp32Provider),
-        "int" => {
+        let calibrated = |model: &VitModel| -> Result<PtqTables, Box<dyn std::error::Error>> {
             eprintln!("calibrating W8/A8 full quantization…");
             let calib = Dataset::calibration(model.config(), 8, 1);
-            let tables = calibrate(
+            Ok(calibrate(
                 &QuqMethod::without_optimization(),
-                &model,
+                model,
                 &calib,
                 PtqConfig::full_w8a8(),
-            )?;
-            Arc::new(IntegerProvider::new(Arc::new(tables)))
+            )?)
+        };
+
+        if let Some(path) = arg_value("--save-model") {
+            // Save mode: calibrate (whatever the backend), write the
+            // artifact, and exit — the serving run cold-starts from it.
+            let tables = calibrated(&model)?;
+            let bytes = ArtifactWriter::save(&model, &tables, Path::new(&path))?;
+            println!("saved {model_name} artifact to {path} ({bytes} bytes)");
+            return Ok(());
         }
-        other => return Err(format!("unknown --backend {other}").into()),
+
+        let provider: Arc<dyn BackendProvider> = match backend.as_str() {
+            "fp32" => Arc::new(Fp32Provider),
+            "int" => Arc::new(IntegerProvider::new(Arc::new(calibrated(&model)?))),
+            other => return Err(format!("unknown --backend {other}").into()),
+        };
+        Arc::new(ModelState::new(model, provider))
     };
 
     quq_obs::set_enabled(metrics);
     let before = quq_obs::snapshot();
-    let server = Server::start(model, provider, config, addr.as_str())?;
+    let server = Server::start_with_state(state, config, addr.as_str())?;
     println!(
         "serving on {} ({backend}); press Enter to drain",
         server.local_addr()

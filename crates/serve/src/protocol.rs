@@ -4,10 +4,9 @@
 //! payload. A request payload is
 //!
 //! ```text
-//! opcode: u8 (1 = INFER)
-//! rank:   u8
-//! dims:   rank × u32
-//! data:   Π dims × f32
+//! opcode: u8 (1 = INFER, 2 = RELOAD)
+//! INFER:  rank u8 · rank × u32 dims · Π dims × f32 data
+//! RELOAD: u16 len · len × u8 (UTF-8 artifact path)
 //! ```
 //!
 //! and a response payload starts with a status byte:
@@ -17,6 +16,7 @@
 //! 1 OVERLOADED (empty — admission queue full, retry later)
 //! 2 ERROR      u32 len · len × u8 (UTF-8 message)
 //! 3 DRAINING   (empty — server is shutting down, request not admitted)
+//! 4 RELOADED   (empty — the model was hot-swapped from the artifact)
 //! ```
 //!
 //! Everything is plain `std::io` on byte slices, shared verbatim by the
@@ -33,6 +33,8 @@ pub const MAX_FRAME: u32 = 16 << 20;
 
 /// Request opcode: run inference on one image tensor.
 pub const OP_INFER: u8 = 1;
+/// Request opcode (admin): hot-swap the model from a QUQM artifact path.
+pub const OP_RELOAD: u8 = 2;
 
 /// Response status bytes.
 pub const STATUS_OK: u8 = 0;
@@ -42,6 +44,8 @@ pub const STATUS_OVERLOADED: u8 = 1;
 pub const STATUS_ERROR: u8 = 2;
 /// The server is draining; the request was not admitted.
 pub const STATUS_DRAINING: u8 = 3;
+/// The model was hot-swapped from the requested artifact.
+pub const STATUS_RELOADED: u8 = 4;
 
 /// Writes one length-prefixed frame.
 ///
@@ -140,6 +144,37 @@ pub fn decode_infer_request(payload: &[u8]) -> io::Result<Tensor> {
     Tensor::from_vec(data, &shape).map_err(|e| bad(&format!("bad tensor shape: {e:?}")))
 }
 
+/// Encodes a RELOAD request for the artifact at `path`.
+pub fn encode_reload_request(path: &str) -> Vec<u8> {
+    let bytes = path.as_bytes();
+    let mut out = Vec::with_capacity(3 + bytes.len());
+    out.push(OP_RELOAD);
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decodes a RELOAD request payload into the artifact path.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
+/// payload, or non-UTF-8 path.
+pub fn decode_reload_request(payload: &[u8]) -> io::Result<String> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if payload.len() < 3 {
+        return Err(bad("truncated RELOAD request"));
+    }
+    if payload[0] != OP_RELOAD {
+        return Err(bad("unknown opcode"));
+    }
+    let n = u16::from_le_bytes(payload[1..3].try_into().expect("sized")) as usize;
+    if payload.len() != 3 + n {
+        return Err(bad("path length mismatch"));
+    }
+    String::from_utf8(payload[3..].to_vec()).map_err(|_| bad("non-UTF-8 artifact path"))
+}
+
 /// A decoded inference response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InferResponse {
@@ -154,6 +189,8 @@ pub enum InferResponse {
     Overloaded,
     /// The server is draining for shutdown — the request was not admitted.
     Draining,
+    /// The model was hot-swapped from the requested artifact.
+    Reloaded,
     /// The backend failed on this request.
     Error(String),
 }
@@ -216,6 +253,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<InferResponse> {
         }
         Some(&STATUS_OVERLOADED) => Ok(InferResponse::Overloaded),
         Some(&STATUS_DRAINING) => Ok(InferResponse::Draining),
+        Some(&STATUS_RELOADED) => Ok(InferResponse::Reloaded),
         Some(&STATUS_ERROR) => {
             if payload.len() < 5 {
                 return Err(bad("truncated ERROR response"));
@@ -270,9 +308,24 @@ mod tests {
             InferResponse::Draining
         );
         assert_eq!(
+            decode_response(&encode_status_response(STATUS_RELOADED)).unwrap(),
+            InferResponse::Reloaded
+        );
+        assert_eq!(
             decode_response(&encode_error_response("boom")).unwrap(),
             InferResponse::Error("boom".into())
         );
+    }
+
+    #[test]
+    fn reload_request_roundtrips_and_rejects_malformed() {
+        let enc = encode_reload_request("/tmp/model.quqm");
+        assert_eq!(decode_reload_request(&enc).unwrap(), "/tmp/model.quqm");
+        assert!(decode_reload_request(&[]).is_err());
+        assert!(decode_reload_request(&[OP_INFER, 0, 0]).is_err());
+        let mut short = encode_reload_request("path");
+        short.pop();
+        assert!(decode_reload_request(&short).is_err());
     }
 
     #[test]

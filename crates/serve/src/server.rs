@@ -35,22 +35,25 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use quq_accel::{IntegerBackend, WeightQubCache};
 use quq_core::pipeline::PtqTables;
 use quq_obs::SiteKey;
+use quq_store::{Artifact, StoreError};
 use quq_tensor::Tensor;
 use quq_vit::{Backend, Fp32Backend, Observed, VitModel};
 
 use crate::batcher::{BatchQueue, PushError};
 use crate::protocol::{
-    decode_infer_request, encode_error_response, encode_ok_response, encode_status_response,
-    read_frame, write_frame, STATUS_DRAINING, STATUS_OVERLOADED,
+    decode_infer_request, decode_reload_request, encode_error_response, encode_ok_response,
+    encode_status_response, read_frame, write_frame, OP_INFER, OP_RELOAD, STATUS_DRAINING,
+    STATUS_OVERLOADED, STATUS_RELOADED,
 };
 
 /// Builds an inference backend for a worker, once per batch.
@@ -94,10 +97,13 @@ pub struct IntegerProvider {
 impl IntegerProvider {
     /// Wraps calibrated tables with a fresh shared weight cache.
     pub fn new(tables: Arc<PtqTables>) -> Self {
-        Self {
-            tables,
-            cache: Arc::new(WeightQubCache::new()),
-        }
+        Self::with_cache(tables, Arc::new(WeightQubCache::new()))
+    }
+
+    /// Wraps calibrated tables with a pre-populated weight cache (e.g. one
+    /// built from a stored artifact's QUB records, skipping every encode).
+    pub fn with_cache(tables: Arc<PtqTables>, cache: Arc<WeightQubCache>) -> Self {
+        Self { tables, cache }
     }
 
     /// The shared weight-decode cache (for inspection in tests).
@@ -154,12 +160,72 @@ struct Job {
 /// How often blocked reads and the accept loop re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
+/// The servable model: weights plus the backend provider built over its
+/// calibration. Immutable once built — a hot reload builds a *new* state
+/// and swaps the `Arc`, so every batch runs against one coherent
+/// (model, tables, cache) triple even while a swap is in flight.
+pub struct ModelState {
+    /// The model whose weights the provider's tables were calibrated on.
+    pub model: Arc<VitModel>,
+    /// Backend factory over those tables.
+    pub provider: Arc<dyn BackendProvider>,
+}
+
+impl ModelState {
+    /// Bundles a model with its backend provider.
+    pub fn new(model: Arc<VitModel>, provider: Arc<dyn BackendProvider>) -> Self {
+        Self { model, provider }
+    }
+}
+
+/// Builds a [`ModelState`] by opening the QUQM artifact at `path` — the
+/// cold-start path: no synthesis, no calibration, no weight encoding.
+///
+/// `backend` selects the provider: `"fp32"` serves the restored FP32
+/// weights; `"int"` / `"quq-int"` serves the fully-integer backend with its
+/// weight cache pre-populated from the artifact's stored QUB records.
+///
+/// # Errors
+///
+/// Propagates [`StoreError`] from opening or loading the artifact, and
+/// rejects unknown backend names with [`StoreError::Unsupported`].
+pub fn artifact_state(path: &Path, backend: &str) -> Result<ModelState, StoreError> {
+    let artifact = Artifact::open(path)?;
+    let (model, tables) = artifact.load_all()?;
+    let provider: Arc<dyn BackendProvider> = match backend {
+        "fp32" => Arc::new(Fp32Provider),
+        "int" | "quq-int" => {
+            let cache = Arc::new(WeightQubCache::from_artifact(&artifact)?);
+            Arc::new(IntegerProvider::with_cache(Arc::new(tables), cache))
+        }
+        other => {
+            return Err(StoreError::Unsupported(format!(
+                "unknown backend {other:?} (want \"fp32\" or \"int\")"
+            )))
+        }
+    };
+    Ok(ModelState::new(Arc::new(model), provider))
+}
+
 struct Shared {
-    model: Arc<VitModel>,
-    provider: Arc<dyn BackendProvider>,
+    state: RwLock<Arc<ModelState>>,
     queue: BatchQueue<Job>,
     shutdown: AtomicBool,
-    backend_name: &'static str,
+}
+
+impl Shared {
+    /// Snapshots the current model state. Callers hold the snapshot for
+    /// the duration of one request or one batch, so in-flight work always
+    /// finishes on the model it started with.
+    fn state(&self) -> Arc<ModelState> {
+        Arc::clone(&self.state.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically replaces the served model. In-flight batches keep their
+    /// snapshot; the next batch (and the next request) sees `new`.
+    fn swap_state(&self, new: Arc<ModelState>) {
+        *self.state.write().unwrap_or_else(PoisonError::into_inner) = new;
+    }
 }
 
 /// A running inference server. Dropping it without calling
@@ -186,16 +252,27 @@ impl Server {
         config: ServeConfig,
         bind: impl ToSocketAddrs,
     ) -> io::Result<Server> {
+        Self::start_with_state(Arc::new(ModelState::new(model, provider)), config, bind)
+    }
+
+    /// Like [`Server::start`], from a pre-built [`ModelState`] (e.g. one
+    /// restored from an artifact by [`artifact_state`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn start_with_state(
+        state: Arc<ModelState>,
+        config: ServeConfig,
+        bind: impl ToSocketAddrs,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let backend_name = provider.name();
         let shared = Arc::new(Shared {
-            model,
-            provider,
+            state: RwLock::new(state),
             queue: BatchQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
-            backend_name,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -324,8 +401,43 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// Handles one decoded frame; returns `false` when the connection should
 /// close.
 fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    match payload.first() {
+        Some(&OP_INFER) => handle_infer(stream, shared, payload),
+        Some(&OP_RELOAD) => handle_reload(stream, shared, payload),
+        _ => write_frame(stream, &encode_error_response("unknown opcode")).is_ok(),
+    }
+}
+
+/// Admin path: swap the served model for one restored from an artifact.
+fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let path = match decode_reload_request(payload) {
+        Ok(p) => p,
+        Err(e) => {
+            return write_frame(stream, &encode_error_response(&e.to_string())).is_ok();
+        }
+    };
+    let backend = shared.state().provider.name();
+    // The artifact is opened, verified, and fully loaded *outside* the
+    // state lock: inference keeps flowing on the old model the whole time,
+    // and a corrupt artifact is rejected without touching the served state.
+    match artifact_state(Path::new(&path), backend) {
+        Ok(next) => {
+            shared.swap_state(Arc::new(next));
+            quq_obs::add("serve.reloads", 1);
+            write_frame(stream, &encode_status_response(STATUS_RELOADED)).is_ok()
+        }
+        Err(e) => {
+            quq_obs::add("serve.reload_failures", 1);
+            let msg = format!("reload of {path:?} failed: {e}");
+            write_frame(stream, &encode_error_response(&msg)).is_ok()
+        }
+    }
+}
+
+fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
     let t0 = Instant::now();
-    let site = || SiteKey::global(shared.backend_name);
+    let state = shared.state();
+    let site = || SiteKey::global(state.provider.name());
     let image = match decode_infer_request(payload) {
         Ok(img) => img,
         Err(e) => {
@@ -334,7 +446,7 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
     };
     // Validate the shape up front so one malformed request can never fail
     // a whole batch inside the worker.
-    let cfg = shared.model.config();
+    let cfg = state.model.config();
     let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
     if image.shape() != want {
         let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
@@ -368,16 +480,20 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
 }
 
 fn worker_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
-    let site = || SiteKey::global(shared.backend_name);
     while let Some(batch) = shared.queue.next_batch(cfg.max_batch, cfg.max_wait) {
         if batch.is_empty() {
             continue;
         }
+        // One state snapshot per batch: a concurrent RELOAD swaps the
+        // shared Arc, but this batch still runs start-to-finish on the
+        // model its requests were admitted under.
+        let state = shared.state();
+        let site = || SiteKey::global(state.provider.name());
         quq_obs::record_at("serve.batch_size", site, batch.len() as u64);
         let images: Vec<Tensor> = batch.iter().map(|j| j.image.clone()).collect();
-        shared.provider.with_backend(&mut |be| {
+        state.provider.with_backend(&mut |be| {
             let mut be: &mut dyn Backend = be;
-            match shared.model.forward_batch(&images, &mut be) {
+            match state.model.forward_batch(&images, &mut be) {
                 Ok(logits) => {
                     for (job, l) in batch.iter().zip(&logits) {
                         let _ = job.reply.send(encode_ok_response(l.data()));

@@ -1,13 +1,17 @@
 //! End-to-end tests of the serving path: correctness against the offline
-//! forward, backpressure under overload, and graceful drain.
+//! forward, backpressure under overload, graceful drain, and artifact
+//! cold-start + hot reload.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use quq_serve::{
-    BackendProvider, Client, Fp32Provider, InferResponse, IntegerProvider, ServeConfig, Server,
+    artifact_state, BackendProvider, Client, Fp32Provider, InferResponse, IntegerProvider,
+    ServeConfig, Server,
 };
+use quq_store::ArtifactWriter;
 use quq_vit::{Backend, Fp32Backend, ModelConfig, Observed, VitModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -274,6 +278,144 @@ fn shutdown_drains_admitted_requests_before_exit() {
         answered > 0,
         "requests admitted before shutdown must be completed, not dropped"
     );
+}
+
+/// Calibrates `seed`'s model and saves it as an artifact; returns the
+/// model, its tables, and the artifact path.
+fn saved_artifact(
+    seed: u64,
+    tag: &str,
+) -> (Arc<VitModel>, Arc<quq_core::pipeline::PtqTables>, PathBuf) {
+    let model = Arc::new(VitModel::synthesize(ModelConfig::test_config(), seed));
+    let calib = quq_vit::Dataset::calibration(model.config(), 4, 1);
+    let tables = quq_core::pipeline::calibrate(
+        &quq_core::QuqMethod::without_optimization(),
+        &model,
+        &calib,
+        quq_core::pipeline::PtqConfig::full_w8a8(),
+    )
+    .unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "quq-serve-test-{}-{tag}-{seed}.quqm",
+        std::process::id()
+    ));
+    ArtifactWriter::save(&model, &tables, &path).unwrap();
+    (model, Arc::new(tables), path)
+}
+
+#[test]
+fn cold_start_from_artifact_serves_bit_identical_logits() {
+    let (model, tables, path) = saved_artifact(42, "coldstart");
+    let state = artifact_state(&path, "int").unwrap();
+    let server =
+        Server::start_with_state(Arc::new(state), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let imgs = images(&model, 3, 5);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for img in &imgs {
+        let mut be = quq_accel::IntegerBackend::new(&tables);
+        let offline = model.forward(img, &mut be).unwrap();
+        match client.infer(img).unwrap() {
+            InferResponse::Ok { logits, .. } => assert_eq!(
+                logits,
+                offline.data(),
+                "cold-started server diverges from the calibrated in-memory model"
+            ),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn reload_hot_swaps_between_artifacts_under_concurrent_load() {
+    let (model_a, tables_a, path_a) = saved_artifact(42, "reload-a");
+    let (model_b, tables_b, path_b) = saved_artifact(77, "reload-b");
+
+    let img = images(&model_a, 1, 8).remove(0);
+    let logits_a = {
+        let mut be = quq_accel::IntegerBackend::new(&tables_a);
+        model_a.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    let logits_b = {
+        let mut be = quq_accel::IntegerBackend::new(&tables_b);
+        model_b.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    assert_ne!(logits_a, logits_b, "the two models must be distinguishable");
+
+    let state = artifact_state(&path_a, "int").unwrap();
+    let server = Server::start_with_state(
+        Arc::new(state),
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Hammer the server from several clients while the swap happens. Every
+    // response must be OK and must match exactly one of the two models —
+    // never an error, a drop, or a mixed-model result.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let img = img.clone();
+            let stop = Arc::clone(&stop);
+            let (logits_a, logits_b) = (logits_a.clone(), logits_b.clone());
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut answered = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    match c.infer(&img).unwrap() {
+                        InferResponse::Ok { logits, .. } => {
+                            assert!(
+                                logits == logits_a || logits == logits_b,
+                                "response matches neither model during the swap"
+                            );
+                            answered += 1;
+                        }
+                        other => panic!("dropped/errored under reload: {other:?}"),
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(30));
+    let mut admin = Client::connect(addr).unwrap();
+    assert_eq!(
+        admin.reload(path_b.to_str().unwrap()).unwrap(),
+        InferResponse::Reloaded
+    );
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::SeqCst);
+    let answered: usize = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(answered > 0, "hammer clients must have been served");
+
+    // Post-swap, responses come from model B.
+    match admin.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, logits_b),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    // A failed reload (missing file) reports an error and leaves B serving.
+    match admin.reload("/no/such/artifact.quqm").unwrap() {
+        InferResponse::Error(msg) => assert!(msg.contains("reload"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    match admin.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, logits_b),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
 }
 
 #[test]

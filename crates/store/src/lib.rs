@@ -1,0 +1,111 @@
+//! `quq-store`: the on-disk model-artifact format (`QUQM`) and its
+//! reader/writer — the missing persistence layer between calibration and
+//! serving.
+//!
+//! A QUQM artifact holds everything a host needs to serve a calibrated QUQ
+//! model without re-synthesizing, re-calibrating, or re-encoding anything:
+//! the model configuration, the PTQ preset, every FP32 model tensor, every
+//! fitted quantizer's parameters, and every per-site quantized weight as a
+//! ready-to-ship `QUB1` record (the paper's Fig. 5 sideband: QUB payload +
+//! two FC registers + base scale). Chunks are laid out behind a manifest —
+//! site key → offset/length/CRC-32/shape — and each chunk is independently
+//! checksummed, so a reader can verify and load one layer at a time
+//! (the chunked-array / per-chunk-checksum shape proven by Zarr stores).
+//!
+//! * [`ArtifactWriter::save`] writes to a temp file and atomically renames —
+//!   a crashed save never leaves a half-written artifact at the target path.
+//! * [`Artifact::open`] validates the header, metadata, and manifest
+//!   (CRC-checked) without reading any chunk.
+//! * [`Artifact::load_site`] / [`Artifact::load_all`] read lazily and
+//!   verify each chunk's checksum before decoding it.
+//!
+//! Every load path is hardened against corrupt or hostile files: all
+//! structural fields are covered by a checksum, lengths are validated
+//! against the real file size before any allocation, and QUB payload reads
+//! are bounded by the manifest chunk length
+//! ([`quq_core::read_qub_tensor_bounded`]). Flipping any single byte of an
+//! artifact yields a structured [`StoreError`], never a panic, a wrong
+//! model, or a huge allocation (property-tested in `tests/corruption.rs`).
+//!
+//! The `store.*` observability surface (via `quq-obs`): `store.bytes_written`,
+//! `store.bytes_read`, `store.chunk_loads`, `store.checksum_failures`, and
+//! the `store.save` / `store.open` / `store.load_all` latency spans.
+
+pub mod crc32;
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+use std::fmt;
+
+pub use crc32::crc32;
+pub use format::{ChunkInfo, ChunkKind, MAGIC, VERSION};
+pub use reader::{Artifact, Chunk};
+pub use writer::ArtifactWriter;
+
+/// Errors of the QUQM artifact store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the artifact bytes.
+    Format(String),
+    /// A checksum did not match: the named section is corrupt.
+    Checksum {
+        /// Which section failed ("header", "metadata", "manifest", or a
+        /// chunk key).
+        section: String,
+        /// CRC-32 recorded in the artifact.
+        expected: u32,
+        /// CRC-32 of the bytes actually read.
+        actual: u32,
+    },
+    /// The manifest has no chunk under the requested key.
+    MissingChunk(String),
+    /// The artifact (or the tables being saved) uses a feature this store
+    /// does not support, e.g. non-QUQ quantizers.
+    Unsupported(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Format(m) => write!(f, "malformed QUQM artifact: {m}"),
+            StoreError::Checksum {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {section}: recorded {expected:#010x}, computed {actual:#010x}"
+            ),
+            StoreError::MissingChunk(k) => write!(f, "no chunk under key {k:?}"),
+            StoreError::Unsupported(m) => write!(f, "unsupported artifact feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<quq_core::WireError> for StoreError {
+    fn from(e: quq_core::WireError) -> Self {
+        match e {
+            quq_core::WireError::Io(e) => StoreError::Io(e),
+            quq_core::WireError::Format(m) => StoreError::Format(format!("QUB1 record: {m}")),
+        }
+    }
+}

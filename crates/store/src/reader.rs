@@ -1,0 +1,452 @@
+//! Opening and lazily loading QUQM artifacts.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use quq_core::calib::ParamKey;
+use quq_core::pipeline::{PtqConfig, PtqTables};
+use quq_core::qub::QubTensor;
+use quq_core::read_qub_tensor_bounded;
+use quq_core::scheme::QuqParams;
+use quq_tensor::Tensor;
+use quq_vit::{BlockWeights, Family, ModelConfig, ModelWeights, OpSite, StageWeights, VitModel};
+
+use crate::crc32::crc32;
+use crate::format::{
+    decode_activation_params, decode_manifest, decode_metadata, decode_weight_params, qub_key,
+    site_from_qub_key, ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, HEADER_LEN, MAGIC, VERSION,
+    WEIGHT_PARAMS_KEY,
+};
+use crate::StoreError;
+
+/// A decoded chunk payload.
+#[derive(Debug, Clone)]
+pub enum Chunk {
+    /// Raw `f32` tensor.
+    Tensor(Tensor),
+    /// Quantized weight record.
+    Qub(QubTensor),
+    /// Fitted activation quantizers.
+    ActivationParams(Vec<(ParamKey, QuqParams)>),
+    /// Fitted weight quantizers.
+    WeightParams(Vec<(OpSite, QuqParams)>),
+}
+
+/// An open QUQM artifact: validated header + manifest, chunks on demand.
+pub struct Artifact {
+    path: PathBuf,
+    file: Mutex<File>,
+    file_len: u64,
+    config: ModelConfig,
+    ptq: PtqConfig,
+    method: String,
+    manifest: Vec<ChunkInfo>,
+    index: BTreeMap<String, usize>,
+}
+
+fn shape_elems(shape: &[usize]) -> Result<u64, StoreError> {
+    shape
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+        .ok_or_else(|| StoreError::Format("tensor shape overflows u64".into()))
+}
+
+/// Expected payload length of a `QUB1` record with one byte per element.
+fn qub_record_len(shape: &[usize]) -> Result<u64, StoreError> {
+    // magic(4) + bits/fine/coarse/pad(4) + base_delta(4) + rank(4)
+    // + dims(8·rank) + one payload byte per element.
+    Ok(16 + 8 * shape.len() as u64 + shape_elems(shape)?)
+}
+
+impl Artifact {
+    /// Opens and validates an artifact without reading any chunk payload.
+    ///
+    /// Verifies the header, metadata, and manifest checksums, then checks
+    /// the manifest's structural invariants: unique keys, chunks laid out
+    /// contiguously from the end of the manifest to the end of the file,
+    /// and every chunk length consistent with its declared kind and shape.
+    /// After this, any corruption in a chunk payload is caught by that
+    /// chunk's own CRC at load time.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let _span = quq_obs::span("store.open");
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+
+        if file_len < HEADER_LEN {
+            return Err(StoreError::Format(format!(
+                "file is {file_len} bytes, shorter than the {HEADER_LEN}-byte header"
+            )));
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        quq_obs::add("store.bytes_read", HEADER_LEN);
+        let expected = u32::from_le_bytes(header[24..28].try_into().expect("sized"));
+        let actual = crc32(&header[..24]);
+        if expected != actual {
+            quq_obs::add("store.checksum_failures", 1);
+            return Err(StoreError::Checksum {
+                section: "header".into(),
+                expected,
+                actual,
+            });
+        }
+        if header[..4] != MAGIC {
+            return Err(StoreError::Format(format!(
+                "bad magic {:?} (want {MAGIC:?})",
+                &header[..4]
+            )));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(StoreError::Unsupported(format!(
+                "artifact version {version}; this reader understands version {VERSION}"
+            )));
+        }
+        let meta_len = u64::from_le_bytes(header[8..16].try_into().expect("sized"));
+        let manifest_len = u64::from_le_bytes(header[16..24].try_into().expect("sized"));
+        let chunks_start = HEADER_LEN
+            .checked_add(meta_len)
+            .and_then(|v| v.checked_add(4))
+            .and_then(|v| v.checked_add(manifest_len))
+            .and_then(|v| v.checked_add(4))
+            .filter(|&v| v <= file_len)
+            .ok_or_else(|| {
+                StoreError::Format(format!(
+                    "declared block lengths ({meta_len} + {manifest_len}) exceed the \
+                     {file_len}-byte file"
+                ))
+            })?;
+
+        let metadata = read_checked_block(&mut file, meta_len, "metadata")?;
+        let (config, ptq, method) = decode_metadata(&metadata)?;
+        let manifest_bytes = read_checked_block(&mut file, manifest_len, "manifest")?;
+        let manifest = decode_manifest(&manifest_bytes)?;
+
+        let mut index = BTreeMap::new();
+        let mut offset = chunks_start;
+        for (i, c) in manifest.iter().enumerate() {
+            if index.insert(c.key.clone(), i).is_some() {
+                return Err(StoreError::Format(format!(
+                    "duplicate chunk key {:?}",
+                    c.key
+                )));
+            }
+            if c.offset != offset {
+                return Err(StoreError::Format(format!(
+                    "chunk {:?} at offset {} breaks the contiguous layout (expected {offset})",
+                    c.key, c.offset
+                )));
+            }
+            offset = offset.checked_add(c.length).ok_or_else(|| {
+                StoreError::Format(format!("chunk {:?} length overflows the file", c.key))
+            })?;
+            let want = match c.kind {
+                ChunkKind::TensorF32 => {
+                    Some(4u64.checked_mul(shape_elems(&c.shape)?).ok_or_else(|| {
+                        StoreError::Format(format!("chunk {:?} shape overflows u64", c.key))
+                    })?)
+                }
+                ChunkKind::Qub => Some(qub_record_len(&c.shape)?),
+                ChunkKind::ActivationParams | ChunkKind::WeightParams => {
+                    if !c.shape.is_empty() {
+                        return Err(StoreError::Format(format!(
+                            "params chunk {:?} must not declare a shape",
+                            c.key
+                        )));
+                    }
+                    None
+                }
+            };
+            if let Some(want) = want {
+                if c.length != want {
+                    return Err(StoreError::Format(format!(
+                        "chunk {:?} declares {} bytes but its shape {:?} implies {want}",
+                        c.key, c.length, c.shape
+                    )));
+                }
+            }
+        }
+        if offset != file_len {
+            return Err(StoreError::Format(format!(
+                "chunks end at offset {offset} but the file is {file_len} bytes"
+            )));
+        }
+
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            file_len,
+            config,
+            ptq,
+            method,
+            manifest,
+            index,
+        })
+    }
+
+    /// Model configuration recorded in the artifact.
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// PTQ preset recorded in the artifact.
+    pub fn ptq_config(&self) -> PtqConfig {
+        self.ptq
+    }
+
+    /// Fitting-method name recorded in the artifact.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The chunk directory.
+    pub fn chunks(&self) -> &[ChunkInfo] {
+        &self.manifest
+    }
+
+    /// Total artifact size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Path this artifact was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Every weight site with a stored QUB record, in manifest order.
+    pub fn qub_sites(&self) -> Vec<OpSite> {
+        self.manifest
+            .iter()
+            .filter(|c| c.kind == ChunkKind::Qub)
+            .filter_map(|c| site_from_qub_key(&c.key))
+            .collect()
+    }
+
+    fn info(&self, key: &str) -> Result<&ChunkInfo, StoreError> {
+        let &i = self
+            .index
+            .get(key)
+            .ok_or_else(|| StoreError::MissingChunk(key.to_string()))?;
+        Ok(&self.manifest[i])
+    }
+
+    /// Reads and CRC-verifies one chunk's raw payload.
+    fn read_chunk(&self, info: &ChunkInfo) -> Result<Vec<u8>, StoreError> {
+        // Lengths were validated against the real file size at open, so
+        // this allocation is bounded by the artifact itself.
+        let mut bytes = vec![0u8; info.length as usize];
+        {
+            let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+            file.seek(SeekFrom::Start(info.offset))?;
+            file.read_exact(&mut bytes)?;
+        }
+        quq_obs::add("store.chunk_loads", 1);
+        quq_obs::add("store.bytes_read", info.length);
+        let actual = crc32(&bytes);
+        if actual != info.crc {
+            quq_obs::add("store.checksum_failures", 1);
+            return Err(StoreError::Checksum {
+                section: info.key.clone(),
+                expected: info.crc,
+                actual,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Loads and decodes the chunk under `key`, verifying its checksum.
+    pub fn load_site(&self, key: &str) -> Result<Chunk, StoreError> {
+        let info = self.info(key)?.clone();
+        let bytes = self.read_chunk(&info)?;
+        match info.kind {
+            ChunkKind::TensorF32 => {
+                let data: Vec<f32> = bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
+                    .collect();
+                let t = Tensor::from_vec(data, &info.shape)
+                    .map_err(|e| StoreError::Format(format!("chunk {:?}: {e}", info.key)))?;
+                Ok(Chunk::Tensor(t))
+            }
+            ChunkKind::Qub => {
+                let qub = read_qub_tensor_bounded(&bytes[..], info.length)?;
+                if qub.shape != info.shape {
+                    return Err(StoreError::Format(format!(
+                        "chunk {:?}: QUB record shape {:?} disagrees with manifest shape {:?}",
+                        info.key, qub.shape, info.shape
+                    )));
+                }
+                Ok(Chunk::Qub(qub))
+            }
+            ChunkKind::ActivationParams => {
+                Ok(Chunk::ActivationParams(decode_activation_params(&bytes)?))
+            }
+            ChunkKind::WeightParams => Ok(Chunk::WeightParams(decode_weight_params(&bytes)?)),
+        }
+    }
+
+    /// Loads the stored QUB record for one weight site.
+    pub fn load_qub(&self, site: OpSite) -> Result<QubTensor, StoreError> {
+        match self.load_site(&qub_key(site))? {
+            Chunk::Qub(q) => Ok(q),
+            _ => Err(StoreError::Format(format!(
+                "chunk {:?} is not a QUB record",
+                qub_key(site)
+            ))),
+        }
+    }
+
+    fn load_tensor(&self, key: &str) -> Result<Tensor, StoreError> {
+        match self.load_site(key)? {
+            Chunk::Tensor(t) => Ok(t),
+            _ => Err(StoreError::Format(format!(
+                "chunk {key:?} is not an f32 tensor"
+            ))),
+        }
+    }
+
+    /// Reconstructs the full model and PTQ tables from the artifact.
+    ///
+    /// Model tensors are restored bit-exactly from their raw `f32` chunks,
+    /// and quantizer parameters from their raw `f32` scale factors, so the
+    /// loaded pair produces logits bit-identical to the calibrated
+    /// in-memory pair on both backends. The returned tables carry no
+    /// `original_weights` — backends fall back to the (identical) live
+    /// model weight — and their `quantized_weights` come from decoding the
+    /// stored QUB records.
+    pub fn load_all(&self) -> Result<(VitModel, PtqTables), StoreError> {
+        let _span = quq_obs::span("store.load_all");
+        let config = self.config.clone();
+
+        let mut stages = Vec::with_capacity(config.stages.len());
+        for (si, stage) in config.stages.iter().enumerate() {
+            let mut blocks = Vec::with_capacity(stage.depth);
+            for bi in 0..stage.depth {
+                let t = |name: &str| self.load_tensor(&format!("model/s{si}/b{bi}/{name}"));
+                blocks.push(BlockWeights {
+                    ln1_g: t("ln1_g")?,
+                    ln1_b: t("ln1_b")?,
+                    qkv_w: t("qkv_w")?,
+                    qkv_b: t("qkv_b")?,
+                    proj_w: t("proj_w")?,
+                    proj_b: t("proj_b")?,
+                    ln2_g: t("ln2_g")?,
+                    ln2_b: t("ln2_b")?,
+                    fc1_w: t("fc1_w")?,
+                    fc1_b: t("fc1_b")?,
+                    fc2_w: t("fc2_w")?,
+                    fc2_b: t("fc2_b")?,
+                    embed_dim: stage.embed_dim,
+                    num_heads: stage.num_heads,
+                });
+            }
+            let merge = if si + 1 < config.stages.len() {
+                Some((
+                    self.load_tensor(&format!("model/s{si}/merge_w"))?,
+                    self.load_tensor(&format!("model/s{si}/merge_b"))?,
+                ))
+            } else {
+                None
+            };
+            stages.push(StageWeights { blocks, merge });
+        }
+        let cls_token = if matches!(config.family, Family::Vit | Family::Deit) {
+            Some(self.load_tensor("model/cls_token")?)
+        } else {
+            None
+        };
+        let weights = ModelWeights {
+            patch_w: self.load_tensor("model/patch_w")?,
+            patch_b: self.load_tensor("model/patch_b")?,
+            cls_token,
+            pos_embed: self.load_tensor("model/pos_embed")?,
+            stages,
+            final_g: self.load_tensor("model/final_g")?,
+            final_b: self.load_tensor("model/final_b")?,
+            head_w: self.load_tensor("model/head_w")?,
+            head_b: self.load_tensor("model/head_b")?,
+        };
+        let model = VitModel::from_weights(config, weights);
+
+        if self.method != "QUQ" {
+            return Err(StoreError::Unsupported(format!(
+                "artifact was fitted by {:?}; this loader only restores QUQ tables",
+                self.method
+            )));
+        }
+        let acts = match self.load_site(ACTIVATION_PARAMS_KEY)? {
+            Chunk::ActivationParams(v) => v,
+            _ => {
+                return Err(StoreError::Format(
+                    "params/activations chunk has the wrong kind".into(),
+                ))
+            }
+        };
+        let wparams = match self.load_site(WEIGHT_PARAMS_KEY)? {
+            Chunk::WeightParams(v) => v,
+            _ => {
+                return Err(StoreError::Format(
+                    "params/weights chunk has the wrong kind".into(),
+                ))
+            }
+        };
+
+        let mut quantized = BTreeMap::new();
+        for (site, _) in &wparams {
+            let qub = self.load_qub(*site)?;
+            quantized.insert(*site, qub.dequantize());
+        }
+        let activations: BTreeMap<_, _> = acts
+            .into_iter()
+            .map(|(k, p)| {
+                (
+                    k,
+                    Box::new(p) as Box<dyn quq_core::quantizer::FittedQuantizer>,
+                )
+            })
+            .collect();
+        let weight_quantizers: BTreeMap<_, _> = wparams
+            .into_iter()
+            .map(|(s, p)| {
+                (
+                    s,
+                    Box::new(p) as Box<dyn quq_core::quantizer::FittedQuantizer>,
+                )
+            })
+            .collect();
+        let tables = PtqTables::from_parts(
+            self.ptq,
+            "QUQ",
+            activations,
+            weight_quantizers,
+            quantized,
+            BTreeMap::new(),
+        );
+        Ok((model, tables))
+    }
+}
+
+/// Reads a length-prefixed block followed by its CRC-32, verifying it.
+fn read_checked_block(file: &mut File, len: u64, section: &str) -> Result<Vec<u8>, StoreError> {
+    // `len` was bounds-checked against the file size by the caller.
+    let mut bytes = vec![0u8; len as usize];
+    file.read_exact(&mut bytes)?;
+    let mut crc_bytes = [0u8; 4];
+    file.read_exact(&mut crc_bytes)?;
+    quq_obs::add("store.bytes_read", len + 4);
+    let expected = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&bytes);
+    if expected != actual {
+        quq_obs::add("store.checksum_failures", 1);
+        return Err(StoreError::Checksum {
+            section: section.to_string(),
+            expected,
+            actual,
+        });
+    }
+    Ok(bytes)
+}

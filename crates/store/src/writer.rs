@@ -1,0 +1,207 @@
+//! Serializing a calibrated model into a QUQM artifact.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::process;
+
+use quq_core::pipeline::PtqTables;
+use quq_core::qub::QubCodec;
+use quq_core::scheme::QuqParams;
+use quq_core::write_qub_tensor;
+use quq_tensor::Tensor;
+use quq_vit::{ModelConfig, ModelWeights, VitModel};
+
+use crate::crc32::crc32;
+use crate::format::{
+    encode_activation_params, encode_manifest, encode_metadata, encode_weight_params, qub_key,
+    ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, BLOCK_TENSORS, HEADER_LEN, MAGIC, VERSION,
+    WEIGHT_PARAMS_KEY,
+};
+use crate::StoreError;
+
+/// Writes QUQM artifacts.
+pub struct ArtifactWriter;
+
+/// Pairs every model-tensor chunk key with its tensor, in the canonical
+/// wire order (must agree with [`crate::format::model_tensor_keys`]).
+pub(crate) fn model_tensor_pairs<'a>(
+    config: &ModelConfig,
+    w: &'a ModelWeights,
+) -> Vec<(String, &'a Tensor)> {
+    let mut out: Vec<(String, &'a Tensor)> = vec![
+        ("model/patch_w".into(), &w.patch_w),
+        ("model/patch_b".into(), &w.patch_b),
+    ];
+    if let Some(cls) = &w.cls_token {
+        out.push(("model/cls_token".into(), cls));
+    }
+    out.push(("model/pos_embed".into(), &w.pos_embed));
+    for (si, stage) in w.stages.iter().enumerate() {
+        for (bi, b) in stage.blocks.iter().enumerate() {
+            let tensors: [&Tensor; 12] = [
+                &b.ln1_g, &b.ln1_b, &b.qkv_w, &b.qkv_b, &b.proj_w, &b.proj_b, &b.ln2_g, &b.ln2_b,
+                &b.fc1_w, &b.fc1_b, &b.fc2_w, &b.fc2_b,
+            ];
+            for (name, t) in BLOCK_TENSORS.iter().zip(tensors) {
+                out.push((format!("model/s{si}/b{bi}/{name}"), t));
+            }
+        }
+        if let Some((mw, mb)) = &stage.merge {
+            out.push((format!("model/s{si}/merge_w"), mw));
+            out.push((format!("model/s{si}/merge_b"), mb));
+        }
+    }
+    out.push(("model/final_g".into(), &w.final_g));
+    out.push(("model/final_b".into(), &w.final_b));
+    out.push(("model/head_w".into(), &w.head_w));
+    out.push(("model/head_b".into(), &w.head_b));
+    debug_assert_eq!(
+        out.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+        crate::format::model_tensor_keys(config)
+    );
+    out
+}
+
+fn quq_params_of(
+    q: &dyn quq_core::quantizer::FittedQuantizer,
+    what: &str,
+) -> Result<QuqParams, StoreError> {
+    q.quq_params().copied().ok_or_else(|| {
+        StoreError::Unsupported(format!(
+            "{what} quantizer {:?} is not a QUQ quantizer; only QUQ tables can be stored",
+            q.describe()
+        ))
+    })
+}
+
+impl ArtifactWriter {
+    /// Serializes `model` + `tables` into a QUQM artifact at `path`.
+    ///
+    /// The write goes to a sibling temp file first and is atomically
+    /// renamed into place, so a crash mid-save never leaves a truncated
+    /// artifact at `path`. Returns the artifact size in bytes.
+    ///
+    /// Errors with [`StoreError::Unsupported`] if the tables were not fitted
+    /// by the QUQ method, or if any weight site lacks its original weight
+    /// tensor (re-quantized tables only; `calibrate` always records them).
+    pub fn save(model: &VitModel, tables: &PtqTables, path: &Path) -> Result<u64, StoreError> {
+        let _span = quq_obs::span("store.save");
+        if tables.method_name() != "QUQ" {
+            return Err(StoreError::Unsupported(format!(
+                "tables were fitted by {:?}; only QUQ tables can be stored",
+                tables.method_name()
+            )));
+        }
+
+        let config = model.config();
+        let mut activations: Vec<_> = Vec::new();
+        for (key, q) in tables.activations() {
+            activations.push((*key, quq_params_of(q, "activation")?));
+        }
+        let mut weight_params: Vec<_> = Vec::new();
+        for (site, q) in tables.weight_quantizers() {
+            weight_params.push((*site, quq_params_of(q, "weight")?));
+        }
+
+        // Assemble every chunk payload in wire order: model tensors, the
+        // two quantizer tables, then one QUB record per weight site.
+        let mut chunks: Vec<(String, ChunkKind, Vec<usize>, Vec<u8>)> = Vec::new();
+        for (key, t) in model_tensor_pairs(config, model.weights()) {
+            let mut bytes = Vec::with_capacity(t.data().len() * 4);
+            for v in t.data() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            chunks.push((key, ChunkKind::TensorF32, t.shape().to_vec(), bytes));
+        }
+        chunks.push((
+            ACTIVATION_PARAMS_KEY.into(),
+            ChunkKind::ActivationParams,
+            vec![],
+            encode_activation_params(&activations),
+        ));
+        chunks.push((
+            WEIGHT_PARAMS_KEY.into(),
+            ChunkKind::WeightParams,
+            vec![],
+            encode_weight_params(&weight_params),
+        ));
+        for (site, params) in &weight_params {
+            let w = tables.original_weight(site).ok_or_else(|| {
+                StoreError::Unsupported(format!(
+                    "weight site {site} has no recorded original weight tensor"
+                ))
+            })?;
+            let qub = QubCodec::new(*params).encode_tensor(w);
+            let mut bytes = Vec::new();
+            write_qub_tensor(&mut bytes, &qub)?;
+            chunks.push((qub_key(*site), ChunkKind::Qub, w.shape().to_vec(), bytes));
+        }
+
+        let metadata = encode_metadata(config, tables.config(), tables.method_name());
+
+        // The manifest's encoded length does not depend on the offset
+        // values, so encode once with placeholder offsets to learn where
+        // the chunk region starts, then fill in the real offsets.
+        let mut entries: Vec<ChunkInfo> = chunks
+            .iter()
+            .map(|(key, kind, shape, bytes)| ChunkInfo {
+                key: key.clone(),
+                kind: *kind,
+                offset: 0,
+                length: bytes.len() as u64,
+                crc: crc32(bytes),
+                shape: shape.clone(),
+            })
+            .collect();
+        let manifest_len = encode_manifest(&entries).len() as u64;
+        let mut offset = HEADER_LEN + metadata.len() as u64 + 4 + manifest_len + 4;
+        for e in &mut entries {
+            e.offset = offset;
+            offset += e.length;
+        }
+        let manifest = encode_manifest(&entries);
+        debug_assert_eq!(manifest.len() as u64, manifest_len);
+
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(metadata.len() as u64).to_le_bytes());
+        header.extend_from_slice(&manifest_len.to_le_bytes());
+        let header_crc = crc32(&header);
+        header.extend_from_slice(&header_crc.to_le_bytes());
+
+        let tmp = path.with_extension(format!("tmp.{}", process::id()));
+        let total = {
+            let mut f = open_exclusive(&tmp)?;
+            let mut total = 0u64;
+            let mut put = |f: &mut File, bytes: &[u8]| -> Result<(), StoreError> {
+                f.write_all(bytes)?;
+                total += bytes.len() as u64;
+                Ok(())
+            };
+            put(&mut f, &header)?;
+            put(&mut f, &metadata)?;
+            put(&mut f, &crc32(&metadata).to_le_bytes())?;
+            put(&mut f, &manifest)?;
+            put(&mut f, &crc32(&manifest).to_le_bytes())?;
+            for (_, _, _, bytes) in &chunks {
+                put(&mut f, bytes)?;
+            }
+            f.sync_all()?;
+            total
+        };
+        fs::rename(&tmp, path)?;
+        debug_assert_eq!(total, offset);
+        quq_obs::add("store.bytes_written", total);
+        Ok(total)
+    }
+}
+
+fn open_exclusive(path: &Path) -> Result<File, StoreError> {
+    OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+        .map_err(StoreError::Io)
+}

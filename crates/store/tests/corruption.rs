@@ -1,0 +1,193 @@
+//! Round-trip and corruption-hardening tests of the QUQM artifact store.
+//!
+//! The headline property: flipping **any** single byte of a saved artifact
+//! yields a structured [`StoreError`] from `open` + `load_all` — never a
+//! panic, never a silently wrong model, never a huge allocation. This holds
+//! because every byte of a QUQM file is covered by exactly one CRC-32
+//! (header, metadata, manifest, or a chunk), and a single-byte flip always
+//! changes a CRC-32.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
+use quq_core::quantizer::QuqMethod;
+use quq_store::{Artifact, ArtifactWriter, Chunk, StoreError};
+use quq_vit::{Dataset, ModelConfig, VitModel};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_path(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("quqm-test-{}-{tag}-{n}.quqm", std::process::id()))
+}
+
+fn calibrated() -> (VitModel, PtqTables) {
+    let config = ModelConfig::test_config();
+    let model = VitModel::synthesize(config, 11);
+    let data = Dataset::calibration(model.config(), 4, 3);
+    let tables = calibrate(
+        &QuqMethod::without_optimization(),
+        &model,
+        &data,
+        PtqConfig::full_w8a8(),
+    )
+    .expect("calibration succeeds");
+    (model, tables)
+}
+
+/// One saved artifact, built once and shared by every test case.
+fn artifact_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (model, tables) = calibrated();
+        let path = temp_path("fixture");
+        ArtifactWriter::save(&model, &tables, &path).expect("save succeeds");
+        let bytes = fs::read(&path).expect("read artifact back");
+        let _ = fs::remove_file(&path);
+        bytes
+    })
+}
+
+#[test]
+fn save_open_load_roundtrip_is_exact() {
+    let (model, tables) = calibrated();
+    let path = temp_path("roundtrip");
+    let written = ArtifactWriter::save(&model, &tables, &path).expect("save");
+    assert_eq!(written, fs::metadata(&path).expect("stat").len());
+
+    let art = Artifact::open(&path).expect("open");
+    assert_eq!(art.model_config(), model.config());
+    assert_eq!(art.ptq_config(), tables.config());
+    assert_eq!(art.method(), "QUQ");
+    assert_eq!(art.size_bytes(), written);
+
+    // Every manifest chunk loads and checksum-verifies.
+    for info in art.chunks().to_vec() {
+        art.load_site(&info.key).unwrap_or_else(|e| {
+            panic!("chunk {:?} failed to load: {e}", info.key);
+        });
+    }
+    assert!(matches!(
+        art.load_site("no/such/chunk"),
+        Err(StoreError::MissingChunk(_))
+    ));
+
+    let (loaded_model, loaded_tables) = art.load_all().expect("load_all");
+    // Model tensors are restored bit-exactly.
+    assert_eq!(loaded_model.weights(), model.weights());
+    // Quantizer parameters are restored exactly (raw f32 scale factors).
+    for (key, q) in tables.activations() {
+        let loaded = loaded_tables.activation(key).expect("activation present");
+        assert_eq!(loaded.quq_params(), q.quq_params(), "activation {key:?}");
+    }
+    for (site, q) in tables.weight_quantizers() {
+        let loaded = loaded_tables
+            .weight_quantizer(site)
+            .expect("weight present");
+        assert_eq!(loaded.quq_params(), q.quq_params(), "weight {site}");
+    }
+    // Stored QUB records decode to the same fake-quantized weights the
+    // in-memory tables carry.
+    for site in art.qub_sites() {
+        let qub = art.load_qub(site).expect("qub loads");
+        let inmem = tables
+            .weight_quantizer(&site)
+            .and_then(|q| q.quq_params())
+            .expect("site has QUQ params");
+        let original = tables.original_weight(&site).expect("original recorded");
+        let expect = inmem.fake_quantize_tensor(original);
+        assert_eq!(qub.dequantize().data(), expect.data(), "site {site}");
+    }
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn save_leaves_no_temp_file_behind() {
+    let (model, tables) = calibrated();
+    let path = temp_path("atomic");
+    ArtifactWriter::save(&model, &tables, &path).expect("save");
+    let dir = path.parent().expect("parent dir");
+    let stem = path
+        .file_stem()
+        .expect("stem")
+        .to_string_lossy()
+        .to_string();
+    let leftovers: Vec<_> = fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .filter(|n| n.contains(&stem) && n.contains("tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_artifact_is_rejected_at_every_length() {
+    let bytes = artifact_bytes();
+    // Check a spread of truncation points including the structural
+    // boundaries near the start and the final byte.
+    let mut cuts: Vec<usize> = (0..64.min(bytes.len())).collect();
+    cuts.extend((1..=8).map(|k| bytes.len() - k));
+    cuts.push(bytes.len() / 2);
+    for cut in cuts {
+        let path = temp_path("trunc");
+        fs::write(&path, &bytes[..cut]).expect("write truncated");
+        let outcome = Artifact::open(&path).and_then(|a| a.load_all().map(|_| ()));
+        assert!(outcome.is_err(), "truncation to {cut} bytes was accepted");
+        let _ = fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn params_tables_load_standalone() {
+    let bytes = artifact_bytes();
+    let path = temp_path("tables");
+    fs::write(&path, bytes).expect("write");
+    let art = Artifact::open(&path).expect("open");
+    match art
+        .load_site("params/activations")
+        .expect("activations chunk")
+    {
+        Chunk::ActivationParams(v) => assert!(!v.is_empty()),
+        other => panic!("wrong chunk kind: {other:?}"),
+    }
+    match art.load_site("params/weights").expect("weights chunk") {
+        Chunk::WeightParams(v) => assert!(!v.is_empty()),
+        other => panic!("wrong chunk kind: {other:?}"),
+    }
+    let _ = fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flipping any single byte anywhere in the artifact must produce a
+    /// structured error, never a panic or a silently-loaded wrong model.
+    #[test]
+    fn any_single_byte_flip_is_detected(pos_seed in 0u64..u64::MAX, bit in 0u32..8) {
+        let bytes = artifact_bytes();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+
+        let path = temp_path("flip");
+        fs::write(&path, &corrupt).expect("write corrupted artifact");
+        let outcome = Artifact::open(&path).and_then(|a| a.load_all().map(|_| ()));
+        let _ = fs::remove_file(&path);
+        match outcome {
+            Err(_) => {} // structured StoreError: exactly what we want
+            Ok(()) => prop_assert!(
+                false,
+                "flip at byte {pos} bit {bit} loaded without an error"
+            ),
+        }
+    }
+}

@@ -102,4 +102,61 @@ assert "serve.accepted" in counters and "serve.shed" in counters
 print("serve smoke: bit-identical responses, bounded queue, sheds under overload, drains clean")
 PY
 
+echo "==> tier-2: store smoke (save, corrupt-byte rejection, cold-start serving)"
+store_out=target/bench_smoke_store.json
+QUQ_QUICK=1 QUQ_BENCH_OUT="$store_out" \
+    cargo run --release -q -p quq-bench --bin storebench
+python3 - "$store_out" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["cold_start_bit_identical_fp32"] is True
+assert report["cold_start_bit_identical_int"] is True
+assert report["corrupt_byte_rejected"] is True
+c = report["store_counters"]
+assert c["bytes_written"] > 0 and c["bytes_read"] > 0 and c["chunk_loads"] > 0
+# One deliberate corruption probe per scale, none from clean loads.
+assert c["checksum_failures"] == len(report["scales"])
+for scale in report["scales"]:
+    assert scale["artifact_bytes"] > 0 and scale["chunks"] > 0
+    assert scale["cold_start_speedup"] > 1.0
+
+print("store smoke: cold start bit-identical, store counters covered")
+PY
+
+# Corruption gate: a saved artifact with one flipped byte must be rejected
+# with a structured error, and the pristine artifact must keep verifying.
+store_art=target/check_store.quqm
+rm -f "$store_art" "$store_art.bad"
+cargo run --release -q -p quq-bench --bin storebench -- --save "$store_art"
+cargo run --release -q -p quq-bench --bin storebench -- --verify "$store_art"
+python3 - "$store_art" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 3] ^= 0x10
+open(path + ".bad", "wb").write(bytes(data))
+PY
+if cargo run --release -q -p quq-bench --bin storebench -- --verify "$store_art.bad" 2>/dev/null; then
+    echo "store smoke: corrupted artifact was NOT rejected" >&2
+    exit 1
+fi
+echo "store smoke: corrupted artifact rejected"
+
+# Cold-start serving gate: quq-serve --model-path must reach ready without
+# calibration and serve logits bit-identical to the artifact's own integer
+# forward (probed over TCP by storebench --probe).
+coproc SERVE { cargo run --release -q -p quq-serve -- \
+    --model-path "$store_art" --addr 127.0.0.1:0 2>/dev/null; }
+# First stdout line is "serving on HOST:PORT (...)".
+read -r _ _ serve_addr _ <&"${SERVE[0]}"
+cargo run --release -q -p quq-bench --bin storebench -- \
+    --probe "$serve_addr" --artifact "$store_art"
+echo >&"${SERVE[1]}"   # request graceful drain
+wait "$SERVE_PID"
+rm -f "$store_art" "$store_art.bad"
+echo "store smoke: cold-start server answered bit-identically and drained clean"
+
 echo "All checks passed."
