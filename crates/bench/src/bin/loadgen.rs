@@ -24,21 +24,33 @@
 //!    size;
 //! 4. **Fixed-rate sweep** — offered load at multiples of measured
 //!    capacity; reports achieved throughput and shed rate per point (the
-//!    backpressure curve), with the admission queue bounded throughout.
+//!    backpressure curve), with the admission queue bounded throughout;
+//! 5. **Connection sweep** — up to 1k+ concurrent connections against the
+//!    event-loop front end on the tiny test model (so the *front end*,
+//!    not the forward pass, is the stressed component): throughput,
+//!    p50/p99, per-connection RSS, and a zero-desync gate (every response
+//!    bit-exact, matched by id). The top point is re-run against the
+//!    legacy thread-per-connection front end for an equal-core
+//!    throughput comparison;
+//! 6. **Pipelined client** — one connection with 32 requests in flight
+//!    (matched by id) vs the same connection closed-loop, showing what
+//!    request pipelining buys.
 //!
 //! A graceful drain ends every phase: the exit code is non-zero if any
 //! admitted request was dropped or any gate failed.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use quq_accel::IntegerBackend;
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::quantizer::QuqMethod;
-use quq_serve::{Client, InferResponse, IntegerProvider, ServeConfig, Server};
+use quq_serve::{
+    sys, Client, Fp32Provider, Frontend, InferResponse, IntegerProvider, ServeConfig, Server,
+};
 use quq_tensor::{pool, Tensor};
-use quq_vit::{evaluate_parallel, Dataset, ModelConfig, ModelId, Observed, VitModel};
+use quq_vit::{evaluate_parallel, Dataset, Fp32Backend, ModelConfig, ModelId, Observed, VitModel};
 
 fn quick() -> bool {
     std::env::var("QUQ_QUICK")
@@ -86,6 +98,7 @@ fn start_server(model: &Arc<VitModel>, tables: &Arc<PtqTables>, max_batch: usize
             max_batch,
             max_wait: Duration::from_millis(2),
             queue_capacity: QUEUE_CAPACITY,
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -304,6 +317,211 @@ fn fixed_rate(
     p
 }
 
+/// A server tuned for the connection sweep: the tiny test model on the
+/// f32 backend (cheap forwards — the *front end* is the bottleneck) with
+/// an admission queue deep enough that every connection can have one
+/// request in flight without shedding.
+fn sweep_server(model: &Arc<VitModel>, frontend: Frontend) -> Server {
+    Server::start(
+        Arc::clone(model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            workers: 1,
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 4096,
+            frontend,
+            reactors: 1,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port")
+}
+
+struct ConnPoint {
+    conns: usize,
+    images_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Process RSS growth per connection while the point ran. Measured
+    /// process-wide, so it includes the in-process *client* state too —
+    /// an overestimate of the server's own per-connection cost.
+    rss_per_conn_kib: f64,
+    /// Desyncs/protocol failures: responses missing, non-Ok, id-mismatched,
+    /// or not bit-identical to the offline forward. Must be zero.
+    errors: usize,
+}
+
+/// Drives `conns` concurrent connections (striped across a few driver
+/// threads), each closed-loop with one request in flight, for `rounds`
+/// cycles. Every response is checked bit-exact against `offline` — any
+/// deviation (the desync signature) counts as an error.
+fn conn_point(
+    addr: std::net::SocketAddr,
+    img: &Tensor,
+    offline: &[f32],
+    conns: usize,
+    rounds: usize,
+) -> (f64, Vec<Duration>, usize, f64) {
+    let drivers = 4.min(conns);
+    let errors = Arc::new(AtomicUsize::new(0));
+    let lats: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let rss_base = sys::current_rss_kib().unwrap_or(0);
+    let rss_peak = Arc::new(AtomicU64::new(rss_base));
+    let running = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let rss_peak = Arc::clone(&rss_peak);
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            while running.load(Ordering::Relaxed) {
+                if let Some(r) = sys::current_rss_kib() {
+                    rss_peak.fetch_max(r, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+    // Drivers connect first and meet at the barrier, so the timed window
+    // covers request rounds only — not 1k TCP handshakes.
+    let barrier = Arc::new(std::sync::Barrier::new(drivers + 1));
+    let threads: Vec<_> = (0..drivers)
+        .map(|d| {
+            let errors = Arc::clone(&errors);
+            let lats = Arc::clone(&lats);
+            let img = img.clone();
+            let offline = offline.to_vec();
+            let barrier = Arc::clone(&barrier);
+            let mine = (d..conns).step_by(drivers).count();
+            std::thread::spawn(move || {
+                let mut clients = Vec::with_capacity(mine);
+                for _ in 0..mine {
+                    // The listener backlog can lag a 1k-connection burst;
+                    // retry briefly instead of failing the point.
+                    let mut attempts = 0;
+                    let c = loop {
+                        match Client::connect(addr) {
+                            Ok(c) => break c,
+                            Err(e) => {
+                                attempts += 1;
+                                assert!(attempts < 100, "connect failed: {e}");
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                    };
+                    clients.push(c);
+                }
+                barrier.wait();
+                let mut my_lats = Vec::with_capacity(mine * rounds);
+                for _ in 0..rounds {
+                    let mut sent = Vec::with_capacity(clients.len());
+                    for c in &mut clients {
+                        let t = Instant::now();
+                        sent.push(c.send_infer(&img).map(|id| (id, t)));
+                    }
+                    for (c, s) in clients.iter_mut().zip(sent) {
+                        let (id, t) = match s {
+                            Ok(ok) => ok,
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        };
+                        match c.recv_response() {
+                            Ok((rid, InferResponse::Ok { logits, .. }))
+                                if rid == id && logits == offline =>
+                            {
+                                my_lats.push(t.elapsed());
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                lats.lock().unwrap().extend(my_lats);
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for t in threads {
+        t.join().expect("driver thread");
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    running.store(false, Ordering::Relaxed);
+    sampler.join().expect("rss sampler");
+    let rss_growth_kib = rss_peak.load(Ordering::Relaxed).saturating_sub(rss_base) as f64;
+    let lats = Arc::try_unwrap(lats).unwrap().into_inner().unwrap();
+    let errors = errors.load(Ordering::Relaxed);
+    (seconds, lats, errors, rss_growth_kib / conns as f64)
+}
+
+fn measure_conn_point(
+    model: &Arc<VitModel>,
+    img: &Tensor,
+    offline: &[f32],
+    frontend: Frontend,
+    conns: usize,
+    rounds: usize,
+) -> ConnPoint {
+    let server = sweep_server(model, frontend);
+    let addr = server.local_addr();
+    let (seconds, mut lats, errors, rss_per_conn_kib) =
+        conn_point(addr, img, offline, conns, rounds);
+    server.shutdown();
+    lats.sort_unstable();
+    let p = ConnPoint {
+        conns,
+        images_per_sec: lats.len() as f64 / seconds,
+        p50_ms: percentile_ms(&lats, 0.50),
+        p99_ms: percentile_ms(&lats, 0.99),
+        rss_per_conn_kib,
+        errors,
+    };
+    println!(
+        "  {:>15} {:5} conns: {:8.1} img/s  p50 {:6.1}ms  p99 {:6.1}ms  ~{:.1} KiB/conn  errors {}",
+        match frontend {
+            Frontend::EventLoop => "event-loop",
+            Frontend::ThreadPerConn => "thread-per-conn",
+        },
+        p.conns,
+        p.images_per_sec,
+        p.p50_ms,
+        p.p99_ms,
+        p.rss_per_conn_kib,
+        p.errors
+    );
+    p
+}
+
+/// One connection, `total` requests, `depth` in flight at once.
+fn pipelined_throughput(
+    addr: std::net::SocketAddr,
+    img: &Tensor,
+    depth: usize,
+    total: usize,
+) -> f64 {
+    let mut c = Client::connect(addr).expect("connect");
+    let t0 = Instant::now();
+    let mut inflight = 0usize;
+    let mut sent = 0usize;
+    let mut done = 0usize;
+    while done < total {
+        while inflight < depth && sent < total {
+            c.send_infer(img).expect("send");
+            sent += 1;
+            inflight += 1;
+        }
+        match c.recv_response().expect("recv") {
+            (_, InferResponse::Ok { .. }) => {}
+            (_, other) => panic!("pipelined client got {other:?}"),
+        }
+        inflight -= 1;
+        done += 1;
+    }
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
 fn main() {
     let threads = pool::num_threads();
     let embed_metrics = metrics_enabled();
@@ -409,6 +627,79 @@ fn main() {
     let queue_bounded = curve.iter().all(|p| p.max_queue_depth <= 64);
     assert!(queue_bounded, "queue depth exceeded its configured bound");
 
+    // Phase 5 — connection sweep on the event-loop front end, with the
+    // legacy thread-per-conn front end re-measured at the top size for an
+    // equal-core comparison. The test-scale model keeps forwards cheap so
+    // this stresses framing + readiness handling, not matmuls.
+    let _ = sys::raise_nofile_limit(16384);
+    let sweep_model = Arc::new(VitModel::synthesize(ModelConfig::test_config(), 77));
+    let sweep_img = sweep_model.config().dummy_image(0.3);
+    let sweep_offline = sweep_model
+        .forward(&sweep_img, &mut Fp32Backend::new())
+        .expect("offline forward")
+        .data()
+        .to_vec();
+    let conn_sizes: &[usize] = if quick() {
+        &[64, 512]
+    } else {
+        &[64, 256, 1024]
+    };
+    let rounds = if quick() { 2 } else { 4 };
+    println!("connection sweep (test model, fp32, 1 worker):");
+    let conn_sweep: Vec<ConnPoint> = conn_sizes
+        .iter()
+        .map(|&n| {
+            measure_conn_point(
+                &sweep_model,
+                &sweep_img,
+                &sweep_offline,
+                Frontend::EventLoop,
+                n,
+                rounds,
+            )
+        })
+        .collect();
+    let sweep_clean = conn_sweep.iter().all(|p| p.errors == 0);
+    assert!(
+        sweep_clean,
+        "connection sweep saw desyncs/errors: {:?}",
+        conn_sweep.iter().map(|p| p.errors).collect::<Vec<_>>()
+    );
+    let top_conns = *conn_sizes.last().unwrap();
+    let tpc = measure_conn_point(
+        &sweep_model,
+        &sweep_img,
+        &sweep_offline,
+        Frontend::ThreadPerConn,
+        top_conns,
+        rounds,
+    );
+    let el_top = conn_sweep.last().unwrap();
+    let event_loop_ge_tpc = el_top.images_per_sec >= 0.9 * tpc.images_per_sec;
+    assert!(
+        event_loop_ge_tpc,
+        "event loop ({:.1} img/s) fell below thread-per-conn ({:.1} img/s) at {top_conns} conns",
+        el_top.images_per_sec, tpc.images_per_sec
+    );
+
+    // Phase 6 — pipelining: one connection, 32 in flight vs closed-loop.
+    let (pipelined_ips, sequential_ips) = {
+        let server = sweep_server(&sweep_model, Frontend::EventLoop);
+        let addr = server.local_addr();
+        let total = if quick() { 128 } else { 512 };
+        let seq = pipelined_throughput(addr, &sweep_img, 1, total);
+        let pipe = pipelined_throughput(addr, &sweep_img, 32, total);
+        server.shutdown();
+        println!(
+            "pipelined client (1 conn): depth 32 {pipe:8.1} img/s vs closed-loop {seq:8.1} img/s"
+        );
+        (pipe, seq)
+    };
+    assert!(
+        pipelined_ips > sequential_ips,
+        "pipelining must outrun one-at-a-time on the same connection"
+    );
+
     // Metric-site coverage: the serving path must have reported its
     // counters and per-backend histograms during the phases above.
     let delta = quq_obs::snapshot().delta_since(&run_start);
@@ -470,7 +761,26 @@ fn main() {
             p.max_queue_depth
         ));
     }
-    json.push(']');
+    json.push_str("], \"conn_sweep\": [");
+    for (i, p) in conn_sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "{}{{\"conns\": {}, \"images_per_sec\": {:.3}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}, \"rss_per_conn_kib\": {:.1}, \"errors\": {}}}",
+            if i > 0 { ", " } else { "" },
+            p.conns,
+            p.images_per_sec,
+            p.p50_ms,
+            p.p99_ms,
+            p.rss_per_conn_kib,
+            p.errors
+        ));
+    }
+    json.push_str(&format!(
+        "], \"conn_sweep_clean\": {sweep_clean}, \"frontend_compare\": {{\"conns\": {top_conns}, \"event_loop_images_per_sec\": {:.3}, \"thread_per_conn_images_per_sec\": {:.3}, \"event_loop_ge_thread_per_conn\": {event_loop_ge_tpc}, \"event_loop_rss_per_conn_kib\": {:.1}, \"thread_per_conn_rss_per_conn_kib\": {:.1}}}, \"pipelined\": {{\"depth\": 32, \"images_per_sec\": {pipelined_ips:.3}, \"sequential_images_per_sec\": {sequential_ips:.3}}}",
+        el_top.images_per_sec,
+        tpc.images_per_sec,
+        el_top.rss_per_conn_kib,
+        tpc.rss_per_conn_kib,
+    ));
     if embed_metrics {
         json.push_str(&format!(", \"metrics\": {}", delta.to_json()));
         println!("slowest op sites during the run:");

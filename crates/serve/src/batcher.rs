@@ -123,41 +123,49 @@ impl<T> BatchQueue<T> {
     pub fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<T>> {
         debug_assert!(max_batch > 0);
         let mut st = lock_unpoisoned(&self.state);
-        // Phase 1: wait indefinitely for the first item (or drain).
         loop {
-            if !st.items.is_empty() {
-                break;
+            // Phase 1: wait indefinitely for the first item (or drain).
+            loop {
+                if !st.items.is_empty() {
+                    break;
+                }
+                if st.draining {
+                    return None;
+                }
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
-            if st.draining {
-                return None;
+            // Phase 2: batch up to the deadline.
+            let deadline = Instant::now() + max_wait;
+            while st.items.len() < max_batch && !st.draining {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
             }
-            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            let take = st.items.len().min(max_batch);
+            if take == 0 {
+                // Another consumer drained the queue between our phase-2
+                // wakeup and the take: go back to waiting instead of
+                // handing the worker an empty batch.
+                continue;
+            }
+            let batch: Vec<T> = st.items.drain(..take).collect();
+            let more = !st.items.is_empty();
+            drop(st);
+            if more {
+                // Leftovers beyond max_batch: wake another consumer.
+                self.cv.notify_one();
+            }
+            return Some(batch);
         }
-        // Phase 2: batch up to the deadline.
-        let deadline = Instant::now() + max_wait;
-        while st.items.len() < max_batch && !st.draining {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            let (guard, timeout) = self
-                .cv
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            st = guard;
-            if timeout.timed_out() {
-                break;
-            }
-        }
-        let take = st.items.len().min(max_batch);
-        let batch: Vec<T> = st.items.drain(..take).collect();
-        let more = !st.items.is_empty();
-        drop(st);
-        if more {
-            // Leftovers beyond max_batch: wake another consumer.
-            self.cv.notify_one();
-        }
-        Some(batch)
     }
 }
 
@@ -248,6 +256,42 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.drain();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn raced_consumer_never_yields_an_empty_batch() {
+        // Regression: consumer A enters phase 2 holding the only item's
+        // scent, consumer B steals the item, A's deadline fires on an
+        // empty queue. Pre-fix, A returned Some(vec![]) — a worker then
+        // spun on nothing. Post-fix, A loops back to phase 1 and blocks
+        // until real work (or drain) arrives.
+        let q = Arc::new(BatchQueue::<u32>::new(8));
+        q.push(1).unwrap();
+        let qa = Arc::clone(&q);
+        // A: wants 2 items, generous deadline — parks in phase 2.
+        let a = std::thread::spawn(move || qa.next_batch(2, Duration::from_millis(150)));
+        std::thread::sleep(Duration::from_millis(40));
+        // B: steals the lone item immediately.
+        assert_eq!(q.next_batch(1, Duration::ZERO).unwrap(), vec![1]);
+        // Let A's phase-2 deadline expire on the now-empty queue.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!a.is_finished(), "A must keep waiting, not return empty");
+        // New work releases A with a real batch.
+        q.push(2).unwrap();
+        assert_eq!(a.join().unwrap(), Some(vec![2]));
+    }
+
+    #[test]
+    fn raced_consumer_exits_on_drain_instead_of_returning_empty() {
+        let q = Arc::new(BatchQueue::<u32>::new(8));
+        q.push(1).unwrap();
+        let qa = Arc::clone(&q);
+        let a = std::thread::spawn(move || qa.next_batch(2, Duration::from_millis(100)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.next_batch(1, Duration::ZERO).unwrap(), vec![1]);
+        std::thread::sleep(Duration::from_millis(120));
+        q.drain();
+        assert_eq!(a.join().unwrap(), None, "drained + empty releases A");
     }
 
     #[test]

@@ -1,21 +1,49 @@
-//! A minimal blocking client for the serve protocol, used by the load
-//! generator, the smoke tests, and as the README example.
+//! A blocking client for the serve protocol, used by the load generator,
+//! the smoke tests, and as the README example.
+//!
+//! The client keeps a [`FrameDecoder`] per connection, so a response that
+//! arrives in dribs and drabs (or one that lands *after* a read timeout
+//! fired) never desyncs the stream: partial bytes stay buffered and the
+//! next read resumes exactly where the last one stopped.
+//!
+//! Every request carries a `u32` id and every response echoes it, which
+//! buys two things:
+//!
+//! * **Timeout safety** — when [`Client::infer`] times out, the request's
+//!   id is remembered as *stale*; if its response shows up later it is
+//!   recognized and discarded instead of being returned as the answer to
+//!   the *next* call (the classic off-by-one-response desync).
+//! * **Pipelining** — [`Client::send_infer`] / [`Client::recv_response`]
+//!   let one connection keep many requests in flight and take responses
+//!   in whatever order the server finishes them, matched by id.
 
+use std::collections::HashSet;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use quq_tensor::Tensor;
 
+use crate::framing::FrameDecoder;
 use crate::protocol::{
-    decode_response, encode_infer_request, encode_reload_request, read_frame, write_frame,
-    InferResponse,
+    decode_response, encode_infer_request, encode_reload_request, write_frame, InferResponse,
 };
 
-/// A blocking connection to a [`crate::Server`]. One request is in flight
-/// at a time; open more clients for concurrency.
+/// A blocking connection to a [`crate::Server`].
+///
+/// The simple calls ([`Client::infer`], [`Client::reload`]) put one
+/// request in flight at a time; the [`Client::send_infer`] /
+/// [`Client::recv_response`] pair pipelines many.
 pub struct Client {
     stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u32,
+    /// Ids of requests that timed out: their late responses are discarded
+    /// on sight rather than mistaken for a newer call's answer.
+    stale: HashSet<u32>,
+    /// Set on unrecoverable transport/protocol errors; every later call
+    /// fails fast instead of reading garbage.
+    poisoned: bool,
 }
 
 impl Client {
@@ -27,10 +55,18 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_id: 1,
+            stale: HashSet::new(),
+            poisoned: false,
+        })
     }
 
-    /// Bounds how long [`Client::infer`] waits for a response.
+    /// Bounds how long response reads wait. A timeout expiring is
+    /// *recoverable*: the connection stays usable and the late response
+    /// is discarded when it eventually arrives.
     ///
     /// # Errors
     ///
@@ -39,17 +75,44 @@ impl Client {
         self.stream.set_read_timeout(timeout)
     }
 
-    /// Sends one image and waits for the verdict.
+    fn alloc_id(&mut self) -> u32 {
+        let id = self.next_id;
+        // Wrap past 0: id 0 is what request_id() reports for unparseable
+        // frames, so never hand it out.
+        self.next_id = self.next_id.checked_add(1).unwrap_or(1);
+        id
+    }
+
+    fn check_usable(&self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "client poisoned by an earlier protocol error; reconnect",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether a read timeout (not a fatal error) interrupted the call.
+    fn is_timeout(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Sends one image and waits for *its* verdict (matched by id).
     ///
     /// # Errors
     ///
-    /// Propagates socket errors; an unexpected EOF mid-exchange reports
-    /// [`io::ErrorKind::UnexpectedEof`]. Server-side conditions
-    /// (overload, drain, backend failure) are `Ok` variants of
-    /// [`InferResponse`], not errors.
+    /// Propagates socket errors; a read timeout returns
+    /// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] and
+    /// leaves the connection usable — the late response will be discarded.
+    /// Other errors poison the client. Server-side conditions (overload,
+    /// drain, backend failure) are `Ok` variants of [`InferResponse`].
     pub fn infer(&mut self, image: &Tensor) -> io::Result<InferResponse> {
-        write_frame(&mut self.stream, &encode_infer_request(image))?;
-        self.read_response()
+        let id = self.send_infer(image)?;
+        self.wait_for(id)
     }
 
     /// Asks the server to hot-swap its model from the QUQM artifact at
@@ -60,19 +123,111 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// As for [`Client::infer`].
     pub fn reload(&mut self, path: &str) -> io::Result<InferResponse> {
-        write_frame(&mut self.stream, &encode_reload_request(path))?;
-        self.read_response()
+        self.check_usable()?;
+        let id = self.alloc_id();
+        if let Err(e) = write_frame(&mut self.stream, &encode_reload_request(id, path)) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.wait_for(id)
     }
 
-    fn read_response(&mut self) -> io::Result<InferResponse> {
-        match read_frame(&mut self.stream)? {
-            Some(payload) => decode_response(&payload),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed before replying",
-            )),
+    /// Pipelining: sends an infer request without waiting and returns its
+    /// id. Pair with [`Client::recv_response`]; many may be in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (which poison the client).
+    pub fn send_infer(&mut self, image: &Tensor) -> io::Result<u32> {
+        self.check_usable()?;
+        let id = self.alloc_id();
+        if let Err(e) = write_frame(&mut self.stream, &encode_infer_request(id, image)) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Pipelining: blocks for the next response in *arrival* order —
+    /// which may not be send order — and returns `(id, response)`.
+    /// Responses to timed-out requests are silently discarded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`]; additionally poisons on a response whose
+    /// id matches no outstanding request.
+    pub fn recv_response(&mut self) -> io::Result<(u32, InferResponse)> {
+        self.check_usable()?;
+        loop {
+            let (id, resp) = self.next_decoded()?;
+            if self.stale.remove(&id) {
+                continue; // late answer to a timed-out request
+            }
+            return Ok((id, resp));
+        }
+    }
+
+    /// Blocks until the response for `id` arrives, discarding stale
+    /// frames. A timeout marks `id` stale and stays recoverable.
+    fn wait_for(&mut self, id: u32) -> io::Result<InferResponse> {
+        loop {
+            let (rid, resp) = match self.next_decoded() {
+                Ok(ok) => ok,
+                Err(e) => {
+                    if Self::is_timeout(&e) {
+                        self.stale.insert(id);
+                    }
+                    return Err(e);
+                }
+            };
+            if rid == id {
+                return Ok(resp);
+            }
+            if !self.stale.remove(&rid) {
+                // A response nothing asked for: the stream can no longer
+                // be trusted to pair answers with questions.
+                self.poisoned = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown request id {rid}"),
+                ));
+            }
+        }
+    }
+
+    /// Reads (buffering partial bytes across timeouts) until one whole
+    /// frame decodes.
+    fn next_decoded(&mut self) -> io::Result<(u32, InferResponse)> {
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    return decode_response(&frame).inspect_err(|_| {
+                        self.poisoned = true;
+                    });
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
+            match self.decoder.read_from(&mut self.stream) {
+                Ok(0) => {
+                    self.poisoned = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed before replying",
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) if Self::is_timeout(&e) => return Err(e),
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
         }
     }
 }

@@ -1,11 +1,20 @@
-//! `quq-serve`: a dynamic-batching TCP inference server over the QUQ
-//! integer runtime.
+//! `quq-serve`: an event-loop TCP inference server with dynamic batching
+//! over the QUQ integer runtime.
 //!
 //! The offline stack (PRs 1–3) evaluates datasets; this crate serves
 //! individual requests the way the ROADMAP's production framing demands:
 //!
 //! * a **length-prefixed TCP protocol** ([`protocol`]) — image tensor in,
-//!   logits + top-1 out;
+//!   logits + top-1 out — where every request carries a `u32` id that its
+//!   response echoes, so one connection can pipeline many requests and
+//!   take the answers out of order;
+//! * a **readiness-driven front end** ([`reactor`]): a few epoll-based
+//!   reactor threads own *all* client sockets, keeping one
+//!   [`FrameDecoder`] per connection so a request that trickles in over
+//!   many reads (a slow client) is reassembled byte-for-byte instead of
+//!   desyncing the stream — the legacy thread-per-connection front end is
+//!   retained behind [`server::Frontend::ThreadPerConn`] as the baseline
+//!   it replaced;
 //! * a **bounded admission queue** with shed-on-full backpressure and a
 //!   **dynamic micro-batcher** ([`batcher`]) that flushes on `max_batch`
 //!   requests or `max_wait` elapsed, whichever comes first;
@@ -16,16 +25,17 @@
 //!   exactly as the paper's accelerator amortizes its on-chip weight
 //!   buffer;
 //! * **graceful shutdown**: new connections refused, every admitted
-//!   request completed, workers and handlers joined;
+//!   request completed and its response flushed, all threads joined;
 //! * **cold start and hot reload** over the `quq-store` artifact format:
 //!   [`server::artifact_state`] restores a served model from a QUQM file
 //!   without synthesis or calibration, and the admin `RELOAD` message
 //!   ([`Client::reload`]) atomically hot-swaps the served model between
 //!   batches — in-flight requests finish on the old model.
 //!
-//! Batching changes *when* requests are computed, never *what*: the
-//! batched forward is bit-identical to per-image forwards, so a client
-//! cannot tell (except by latency) how its request was batched.
+//! Batching and pipelining change *when* requests are computed, never
+//! *what*: the batched forward is bit-identical to per-image forwards, so
+//! a client cannot tell (except by latency) how its request was batched
+//! or which reactor carried it.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -36,23 +46,38 @@
 //! let server = Server::start(
 //!     Arc::clone(&model),
 //!     Arc::new(Fp32Provider),
-//!     ServeConfig::default(),
+//!     ServeConfig::default(), // event-loop front end
 //!     "127.0.0.1:0", // ephemeral port
 //! )?;
 //! let mut client = Client::connect(server.local_addr())?;
+//!
+//! // One at a time…
 //! let reply = client.infer(&model.config().dummy_image(0.3))?;
+//!
+//! // …or pipelined: several in flight, matched to answers by id.
+//! let a = client.send_infer(&model.config().dummy_image(0.1))?;
+//! let b = client.send_infer(&model.config().dummy_image(0.2))?;
+//! let (first_id, _resp) = client.recv_response()?;
+//! assert!(first_id == a || first_id == b);
+//! let _ = client.recv_response()?;
 //! server.shutdown(); // drains, then joins
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
 pub mod batcher;
 pub mod client;
+pub mod framing;
+pub mod poller;
 pub mod protocol;
+pub(crate) mod reactor;
 pub mod server;
+pub mod sys;
 
 pub use batcher::{BatchQueue, PushError};
 pub use client::Client;
+pub use framing::{FrameDecoder, WriteBuf};
 pub use protocol::InferResponse;
 pub use server::{
-    artifact_state, BackendProvider, Fp32Provider, IntegerProvider, ModelState, ServeConfig, Server,
+    artifact_state, BackendProvider, Fp32Provider, Frontend, IntegerProvider, ModelState,
+    ServeConfig, Server,
 };

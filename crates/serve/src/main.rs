@@ -20,6 +20,9 @@
 //! * `--save-model FILE`  — calibrate, save a QUQM artifact, and exit
 //! * `--addr HOST:PORT`   — bind address (default `127.0.0.1:7878`; port 0 = ephemeral)
 //! * `--workers N` `--max-batch N` `--max-wait-us N` `--queue N` — tuning
+//! * `--frontend event-loop|thread-per-conn` — connection front end
+//!   (default `event-loop`; `thread-per-conn` is the legacy baseline)
+//! * `--reactors N`       — event-loop reactor threads (default 1)
 //! * `--metrics`          — enable the `quq-obs` recorder and print a
 //!   summary (`serve.*` counters, slowest op sites) after the drain
 //!
@@ -35,7 +38,9 @@ use std::time::{Duration, Instant};
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::QuqMethod;
 use quq_serve::server::artifact_state;
-use quq_serve::{BackendProvider, Fp32Provider, IntegerProvider, ModelState, ServeConfig, Server};
+use quq_serve::{
+    BackendProvider, Fp32Provider, Frontend, IntegerProvider, ModelState, ServeConfig, Server,
+};
 use quq_store::ArtifactWriter;
 use quq_vit::{Dataset, ModelConfig, ModelId, VitModel};
 
@@ -58,6 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             arg_value("--max-wait-us").map_or(2000, |v| v.parse().expect("--max-wait-us")),
         ),
         queue_capacity: arg_value("--queue").map_or(64, |v| v.parse().expect("--queue")),
+        frontend: match arg_value("--frontend").as_deref() {
+            None | Some("event-loop") => Frontend::EventLoop,
+            Some("thread-per-conn") => Frontend::ThreadPerConn,
+            Some(other) => return Err(format!("unknown --frontend {other}").into()),
+        },
+        reactors: arg_value("--reactors").map_or(1, |v| v.parse().expect("--reactors")),
     };
 
     let state: Arc<ModelState> = if let Some(path) = arg_value("--model-path") {

@@ -1,0 +1,259 @@
+//! A small readiness poller over raw `epoll` ([`crate::sys`]), plus the
+//! cross-thread [`Waker`] the reactor's completion channel rides on.
+//!
+//! The poller is level-triggered on purpose: a socket that still has
+//! unread bytes (or unflushed buffer space) keeps reporting ready, so the
+//! reactor can bound how much work it does per connection per tick without
+//! ever losing an edge. Tokens are opaque `u64`s chosen by the caller and
+//! come back verbatim on each [`Event`].
+
+use std::io;
+use std::os::fd::{AsFd, AsRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::sys;
+
+/// What a registration wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd accepts more bytes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest, the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Bytes (or a hangup) are waiting to be read.
+    pub readable: bool,
+    /// The socket can take more bytes.
+    pub writable: bool,
+    /// The peer closed or the fd errored; the connection is done.
+    pub closed: bool,
+}
+
+/// Readiness-driven multiplexer: register fds with a token + interest,
+/// then [`Poller::wait`] for whatever becomes ready.
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    /// A fresh epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. the fd is already registered).
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd.as_fd(),
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Some(sys::EpollEvent {
+                events: interest.bits(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Changes the interest set of an already-registered fd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_control(
+            self.epfd.as_fd(),
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Some(sys::EpollEvent {
+                events: interest.bits(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Stops watching `fd`. Errors are swallowed: deregistering a fd that
+    /// already closed is the common teardown race and is harmless.
+    pub fn deregister(&self, fd: RawFd) {
+        let _ = sys::epoll_control(self.epfd.as_fd(), sys::EPOLL_CTL_DEL, fd, None);
+    }
+
+    /// Blocks until at least one registered fd is ready (or `timeout`
+    /// elapses; `None` blocks indefinitely), filling `out` with the ready
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure (`EINTR` is retried internally).
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let timeout_ms = match timeout {
+            // Round up so a 100µs deadline doesn't spin at timeout 0.
+            Some(t) => i32::try_from(t.as_millis().max(1)).unwrap_or(i32::MAX),
+            None => -1,
+        };
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = sys::epoll_wait_events(self.epfd.as_fd(), &mut raw, timeout_ms)?;
+        for ev in &raw[..n] {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poller`] from another thread (an `eventfd` registered like
+/// any other fd). Signals coalesce: many `wake` calls between two reactor
+/// ticks cost one syscall and produce one event.
+pub struct Waker {
+    efd: OwnedFd,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// A waker registered on `poller` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd`/`epoll_ctl` failure.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Arc<Waker>> {
+        let efd = sys::eventfd_create()?;
+        poller.register(efd.as_raw_fd(), token, Interest::READ)?;
+        Ok(Arc::new(Waker {
+            efd,
+            pending: AtomicBool::new(false),
+        }))
+    }
+
+    /// Makes the owning poller's next (or current) `wait` return.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let _ = sys::eventfd_signal(self.efd.as_fd());
+        }
+    }
+
+    /// Clears the wakeup so the eventfd stops reporting readable. The
+    /// reactor calls this *before* draining its channels: a `wake` racing
+    /// the drain re-signals and produces a fresh event.
+    pub fn clear(&self) {
+        sys::eventfd_drain(self.efd.as_fd());
+        self.pending.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_reports_read_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "idle socket must not report readable");
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Write interest on an unsaturated socket reports immediately.
+        poller
+            .modify(
+                server.as_raw_fd(),
+                7,
+                Interest {
+                    readable: true,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        poller.deregister(server.as_raw_fd());
+        drop(client);
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new(&poller, 99).unwrap();
+        let w2 = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.clear();
+        t.join().unwrap();
+        // Cleared: no residual readiness.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -1,17 +1,21 @@
 //! The wire protocol: length-prefixed frames over TCP, little-endian.
+//! This is **protocol version 2**, which tags every request and response
+//! with a `u32` request id so many requests can be in flight on one
+//! connection and responses may return out of order.
 //!
 //! Every message is one frame: a `u32` payload length followed by the
 //! payload. A request payload is
 //!
 //! ```text
-//! opcode: u8 (1 = INFER, 2 = RELOAD)
+//! opcode: u8 (1 = INFER, 2 = RELOAD) · id: u32
 //! INFER:  rank u8 · rank × u32 dims · Π dims × f32 data
 //! RELOAD: u16 len · len × u8 (UTF-8 artifact path)
 //! ```
 //!
-//! and a response payload starts with a status byte:
+//! and a response payload echoes the id, then a status byte:
 //!
 //! ```text
+//! id: u32, then
 //! 0 OK         u32 top1 · u32 n_logits · n_logits × f32
 //! 1 OVERLOADED (empty — admission queue full, retry later)
 //! 2 ERROR      u32 len · len × u8 (UTF-8 message)
@@ -19,12 +23,28 @@
 //! 4 RELOADED   (empty — the model was hot-swapped from the artifact)
 //! ```
 //!
+//! ## Version compatibility
+//!
+//! v2 is a breaking wire change from v1 (which had no id field): ids are
+//! client-chosen, echoed verbatim, and unique only per connection —
+//! reusing an id across concurrently in-flight requests makes the two
+//! responses indistinguishable. There is no version negotiation; both
+//! ends of this workspace speak v2. A v1 INFER payload fails the v2
+//! length check deterministically and is answered with an `ERROR` frame
+//! (tagged with whatever the id bytes decode to), so a stale peer gets a
+//! structured rejection rather than silence. A request too short to carry
+//! an id is answered with id 0.
+//!
 //! Everything is plain `std::io` on byte slices, shared verbatim by the
 //! server, the [`crate::client::Client`], and the load generator.
 
 use std::io::{self, Read, Write};
 
 use quq_tensor::Tensor;
+
+/// Wire protocol version implemented by this crate (see module docs for
+/// the v1 → v2 change).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Largest accepted frame: a generous bound for one image tensor
 /// (16 MiB ≈ a 2048×2048 3-channel f32 image), protecting the server from
@@ -66,8 +86,12 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
-/// frame boundary (the peer closed the connection).
+/// Reads one length-prefixed frame **statelessly**: a timeout mid-frame
+/// loses whatever bytes were already consumed. This is safe only on
+/// streams without read timeouts where the caller treats every error as
+/// fatal; resumable readers (the event loop, the client) use
+/// [`crate::framing::FrameDecoder`] instead, which retains partial bytes.
+/// Returns `Ok(None)` on a clean EOF at a frame boundary.
 ///
 /// # Errors
 ///
@@ -94,11 +118,22 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// Encodes an INFER request for `image`.
-pub fn encode_infer_request(image: &Tensor) -> Vec<u8> {
+/// Best-effort id extraction from a request payload, for tagging error
+/// replies to frames that fail full decoding. Payloads too short to carry
+/// an id report 0.
+pub fn request_id(payload: &[u8]) -> u32 {
+    match payload.get(1..5) {
+        Some(b) => u32::from_le_bytes(b.try_into().expect("sized")),
+        None => 0,
+    }
+}
+
+/// Encodes an INFER request for `image`, tagged with `id`.
+pub fn encode_infer_request(id: u32, image: &Tensor) -> Vec<u8> {
     let shape = image.shape();
-    let mut out = Vec::with_capacity(2 + 4 * shape.len() + 4 * image.data().len());
+    let mut out = Vec::with_capacity(6 + 4 * shape.len() + 4 * image.data().len());
     out.push(OP_INFER);
+    out.extend_from_slice(&id.to_le_bytes());
     out.push(shape.len() as u8);
     for &d in shape {
         out.extend_from_slice(&(d as u32).to_le_bytes());
@@ -109,31 +144,39 @@ pub fn encode_infer_request(image: &Tensor) -> Vec<u8> {
     out
 }
 
-/// Decodes an INFER request payload into the image tensor.
+/// Decodes an INFER request payload into its id and image tensor.
 ///
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
-/// payload, or element-count mismatch.
-pub fn decode_infer_request(payload: &[u8]) -> io::Result<Tensor> {
+/// payload, element-count overflow, or element-count mismatch.
+pub fn decode_infer_request(payload: &[u8]) -> io::Result<(u32, Tensor)> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if payload.len() < 2 {
+    if payload.len() < 6 {
         return Err(bad("truncated request header"));
     }
     if payload[0] != OP_INFER {
         return Err(bad("unknown opcode"));
     }
-    let rank = payload[1] as usize;
-    let dims_end = 2 + 4 * rank;
+    let id = request_id(payload);
+    let rank = payload[5] as usize;
+    let dims_end = 6 + 4 * rank;
     if payload.len() < dims_end {
         return Err(bad("truncated dims"));
     }
     let mut shape = Vec::with_capacity(rank);
     for i in 0..rank {
-        let b: [u8; 4] = payload[2 + 4 * i..2 + 4 * i + 4].try_into().expect("sized");
+        let b: [u8; 4] = payload[6 + 4 * i..6 + 4 * i + 4].try_into().expect("sized");
         shape.push(u32::from_le_bytes(b) as usize);
     }
-    let n: usize = shape.iter().product();
+    // A hostile header (up to rank 255 of u32 dims) can overflow the
+    // element product; reject instead of wrapping into a bogus — possibly
+    // passing — length check.
+    let n = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&n| n <= (MAX_FRAME as usize) / 4)
+        .ok_or_else(|| bad("element count overflows"))?;
     if payload.len() != dims_end + 4 * n {
         return Err(bad("element count mismatch"));
     }
@@ -141,38 +184,43 @@ pub fn decode_infer_request(payload: &[u8]) -> io::Result<Tensor> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
         .collect();
-    Tensor::from_vec(data, &shape).map_err(|e| bad(&format!("bad tensor shape: {e:?}")))
+    let image =
+        Tensor::from_vec(data, &shape).map_err(|e| bad(&format!("bad tensor shape: {e:?}")))?;
+    Ok((id, image))
 }
 
-/// Encodes a RELOAD request for the artifact at `path`.
-pub fn encode_reload_request(path: &str) -> Vec<u8> {
+/// Encodes a RELOAD request for the artifact at `path`, tagged with `id`.
+pub fn encode_reload_request(id: u32, path: &str) -> Vec<u8> {
     let bytes = path.as_bytes();
-    let mut out = Vec::with_capacity(3 + bytes.len());
+    let mut out = Vec::with_capacity(7 + bytes.len());
     out.push(OP_RELOAD);
+    out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
     out.extend_from_slice(bytes);
     out
 }
 
-/// Decodes a RELOAD request payload into the artifact path.
+/// Decodes a RELOAD request payload into its id and artifact path.
 ///
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
 /// payload, or non-UTF-8 path.
-pub fn decode_reload_request(payload: &[u8]) -> io::Result<String> {
+pub fn decode_reload_request(payload: &[u8]) -> io::Result<(u32, String)> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if payload.len() < 3 {
+    if payload.len() < 7 {
         return Err(bad("truncated RELOAD request"));
     }
     if payload[0] != OP_RELOAD {
         return Err(bad("unknown opcode"));
     }
-    let n = u16::from_le_bytes(payload[1..3].try_into().expect("sized")) as usize;
-    if payload.len() != 3 + n {
+    let id = request_id(payload);
+    let n = u16::from_le_bytes(payload[5..7].try_into().expect("sized")) as usize;
+    if payload.len() != 7 + n {
         return Err(bad("path length mismatch"));
     }
-    String::from_utf8(payload[3..].to_vec()).map_err(|_| bad("non-UTF-8 artifact path"))
+    let path = String::from_utf8(payload[7..].to_vec()).map_err(|_| bad("non-UTF-8 path"))?;
+    Ok((id, path))
 }
 
 /// A decoded inference response.
@@ -195,7 +243,9 @@ pub enum InferResponse {
     Error(String),
 }
 
-/// Encodes an OK response from logits.
+/// Encodes an OK response *body* (status onward, no id) from logits.
+/// Bodies are id-free so workers stay ignorant of connections; the
+/// framing layer tags them with [`tag_response`].
 pub fn encode_ok_response(logits: &[f32]) -> Vec<u8> {
     let top1 = logits
         .iter()
@@ -212,12 +262,13 @@ pub fn encode_ok_response(logits: &[f32]) -> Vec<u8> {
     out
 }
 
-/// Encodes a status-only response (`OVERLOADED` / `DRAINING`).
+/// Encodes a status-only response body (`OVERLOADED` / `DRAINING` /
+/// `RELOADED`).
 pub fn encode_status_response(status: u8) -> Vec<u8> {
     vec![status]
 }
 
-/// Encodes an ERROR response with a message.
+/// Encodes an ERROR response body with a message.
 pub fn encode_error_response(msg: &str) -> Vec<u8> {
     let bytes = msg.as_bytes();
     let mut out = Vec::with_capacity(5 + bytes.len());
@@ -227,46 +278,60 @@ pub fn encode_error_response(msg: &str) -> Vec<u8> {
     out
 }
 
-/// Decodes a response payload.
+/// Prepends the request id to a response body, producing the full wire
+/// payload.
+pub fn tag_response(id: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Decodes a response payload into its request id and response.
 ///
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidData`] on an unknown status byte or a
 /// truncated body.
-pub fn decode_response(payload: &[u8]) -> io::Result<InferResponse> {
+pub fn decode_response(payload: &[u8]) -> io::Result<(u32, InferResponse)> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    match payload.first() {
-        Some(&STATUS_OK) => {
-            if payload.len() < 9 {
+    if payload.len() < 5 {
+        return Err(bad("truncated response"));
+    }
+    let id = u32::from_le_bytes(payload[..4].try_into().expect("sized"));
+    let body = &payload[4..];
+    let resp = match body[0] {
+        STATUS_OK => {
+            if body.len() < 9 {
                 return Err(bad("truncated OK response"));
             }
-            let top1 = u32::from_le_bytes(payload[1..5].try_into().expect("sized"));
-            let n = u32::from_le_bytes(payload[5..9].try_into().expect("sized")) as usize;
-            if payload.len() != 9 + 4 * n {
+            let top1 = u32::from_le_bytes(body[1..5].try_into().expect("sized"));
+            let n = u32::from_le_bytes(body[5..9].try_into().expect("sized")) as usize;
+            if body.len() != 9 + 4 * n {
                 return Err(bad("logit count mismatch"));
             }
-            let logits = payload[9..]
+            let logits = body[9..]
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().expect("sized")))
                 .collect();
-            Ok(InferResponse::Ok { top1, logits })
+            InferResponse::Ok { top1, logits }
         }
-        Some(&STATUS_OVERLOADED) => Ok(InferResponse::Overloaded),
-        Some(&STATUS_DRAINING) => Ok(InferResponse::Draining),
-        Some(&STATUS_RELOADED) => Ok(InferResponse::Reloaded),
-        Some(&STATUS_ERROR) => {
-            if payload.len() < 5 {
+        STATUS_OVERLOADED => InferResponse::Overloaded,
+        STATUS_DRAINING => InferResponse::Draining,
+        STATUS_RELOADED => InferResponse::Reloaded,
+        STATUS_ERROR => {
+            if body.len() < 5 {
                 return Err(bad("truncated ERROR response"));
             }
-            let n = u32::from_le_bytes(payload[1..5].try_into().expect("sized")) as usize;
-            if payload.len() != 5 + n {
+            let n = u32::from_le_bytes(body[1..5].try_into().expect("sized")) as usize;
+            if body.len() != 5 + n {
                 return Err(bad("message length mismatch"));
             }
-            let msg = String::from_utf8_lossy(&payload[5..]).into_owned();
-            Ok(InferResponse::Error(msg))
+            InferResponse::Error(String::from_utf8_lossy(&body[5..]).into_owned())
         }
-        _ => Err(bad("unknown response status")),
-    }
+        _ => return Err(bad("unknown response status")),
+    };
+    Ok((id, resp))
 }
 
 #[cfg(test)]
@@ -274,14 +339,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn request_roundtrip_preserves_tensor_bits() {
+    fn request_roundtrip_preserves_id_and_tensor_bits() {
         let t = Tensor::from_vec(
             vec![0.5, -1.25, f32::MIN_POSITIVE, 3.0e8, -0.0, 7.0],
             &[2, 3],
         )
         .unwrap();
-        let enc = encode_infer_request(&t);
-        let dec = decode_infer_request(&enc).unwrap();
+        let enc = encode_infer_request(0xdead_beef, &t);
+        let (id, dec) = decode_infer_request(&enc).unwrap();
+        assert_eq!(id, 0xdead_beef);
+        assert_eq!(request_id(&enc), 0xdead_beef);
         assert_eq!(dec.shape(), t.shape());
         // Bit-level comparison: -0.0 and subnormals must survive.
         let a: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
@@ -292,38 +359,39 @@ mod tests {
     #[test]
     fn response_roundtrip_all_variants() {
         let logits = vec![0.1f32, 2.5, -3.0];
-        match decode_response(&encode_ok_response(&logits)).unwrap() {
-            InferResponse::Ok { top1, logits: l } => {
+        match decode_response(&tag_response(9, &encode_ok_response(&logits))).unwrap() {
+            (9, InferResponse::Ok { top1, logits: l }) => {
                 assert_eq!(top1, 1);
                 assert_eq!(l, logits);
             }
             other => panic!("{other:?}"),
         }
+        for (status, want) in [
+            (STATUS_OVERLOADED, InferResponse::Overloaded),
+            (STATUS_DRAINING, InferResponse::Draining),
+            (STATUS_RELOADED, InferResponse::Reloaded),
+        ] {
+            assert_eq!(
+                decode_response(&tag_response(7, &encode_status_response(status))).unwrap(),
+                (7, want)
+            );
+        }
         assert_eq!(
-            decode_response(&encode_status_response(STATUS_OVERLOADED)).unwrap(),
-            InferResponse::Overloaded
-        );
-        assert_eq!(
-            decode_response(&encode_status_response(STATUS_DRAINING)).unwrap(),
-            InferResponse::Draining
-        );
-        assert_eq!(
-            decode_response(&encode_status_response(STATUS_RELOADED)).unwrap(),
-            InferResponse::Reloaded
-        );
-        assert_eq!(
-            decode_response(&encode_error_response("boom")).unwrap(),
-            InferResponse::Error("boom".into())
+            decode_response(&tag_response(1, &encode_error_response("boom"))).unwrap(),
+            (1, InferResponse::Error("boom".into()))
         );
     }
 
     #[test]
     fn reload_request_roundtrips_and_rejects_malformed() {
-        let enc = encode_reload_request("/tmp/model.quqm");
-        assert_eq!(decode_reload_request(&enc).unwrap(), "/tmp/model.quqm");
+        let enc = encode_reload_request(3, "/tmp/model.quqm");
+        assert_eq!(
+            decode_reload_request(&enc).unwrap(),
+            (3, "/tmp/model.quqm".to_string())
+        );
         assert!(decode_reload_request(&[]).is_err());
-        assert!(decode_reload_request(&[OP_INFER, 0, 0]).is_err());
-        let mut short = encode_reload_request("path");
+        assert!(decode_reload_request(&[OP_INFER, 0, 0, 0, 0, 0, 0]).is_err());
+        let mut short = encode_reload_request(3, "path");
         short.pop();
         assert!(decode_reload_request(&short).is_err());
     }
@@ -352,9 +420,30 @@ mod tests {
     #[test]
     fn malformed_requests_are_rejected() {
         assert!(decode_infer_request(&[]).is_err());
-        assert!(decode_infer_request(&[9, 0]).is_err()); // bad opcode
-        let mut short = encode_infer_request(&Tensor::from_vec(vec![1.0; 6], &[2, 3]).unwrap());
+        assert!(decode_infer_request(&[9, 0, 0, 0, 0, 0]).is_err()); // bad opcode
+        let mut short = encode_infer_request(1, &Tensor::from_vec(vec![1.0; 6], &[2, 3]).unwrap());
         short.pop();
         assert!(decode_infer_request(&short).is_err());
+    }
+
+    #[test]
+    fn hostile_rank_255_dims_cannot_overflow_the_element_product() {
+        // rank 255, every dim u32::MAX: the unchecked product wraps in
+        // release builds (and panics in debug); the decoder must reject it
+        // as structured InvalidData either way.
+        let mut payload = vec![OP_INFER, 1, 0, 0, 0, 255];
+        for _ in 0..255 {
+            payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        let err = decode_infer_request(&payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflow"), "{err}");
+
+        // A colossal-but-non-overflowing product is also rejected (it can
+        // never fit in a legal frame), not used to size an allocation.
+        let mut payload = vec![OP_INFER, 1, 0, 0, 0, 2];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        assert!(decode_infer_request(&payload).is_err());
     }
 }

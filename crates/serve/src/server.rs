@@ -1,37 +1,46 @@
-//! The TCP inference server: accept loop, connection handlers, and the
-//! worker shard that runs batched forwards.
+//! The TCP inference server: front ends (event loop or legacy
+//! thread-per-connection), the worker shard that runs batched forwards,
+//! and the shared model state with hot reload.
 //!
-//! ## Data flow
+//! ## Data flow (event-loop front end, the default)
 //!
 //! ```text
-//! client ──frame──▶ handler ──push──▶ BatchQueue ──next_batch──▶ worker
-//!   ▲                  │ (bounded; full ⇒ OVERLOADED)    │ forward_batch
-//!   └──────frame───────┴──────────mpsc reply◀────────────┘
+//! clients ══╗  epoll   ┌ FrameDecoder ┐ push  ┌────────────┐ next_batch
+//!  (many) ══╬═▶ reactor│ per-conn     ├──────▶│ BatchQueue │────▶ workers
+//!           ║          └ WriteBuf ◀───┘       └────────────┘ forward_batch
+//!  responses╚══════════════▲ id-tagged completions ◀──────────────┘
 //! ```
 //!
-//! One handler thread per connection decodes requests and admits them to
-//! the bounded [`BatchQueue`]; `workers` threads each pull micro-batches
-//! and run [`VitModel::forward_batch`] on a backend built per batch by the
-//! shared [`BackendProvider`] (integer workers share one
+//! One or a few [`reactor`](crate::reactor) threads own every socket;
+//! requests carry a `u32` id so a connection can pipeline many and take
+//! responses out of order. Workers pull micro-batches from the bounded
+//! [`BatchQueue`] and run [`VitModel::forward_batch`] on a backend built
+//! per batch by the shared [`BackendProvider`] (integer workers share one
 //! [`WeightQubCache`](quq_accel::WeightQubCache) through their provider).
 //! Because `forward_batch` is bit-identical to per-image `forward`, a
 //! client observes the same logits regardless of which requests it was
-//! batched with.
+//! batched with — or in which order the responses came back.
+//!
+//! The legacy [`Frontend::ThreadPerConn`] handler-thread front end is
+//! retained as a benchmark baseline and as the living exhibit of the
+//! framing-desync bug the event loop fixes (its stateless `read_frame`
+//! under a poll-interval timeout drops partial frames from slow clients —
+//! see the regression tests). New deployments should not use it.
 //!
 //! ## Backpressure
 //!
-//! Admission is the only buffering point and it is bounded by
-//! `queue_capacity`; when full the handler replies `OVERLOADED`
-//! immediately (shedding) instead of queueing. TCP's own flow control
-//! covers bytes in flight; nothing in the server grows with offered load.
+//! Admission is the only unbounded-work point and it is bounded by
+//! `queue_capacity`; when full the front end replies `OVERLOADED`
+//! immediately (shedding) instead of queueing. The reactor's write
+//! buffers hold only replies to requests that were actually admitted (or
+//! tiny status frames), so nothing in the server grows with offered load.
 //!
 //! ## Graceful shutdown
 //!
-//! [`Server::shutdown`] stops the accept loop (closing the listener, so
-//! new connections are refused), drains the queue — every *admitted*
-//! request is still batched, executed, and answered — then joins workers
-//! and handlers. Requests arriving after the drain begins get a
-//! `DRAINING` reply.
+//! [`Server::shutdown`] stops accepting (closing the listener), drains
+//! the queue — every *admitted* request is still batched, executed, and
+//! its response flushed — then joins workers and front-end threads.
+//! Requests arriving after the drain begins get a `DRAINING` reply.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -52,9 +61,10 @@ use quq_vit::{Backend, Fp32Backend, Observed, VitModel};
 use crate::batcher::{BatchQueue, PushError};
 use crate::protocol::{
     decode_infer_request, decode_reload_request, encode_error_response, encode_ok_response,
-    encode_status_response, read_frame, write_frame, OP_INFER, OP_RELOAD, STATUS_DRAINING,
-    STATUS_OVERLOADED, STATUS_RELOADED,
+    encode_status_response, read_frame, request_id, tag_response, write_frame, OP_INFER, OP_RELOAD,
+    STATUS_DRAINING, STATUS_OVERLOADED, STATUS_RELOADED,
 };
+use crate::reactor::{Completion, CompletionSender, Reactor, ReactorHandle};
 
 /// Builds an inference backend for a worker, once per batch.
 ///
@@ -126,6 +136,19 @@ impl BackendProvider for IntegerProvider {
     }
 }
 
+/// Which connection front end the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// Readiness-driven epoll event loop: a few reactor threads own all
+    /// sockets, per-connection decode state machines, request pipelining.
+    #[default]
+    EventLoop,
+    /// Legacy one-blocking-thread-per-connection front end. Kept as a
+    /// benchmark baseline; its stateless frame reads desync on slow
+    /// clients whose frames straddle the poll-interval read timeout.
+    ThreadPerConn,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -137,6 +160,11 @@ pub struct ServeConfig {
     pub max_wait: Duration,
     /// Bounded admission-queue capacity; beyond it requests are shed.
     pub queue_capacity: usize,
+    /// Connection front end (default: the epoll event loop).
+    pub frontend: Frontend,
+    /// Reactor threads for [`Frontend::EventLoop`] (connections are dealt
+    /// round-robin across them). Ignored by [`Frontend::ThreadPerConn`].
+    pub reactors: usize,
 }
 
 impl Default for ServeConfig {
@@ -146,18 +174,109 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             queue_capacity: 64,
+            frontend: Frontend::EventLoop,
+            reactors: 1,
         }
     }
 }
 
-/// One admitted request: the decoded image and the channel its pre-encoded
-/// response payload travels back on.
-struct Job {
-    image: Tensor,
-    reply: mpsc::Sender<Vec<u8>>,
+/// Where a finished request's response body goes. Workers call
+/// [`Reply::send`] exactly once; a `Reply` dropped unsent (worker panic
+/// mid-batch) delivers a structured error instead of hanging the client.
+pub(crate) struct Reply {
+    inner: Option<ReplySink>,
 }
 
-/// How often blocked reads and the accept loop re-check the shutdown flag.
+enum ReplySink {
+    /// Legacy front end: the handler thread blocks on this channel.
+    Blocking(mpsc::Sender<Vec<u8>>),
+    /// Event loop: completion routed back to the owning reactor.
+    Reactor {
+        comp: CompletionSender,
+        token: u64,
+        id: u32,
+        t0: Instant,
+        site: &'static str,
+    },
+}
+
+impl Reply {
+    pub(crate) fn blocking(tx: mpsc::Sender<Vec<u8>>) -> Reply {
+        Reply {
+            inner: Some(ReplySink::Blocking(tx)),
+        }
+    }
+
+    pub(crate) fn reactor(
+        comp: CompletionSender,
+        token: u64,
+        id: u32,
+        t0: Instant,
+        site: &'static str,
+    ) -> Reply {
+        Reply {
+            inner: Some(ReplySink::Reactor {
+                comp,
+                token,
+                id,
+                t0,
+                site,
+            }),
+        }
+    }
+
+    /// Delivers the response body (status byte onward, id-free).
+    pub(crate) fn send(mut self, body: Vec<u8>) {
+        self.dispatch(body);
+    }
+
+    /// Defuses the drop-side error delivery. Used when the front end
+    /// already answered without a worker (e.g. shed at admission) — the
+    /// returned job must not emit a *second* response as it drops.
+    pub(crate) fn forget(mut self) {
+        self.inner = None;
+    }
+
+    fn dispatch(&mut self, body: Vec<u8>) {
+        match self.inner.take() {
+            Some(ReplySink::Blocking(tx)) => {
+                let _ = tx.send(body);
+            }
+            Some(ReplySink::Reactor {
+                comp,
+                token,
+                id,
+                t0,
+                site,
+            }) => comp.send(Completion {
+                token,
+                id,
+                body,
+                t0,
+                site,
+            }),
+            None => {}
+        }
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            self.dispatch(encode_error_response("worker dropped the request"));
+        }
+    }
+}
+
+/// One admitted request: the decoded image and the route its response
+/// body travels back on.
+pub(crate) struct Job {
+    pub(crate) image: Tensor,
+    pub(crate) reply: Reply,
+}
+
+/// How often blocked reads and the accept loop of the legacy front end
+/// re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
 /// The servable model: weights plus the backend provider built over its
@@ -207,23 +326,26 @@ pub fn artifact_state(path: &Path, backend: &str) -> Result<ModelState, StoreErr
     Ok(ModelState::new(Arc::new(model), provider))
 }
 
-struct Shared {
-    state: RwLock<Arc<ModelState>>,
-    queue: BatchQueue<Job>,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) state: RwLock<Arc<ModelState>>,
+    pub(crate) queue: BatchQueue<Job>,
+    pub(crate) shutdown: AtomicBool,
+    /// Set after workers have drained and joined: reactors flush whatever
+    /// replies remain, then exit.
+    pub(crate) finalize: AtomicBool,
 }
 
 impl Shared {
     /// Snapshots the current model state. Callers hold the snapshot for
     /// the duration of one request or one batch, so in-flight work always
     /// finishes on the model it started with.
-    fn state(&self) -> Arc<ModelState> {
+    pub(crate) fn state(&self) -> Arc<ModelState> {
         Arc::clone(&self.state.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Atomically replaces the served model. In-flight batches keep their
     /// snapshot; the next batch (and the next request) sees `new`.
-    fn swap_state(&self, new: Arc<ModelState>) {
+    pub(crate) fn swap_state(&self, new: Arc<ModelState>) {
         *self.state.write().unwrap_or_else(PoisonError::into_inner) = new;
     }
 }
@@ -235,13 +357,15 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    reactor_handles: Vec<ReactorHandle>,
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl Server {
     /// Binds `bind` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and `config.workers` inference workers.
+    /// front end and `config.workers` inference workers.
     ///
     /// # Errors
     ///
@@ -260,19 +384,20 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding the listener.
+    /// Propagates socket errors from binding the listener or building the
+    /// event loop's poller.
     pub fn start_with_state(
         state: Arc<ModelState>,
         config: ServeConfig,
         bind: impl ToSocketAddrs,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             state: RwLock::new(state),
             queue: BatchQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
+            finalize: AtomicBool::new(false),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -287,22 +412,53 @@ impl Server {
             })
             .collect();
 
-        let accept = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::Builder::new()
-                .name("quq-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conns))
-                .expect("spawn accept loop")
-        };
-
-        Ok(Server {
+        let mut server = Server {
             addr,
             shared,
-            accept: Some(accept),
+            accept: None,
+            reactors: Vec::new(),
+            reactor_handles: Vec::new(),
             workers,
             conns,
-        })
+        };
+
+        match config.frontend {
+            Frontend::EventLoop => {
+                let n = config.reactors.max(1);
+                let mut built = Vec::with_capacity(n);
+                for i in 0..n {
+                    let (reactor, handle) = Reactor::new(i, Arc::clone(&server.shared))?;
+                    server.reactor_handles.push(handle);
+                    built.push(reactor);
+                }
+                let peers: Vec<_> = server
+                    .reactor_handles
+                    .iter()
+                    .map(|h| (h.inject.clone(), Arc::clone(&h.waker)))
+                    .collect();
+                built[0].adopt_listener(listener, peers)?;
+                for (i, reactor) in built.into_iter().enumerate() {
+                    server.reactors.push(
+                        std::thread::Builder::new()
+                            .name(format!("quq-serve-reactor-{i}"))
+                            .spawn(move || reactor.run())
+                            .expect("spawn reactor"),
+                    );
+                }
+            }
+            Frontend::ThreadPerConn => {
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(&server.shared);
+                let conns = Arc::clone(&server.conns);
+                server.accept = Some(
+                    std::thread::Builder::new()
+                        .name("quq-serve-accept".into())
+                        .spawn(move || accept_loop(&listener, &shared, &conns))
+                        .expect("spawn accept loop"),
+                );
+            }
+        }
+        Ok(server)
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -315,12 +471,27 @@ impl Server {
         self.shared.queue.len()
     }
 
+    /// Handler threads currently tracked by the legacy thread-per-conn
+    /// front end (always 0 on the event loop, which has no per-connection
+    /// threads). Bounded by *live* connections, not by connection
+    /// history: finished handlers are reaped as the accept loop runs.
+    pub fn tracked_connections(&self) -> usize {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
     /// Gracefully shuts down: refuses new connections, completes every
-    /// admitted request (queued and in-flight), then joins all threads.
+    /// admitted request (queued and in-flight), flushes the responses,
+    /// then joins all threads.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // The accept thread exits on its next poll, dropping the listener:
-        // from here on new connections are refused by the OS.
+        // Front ends observe the flag and close the listener: from here on
+        // new connections are refused by the OS.
+        for h in &self.reactor_handles {
+            h.waker.wake();
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -330,8 +501,17 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // Handlers exit after their pending replies are delivered and the
-        // next read poll observes the flag.
+        // Workers are gone, so every completion is now in the reactors'
+        // channels: tell them to flush remaining responses and exit.
+        self.shared.finalize.store(true, Ordering::SeqCst);
+        for h in &self.reactor_handles {
+            h.waker.wake();
+        }
+        for h in self.reactors.drain(..) {
+            let _ = h.join();
+        }
+        // Legacy handlers exit after their pending replies are delivered
+        // and the next read poll observes the flag.
         let handles = std::mem::take(
             &mut *self
                 .conns
@@ -353,6 +533,15 @@ fn accept_loop(
         if shared.shutdown.load(Ordering::SeqCst) {
             return; // drops the listener → refuses new connections
         }
+        // Reap finished handlers every pass: over many short-lived
+        // connections the tracked set stays proportional to *live*
+        // connections instead of growing without bound until shutdown.
+        {
+            let mut tracked = conns.lock().unwrap_or_else(PoisonError::into_inner);
+            for done in tracked.extract_if(.., |h| h.is_finished()) {
+                let _ = done.join();
+            }
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let shared = Arc::clone(shared);
@@ -362,7 +551,7 @@ fn accept_loop(
                     .expect("spawn connection handler");
                 conns
                     .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(PoisonError::into_inner)
                     .push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -376,7 +565,10 @@ fn accept_loop(
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     // Reads time out so the handler can observe the shutdown flag while a
-    // client sits idle on an open connection.
+    // client sits idle on an open connection. KNOWN DEFECT, kept as the
+    // regression baseline: `read_frame` is stateless, so a timeout that
+    // fires mid-frame (slow client) drops the partial bytes and desyncs
+    // the connection — the event-loop front end exists to fix this.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     loop {
         match read_frame(&mut stream) {
@@ -404,16 +596,20 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
     match payload.first() {
         Some(&OP_INFER) => handle_infer(stream, shared, payload),
         Some(&OP_RELOAD) => handle_reload(stream, shared, payload),
-        _ => write_frame(stream, &encode_error_response("unknown opcode")).is_ok(),
+        _ => {
+            let body = encode_error_response("unknown opcode");
+            write_frame(stream, &tag_response(request_id(payload), &body)).is_ok()
+        }
     }
 }
 
 /// Admin path: swap the served model for one restored from an artifact.
 fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
-    let path = match decode_reload_request(payload) {
+    let (id, path) = match decode_reload_request(payload) {
         Ok(p) => p,
         Err(e) => {
-            return write_frame(stream, &encode_error_response(&e.to_string())).is_ok();
+            let body = encode_error_response(&e.to_string());
+            return write_frame(stream, &tag_response(request_id(payload), &body)).is_ok();
         }
     };
     let backend = shared.state().provider.name();
@@ -424,12 +620,13 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
         Ok(next) => {
             shared.swap_state(Arc::new(next));
             quq_obs::add("serve.reloads", 1);
-            write_frame(stream, &encode_status_response(STATUS_RELOADED)).is_ok()
+            let body = encode_status_response(STATUS_RELOADED);
+            write_frame(stream, &tag_response(id, &body)).is_ok()
         }
         Err(e) => {
             quq_obs::add("serve.reload_failures", 1);
-            let msg = format!("reload of {path:?} failed: {e}");
-            write_frame(stream, &encode_error_response(&msg)).is_ok()
+            let body = encode_error_response(&format!("reload of {path:?} failed: {e}"));
+            write_frame(stream, &tag_response(id, &body)).is_ok()
         }
     }
 }
@@ -438,10 +635,11 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
     let t0 = Instant::now();
     let state = shared.state();
     let site = || SiteKey::global(state.provider.name());
-    let image = match decode_infer_request(payload) {
-        Ok(img) => img,
+    let (id, image) = match decode_infer_request(payload) {
+        Ok(p) => p,
         Err(e) => {
-            return write_frame(stream, &encode_error_response(&e.to_string())).is_ok();
+            let body = encode_error_response(&e.to_string());
+            return write_frame(stream, &tag_response(request_id(payload), &body)).is_ok();
         }
     };
     // Validate the shape up front so one malformed request can never fail
@@ -450,30 +648,37 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
     let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
     if image.shape() != want {
         let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
-        return write_frame(stream, &encode_error_response(&msg)).is_ok();
+        return write_frame(stream, &tag_response(id, &encode_error_response(&msg))).is_ok();
     }
 
     let (tx, rx) = mpsc::channel();
-    match shared.queue.push(Job { image, reply: tx }) {
+    match shared.queue.push(Job {
+        image,
+        reply: Reply::blocking(tx),
+    }) {
         Ok(depth) => {
             quq_obs::add("serve.accepted", 1);
             quq_obs::record_at("serve.queue_depth", site, depth as u64);
             // The reply always arrives: workers flush every admitted job
-            // before exiting, and a worker panic drops the sender, which
-            // surfaces here as an error reply instead of a hang.
-            let resp = rx
+            // before exiting, and a worker panic drops the Reply, which
+            // delivers an error body instead of a hang.
+            let body = rx
                 .recv()
                 .unwrap_or_else(|_| encode_error_response("worker dropped the request"));
-            let ok = write_frame(stream, &resp).is_ok();
+            let ok = write_frame(stream, &tag_response(id, &body)).is_ok();
             quq_obs::record_at("serve.e2e", site, t0.elapsed().as_nanos() as u64);
             ok
         }
-        Err(PushError::Full(_)) => {
+        Err(PushError::Full(job)) => {
+            job.reply.forget(); // the front end answers; no second reply on drop
             quq_obs::add("serve.shed", 1);
-            write_frame(stream, &encode_status_response(STATUS_OVERLOADED)).is_ok()
+            let body = encode_status_response(STATUS_OVERLOADED);
+            write_frame(stream, &tag_response(id, &body)).is_ok()
         }
-        Err(PushError::Draining(_)) => {
-            let _ = write_frame(stream, &encode_status_response(STATUS_DRAINING));
+        Err(PushError::Draining(job)) => {
+            job.reply.forget();
+            let body = encode_status_response(STATUS_DRAINING);
+            let _ = write_frame(stream, &tag_response(id, &body));
             false
         }
     }
@@ -481,9 +686,7 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
 
 fn worker_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
     while let Some(batch) = shared.queue.next_batch(cfg.max_batch, cfg.max_wait) {
-        if batch.is_empty() {
-            continue;
-        }
+        debug_assert!(!batch.is_empty(), "next_batch never yields empty batches");
         // One state snapshot per batch: a concurrent RELOAD swaps the
         // shared Arc, but this batch still runs start-to-finish on the
         // model its requests were admitted under.
@@ -491,21 +694,33 @@ fn worker_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
         let site = || SiteKey::global(state.provider.name());
         quq_obs::record_at("serve.batch_size", site, batch.len() as u64);
         let images: Vec<Tensor> = batch.iter().map(|j| j.image.clone()).collect();
+        // The closure can run more than once in principle (it can't move
+        // the jobs out), so the forward result is parked here and the
+        // replies — which consume their Reply — are sent afterwards.
+        let mut result: Option<Result<Vec<Tensor>, String>> = None;
         state.provider.with_backend(&mut |be| {
             let mut be: &mut dyn Backend = be;
-            match state.model.forward_batch(&images, &mut be) {
-                Ok(logits) => {
-                    for (job, l) in batch.iter().zip(&logits) {
-                        let _ = job.reply.send(encode_ok_response(l.data()));
-                    }
-                }
-                Err(e) => {
-                    let msg = format!("backend error: {e:?}");
-                    for job in &batch {
-                        let _ = job.reply.send(encode_error_response(&msg));
-                    }
+            result = Some(
+                state
+                    .model
+                    .forward_batch(&images, &mut be)
+                    .map_err(|e| format!("backend error: {e:?}")),
+            );
+        });
+        match result {
+            Some(Ok(logits)) => {
+                for (job, l) in batch.into_iter().zip(&logits) {
+                    job.reply.send(encode_ok_response(l.data()));
                 }
             }
-        });
+            Some(Err(msg)) => {
+                for job in batch {
+                    job.reply.send(encode_error_response(&msg));
+                }
+            }
+            // Provider never ran the work: dropping the jobs delivers
+            // "worker dropped the request" errors via Reply::drop.
+            None => drop(batch),
+        }
     }
 }

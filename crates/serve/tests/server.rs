@@ -1,15 +1,23 @@
 //! End-to-end tests of the serving path: correctness against the offline
-//! forward, backpressure under overload, graceful drain, and artifact
-//! cold-start + hot reload.
+//! forward, backpressure under overload, graceful drain, artifact
+//! cold-start + hot reload, and the framing state machines — slow-client
+//! dribble reassembly on the event loop, the legacy front end's desync
+//! (kept as the regression exhibit), pipelining by request id, and the
+//! client's timeout resync.
 
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use quq_serve::protocol::{
+    decode_response, encode_infer_request, encode_ok_response, tag_response, write_frame,
+};
 use quq_serve::{
-    artifact_state, BackendProvider, Client, Fp32Provider, InferResponse, IntegerProvider,
-    ServeConfig, Server,
+    artifact_state, BackendProvider, Client, Fp32Provider, FrameDecoder, Frontend, InferResponse,
+    IntegerProvider, ServeConfig, Server,
 };
 use quq_store::ArtifactWriter;
 use quq_vit::{Backend, Fp32Backend, ModelConfig, Observed, VitModel};
@@ -70,6 +78,7 @@ fn concurrent_clients_are_batched_and_all_answered() {
             max_batch: 4,
             max_wait: Duration::from_millis(5),
             queue_capacity: 64,
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -192,6 +201,7 @@ fn overload_sheds_with_overload_reply_and_bounded_queue() {
             max_batch: 2,
             max_wait: Duration::from_millis(1),
             queue_capacity: 2,
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -206,7 +216,17 @@ fn overload_sheds_with_overload_reply_and_bounded_queue() {
             let img = img.clone();
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
-                c.infer(&img).unwrap()
+                let first = c.infer(&img).unwrap();
+                // Regression: a shed request must produce exactly ONE
+                // response — a duplicate (e.g. the bounced job's Reply
+                // also answering as it drops) would surface here as an
+                // unknown-id error on the reused connection.
+                let second = c.infer(&img).unwrap();
+                assert!(
+                    matches!(second, InferResponse::Ok { .. } | InferResponse::Overloaded),
+                    "connection unusable after shed: {second:?}"
+                );
+                first
             })
         })
         .collect();
@@ -246,6 +266,7 @@ fn shutdown_drains_admitted_requests_before_exit() {
             max_batch: 2,
             max_wait: Duration::from_millis(1),
             queue_capacity: 16,
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -351,6 +372,7 @@ fn reload_hot_swaps_between_artifacts_under_concurrent_load() {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             queue_capacity: 64,
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -416,6 +438,328 @@ fn reload_hot_swaps_between_artifacts_under_concurrent_load() {
     server.shutdown();
     let _ = std::fs::remove_file(&path_a);
     let _ = std::fs::remove_file(&path_b);
+}
+
+/// The full wire bytes (length prefix + payload) of one infer request.
+fn wire_request(id: u32, img: &quq_tensor::Tensor) -> Vec<u8> {
+    let payload = encode_infer_request(id, img);
+    let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&payload);
+    wire
+}
+
+/// Reads whole response frames off `stream` until `want` have decoded.
+fn read_responses(stream: &mut TcpStream, want: usize) -> Vec<(u32, InferResponse)> {
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    while got.len() < want {
+        if let Some(frame) = dec.next_frame().expect("response stream stays framed") {
+            got.push(decode_response(&frame).expect("response decodes"));
+            continue;
+        }
+        let n = dec.read_from(stream).expect("read responses");
+        assert!(n > 0, "server closed before all responses arrived");
+    }
+    got
+}
+
+#[test]
+fn slow_client_dribble_is_reassembled_bit_exactly_by_the_event_loop() {
+    // THE tentpole regression: requests delivered in arbitrary dribs and
+    // drabs — including stalls long enough that the legacy front end's
+    // read timeout fires mid-frame — must decode byte-for-byte and come
+    // back with bit-exact logits. Fails against the old stateless
+    // `read_frame` loop (see the companion test below).
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig::default(), // event loop
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let imgs = images(&model, 4, 11);
+    let offline: Vec<Vec<f32>> = imgs
+        .iter()
+        .map(|img| {
+            model
+                .forward(img, &mut Fp32Backend::new())
+                .unwrap()
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    for (i, img) in imgs.iter().enumerate() {
+        wire.extend_from_slice(&wire_request(i as u32 + 1, img));
+    }
+    // Deterministic "hostile" chunking: tiny fragments, frame boundaries
+    // straddled, with stalls longer than the legacy POLL_INTERVAL planted
+    // right inside the length prefix of the second request.
+    let mut lcg: u64 = 0x00DD_B0B5;
+    let mut sent = 0usize;
+    let first_prefix_of_second = wire_request(1, &imgs[0]).len() + 2;
+    while sent < wire.len() {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let n = 1 + (lcg >> 33) as usize % 7;
+        let end = (sent + n).min(wire.len());
+        stream.write_all(&wire[sent..end]).unwrap();
+        stream.flush().unwrap();
+        if sent <= first_prefix_of_second && first_prefix_of_second < end {
+            // Mid-prefix stall: the legacy handler's 20 ms read timeout
+            // fires here and (stateless) drops the partial prefix.
+            std::thread::sleep(Duration::from_millis(60));
+        } else if lcg & 0xF == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sent = end;
+    }
+
+    let mut got = read_responses(&mut stream, imgs.len());
+    got.sort_by_key(|(id, _)| *id);
+    for (i, (id, resp)) in got.iter().enumerate() {
+        assert_eq!(*id, i as u32 + 1, "every request answered exactly once");
+        match resp {
+            InferResponse::Ok { logits, .. } => assert_eq!(
+                logits, &offline[i],
+                "dribbled request {id} lost bit-exactness"
+            ),
+            other => panic!("request {id} got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn legacy_thread_per_conn_desyncs_on_a_mid_prefix_stall() {
+    // The bug the event loop exists to fix, demonstrated on the retained
+    // baseline: a frame whose length prefix straddles a stall longer than
+    // the handler's read timeout is torn — `read_exact` consumes two
+    // prefix bytes, times out, and the stateless retry re-parses from the
+    // middle of the frame. The very same byte sequence (split 2 | rest,
+    // 60 ms apart) that the event loop reassembles above kills this
+    // connection without ever answering.
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            frontend: Frontend::ThreadPerConn,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let img = images(&model, 1, 11).remove(0);
+    let wire = wire_request(1, &img);
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream.write_all(&wire[..2]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(60)); // > POLL_INTERVAL
+    stream.write_all(&wire[2..]).unwrap();
+    stream.flush().unwrap();
+
+    // The handler misparses prefix bytes [0, 0, OP_INFER, id≈1] as a
+    // 16.8 MB frame (> MAX_FRAME) and closes the connection: the client
+    // sees EOF or an error, never its logits.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .unwrap();
+    let mut dec = FrameDecoder::new();
+    let outcome = loop {
+        match dec.next_frame() {
+            Ok(Some(frame)) => break Some(decode_response(&frame)),
+            Ok(None) => {}
+            Err(_) => break None,
+        }
+        match dec.read_from(&mut stream) {
+            Ok(0) => break None, // EOF: connection torn down
+            Ok(_) => {}
+            Err(_) => break None, // reset / timeout: equally dead
+        }
+    };
+    match outcome {
+        None => {} // desync confirmed: the request was never answered
+        Some(Ok((_, InferResponse::Ok { .. }))) => {
+            panic!("legacy front end unexpectedly survived the mid-frame stall")
+        }
+        Some(_) => {} // a garbage/error frame is also the desync
+    }
+    server.shutdown();
+}
+
+#[test]
+fn thread_per_conn_still_serves_well_behaved_clients() {
+    // The baseline must stay a *working* baseline for prompt clients —
+    // only slow/fragmented framing desyncs it.
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            frontend: Frontend::ThreadPerConn,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let img = images(&model, 1, 3).remove(0);
+    let offline = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    match client.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, offline.data()),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_out_of_order_by_id() {
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            workers: 2,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let imgs = images(&model, 8, 21);
+    let offline: Vec<Vec<f32>> = imgs
+        .iter()
+        .map(|img| {
+            model
+                .forward(img, &mut Fp32Backend::new())
+                .unwrap()
+                .data()
+                .to_vec()
+        })
+        .collect();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // All eight in flight on one connection before any response is read.
+    let ids: Vec<u32> = imgs.iter().map(|i| client.send_infer(i).unwrap()).collect();
+    let mut answered = vec![false; imgs.len()];
+    for _ in 0..imgs.len() {
+        let (id, resp) = client.recv_response().unwrap();
+        let slot = ids.iter().position(|&i| i == id).expect("known id");
+        assert!(!answered[slot], "duplicate response for id {id}");
+        answered[slot] = true;
+        match resp {
+            InferResponse::Ok { logits, .. } => assert_eq!(
+                logits, offline[slot],
+                "pipelined response {id} paired with the wrong request"
+            ),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    assert!(answered.iter().all(|&a| a), "every request answered");
+    server.shutdown();
+}
+
+#[test]
+fn timed_out_response_is_discarded_not_returned_to_the_next_call() {
+    // Satellite regression: pre-fix, a response arriving after
+    // `set_timeout` expired sat in the socket and was returned as the
+    // answer to the *next* infer — a silent off-by-one desync. The mock
+    // server below answers request 1 only after the client has given up
+    // on it; the client's second call must get response 2, not response 1.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mock = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut dec = FrameDecoder::new();
+        fn next(dec: &mut FrameDecoder, stream: &mut TcpStream) -> Vec<u8> {
+            loop {
+                if let Some(frame) = dec.next_frame().unwrap() {
+                    return frame;
+                }
+                assert!(dec.read_from(stream).unwrap() > 0);
+            }
+        }
+        let first = next(&mut dec, &mut stream);
+        let id1 = quq_serve::protocol::request_id(&first);
+        // Stall past the client's timeout, then answer the abandoned
+        // request anyway — the classic slow backend.
+        std::thread::sleep(Duration::from_millis(150));
+        write_frame(&mut stream, &tag_response(id1, &encode_ok_response(&[1.0]))).unwrap();
+        let second = next(&mut dec, &mut stream);
+        let id2 = quq_serve::protocol::request_id(&second);
+        write_frame(&mut stream, &tag_response(id2, &encode_ok_response(&[2.0]))).unwrap();
+    });
+
+    let img = quq_tensor::Tensor::zeros(&[3, 16, 16]);
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_millis(40))).unwrap();
+    let e = client.infer(&img).expect_err("first call must time out");
+    assert!(
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "unexpected error {e:?}"
+    );
+    client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    match client.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(
+            logits,
+            vec![2.0],
+            "second call was answered with the first call's late response"
+        ),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    mock.join().unwrap();
+}
+
+#[test]
+fn thread_per_conn_reaps_finished_connection_handles() {
+    // Satellite regression: the accept loop used to push every handler's
+    // JoinHandle into a vec it only emptied at shutdown — tracked state
+    // grew with connection *history*. Now finished handlers are reaped as
+    // the loop runs, so tracking follows *live* connections.
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            frontend: Frontend::ThreadPerConn,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let img = images(&model, 1, 7).remove(0);
+    for _ in 0..40 {
+        let mut c = Client::connect(addr).unwrap();
+        assert!(matches!(c.infer(&img).unwrap(), InferResponse::Ok { .. }));
+        // Dropping the client EOFs the connection; its handler exits.
+    }
+    // One more accept-loop pass (≤ POLL_INTERVAL apart) reaps them all.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let tracked = server.tracked_connections();
+        if tracked <= 4 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "handles never reaped: still tracking {tracked} after 40 closed connections"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown();
 }
 
 #[test]

@@ -68,12 +68,14 @@ for entry in report["sweep"]:
 print("metrics smoke: JSON parses, all op sites present, bit-identity holds")
 PY
 
-echo "==> tier-2: serve smoke (ephemeral port, mixed load, graceful drain)"
+echo "==> tier-2: serve smoke (ephemeral port, mixed load, 512-conn sweep, graceful drain)"
 serve_out=target/bench_smoke_serve.json
 # loadgen starts its own in-process server on an ephemeral port, asserts
 # served logits are bit-identical to offline forward, drives a mixed
 # closed-loop + fixed-rate load (including an overload regime that must
-# shed), and drains gracefully; a non-zero exit fails the gate.
+# shed), sweeps the event-loop front end up to 512 concurrent
+# connections (zero desync, bounded RSS, >= thread-per-conn throughput),
+# and drains gracefully; a non-zero exit fails the gate.
 QUQ_QUICK=1 QUQ_BENCH_OUT="$serve_out" \
     cargo run --release -q -p quq-bench --bin loadgen -- --metrics
 python3 - "$serve_out" <<'PY'
@@ -92,6 +94,21 @@ assert all(p["max_queue_depth"] <= 64 for p in report["shed_curve"])
 batched = next(s for s in report["serving"] if s["mode"] == "batched")
 assert batched["mean_batch"] > 1.0
 
+# Many-connections gate: the event-loop front end must carry >= 512
+# concurrent connections with ZERO desyncs/errors (every response
+# bit-exact and matched to its request id), bounded per-connection
+# memory, and throughput at least on par with thread-per-connection.
+assert report["conn_sweep_clean"] is True
+top = max(report["conn_sweep"], key=lambda p: p["conns"])
+assert top["conns"] >= 512, top
+assert all(p["errors"] == 0 for p in report["conn_sweep"])
+assert top["rss_per_conn_kib"] <= 256, top
+fc = report["frontend_compare"]
+assert fc["event_loop_ge_thread_per_conn"] is True, fc
+# Pipelining on one connection must beat one-request-at-a-time.
+pipe = report["pipelined"]
+assert pipe["images_per_sec"] > pipe["sequential_images_per_sec"], pipe
+
 # serve.* metric sites are present in the embedded snapshot.
 names = {(h["name"], h.get("site")) for h in report["metrics"]["histograms"]}
 for metric in ("serve.batch_size", "serve.e2e", "serve.queue_depth"):
@@ -99,7 +116,8 @@ for metric in ("serve.batch_size", "serve.e2e", "serve.queue_depth"):
 counters = {c["name"] for c in report["metrics"]["counters"]}
 assert "serve.accepted" in counters and "serve.shed" in counters
 
-print("serve smoke: bit-identical responses, bounded queue, sheds under overload, drains clean")
+print("serve smoke: bit-identical responses, bounded queue, sheds under overload, "
+      f"{top['conns']} conns clean on the event loop, drains clean")
 PY
 
 echo "==> tier-2: store smoke (save, corrupt-byte rejection, cold-start serving)"
