@@ -66,6 +66,7 @@ impl WeightQubCache {
     pub fn from_artifact(
         artifact: &quq_store::Artifact,
     ) -> std::result::Result<Self, quq_store::StoreError> {
+        crate::cost::install_tile_prior();
         let cache = Self::new();
         {
             let mut entries = cache.entries();
@@ -116,6 +117,9 @@ impl<'a> IntegerBackend<'a> {
     /// Wraps calibrated tables sharing `weights` with other backends (e.g.
     /// one backend per evaluation worker over one model's weights).
     pub fn with_cache(tables: &'a PtqTables, weights: Arc<WeightQubCache>) -> Self {
+        // Any process running integer GEMMs should tune them with the
+        // hardware-derived prior rather than the built-in default.
+        crate::cost::install_tile_prior();
         Self { tables, weights }
     }
 

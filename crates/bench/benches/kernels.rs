@@ -80,6 +80,37 @@ fn bench_gemm(c: &mut Criterion) {
     g.bench_function("reference_int6", |b| {
         b.iter(|| matmul_nt_qub_reference(black_box(&qa), black_box(&qw)))
     });
+    // Per-ISA packed kernels, registered only where the host supports the
+    // ISA. `QUQ_FORCE_ISA` is read on this (caller) thread per matmul, so
+    // setting it here pins the dispatched kernel for the timed closure.
+    for (bench_name, isa_name) in [
+        ("packed_avx2", "avx2"),
+        ("packed_avx512", "avx512"),
+        ("packed_avx512vnni", "avx512vnni"),
+        ("packed_neon", "neon"),
+        ("packed_scalar", "scalar"),
+    ] {
+        if !linalg::isa::supported()
+            .iter()
+            .any(|i| i.name() == isa_name)
+        {
+            continue;
+        }
+        g.bench_function(bench_name, |b| {
+            std::env::set_var("QUQ_FORCE_ISA", isa_name);
+            b.iter(|| matmul_nt_qub(black_box(&qa), black_box(&qw)));
+            std::env::remove_var("QUQ_FORCE_ISA");
+        });
+    }
+    // Autotuned tile (memoized) vs the static per-ISA default tile.
+    g.bench_function("tuned_vs_fixed/tuned", |b| {
+        b.iter(|| matmul_nt_qub(black_box(&qa), black_box(&qw)))
+    });
+    g.bench_function("tuned_vs_fixed/fixed", |b| {
+        std::env::set_var("QUQ_TUNE", "off");
+        b.iter(|| matmul_nt_qub(black_box(&qa), black_box(&qw)));
+        std::env::remove_var("QUQ_TUNE");
+    });
     g.finish();
 }
 

@@ -29,9 +29,15 @@
 //! * with `--metrics` (or `QUQ_METRICS=1`), embeds that snapshot delta as
 //!   a per-layer/per-op breakdown under each backend's `"metrics"` key;
 //! * times the packed integer GEMM ([`quq_core::matmul_nt_qub`]) against
-//!   the pre-panel reference ([`quq_core::matmul_nt_qub_reference`]) on a
-//!   ViT-sized shape at the child's thread count, verifying exact
-//!   agreement.
+//!   the pre-panel reference ([`quq_core::matmul_nt_qub_reference`]) on
+//!   ViT-sized shapes at the child's thread count, verifying exact
+//!   agreement, with a per-ISA breakdown (every host-supported kernel ISA
+//!   forced via `QUQ_FORCE_ISA`, each re-verified bit-identical), the
+//!   autotuner's memoized tile and first-use search time per ISA, and a
+//!   tuned-vs-fixed-tile (`QUQ_TUNE=off`) comparison.
+//!
+//! `--list-isas` prints one supported kernel ISA per line and exits
+//! (consumed by `scripts/check.sh` to drive its per-ISA test matrix).
 
 use quq_accel::{IntegerBackend, WeightQubCache};
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
@@ -131,15 +137,13 @@ fn sites_complete(delta: &Snapshot, depth: usize) -> bool {
             .all(|g| all.iter().any(|s| s == g))
 }
 
-/// Packed-vs-reference integer GEMM microbenchmark at the current thread
-/// count. Returns a JSON fragment.
-fn int_gemm_microbench() -> String {
-    let (m, k, n, reps) = if quick() {
-        (32, 48, 48, 2)
-    } else {
-        (256, 384, 384, 5)
-    };
-    let bits = 6u32;
+/// Encodes one random QUB operand pair at a GEMM shape.
+fn encode_pair(
+    m: usize,
+    k: usize,
+    n: usize,
+    bits: u32,
+) -> (quq_core::QubTensor, quq_core::QubTensor) {
     let mut rng = StdRng::seed_from_u64(77);
     let av = OutlierMixture::new(0.05, 0.6, 0.02).sample_vec(&mut rng, m * k);
     let wv = OutlierMixture::new(0.02, 0.3, 0.01).sample_vec(&mut rng, n * k);
@@ -147,32 +151,124 @@ fn int_gemm_microbench() -> String {
     let pw = Pra::with_defaults(bits).run(&wv).params;
     let qa = QubCodec::new(pa).encode_tensor(&Tensor::from_vec(av, &[m, k]).expect("shape"));
     let qw = QubCodec::new(pw).encode_tensor(&Tensor::from_vec(wv, &[n, k]).expect("shape"));
+    (qa, qw)
+}
 
-    // Exactness gate: the packed kernel must reproduce the reference
-    // accumulators bit-for-bit.
-    let packed = matmul_nt_qub(&qa, &qw);
-    let reference = matmul_nt_qub_reference(&qa, &qw);
-    assert_eq!(packed, reference, "packed kernel diverged from reference");
+fn time_best(reps: usize, f: &dyn Fn() -> Vec<i64>) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
 
-    let time_best = |f: &dyn Fn() -> Vec<i64>| -> f64 {
-        (0..reps)
-            .map(|_| {
-                let t0 = Instant::now();
-                std::hint::black_box(f());
-                t0.elapsed().as_secs_f64()
-            })
-            .fold(f64::INFINITY, f64::min)
+/// Times the packed GEMM once per host-supported ISA (forced via
+/// `QUQ_FORCE_ISA` in-process — the env is read on this thread, never by
+/// pool workers), verifying each ISA's bytes against `reference` and
+/// reporting the memoized tile plus the tuner's first-use search time.
+fn isa_breakdown_json(
+    qa: &quq_core::QubTensor,
+    qw: &quq_core::QubTensor,
+    reference: &[i64],
+    reference_seconds: f64,
+    reps: usize,
+) -> String {
+    let (m, n) = (qa.shape[0], qw.shape[0]);
+    // Tuner keys carry the *padded* panel stride and the bits hint the
+    // dispatch layer uses.
+    let kp = qa.preshifted().shape()[1];
+    let bits = qa.bits.max(qw.bits);
+    let mut parts = Vec::new();
+    for &isa in quq_tensor::linalg::isa::supported() {
+        std::env::set_var("QUQ_FORCE_ISA", isa.name());
+        let before = quq_obs::snapshot();
+        let warm = matmul_nt_qub(qa, qw);
+        let search_ms = quq_obs::snapshot()
+            .delta_since(&before)
+            .hist_sum("tune.search") as f64
+            * 1e-6;
+        assert_eq!(warm.as_slice(), reference, "{} diverged", isa.name());
+        let seconds = time_best(reps, &|| matmul_nt_qub(qa, qw));
+        let speedup = reference_seconds / seconds;
+        let tile = quq_tensor::tune::lookup(m, kp, n, bits, isa)
+            .unwrap_or_else(|| quq_tensor::tune::default_tile(isa));
+        println!(
+            "    {:>10}: {seconds:.4}s ({speedup:6.2}x vs reference), tile kc={} mr={} jb={}, first-use search {search_ms:.2} ms",
+            isa.name(), tile.kc, tile.mr, tile.jb
+        );
+        parts.push(format!(
+            "{{\"isa\": \"{}\", \"packed_seconds\": {seconds:.5}, \"speedup_vs_reference\": {speedup:.3}, \"tile\": {{\"kc\": {}, \"mr\": {}, \"jb\": {}}}, \"tune_search_ms\": {search_ms:.3}}}",
+            isa.name(), tile.kc, tile.mr, tile.jb
+        ));
+    }
+    std::env::remove_var("QUQ_FORCE_ISA");
+    format!("[{}]", parts.join(", "))
+}
+
+/// Packed-vs-reference integer GEMM microbenchmark at the current thread
+/// count, with a per-ISA, per-shape breakdown and a tuned-vs-fixed-tile
+/// comparison. Returns a JSON fragment.
+fn int_gemm_microbench() -> String {
+    let (shapes, reps): (&[(usize, usize, usize)], usize) = if quick() {
+        (&[(32, 48, 48)], 2)
+    } else {
+        // Linear-layer shape (panel-heavy) and an attention-score shape
+        // (skinny k), both ViT-S-sized.
+        (&[(256, 384, 384), (197, 64, 197)], 5)
     };
-    // Reference: decodes both operands on every call (the PR 1 behavior).
-    let reference_seconds = time_best(&|| matmul_nt_qub_reference(&qa, &qw));
-    // Packed: panels were cached above — the deployment steady state.
-    let packed_seconds = time_best(&|| matmul_nt_qub(&qa, &qw));
-    let speedup = reference_seconds / packed_seconds;
+    let bits = 6u32;
+    let dispatched = quq_tensor::linalg::isa::resolve();
+    let mut shape_jsons = Vec::new();
+    let mut primary: Option<(f64, f64, f64)> = None;
+    for &(m, k, n) in shapes {
+        let (qa, qw) = encode_pair(m, k, n, bits);
+
+        // Exactness gate: the packed kernel must reproduce the reference
+        // accumulators bit-for-bit.
+        let packed = matmul_nt_qub(&qa, &qw);
+        let reference = matmul_nt_qub_reference(&qa, &qw);
+        assert_eq!(packed, reference, "packed kernel diverged from reference");
+
+        // Reference: decodes both operands on every call (PR 1 behavior).
+        let reference_seconds = time_best(reps, &|| matmul_nt_qub_reference(&qa, &qw));
+        // Packed: panels were cached above — the deployment steady state.
+        let packed_seconds = time_best(reps, &|| matmul_nt_qub(&qa, &qw));
+        let speedup = reference_seconds / packed_seconds;
+        println!(
+            "int GEMM {m}x{k}x{n} ({bits}-bit): reference {reference_seconds:.4}s, packed {packed_seconds:.4}s → {speedup:.2}x (dispatched: {})",
+            dispatched.name()
+        );
+        let breakdown = isa_breakdown_json(&qa, &qw, &reference, reference_seconds, reps);
+        if primary.is_none() {
+            primary = Some((reference_seconds, packed_seconds, speedup));
+        }
+        shape_jsons.push(format!(
+            "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"bits\": {bits}, \"reference_seconds\": {reference_seconds:.5}, \"packed_seconds\": {packed_seconds:.5}, \"speedup\": {speedup:.3}, \"isa_breakdown\": {breakdown}}}"
+        ));
+    }
+
+    // Tuned vs fixed tile on the primary shape, same dispatched ISA: the
+    // fixed side pins QUQ_TUNE=off (the per-ISA static default tile).
+    let (m, k, n) = shapes[0];
+    let (qa, qw) = encode_pair(m, k, n, bits);
+    let tuned_seconds = time_best(reps, &|| matmul_nt_qub(&qa, &qw));
+    std::env::set_var("QUQ_TUNE", "off");
+    let fixed_seconds = time_best(reps, &|| matmul_nt_qub(&qa, &qw));
+    std::env::remove_var("QUQ_TUNE");
+    let tuned_speedup = fixed_seconds / tuned_seconds;
     println!(
-        "int GEMM {m}x{k}x{n} ({bits}-bit): reference {reference_seconds:.4}s, packed {packed_seconds:.4}s → {speedup:.2}x"
+        "    tuned vs fixed tile at {m}x{k}x{n}: {tuned_seconds:.4}s vs {fixed_seconds:.4}s → {tuned_speedup:.2}x"
     );
+
+    let (reference_seconds, packed_seconds, speedup) = primary.expect("at least one shape");
+    let (searches, hits) = quq_tensor::tune::stats();
+    let (m, k, n) = shapes[0];
     format!(
-        "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"bits\": {bits}, \"reference_seconds\": {reference_seconds:.5}, \"packed_seconds\": {packed_seconds:.5}, \"speedup\": {speedup:.3}, \"bit_identical_packed_vs_reference\": true}}"
+        "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"bits\": {bits}, \"reference_seconds\": {reference_seconds:.5}, \"packed_seconds\": {packed_seconds:.5}, \"speedup\": {speedup:.3}, \"bit_identical_packed_vs_reference\": true, \"dispatched_isa\": \"{}\", \"tune_searches\": {searches}, \"tune_hits\": {hits}, \"tuned_vs_fixed\": {{\"tuned_seconds\": {tuned_seconds:.5}, \"fixed_seconds\": {fixed_seconds:.5}, \"speedup\": {tuned_speedup:.3}}}, \"shapes\": [{}]}}",
+        dispatched.name(),
+        shape_jsons.join(", ")
     )
 }
 
@@ -428,6 +524,14 @@ fn run_parent() {
 }
 
 fn main() {
+    // `--list-isas`: print one kernel ISA per line (used by check.sh to
+    // drive the per-ISA bit-identity matrix) and exit.
+    if std::env::args().any(|a| a == "--list-isas") {
+        for isa in quq_tensor::linalg::isa::supported() {
+            println!("{}", isa.name());
+        }
+        return;
+    }
     match std::env::var("QUQ_SWEEP_OUT") {
         Ok(path) => run_child(&path),
         Err(_) => run_parent(),

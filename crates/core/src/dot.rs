@@ -70,7 +70,13 @@ pub fn matmul_nt_qub(a: &QubTensor, b: &QubTensor) -> Vec<i64> {
     }
     let ap = a.preshifted();
     let bp = b.preshifted();
-    quq_tensor::linalg::i16_matmul_nt_i64(ap.data(), bp.data(), m, k, n)
+    // Panels carry a zero-padded row stride (a PANEL_K_ALIGN multiple ≥ k)
+    // so the SIMD main loops run tail-free; the pad contributes exactly 0.
+    // Both operands share the same pad rule, so their strides agree.
+    let kp = ap.shape()[1];
+    debug_assert!(kp >= k && bp.shape()[1] == kp, "panel strides must agree");
+    let bits = a.bits.max(b.bits);
+    quq_tensor::linalg::i16_matmul_nt_i64_hinted(ap.data(), bp.data(), m, kp, n, bits)
 }
 
 /// The pre-panel reference implementation of [`matmul_nt_qub`]: decodes

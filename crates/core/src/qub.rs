@@ -358,12 +358,35 @@ impl QubTensor {
     /// cached (interior-mutable; shared by clones made after the first
     /// decode). The integer GEMM path calls this so reused operands — layer
     /// weights above all — pay the decode exactly once per model.
+    ///
+    /// Rank-2 panels are stored with their row stride zero-padded up to
+    /// [`quq_tensor::linalg::PANEL_K_ALIGN`] elements (the widest SIMD
+    /// step), so the GEMM's vector main loops never touch a remainder
+    /// path. The pad contributes exactly `0` to every dot product; the
+    /// logical tensor ([`QubTensor::decode_preshifted`], and through it
+    /// the SFU-side `decode_scaled`) stays unpadded. The padded stride is
+    /// the panel's `shape()[1]`.
     pub fn preshifted(&self) -> Arc<I16Tensor> {
-        Arc::clone(
-            self.panel
-                .0
-                .get_or_init(|| Arc::new(self.decode_preshifted())),
-        )
+        Arc::clone(self.panel.0.get_or_init(|| {
+            let unpadded = self.decode_preshifted();
+            let &[rows, k] = unpadded.shape() else {
+                return Arc::new(unpadded);
+            };
+            let kp = k.div_ceil(quq_tensor::linalg::PANEL_K_ALIGN.max(1))
+                * quq_tensor::linalg::PANEL_K_ALIGN;
+            if kp == k {
+                return Arc::new(unpadded);
+            }
+            let mut padded = vec![0i16; rows * kp];
+            for (src, dst) in unpadded
+                .data()
+                .chunks_exact(k)
+                .zip(padded.chunks_exact_mut(kp))
+            {
+                dst[..k].copy_from_slice(src);
+            }
+            Arc::new(I16Tensor::from_vec(padded, &[rows, kp]).expect("sized"))
+        }))
     }
 
     /// Reconstructs the real-valued tensor.

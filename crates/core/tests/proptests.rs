@@ -259,6 +259,32 @@ proptest! {
         prop_assert_eq!(&packed, &reference, "packed kernel diverged from reference");
         let serial = quq_tensor::pool::run_serial(|| quq_core::matmul_nt_qub(&qa, &qw));
         prop_assert_eq!(&packed, &serial, "pool execution diverged from serial");
+        // The kernel matrix: every ISA this host supports (QUQ_FORCE_ISA
+        // reaches the dispatch) × untuned default tiles (QUQ_TUNE=off) ×
+        // exhaustively tuned tiles (QUQ_TUNE=full) must reproduce the
+        // reference bytes, pooled and serial. scripts/check.sh re-runs
+        // this test once per ISA with QUQ_FORCE_ISA pinned from outside.
+        for &isa in quq_tensor::linalg::isa::supported() {
+            std::env::set_var("QUQ_FORCE_ISA", isa.name());
+            for tune_mode in ["off", "full"] {
+                std::env::set_var("QUQ_TUNE", tune_mode);
+                let forced = quq_core::matmul_nt_qub(&qa, &qw);
+                prop_assert_eq!(
+                    &forced, &reference,
+                    "{} with QUQ_TUNE={} diverged from reference",
+                    isa.name(), tune_mode
+                );
+                let forced_serial =
+                    quq_tensor::pool::run_serial(|| quq_core::matmul_nt_qub(&qa, &qw));
+                prop_assert_eq!(
+                    &forced, &forced_serial,
+                    "{} with QUQ_TUNE={} diverged between pool and serial",
+                    isa.name(), tune_mode
+                );
+            }
+        }
+        std::env::remove_var("QUQ_FORCE_ISA");
+        std::env::remove_var("QUQ_TUNE");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod pool;
 pub mod rng;
 pub mod stats;
 mod tensor;
+pub mod tune;
 
 pub use int_tensor::{I16Tensor, IntTensor};
 pub use tensor::{Tensor, TensorError};

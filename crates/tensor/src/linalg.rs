@@ -7,7 +7,10 @@
 //! rows are chunked across threads, so results are **bit-identical at every
 //! thread count** (including the `QUQ_THREADS=1` serial reference).
 
-use crate::{pool, IntTensor, Tensor, TensorError};
+pub mod isa;
+
+use crate::{pool, tune, IntTensor, Tensor, TensorError};
+use std::cell::Cell;
 
 /// Rows of `B` (the shared operand) processed per pass so the active block
 /// stays cache-resident while a chunk of output rows streams over it.
@@ -275,10 +278,63 @@ pub fn int_matmul(a: &IntTensor, b: &IntTensor) -> crate::Result<IntTensor> {
 ///
 /// Magnitude bound on packed-panel entries: `|D << n_sh| ≤ 2^7 · 2^7`
 /// for b ≤ 8 (payload fits b−1 ≤ 7 bits, `n_sh` fits 3 bits). The
-/// kernels below rely on it: any two products fit 2^29 (so `pmaddwd`
-/// pair sums are exact) and any four-product partial sum fits 2^30
-/// (so short `i32` chunks never wrap).
+/// kernels under [`isa`] rely on it: any two products fit 2^29 (so
+/// `pmaddwd`/`vpdpwssd` pair sums are exact), any two pair sums fit
+/// 2^30 (so a two-step `i32` fold is exact), and any four-product
+/// partial sum fits 2^30 (so the scalar `i32` chunks never wrap).
 pub const PANEL_BOUND: i32 = 1 << 14;
+
+/// Panel stride alignment (in `i16` elements) that makes the SIMD main
+/// loops tail-free: the widest kernel consumes 32 lanes per step, so
+/// panels whose row stride is a multiple of this (zero-padded — zeros
+/// contribute exactly nothing) never touch a remainder path in steady
+/// state. `QubTensor::preshifted` pads its rank-2 panels to this.
+pub const PANEL_K_ALIGN: usize = 32;
+
+thread_local! {
+    /// Rows of a single logical image inside a stacked `forward_batch`
+    /// activation, or 0 outside a batched forward. Set on the thread
+    /// that *launches* matmuls (pool workers never consult it).
+    static BATCH_IMAGE_ROWS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Marks the current thread as running a stacked batched forward whose
+/// per-image activations are `image_rows` tall, until the guard drops.
+/// While active, the packed GEMM enlarges its parallel row grain so a
+/// decoded weight panel streams over whole images instead of being
+/// re-fetched every [`ROW_GRAIN`] rows.
+pub fn batch_rows_hint(image_rows: usize) -> BatchRowsGuard {
+    let prev = BATCH_IMAGE_ROWS.with(|c| c.replace(image_rows));
+    BatchRowsGuard { prev }
+}
+
+/// RAII guard restoring the previous batch-rows hint on drop.
+pub struct BatchRowsGuard {
+    prev: usize,
+}
+
+impl Drop for BatchRowsGuard {
+    fn drop(&mut self) {
+        BATCH_IMAGE_ROWS.with(|c| c.set(self.prev));
+    }
+}
+
+/// Row grain for the packed GEMM's pool split. Outside a batched
+/// forward this is the classic [`ROW_GRAIN`]; inside one, chunks grow
+/// to image-sized multiples (bounded so every pool thread still gets
+/// work), which keeps each decoded `B` panel resident across the
+/// stacked rows of an image instead of re-streaming `B` per 8-row
+/// chunk. Grain only changes how rows are *grouped* — per-element
+/// accumulation order is untouched, so results stay bit-identical.
+fn packed_row_grain(m: usize) -> usize {
+    let image_rows = BATCH_IMAGE_ROWS.with(|c| c.get());
+    if image_rows <= ROW_GRAIN || m <= image_rows {
+        return ROW_GRAIN;
+    }
+    let threads = pool::num_threads().max(1);
+    // At most one image per chunk, at least two chunks per thread.
+    image_rows.min(m.div_ceil(2 * threads)).max(ROW_GRAIN)
+}
 
 /// # Preconditions
 ///
@@ -291,6 +347,28 @@ pub const PANEL_BOUND: i32 = 1 << 14;
 ///
 /// Panics when `a.len() != m·k` or `b.len() != n·k`.
 pub fn i16_matmul_nt_i64(a: &[i16], b: &[i16], m: usize, k: usize, n: usize) -> Vec<i64> {
+    i16_matmul_nt_i64_hinted(a, b, m, k, n, 0)
+}
+
+/// [`i16_matmul_nt_i64`] with a QUB bit-width hint that keys the tile
+/// autotuner (`bits = 0` when unknown). The hint never affects values —
+/// only which memoized tile shape the search space resolves to.
+///
+/// Dispatch happens here, once per call: the ISA comes from
+/// [`isa::resolve`] (best supported, or `QUQ_FORCE_ISA`), the tile from
+/// [`crate::tune::tile_for`] (memoized per shape, `QUQ_TUNE` to
+/// control), and pool workers receive the resolved kernel as a plain
+/// fn pointer. Every ISA × tile combination accumulates exactly in
+/// `i64`, so output bytes are identical regardless of host, override,
+/// tile shape, or thread count.
+pub fn i16_matmul_nt_i64_hinted(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    bits: u32,
+) -> Vec<i64> {
     assert_eq!(a.len(), m * k, "lhs panel must be m·k elements");
     assert_eq!(b.len(), n * k, "rhs panel must be n·k elements");
     debug_assert!(
@@ -305,201 +383,15 @@ pub fn i16_matmul_nt_i64(a: &[i16], b: &[i16], m: usize, k: usize, n: usize) -> 
     if m == 0 || n == 0 {
         return out;
     }
-    pool::parallel_rows_mut(&mut out, n, ROW_GRAIN, |first_row, block| {
-        i16_nt_block(a, b, block, first_row, k, n);
+    let which = isa::resolve();
+    let tile = tune::tile_for(a, b, m, k, n, bits, which);
+    let kern = isa::block_fn(which, tile.mr, tile.jb)
+        .expect("tuner and defaults only propose lattice tiles");
+    let grain = packed_row_grain(m);
+    pool::parallel_rows_mut(&mut out, n, grain, move |first_row, block| {
+        kern(a, b, block, first_row, k, n, tile.kc);
     });
     out
-}
-
-/// Computes a block of output rows of the packed `A·Bᵀ` starting at
-/// `first_row`. Every path computes each product exactly and sums in
-/// exact integer arithmetic, so the scalar and SIMD kernels (and any
-/// panel/thread split) produce identical bytes.
-fn i16_nt_block(ad: &[i16], bd: &[i16], block: &mut [i64], first_row: usize, k: usize, n: usize) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was verified at runtime on this line.
-        unsafe { i16_nt_block_avx2(ad, bd, block, first_row, k, n) };
-        return;
-    }
-    i16_nt_block_scalar(ad, bd, block, first_row, k, n);
-}
-
-/// Portable kernel: [`KC`]-deep panels, [`JB`]-wide column tiles, and
-/// four-product `i32` partial sums (exact under [`PANEL_BOUND`]) widened
-/// into `i64` accumulators.
-fn i16_nt_block_scalar(
-    ad: &[i16],
-    bd: &[i16],
-    block: &mut [i64],
-    first_row: usize,
-    k: usize,
-    n: usize,
-) {
-    for panel_start in (0..k).step_by(KC) {
-        let panel_end = (panel_start + KC).min(k);
-        for (r, orow) in block.chunks_exact_mut(n).enumerate() {
-            let row = first_row + r;
-            let arow = &ad[row * k + panel_start..row * k + panel_end];
-            let len = arow.len();
-            let mut j = 0;
-            while j + JB <= n {
-                let b0 = &bd[j * k + panel_start..j * k + panel_end];
-                let b1 = &bd[(j + 1) * k + panel_start..(j + 1) * k + panel_end];
-                let b2 = &bd[(j + 2) * k + panel_start..(j + 2) * k + panel_end];
-                let b3 = &bd[(j + 3) * k + panel_start..(j + 3) * k + panel_end];
-                let (mut a0, mut a1, mut a2, mut a3) = (0i64, 0i64, 0i64, 0i64);
-                let mut p = 0;
-                while p + 4 <= len {
-                    let (mut s0, mut s1, mut s2, mut s3) = (0i32, 0i32, 0i32, 0i32);
-                    for q in p..p + 4 {
-                        let x = arow[q] as i32;
-                        s0 += x * b0[q] as i32;
-                        s1 += x * b1[q] as i32;
-                        s2 += x * b2[q] as i32;
-                        s3 += x * b3[q] as i32;
-                    }
-                    a0 += s0 as i64;
-                    a1 += s1 as i64;
-                    a2 += s2 as i64;
-                    a3 += s3 as i64;
-                    p += 4;
-                }
-                while p < len {
-                    let x = arow[p] as i32;
-                    a0 += (x * b0[p] as i32) as i64;
-                    a1 += (x * b1[p] as i32) as i64;
-                    a2 += (x * b2[p] as i32) as i64;
-                    a3 += (x * b3[p] as i32) as i64;
-                    p += 1;
-                }
-                orow[j] += a0;
-                orow[j + 1] += a1;
-                orow[j + 2] += a2;
-                orow[j + 3] += a3;
-                j += JB;
-            }
-            while j < n {
-                let brow = &bd[j * k + panel_start..j * k + panel_end];
-                let mut acc = 0i64;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += (x as i32 * y as i32) as i64;
-                }
-                orow[j] += acc;
-                j += 1;
-            }
-        }
-    }
-}
-
-/// Folds 16 `i16×i16` products into four `i64` lanes: `vpmaddwd` pair
-/// sums (each ≤ 2^29 under [`PANEL_BOUND`], so exact) widened and added.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-#[inline]
-unsafe fn madd_fold_i64(
-    acc: std::arch::x86_64::__m256i,
-    va: std::arch::x86_64::__m256i,
-    vb: std::arch::x86_64::__m256i,
-) -> std::arch::x86_64::__m256i {
-    use std::arch::x86_64::*;
-    let prod = _mm256_madd_epi16(va, vb);
-    let lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(prod));
-    let hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(prod, 1));
-    _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi))
-}
-
-/// Horizontal sum of four exact `i64` lanes.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-#[inline]
-unsafe fn hsum_i64(v: std::arch::x86_64::__m256i) -> i64 {
-    use std::arch::x86_64::*;
-    let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
-    _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1)
-}
-
-/// AVX2 kernel: same panel/tile structure as the scalar path, consuming
-/// 16 panel elements per step. Exact under [`PANEL_BOUND`], hence
-/// bit-identical to [`i16_nt_block_scalar`].
-///
-/// # Safety
-///
-/// The caller must have verified AVX2 support at runtime.
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-unsafe fn i16_nt_block_avx2(
-    ad: &[i16],
-    bd: &[i16],
-    block: &mut [i64],
-    first_row: usize,
-    k: usize,
-    n: usize,
-) {
-    use std::arch::x86_64::*;
-    for panel_start in (0..k).step_by(KC) {
-        let panel_end = (panel_start + KC).min(k);
-        let plen = panel_end - panel_start;
-        for (r, orow) in block.chunks_exact_mut(n).enumerate() {
-            let row = first_row + r;
-            // SAFETY: all pointer arithmetic below stays inside `ad`
-            // (offsets < row·k + panel_end ≤ m·k) and `bd` (offsets
-            // < col·k + panel_end ≤ n·k); vector loads read 16 elements
-            // only while `p + 16 ≤ plen`.
-            let abase = ad.as_ptr().add(row * k + panel_start);
-            let zero = _mm256_setzero_si256();
-            let mut j = 0;
-            while j + JB <= n {
-                let bb0 = bd.as_ptr().add(j * k + panel_start);
-                let bb1 = bd.as_ptr().add((j + 1) * k + panel_start);
-                let bb2 = bd.as_ptr().add((j + 2) * k + panel_start);
-                let bb3 = bd.as_ptr().add((j + 3) * k + panel_start);
-                let (mut v0, mut v1, mut v2, mut v3) = (zero, zero, zero, zero);
-                let mut p = 0;
-                while p + 16 <= plen {
-                    let va = _mm256_loadu_si256(abase.add(p) as *const __m256i);
-                    v0 = madd_fold_i64(v0, va, _mm256_loadu_si256(bb0.add(p) as *const __m256i));
-                    v1 = madd_fold_i64(v1, va, _mm256_loadu_si256(bb1.add(p) as *const __m256i));
-                    v2 = madd_fold_i64(v2, va, _mm256_loadu_si256(bb2.add(p) as *const __m256i));
-                    v3 = madd_fold_i64(v3, va, _mm256_loadu_si256(bb3.add(p) as *const __m256i));
-                    p += 16;
-                }
-                let (mut a0, mut a1, mut a2, mut a3) =
-                    (hsum_i64(v0), hsum_i64(v1), hsum_i64(v2), hsum_i64(v3));
-                while p < plen {
-                    let x = *abase.add(p) as i32;
-                    a0 += (x * *bb0.add(p) as i32) as i64;
-                    a1 += (x * *bb1.add(p) as i32) as i64;
-                    a2 += (x * *bb2.add(p) as i32) as i64;
-                    a3 += (x * *bb3.add(p) as i32) as i64;
-                    p += 1;
-                }
-                orow[j] += a0;
-                orow[j + 1] += a1;
-                orow[j + 2] += a2;
-                orow[j + 3] += a3;
-                j += JB;
-            }
-            while j < n {
-                let bbase = bd.as_ptr().add(j * k + panel_start);
-                let mut v = zero;
-                let mut p = 0;
-                while p + 16 <= plen {
-                    let va = _mm256_loadu_si256(abase.add(p) as *const __m256i);
-                    let vb = _mm256_loadu_si256(bbase.add(p) as *const __m256i);
-                    v = madd_fold_i64(v, va, vb);
-                    p += 16;
-                }
-                let mut acc = hsum_i64(v);
-                while p < plen {
-                    acc += (*abase.add(p) as i32 * *bbase.add(p) as i32) as i64;
-                    p += 1;
-                }
-                orow[j] += acc;
-                j += 1;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -672,12 +564,14 @@ mod tests {
     }
 
     #[test]
-    fn i16_nt_block_scalar_and_dispatch_agree() {
-        // On AVX2 hosts the public entry dispatches to the SIMD kernel;
-        // its bytes must match the portable scalar path exactly, tail
-        // lanes (k not a multiple of 16, n not a multiple of JB) included.
+    fn every_isa_and_tile_shape_matches_naive_dot_bitwise() {
+        // The full kernel matrix: every supported ISA × every lattice
+        // (MR, JB) × panel depths straddling k must produce the naive
+        // dot product's exact bytes — SIMD remainders (k not a multiple
+        // of the step), row tails (m % MR ≠ 0), and column tails
+        // (n % JB ≠ 0) included.
         let mut rng = StdRng::seed_from_u64(9);
-        for (m, k, n) in [(1, 1, 1), (3, 17, 5), (4, 129, 9), (7, 200, 13)] {
+        for (m, k, n) in [(1, 1, 1), (3, 17, 5), (5, 129, 9), (7, 67, 13)] {
             let sample = |len: usize, rng: &mut StdRng| -> Vec<i16> {
                 (0..len)
                     .map(|_| (standard_normal(rng) * 8000.0).clamp(-16384.0, 16384.0) as i16)
@@ -685,11 +579,76 @@ mod tests {
             };
             let a = sample(m * k, &mut rng);
             let b = sample(n * k, &mut rng);
-            let got = i16_matmul_nt_i64(&a, &b, m, k, n);
             let mut want = vec![0i64; m * n];
-            i16_nt_block_scalar(&a, &b, &mut want, 0, k, n);
-            assert_eq!(got, want, "dispatch diverged at {m}x{k}x{n}");
+            for i in 0..m {
+                for j in 0..n {
+                    want[i * n + j] = (0..k)
+                        .map(|p| a[i * k + p] as i64 * b[j * k + p] as i64)
+                        .sum();
+                }
+            }
+            for &which in isa::supported() {
+                for mr in [1, 2, 4] {
+                    for jb in [2, 4, 8] {
+                        for kc in [1, 4, 32, 128, 4096] {
+                            let kern = isa::block_fn(which, mr, jb).unwrap();
+                            let mut got = vec![0i64; m * n];
+                            kern(&a, &b, &mut got, 0, k, n, kc);
+                            assert_eq!(
+                                got,
+                                want,
+                                "{} mr={mr} jb={jb} kc={kc} diverged at {m}x{k}x{n}",
+                                which.name()
+                            );
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    #[test]
+    fn public_entry_honors_forced_scalar_isa() {
+        // `QUQ_FORCE_ISA` must reach the dispatch and stay bit-identical.
+        // (Scalar is the one ISA every host supports.)
+        let mut rng = StdRng::seed_from_u64(21);
+        let (m, k, n) = (6, 50, 9);
+        let a: Vec<i16> = (0..m * k)
+            .map(|_| (standard_normal(&mut rng) * 1000.0) as i16)
+            .collect();
+        let b: Vec<i16> = (0..n * k)
+            .map(|_| (standard_normal(&mut rng) * 1000.0) as i16)
+            .collect();
+        let native = i16_matmul_nt_i64(&a, &b, m, k, n);
+        std::env::set_var("QUQ_FORCE_ISA", "scalar");
+        let forced = i16_matmul_nt_i64(&a, &b, m, k, n);
+        std::env::remove_var("QUQ_FORCE_ISA");
+        assert_eq!(native, forced);
+    }
+
+    #[test]
+    fn batch_rows_hint_is_bit_neutral_and_scoped() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (m, k, n) = (40, 33, 7);
+        let a: Vec<i16> = (0..m * k)
+            .map(|_| (standard_normal(&mut rng) * 700.0) as i16)
+            .collect();
+        let b: Vec<i16> = (0..n * k)
+            .map(|_| (standard_normal(&mut rng) * 700.0) as i16)
+            .collect();
+        let plain = i16_matmul_nt_i64(&a, &b, m, k, n);
+        let hinted = {
+            let _g = batch_rows_hint(10);
+            // Grain grows toward one image per chunk but never past it,
+            // and never shrinks below the classic default (the exact
+            // value depends on the pool width).
+            let g = packed_row_grain(m);
+            assert!((ROW_GRAIN..=10).contains(&g), "grain {g} out of range");
+            i16_matmul_nt_i64(&a, &b, m, k, n)
+        };
+        assert_eq!(plain, hinted, "row grain must never change bytes");
+        // Guard dropped: grain is back to the default.
+        assert_eq!(packed_row_grain(m), ROW_GRAIN);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! AVX2 microkernel: `vpmaddwd` on 256-bit registers, 32 panel elements
+//! per widen.
+//!
+//! Each `_mm256_madd_epi16` lane is a pair sum ≤ 2^29 under
+//! [`crate::linalg::PANEL_BOUND`]; two madd results per 32-element step
+//! sum to ≤ 2^30 in `i32` lanes — still exact — before one widen into
+//! the `i64` accumulators, halving the widening traffic of the previous
+//! one-widen-per-16 kernel. Remainders below 16 elements re-enter the
+//! portable [`super::scalar::tile`] body.
+
+use std::arch::x86_64::*;
+
+/// Widens the eight exact `i32` lanes of `s` and adds them to `acc`.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn add_widen_i32(acc: __m256i, s: __m256i) -> __m256i {
+    let lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(s));
+    let hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(s, 1));
+    _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi))
+}
+
+/// Horizontal sum of four exact `i64` lanes.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn hsum_i64(v: __m256i) -> i64 {
+    let s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+    _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1)
+}
+
+/// `MR×JB` register tile over 16-lane `ymm`; exact, ascending-`p`.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 at runtime; pointer bounds as for
+/// [`super::scalar::tile`].
+#[target_feature(enable = "avx2")]
+#[inline]
+pub(crate) unsafe fn tile<const MR: usize, const JB: usize>(
+    a: *const i16,
+    ak: usize,
+    b: *const i16,
+    bk: usize,
+    len: usize,
+    out: &mut [[i64; JB]; MR],
+) {
+    let zero = _mm256_setzero_si256();
+    let mut acc = [[zero; JB]; MR];
+    let mut p = 0usize;
+    while p + 32 <= len {
+        let mut va0 = [zero; MR];
+        let mut va1 = [zero; MR];
+        let mut i = 0usize;
+        while i < MR {
+            va0[i] = _mm256_loadu_si256(a.add(i * ak + p) as *const __m256i);
+            va1[i] = _mm256_loadu_si256(a.add(i * ak + p + 16) as *const __m256i);
+            i += 1;
+        }
+        let mut j = 0usize;
+        while j < JB {
+            let vb0 = _mm256_loadu_si256(b.add(j * bk + p) as *const __m256i);
+            let vb1 = _mm256_loadu_si256(b.add(j * bk + p + 16) as *const __m256i);
+            let mut i = 0usize;
+            while i < MR {
+                let s = _mm256_add_epi32(
+                    _mm256_madd_epi16(va0[i], vb0),
+                    _mm256_madd_epi16(va1[i], vb1),
+                );
+                acc[i][j] = add_widen_i32(acc[i][j], s);
+                i += 1;
+            }
+            j += 1;
+        }
+        p += 32;
+    }
+    if p + 16 <= len {
+        let mut i = 0usize;
+        while i < MR {
+            let va = _mm256_loadu_si256(a.add(i * ak + p) as *const __m256i);
+            let mut j = 0usize;
+            while j < JB {
+                let vb = _mm256_loadu_si256(b.add(j * bk + p) as *const __m256i);
+                acc[i][j] = add_widen_i32(acc[i][j], _mm256_madd_epi16(va, vb));
+                j += 1;
+            }
+            i += 1;
+        }
+        p += 16;
+    }
+    let mut tail = [[0i64; JB]; MR];
+    if p < len {
+        super::scalar::tile::<MR, JB>(a.add(p), ak, b.add(p), bk, len - p, &mut tail);
+    }
+    let mut i = 0usize;
+    while i < MR {
+        let mut j = 0usize;
+        while j < JB {
+            out[i][j] += hsum_i64(acc[i][j]) + tail[i][j];
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+super::isa_block_family!(block_fn, nest, tile, "avx2");

@@ -1,0 +1,181 @@
+//! AVX-512 microkernels: `vpmaddwd` on 512-bit registers, and a
+//! `vpdpwssd` (VNNI) variant where the host has `avx512vnni`.
+//!
+//! Lane math is the AVX2 argument doubled in width: each madd/dpwssd
+//! lane is a pair sum ≤ 2^29 under [`crate::linalg::PANEL_BOUND`], two
+//! per 64-element step sum to ≤ 2^30 in `i32` — exact — before one
+//! widen into `i64`. VNNI's `vpdpwssd` fuses the madd and the `i32`
+//! add into one instruction; seeded from zero and widened on the same
+//! cadence it computes the identical exact value. Remainders below 32
+//! elements re-enter the portable [`super::scalar::tile`] body.
+
+use std::arch::x86_64::*;
+
+/// Widens the sixteen exact `i32` lanes of `s` and adds them to `acc`.
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+unsafe fn add_widen_i32(acc: __m512i, s: __m512i) -> __m512i {
+    let lo = _mm512_cvtepi32_epi64(_mm512_castsi512_si256(s));
+    let hi = _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64::<1>(s));
+    _mm512_add_epi64(acc, _mm512_add_epi64(lo, hi))
+}
+
+/// Horizontal sum of eight exact `i64` lanes.
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+unsafe fn hsum_i64(v: __m512i) -> i64 {
+    _mm512_reduce_add_epi64(v)
+}
+
+/// `MR×JB` register tile over 32-lane `zmm` via `vpmaddwd`.
+///
+/// # Safety
+///
+/// Caller must have verified AVX-512F+BW at runtime; pointer bounds as
+/// for [`super::scalar::tile`].
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+pub(crate) unsafe fn tile<const MR: usize, const JB: usize>(
+    a: *const i16,
+    ak: usize,
+    b: *const i16,
+    bk: usize,
+    len: usize,
+    out: &mut [[i64; JB]; MR],
+) {
+    let zero = _mm512_setzero_si512();
+    let mut acc = [[zero; JB]; MR];
+    let mut p = 0usize;
+    while p + 64 <= len {
+        let mut va0 = [zero; MR];
+        let mut va1 = [zero; MR];
+        let mut i = 0usize;
+        while i < MR {
+            va0[i] = _mm512_loadu_si512(a.add(i * ak + p) as *const __m512i);
+            va1[i] = _mm512_loadu_si512(a.add(i * ak + p + 32) as *const __m512i);
+            i += 1;
+        }
+        let mut j = 0usize;
+        while j < JB {
+            let vb0 = _mm512_loadu_si512(b.add(j * bk + p) as *const __m512i);
+            let vb1 = _mm512_loadu_si512(b.add(j * bk + p + 32) as *const __m512i);
+            let mut i = 0usize;
+            while i < MR {
+                let s = _mm512_add_epi32(
+                    _mm512_madd_epi16(va0[i], vb0),
+                    _mm512_madd_epi16(va1[i], vb1),
+                );
+                acc[i][j] = add_widen_i32(acc[i][j], s);
+                i += 1;
+            }
+            j += 1;
+        }
+        p += 64;
+    }
+    if p + 32 <= len {
+        let mut i = 0usize;
+        while i < MR {
+            let va = _mm512_loadu_si512(a.add(i * ak + p) as *const __m512i);
+            let mut j = 0usize;
+            while j < JB {
+                let vb = _mm512_loadu_si512(b.add(j * bk + p) as *const __m512i);
+                acc[i][j] = add_widen_i32(acc[i][j], _mm512_madd_epi16(va, vb));
+                j += 1;
+            }
+            i += 1;
+        }
+        p += 32;
+    }
+    let mut tail = [[0i64; JB]; MR];
+    if p < len {
+        super::scalar::tile::<MR, JB>(a.add(p), ak, b.add(p), bk, len - p, &mut tail);
+    }
+    let mut i = 0usize;
+    while i < MR {
+        let mut j = 0usize;
+        while j < JB {
+            out[i][j] += hsum_i64(acc[i][j]) + tail[i][j];
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// `MR×JB` register tile over 32-lane `zmm` via `vpdpwssd` (VNNI).
+///
+/// # Safety
+///
+/// Caller must have verified AVX-512 VNNI at runtime; pointer bounds as
+/// for [`super::scalar::tile`].
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+#[inline]
+pub(crate) unsafe fn vnni_tile<const MR: usize, const JB: usize>(
+    a: *const i16,
+    ak: usize,
+    b: *const i16,
+    bk: usize,
+    len: usize,
+    out: &mut [[i64; JB]; MR],
+) {
+    let zero = _mm512_setzero_si512();
+    let mut acc = [[zero; JB]; MR];
+    let mut p = 0usize;
+    while p + 64 <= len {
+        let mut va0 = [zero; MR];
+        let mut va1 = [zero; MR];
+        let mut i = 0usize;
+        while i < MR {
+            va0[i] = _mm512_loadu_si512(a.add(i * ak + p) as *const __m512i);
+            va1[i] = _mm512_loadu_si512(a.add(i * ak + p + 32) as *const __m512i);
+            i += 1;
+        }
+        let mut j = 0usize;
+        while j < JB {
+            let vb0 = _mm512_loadu_si512(b.add(j * bk + p) as *const __m512i);
+            let vb1 = _mm512_loadu_si512(b.add(j * bk + p + 32) as *const __m512i);
+            let mut i = 0usize;
+            while i < MR {
+                let s = _mm512_dpwssd_epi32(_mm512_dpwssd_epi32(zero, va0[i], vb0), va1[i], vb1);
+                acc[i][j] = add_widen_i32(acc[i][j], s);
+                i += 1;
+            }
+            j += 1;
+        }
+        p += 64;
+    }
+    if p + 32 <= len {
+        let mut i = 0usize;
+        while i < MR {
+            let va = _mm512_loadu_si512(a.add(i * ak + p) as *const __m512i);
+            let mut j = 0usize;
+            while j < JB {
+                let vb = _mm512_loadu_si512(b.add(j * bk + p) as *const __m512i);
+                acc[i][j] = add_widen_i32(acc[i][j], _mm512_dpwssd_epi32(zero, va, vb));
+                j += 1;
+            }
+            i += 1;
+        }
+        p += 32;
+    }
+    let mut tail = [[0i64; JB]; MR];
+    if p < len {
+        super::scalar::tile::<MR, JB>(a.add(p), ak, b.add(p), bk, len - p, &mut tail);
+    }
+    let mut i = 0usize;
+    while i < MR {
+        let mut j = 0usize;
+        while j < JB {
+            out[i][j] += hsum_i64(acc[i][j]) + tail[i][j];
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+super::isa_block_family!(block_fn, nest, tile, "avx512f,avx512bw");
+super::isa_block_family!(
+    vnni_block_fn,
+    vnni_nest,
+    vnni_tile,
+    "avx512f,avx512bw,avx512vnni"
+);

@@ -1,0 +1,67 @@
+//! NEON microkernel for aarch64: the `smlal`/`smlal2` family via
+//! `vmull_s16`/`vmull_high_s16`, widened pairwise into `i64` lanes.
+//!
+//! `vmull_s16` produces exact 32-bit products (≤ 2^28 under
+//! [`crate::linalg::PANEL_BOUND`]); `vpadalq_s32` pairwise-widens the
+//! four-product `i32x4` into `i64x2` accumulators every step, so no
+//! intermediate can ever saturate — the kernel is exact at every `len`.
+//! Remainders below 8 elements re-enter [`super::scalar::tile`].
+
+use std::arch::aarch64::*;
+
+/// `MR×JB` register tile over 8-lane `int16x8_t`.
+///
+/// # Safety
+///
+/// Caller must have verified NEON at runtime; pointer bounds as for
+/// [`super::scalar::tile`].
+#[target_feature(enable = "neon")]
+#[inline]
+pub(crate) unsafe fn tile<const MR: usize, const JB: usize>(
+    a: *const i16,
+    ak: usize,
+    b: *const i16,
+    bk: usize,
+    len: usize,
+    out: &mut [[i64; JB]; MR],
+) {
+    let zero = vdupq_n_s64(0);
+    let mut acc = [[zero; JB]; MR];
+    let mut p = 0usize;
+    while p + 8 <= len {
+        let mut va = [vdupq_n_s16(0); MR];
+        let mut i = 0usize;
+        while i < MR {
+            va[i] = vld1q_s16(a.add(i * ak + p));
+            i += 1;
+        }
+        let mut j = 0usize;
+        while j < JB {
+            let vb = vld1q_s16(b.add(j * bk + p));
+            let mut i = 0usize;
+            while i < MR {
+                let lo = vmull_s16(vget_low_s16(va[i]), vget_low_s16(vb));
+                let hi = vmull_high_s16(va[i], vb);
+                acc[i][j] = vpadalq_s32(vpadalq_s32(acc[i][j], lo), hi);
+                i += 1;
+            }
+            j += 1;
+        }
+        p += 8;
+    }
+    let mut tail = [[0i64; JB]; MR];
+    if p < len {
+        super::scalar::tile::<MR, JB>(a.add(p), ak, b.add(p), bk, len - p, &mut tail);
+    }
+    let mut i = 0usize;
+    while i < MR {
+        let mut j = 0usize;
+        while j < JB {
+            out[i][j] += vaddvq_s64(acc[i][j]) + tail[i][j];
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+super::isa_block_family!(block_fn, nest, tile, "neon");

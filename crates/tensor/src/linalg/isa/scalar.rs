@@ -1,0 +1,97 @@
+//! Portable microkernel: the one accumulation body behind the scalar
+//! block family *and* every SIMD family's sub-step remainder.
+//!
+//! Four-product `i32` chunks (exact under
+//! [`crate::linalg::PANEL_BOUND`]: each product ≤ 2^28, four sum to
+//! ≤ 2^30) widened into `i64` per chunk — the same order the pre-SIMD
+//! kernel used, kept so historical results stay bit-identical.
+
+/// Accumulates `out[i][j] += Σ_p a[i·ak + p] · b[j·bk + p]` for
+/// `p ∈ 0..len` in ascending order.
+///
+/// # Safety
+///
+/// `a` must be valid for reads at `i·ak + p` and `b` at `j·bk + p` for
+/// all `i < MR`, `j < JB`, `p < len`.
+#[inline(always)]
+pub(crate) unsafe fn tile<const MR: usize, const JB: usize>(
+    a: *const i16,
+    ak: usize,
+    b: *const i16,
+    bk: usize,
+    len: usize,
+    out: &mut [[i64; JB]; MR],
+) {
+    let mut p = 0usize;
+    while p + 4 <= len {
+        let mut i = 0usize;
+        while i < MR {
+            let ar = a.add(i * ak + p);
+            let mut j = 0usize;
+            while j < JB {
+                let br = b.add(j * bk + p);
+                let mut s = 0i32;
+                let mut q = 0usize;
+                while q < 4 {
+                    s += *ar.add(q) as i32 * *br.add(q) as i32;
+                    q += 1;
+                }
+                out[i][j] += s as i64;
+                j += 1;
+            }
+            i += 1;
+        }
+        p += 4;
+    }
+    while p < len {
+        let mut i = 0usize;
+        while i < MR {
+            let x = *a.add(i * ak + p) as i32;
+            let mut j = 0usize;
+            while j < JB {
+                out[i][j] += (x * *b.add(j * bk + p) as i32) as i64;
+                j += 1;
+            }
+            i += 1;
+        }
+        p += 1;
+    }
+}
+
+super::isa_block_family!(block_fn, nest, tile);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_matches_naive_dot_across_tail_lengths() {
+        // Lengths straddle the 4-element chunk boundary.
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 11] {
+            let a: Vec<i16> = (0..2 * len.max(1)).map(|v| v as i16 - 3).collect();
+            let b: Vec<i16> = (0..3 * len.max(1))
+                .map(|v| (v as i16).wrapping_mul(7))
+                .collect();
+            let mut out = [[0i64; 3]; 2];
+            // SAFETY: strides cover `len` elements per row by construction.
+            unsafe {
+                tile::<2, 3>(
+                    a.as_ptr(),
+                    len.max(1),
+                    b.as_ptr(),
+                    len.max(1),
+                    len,
+                    &mut out,
+                )
+            };
+            for i in 0..2 {
+                for j in 0..3 {
+                    let want: i64 = (0..len)
+                        .map(|p| a[i * len.max(1) + p] as i64 * b[j * len.max(1) + p] as i64)
+                        .sum();
+                    assert_eq!(out[i][j], want, "len={len} ({i},{j})");
+                }
+            }
+        }
+    }
+}

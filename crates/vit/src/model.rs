@@ -227,6 +227,13 @@ impl VitModel {
         let batch = images.len();
         let per_image: Vec<Tensor> = images.iter().map(|img| self.patchify(img)).collect();
         let n_patches = per_image[0].shape()[0];
+        // Tell the packed GEMM how tall one image's slice of the stacked
+        // activation is: at B>1 it enlarges its parallel row grain toward
+        // whole-image chunks so each decoded weight panel streams over an
+        // image instead of being re-fetched every few rows. Purely a
+        // blocking hint — bit-identical either way.
+        let image_rows = n_patches + usize::from(w.cls_token.is_some());
+        let _batch_grain = (batch > 1).then(|| quq_tensor::linalg::batch_rows_hint(image_rows));
         let patches = concat_rows(&per_image);
         let body = be.linear(
             OpSite::global(OpKind::PatchEmbed),

@@ -19,6 +19,20 @@ cargo test -q
 echo "==> tier-2: packed-kernel proptests under a 4-worker pool"
 QUQ_THREADS=4 cargo test -q -p quq-core --test proptests
 
+echo "==> tier-2: kernel matrix (per-ISA bit-identity, scalar always included)"
+# One proptest pass per host-supported kernel ISA with the dispatch pinned.
+# `--list-isas` always reports scalar, so the portable kernel is always in
+# the matrix even on fully-featured hosts.
+isas="$(cargo run --release -q -p quq-bench --bin throughput -- --list-isas)"
+case "$isas" in *scalar*) ;; *)
+    echo "kernel matrix: scalar ISA missing from --list-isas" >&2; exit 1;;
+esac
+for isa in $isas; do
+    echo "    ISA: $isa"
+    QUQ_FORCE_ISA="$isa" cargo test -q -p quq-core --test proptests \
+        packed_matmul_matches_reference_bitwise
+done
+
 echo "==> tier-2: batched-forward bit-identity under a 4-worker pool"
 QUQ_THREADS=4 cargo test -q -p quq-vit --test proptests
 QUQ_THREADS=4 cargo test -q -p quq-accel --test batch_identity
@@ -30,6 +44,32 @@ grep -q '"bit_identical_serial_parallel": true' "$smoke_out" || {
     echo "throughput smoke lost serial/parallel bit-identity" >&2
     exit 1
 }
+python3 - "$smoke_out" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+# Regression gate: the packed path must stay comfortably ahead of the
+# pairwise-decoding reference at 1 thread (seed measured ~9-10x here; the
+# floor leaves headroom for machine noise, not for regressions).
+speedup = report["int_gemm_speedup_packed_vs_reference"]
+assert speedup >= 4.0, f"packed GEMM speedup regressed: {speedup}x < 4.0x floor"
+
+for entry in report["sweep"]:
+    gemm = entry["int_gemm"]
+    assert gemm["bit_identical_packed_vs_reference"] is True
+    # Every host ISA was exercised and the tuner memoized its searches.
+    isas = {b["isa"] for shape in gemm["shapes"] for b in shape["isa_breakdown"]}
+    assert "scalar" in isas, isas
+    assert gemm["tune_hits"] > gemm["tune_searches"] > 0, (
+        gemm["tune_searches"],
+        gemm["tune_hits"],
+    )
+
+print(f"throughput smoke: packed GEMM {speedup:.2f}x >= 4.0x floor, "
+      f"ISA matrix {sorted(isas)} bit-identical, tuner memoizing")
+PY
 
 echo "==> tier-2: metrics smoke (--metrics breakdown, bit-identity, site coverage)"
 metrics_out=target/bench_smoke_metrics.json
