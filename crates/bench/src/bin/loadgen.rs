@@ -332,6 +332,7 @@ fn sweep_server(model: &Arc<VitModel>, frontend: Frontend) -> Server {
             queue_capacity: 4096,
             frontend,
             reactors: 1,
+            ..ServeConfig::default()
         },
         "127.0.0.1:0",
     )

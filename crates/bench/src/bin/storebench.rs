@@ -5,9 +5,11 @@
 //! ```text
 //! cargo run --release -p quq-bench --bin storebench                 # benchmark
 //! QUQ_QUICK=1 QUQ_BENCH_OUT=/tmp/s.json cargo run ... --bin storebench
-//! cargo run ... --bin storebench -- --save /tmp/m.quqm              # calibrate + save
+//! cargo run ... --bin storebench -- --save /tmp/m.quqm [--seed N]   # calibrate + save
 //! cargo run ... --bin storebench -- --verify /tmp/m.quqm            # open + load (exit 1 on corruption)
 //! cargo run ... --bin storebench -- --probe 127.0.0.1:7878 --artifact /tmp/m.quqm
+//! cargo run ... --bin storebench -- --probe-multi 127.0.0.1:7878 \
+//!     --artifact /tmp/a.quqm --artifact-b /tmp/b.quqm
 //! ```
 //!
 //! The benchmark, per model scale (the tiny test config, plus eval-scale
@@ -27,6 +29,13 @@
 //! `scripts/check.sh` relies on this. `--probe` sends one inference to a
 //! running server and asserts the response is bit-identical to the
 //! artifact's own integer forward — the cold-start serving gate.
+//! `--probe-multi` exercises the multi-model registry against a server
+//! started with a resident-bytes budget: it `LOAD`s a second artifact as
+//! model `"b"`, alternates inferences between the default model and `"b"`
+//! asserting each stays bit-identical to its artifact's own forward
+//! (forcing eviction churn when the budget fits only one model), checks
+//! `LIST` reports at least one eviction, then `UNLOAD`s `"b"` and asserts
+//! it is gone — the multi-model smoke gate in `scripts/check.sh`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -230,7 +239,8 @@ fn run_bench() {
 
 fn run_save(path: &str) -> ExitCode {
     let name = arg_value("--model").unwrap_or_else(|| "test".into());
-    let (model, tables) = calibrated(model_config(&name), 20240623);
+    let seed = arg_value("--seed").map_or(20240623, |v| v.parse().expect("--seed"));
+    let (model, tables) = calibrated(model_config(&name), seed);
     match ArtifactWriter::save(&model, &tables, Path::new(path)) {
         Ok(bytes) => {
             println!("saved {name} artifact to {path} ({bytes} bytes)");
@@ -298,6 +308,90 @@ fn run_probe(addr: &str, artifact: &str) -> ExitCode {
     }
 }
 
+/// Multi-model registry smoke against a running server (started with a
+/// resident-bytes budget that holds one model): LOAD, eviction churn with
+/// bit-identical answers per model, LIST with evictions, UNLOAD.
+fn run_probe_multi(addr: &str, artifact: &str, artifact_b: &str) -> ExitCode {
+    macro_rules! fail {
+        ($($t:tt)*) => {{ eprintln!($($t)*); return ExitCode::FAILURE; }};
+    }
+    let state_a = match artifact_state(Path::new(artifact), "int") {
+        Ok(s) => s,
+        Err(e) => fail!("probe-multi: cannot load {artifact}: {e}"),
+    };
+    let state_b = match artifact_state(Path::new(artifact_b), "int") {
+        Ok(s) => s,
+        Err(e) => fail!("probe-multi: cannot load {artifact_b}: {e}"),
+    };
+    let img = state_a.model.config().dummy_image(0.3);
+    let expect_a = provider_logits(&state_a, &img);
+    let expect_b = provider_logits(&state_b, &img);
+    if expect_a == expect_b {
+        fail!("probe-multi: the two artifacts produce identical logits — use distinct seeds");
+    }
+
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => fail!("probe-multi: cannot connect to {addr}: {e}"),
+    };
+    match client.load("b", artifact_b) {
+        Ok(InferResponse::Reloaded) => {}
+        Ok(other) => fail!("probe-multi: LOAD b: unexpected response {other:?}"),
+        Err(e) => fail!("probe-multi: LOAD b failed: {e}"),
+    }
+
+    // Alternate between the two models: with a budget that fits one, each
+    // switch evicts the other and lazily reloads it from its artifact.
+    for round in 0..8 {
+        for (name, expect) in [("", &expect_a), ("b", &expect_b)] {
+            let label = if name.is_empty() { "default" } else { name };
+            match client.infer_model(name, &img) {
+                Ok(InferResponse::Ok { logits, .. }) if &logits == expect => {}
+                Ok(InferResponse::Ok { .. }) => {
+                    fail!("probe-multi: round {round}: {label} logits diverge from its artifact")
+                }
+                Ok(other) => fail!("probe-multi: round {round}: {label}: {other:?}"),
+                Err(e) => fail!("probe-multi: round {round}: {label}: {e}"),
+            }
+        }
+    }
+
+    let snap = match client.list() {
+        Ok(InferResponse::ModelList(snap)) => snap,
+        Ok(other) => fail!("probe-multi: LIST: unexpected response {other:?}"),
+        Err(e) => fail!("probe-multi: LIST failed: {e}"),
+    };
+    let names: Vec<&str> = snap.models.iter().map(|m| m.name.as_str()).collect();
+    if !names.contains(&"default") || !names.contains(&"b") {
+        fail!("probe-multi: LIST missing models: {names:?}");
+    }
+    if snap.evictions == 0 {
+        fail!("probe-multi: no evictions under a one-model budget: {snap:?}");
+    }
+
+    match client.unload("b") {
+        Ok(InferResponse::Unloaded) => {}
+        Ok(other) => fail!("probe-multi: UNLOAD b: unexpected response {other:?}"),
+        Err(e) => fail!("probe-multi: UNLOAD b failed: {e}"),
+    }
+    match client.infer_model("b", &img) {
+        Ok(InferResponse::Error(_)) => {}
+        Ok(other) => fail!("probe-multi: infer after UNLOAD: expected Error, got {other:?}"),
+        Err(e) => fail!("probe-multi: infer after UNLOAD failed: {e}"),
+    }
+    match client.infer(&img) {
+        Ok(InferResponse::Ok { logits, .. }) if logits == expect_a => {}
+        Ok(other) => fail!("probe-multi: default after UNLOAD: {other:?}"),
+        Err(e) => fail!("probe-multi: default after UNLOAD failed: {e}"),
+    }
+
+    println!(
+        "probe-multi: LOAD/LIST/UNLOAD ok; both models bit-identical across {} evictions, {} loads",
+        snap.evictions, snap.loads
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     if let Some(path) = arg_value("--save") {
         return run_save(&path);
@@ -311,6 +405,13 @@ fn main() -> ExitCode {
             std::process::exit(2);
         });
         return run_probe(&addr, &artifact);
+    }
+    if let Some(addr) = arg_value("--probe-multi") {
+        let (Some(a), Some(b)) = (arg_value("--artifact"), arg_value("--artifact-b")) else {
+            eprintln!("--probe-multi requires --artifact PATH and --artifact-b PATH");
+            std::process::exit(2);
+        };
+        return run_probe_multi(&addr, &a, &b);
     }
     run_bench();
     ExitCode::SUCCESS

@@ -7,17 +7,27 @@
 //! next read resumes exactly where the last one stopped.
 //!
 //! Every request carries a `u32` id and every response echoes it, which
-//! buys two things:
+//! buys three things:
 //!
 //! * **Timeout safety** — when [`Client::infer`] times out, the request's
 //!   id is remembered as *stale*; if its response shows up later it is
 //!   recognized and discarded instead of being returned as the answer to
-//!   the *next* call (the classic off-by-one-response desync).
+//!   the *next* call (the classic off-by-one-response desync). The stale
+//!   set is bounded ([`STALE_CAP`], FIFO eviction), so a long-lived
+//!   client hammered by timeouts cannot leak memory through it.
 //! * **Pipelining** — [`Client::send_infer`] / [`Client::recv_response`]
 //!   let one connection keep many requests in flight and take responses
 //!   in whatever order the server finishes them, matched by id.
+//! * **Protocol integrity** — a response whose id was never sent (and is
+//!   not stale) poisons the client: the stream can no longer be trusted
+//!   to pair answers with questions, and every later call fails fast
+//!   instead of silently returning someone else's logits.
+//!
+//! Multi-model servers are addressed with [`Client::infer_model`] (empty
+//! name = the default model) and administered with [`Client::load`],
+//! [`Client::unload`], and [`Client::list`].
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -26,8 +36,15 @@ use quq_tensor::Tensor;
 
 use crate::framing::FrameDecoder;
 use crate::protocol::{
-    decode_response, encode_infer_request, encode_reload_request, write_frame, InferResponse,
+    decode_response, encode_infer_request, encode_infer_request_for, encode_list_request,
+    encode_load_request, encode_reload_request, encode_unload_request, write_frame, InferResponse,
 };
+
+/// Most stale (timed-out) request ids remembered at once. Beyond this the
+/// oldest are forgotten — their late responses would then poison the
+/// client instead of being silently discarded, which is the safe failure:
+/// a bounded set can never become an unbounded leak.
+pub const STALE_CAP: usize = 1024;
 
 /// A blocking connection to a [`crate::Server`].
 ///
@@ -38,9 +55,13 @@ pub struct Client {
     stream: TcpStream,
     decoder: FrameDecoder,
     next_id: u32,
+    /// Ids sent whose responses have not yet been taken.
+    inflight: HashSet<u32>,
     /// Ids of requests that timed out: their late responses are discarded
-    /// on sight rather than mistaken for a newer call's answer.
+    /// on sight rather than mistaken for a newer call's answer. Bounded
+    /// by [`STALE_CAP`]; `stale_order` drives FIFO eviction.
     stale: HashSet<u32>,
+    stale_order: VecDeque<u32>,
     /// Set on unrecoverable transport/protocol errors; every later call
     /// fails fast instead of reading garbage.
     poisoned: bool,
@@ -59,7 +80,9 @@ impl Client {
             stream,
             decoder: FrameDecoder::new(),
             next_id: 1,
+            inflight: HashSet::new(),
             stale: HashSet::new(),
+            stale_order: VecDeque::new(),
             poisoned: false,
         })
     }
@@ -93,12 +116,37 @@ impl Client {
         Ok(())
     }
 
+    /// Remembers a timed-out id, evicting the oldest beyond [`STALE_CAP`].
+    fn mark_stale(&mut self, id: u32) {
+        if self.stale.insert(id) {
+            self.stale_order.push_back(id);
+            while self.stale_order.len() > STALE_CAP {
+                if let Some(evicted) = self.stale_order.pop_front() {
+                    self.stale.remove(&evicted);
+                }
+            }
+        }
+    }
+
     /// Whether a read timeout (not a fatal error) interrupted the call.
     fn is_timeout(e: &io::Error) -> bool {
         matches!(
             e.kind(),
             io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
         )
+    }
+
+    /// Allocates an id, encodes the request with it, sends it, and tracks
+    /// it as in flight. All request paths funnel through here.
+    fn send_request(&mut self, build: impl FnOnce(u32) -> Vec<u8>) -> io::Result<u32> {
+        self.check_usable()?;
+        let id = self.alloc_id();
+        if let Err(e) = write_frame(&mut self.stream, &build(id)) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.inflight.insert(id);
+        Ok(id)
     }
 
     /// Sends one image and waits for *its* verdict (matched by id).
@@ -115,8 +163,18 @@ impl Client {
         self.wait_for(id)
     }
 
-    /// Asks the server to hot-swap its model from the QUQM artifact at
-    /// `path` (a path on the *server's* filesystem). Returns
+    /// Like [`Client::infer`], against the named model (empty = default).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn infer_model(&mut self, model: &str, image: &Tensor) -> io::Result<InferResponse> {
+        let id = self.send_infer_model(model, image)?;
+        self.wait_for(id)
+    }
+
+    /// Asks the server to hot-swap its default model from the QUQM
+    /// artifact at `path` (a path on the *server's* filesystem). Returns
     /// [`InferResponse::Reloaded`] on success and
     /// [`InferResponse::Error`] when the artifact is rejected — a failed
     /// reload leaves the served model untouched.
@@ -125,12 +183,42 @@ impl Client {
     ///
     /// As for [`Client::infer`].
     pub fn reload(&mut self, path: &str) -> io::Result<InferResponse> {
-        self.check_usable()?;
-        let id = self.alloc_id();
-        if let Err(e) = write_frame(&mut self.stream, &encode_reload_request(id, path)) {
-            self.poisoned = true;
-            return Err(e);
-        }
+        let id = self.send_request(|id| encode_reload_request(id, path))?;
+        self.wait_for(id)
+    }
+
+    /// Asks the server to register and load model `name` from the QUQM
+    /// artifact at `path` (on the server's filesystem). Returns
+    /// [`InferResponse::Reloaded`] on success.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn load(&mut self, name: &str, path: &str) -> io::Result<InferResponse> {
+        let id = self.send_request(|id| encode_load_request(id, name, path))?;
+        self.wait_for(id)
+    }
+
+    /// Asks the server to drop model `name` from its registry. Returns
+    /// [`InferResponse::Unloaded`] on success and
+    /// [`InferResponse::Error`] for unknown names.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn unload(&mut self, name: &str) -> io::Result<InferResponse> {
+        let id = self.send_request(|id| encode_unload_request(id, name))?;
+        self.wait_for(id)
+    }
+
+    /// Fetches the server's model registry snapshot
+    /// ([`InferResponse::ModelList`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn list(&mut self) -> io::Result<InferResponse> {
+        let id = self.send_request(encode_list_request)?;
         self.wait_for(id)
     }
 
@@ -141,13 +229,16 @@ impl Client {
     ///
     /// Propagates socket errors (which poison the client).
     pub fn send_infer(&mut self, image: &Tensor) -> io::Result<u32> {
-        self.check_usable()?;
-        let id = self.alloc_id();
-        if let Err(e) = write_frame(&mut self.stream, &encode_infer_request(id, image)) {
-            self.poisoned = true;
-            return Err(e);
-        }
-        Ok(id)
+        self.send_request(|id| encode_infer_request(id, image))
+    }
+
+    /// Pipelining: like [`Client::send_infer`], against a named model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (which poison the client).
+    pub fn send_infer_model(&mut self, model: &str, image: &Tensor) -> io::Result<u32> {
+        self.send_request(|id| encode_infer_request_for(id, model, image))
     }
 
     /// Pipelining: blocks for the next response in *arrival* order —
@@ -157,13 +248,22 @@ impl Client {
     /// # Errors
     ///
     /// As for [`Client::infer`]; additionally poisons on a response whose
-    /// id matches no outstanding request.
+    /// id was never sent (neither in flight nor stale).
     pub fn recv_response(&mut self) -> io::Result<(u32, InferResponse)> {
         self.check_usable()?;
         loop {
             let (id, resp) = self.next_decoded()?;
             if self.stale.remove(&id) {
                 continue; // late answer to a timed-out request
+            }
+            if !self.inflight.remove(&id) {
+                // A response nothing asked for: the stream can no longer
+                // be trusted to pair answers with questions.
+                self.poisoned = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown request id {id}"),
+                ));
             }
             return Ok((id, resp));
         }
@@ -177,12 +277,14 @@ impl Client {
                 Ok(ok) => ok,
                 Err(e) => {
                     if Self::is_timeout(&e) {
-                        self.stale.insert(id);
+                        self.inflight.remove(&id);
+                        self.mark_stale(id);
                     }
                     return Err(e);
                 }
             };
             if rid == id {
+                self.inflight.remove(&id);
                 return Ok(resp);
             }
             if !self.stale.remove(&rid) {
@@ -229,5 +331,101 @@ impl Client {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_ok_response, read_frame, tag_response};
+    use std::net::TcpListener;
+
+    /// A listener whose accepted socket is parked so the connection stays
+    /// open (the peer never replies) until `done` is signalled.
+    fn silent_server() -> (
+        std::net::SocketAddr,
+        std::sync::mpsc::Sender<()>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (done, wait) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let _conn = listener.accept();
+            let _ = wait.recv(); // hold the socket open until signalled
+        });
+        (addr, done, handle)
+    }
+
+    #[test]
+    fn stale_set_is_bounded_with_fifo_eviction() {
+        let (addr, done, srv) = silent_server();
+        let mut client = Client::connect(addr).expect("connect");
+        let total = (3 * STALE_CAP) as u32;
+        for id in 1..=total {
+            client.mark_stale(id);
+        }
+        assert!(
+            client.stale.len() <= STALE_CAP,
+            "stale set leaked: {} ids",
+            client.stale.len()
+        );
+        assert!(client.stale_order.len() <= STALE_CAP);
+        // Newest ids survive; the oldest were evicted first.
+        assert!(client.stale.contains(&total));
+        assert!(client.stale.contains(&(total - STALE_CAP as u32 + 1)));
+        assert!(!client.stale.contains(&1));
+        assert!(!client.stale.contains(&(total - STALE_CAP as u32)));
+        drop(client);
+        drop(done);
+        let _ = srv.join();
+    }
+
+    #[test]
+    fn timed_out_requests_feed_the_bounded_stale_set() {
+        let (addr, done, srv) = silent_server();
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_timeout(Some(Duration::from_millis(10)))
+            .expect("timeout");
+        let image = Tensor::zeros(&[1, 2, 2]);
+        for _ in 0..3 {
+            let err = client.infer(&image).expect_err("server never replies");
+            assert!(Client::is_timeout(&err), "unexpected error: {err}");
+        }
+        assert_eq!(client.stale.len(), 3);
+        assert!(client.inflight.is_empty(), "timed-out ids left in flight");
+        // Still usable: timeouts are recoverable.
+        assert!(client.check_usable().is_ok());
+        drop(client);
+        drop(done);
+        let _ = srv.join();
+    }
+
+    #[test]
+    fn unknown_response_id_poisons_the_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let srv = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Consume the request, then answer with an id nothing sent.
+            let _req = read_frame(&mut stream).expect("read").expect("frame");
+            let body = encode_ok_response(&[0.5, 0.25]);
+            write_frame(&mut stream, &tag_response(0xDEAD_BEEF, &body)).expect("write");
+            // Hold the socket open until the client is done asserting.
+            let _ = read_frame(&mut stream);
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let image = Tensor::zeros(&[1, 2, 2]);
+        let _id = client.send_infer(&image).expect("send");
+        let err = client
+            .recv_response()
+            .expect_err("forged response id must not be delivered");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Poisoned: every later call fails fast.
+        let err = client.infer(&image).expect_err("poisoned client must fail");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        drop(client);
+        let _ = srv.join();
     }
 }

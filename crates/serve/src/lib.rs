@@ -4,17 +4,21 @@
 //! The offline stack (PRs 1–3) evaluates datasets; this crate serves
 //! individual requests the way the ROADMAP's production framing demands:
 //!
-//! * a **length-prefixed TCP protocol** ([`protocol`]) — image tensor in,
-//!   logits + top-1 out — where every request carries a `u32` id that its
-//!   response echoes, so one connection can pipeline many requests and
-//!   take the answers out of order;
+//! * a **length-prefixed TCP protocol** ([`protocol`], version 3) — image
+//!   tensor in, logits + top-1 out — where every request carries a `u32`
+//!   id that its response echoes, so one connection can pipeline many
+//!   requests and take the answers out of order, and an optional model
+//!   name (empty = the default model) routing it through the registry;
 //! * a **readiness-driven front end** ([`reactor`]): a few epoll-based
 //!   reactor threads own *all* client sockets, keeping one
 //!   [`FrameDecoder`] per connection so a request that trickles in over
 //!   many reads (a slow client) is reassembled byte-for-byte instead of
 //!   desyncing the stream — the legacy thread-per-connection front end is
 //!   retained behind [`server::Frontend::ThreadPerConn`] as the baseline
-//!   it replaced;
+//!   it replaced — and a connection whose outgoing backlog reaches
+//!   [`ServeConfig::write_high_water`] stops being *read* until the
+//!   client drains its responses, so a never-reading pipelined client
+//!   cannot grow server memory;
 //! * a **bounded admission queue** with shed-on-full backpressure and a
 //!   **dynamic micro-batcher** ([`batcher`]) that flushes on `max_batch`
 //!   requests or `max_wait` elapsed, whichever comes first;
@@ -26,11 +30,16 @@
 //!   buffer;
 //! * **graceful shutdown**: new connections refused, every admitted
 //!   request completed and its response flushed, all threads joined;
-//! * **cold start and hot reload** over the `quq-store` artifact format:
-//!   [`server::artifact_state`] restores a served model from a QUQM file
-//!   without synthesis or calibration, and the admin `RELOAD` message
-//!   ([`Client::reload`]) atomically hot-swaps the served model between
-//!   batches — in-flight requests finish on the old model.
+//! * a **multi-model registry** ([`registry`]) over the `quq-store`
+//!   artifact format: [`server::artifact_state`] cold-starts a served
+//!   model from a QUQM file without synthesis or calibration; the admin
+//!   `LOAD`/`UNLOAD`/`LIST` messages ([`Client::load`],
+//!   [`Client::unload`], [`Client::list`]) register, drop, and inspect
+//!   named models live, and `RELOAD` ([`Client::reload`]) hot-swaps the
+//!   default — in-flight requests finish on the old model. Residency is
+//!   bounded by [`ServeConfig::max_resident_bytes`]: LRU models are
+//!   evicted past the budget and lazily — bit-identically — reloaded
+//!   from their artifact on the next request.
 //!
 //! Batching and pipelining change *when* requests are computed, never
 //! *what*: the batched forward is bit-identical to per-image forwards, so
@@ -70,13 +79,15 @@ pub mod framing;
 pub mod poller;
 pub mod protocol;
 pub(crate) mod reactor;
+pub mod registry;
 pub mod server;
 pub mod sys;
 
 pub use batcher::{BatchQueue, PushError};
 pub use client::Client;
 pub use framing::{FrameDecoder, WriteBuf};
-pub use protocol::InferResponse;
+pub use protocol::{InferResponse, ModelEntry, RegistrySnapshot};
+pub use registry::DEFAULT_MODEL;
 pub use server::{
     artifact_state, BackendProvider, Fp32Provider, Frontend, IntegerProvider, ModelState,
     ServeConfig, Server,

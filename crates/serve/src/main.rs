@@ -1,22 +1,29 @@
-//! The `quq-serve` binary: serve a model over TCP and drain gracefully on
-//! stdin EOF (or a line of input). The model comes from one of three paths:
+//! The `quq-serve` binary: serve one or more models over TCP and drain
+//! gracefully on stdin EOF (or a line of input). Models come from one of
+//! three paths:
 //!
 //! * default: synthesize + calibrate in-process (slow start);
-//! * `--model-path FILE.quqm`: **cold start** from a saved artifact — no
-//!   synthesis, no calibration, weight QUBs pre-decoded from disk;
+//! * `--model-path [NAME=]FILE.quqm` (repeatable): **cold start** from
+//!   saved artifacts — no synthesis, no calibration, weight QUBs
+//!   pre-decoded from disk. The first occurrence is the default model;
+//!   later ones register under their `NAME=` prefix;
 //! * `--save-model FILE.quqm`: synthesize + calibrate, save the artifact,
 //!   and exit (pair with a later `--model-path` run).
 //!
 //! ```text
 //! cargo run --release -p quq-serve -- --save-model /tmp/vits.quqm
-//! cargo run --release -p quq-serve -- --model-path /tmp/vits.quqm
+//! cargo run --release -p quq-serve -- --model-path /tmp/vits.quqm \
+//!     --model-path alt=/tmp/other.quqm --max-resident-bytes 100000000
 //! ```
 //!
 //! Flags (all optional):
 //!
 //! * `--backend int|fp32` — integer QUQ path (default) or f32 reference
 //! * `--model vits|test`  — eval-scale ViT-S (default) or the tiny test config
-//! * `--model-path FILE`  — cold-start from a QUQM artifact (skips `--model`)
+//! * `--model-path [NAME=]FILE` — cold-start from a QUQM artifact (skips
+//!   `--model`); repeat to register additional named models
+//! * `--max-resident-bytes N` — registry budget: LRU models are evicted
+//!   (lazily reloaded on demand) beyond it (default 0 = unbounded)
 //! * `--save-model FILE`  — calibrate, save a QUQM artifact, and exit
 //! * `--addr HOST:PORT`   — bind address (default `127.0.0.1:7878`; port 0 = ephemeral)
 //! * `--workers N` `--max-batch N` `--max-wait-us N` `--queue N` — tuning
@@ -26,9 +33,10 @@
 //! * `--metrics`          — enable the `quq-obs` recorder and print a
 //!   summary (`serve.*` counters, slowest op sites) after the drain
 //!
-//! A running server also accepts the admin `RELOAD` protocol message
-//! ([`quq_serve::Client::reload`]), hot-swapping the served model from
-//! another artifact without dropping in-flight requests.
+//! A running server also accepts the admin `RELOAD`, `LOAD`, `UNLOAD`,
+//! and `LIST` protocol messages ([`quq_serve::Client::reload`],
+//! [`quq_serve::Client::load`], …): models can be hot-swapped, registered,
+//! and dropped without dropping in-flight requests.
 
 use std::io::BufRead;
 use std::path::Path;
@@ -51,6 +59,24 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Every value of a repeatable flag, in order.
+fn arg_values(name: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Splits a `--model-path` value: `NAME=PATH` or bare `PATH` (no name).
+fn split_model_path(v: &str) -> (Option<&str>, &str) {
+    match v.split_once('=') {
+        Some((name, path)) if !name.is_empty() && !name.contains('/') => (Some(name), path),
+        _ => (None, v),
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let backend = arg_value("--backend").unwrap_or_else(|| "int".into());
     let model_name = arg_value("--model").unwrap_or_else(|| "vits".into());
@@ -69,59 +95,82 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(other) => return Err(format!("unknown --frontend {other}").into()),
         },
         reactors: arg_value("--reactors").map_or(1, |v| v.parse().expect("--reactors")),
+        max_resident_bytes: arg_value("--max-resident-bytes")
+            .map_or(0, |v| v.parse().expect("--max-resident-bytes")),
+        ..ServeConfig::default()
     };
 
-    let state: Arc<ModelState> = if let Some(path) = arg_value("--model-path") {
-        // Cold start: everything (weights, tables, weight QUBs) comes from
-        // the artifact — no synthesis, no calibration.
-        let t0 = Instant::now();
-        let state = artifact_state(Path::new(&path), &backend)?;
-        eprintln!(
-            "cold start from {path}: {} ready in {:.1} ms",
-            state.model.config().id,
-            t0.elapsed().as_secs_f64() * 1e3
-        );
-        Arc::new(state)
-    } else {
-        let model_cfg = match model_name.as_str() {
-            "test" => ModelConfig::test_config(),
-            "vits" => ModelConfig::eval_scale(ModelId::VitS),
-            other => return Err(format!("unknown --model {other}").into()),
-        };
-        eprintln!("synthesizing {model_name} model…");
-        let model = Arc::new(VitModel::synthesize(model_cfg, 5));
+    let model_paths = arg_values("--model-path");
+    let state: Arc<ModelState> =
+        if let Some((_, path)) = model_paths.first().map(|v| split_model_path(v)) {
+            // Cold start: everything (weights, tables, weight QUBs) comes from
+            // the artifact — no synthesis, no calibration.
+            let t0 = Instant::now();
+            let state = artifact_state(Path::new(path), &backend)?;
+            eprintln!(
+                "cold start from {path}: {} ready in {:.1} ms",
+                state.model.config().id,
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+            Arc::new(state)
+        } else {
+            let model_cfg = match model_name.as_str() {
+                "test" => ModelConfig::test_config(),
+                "vits" => ModelConfig::eval_scale(ModelId::VitS),
+                other => return Err(format!("unknown --model {other}").into()),
+            };
+            eprintln!("synthesizing {model_name} model…");
+            let model = Arc::new(VitModel::synthesize(model_cfg, 5));
 
-        let calibrated = |model: &VitModel| -> Result<PtqTables, Box<dyn std::error::Error>> {
-            eprintln!("calibrating W8/A8 full quantization…");
-            let calib = Dataset::calibration(model.config(), 8, 1);
-            Ok(calibrate(
-                &QuqMethod::without_optimization(),
-                model,
-                &calib,
-                PtqConfig::full_w8a8(),
-            )?)
-        };
+            let calibrated = |model: &VitModel| -> Result<PtqTables, Box<dyn std::error::Error>> {
+                eprintln!("calibrating W8/A8 full quantization…");
+                let calib = Dataset::calibration(model.config(), 8, 1);
+                Ok(calibrate(
+                    &QuqMethod::without_optimization(),
+                    model,
+                    &calib,
+                    PtqConfig::full_w8a8(),
+                )?)
+            };
 
-        if let Some(path) = arg_value("--save-model") {
-            // Save mode: calibrate (whatever the backend), write the
-            // artifact, and exit — the serving run cold-starts from it.
-            let tables = calibrated(&model)?;
-            let bytes = ArtifactWriter::save(&model, &tables, Path::new(&path))?;
-            println!("saved {model_name} artifact to {path} ({bytes} bytes)");
-            return Ok(());
-        }
+            if let Some(path) = arg_value("--save-model") {
+                // Save mode: calibrate (whatever the backend), write the
+                // artifact, and exit — the serving run cold-starts from it.
+                let tables = calibrated(&model)?;
+                let bytes = ArtifactWriter::save(&model, &tables, Path::new(&path))?;
+                println!("saved {model_name} artifact to {path} ({bytes} bytes)");
+                return Ok(());
+            }
 
-        let provider: Arc<dyn BackendProvider> = match backend.as_str() {
-            "fp32" => Arc::new(Fp32Provider),
-            "int" => Arc::new(IntegerProvider::new(Arc::new(calibrated(&model)?))),
-            other => return Err(format!("unknown --backend {other}").into()),
+            let provider: Arc<dyn BackendProvider> = match backend.as_str() {
+                "fp32" => Arc::new(Fp32Provider),
+                "int" => Arc::new(IntegerProvider::new(Arc::new(calibrated(&model)?))),
+                other => return Err(format!("unknown --backend {other}").into()),
+            };
+            Arc::new(ModelState::new(model, provider))
         };
-        Arc::new(ModelState::new(model, provider))
-    };
 
     quq_obs::set_enabled(metrics);
     let before = quq_obs::snapshot();
     let server = Server::start_with_state(state, config, addr.as_str())?;
+    if let Some((_, default_path)) = model_paths.first().map(|v| split_model_path(v)) {
+        // The default model came from an artifact: give the registry its
+        // source so it is evictable and lazily reloadable like the rest.
+        server.set_default_source(Path::new(default_path));
+    }
+    for extra in model_paths.iter().skip(1) {
+        let (name, path) = split_model_path(extra);
+        let name =
+            name.ok_or_else(|| format!("extra --model-path needs a NAME= prefix: {extra}"))?;
+        let t0 = Instant::now();
+        server
+            .load_model(name, Path::new(path))
+            .map_err(|e| format!("--model-path {extra}: {e}"))?;
+        eprintln!(
+            "loaded {name:?} from {path} in {:.1} ms",
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
     println!(
         "serving on {} ({backend}); press Enter to drain",
         server.local_addr()

@@ -1,15 +1,21 @@
 //! The wire protocol: length-prefixed frames over TCP, little-endian.
-//! This is **protocol version 2**, which tags every request and response
-//! with a `u32` request id so many requests can be in flight on one
-//! connection and responses may return out of order.
+//! This is **protocol version 3**, which tags every request and response
+//! with a `u32` request id (so many requests can be in flight on one
+//! connection and responses may return out of order) and routes every
+//! INFER request to a named model in the server's registry.
 //!
 //! Every message is one frame: a `u32` payload length followed by the
 //! payload. A request payload is
 //!
 //! ```text
-//! opcode: u8 (1 = INFER, 2 = RELOAD) · id: u32
-//! INFER:  rank u8 · rank × u32 dims · Π dims × f32 data
-//! RELOAD: u16 len · len × u8 (UTF-8 artifact path)
+//! opcode: u8 (1 = INFER, 2 = RELOAD, 3 = LOAD, 4 = UNLOAD, 5 = LIST)
+//! id: u32, then
+//! INFER:  u8 name_len · name_len × u8 (UTF-8 model name; empty = default)
+//!         · rank u8 · rank × u32 dims · Π dims × f32 data
+//! RELOAD: u16 len · len × u8 (UTF-8 artifact path; swaps the default model)
+//! LOAD:   u8 name_len · name · u16 path_len · path (register + load model)
+//! UNLOAD: u8 name_len · name (drop the model from the registry)
+//! LIST:   (empty — snapshot the registry)
 //! ```
 //!
 //! and a response payload echoes the id, then a status byte:
@@ -20,16 +26,22 @@
 //! 1 OVERLOADED (empty — admission queue full, retry later)
 //! 2 ERROR      u32 len · len × u8 (UTF-8 message)
 //! 3 DRAINING   (empty — server is shutting down, request not admitted)
-//! 4 RELOADED   (empty — the model was hot-swapped from the artifact)
+//! 4 RELOADED   (empty — RELOAD hot-swapped the default model, or LOAD
+//!               registered and loaded the named model)
+//! 5 LIST       u16 count · count × (u8 name_len · name · u8 resident ·
+//!               u64 bytes · u64 requests) · u64 loads · u64 evictions
+//! 6 UNLOADED   (empty — the named model was dropped from the registry)
 //! ```
 //!
 //! ## Version compatibility
 //!
-//! v2 is a breaking wire change from v1 (which had no id field): ids are
+//! v3 is a breaking wire change from v2: INFER carries a model-name field
+//! between the id and the tensor rank (a zero-length name addresses the
+//! default model, so single-model clients pay one extra byte). Ids remain
 //! client-chosen, echoed verbatim, and unique only per connection —
 //! reusing an id across concurrently in-flight requests makes the two
 //! responses indistinguishable. There is no version negotiation; both
-//! ends of this workspace speak v2. A v1 INFER payload fails the v2
+//! ends of this workspace speak v3. A v2 INFER payload fails the v3
 //! length check deterministically and is answered with an `ERROR` frame
 //! (tagged with whatever the id bytes decode to), so a stale peer gets a
 //! structured rejection rather than silence. A request too short to carry
@@ -43,8 +55,8 @@ use std::io::{self, Read, Write};
 use quq_tensor::Tensor;
 
 /// Wire protocol version implemented by this crate (see module docs for
-/// the v1 → v2 change).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// the v2 → v3 change).
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Largest accepted frame: a generous bound for one image tensor
 /// (16 MiB ≈ a 2048×2048 3-channel f32 image), protecting the server from
@@ -53,8 +65,16 @@ pub const MAX_FRAME: u32 = 16 << 20;
 
 /// Request opcode: run inference on one image tensor.
 pub const OP_INFER: u8 = 1;
-/// Request opcode (admin): hot-swap the model from a QUQM artifact path.
+/// Request opcode (admin): hot-swap the default model from a QUQM
+/// artifact path.
 pub const OP_RELOAD: u8 = 2;
+/// Request opcode (admin): register a named model from an artifact path
+/// and load it.
+pub const OP_LOAD: u8 = 3;
+/// Request opcode (admin): drop a named model from the registry.
+pub const OP_UNLOAD: u8 = 4;
+/// Request opcode (admin): snapshot the model registry.
+pub const OP_LIST: u8 = 5;
 
 /// Response status bytes.
 pub const STATUS_OK: u8 = 0;
@@ -64,8 +84,12 @@ pub const STATUS_OVERLOADED: u8 = 1;
 pub const STATUS_ERROR: u8 = 2;
 /// The server is draining; the request was not admitted.
 pub const STATUS_DRAINING: u8 = 3;
-/// The model was hot-swapped from the requested artifact.
+/// The model was hot-swapped (RELOAD) or registered and loaded (LOAD).
 pub const STATUS_RELOADED: u8 = 4;
+/// A registry snapshot follows.
+pub const STATUS_LIST: u8 = 5;
+/// The named model was dropped from the registry.
+pub const STATUS_UNLOADED: u8 = 6;
 
 /// Writes one length-prefixed frame.
 ///
@@ -128,12 +152,31 @@ pub fn request_id(payload: &[u8]) -> u32 {
     }
 }
 
-/// Encodes an INFER request for `image`, tagged with `id`.
+/// Encodes an INFER request for `image` against the default model,
+/// tagged with `id` (shorthand for [`encode_infer_request_for`] with an
+/// empty model name).
 pub fn encode_infer_request(id: u32, image: &Tensor) -> Vec<u8> {
+    encode_infer_request_for(id, "", image)
+}
+
+/// Encodes an INFER request for `image` against the named model, tagged
+/// with `id`. An empty `model` addresses the server's default model.
+///
+/// # Panics
+///
+/// Panics if `model` exceeds 255 bytes (the wire field is one byte).
+pub fn encode_infer_request_for(id: u32, model: &str, image: &Tensor) -> Vec<u8> {
+    let name = model.as_bytes();
+    assert!(
+        name.len() <= u8::MAX as usize,
+        "model name exceeds 255 bytes"
+    );
     let shape = image.shape();
-    let mut out = Vec::with_capacity(6 + 4 * shape.len() + 4 * image.data().len());
+    let mut out = Vec::with_capacity(7 + name.len() + 4 * shape.len() + 4 * image.data().len());
     out.push(OP_INFER);
     out.extend_from_slice(&id.to_le_bytes());
+    out.push(name.len() as u8);
+    out.extend_from_slice(name);
     out.push(shape.len() as u8);
     for &d in shape {
         out.extend_from_slice(&(d as u32).to_le_bytes());
@@ -144,29 +187,42 @@ pub fn encode_infer_request(id: u32, image: &Tensor) -> Vec<u8> {
     out
 }
 
-/// Decodes an INFER request payload into its id and image tensor.
+/// Decodes an INFER request payload into its id, model name (empty =
+/// default model), and image tensor.
 ///
 /// # Errors
 ///
 /// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
-/// payload, element-count overflow, or element-count mismatch.
-pub fn decode_infer_request(payload: &[u8]) -> io::Result<(u32, Tensor)> {
+/// payload, non-UTF-8 model name, element-count overflow, or
+/// element-count mismatch.
+pub fn decode_infer_request(payload: &[u8]) -> io::Result<(u32, String, Tensor)> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if payload.len() < 6 {
+    if payload.len() < 7 {
         return Err(bad("truncated request header"));
     }
     if payload[0] != OP_INFER {
         return Err(bad("unknown opcode"));
     }
     let id = request_id(payload);
-    let rank = payload[5] as usize;
-    let dims_end = 6 + 4 * rank;
+    let name_len = payload[5] as usize;
+    let rank_at = 6 + name_len;
+    if payload.len() < rank_at + 1 {
+        return Err(bad("truncated model name"));
+    }
+    let model = std::str::from_utf8(&payload[6..rank_at])
+        .map_err(|_| bad("non-UTF-8 model name"))?
+        .to_string();
+    let rank = payload[rank_at] as usize;
+    let dims_start = rank_at + 1;
+    let dims_end = dims_start + 4 * rank;
     if payload.len() < dims_end {
         return Err(bad("truncated dims"));
     }
     let mut shape = Vec::with_capacity(rank);
     for i in 0..rank {
-        let b: [u8; 4] = payload[6 + 4 * i..6 + 4 * i + 4].try_into().expect("sized");
+        let b: [u8; 4] = payload[dims_start + 4 * i..dims_start + 4 * i + 4]
+            .try_into()
+            .expect("sized");
         shape.push(u32::from_le_bytes(b) as usize);
     }
     // A hostile header (up to rank 255 of u32 dims) can overflow the
@@ -186,7 +242,7 @@ pub fn decode_infer_request(payload: &[u8]) -> io::Result<(u32, Tensor)> {
         .collect();
     let image =
         Tensor::from_vec(data, &shape).map_err(|e| bad(&format!("bad tensor shape: {e:?}")))?;
-    Ok((id, image))
+    Ok((id, model, image))
 }
 
 /// Encodes a RELOAD request for the artifact at `path`, tagged with `id`.
@@ -223,6 +279,144 @@ pub fn decode_reload_request(payload: &[u8]) -> io::Result<(u32, String)> {
     Ok((id, path))
 }
 
+/// Encodes a LOAD request: register model `name` from the artifact at
+/// `path` and load it, tagged with `id`.
+///
+/// # Panics
+///
+/// Panics if `name` exceeds 255 bytes (the wire field is one byte).
+pub fn encode_load_request(id: u32, name: &str, path: &str) -> Vec<u8> {
+    let name = name.as_bytes();
+    assert!(
+        name.len() <= u8::MAX as usize,
+        "model name exceeds 255 bytes"
+    );
+    let path = path.as_bytes();
+    let mut out = Vec::with_capacity(8 + name.len() + path.len());
+    out.push(OP_LOAD);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(name.len() as u8);
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(path.len() as u16).to_le_bytes());
+    out.extend_from_slice(path);
+    out
+}
+
+/// Decodes a LOAD request payload into its id, model name, and artifact
+/// path.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
+/// payload, or non-UTF-8 name/path.
+pub fn decode_load_request(payload: &[u8]) -> io::Result<(u32, String, String)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if payload.len() < 8 {
+        return Err(bad("truncated LOAD request"));
+    }
+    if payload[0] != OP_LOAD {
+        return Err(bad("unknown opcode"));
+    }
+    let id = request_id(payload);
+    let name_len = payload[5] as usize;
+    let path_len_at = 6 + name_len;
+    if payload.len() < path_len_at + 2 {
+        return Err(bad("truncated model name"));
+    }
+    let name = std::str::from_utf8(&payload[6..path_len_at])
+        .map_err(|_| bad("non-UTF-8 model name"))?
+        .to_string();
+    let path_len = u16::from_le_bytes(
+        payload[path_len_at..path_len_at + 2]
+            .try_into()
+            .expect("sized"),
+    ) as usize;
+    if payload.len() != path_len_at + 2 + path_len {
+        return Err(bad("path length mismatch"));
+    }
+    let path = String::from_utf8(payload[path_len_at + 2..].to_vec())
+        .map_err(|_| bad("non-UTF-8 path"))?;
+    Ok((id, name, path))
+}
+
+/// Encodes an UNLOAD request for model `name`, tagged with `id`.
+///
+/// # Panics
+///
+/// Panics if `name` exceeds 255 bytes (the wire field is one byte).
+pub fn encode_unload_request(id: u32, name: &str) -> Vec<u8> {
+    let name = name.as_bytes();
+    assert!(
+        name.len() <= u8::MAX as usize,
+        "model name exceeds 255 bytes"
+    );
+    let mut out = Vec::with_capacity(6 + name.len());
+    out.push(OP_UNLOAD);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.push(name.len() as u8);
+    out.extend_from_slice(name);
+    out
+}
+
+/// Decodes an UNLOAD request payload into its id and model name.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad opcode, truncated
+/// payload, or non-UTF-8 name.
+pub fn decode_unload_request(payload: &[u8]) -> io::Result<(u32, String)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if payload.len() < 6 {
+        return Err(bad("truncated UNLOAD request"));
+    }
+    if payload[0] != OP_UNLOAD {
+        return Err(bad("unknown opcode"));
+    }
+    let id = request_id(payload);
+    let name_len = payload[5] as usize;
+    if payload.len() != 6 + name_len {
+        return Err(bad("name length mismatch"));
+    }
+    let name = std::str::from_utf8(&payload[6..])
+        .map_err(|_| bad("non-UTF-8 model name"))?
+        .to_string();
+    Ok((id, name))
+}
+
+/// Encodes a LIST request, tagged with `id`.
+pub fn encode_list_request(id: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(OP_LIST);
+    out.extend_from_slice(&id.to_le_bytes());
+    out
+}
+
+/// One model's row in a registry snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelEntry {
+    /// Registry name ("default" for the default model).
+    pub name: String,
+    /// Whether the model is currently resident in memory (an evicted
+    /// model stays registered and lazily reloads on its next request).
+    pub resident: bool,
+    /// Artifact size in bytes (what the LRU budget charges).
+    pub bytes: u64,
+    /// Requests routed to this model since it was registered.
+    pub requests: u64,
+}
+
+/// A point-in-time snapshot of the server's model registry, as carried
+/// by a LIST response.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistrySnapshot {
+    /// Every registered model, resident or not, in name order.
+    pub models: Vec<ModelEntry>,
+    /// Artifact loads performed (cold starts + lazy reloads).
+    pub loads: u64,
+    /// Models evicted to stay under the resident-bytes budget.
+    pub evictions: u64,
+}
+
 /// A decoded inference response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InferResponse {
@@ -237,8 +431,12 @@ pub enum InferResponse {
     Overloaded,
     /// The server is draining for shutdown — the request was not admitted.
     Draining,
-    /// The model was hot-swapped from the requested artifact.
+    /// The model was hot-swapped (RELOAD) or registered and loaded (LOAD).
     Reloaded,
+    /// The named model was dropped from the registry.
+    Unloaded,
+    /// A registry snapshot (answer to LIST).
+    ModelList(RegistrySnapshot),
     /// The backend failed on this request.
     Error(String),
 }
@@ -263,9 +461,76 @@ pub fn encode_ok_response(logits: &[f32]) -> Vec<u8> {
 }
 
 /// Encodes a status-only response body (`OVERLOADED` / `DRAINING` /
-/// `RELOADED`).
+/// `RELOADED` / `UNLOADED`).
 pub fn encode_status_response(status: u8) -> Vec<u8> {
     vec![status]
+}
+
+/// Encodes a LIST response body from a registry snapshot.
+pub fn encode_list_response(snapshot: &RegistrySnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(19 + 19 * snapshot.models.len());
+    out.push(STATUS_LIST);
+    out.extend_from_slice(&(snapshot.models.len() as u16).to_le_bytes());
+    for m in &snapshot.models {
+        let name = m.name.as_bytes();
+        debug_assert!(name.len() <= u8::MAX as usize);
+        out.push(name.len() as u8);
+        out.extend_from_slice(name);
+        out.push(u8::from(m.resident));
+        out.extend_from_slice(&m.bytes.to_le_bytes());
+        out.extend_from_slice(&m.requests.to_le_bytes());
+    }
+    out.extend_from_slice(&snapshot.loads.to_le_bytes());
+    out.extend_from_slice(&snapshot.evictions.to_le_bytes());
+    out
+}
+
+fn decode_list_body(body: &[u8]) -> io::Result<RegistrySnapshot> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if body.len() < 3 {
+        return Err(bad("truncated LIST response"));
+    }
+    let count = u16::from_le_bytes(body[1..3].try_into().expect("sized")) as usize;
+    let mut at = 3;
+    let mut models = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name_len = *body.get(at).ok_or_else(|| bad("truncated LIST entry"))? as usize;
+        let entry_end = at + 1 + name_len + 1 + 8 + 8;
+        if body.len() < entry_end {
+            return Err(bad("truncated LIST entry"));
+        }
+        let name = std::str::from_utf8(&body[at + 1..at + 1 + name_len])
+            .map_err(|_| bad("non-UTF-8 model name"))?
+            .to_string();
+        let resident = body[at + 1 + name_len] != 0;
+        let bytes = u64::from_le_bytes(
+            body[at + 2 + name_len..at + 10 + name_len]
+                .try_into()
+                .expect("sized"),
+        );
+        let requests = u64::from_le_bytes(
+            body[at + 10 + name_len..entry_end]
+                .try_into()
+                .expect("sized"),
+        );
+        models.push(ModelEntry {
+            name,
+            resident,
+            bytes,
+            requests,
+        });
+        at = entry_end;
+    }
+    if body.len() != at + 16 {
+        return Err(bad("LIST footer length mismatch"));
+    }
+    let loads = u64::from_le_bytes(body[at..at + 8].try_into().expect("sized"));
+    let evictions = u64::from_le_bytes(body[at + 8..at + 16].try_into().expect("sized"));
+    Ok(RegistrySnapshot {
+        models,
+        loads,
+        evictions,
+    })
 }
 
 /// Encodes an ERROR response body with a message.
@@ -319,6 +584,8 @@ pub fn decode_response(payload: &[u8]) -> io::Result<(u32, InferResponse)> {
         STATUS_OVERLOADED => InferResponse::Overloaded,
         STATUS_DRAINING => InferResponse::Draining,
         STATUS_RELOADED => InferResponse::Reloaded,
+        STATUS_UNLOADED => InferResponse::Unloaded,
+        STATUS_LIST => InferResponse::ModelList(decode_list_body(body)?),
         STATUS_ERROR => {
             if body.len() < 5 {
                 return Err(bad("truncated ERROR response"));
@@ -346,14 +613,92 @@ mod tests {
         )
         .unwrap();
         let enc = encode_infer_request(0xdead_beef, &t);
-        let (id, dec) = decode_infer_request(&enc).unwrap();
+        let (id, model, dec) = decode_infer_request(&enc).unwrap();
         assert_eq!(id, 0xdead_beef);
         assert_eq!(request_id(&enc), 0xdead_beef);
+        assert_eq!(model, "", "default-model requests carry an empty name");
         assert_eq!(dec.shape(), t.shape());
         // Bit-level comparison: -0.0 and subnormals must survive.
         let a: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
         let b: Vec<u32> = dec.data().iter().map(|v| v.to_bits()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn named_model_request_roundtrips() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let enc = encode_infer_request_for(7, "tenant-a/vits-w4a8", &t);
+        let (id, model, dec) = decode_infer_request(&enc).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(model, "tenant-a/vits-w4a8");
+        assert_eq!(dec.data(), t.data());
+        // A truncated name is rejected structurally.
+        let mut short = encode_infer_request_for(7, "model", &t);
+        short.truncate(8);
+        assert!(decode_infer_request(&short).is_err());
+        // Non-UTF-8 name bytes are rejected.
+        let mut bad = encode_infer_request_for(7, "ab", &t);
+        bad[6] = 0xff;
+        bad[7] = 0xfe;
+        assert!(decode_infer_request(&bad).is_err());
+    }
+
+    #[test]
+    fn load_unload_list_requests_roundtrip_and_reject_malformed() {
+        let enc = encode_load_request(11, "b", "/tmp/b.quqm");
+        assert_eq!(
+            decode_load_request(&enc).unwrap(),
+            (11, "b".to_string(), "/tmp/b.quqm".to_string())
+        );
+        assert!(decode_load_request(&[]).is_err());
+        let mut short = encode_load_request(11, "b", "/tmp/b.quqm");
+        short.pop();
+        assert!(decode_load_request(&short).is_err());
+
+        let enc = encode_unload_request(12, "b");
+        assert_eq!(decode_unload_request(&enc).unwrap(), (12, "b".to_string()));
+        let mut extra = encode_unload_request(12, "b");
+        extra.push(0);
+        assert!(decode_unload_request(&extra).is_err());
+
+        assert_eq!(encode_list_request(13), vec![OP_LIST, 13, 0, 0, 0]);
+        assert_eq!(request_id(&encode_list_request(13)), 13);
+    }
+
+    #[test]
+    fn list_response_roundtrips() {
+        let snap = RegistrySnapshot {
+            models: vec![
+                ModelEntry {
+                    name: "default".into(),
+                    resident: true,
+                    bytes: 123_456,
+                    requests: 42,
+                },
+                ModelEntry {
+                    name: "tenant-b".into(),
+                    resident: false,
+                    bytes: u64::MAX,
+                    requests: 0,
+                },
+            ],
+            loads: 3,
+            evictions: 1,
+        };
+        match decode_response(&tag_response(5, &encode_list_response(&snap))).unwrap() {
+            (5, InferResponse::ModelList(got)) => assert_eq!(got, snap),
+            other => panic!("{other:?}"),
+        }
+        // Empty registry is representable.
+        let empty = RegistrySnapshot::default();
+        match decode_response(&tag_response(6, &encode_list_response(&empty))).unwrap() {
+            (6, InferResponse::ModelList(got)) => assert_eq!(got, empty),
+            other => panic!("{other:?}"),
+        }
+        // Truncated LIST bodies are rejected, not mis-read.
+        let mut body = encode_list_response(&snap);
+        body.pop();
+        assert!(decode_response(&tag_response(5, &body)).is_err());
     }
 
     #[test]
@@ -370,6 +715,7 @@ mod tests {
             (STATUS_OVERLOADED, InferResponse::Overloaded),
             (STATUS_DRAINING, InferResponse::Draining),
             (STATUS_RELOADED, InferResponse::Reloaded),
+            (STATUS_UNLOADED, InferResponse::Unloaded),
         ] {
             assert_eq!(
                 decode_response(&tag_response(7, &encode_status_response(status))).unwrap(),
@@ -430,8 +776,9 @@ mod tests {
     fn hostile_rank_255_dims_cannot_overflow_the_element_product() {
         // rank 255, every dim u32::MAX: the unchecked product wraps in
         // release builds (and panics in debug); the decoder must reject it
-        // as structured InvalidData either way.
-        let mut payload = vec![OP_INFER, 1, 0, 0, 0, 255];
+        // as structured InvalidData either way. Byte 5 is the (empty)
+        // model name, byte 6 the rank.
+        let mut payload = vec![OP_INFER, 1, 0, 0, 0, 0, 255];
         for _ in 0..255 {
             payload.extend_from_slice(&u32::MAX.to_le_bytes());
         }
@@ -441,9 +788,14 @@ mod tests {
 
         // A colossal-but-non-overflowing product is also rejected (it can
         // never fit in a legal frame), not used to size an allocation.
-        let mut payload = vec![OP_INFER, 1, 0, 0, 0, 2];
+        let mut payload = vec![OP_INFER, 1, 0, 0, 0, 0, 2];
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         payload.extend_from_slice(&2u32.to_le_bytes());
+        assert!(decode_infer_request(&payload).is_err());
+
+        // A hostile name_len pointing past the payload is a structured
+        // error too.
+        let payload = vec![OP_INFER, 1, 0, 0, 0, 255, 1];
         assert!(decode_infer_request(&payload).is_err());
     }
 }

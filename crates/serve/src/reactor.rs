@@ -25,12 +25,22 @@
 //! ```
 //!
 //! Requests are tagged with a per-request id
-//! ([`crate::protocol::PROTOCOL_VERSION`] 2), so one connection may keep
+//! ([`crate::protocol::PROTOCOL_VERSION`] 3), so one connection may keep
 //! many requests in flight and receive responses out of order — whichever
 //! micro-batch finishes first replies first. Decoded requests enter the
 //! same bounded [`BatchQueue`](crate::batcher::BatchQueue) as before:
 //! admission control (shed with `OVERLOADED`), micro-batching, drain on
-//! shutdown, and the `RELOAD` admin path are unchanged.
+//! shutdown, and the `RELOAD`/`LOAD`/`UNLOAD`/`LIST` admin paths.
+//!
+//! ## Write-backlog backpressure
+//!
+//! Responses queue on a per-connection [`WriteBuf`]; a pipelining client
+//! that never reads its responses would grow that buffer without bound.
+//! Once a connection's backlog crosses
+//! [`ServeConfig::write_high_water`](crate::ServeConfig::write_high_water)
+//! the reactor drops the connection's read interest (and stops decoding
+//! buffered frames) until the backlog drains below half the mark; frames
+//! that finished decoding while paused are dispatched on unpause.
 //!
 //! Workers never touch sockets: they return id-free response bodies
 //! through a completion channel; the reactor tags each body with its
@@ -52,11 +62,17 @@ use crate::batcher::PushError;
 use crate::framing::{FrameDecoder, WriteBuf};
 use crate::poller::{Event, Interest, Poller, Waker};
 use crate::protocol::{
-    decode_infer_request, decode_reload_request, encode_error_response, encode_status_response,
-    request_id, tag_response, OP_INFER, OP_RELOAD, STATUS_DRAINING, STATUS_OVERLOADED,
-    STATUS_RELOADED,
+    decode_infer_request, decode_load_request, decode_reload_request, decode_unload_request,
+    encode_error_response, encode_list_response, encode_status_response, request_id, tag_response,
+    OP_INFER, OP_LIST, OP_LOAD, OP_RELOAD, OP_UNLOAD, STATUS_DRAINING, STATUS_OVERLOADED,
+    STATUS_RELOADED, STATUS_UNLOADED,
 };
-use crate::server::{artifact_state, Job, Reply, Shared};
+use crate::registry::{resolve_name, Admit};
+use crate::server::{Job, Reply, Shared};
+
+/// Metrics site for admin operations (RELOAD/LOAD), which run on a
+/// side thread rather than a backend worker.
+const ADMIN_SITE: &str = "admin";
 
 /// Poller token of the (reactor-0-owned) listener.
 const TOKEN_LISTENER: u64 = 0;
@@ -121,6 +137,11 @@ struct Conn {
     peer_closed: bool,
     /// Protocol-fatal or draining: flush `out`, then close.
     close_after_flush: bool,
+    /// Reads are paused: `out` crossed the write-backlog high-water mark
+    /// (a pipelining client that never reads its responses). Cleared — and
+    /// already-decoded frames dispatched — once the backlog drains below
+    /// the low-water mark.
+    paused: bool,
 }
 
 impl Conn {
@@ -133,6 +154,7 @@ impl Conn {
             inflight: 0,
             peer_closed: false,
             close_after_flush: false,
+            paused: false,
         }
     }
 }
@@ -349,52 +371,40 @@ impl Reactor {
     /// the frame decoder, dispatching every complete frame. (Flushing and
     /// closing happen in [`Reactor::sweep`] once the tick's work is in.)
     fn conn_event(&mut self, token: u64, ev: &Event) {
-        let shared = Arc::clone(&self.shared);
-        let comp = self.comp_tx.clone();
         let mut fatal = false;
         if ev.readable {
-            'reads: for _ in 0..MAX_READS_PER_TICK {
-                let Some(conn) = self.conns.get_mut(&token) else {
-                    return; // already closed this tick
-                };
-                if conn.close_after_flush || conn.peer_closed {
-                    break;
-                }
-                match conn.decoder.read_from(&mut conn.stream) {
-                    Ok(n) => {
-                        if n == 0 {
-                            conn.peer_closed = true;
-                        }
-                        // Dispatch every frame the new bytes completed —
-                        // including frames that were fully buffered when
-                        // the peer half-closed (a pipelining client may
-                        // send its burst and immediately shut write).
-                        loop {
-                            if conn.close_after_flush {
-                                break;
+            for _ in 0..MAX_READS_PER_TICK {
+                let n = {
+                    let Some(conn) = self.conns.get_mut(&token) else {
+                        return; // already closed this tick
+                    };
+                    if conn.close_after_flush || conn.peer_closed || conn.paused {
+                        break;
+                    }
+                    match conn.decoder.read_from(&mut conn.stream) {
+                        Ok(n) => {
+                            if n == 0 {
+                                conn.peer_closed = true;
                             }
-                            match conn.decoder.next_frame() {
-                                Ok(Some(frame)) => {
-                                    handle_frame(&shared, &comp, token, conn, &frame);
-                                }
-                                Ok(None) => break,
-                                Err(_) => {
-                                    // Hostile length prefix: the stream
-                                    // is unrecoverable.
-                                    fatal = true;
-                                    break 'reads;
-                                }
-                            }
+                            n
                         }
-                        if n == 0 {
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => {
+                            fatal = true;
                             break;
                         }
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(_) => {
-                        fatal = true;
-                        break;
-                    }
+                };
+                // Dispatch every frame the new bytes completed — including
+                // frames that were fully buffered when the peer half-closed
+                // (a pipelining client may send its burst and immediately
+                // shut write).
+                if self.drain_decoded(token) {
+                    fatal = true;
+                    break;
+                }
+                if n == 0 {
+                    break;
                 }
             }
         }
@@ -409,6 +419,44 @@ impl Reactor {
         }
     }
 
+    /// Dispatches every frame already sitting decoded in `token`'s
+    /// [`FrameDecoder`], pausing (and leaving the rest buffered) if the
+    /// connection's write backlog crosses the high-water mark. Called
+    /// from the read path *and* on unpause — frames buffered while paused
+    /// would otherwise never be dispatched, since no further socket
+    /// readability event fires for bytes that were already read.
+    ///
+    /// Returns `true` on a fatal framing error (hostile length prefix).
+    fn drain_decoded(&mut self, token: u64) -> bool {
+        let shared = Arc::clone(&self.shared);
+        let comp = self.comp_tx.clone();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        loop {
+            if conn.close_after_flush {
+                return false;
+            }
+            if conn.out.len() >= shared.write_high_water {
+                if !conn.paused {
+                    conn.paused = true;
+                    shared.write_pauses.fetch_add(1, Ordering::Relaxed);
+                    quq_obs::add("serve.write_pauses", 1);
+                }
+                return false;
+            }
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    handle_frame(&shared, &comp, token, conn, &frame);
+                    shared.note_backlog(conn.out.len());
+                }
+                Ok(None) => return false,
+                // Hostile length prefix: the stream is unrecoverable.
+                Err(_) => return true,
+            }
+        }
+    }
+
     /// Delivers one worker completion to its connection.
     fn complete(&mut self, c: Completion) {
         quq_obs::record_at(
@@ -419,6 +467,7 @@ impl Reactor {
         if let Some(conn) = self.conns.get_mut(&c.token) {
             conn.inflight = conn.inflight.saturating_sub(1);
             conn.out.enqueue_frame(&tag_response(c.id, &c.body));
+            self.shared.note_backlog(conn.out.len());
         }
         // A vanished connection simply discards the reply — the client is
         // gone; the work was already done.
@@ -436,6 +485,29 @@ impl Reactor {
             self.close(token);
             return;
         }
+        // Backlog hysteresis. Pause reads when completions alone pushed
+        // the backlog over the high-water mark; unpause once the flush
+        // drained it to the low-water mark (half of high). On unpause,
+        // frames that finished decoding while paused must be dispatched
+        // here — no readability event will ever re-announce them.
+        let high = self.shared.write_high_water;
+        let mut resumed = false;
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.paused {
+                if conn.out.len() <= high / 2 {
+                    conn.paused = false;
+                    resumed = true;
+                }
+            } else if conn.out.len() >= high {
+                conn.paused = true;
+                self.shared.write_pauses.fetch_add(1, Ordering::Relaxed);
+                quq_obs::add("serve.write_pauses", 1);
+            }
+        }
+        if resumed && self.drain_decoded(token) {
+            self.close(token);
+            return;
+        }
         let mut done = false;
         let mut modify: Option<(std::os::fd::RawFd, Interest)> = None;
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -446,7 +518,7 @@ impl Reactor {
                 done = true;
             } else {
                 let want = Interest {
-                    readable: !conn.close_after_flush && !conn.peer_closed,
+                    readable: !conn.close_after_flush && !conn.peer_closed && !conn.paused,
                     writable: !done_writing,
                 };
                 if want != conn.interest {
@@ -472,8 +544,10 @@ impl Reactor {
 }
 
 /// Dispatches one decoded frame on `conn`: admission for INFER, a
-/// side-thread for RELOAD, structured errors for everything else. All
-/// replies are id-tagged; failure to decode an id tags with 0.
+/// side-thread for RELOAD/LOAD (artifact loads must never stall the
+/// reactor), inline answers for UNLOAD/LIST, structured errors for
+/// everything else. All replies are id-tagged; failure to decode an id
+/// tags with 0.
 fn handle_frame(
     shared: &Arc<Shared>,
     comp: &CompletionSender,
@@ -484,9 +558,7 @@ fn handle_frame(
     match frame.first() {
         Some(&OP_INFER) => {
             let t0 = Instant::now();
-            let state = shared.state();
-            let site = state.provider.name();
-            let (id, image) = match decode_infer_request(frame) {
+            let (id, model, image) = match decode_infer_request(frame) {
                 Ok(p) => p,
                 Err(e) => {
                     let body = encode_error_response(&e.to_string());
@@ -495,17 +567,33 @@ fn handle_frame(
                     return;
                 }
             };
-            // Validate the shape up front so one malformed request can
-            // never fail a whole batch inside the worker.
-            let cfg = state.model.config();
-            let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
-            if image.shape() != want {
-                let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
-                conn.out
-                    .enqueue_frame(&tag_response(id, &encode_error_response(&msg)));
-                return;
-            }
+            let name = resolve_name(&model);
+            let site: &'static str = match shared.registry.admit(name) {
+                Admit::Unknown => {
+                    let msg = format!("unknown model {name:?}");
+                    conn.out
+                        .enqueue_frame(&tag_response(id, &encode_error_response(&msg)));
+                    return;
+                }
+                Admit::Resident(state) => {
+                    // Validate the shape up front so one malformed request
+                    // can never fail a whole batch inside the worker.
+                    let cfg = state.model.config();
+                    let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
+                    if image.shape() != want {
+                        let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
+                        conn.out
+                            .enqueue_frame(&tag_response(id, &encode_error_response(&msg)));
+                        return;
+                    }
+                    state.provider.name()
+                }
+                // Evicted model: a worker lazily reloads it and validates
+                // the shape there.
+                Admit::Cold => "cold-start",
+            };
             let job = Job {
+                model: name.to_string(),
                 image,
                 reply: Reply::reactor(comp.clone(), token, id, t0, site),
             };
@@ -551,14 +639,11 @@ fn handle_frame(
             conn.inflight += 1;
             let shared = Arc::clone(shared);
             let comp = comp.clone();
-            let site = shared.state().provider.name();
             std::thread::Builder::new()
                 .name("quq-serve-reload".into())
                 .spawn(move || {
-                    let backend = shared.state().provider.name();
-                    let body = match artifact_state(Path::new(&path), backend) {
-                        Ok(next) => {
-                            shared.swap_state(Arc::new(next));
+                    let body = match shared.registry.reload_default(Path::new(&path)) {
+                        Ok(()) => {
                             quq_obs::add("serve.reloads", 1);
                             encode_status_response(STATUS_RELOADED)
                         }
@@ -572,10 +657,70 @@ fn handle_frame(
                         id,
                         body,
                         t0,
-                        site,
+                        site: ADMIN_SITE,
                     });
                 })
                 .expect("spawn reload thread");
+        }
+        Some(&OP_LOAD) => {
+            let t0 = Instant::now();
+            let (id, name, path) = match decode_load_request(frame) {
+                Ok(p) => p,
+                Err(e) => {
+                    let body = encode_error_response(&e.to_string());
+                    conn.out
+                        .enqueue_frame(&tag_response(request_id(frame), &body));
+                    return;
+                }
+            };
+            // Same shape as RELOAD: the artifact load runs on a one-off
+            // thread and answers through the completion path.
+            conn.inflight += 1;
+            let shared = Arc::clone(shared);
+            let comp = comp.clone();
+            std::thread::Builder::new()
+                .name("quq-serve-load".into())
+                .spawn(move || {
+                    let backend = shared.registry.default_backend();
+                    let body =
+                        match shared
+                            .registry
+                            .load(resolve_name(&name), Path::new(&path), &backend)
+                        {
+                            Ok(()) => encode_status_response(STATUS_RELOADED),
+                            Err(msg) => encode_error_response(&msg),
+                        };
+                    comp.send(Completion {
+                        token,
+                        id,
+                        body,
+                        t0,
+                        site: ADMIN_SITE,
+                    });
+                })
+                .expect("spawn load thread");
+        }
+        Some(&OP_UNLOAD) => {
+            let (id, name) = match decode_unload_request(frame) {
+                Ok(p) => p,
+                Err(e) => {
+                    let body = encode_error_response(&e.to_string());
+                    conn.out
+                        .enqueue_frame(&tag_response(request_id(frame), &body));
+                    return;
+                }
+            };
+            let body = if shared.registry.unload(resolve_name(&name)) {
+                encode_status_response(STATUS_UNLOADED)
+            } else {
+                encode_error_response(&format!("unknown model {name:?}"))
+            };
+            conn.out.enqueue_frame(&tag_response(id, &body));
+        }
+        Some(&OP_LIST) => {
+            let body = encode_list_response(&shared.registry.snapshot());
+            conn.out
+                .enqueue_frame(&tag_response(request_id(frame), &body));
         }
         _ => {
             conn.out.enqueue_frame(&tag_response(

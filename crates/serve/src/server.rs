@@ -42,12 +42,13 @@
 //! its response flushed — then joins workers and front-end threads.
 //! Requests arriving after the drain begins get a `DRAINING` reply.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -60,11 +61,14 @@ use quq_vit::{Backend, Fp32Backend, Observed, VitModel};
 
 use crate::batcher::{BatchQueue, PushError};
 use crate::protocol::{
-    decode_infer_request, decode_reload_request, encode_error_response, encode_ok_response,
-    encode_status_response, read_frame, request_id, tag_response, write_frame, OP_INFER, OP_RELOAD,
-    STATUS_DRAINING, STATUS_OVERLOADED, STATUS_RELOADED,
+    decode_infer_request, decode_load_request, decode_reload_request, decode_unload_request,
+    encode_error_response, encode_list_response, encode_ok_response, encode_status_response,
+    read_frame, request_id, tag_response, write_frame, RegistrySnapshot, OP_INFER, OP_LIST,
+    OP_LOAD, OP_RELOAD, OP_UNLOAD, STATUS_DRAINING, STATUS_OVERLOADED, STATUS_RELOADED,
+    STATUS_UNLOADED,
 };
 use crate::reactor::{Completion, CompletionSender, Reactor, ReactorHandle};
+use crate::registry::{resolve_name, Admit, Registry, DEFAULT_MODEL};
 
 /// Builds an inference backend for a worker, once per batch.
 ///
@@ -165,6 +169,17 @@ pub struct ServeConfig {
     /// Reactor threads for [`Frontend::EventLoop`] (connections are dealt
     /// round-robin across them). Ignored by [`Frontend::ThreadPerConn`].
     pub reactors: usize,
+    /// Resident-bytes budget for the model registry: least-recently-used
+    /// models are evicted (and lazily reloaded from their artifacts on
+    /// the next request) once resident artifact bytes exceed it.
+    /// 0 = unbounded.
+    pub max_resident_bytes: u64,
+    /// Per-connection write-backlog high-water mark in bytes: once a
+    /// connection's pending responses exceed it, the reactor stops
+    /// reading from that connection until the backlog drains below half
+    /// this value. Bounds server memory against pipelined clients that
+    /// never read their responses.
+    pub write_high_water: usize,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +191,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             frontend: Frontend::EventLoop,
             reactors: 1,
+            max_resident_bytes: 0,
+            write_high_water: 1 << 20,
         }
     }
 }
@@ -268,9 +285,10 @@ impl Drop for Reply {
     }
 }
 
-/// One admitted request: the decoded image and the route its response
-/// body travels back on.
+/// One admitted request: the decoded image, the registry name of the
+/// model it targets, and the route its response body travels back on.
 pub(crate) struct Job {
+    pub(crate) model: String,
     pub(crate) image: Tensor,
     pub(crate) reply: Reply,
 }
@@ -327,26 +345,24 @@ pub fn artifact_state(path: &Path, backend: &str) -> Result<ModelState, StoreErr
 }
 
 pub(crate) struct Shared {
-    pub(crate) state: RwLock<Arc<ModelState>>,
+    pub(crate) registry: Registry,
     pub(crate) queue: BatchQueue<Job>,
     pub(crate) shutdown: AtomicBool,
     /// Set after workers have drained and joined: reactors flush whatever
     /// replies remain, then exit.
     pub(crate) finalize: AtomicBool,
+    /// Per-connection write-backlog pause threshold (see
+    /// [`ServeConfig::write_high_water`]).
+    pub(crate) write_high_water: usize,
+    /// Times any connection's reads were paused at the high-water mark.
+    pub(crate) write_pauses: AtomicU64,
+    /// Largest write backlog any connection ever held, in bytes.
+    pub(crate) write_peak: AtomicU64,
 }
 
 impl Shared {
-    /// Snapshots the current model state. Callers hold the snapshot for
-    /// the duration of one request or one batch, so in-flight work always
-    /// finishes on the model it started with.
-    pub(crate) fn state(&self) -> Arc<ModelState> {
-        Arc::clone(&self.state.read().unwrap_or_else(PoisonError::into_inner))
-    }
-
-    /// Atomically replaces the served model. In-flight batches keep their
-    /// snapshot; the next batch (and the next request) sees `new`.
-    pub(crate) fn swap_state(&self, new: Arc<ModelState>) {
-        *self.state.write().unwrap_or_else(PoisonError::into_inner) = new;
+    pub(crate) fn note_backlog(&self, len: usize) {
+        self.write_peak.fetch_max(len as u64, Ordering::Relaxed);
     }
 }
 
@@ -393,11 +409,16 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
+        let registry = Registry::new(config.max_resident_bytes);
+        registry.register_state(DEFAULT_MODEL, state, None);
         let shared = Arc::new(Shared {
-            state: RwLock::new(state),
+            registry,
             queue: BatchQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
             finalize: AtomicBool::new(false),
+            write_high_water: config.write_high_water.max(1),
+            write_pauses: AtomicU64::new(0),
+            write_peak: AtomicU64::new(0),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -469,6 +490,50 @@ impl Server {
     /// Current admission-queue depth.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Registers and loads model `name` from the QUQM artifact at `path`,
+    /// using the default model's backend family. The in-process
+    /// counterpart of the wire LOAD request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the load error message if the artifact cannot be opened or
+    /// restored.
+    pub fn load_model(&self, name: &str, path: &Path) -> Result<(), String> {
+        let backend = self.shared.registry.default_backend();
+        self.shared
+            .registry
+            .load(resolve_name(name), path, &backend)
+    }
+
+    /// Drops model `name` from the registry. Returns `false` if no such
+    /// model was registered.
+    pub fn unload_model(&self, name: &str) -> bool {
+        self.shared.registry.unload(resolve_name(name))
+    }
+
+    /// Attaches an artifact source to the default model, making it
+    /// evictable and lazily reloadable like any LOAD-ed model. Use after
+    /// [`Server::start_with_state`] when the state came from an artifact.
+    pub fn set_default_source(&self, path: &Path) {
+        self.shared.registry.set_source(DEFAULT_MODEL, path);
+    }
+
+    /// Point-in-time snapshot of the model registry.
+    pub fn registry_snapshot(&self) -> RegistrySnapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// Times any connection's reads were paused at the write-backlog
+    /// high-water mark (event-loop front end).
+    pub fn write_pauses(&self) -> u64 {
+        self.shared.write_pauses.load(Ordering::Relaxed)
+    }
+
+    /// Largest per-connection write backlog observed, in bytes.
+    pub fn write_backlog_peak(&self) -> u64 {
+        self.shared.write_peak.load(Ordering::Relaxed)
     }
 
     /// Handler threads currently tracked by the legacy thread-per-conn
@@ -596,6 +661,12 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
     match payload.first() {
         Some(&OP_INFER) => handle_infer(stream, shared, payload),
         Some(&OP_RELOAD) => handle_reload(stream, shared, payload),
+        Some(&OP_LOAD) => handle_load(stream, shared, payload),
+        Some(&OP_UNLOAD) => handle_unload(stream, shared, payload),
+        Some(&OP_LIST) => {
+            let body = encode_list_response(&shared.registry.snapshot());
+            write_frame(stream, &tag_response(request_id(payload), &body)).is_ok()
+        }
         _ => {
             let body = encode_error_response("unknown opcode");
             write_frame(stream, &tag_response(request_id(payload), &body)).is_ok()
@@ -603,7 +674,7 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
     }
 }
 
-/// Admin path: swap the served model for one restored from an artifact.
+/// Admin path: swap the default model for one restored from an artifact.
 fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
     let (id, path) = match decode_reload_request(payload) {
         Ok(p) => p,
@@ -612,13 +683,12 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
             return write_frame(stream, &tag_response(request_id(payload), &body)).is_ok();
         }
     };
-    let backend = shared.state().provider.name();
-    // The artifact is opened, verified, and fully loaded *outside* the
-    // state lock: inference keeps flowing on the old model the whole time,
-    // and a corrupt artifact is rejected without touching the served state.
-    match artifact_state(Path::new(&path), backend) {
-        Ok(next) => {
-            shared.swap_state(Arc::new(next));
+    // The artifact is opened, verified, and fully loaded before the
+    // registry entry is touched: inference keeps flowing on the old model
+    // the whole time, and a corrupt artifact is rejected without touching
+    // the served state.
+    match shared.registry.reload_default(Path::new(&path)) {
+        Ok(()) => {
             quq_obs::add("serve.reloads", 1);
             let body = encode_status_response(STATUS_RELOADED);
             write_frame(stream, &tag_response(id, &body)).is_ok()
@@ -631,28 +701,78 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
     }
 }
 
-fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
-    let t0 = Instant::now();
-    let state = shared.state();
-    let site = || SiteKey::global(state.provider.name());
-    let (id, image) = match decode_infer_request(payload) {
+/// Admin path: register and load a named model from an artifact.
+fn handle_load(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let (id, name, path) = match decode_load_request(payload) {
         Ok(p) => p,
         Err(e) => {
             let body = encode_error_response(&e.to_string());
             return write_frame(stream, &tag_response(request_id(payload), &body)).is_ok();
         }
     };
-    // Validate the shape up front so one malformed request can never fail
-    // a whole batch inside the worker.
-    let cfg = state.model.config();
-    let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
-    if image.shape() != want {
-        let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
-        return write_frame(stream, &tag_response(id, &encode_error_response(&msg))).is_ok();
-    }
+    let backend = shared.registry.default_backend();
+    let body = match shared
+        .registry
+        .load(resolve_name(&name), Path::new(&path), &backend)
+    {
+        Ok(()) => encode_status_response(STATUS_RELOADED),
+        Err(msg) => encode_error_response(&msg),
+    };
+    write_frame(stream, &tag_response(id, &body)).is_ok()
+}
+
+/// Admin path: drop a named model from the registry.
+fn handle_unload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let (id, name) = match decode_unload_request(payload) {
+        Ok(p) => p,
+        Err(e) => {
+            let body = encode_error_response(&e.to_string());
+            return write_frame(stream, &tag_response(request_id(payload), &body)).is_ok();
+        }
+    };
+    let body = if shared.registry.unload(resolve_name(&name)) {
+        encode_status_response(STATUS_UNLOADED)
+    } else {
+        encode_error_response(&format!("unknown model {name:?}"))
+    };
+    write_frame(stream, &tag_response(id, &body)).is_ok()
+}
+
+fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
+    let t0 = Instant::now();
+    let (id, model, image) = match decode_infer_request(payload) {
+        Ok(p) => p,
+        Err(e) => {
+            let body = encode_error_response(&e.to_string());
+            return write_frame(stream, &tag_response(request_id(payload), &body)).is_ok();
+        }
+    };
+    let name = resolve_name(&model).to_string();
+    let site_name: String = match shared.registry.admit(&name) {
+        Admit::Unknown => {
+            let msg = format!("unknown model {name:?}");
+            return write_frame(stream, &tag_response(id, &encode_error_response(&msg))).is_ok();
+        }
+        Admit::Resident(state) => {
+            // Validate the shape up front so one malformed request can
+            // never fail a whole batch inside the worker.
+            let cfg = state.model.config();
+            let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
+            if image.shape() != want {
+                let msg = format!("expected image shape {want:?}, got {:?}", image.shape());
+                return write_frame(stream, &tag_response(id, &encode_error_response(&msg)))
+                    .is_ok();
+            }
+            state.provider.name().to_string()
+        }
+        // Evicted model: a worker lazily reloads it and validates there.
+        Admit::Cold => "cold-start".to_string(),
+    };
+    let site = || SiteKey::global(site_name.clone());
 
     let (tx, rx) = mpsc::channel();
     match shared.queue.push(Job {
+        model: name,
         image,
         reply: Reply::blocking(tx),
     }) {
@@ -687,40 +807,77 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
 fn worker_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
     while let Some(batch) = shared.queue.next_batch(cfg.max_batch, cfg.max_wait) {
         debug_assert!(!batch.is_empty(), "next_batch never yields empty batches");
-        // One state snapshot per batch: a concurrent RELOAD swaps the
-        // shared Arc, but this batch still runs start-to-finish on the
-        // model its requests were admitted under.
-        let state = shared.state();
-        let site = || SiteKey::global(state.provider.name());
-        quq_obs::record_at("serve.batch_size", site, batch.len() as u64);
-        let images: Vec<Tensor> = batch.iter().map(|j| j.image.clone()).collect();
-        // The closure can run more than once in principle (it can't move
-        // the jobs out), so the forward result is parked here and the
-        // replies — which consume their Reply — are sent afterwards.
-        let mut result: Option<Result<Vec<Tensor>, String>> = None;
-        state.provider.with_backend(&mut |be| {
-            let mut be: &mut dyn Backend = be;
-            result = Some(
-                state
-                    .model
-                    .forward_batch(&images, &mut be)
-                    .map_err(|e| format!("backend error: {e:?}")),
-            );
-        });
-        match result {
-            Some(Ok(logits)) => {
-                for (job, l) in batch.into_iter().zip(&logits) {
-                    job.reply.send(encode_ok_response(l.data()));
-                }
-            }
-            Some(Err(msg)) => {
-                for job in batch {
-                    job.reply.send(encode_error_response(&msg));
-                }
-            }
-            // Provider never ran the work: dropping the jobs delivers
-            // "worker dropped the request" errors via Reply::drop.
-            None => drop(batch),
+        // Group by model: one forward_batch per model keeps the
+        // bit-identity guarantee while letting one queue serve N models.
+        let mut groups: BTreeMap<String, Vec<Job>> = BTreeMap::new();
+        for job in batch {
+            groups.entry(job.model.clone()).or_default().push(job);
         }
+        for (name, jobs) in groups {
+            run_group(shared, &name, jobs);
+        }
+    }
+}
+
+/// Runs one model's slice of a batch: resolves the model (lazily
+/// reloading it from its artifact if it was evicted), validates each
+/// image's shape, and executes one `forward_batch` over the valid jobs.
+fn run_group(shared: &Arc<Shared>, name: &str, jobs: Vec<Job>) {
+    // Registry::get blocks only this group on a cold model; requests for
+    // resident models keep flowing through the other workers.
+    let state = match shared.registry.get(name) {
+        Ok(state) => state,
+        Err(msg) => {
+            let msg = format!("model {name:?} unavailable: {msg}");
+            for job in jobs {
+                job.reply.send(encode_error_response(&msg));
+            }
+            return;
+        }
+    };
+    // Cold-admitted jobs skipped the front end's shape check (the model
+    // wasn't resident to check against), so every job is validated here —
+    // one malformed request must never fail the whole group.
+    let cfg = state.model.config();
+    let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
+    let (valid, invalid): (Vec<Job>, Vec<Job>) =
+        jobs.into_iter().partition(|j| j.image.shape() == want);
+    for job in invalid {
+        let msg = format!("expected image shape {want:?}, got {:?}", job.image.shape());
+        job.reply.send(encode_error_response(&msg));
+    }
+    if valid.is_empty() {
+        return;
+    }
+    let site = || SiteKey::global(state.provider.name());
+    quq_obs::record_at("serve.batch_size", site, valid.len() as u64);
+    let images: Vec<Tensor> = valid.iter().map(|j| j.image.clone()).collect();
+    // The closure can run more than once in principle (it can't move
+    // the jobs out), so the forward result is parked here and the
+    // replies — which consume their Reply — are sent afterwards.
+    let mut result: Option<Result<Vec<Tensor>, String>> = None;
+    state.provider.with_backend(&mut |be| {
+        let mut be: &mut dyn Backend = be;
+        result = Some(
+            state
+                .model
+                .forward_batch(&images, &mut be)
+                .map_err(|e| format!("backend error: {e:?}")),
+        );
+    });
+    match result {
+        Some(Ok(logits)) => {
+            for (job, l) in valid.into_iter().zip(&logits) {
+                job.reply.send(encode_ok_response(l.data()));
+            }
+        }
+        Some(Err(msg)) => {
+            for job in valid {
+                job.reply.send(encode_error_response(&msg));
+            }
+        }
+        // Provider never ran the work: dropping the jobs delivers
+        // "worker dropped the request" errors via Reply::drop.
+        None => drop(valid),
     }
 }

@@ -47,6 +47,9 @@ struct Rlimit {
     rlim_max: u64,
 }
 
+const SOL_SOCKET: i32 = 1;
+const SO_RCVBUF: i32 = 8;
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -56,6 +59,7 @@ extern "C" {
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
 }
 
 fn cvt(ret: i32) -> io::Result<i32> {
@@ -159,6 +163,16 @@ pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
     };
     cvt(unsafe { setrlimit(RLIMIT_NOFILE, &new) })?;
     Ok(target)
+}
+
+/// Shrinks a socket's kernel receive buffer (`SO_RCVBUF`) to roughly
+/// `bytes` (the kernel clamps and doubles the value). Used by tests that
+/// need a peer's unread responses to back up into the *server* quickly
+/// instead of vanishing into generous default socket buffers.
+pub fn set_recv_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    let val = bytes.to_ne_bytes();
+    cvt(unsafe { setsockopt(fd, SOL_SOCKET, SO_RCVBUF, val.as_ptr(), val.len() as u32) })?;
+    Ok(())
 }
 
 /// Resident-set size of the current process in kibibytes, from

@@ -781,3 +781,316 @@ fn connections_after_shutdown_are_refused() {
         assert!(c.infer(&img).is_err(), "shut-down server must not serve");
     }
 }
+
+#[test]
+fn load_unload_list_admin_ops_over_the_wire() {
+    let (model_a, tables_a, path_a) = saved_artifact(42, "admin-a");
+    let (model_b, tables_b, path_b) = saved_artifact(77, "admin-b");
+    let img = images(&model_a, 1, 13).remove(0);
+    let logits_a = {
+        let mut be = quq_accel::IntegerBackend::new(&tables_a);
+        model_a.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    let logits_b = {
+        let mut be = quq_accel::IntegerBackend::new(&tables_b);
+        model_b.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    assert_ne!(logits_a, logits_b);
+
+    let state = artifact_state(&path_a, "int").unwrap();
+    let server =
+        Server::start_with_state(Arc::new(state), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Unregistered name: an explicit error, not a dead connection.
+    match client.infer_model("b", &img).unwrap() {
+        InferResponse::Error(msg) => assert!(msg.contains("unknown model"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // LOAD registers it; both models then serve their own bits.
+    assert_eq!(
+        client.load("b", path_b.to_str().unwrap()).unwrap(),
+        InferResponse::Reloaded
+    );
+    match client.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, logits_a),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    match client.infer_model("b", &img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, logits_b),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    // LIST reflects both entries, resident, with request counts.
+    match client.list().unwrap() {
+        InferResponse::ModelList(snap) => {
+            let names: Vec<&str> = snap.models.iter().map(|m| m.name.as_str()).collect();
+            assert_eq!(names, vec!["b", "default"], "sorted registry listing");
+            assert!(snap.models.iter().all(|m| m.resident));
+            assert!(snap.models.iter().all(|m| m.bytes > 0));
+            assert!(snap.loads >= 1, "LOAD must count");
+            let b = &snap.models[0];
+            assert!(b.requests >= 1, "b served at least one request");
+        }
+        other => panic!("expected ModelList, got {other:?}"),
+    }
+
+    // A failed LOAD reports an error and leaves the registry untouched.
+    match client.load("c", "/no/such/artifact.quqm").unwrap() {
+        InferResponse::Error(msg) => assert!(msg.contains("load"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // UNLOAD drops it; repeat unload and inference both error.
+    assert_eq!(client.unload("b").unwrap(), InferResponse::Unloaded);
+    match client.unload("b").unwrap() {
+        InferResponse::Error(msg) => assert!(msg.contains("unknown model"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    match client.infer_model("b", &img).unwrap() {
+        InferResponse::Error(msg) => assert!(msg.contains("unknown model"), "{msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The default model is untouched by b's lifecycle.
+    match client.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, logits_a),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+#[test]
+fn registry_hammer_evicts_and_lazily_reloads_with_bit_identical_logits() {
+    // The tentpole acceptance test: three models behind a resident-bytes
+    // budget that holds roughly one of them, hammered concurrently. LRU
+    // eviction and lazy reload churn underneath; every response must stay
+    // bit-identical to its model's offline forward — including responses
+    // served right after an eviction forced a reload from the artifact.
+    let (model_a, tables_a, path_a) = saved_artifact(42, "hammer-a");
+    let (model_b, tables_b, path_b) = saved_artifact(77, "hammer-b");
+    let (model_c, tables_c, path_c) = saved_artifact(99, "hammer-c");
+
+    let img = images(&model_a, 1, 17).remove(0);
+    let offline = |model: &Arc<VitModel>, tables: &Arc<quq_core::pipeline::PtqTables>| {
+        let mut be = quq_accel::IntegerBackend::new(tables);
+        model.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    let logits_a = offline(&model_a, &tables_a);
+    let logits_b = offline(&model_b, &tables_b);
+    let logits_c = offline(&model_c, &tables_c);
+    assert_ne!(logits_a, logits_b);
+    assert_ne!(logits_b, logits_c);
+    assert_ne!(logits_a, logits_c);
+
+    let largest = [&path_a, &path_b, &path_c]
+        .iter()
+        .map(|p| std::fs::metadata(p).unwrap().len())
+        .max()
+        .unwrap();
+    let state = artifact_state(&path_a, "int").unwrap();
+    let server = Server::start_with_state(
+        Arc::new(state),
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+            // Fits one model (plus slack), never all three: every switch
+            // of the hammers' attention forces an eviction + lazy reload.
+            max_resident_bytes: largest * 3 / 2,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    server.set_default_source(&path_a);
+    server.load_model("b", &path_b).unwrap();
+    server.load_model("c", &path_c).unwrap();
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = [
+        ("", logits_a.clone()),
+        ("b", logits_b.clone()),
+        ("c", logits_c.clone()),
+    ]
+    .into_iter()
+    .map(|(name, want)| {
+        let img = img.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut answered = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                match c.infer_model(name, &img).unwrap() {
+                    InferResponse::Ok { logits, .. } => {
+                        assert_eq!(
+                            logits, want,
+                            "model {name:?} served wrong bits under eviction churn"
+                        );
+                        answered += 1;
+                    }
+                    other => panic!("model {name:?} dropped/errored: {other:?}"),
+                }
+            }
+            answered
+        })
+    })
+    .collect();
+
+    std::thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::SeqCst);
+    let answered: Vec<usize> = hammers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        answered.iter().all(|&n| n > 0),
+        "every model must have been served: {answered:?}"
+    );
+
+    let snap = server.registry_snapshot();
+    assert_eq!(snap.models.len(), 3);
+    assert!(
+        snap.evictions >= 1,
+        "budget of ~1 model across 3 hammered models must evict: {snap:?}"
+    );
+    assert!(
+        snap.loads >= snap.evictions,
+        "every eviction is followed by a lazy reload under constant traffic"
+    );
+    // The budget is a high-water mark: at rest at most one model (plus
+    // slack) stays resident.
+    let resident: u64 = snap
+        .models
+        .iter()
+        .filter(|m| m.resident)
+        .map(|m| m.bytes)
+        .sum();
+    assert!(
+        resident <= largest * 3 / 2,
+        "resident bytes {resident} exceed the budget {}",
+        largest * 3 / 2
+    );
+
+    server.shutdown();
+    for p in [&path_a, &path_b, &path_c] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn never_reading_pipelined_client_is_paused_not_buffered_unboundedly() {
+    // Satellite regression: the per-connection WriteBuf was unbounded — a
+    // client that pipelines requests but never reads its responses grew
+    // server memory by the full response volume. Now the reactor stops
+    // reading from such a connection at `write_high_water` and resumes
+    // below half of it; no response is lost, none duplicated.
+    use std::os::fd::AsRawFd;
+
+    let model = test_model();
+    const HIGH_WATER: usize = 32 * 1024;
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            write_high_water: HIGH_WATER,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let img = images(&model, 1, 23).remove(0);
+    let offline = model
+        .forward(&img, &mut Fp32Backend::new())
+        .unwrap()
+        .data()
+        .to_vec();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    // Clamp the client's kernel receive buffer so unread responses back
+    // up into the *server* quickly instead of vanishing into generous
+    // default socket buffers.
+    quq_serve::sys::set_recv_buffer(stream.as_raw_fd(), 4096).unwrap();
+
+    // A burst of ~40k tiny bogus-opcode requests (each answered with an
+    // error frame larger than the request) bracketed by real INFERs:
+    // ~1.2 MB of responses against a 32 KiB backlog budget.
+    const BOGUS: u32 = 40_000;
+    let infer_ids: [u32; 4] = [1, 2, BOGUS + 3, BOGUS + 4];
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&wire_request(1, &img));
+    wire.extend_from_slice(&wire_request(2, &img));
+    for id in 3..BOGUS + 3 {
+        let mut payload = vec![0xEEu8]; // unknown opcode
+        payload.extend_from_slice(&id.to_le_bytes());
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+    }
+    wire.extend_from_slice(&wire_request(BOGUS + 3, &img));
+    wire.extend_from_slice(&wire_request(BOGUS + 4, &img));
+    let total = BOGUS as usize + 4;
+
+    // The writer blocks once the paused server stops draining the socket,
+    // so it runs on its own thread while this one watches the server.
+    let mut write_half = stream.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        write_half.write_all(&wire).unwrap();
+        write_half.flush().unwrap();
+    });
+
+    // The server must hit the high-water mark and pause the connection.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.write_pauses() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never paused a never-reading client"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Reading the responses drains the backlog; the reactor unpauses and
+    // works through the rest of the burst. Every id must come back
+    // exactly once, with the INFER responses still bit-exact.
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let responses = read_responses(&mut stream, total);
+    writer.join().unwrap();
+
+    let mut seen = std::collections::HashSet::new();
+    for (id, resp) in &responses {
+        assert!(seen.insert(*id), "duplicate response for id {id}");
+        if infer_ids.contains(id) {
+            match resp {
+                InferResponse::Ok { logits, .. } => assert_eq!(
+                    logits, &offline,
+                    "INFER {id} lost bit-exactness under backpressure"
+                ),
+                other => panic!("INFER {id} got {other:?}"),
+            }
+        } else {
+            match resp {
+                InferResponse::Error(msg) => assert!(msg.contains("unknown opcode"), "{msg}"),
+                other => panic!("bogus request {id} got {other:?}"),
+            }
+        }
+    }
+    assert_eq!(seen.len(), total, "every request answered exactly once");
+
+    // The whole point: the backlog peak is a couple of frames over the
+    // high-water mark, not the ~1.2 MB an unbounded buffer would hold.
+    let peak = server.write_backlog_peak();
+    assert!(
+        peak >= HIGH_WATER as u64,
+        "peak {peak} never reached the high-water mark — test lost its teeth"
+    );
+    assert!(
+        peak <= (2 * HIGH_WATER) as u64,
+        "write backlog peaked at {peak} bytes; an unbounded buffer leak"
+    );
+    server.shutdown();
+}

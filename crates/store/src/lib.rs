@@ -12,10 +12,15 @@
 //! checksummed, so a reader can verify and load one layer at a time
 //! (the chunked-array / per-chunk-checksum shape proven by Zarr stores).
 //!
+//! Artifacts are read and written through a pluggable [`Storage`] trait
+//! (filesystem [`FsStorage`] by default, in-memory [`MemStorage`] for
+//! tests) — the format layer never touches files directly.
+//!
 //! * [`ArtifactWriter::save`] writes to a temp file and atomically renames —
 //!   a crashed save never leaves a half-written artifact at the target path.
-//! * [`Artifact::open`] validates the header, metadata, and manifest
-//!   (CRC-checked) without reading any chunk.
+//!   [`ArtifactWriter::save_on`] targets any [`Storage`] backend.
+//! * [`Artifact::open`] / [`Artifact::open_on`] validate the header,
+//!   metadata, and manifest (CRC-checked) without reading any chunk.
 //! * [`Artifact::load_site`] / [`Artifact::load_all`] read lazily and
 //!   verify each chunk's checksum before decoding it.
 //!
@@ -34,6 +39,7 @@
 pub mod crc32;
 pub mod format;
 pub mod reader;
+pub mod storage;
 pub mod writer;
 
 use std::fmt;
@@ -41,6 +47,7 @@ use std::fmt;
 pub use crc32::crc32;
 pub use format::{ChunkInfo, ChunkKind, MAGIC, VERSION};
 pub use reader::{Artifact, Chunk};
+pub use storage::{FsStorage, MemStorage, Storage};
 pub use writer::ArtifactWriter;
 
 /// Errors of the QUQM artifact store.

@@ -1,10 +1,8 @@
 //! Opening and lazily loading QUQM artifacts.
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use quq_core::calib::ParamKey;
 use quq_core::pipeline::{PtqConfig, PtqTables};
@@ -20,6 +18,7 @@ use crate::format::{
     site_from_qub_key, ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, HEADER_LEN, MAGIC, VERSION,
     WEIGHT_PARAMS_KEY,
 };
+use crate::storage::{FsStorage, Storage};
 use crate::StoreError;
 
 /// A decoded chunk payload.
@@ -36,9 +35,14 @@ pub enum Chunk {
 }
 
 /// An open QUQM artifact: validated header + manifest, chunks on demand.
+///
+/// Every byte is read through a [`Storage`] backend — a directory of
+/// files by default ([`Artifact::open`]), or anything byte-addressable
+/// via [`Artifact::open_on`].
 pub struct Artifact {
+    storage: Arc<dyn Storage>,
+    key: String,
     path: PathBuf,
-    file: Mutex<File>,
     file_len: u64,
     config: ModelConfig,
     ptq: PtqConfig,
@@ -71,17 +75,32 @@ impl Artifact {
     /// After this, any corruption in a chunk payload is caught by that
     /// chunk's own CRC at load time.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let key = path
+            .file_name()
+            .ok_or_else(|| StoreError::Format(format!("artifact path {path:?} has no file name")))?
+            .to_string_lossy()
+            .into_owned();
+        let mut artifact = Self::open_on(Arc::new(FsStorage::new(dir)), &key)?;
+        artifact.path = path.to_path_buf();
+        Ok(artifact)
+    }
+
+    /// Opens and validates the artifact stored under `key` on any
+    /// [`Storage`] backend. Declared block and chunk lengths are clamped
+    /// against the object's real size before any allocation (inside
+    /// [`Storage::read_range`]), so a corrupt length field yields a
+    /// structured error, never an attacker-sized buffer.
+    pub fn open_on(storage: Arc<dyn Storage>, key: &str) -> Result<Self, StoreError> {
         let _span = quq_obs::span("store.open");
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
+        let file_len = storage.open(key)?;
 
         if file_len < HEADER_LEN {
             return Err(StoreError::Format(format!(
                 "file is {file_len} bytes, shorter than the {HEADER_LEN}-byte header"
             )));
         }
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)?;
+        let header = storage.read_range(key, 0, HEADER_LEN)?;
         quq_obs::add("store.bytes_read", HEADER_LEN);
         let expected = u32::from_le_bytes(header[24..28].try_into().expect("sized"));
         let actual = crc32(&header[..24]);
@@ -120,9 +139,15 @@ impl Artifact {
                 ))
             })?;
 
-        let metadata = read_checked_block(&mut file, meta_len, "metadata")?;
+        let metadata = read_checked_block(&*storage, key, HEADER_LEN, meta_len, "metadata")?;
         let (config, ptq, method) = decode_metadata(&metadata)?;
-        let manifest_bytes = read_checked_block(&mut file, manifest_len, "manifest")?;
+        let manifest_bytes = read_checked_block(
+            &*storage,
+            key,
+            HEADER_LEN + meta_len + 4,
+            manifest_len,
+            "manifest",
+        )?;
         let manifest = decode_manifest(&manifest_bytes)?;
 
         let mut index = BTreeMap::new();
@@ -176,8 +201,9 @@ impl Artifact {
         }
 
         Ok(Self {
-            path: path.to_path_buf(),
-            file: Mutex::new(file),
+            storage,
+            key: key.to_string(),
+            path: PathBuf::from(key),
             file_len,
             config,
             ptq,
@@ -212,9 +238,15 @@ impl Artifact {
         self.file_len
     }
 
-    /// Path this artifact was opened from.
+    /// Path this artifact was opened from (the storage key, for artifacts
+    /// opened via [`Artifact::open_on`]).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Storage key this artifact lives under.
+    pub fn key(&self) -> &str {
+        &self.key
     }
 
     /// Every weight site with a stored QUB record, in manifest order.
@@ -236,14 +268,12 @@ impl Artifact {
 
     /// Reads and CRC-verifies one chunk's raw payload.
     fn read_chunk(&self, info: &ChunkInfo) -> Result<Vec<u8>, StoreError> {
-        // Lengths were validated against the real file size at open, so
-        // this allocation is bounded by the artifact itself.
-        let mut bytes = vec![0u8; info.length as usize];
-        {
-            let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
-            file.seek(SeekFrom::Start(info.offset))?;
-            file.read_exact(&mut bytes)?;
-        }
+        // `read_range` re-validates offset+length against the object's
+        // real size before allocating, so even a stale or hostile
+        // manifest can never size a buffer past the stored bytes.
+        let bytes = self
+            .storage
+            .read_range(&self.key, info.offset, info.length)?;
         quq_obs::add("store.chunk_loads", 1);
         quq_obs::add("store.bytes_read", info.length);
         let actual = crc32(&bytes);
@@ -430,15 +460,23 @@ impl Artifact {
     }
 }
 
-/// Reads a length-prefixed block followed by its CRC-32, verifying it.
-fn read_checked_block(file: &mut File, len: u64, section: &str) -> Result<Vec<u8>, StoreError> {
-    // `len` was bounds-checked against the file size by the caller.
-    let mut bytes = vec![0u8; len as usize];
-    file.read_exact(&mut bytes)?;
-    let mut crc_bytes = [0u8; 4];
-    file.read_exact(&mut crc_bytes)?;
-    quq_obs::add("store.bytes_read", len + 4);
-    let expected = u32::from_le_bytes(crc_bytes);
+/// Reads a block at `offset` followed by its CRC-32, verifying it.
+fn read_checked_block(
+    storage: &dyn Storage,
+    key: &str,
+    offset: u64,
+    len: u64,
+    section: &str,
+) -> Result<Vec<u8>, StoreError> {
+    let total = len
+        .checked_add(4)
+        .ok_or_else(|| StoreError::Format(format!("{section} block length {len} overflows u64")))?;
+    // `read_range` clamps `total` against the real object size before
+    // allocating anything, so a hostile declared length stays harmless.
+    let mut bytes = storage.read_range(key, offset, total)?;
+    let crc_bytes = bytes.split_off(len as usize);
+    quq_obs::add("store.bytes_read", total);
+    let expected = u32::from_le_bytes(crc_bytes.try_into().expect("sized"));
     let actual = crc32(&bytes);
     if expected != actual {
         quq_obs::add("store.checksum_failures", 1);

@@ -1,0 +1,298 @@
+//! The pluggable byte-store behind QUQM artifacts.
+//!
+//! [`Storage`] separates the artifact *format* (header / manifest / chunk
+//! layout, all CRC-checked — [`crate::reader`], [`crate::writer`]) from
+//! where the bytes actually live, the same split zarrs makes between its
+//! array format and `zarrs_storage` backends. An artifact is addressed by
+//! a string *key* inside a store; everything the reader ever does is
+//! `open` (stat) and `read_range`, everything the writer does is one
+//! atomic `write`.
+//!
+//! Two backends ship today:
+//!
+//! * [`FsStorage`] — a directory of files, preserving the original
+//!   behavior (atomic temp-file + fsync + rename saves, positioned
+//!   reads);
+//! * [`MemStorage`] — a `BTreeMap` of byte buffers for tests and for
+//!   staging artifacts that never touch disk.
+//!
+//! ## The allocation clamp
+//!
+//! [`Storage::read_range`] is the single chokepoint through which every
+//! artifact byte is read, and it validates `offset + len` against the
+//! object's **actual** size *before* allocating the destination buffer.
+//! A corrupt or hostile length field (a multi-GB `meta_len` in an
+//! otherwise CRC-valid header, a manifest entry claiming an enormous
+//! chunk) therefore produces a structured [`StoreError::Format`] — never
+//! an attacker-sized allocation. Callers still CRC-verify what they read;
+//! the clamp only guarantees the read itself is bounded by reality.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::StoreError;
+
+/// A keyed byte store that QUQM artifacts can live on.
+///
+/// Implementations must be safe to share across threads: the serve-side
+/// model registry reads several artifacts concurrently through one store.
+pub trait Storage: Send + Sync {
+    /// Opens (stats) the object under `key`, returning its size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the object does not exist or cannot be
+    /// statted.
+    fn open(&self, key: &str) -> Result<u64, StoreError>;
+
+    /// Reads exactly `len` bytes at `offset` from the object under `key`.
+    ///
+    /// The range is validated against the object's actual size **before**
+    /// any allocation, so a hostile declared length can never size a
+    /// buffer past the bytes that really exist.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Format`] when the range overruns the object;
+    /// [`StoreError::Io`] on transport failures.
+    fn read_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError>;
+
+    /// Atomically replaces the object under `key` with `bytes`: a reader
+    /// concurrent with a write sees either the old object or the new one,
+    /// never a torn mixture, and a crash mid-write never leaves a partial
+    /// object under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on transport failures.
+    fn write(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Lists the keys currently stored, in sorted order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on transport failures.
+    fn list(&self) -> Result<Vec<String>, StoreError>;
+}
+
+/// Validates a `[offset, offset+len)` range against an object's size.
+/// This is the bounds check every backend applies before allocating.
+pub(crate) fn check_range(key: &str, offset: u64, len: u64, size: u64) -> Result<(), StoreError> {
+    let end = offset.checked_add(len).ok_or_else(|| {
+        StoreError::Format(format!(
+            "read of {len} bytes at offset {offset} in {key:?} overflows u64"
+        ))
+    })?;
+    if end > size {
+        return Err(StoreError::Format(format!(
+            "read of {len} bytes at offset {offset} in {key:?} overruns the {size}-byte object"
+        )));
+    }
+    Ok(())
+}
+
+/// Filesystem-backed [`Storage`]: every key is a file under one root
+/// directory. Writes go to a pid-suffixed sibling temp file, are fsynced,
+/// and renamed into place — the atomicity contract the artifact writer
+/// has always had.
+pub struct FsStorage {
+    root: PathBuf,
+}
+
+impl FsStorage {
+    /// A store rooted at `root`. The directory itself is created lazily on
+    /// first write.
+    pub fn new(root: impl Into<PathBuf>) -> FsStorage {
+        FsStorage { root: root.into() }
+    }
+
+    fn object_path(&self, key: &str) -> PathBuf {
+        self.root.join(key)
+    }
+}
+
+impl Storage for FsStorage {
+    fn open(&self, key: &str) -> Result<u64, StoreError> {
+        Ok(fs::metadata(self.object_path(key))?.len())
+    }
+
+    fn read_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let file = File::open(self.object_path(key))?;
+        let size = file.metadata()?.len();
+        check_range(key, offset, len, size)?;
+        // Only now, with the range proven to exist, size the buffer.
+        let mut bytes = vec![0u8; len as usize];
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(&mut bytes, offset)?;
+        Ok(bytes)
+    }
+
+    fn write(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let path = self.object_path(key);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", process::id()));
+        {
+            let mut f = open_exclusive(&tmp)?;
+            if let Err(e) = f.write_all(bytes).and_then(|()| f.sync_all()) {
+                let _ = fs::remove_file(&tmp);
+                return Err(StoreError::Io(e));
+            }
+        }
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::Io(e));
+        }
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                // In-progress temp files are not objects.
+                if !name.contains(".tmp.") {
+                    keys.push(name);
+                }
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+fn open_exclusive(path: &std::path::Path) -> Result<File, StoreError> {
+    OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+        .map_err(StoreError::Io)
+}
+
+/// In-memory [`Storage`]: a map of byte buffers. Useful for tests (no
+/// temp files, no fsync latency) and as the reference implementation of
+/// the trait's contract.
+#[derive(Default)]
+pub struct MemStorage {
+    objects: Mutex<BTreeMap<String, Arc<Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// The raw bytes currently stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.lock().get(key).cloned()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<Vec<u8>>>> {
+        self.objects.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Storage for MemStorage {
+    fn open(&self, key: &str) -> Result<u64, StoreError> {
+        self.lock().get(key).map(|b| b.len() as u64).ok_or_else(|| {
+            StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no object under key {key:?}"),
+            ))
+        })
+    }
+
+    fn read_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.get(key).ok_or_else(|| {
+            StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no object under key {key:?}"),
+            ))
+        })?;
+        check_range(key, offset, len, bytes.len() as u64)?;
+        Ok(bytes[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    fn write(&self, key: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        // The map swap is atomic under the lock: readers holding an Arc to
+        // the old buffer keep a coherent old object.
+        self.lock()
+            .insert(key.to_string(), Arc::new(bytes.to_vec()));
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_roundtrips_and_lists() {
+        let store = MemStorage::new();
+        store.write("a", b"hello").unwrap();
+        store.write("b", b"").unwrap();
+        assert_eq!(store.open("a").unwrap(), 5);
+        assert_eq!(store.read_range("a", 1, 3).unwrap(), b"ell");
+        assert_eq!(store.list().unwrap(), vec!["a", "b"]);
+        assert!(matches!(store.open("missing"), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn read_range_rejects_overruns_before_allocating() {
+        let store = MemStorage::new();
+        store.write("k", b"0123456789").unwrap();
+        // Past-the-end, overflowing, and absurdly large ranges all fail
+        // with a structured Format error (the huge `len` is never used to
+        // size a buffer — this test would OOM if it were).
+        assert!(matches!(
+            store.read_range("k", 5, 6),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            store.read_range("k", u64::MAX, 2),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            store.read_range("k", 0, u64::MAX / 2),
+            Err(StoreError::Format(_))
+        ));
+        assert_eq!(store.read_range("k", 0, 10).unwrap(), b"0123456789");
+    }
+
+    #[test]
+    fn fs_storage_matches_mem_storage_behavior() {
+        let root = std::env::temp_dir().join(format!("quq-fsstore-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let store = FsStorage::new(&root);
+        store.write("obj.bin", b"abcdef").unwrap();
+        assert_eq!(store.open("obj.bin").unwrap(), 6);
+        assert_eq!(store.read_range("obj.bin", 2, 3).unwrap(), b"cde");
+        assert!(matches!(
+            store.read_range("obj.bin", 4, 3),
+            Err(StoreError::Format(_))
+        ));
+        assert!(matches!(
+            store.read_range("obj.bin", 0, u64::MAX),
+            Err(StoreError::Format(_))
+        ));
+        assert_eq!(store.list().unwrap(), vec!["obj.bin"]);
+        // Overwrite is atomic-or-old: afterwards the new bytes are there.
+        store.write("obj.bin", b"xy").unwrap();
+        assert_eq!(store.read_range("obj.bin", 0, 2).unwrap(), b"xy");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

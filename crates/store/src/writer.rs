@@ -1,9 +1,6 @@
 //! Serializing a calibrated model into a QUQM artifact.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::Path;
-use std::process;
 
 use quq_core::pipeline::PtqTables;
 use quq_core::qub::QubCodec;
@@ -18,6 +15,7 @@ use crate::format::{
     ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, BLOCK_TENSORS, HEADER_LEN, MAGIC, VERSION,
     WEIGHT_PARAMS_KEY,
 };
+use crate::storage::{FsStorage, Storage};
 use crate::StoreError;
 
 /// Writes QUQM artifacts.
@@ -86,6 +84,24 @@ impl ArtifactWriter {
     /// by the QUQ method, or if any weight site lacks its original weight
     /// tensor (re-quantized tables only; `calibrate` always records them).
     pub fn save(model: &VitModel, tables: &PtqTables, path: &Path) -> Result<u64, StoreError> {
+        let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let key = path
+            .file_name()
+            .ok_or_else(|| StoreError::Format(format!("artifact path {path:?} has no file name")))?
+            .to_string_lossy()
+            .into_owned();
+        Self::save_on(model, tables, &FsStorage::new(dir), &key)
+    }
+
+    /// Serializes `model` + `tables` into the object `key` on any
+    /// [`Storage`] backend. The whole artifact is assembled in memory and
+    /// handed to [`Storage::write`], which replaces the object atomically.
+    pub fn save_on(
+        model: &VitModel,
+        tables: &PtqTables,
+        storage: &dyn Storage,
+        key: &str,
+    ) -> Result<u64, StoreError> {
         let _span = quq_obs::span("store.save");
         if tables.method_name() != "QUQ" {
             return Err(StoreError::Unsupported(format!(
@@ -171,37 +187,19 @@ impl ArtifactWriter {
         let header_crc = crc32(&header);
         header.extend_from_slice(&header_crc.to_le_bytes());
 
-        let tmp = path.with_extension(format!("tmp.{}", process::id()));
-        let total = {
-            let mut f = open_exclusive(&tmp)?;
-            let mut total = 0u64;
-            let mut put = |f: &mut File, bytes: &[u8]| -> Result<(), StoreError> {
-                f.write_all(bytes)?;
-                total += bytes.len() as u64;
-                Ok(())
-            };
-            put(&mut f, &header)?;
-            put(&mut f, &metadata)?;
-            put(&mut f, &crc32(&metadata).to_le_bytes())?;
-            put(&mut f, &manifest)?;
-            put(&mut f, &crc32(&manifest).to_le_bytes())?;
-            for (_, _, _, bytes) in &chunks {
-                put(&mut f, bytes)?;
-            }
-            f.sync_all()?;
-            total
-        };
-        fs::rename(&tmp, path)?;
+        let mut out = Vec::with_capacity(offset as usize);
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&metadata);
+        out.extend_from_slice(&crc32(&metadata).to_le_bytes());
+        out.extend_from_slice(&manifest);
+        out.extend_from_slice(&crc32(&manifest).to_le_bytes());
+        for (_, _, _, bytes) in &chunks {
+            out.extend_from_slice(bytes);
+        }
+        let total = out.len() as u64;
         debug_assert_eq!(total, offset);
+        storage.write(key, &out)?;
         quq_obs::add("store.bytes_written", total);
         Ok(total)
     }
-}
-
-fn open_exclusive(path: &Path) -> Result<File, StoreError> {
-    OpenOptions::new()
-        .write(true)
-        .create_new(true)
-        .open(path)
-        .map_err(StoreError::Io)
 }

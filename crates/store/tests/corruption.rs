@@ -10,12 +10,13 @@
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::quantizer::QuqMethod;
-use quq_store::{Artifact, ArtifactWriter, Chunk, StoreError};
+use quq_store::format::{decode_manifest, encode_manifest};
+use quq_store::{crc32, Artifact, ArtifactWriter, Chunk, MemStorage, Storage, StoreError};
 use quq_vit::{Dataset, ModelConfig, VitModel};
 
 static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -166,6 +167,120 @@ fn params_tables_load_standalone() {
     let _ = fs::remove_file(&path);
 }
 
+/// Rewrites the artifact header's declared block lengths and fixes up the
+/// header CRC, producing a file whose header is *CRC-valid* but lies about
+/// how big the metadata/manifest blocks are.
+fn with_header_lengths(bytes: &[u8], meta_len: u64, manifest_len: u64) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[8..16].copy_from_slice(&meta_len.to_le_bytes());
+    out[16..24].copy_from_slice(&manifest_len.to_le_bytes());
+    let crc = crc32(&out[..24]);
+    out[24..28].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn open_bytes(tag: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let path = temp_path(tag);
+    fs::write(&path, bytes).expect("write artifact");
+    let outcome = Artifact::open(&path).and_then(|a| a.load_all().map(|_| ()));
+    let _ = fs::remove_file(&path);
+    outcome
+}
+
+/// A header whose declared lengths are huge — but whose CRC is *valid*, so
+/// the checksum cannot save us — must produce a structured format error,
+/// never a length-sized allocation. (Pre-`Storage`, `read_checked_block`
+/// allocated `vec![0u8; len]` straight from these fields; every read now
+/// goes through `Storage::read_range`, which clamps against the real
+/// object size before allocating.)
+#[test]
+fn hostile_header_lengths_with_valid_crc_are_rejected() {
+    let bytes = artifact_bytes();
+    let real_meta = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let real_manifest = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let hostile = [
+        (u64::MAX, real_manifest),
+        (real_meta, u64::MAX),
+        (u64::MAX / 2, u64::MAX / 2),
+        (1 << 40, real_manifest), // "1 TiB of metadata"
+        (real_meta, 1 << 40),
+        (bytes.len() as u64, real_manifest), // fits u64 math, overruns file
+        (real_meta, bytes.len() as u64),
+    ];
+    for (meta_len, manifest_len) in hostile {
+        let corrupt = with_header_lengths(bytes, meta_len, manifest_len);
+        match open_bytes("hostile-header", &corrupt) {
+            Err(StoreError::Format(_)) => {}
+            other => panic!(
+                "meta_len={meta_len} manifest_len={manifest_len}: \
+                 expected StoreError::Format, got {other:?}"
+            ),
+        }
+    }
+}
+
+/// A manifest entry claiming a huge chunk length — re-encoded with valid
+/// manifest and header CRCs — must be rejected structurally, and the huge
+/// length must never reach an allocation.
+#[test]
+fn hostile_manifest_chunk_length_with_valid_crcs_is_rejected() {
+    let bytes = artifact_bytes();
+    let meta_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let manifest_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let manifest_start = 28 + meta_len + 4;
+    let manifest_bytes = &bytes[manifest_start..manifest_start + manifest_len];
+    let entries = decode_manifest(manifest_bytes).expect("fixture manifest decodes");
+
+    for victim in [0, entries.len() / 2, entries.len() - 1] {
+        for huge in [u64::MAX, u64::MAX / 2, 1 << 40, bytes.len() as u64] {
+            let mut tampered = entries.clone();
+            tampered[victim].length = huge;
+            let new_manifest = encode_manifest(&tampered);
+            assert_eq!(new_manifest.len(), manifest_len, "fixed-width lengths");
+            let mut corrupt = bytes.to_vec();
+            corrupt[manifest_start..manifest_start + manifest_len].copy_from_slice(&new_manifest);
+            let crc_at = manifest_start + manifest_len;
+            corrupt[crc_at..crc_at + 4].copy_from_slice(&crc32(&new_manifest).to_le_bytes());
+            match open_bytes("hostile-manifest", &corrupt) {
+                Err(StoreError::Format(_)) => {}
+                other => panic!(
+                    "chunk {victim} length={huge}: expected StoreError::Format, got {other:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// The same calibrated model saved through the filesystem backend and the
+/// in-memory backend must produce byte-identical artifacts, and an
+/// artifact opened from either backend must reconstruct the same model.
+#[test]
+fn artifact_roundtrips_byte_identically_through_both_backends() {
+    let (model, tables) = calibrated();
+
+    let path = temp_path("backends");
+    let fs_written = ArtifactWriter::save(&model, &tables, &path).expect("fs save");
+    let fs_bytes = fs::read(&path).expect("read back");
+
+    let mem = Arc::new(MemStorage::new());
+    let mem_written = ArtifactWriter::save_on(&model, &tables, &*mem, "m.quqm").expect("mem save");
+    let mem_bytes = mem.get("m.quqm").expect("object stored");
+
+    assert_eq!(fs_written, mem_written);
+    assert_eq!(&fs_bytes, &*mem_bytes, "backends wrote different bytes");
+
+    let from_fs = Artifact::open(&path).expect("fs open");
+    let from_mem = Artifact::open_on(mem.clone() as Arc<dyn Storage>, "m.quqm").expect("mem open");
+    assert_eq!(from_fs.size_bytes(), from_mem.size_bytes());
+    assert_eq!(from_fs.chunks(), from_mem.chunks());
+
+    let (fs_model, _) = from_fs.load_all().expect("fs load_all");
+    let (mem_model, _) = from_mem.load_all().expect("mem load_all");
+    assert_eq!(fs_model.weights(), mem_model.weights());
+    assert_eq!(mem_model.weights(), model.weights());
+    let _ = fs::remove_file(&path);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -188,6 +303,30 @@ proptest! {
                 false,
                 "flip at byte {pos} bit {bit} loaded without an error"
             ),
+        }
+    }
+
+    /// Arbitrary declared block lengths (with the header CRC fixed up so
+    /// the lie is checksum-valid) must never panic, OOM, or load: anything
+    /// that disagrees with the real file layout is a structured error.
+    #[test]
+    fn any_header_lengths_are_handled_structurally(
+        meta_len in prop_oneof![0u64..(1 << 20), (1 << 20)..u64::MAX],
+        manifest_len in prop_oneof![0u64..(1 << 20), (1 << 20)..u64::MAX],
+    ) {
+        let bytes = artifact_bytes();
+        let real_meta = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let real_manifest = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let corrupt = with_header_lengths(bytes, meta_len, manifest_len);
+        let outcome = open_bytes("prop-header", &corrupt);
+        if meta_len == real_meta && manifest_len == real_manifest {
+            prop_assert!(outcome.is_ok(), "true lengths must keep loading");
+        } else {
+            prop_assert!(
+                outcome.is_err(),
+                "lengths ({meta_len}, {manifest_len}) accepted but the real \
+                 layout is ({real_meta}, {real_manifest})"
+            );
         }
     }
 }

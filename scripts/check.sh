@@ -217,4 +217,27 @@ wait "$SERVE_PID"
 rm -f "$store_art" "$store_art.bad"
 echo "store smoke: cold-start server answered bit-identically and drained clean"
 
+# Multi-model registry gate: two artifacts (distinct seeds), a server
+# whose resident-bytes budget holds roughly one of them, LOAD/LIST/UNLOAD
+# over TCP, bit-identical answers from both models across eviction +
+# lazy-reload churn, and at least one eviction counted.
+multi_a=target/check_multi_a.quqm
+multi_b=target/check_multi_b.quqm
+rm -f "$multi_a" "$multi_b"
+cargo run --release -q -p quq-bench --bin storebench -- --save "$multi_a" --seed 11
+cargo run --release -q -p quq-bench --bin storebench -- --save "$multi_b" --seed 22
+size_a=$(stat -c%s "$multi_a"); size_b=$(stat -c%s "$multi_b")
+largest=$(( size_a > size_b ? size_a : size_b ))
+cap=$(( largest * 3 / 2 ))   # fits one model (plus slack), never both
+coproc MULTI { cargo run --release -q -p quq-serve -- \
+    --model-path "$multi_a" --max-resident-bytes "$cap" \
+    --addr 127.0.0.1:0 2>/dev/null; }
+read -r _ _ multi_addr _ <&"${MULTI[0]}"
+cargo run --release -q -p quq-bench --bin storebench -- \
+    --probe-multi "$multi_addr" --artifact "$multi_a" --artifact-b "$multi_b"
+echo >&"${MULTI[1]}"   # request graceful drain
+wait "$MULTI_PID"
+rm -f "$multi_a" "$multi_b"
+echo "multi-model smoke: LOAD/LIST/UNLOAD clean, bit-identical across evictions"
+
 echo "All checks passed."
