@@ -60,9 +60,12 @@ impl WeightQubCache {
     }
 
     /// Pre-populates a cache from a stored artifact's QUB records, skipping
-    /// the per-site encode entirely — the cold-start path. Every record is
-    /// checksum-verified by the store as it is read, and its pre-shifted
-    /// panel is built here so the first inference pays no decode cost.
+    /// the per-site encode entirely — the cold-start path. Each record is
+    /// checksum-verified (once) by the store as it is read; on an mmap-backed
+    /// artifact the QUB wire bytes are parsed straight out of the mapped
+    /// pages with no intermediate copy, and compressed records decode lazily
+    /// on this first touch. The pre-shifted panel is built here so the first
+    /// inference pays no decode cost.
     pub fn from_artifact(
         artifact: &quq_store::Artifact,
     ) -> std::result::Result<Self, quq_store::StoreError> {

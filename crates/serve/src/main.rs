@@ -25,6 +25,10 @@
 //! * `--max-resident-bytes N` — registry budget: LRU models are evicted
 //!   (lazily reloaded on demand) beyond it (default 0 = unbounded)
 //! * `--save-model FILE`  — calibrate, save a QUQM artifact, and exit
+//! * `--codec NAME`       — chunk codec policy for `--save-model`:
+//!   `auto` (default: per-chunk trial, raw unless compression wins ≥2%),
+//!   `raw`, or a forced stack (`lz`, `rc`, `shuffle-lz`, `shuffle-rc`);
+//!   `v1` writes the legacy raw-only format
 //! * `--addr HOST:PORT`   — bind address (default `127.0.0.1:7878`; port 0 = ephemeral)
 //! * `--workers N` `--max-batch N` `--max-wait-us N` `--queue N` — tuning
 //! * `--frontend event-loop|thread-per-conn` — connection front end
@@ -49,7 +53,7 @@ use quq_serve::server::artifact_state;
 use quq_serve::{
     BackendProvider, Fp32Provider, Frontend, IntegerProvider, ModelState, ServeConfig, Server,
 };
-use quq_store::ArtifactWriter;
+use quq_store::{ArtifactWriter, CodecChoice, CodecStack, WriteOptions};
 use quq_vit::{Dataset, ModelConfig, ModelId, VitModel};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -67,6 +71,24 @@ fn arg_values(name: &str) -> Vec<String> {
         .filter(|(_, a)| *a == name)
         .filter_map(|(i, _)| args.get(i + 1).cloned())
         .collect()
+}
+
+/// Maps a `--codec` value onto the writer options for `--save-model`.
+fn codec_options(name: &str) -> Result<WriteOptions, String> {
+    let codec = match name {
+        "auto" => CodecChoice::Auto,
+        "raw" => CodecChoice::Raw,
+        "lz" => CodecChoice::Force(CodecStack::lz()),
+        "rc" => CodecChoice::Force(CodecStack::rc()),
+        "shuffle-lz" => CodecChoice::Force(CodecStack::shuffle_lz(4)),
+        "shuffle-rc" => CodecChoice::Force(CodecStack::shuffle_rc(4)),
+        "v1" => return Ok(WriteOptions::v1()),
+        other => return Err(format!("unknown --codec {other}")),
+    };
+    Ok(WriteOptions {
+        codec,
+        ..WriteOptions::default()
+    })
 }
 
 /// Splits a `--model-path` value: `NAME=PATH` or bare `PATH` (no name).
@@ -101,54 +123,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let model_paths = arg_values("--model-path");
-    let state: Arc<ModelState> =
-        if let Some((_, path)) = model_paths.first().map(|v| split_model_path(v)) {
-            // Cold start: everything (weights, tables, weight QUBs) comes from
-            // the artifact — no synthesis, no calibration.
-            let t0 = Instant::now();
-            let state = artifact_state(Path::new(path), &backend)?;
-            eprintln!(
-                "cold start from {path}: {} ready in {:.1} ms",
-                state.model.config().id,
-                t0.elapsed().as_secs_f64() * 1e3
-            );
-            Arc::new(state)
-        } else {
-            let model_cfg = match model_name.as_str() {
-                "test" => ModelConfig::test_config(),
-                "vits" => ModelConfig::eval_scale(ModelId::VitS),
-                other => return Err(format!("unknown --model {other}").into()),
-            };
-            eprintln!("synthesizing {model_name} model…");
-            let model = Arc::new(VitModel::synthesize(model_cfg, 5));
-
-            let calibrated = |model: &VitModel| -> Result<PtqTables, Box<dyn std::error::Error>> {
-                eprintln!("calibrating W8/A8 full quantization…");
-                let calib = Dataset::calibration(model.config(), 8, 1);
-                Ok(calibrate(
-                    &QuqMethod::without_optimization(),
-                    model,
-                    &calib,
-                    PtqConfig::full_w8a8(),
-                )?)
-            };
-
-            if let Some(path) = arg_value("--save-model") {
-                // Save mode: calibrate (whatever the backend), write the
-                // artifact, and exit — the serving run cold-starts from it.
-                let tables = calibrated(&model)?;
-                let bytes = ArtifactWriter::save(&model, &tables, Path::new(&path))?;
-                println!("saved {model_name} artifact to {path} ({bytes} bytes)");
-                return Ok(());
-            }
-
-            let provider: Arc<dyn BackendProvider> = match backend.as_str() {
-                "fp32" => Arc::new(Fp32Provider),
-                "int" => Arc::new(IntegerProvider::new(Arc::new(calibrated(&model)?))),
-                other => return Err(format!("unknown --backend {other}").into()),
-            };
-            Arc::new(ModelState::new(model, provider))
+    let state: Arc<ModelState> = if let Some((_, path)) =
+        model_paths.first().map(|v| split_model_path(v))
+    {
+        // Cold start: everything (weights, tables, weight QUBs) comes from
+        // the artifact — no synthesis, no calibration.
+        let t0 = Instant::now();
+        let state = artifact_state(Path::new(path), &backend)?;
+        eprintln!(
+            "cold start from {path}: {} ready in {:.1} ms",
+            state.model.config().id,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+        Arc::new(state)
+    } else {
+        let model_cfg = match model_name.as_str() {
+            "test" => ModelConfig::test_config(),
+            "vits" => ModelConfig::eval_scale(ModelId::VitS),
+            other => return Err(format!("unknown --model {other}").into()),
         };
+        eprintln!("synthesizing {model_name} model…");
+        let model = Arc::new(VitModel::synthesize(model_cfg, 5));
+
+        let calibrated = |model: &VitModel| -> Result<PtqTables, Box<dyn std::error::Error>> {
+            eprintln!("calibrating W8/A8 full quantization…");
+            let calib = Dataset::calibration(model.config(), 8, 1);
+            Ok(calibrate(
+                &QuqMethod::without_optimization(),
+                model,
+                &calib,
+                PtqConfig::full_w8a8(),
+            )?)
+        };
+
+        if let Some(path) = arg_value("--save-model") {
+            // Save mode: calibrate (whatever the backend), write the
+            // artifact, and exit — the serving run cold-starts from it.
+            let tables = calibrated(&model)?;
+            let codec = arg_value("--codec").unwrap_or_else(|| "auto".into());
+            let options = codec_options(&codec)?;
+            let report = ArtifactWriter::save_with(&model, &tables, Path::new(&path), &options)?;
+            println!(
+                "saved {model_name} artifact to {path} ({} bytes, v{}, codec {codec})",
+                report.total_bytes, report.version
+            );
+            for chunk in &report.chunks {
+                if !chunk.stack.is_raw() {
+                    eprintln!(
+                        "  {}: {} -> {} bytes ({})",
+                        chunk.key,
+                        chunk.raw_len,
+                        chunk.stored_len,
+                        chunk.stack.describe()
+                    );
+                }
+            }
+            return Ok(());
+        }
+
+        let provider: Arc<dyn BackendProvider> = match backend.as_str() {
+            "fp32" => Arc::new(Fp32Provider),
+            "int" => Arc::new(IntegerProvider::new(Arc::new(calibrated(&model)?))),
+            other => return Err(format!("unknown --backend {other}").into()),
+        };
+        Arc::new(ModelState::new(model, provider))
+    };
 
     quq_obs::set_enabled(metrics);
     let before = quq_obs::snapshot();

@@ -2,13 +2,22 @@
 //! guarding every section of a QUQM artifact.
 //!
 //! Hand-rolled because the workspace is std-only: no `crc32fast` on the
-//! shelf. The classic byte-at-a-time table method is plenty for artifact
-//! sizes in the tens of megabytes, and the choice of CRC-32/IEEE keeps the
-//! on-disk format checkable by any standard tool (`python3 -c
-//! "import zlib; print(zlib.crc32(data))"` agrees byte-for-byte).
+//! shelf. The implementation is **slice-by-8**: eight 256-entry tables,
+//! built at compile time, let the main loop fold eight input bytes per
+//! iteration with eight independent table lookups — roughly 4–6× the
+//! classic byte-at-a-time method. That matters now that chunk reads are
+//! zero-copy: with the `memcpy` gone, the CRC pass *is* the open-to-ready
+//! cost of a raw chunk. The choice of CRC-32/IEEE keeps the on-disk
+//! format checkable by any standard tool (`python3 -c "import zlib;
+//! print(zlib.crc32(data))"` agrees byte-for-byte), and the private
+//! byte-at-a-time reference implementation stays behind `cfg(test)` so
+//! the two are property-checked against each other.
 
-const fn make_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// `TABLES[0]` is the classic CRC table; `TABLES[k]` maps a byte `b` to
+/// the CRC contribution of `b` followed by `k` zero bytes, which is what
+/// lets eight lanes be folded independently and XOR-combined.
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0usize;
     while i < 256 {
         let mut c = i as u32;
@@ -21,19 +30,43 @@ const fn make_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1usize;
+    while t < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = make_table();
+static TABLES: [[u32; 256]; 8] = make_tables();
 
 /// CRC-32/IEEE of `bytes` (matches `zlib.crc32`).
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = !0u32;
-    for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        // Fold the running CRC into the first four bytes, then look all
+        // eight lanes up in their distance-matched tables.
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ c;
+        c = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][chunk[4] as usize]
+            ^ TABLES[2][chunk[5] as usize]
+            ^ TABLES[1][chunk[6] as usize]
+            ^ TABLES[0][chunk[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -41,6 +74,18 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The original byte-at-a-time implementation, kept as the reference
+    /// the slice-by-8 loop must agree with.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let mut c = !0u32;
+        for &b in bytes {
+            c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        !c
+    }
 
     #[test]
     fn known_answer_vectors() {
@@ -48,6 +93,23 @@ mod tests {
         // CRC algorithms, plus the empty-input identity.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+        // A longer vector exercising the 8-byte main loop: zlib.crc32 of
+        // 1000 zero bytes.
+        assert_eq!(crc32(&[0u8; 1000]), 0x060B_1780);
+        assert_eq!(crc32_bytewise(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn slice_by_8_agrees_with_bytewise_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(97);
+        // Sweep every length 0..64 (all remainder shapes), then a spread
+        // of larger sizes around the 8-byte boundary.
+        let mut lengths: Vec<usize> = (0..64).collect();
+        lengths.extend([255, 256, 257, 1023, 1024, 4096, 65_537]);
+        for len in lengths {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen::<u32>() as u8).collect();
+            assert_eq!(crc32(&data), crc32_bytewise(&data), "length {len}");
+        }
     }
 
     #[test]

@@ -1,25 +1,43 @@
-//! Byte-level codec of the QUQM v1 container (all integers little-endian).
+//! Byte-level codec of the QUQM container (all integers little-endian).
 //!
 //! ```text
 //! offset 0   magic        "QUQM"                      4 bytes
-//! offset 4   version      u32 = 1
+//! offset 4   version      u32 = 2 (v1 still readable)
 //! offset 8   meta_len     u64   metadata block length (excluding its CRC)
 //! offset 16  manifest_len u64   manifest block length (excluding its CRC)
 //! offset 24  header_crc   u32   CRC-32 of bytes 0..24
 //! offset 28  metadata     meta_len bytes, then its CRC-32 (u32)
 //! …          manifest     manifest_len bytes, then its CRC-32 (u32)
-//! …          chunks       concatenated chunk payloads, in manifest order
+//! …          chunks       concatenated *stored* chunk payloads, in
+//!                         manifest order
 //! ```
 //!
 //! The **metadata block** holds the model configuration, the PTQ preset,
-//! and the fitting method name. The **manifest** is a chunk directory:
-//! `count: u32`, then per chunk the key (`u16` length + UTF-8), kind byte,
-//! absolute offset `u64`, length `u64`, CRC-32 of the payload, and the
-//! logical shape (`rank: u8` + `u64 × rank`). Chunks tile the rest of the
-//! file contiguously, so **every byte of an artifact is covered by exactly
-//! one checksum** (structural fields by the header CRC, blocks by their own
-//! CRCs, payloads by the manifest CRCs) — the invariant behind the
-//! flip-any-byte corruption guarantee.
+//! and the fitting method name. The **manifest** is a chunk directory;
+//! one v2 entry is:
+//!
+//! ```text
+//! key         str16 (u16 length + UTF-8)
+//! kind        u8
+//! offset      u64   absolute file offset of the stored payload
+//! stored_len  u64   bytes on disk (after the codec stack)
+//! raw_len     u64   decoded payload bytes (== stored_len for raw chunks)
+//! crc         u32   CRC-32 of the STORED bytes
+//! n_codecs    u8    codec-stack length (0 = raw)
+//! codecs      per codec: id u8, then its params
+//!                   (byte-shuffle = 1, stride u8; lz = 2, no params)
+//! rank        u8
+//! dims        u64 × rank
+//! ```
+//!
+//! v1 entries (still decoded via [`decode_manifest_v1`]) lack `raw_len`
+//! and the codec stack: every v1 chunk is raw. Chunks tile the rest of
+//! the file contiguously by their **stored** lengths, so **every byte of
+//! an artifact is covered by exactly one checksum** (structural fields by
+//! the header CRC, blocks by their own CRCs, stored payloads by the
+//! manifest CRCs) — the invariant behind the flip-any-byte corruption
+//! guarantee. Payload CRCs cover the stored bytes, so corruption is
+//! caught *before* any decode runs on the data.
 //!
 //! Chunk payload encodings by kind:
 //!
@@ -31,6 +49,7 @@
 //!   raw `f32` bits (exact reconstruction; the 8-bit FC registers alone
 //!   would round scale ratios to powers of two on decode).
 
+use crate::codec::{CodecSpec, CodecStack};
 use crate::StoreError;
 use quq_core::calib::{Coverage, Operand, ParamKey};
 use quq_core::pipeline::PtqConfig;
@@ -41,7 +60,20 @@ use quq_vit::{Family, ModelConfig, ModelId, OpKind, OpSite, StageConfig};
 pub const MAGIC: [u8; 4] = *b"QUQM";
 
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+
+/// The previous format version, still readable through the compat shim.
+pub const VERSION_V1: u32 = 1;
+
+/// Upper bound on how much a stored payload may claim to expand when
+/// decoded. The LZ token format tops out at ~44× (a 3-byte match token
+/// yielding 131 bytes), so any manifest declaring more than 64× is lying;
+/// rejecting it at open time means a CRC-valid-but-hostile `raw_len` can
+/// never drive decode toward an attacker-sized output. The range coder
+/// could legitimately exceed this on degenerate (near-constant) data, so
+/// the writer refuses to pick any encoding past the cap — weight chunks
+/// sit nowhere near it in practice.
+pub const MAX_DECODE_EXPANSION: u64 = 64;
 
 /// Fixed header size (through `header_crc`).
 pub const HEADER_LEN: u64 = 28;
@@ -86,21 +118,51 @@ impl ChunkKind {
     }
 }
 
-/// One manifest entry: where a chunk lives and how to verify it.
+/// One manifest entry: where a chunk lives, how it is stored, and how to
+/// verify it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkInfo {
     /// Site key, e.g. `model/s0/b1/qkv_w` or `qub/block1.Qkv`.
     pub key: String,
     /// Payload encoding.
     pub kind: ChunkKind,
-    /// Absolute file offset of the payload.
+    /// Absolute file offset of the stored payload.
     pub offset: u64,
-    /// Payload length in bytes.
+    /// Stored (on-disk, post-codec) payload length in bytes.
     pub length: u64,
-    /// CRC-32 of the payload.
+    /// Decoded payload length in bytes (== `length` for raw chunks).
+    pub raw_length: u64,
+    /// CRC-32 of the **stored** payload bytes.
     pub crc: u32,
+    /// Codec stack the stored bytes went through (empty = raw).
+    pub stack: CodecStack,
     /// Logical tensor shape (empty for params tables).
     pub shape: Vec<usize>,
+}
+
+impl ChunkInfo {
+    /// Structural invariants every manifest entry must satisfy before its
+    /// chunk is ever decoded: a valid codec stack, raw chunks storing
+    /// exactly their decoded length, and compressed chunks bounded by the
+    /// [`MAX_DECODE_EXPANSION`] expansion cap.
+    pub fn validate_stack(&self) -> Result<(), StoreError> {
+        self.stack.validate()?;
+        if self.stack.is_raw() {
+            if self.length != self.raw_length {
+                return Err(StoreError::Format(format!(
+                    "raw chunk {:?} stores {} bytes but declares {} decoded",
+                    self.key, self.length, self.raw_length
+                )));
+            }
+        } else if self.raw_length > self.length.saturating_mul(MAX_DECODE_EXPANSION) {
+            return Err(StoreError::Format(format!(
+                "chunk {:?} claims {} bytes from {} stored — past the {MAX_DECODE_EXPANSION}× \
+                 decode-expansion cap",
+                self.key, self.raw_length, self.length
+            )));
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -370,11 +432,68 @@ pub fn decode_metadata(bytes: &[u8]) -> Result<(ModelConfig, PtqConfig, String),
 // Manifest.
 // ---------------------------------------------------------------------------
 
-/// Serializes the manifest block (without its CRC).
+fn encode_stack(e: &mut Enc, stack: &CodecStack) {
+    e.u8(stack.0.len() as u8);
+    for spec in &stack.0 {
+        e.u8(spec.id());
+        if let CodecSpec::ByteShuffle { stride } = spec {
+            e.u8(*stride);
+        }
+    }
+}
+
+fn decode_stack(d: &mut Dec<'_>) -> Result<CodecStack, StoreError> {
+    let n = d.u8()? as usize;
+    if n > crate::codec::MAX_STACK_LEN {
+        return Err(StoreError::Format(format!(
+            "codec stack of {n} exceeds the {}-codec cap",
+            crate::codec::MAX_STACK_LEN
+        )));
+    }
+    let mut specs = Vec::with_capacity(n);
+    for _ in 0..n {
+        specs.push(match d.u8()? {
+            1 => CodecSpec::ByteShuffle { stride: d.u8()? },
+            2 => CodecSpec::Lz,
+            3 => CodecSpec::Rc,
+            other => return Err(StoreError::Format(format!("unknown codec id {other}"))),
+        });
+    }
+    Ok(CodecStack(specs))
+}
+
+/// Serializes the v2 manifest block (without its CRC).
 pub fn encode_manifest(entries: &[ChunkInfo]) -> Vec<u8> {
     let mut e = Enc::default();
     e.u32(entries.len() as u32);
     for c in entries {
+        e.str16(&c.key);
+        e.u8(c.kind.code());
+        e.u64(c.offset);
+        e.u64(c.length);
+        e.u64(c.raw_length);
+        e.u32(c.crc);
+        encode_stack(&mut e, &c.stack);
+        e.u8(c.shape.len() as u8);
+        for &dim in &c.shape {
+            e.u64(dim as u64);
+        }
+    }
+    e.0
+}
+
+/// Serializes a manifest in the v1 layout (no `raw_len`, no codec stack).
+/// Every entry must be raw — v1 has no way to say otherwise.
+pub fn encode_manifest_v1(entries: &[ChunkInfo]) -> Result<Vec<u8>, StoreError> {
+    let mut e = Enc::default();
+    e.u32(entries.len() as u32);
+    for c in entries {
+        if !c.stack.is_raw() || c.length != c.raw_length {
+            return Err(StoreError::Unsupported(format!(
+                "chunk {:?} uses a codec stack; v1 manifests are raw-only",
+                c.key
+            )));
+        }
         e.str16(&c.key);
         e.u8(c.kind.code());
         e.u64(c.offset);
@@ -385,10 +504,24 @@ pub fn encode_manifest(entries: &[ChunkInfo]) -> Vec<u8> {
             e.u64(dim as u64);
         }
     }
-    e.0
+    Ok(e.0)
 }
 
-/// Parses the manifest block.
+fn decode_shape(d: &mut Dec<'_>, key: &str) -> Result<Vec<usize>, StoreError> {
+    let rank = d.u8()? as usize;
+    if rank > 8 {
+        return Err(StoreError::Format(format!(
+            "implausible rank {rank} for chunk {key:?}"
+        )));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(d.u64()? as usize);
+    }
+    Ok(shape)
+}
+
+/// Parses the v2 manifest block.
 pub fn decode_manifest(bytes: &[u8]) -> Result<Vec<ChunkInfo>, StoreError> {
     let mut d = Dec::new(bytes);
     let count = d.u32()? as usize;
@@ -398,23 +531,50 @@ pub fn decode_manifest(bytes: &[u8]) -> Result<Vec<ChunkInfo>, StoreError> {
         let kind = ChunkKind::from_code(d.u8()?)?;
         let offset = d.u64()?;
         let length = d.u64()?;
+        let raw_length = d.u64()?;
         let crc = d.u32()?;
-        let rank = d.u8()? as usize;
-        if rank > 8 {
-            return Err(StoreError::Format(format!(
-                "implausible rank {rank} for chunk {key:?}"
-            )));
-        }
-        let mut shape = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            shape.push(d.u64()? as usize);
-        }
+        let stack = decode_stack(&mut d)?;
+        let shape = decode_shape(&mut d, &key)?;
+        let info = ChunkInfo {
+            key,
+            kind,
+            offset,
+            length,
+            raw_length,
+            crc,
+            stack,
+            shape,
+        };
+        info.validate_stack()?;
+        out.push(info);
+    }
+    if !d.is_done() {
+        return Err(StoreError::Format("trailing bytes in manifest".into()));
+    }
+    Ok(out)
+}
+
+/// Parses a v1 manifest block (the compat shim): entries come back with
+/// an empty codec stack and `raw_length == length`.
+pub fn decode_manifest_v1(bytes: &[u8]) -> Result<Vec<ChunkInfo>, StoreError> {
+    let mut d = Dec::new(bytes);
+    let count = d.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let key = d.str16()?;
+        let kind = ChunkKind::from_code(d.u8()?)?;
+        let offset = d.u64()?;
+        let length = d.u64()?;
+        let crc = d.u32()?;
+        let shape = decode_shape(&mut d, &key)?;
         out.push(ChunkInfo {
             key,
             kind,
             offset,
             length,
+            raw_length: length,
             crc,
+            stack: CodecStack::raw(),
             shape,
         });
     }
@@ -674,8 +834,10 @@ mod tests {
                 key: "model/patch_w".into(),
                 kind: ChunkKind::TensorF32,
                 offset: 1234,
-                length: 4096,
+                length: 3000,
+                raw_length: 4096,
                 crc: 0xDEAD_BEEF,
+                stack: CodecStack::shuffle_lz(4),
                 shape: vec![32, 48],
             },
             ChunkInfo {
@@ -683,7 +845,9 @@ mod tests {
                 kind: ChunkKind::ActivationParams,
                 offset: 5330,
                 length: 99,
+                raw_length: 99,
                 crc: 7,
+                stack: CodecStack::raw(),
                 shape: vec![],
             },
         ];
@@ -691,5 +855,76 @@ mod tests {
             decode_manifest(&encode_manifest(&entries)).unwrap(),
             entries
         );
+    }
+
+    #[test]
+    fn v1_manifests_decode_as_raw_stacks() {
+        let entries = vec![ChunkInfo {
+            key: "model/patch_w".into(),
+            kind: ChunkKind::TensorF32,
+            offset: 1234,
+            length: 4096,
+            raw_length: 4096,
+            crc: 0xDEAD_BEEF,
+            stack: CodecStack::raw(),
+            shape: vec![32, 48],
+        }];
+        let v1 = encode_manifest_v1(&entries).unwrap();
+        assert_eq!(decode_manifest_v1(&v1).unwrap(), entries);
+
+        // v1 cannot describe a compressed chunk.
+        let compressed = vec![ChunkInfo {
+            stack: CodecStack::lz(),
+            length: 100,
+            raw_length: 4096,
+            ..entries[0].clone()
+        }];
+        assert!(matches!(
+            encode_manifest_v1(&compressed),
+            Err(StoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_manifest_stacks_are_rejected_at_decode() {
+        let base = ChunkInfo {
+            key: "model/patch_w".into(),
+            kind: ChunkKind::TensorF32,
+            offset: 0,
+            length: 10,
+            raw_length: 10,
+            crc: 0,
+            stack: CodecStack::raw(),
+            shape: vec![],
+        };
+        // A raw entry lying about its decoded length.
+        let lying_raw = ChunkInfo {
+            raw_length: 11,
+            ..base.clone()
+        };
+        assert!(matches!(
+            decode_manifest(&encode_manifest(&[lying_raw])),
+            Err(StoreError::Format(_))
+        ));
+        // A compressed entry claiming an absurd expansion.
+        let ballooning = ChunkInfo {
+            stack: CodecStack::lz(),
+            raw_length: 10 * MAX_DECODE_EXPANSION + 1,
+            ..base.clone()
+        };
+        assert!(matches!(
+            decode_manifest(&encode_manifest(&[ballooning])),
+            Err(StoreError::Format(_))
+        ));
+        // An Lz anywhere but last in the stack.
+        let misordered = ChunkInfo {
+            stack: CodecStack(vec![CodecSpec::Lz, CodecSpec::ByteShuffle { stride: 4 }]),
+            raw_length: 40,
+            ..base
+        };
+        assert!(matches!(
+            decode_manifest(&encode_manifest(&[misordered])),
+            Err(StoreError::Format(_))
+        ));
     }
 }

@@ -36,19 +36,23 @@
 //! `store.bytes_read`, `store.chunk_loads`, `store.checksum_failures`, and
 //! the `store.save` / `store.open` / `store.load_all` latency spans.
 
+pub mod codec;
 pub mod crc32;
 pub mod format;
+pub mod mmap;
 pub mod reader;
 pub mod storage;
 pub mod writer;
 
 use std::fmt;
 
+pub use codec::{Codec, CodecSpec, CodecStack};
 pub use crc32::crc32;
 pub use format::{ChunkInfo, ChunkKind, MAGIC, VERSION};
+pub use mmap::{Mapping, MmapStorage};
 pub use reader::{Artifact, Chunk};
-pub use storage::{FsStorage, MemStorage, Storage};
-pub use writer::ArtifactWriter;
+pub use storage::{ByteView, FsStorage, MemStorage, Storage};
+pub use writer::{ArtifactWriter, CodecChoice, SaveReport, WriteOptions};
 
 /// Errors of the QUQM artifact store.
 #[derive(Debug)]

@@ -1,8 +1,26 @@
 //! Opening and lazily loading QUQM artifacts.
+//!
+//! [`Artifact::open`] maps the file ([`crate::MmapStorage`]) and verifies
+//! only the header, metadata, and manifest — no chunk byte is read, so an
+//! open costs pages for the directory, not the payloads. Each chunk then
+//! CRC-verifies and (when its manifest stack says so) decodes **on first
+//! touch**:
+//!
+//! * a raw chunk on a borrowable backend is CRC-checked once and from
+//!   then on served as a borrowed slice of the mapping — zero copies;
+//! * a compressed chunk decodes once into a shared buffer behind a
+//!   per-chunk fill lock (the same stampede guard the serve registry uses
+//!   for model loads), so concurrent first readers decode it exactly once;
+//! * a raw chunk on a copy-only backend keeps the v1 behavior: read and
+//!   CRC per access, no cached second copy of the payload.
+//!
+//! Untouched sites therefore cost zero bytes read — the property that
+//! lets the multi-model registry lazily reload an artifact while the old
+//! instance keeps serving.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use quq_core::calib::ParamKey;
 use quq_core::pipeline::{PtqConfig, PtqTables};
@@ -14,11 +32,12 @@ use quq_vit::{BlockWeights, Family, ModelConfig, ModelWeights, OpSite, StageWeig
 
 use crate::crc32::crc32;
 use crate::format::{
-    decode_activation_params, decode_manifest, decode_metadata, decode_weight_params, qub_key,
-    site_from_qub_key, ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, HEADER_LEN, MAGIC, VERSION,
-    WEIGHT_PARAMS_KEY,
+    decode_activation_params, decode_manifest, decode_manifest_v1, decode_metadata,
+    decode_weight_params, qub_key, site_from_qub_key, ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY,
+    HEADER_LEN, MAGIC, VERSION, VERSION_V1, WEIGHT_PARAMS_KEY,
 };
-use crate::storage::{FsStorage, Storage};
+use crate::mmap::MmapStorage;
+use crate::storage::{ByteView, FsStorage, Storage};
 use crate::StoreError;
 
 /// A decoded chunk payload.
@@ -34,21 +53,69 @@ pub enum Chunk {
     WeightParams(Vec<(OpSite, QuqParams)>),
 }
 
+/// Verified, decoded chunk bytes — borrowed straight from the storage's
+/// mapping when possible, shared from the decode cache for compressed
+/// chunks, owned for copy-only backends. Dereferences to `&[u8]`.
+pub enum ChunkBytes<'a> {
+    /// A zero-copy borrow of the storage's memory (raw chunk, verified).
+    Borrowed(&'a [u8]),
+    /// A fresh copy (raw chunk on a backend with nothing to lend).
+    Owned(Vec<u8>),
+    /// The chunk's cached decode (compressed chunks decode exactly once).
+    Shared(Arc<Vec<u8>>),
+}
+
+impl std::ops::Deref for ChunkBytes<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            ChunkBytes::Borrowed(b) => b,
+            ChunkBytes::Owned(v) => v,
+            ChunkBytes::Shared(a) => a,
+        }
+    }
+}
+
+/// Per-chunk lazy state: CRC verification and (for compressed chunks)
+/// the cached decode, each done at most once per open artifact.
+struct ChunkCell {
+    /// Set once the stored bytes have CRC-verified (raw borrowable path).
+    verified: OnceLock<()>,
+    /// The decoded payload of a compressed chunk, filled exactly once.
+    decoded: OnceLock<Arc<Vec<u8>>>,
+    /// Stampede guard for the fill: concurrent first readers serialize
+    /// here (the serve registry's loading-mutex pattern) so the CRC pass
+    /// and decode run once, not once per racing thread.
+    fill: Mutex<()>,
+}
+
+impl ChunkCell {
+    fn new() -> ChunkCell {
+        ChunkCell {
+            verified: OnceLock::new(),
+            decoded: OnceLock::new(),
+            fill: Mutex::new(()),
+        }
+    }
+}
+
 /// An open QUQM artifact: validated header + manifest, chunks on demand.
 ///
-/// Every byte is read through a [`Storage`] backend — a directory of
-/// files by default ([`Artifact::open`]), or anything byte-addressable
-/// via [`Artifact::open_on`].
+/// Every byte is read through a [`Storage`] backend — a memory-mapped
+/// view of the file by default ([`Artifact::open`]), or anything
+/// byte-addressable via [`Artifact::open_on`].
 pub struct Artifact {
     storage: Arc<dyn Storage>,
     key: String,
     path: PathBuf,
     file_len: u64,
+    version: u32,
     config: ModelConfig,
     ptq: PtqConfig,
     method: String,
     manifest: Vec<ChunkInfo>,
     index: BTreeMap<String, usize>,
+    cells: Vec<ChunkCell>,
 }
 
 fn shape_elems(shape: &[usize]) -> Result<u64, StoreError> {
@@ -68,20 +135,35 @@ fn qub_record_len(shape: &[usize]) -> Result<u64, StoreError> {
 impl Artifact {
     /// Opens and validates an artifact without reading any chunk payload.
     ///
+    /// The file is memory-mapped, so chunk reads later borrow pages
+    /// instead of copying; when mapping fails (exotic filesystems), the
+    /// classic positioned-read backend takes over transparently.
+    ///
     /// Verifies the header, metadata, and manifest checksums, then checks
     /// the manifest's structural invariants: unique keys, chunks laid out
     /// contiguously from the end of the manifest to the end of the file,
-    /// and every chunk length consistent with its declared kind and shape.
-    /// After this, any corruption in a chunk payload is caught by that
-    /// chunk's own CRC at load time.
+    /// every chunk's decoded length consistent with its declared kind and
+    /// shape, and every codec stack well-formed. After this, any
+    /// corruption in a chunk payload is caught by that chunk's own CRC at
+    /// load time — before its codec stack ever runs on the bytes.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
-        let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
         let key = path
             .file_name()
             .ok_or_else(|| StoreError::Format(format!("artifact path {path:?} has no file name")))?
             .to_string_lossy()
             .into_owned();
-        let mut artifact = Self::open_on(Arc::new(FsStorage::new(dir)), &key)?;
+        let storage: Arc<dyn Storage> = match MmapStorage::open_path(path) {
+            Ok(m) => Arc::new(m),
+            Err(StoreError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(StoreError::Io(e))
+            }
+            // Mapping can fail where plain reads still work; fall back.
+            Err(_) => {
+                let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
+                Arc::new(FsStorage::new(dir))
+            }
+        };
+        let mut artifact = Self::open_on(storage, &key)?;
         artifact.path = path.to_path_buf();
         Ok(artifact)
     }
@@ -119,9 +201,10 @@ impl Artifact {
             )));
         }
         let version = u32::from_le_bytes(header[4..8].try_into().expect("sized"));
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V1 {
             return Err(StoreError::Unsupported(format!(
-                "artifact version {version}; this reader understands version {VERSION}"
+                "artifact version {version}; this reader understands versions \
+                 {VERSION_V1} and {VERSION}"
             )));
         }
         let meta_len = u64::from_le_bytes(header[8..16].try_into().expect("sized"));
@@ -148,7 +231,11 @@ impl Artifact {
             manifest_len,
             "manifest",
         )?;
-        let manifest = decode_manifest(&manifest_bytes)?;
+        let manifest = if version == VERSION_V1 {
+            decode_manifest_v1(&manifest_bytes)?
+        } else {
+            decode_manifest(&manifest_bytes)?
+        };
 
         let mut index = BTreeMap::new();
         let mut offset = chunks_start;
@@ -168,6 +255,10 @@ impl Artifact {
             offset = offset.checked_add(c.length).ok_or_else(|| {
                 StoreError::Format(format!("chunk {:?} length overflows the file", c.key))
             })?;
+            // v1 manifests were decoded straight into raw stacks; re-check
+            // anyway so both paths share one invariant.
+            c.validate_stack()?;
+            // Kind/shape consistency constrains the *decoded* length.
             let want = match c.kind {
                 ChunkKind::TensorF32 => {
                     Some(4u64.checked_mul(shape_elems(&c.shape)?).ok_or_else(|| {
@@ -186,10 +277,10 @@ impl Artifact {
                 }
             };
             if let Some(want) = want {
-                if c.length != want {
+                if c.raw_length != want {
                     return Err(StoreError::Format(format!(
-                        "chunk {:?} declares {} bytes but its shape {:?} implies {want}",
-                        c.key, c.length, c.shape
+                        "chunk {:?} declares {} decoded bytes but its shape {:?} implies {want}",
+                        c.key, c.raw_length, c.shape
                     )));
                 }
             }
@@ -200,16 +291,19 @@ impl Artifact {
             )));
         }
 
+        let cells = manifest.iter().map(|_| ChunkCell::new()).collect();
         Ok(Self {
             storage,
             key: key.to_string(),
             path: PathBuf::from(key),
             file_len,
+            version,
             config,
             ptq,
             method,
             manifest,
             index,
+            cells,
         })
     }
 
@@ -226,6 +320,11 @@ impl Artifact {
     /// Fitting-method name recorded in the artifact.
     pub fn method(&self) -> &str {
         &self.method
+    }
+
+    /// Format version of the opened file (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The chunk directory.
@@ -258,40 +357,116 @@ impl Artifact {
             .collect()
     }
 
-    fn info(&self, key: &str) -> Result<&ChunkInfo, StoreError> {
+    fn info(&self, key: &str) -> Result<(usize, &ChunkInfo), StoreError> {
         let &i = self
             .index
             .get(key)
             .ok_or_else(|| StoreError::MissingChunk(key.to_string()))?;
-        Ok(&self.manifest[i])
+        Ok((i, &self.manifest[i]))
     }
 
-    /// Reads and CRC-verifies one chunk's raw payload.
-    fn read_chunk(&self, info: &ChunkInfo) -> Result<Vec<u8>, StoreError> {
-        // `read_range` re-validates offset+length against the object's
-        // real size before allocating, so even a stale or hostile
-        // manifest can never size a buffer past the stored bytes.
-        let bytes = self
-            .storage
-            .read_range(&self.key, info.offset, info.length)?;
-        quq_obs::add("store.chunk_loads", 1);
-        quq_obs::add("store.bytes_read", info.length);
-        let actual = crc32(&bytes);
-        if actual != info.crc {
-            quq_obs::add("store.checksum_failures", 1);
-            return Err(StoreError::Checksum {
-                section: info.key.clone(),
-                expected: info.crc,
-                actual,
-            });
+    fn checksum_mismatch(&self, info: &ChunkInfo, actual: u32) -> StoreError {
+        quq_obs::add("store.checksum_failures", 1);
+        StoreError::Checksum {
+            section: info.key.clone(),
+            expected: info.crc,
+            actual,
         }
-        Ok(bytes)
+    }
+
+    /// The verified, decoded payload of the chunk under `key`.
+    ///
+    /// First touch CRC-verifies the stored bytes and, for compressed
+    /// chunks, runs the declared codec stack (once, stampede-safe);
+    /// afterwards raw chunks on a borrowable backend are served as
+    /// borrowed slices with no further checksumming or copying.
+    pub fn chunk_bytes(&self, key: &str) -> Result<ChunkBytes<'_>, StoreError> {
+        let (idx, _) = self.info(key)?;
+        self.chunk_bytes_idx(idx)
+    }
+
+    fn chunk_bytes_idx(&self, idx: usize) -> Result<ChunkBytes<'_>, StoreError> {
+        let info = &self.manifest[idx];
+        let cell = &self.cells[idx];
+        quq_obs::add("store.chunk_loads", 1);
+
+        if let Some(decoded) = cell.decoded.get() {
+            return Ok(ChunkBytes::Shared(decoded.clone()));
+        }
+
+        if info.stack.is_raw() {
+            // `read_range_ref` re-validates offset+length against the
+            // object's real size before touching memory, so even a stale
+            // or hostile manifest can never reach past the stored bytes.
+            let view = self
+                .storage
+                .read_range_ref(&self.key, info.offset, info.length)?;
+            return match view {
+                ByteView::Borrowed(b) => {
+                    // Zero-copy backend: CRC once, then borrow for free.
+                    // The mapping's pages cannot change under us (artifacts
+                    // are only ever replaced by rename — see `mmap.rs`), so
+                    // one verification covers every later access.
+                    if cell.verified.get().is_none() {
+                        let _guard = cell.fill.lock().unwrap_or_else(PoisonError::into_inner);
+                        if cell.verified.get().is_none() {
+                            quq_obs::add("store.bytes_read", info.length);
+                            let actual = crc32(b);
+                            if actual != info.crc {
+                                return Err(self.checksum_mismatch(info, actual));
+                            }
+                            let _ = cell.verified.set(());
+                        }
+                    }
+                    Ok(ChunkBytes::Borrowed(b))
+                }
+                ByteView::Owned(v) => {
+                    // Copy-only backend: the bytes are re-read each time,
+                    // so they are re-verified each time (v1 behavior).
+                    quq_obs::add("store.bytes_read", info.length);
+                    let actual = crc32(&v);
+                    if actual != info.crc {
+                        return Err(self.checksum_mismatch(info, actual));
+                    }
+                    Ok(ChunkBytes::Owned(v))
+                }
+            };
+        }
+
+        // Compressed chunk: CRC + decode exactly once, behind the fill
+        // lock so racing first readers don't decode in parallel.
+        let _guard = cell.fill.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(decoded) = cell.decoded.get() {
+            return Ok(ChunkBytes::Shared(decoded.clone()));
+        }
+        let stored = self
+            .storage
+            .read_range_ref(&self.key, info.offset, info.length)?;
+        quq_obs::add("store.bytes_read", info.length);
+        let actual = crc32(&stored);
+        if actual != info.crc {
+            return Err(self.checksum_mismatch(info, actual));
+        }
+        let raw_len = usize::try_from(info.raw_length).map_err(|_| {
+            StoreError::Format(format!(
+                "chunk {:?} decoded length {} exceeds the address space",
+                info.key, info.raw_length
+            ))
+        })?;
+        let decoded = info.stack.decode(&stored, raw_len).map_err(|e| match e {
+            StoreError::Format(m) => StoreError::Format(format!("chunk {:?}: {m}", info.key)),
+            other => other,
+        })?;
+        let decoded = Arc::new(decoded);
+        let _ = cell.decoded.set(decoded.clone());
+        Ok(ChunkBytes::Shared(decoded))
     }
 
     /// Loads and decodes the chunk under `key`, verifying its checksum.
     pub fn load_site(&self, key: &str) -> Result<Chunk, StoreError> {
-        let info = self.info(key)?.clone();
-        let bytes = self.read_chunk(&info)?;
+        let (idx, _) = self.info(key)?;
+        let info = self.manifest[idx].clone();
+        let bytes = self.chunk_bytes_idx(idx)?;
         match info.kind {
             ChunkKind::TensorF32 => {
                 let data: Vec<f32> = bytes
@@ -303,7 +478,7 @@ impl Artifact {
                 Ok(Chunk::Tensor(t))
             }
             ChunkKind::Qub => {
-                let qub = read_qub_tensor_bounded(&bytes[..], info.length)?;
+                let qub = read_qub_tensor_bounded(&bytes[..], info.raw_length)?;
                 if qub.shape != info.shape {
                     return Err(StoreError::Format(format!(
                         "chunk {:?}: QUB record shape {:?} disagrees with manifest shape {:?}",
@@ -341,13 +516,13 @@ impl Artifact {
 
     /// Reconstructs the full model and PTQ tables from the artifact.
     ///
-    /// Model tensors are restored bit-exactly from their raw `f32` chunks,
-    /// and quantizer parameters from their raw `f32` scale factors, so the
-    /// loaded pair produces logits bit-identical to the calibrated
-    /// in-memory pair on both backends. The returned tables carry no
-    /// `original_weights` — backends fall back to the (identical) live
-    /// model weight — and their `quantized_weights` come from decoding the
-    /// stored QUB records.
+    /// Model tensors are restored bit-exactly from their `f32` chunks
+    /// (decoding any codec stack first), and quantizer parameters from
+    /// their raw `f32` scale factors, so the loaded pair produces logits
+    /// bit-identical to the calibrated in-memory pair on both backends.
+    /// The returned tables carry no `original_weights` — backends fall
+    /// back to the (identical) live model weight — and their
+    /// `quantized_weights` come from decoding the stored QUB records.
     pub fn load_all(&self) -> Result<(VitModel, PtqTables), StoreError> {
         let _span = quq_obs::span("store.load_all");
         let config = self.config.clone();

@@ -30,11 +30,49 @@
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
 use std::process;
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::StoreError;
+
+/// Bytes returned by [`Storage::read_range_ref`]: either a borrow into
+/// memory the storage already holds (an mmap'ed file, a resident buffer)
+/// or an owned copy when the backend has nothing to lend. Dereferences to
+/// `&[u8]` either way, so callers stay agnostic.
+#[derive(Debug)]
+pub enum ByteView<'a> {
+    /// A zero-copy borrow of the storage's own memory.
+    Borrowed(&'a [u8]),
+    /// A freshly allocated copy (backends that read through I/O).
+    Owned(Vec<u8>),
+}
+
+impl Deref for ByteView<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            ByteView::Borrowed(b) => b,
+            ByteView::Owned(v) => v,
+        }
+    }
+}
+
+impl ByteView<'_> {
+    /// Whether this view borrows storage memory (no copy was made).
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, ByteView::Borrowed(_))
+    }
+
+    /// The bytes as an owned vector (copies only if borrowed).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            ByteView::Borrowed(b) => b.to_vec(),
+            ByteView::Owned(v) => v,
+        }
+    }
+}
 
 /// A keyed byte store that QUQM artifacts can live on.
 ///
@@ -60,6 +98,19 @@ pub trait Storage: Send + Sync {
     /// [`StoreError::Format`] when the range overruns the object;
     /// [`StoreError::Io`] on transport failures.
     fn read_range(&self, key: &str, offset: u64, len: u64) -> Result<Vec<u8>, StoreError>;
+
+    /// Like [`Storage::read_range`], but allowed to **borrow** from memory
+    /// the storage already holds instead of copying. The default
+    /// implementation delegates to `read_range` and returns an owned view;
+    /// zero-copy backends ([`crate::MmapStorage`]) override it to lend
+    /// sub-slices of their mapping.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Storage::read_range`].
+    fn read_range_ref(&self, key: &str, offset: u64, len: u64) -> Result<ByteView<'_>, StoreError> {
+        self.read_range(key, offset, len).map(ByteView::Owned)
+    }
 
     /// Atomically replaces the object under `key` with `bytes`: a reader
     /// concurrent with a write sees either the old object or the new one,
@@ -101,17 +152,58 @@ pub(crate) fn check_range(key: &str, offset: u64, len: u64, size: u64) -> Result
 /// has always had.
 pub struct FsStorage {
     root: PathBuf,
+    /// Fault injection for tests: when `Some(n)`, every `write` fails with
+    /// an injected I/O error after `n` bytes have reached the temp file —
+    /// exercising the mid-save-failure cleanup path deterministically.
+    fail_write_after: Option<usize>,
 }
 
 impl FsStorage {
     /// A store rooted at `root`. The directory itself is created lazily on
     /// first write.
     pub fn new(root: impl Into<PathBuf>) -> FsStorage {
-        FsStorage { root: root.into() }
+        FsStorage {
+            root: root.into(),
+            fail_write_after: None,
+        }
+    }
+
+    /// A store whose writes fail (with [`StoreError::Io`]) once `n` bytes
+    /// of an object have been written to its temp file. Test-only fault
+    /// injection: proves a mid-save failure leaves no `.tmp.` litter.
+    pub fn failing_after(root: impl Into<PathBuf>, n: usize) -> FsStorage {
+        FsStorage {
+            root: root.into(),
+            fail_write_after: Some(n),
+        }
     }
 
     fn object_path(&self, key: &str) -> PathBuf {
         self.root.join(key)
+    }
+}
+
+/// Unlinks a temp file on drop unless the write reached its rename —
+/// the cleanup runs on *every* early exit from [`FsStorage::write`]
+/// (write error, fsync error, rename error, or a panic in between), so a
+/// failed save can never leave a pid-suffixed temp file behind.
+struct TempGuard<'a> {
+    path: &'a Path,
+    armed: bool,
+}
+
+impl TempGuard<'_> {
+    /// The object now lives at its final path; the temp file is gone.
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for TempGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = fs::remove_file(self.path);
+        }
     }
 }
 
@@ -139,17 +231,25 @@ impl Storage for FsStorage {
             }
         }
         let tmp = path.with_extension(format!("tmp.{}", process::id()));
+        let mut guard = TempGuard {
+            path: &tmp,
+            armed: true,
+        };
         {
             let mut f = open_exclusive(&tmp)?;
-            if let Err(e) = f.write_all(bytes).and_then(|()| f.sync_all()) {
-                let _ = fs::remove_file(&tmp);
-                return Err(StoreError::Io(e));
+            if let Some(n) = self.fail_write_after {
+                // Injected fault: land `n` real bytes, then fail exactly
+                // like a full disk would mid-stream.
+                f.write_all(&bytes[..n.min(bytes.len())])?;
+                return Err(StoreError::Io(std::io::Error::other(format!(
+                    "injected write failure after {n} bytes"
+                ))));
             }
+            f.write_all(bytes)?;
+            f.sync_all()?;
         }
-        if let Err(e) = fs::rename(&tmp, &path) {
-            let _ = fs::remove_file(&tmp);
-            return Err(StoreError::Io(e));
-        }
+        fs::rename(&tmp, &path)?;
+        guard.defuse();
         Ok(())
     }
 

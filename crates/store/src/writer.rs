@@ -1,4 +1,14 @@
 //! Serializing a calibrated model into a QUQM artifact.
+//!
+//! Since v2 the writer runs a **codec trial** per chunk: each payload is
+//! encoded under every candidate stack for its kind (f32 tensors and
+//! params tables: `byte-shuffle(4)+lz` and `lz`; QUB records: `lz`) and
+//! the smallest wins — unless the best saving is under 2%
+//! ([`crate::codec::MIN_SAVINGS_PERMILLE`]), in which case the chunk
+//! stays raw. QUB payloads are already near-entropy-packed and routinely
+//! take this raw path; the decision lands in the manifest (the declared
+//! stack *is* the record) and in the returned [`SaveReport`], which
+//! `storebench --codec` turns into per-stack columns.
 
 use std::path::Path;
 
@@ -9,14 +19,98 @@ use quq_core::write_qub_tensor;
 use quq_tensor::Tensor;
 use quq_vit::{ModelConfig, ModelWeights, VitModel};
 
+use crate::codec::{CodecStack, MIN_SAVINGS_PERMILLE};
 use crate::crc32::crc32;
 use crate::format::{
-    encode_activation_params, encode_manifest, encode_metadata, encode_weight_params, qub_key,
-    ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, BLOCK_TENSORS, HEADER_LEN, MAGIC, VERSION,
-    WEIGHT_PARAMS_KEY,
+    encode_activation_params, encode_manifest, encode_manifest_v1, encode_metadata,
+    encode_weight_params, qub_key, ChunkInfo, ChunkKind, ACTIVATION_PARAMS_KEY, BLOCK_TENSORS,
+    HEADER_LEN, MAGIC, VERSION, VERSION_V1, WEIGHT_PARAMS_KEY,
 };
 use crate::storage::{FsStorage, Storage};
 use crate::StoreError;
+
+/// How the writer picks each chunk's codec stack.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CodecChoice {
+    /// Trial every candidate stack per chunk, keep raw unless compression
+    /// wins ≥ 2%. The default.
+    #[default]
+    Auto,
+    /// Store every chunk raw (still a v2 manifest unless the version says
+    /// otherwise).
+    Raw,
+    /// Apply exactly this stack to **every** chunk, even when it loses to
+    /// raw. Exists so tests can force compressed QUB chunks and exercise
+    /// the decode paths compression would otherwise skip.
+    Force(CodecStack),
+}
+
+/// Knobs for [`ArtifactWriter::save_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Format version to emit: [`VERSION`] (2) or [`VERSION_V1`]. v1 only
+    /// accepts [`CodecChoice::Raw`]-equivalent output.
+    pub version: u32,
+    /// Codec selection policy.
+    pub codec: CodecChoice,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            version: VERSION,
+            codec: CodecChoice::Auto,
+        }
+    }
+}
+
+impl WriteOptions {
+    /// v1 output (raw chunks, v1 manifest) — for compat fixtures and
+    /// baseline comparisons.
+    pub fn v1() -> WriteOptions {
+        WriteOptions {
+            version: VERSION_V1,
+            codec: CodecChoice::Raw,
+        }
+    }
+}
+
+/// One chunk's line in a [`SaveReport`].
+#[derive(Debug, Clone)]
+pub struct ChunkReport {
+    /// Manifest key.
+    pub key: String,
+    /// Payload kind.
+    pub kind: ChunkKind,
+    /// Decoded payload bytes.
+    pub raw_len: u64,
+    /// Stored payload bytes (after the chosen stack).
+    pub stored_len: u64,
+    /// The stack the trial chose (empty = raw won).
+    pub stack: CodecStack,
+}
+
+/// What a save actually wrote: total size plus the per-chunk codec
+/// decisions, for benchmark reporting.
+#[derive(Debug, Clone)]
+pub struct SaveReport {
+    /// Whole-artifact size in bytes.
+    pub total_bytes: u64,
+    /// Format version written.
+    pub version: u32,
+    /// Per-chunk decisions, in manifest order.
+    pub chunks: Vec<ChunkReport>,
+}
+
+impl SaveReport {
+    /// Sums `(raw, stored)` bytes over chunks of one kind.
+    pub fn kind_totals(&self, kind: ChunkKind) -> (u64, u64) {
+        self.chunks
+            .iter()
+            .filter(|c| c.kind == kind)
+            .fold((0, 0), |(r, s), c| (r + c.raw_len, s + c.stored_len))
+    }
+}
 
 /// Writes QUQM artifacts.
 pub struct ArtifactWriter;
@@ -73,8 +167,66 @@ fn quq_params_of(
     })
 }
 
+/// Candidate stacks the Auto trial runs for a chunk kind. f32 payloads
+/// (tensors and the params tables, whose bulk is raw `f32` scale bits)
+/// get the shuffle variants — the lane transpose exposes the low-entropy
+/// sign/exponent byte, which the range coder then squeezes; QUB payloads
+/// are packed codes with no lane structure, so only whole-payload codecs
+/// are worth measuring.
+fn candidate_stacks(kind: ChunkKind) -> Vec<CodecStack> {
+    match kind {
+        ChunkKind::TensorF32 | ChunkKind::ActivationParams | ChunkKind::WeightParams => {
+            vec![
+                CodecStack::shuffle_rc(4),
+                CodecStack::shuffle_lz(4),
+                CodecStack::lz(),
+            ]
+        }
+        ChunkKind::Qub => vec![CodecStack::lz(), CodecStack::rc()],
+    }
+}
+
+/// Runs the codec decision for one chunk: `(stored_bytes, stack)`.
+fn choose_encoding(kind: ChunkKind, raw: Vec<u8>, choice: &CodecChoice) -> (Vec<u8>, CodecStack) {
+    match choice {
+        CodecChoice::Raw => (raw, CodecStack::raw()),
+        CodecChoice::Force(stack) => {
+            let stored = stack.encode(&raw);
+            (stored, stack.clone())
+        }
+        CodecChoice::Auto => {
+            let mut best: Option<(Vec<u8>, CodecStack)> = None;
+            for stack in candidate_stacks(kind) {
+                let stored = stack.encode(&raw);
+                // A candidate past the reader's decode-expansion cap
+                // (possible for the range coder on near-constant data)
+                // would be rejected at open time — never pick it.
+                if (raw.len() as u64)
+                    > (stored.len() as u64).saturating_mul(crate::format::MAX_DECODE_EXPANSION)
+                {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|(b, _)| stored.len() < b.len()) {
+                    best = Some((stored, stack));
+                }
+            }
+            match best {
+                // Raw keeps the chunk unless the winner saves ≥ 2%.
+                Some((stored, stack))
+                    if (stored.len() as u64).saturating_mul(1000)
+                        <= (raw.len() as u64).saturating_mul(1000 - MIN_SAVINGS_PERMILLE) =>
+                {
+                    (stored, stack)
+                }
+                _ => (raw, CodecStack::raw()),
+            }
+        }
+    }
+}
+
 impl ArtifactWriter {
-    /// Serializes `model` + `tables` into a QUQM artifact at `path`.
+    /// Serializes `model` + `tables` into a QUQM v2 artifact at `path`,
+    /// with per-chunk codecs chosen automatically.
     ///
     /// The write goes to a sibling temp file first and is atomically
     /// renamed into place, so a crash mid-save never leaves a truncated
@@ -84,13 +236,24 @@ impl ArtifactWriter {
     /// by the QUQ method, or if any weight site lacks its original weight
     /// tensor (re-quantized tables only; `calibrate` always records them).
     pub fn save(model: &VitModel, tables: &PtqTables, path: &Path) -> Result<u64, StoreError> {
+        Ok(Self::save_with(model, tables, path, &WriteOptions::default())?.total_bytes)
+    }
+
+    /// [`ArtifactWriter::save`] with explicit version/codec options,
+    /// returning the full per-chunk [`SaveReport`].
+    pub fn save_with(
+        model: &VitModel,
+        tables: &PtqTables,
+        path: &Path,
+        options: &WriteOptions,
+    ) -> Result<SaveReport, StoreError> {
         let dir = path.parent().map(Path::to_path_buf).unwrap_or_default();
         let key = path
             .file_name()
             .ok_or_else(|| StoreError::Format(format!("artifact path {path:?} has no file name")))?
             .to_string_lossy()
             .into_owned();
-        Self::save_on(model, tables, &FsStorage::new(dir), &key)
+        Self::save_on_with(model, tables, &FsStorage::new(dir), &key, options)
     }
 
     /// Serializes `model` + `tables` into the object `key` on any
@@ -102,12 +265,42 @@ impl ArtifactWriter {
         storage: &dyn Storage,
         key: &str,
     ) -> Result<u64, StoreError> {
+        Ok(Self::save_on_with(model, tables, storage, key, &WriteOptions::default())?.total_bytes)
+    }
+
+    /// [`ArtifactWriter::save_on`] with explicit version/codec options,
+    /// returning the full per-chunk [`SaveReport`].
+    pub fn save_on_with(
+        model: &VitModel,
+        tables: &PtqTables,
+        storage: &dyn Storage,
+        key: &str,
+        options: &WriteOptions,
+    ) -> Result<SaveReport, StoreError> {
         let _span = quq_obs::span("store.save");
         if tables.method_name() != "QUQ" {
             return Err(StoreError::Unsupported(format!(
                 "tables were fitted by {:?}; only QUQ tables can be stored",
                 tables.method_name()
             )));
+        }
+        match options.version {
+            VERSION => {}
+            VERSION_V1 => {
+                if !matches!(options.codec, CodecChoice::Raw) {
+                    return Err(StoreError::Unsupported(
+                        "v1 artifacts cannot carry codec stacks; use CodecChoice::Raw".into(),
+                    ));
+                }
+            }
+            v => {
+                return Err(StoreError::Unsupported(format!(
+                    "cannot write format version {v}"
+                )))
+            }
+        }
+        if let CodecChoice::Force(stack) = &options.codec {
+            stack.validate()?;
         }
 
         let config = model.config();
@@ -120,23 +313,23 @@ impl ArtifactWriter {
             weight_params.push((*site, quq_params_of(q, "weight")?));
         }
 
-        // Assemble every chunk payload in wire order: model tensors, the
-        // two quantizer tables, then one QUB record per weight site.
-        let mut chunks: Vec<(String, ChunkKind, Vec<usize>, Vec<u8>)> = Vec::new();
+        // Assemble every raw chunk payload in wire order: model tensors,
+        // the two quantizer tables, then one QUB record per weight site.
+        let mut raw_chunks: Vec<(String, ChunkKind, Vec<usize>, Vec<u8>)> = Vec::new();
         for (key, t) in model_tensor_pairs(config, model.weights()) {
             let mut bytes = Vec::with_capacity(t.data().len() * 4);
             for v in t.data() {
                 bytes.extend_from_slice(&v.to_le_bytes());
             }
-            chunks.push((key, ChunkKind::TensorF32, t.shape().to_vec(), bytes));
+            raw_chunks.push((key, ChunkKind::TensorF32, t.shape().to_vec(), bytes));
         }
-        chunks.push((
+        raw_chunks.push((
             ACTIVATION_PARAMS_KEY.into(),
             ChunkKind::ActivationParams,
             vec![],
             encode_activation_params(&activations),
         ));
-        chunks.push((
+        raw_chunks.push((
             WEIGHT_PARAMS_KEY.into(),
             ChunkKind::WeightParams,
             vec![],
@@ -151,7 +344,16 @@ impl ArtifactWriter {
             let qub = QubCodec::new(*params).encode_tensor(w);
             let mut bytes = Vec::new();
             write_qub_tensor(&mut bytes, &qub)?;
-            chunks.push((qub_key(*site), ChunkKind::Qub, w.shape().to_vec(), bytes));
+            raw_chunks.push((qub_key(*site), ChunkKind::Qub, w.shape().to_vec(), bytes));
+        }
+
+        // Codec trial: turn each raw payload into its stored form.
+        type EncodedChunk = (String, ChunkKind, Vec<usize>, u64, Vec<u8>, CodecStack);
+        let mut chunks: Vec<EncodedChunk> = Vec::with_capacity(raw_chunks.len());
+        for (key, kind, shape, raw) in raw_chunks {
+            let raw_len = raw.len() as u64;
+            let (stored, stack) = choose_encoding(kind, raw, &options.codec);
+            chunks.push((key, kind, shape, raw_len, stored, stack));
         }
 
         let metadata = encode_metadata(config, tables.config(), tables.method_name());
@@ -161,27 +363,36 @@ impl ArtifactWriter {
         // the chunk region starts, then fill in the real offsets.
         let mut entries: Vec<ChunkInfo> = chunks
             .iter()
-            .map(|(key, kind, shape, bytes)| ChunkInfo {
+            .map(|(key, kind, shape, raw_len, stored, stack)| ChunkInfo {
                 key: key.clone(),
                 kind: *kind,
                 offset: 0,
-                length: bytes.len() as u64,
-                crc: crc32(bytes),
+                length: stored.len() as u64,
+                raw_length: *raw_len,
+                crc: crc32(stored),
+                stack: stack.clone(),
                 shape: shape.clone(),
             })
             .collect();
-        let manifest_len = encode_manifest(&entries).len() as u64;
+        let encode = |entries: &[ChunkInfo]| -> Result<Vec<u8>, StoreError> {
+            if options.version == VERSION_V1 {
+                encode_manifest_v1(entries)
+            } else {
+                Ok(encode_manifest(entries))
+            }
+        };
+        let manifest_len = encode(&entries)?.len() as u64;
         let mut offset = HEADER_LEN + metadata.len() as u64 + 4 + manifest_len + 4;
         for e in &mut entries {
             e.offset = offset;
             offset += e.length;
         }
-        let manifest = encode_manifest(&entries);
+        let manifest = encode(&entries)?;
         debug_assert_eq!(manifest.len() as u64, manifest_len);
 
         let mut header = Vec::with_capacity(HEADER_LEN as usize);
         header.extend_from_slice(&MAGIC);
-        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&options.version.to_le_bytes());
         header.extend_from_slice(&(metadata.len() as u64).to_le_bytes());
         header.extend_from_slice(&manifest_len.to_le_bytes());
         let header_crc = crc32(&header);
@@ -193,13 +404,26 @@ impl ArtifactWriter {
         out.extend_from_slice(&crc32(&metadata).to_le_bytes());
         out.extend_from_slice(&manifest);
         out.extend_from_slice(&crc32(&manifest).to_le_bytes());
-        for (_, _, _, bytes) in &chunks {
-            out.extend_from_slice(bytes);
+        for (_, _, _, _, stored, _) in &chunks {
+            out.extend_from_slice(stored);
         }
         let total = out.len() as u64;
         debug_assert_eq!(total, offset);
         storage.write(key, &out)?;
         quq_obs::add("store.bytes_written", total);
-        Ok(total)
+        Ok(SaveReport {
+            total_bytes: total,
+            version: options.version,
+            chunks: chunks
+                .into_iter()
+                .map(|(key, kind, _, raw_len, stored, stack)| ChunkReport {
+                    key,
+                    kind,
+                    raw_len,
+                    stored_len: stored.len() as u64,
+                    stack,
+                })
+                .collect(),
+        })
     }
 }

@@ -16,7 +16,10 @@ use proptest::prelude::*;
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::quantizer::QuqMethod;
 use quq_store::format::{decode_manifest, encode_manifest};
-use quq_store::{crc32, Artifact, ArtifactWriter, Chunk, MemStorage, Storage, StoreError};
+use quq_store::{
+    crc32, Artifact, ArtifactWriter, Chunk, CodecChoice, CodecStack, FsStorage, MemStorage,
+    Storage, StoreError, WriteOptions,
+};
 use quq_vit::{Dataset, ModelConfig, VitModel};
 
 static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -50,6 +53,53 @@ fn artifact_bytes() -> &'static Vec<u8> {
         let bytes = fs::read(&path).expect("read artifact back");
         let _ = fs::remove_file(&path);
         bytes
+    })
+}
+
+/// The same model saved with a forced codec stack on **every** chunk —
+/// QUB records included, which Auto would normally keep raw. Exercises the
+/// compressed decode paths under the byte-flip property.
+fn forced_artifact_bytes(
+    stack: fn() -> CodecStack,
+    slot: &'static OnceLock<Vec<u8>>,
+) -> &'static Vec<u8> {
+    slot.get_or_init(|| {
+        let (model, tables) = calibrated();
+        let mem = MemStorage::new();
+        let options = WriteOptions {
+            codec: CodecChoice::Force(stack()),
+            ..WriteOptions::default()
+        };
+        let report =
+            ArtifactWriter::save_on_with(&model, &tables, &mem, "f.quqm", &options).expect("save");
+        assert!(
+            report.chunks.iter().all(|c| !c.stack.is_raw()),
+            "Force must compress every chunk"
+        );
+        mem.get("f.quqm").expect("object stored").to_vec()
+    })
+}
+
+fn shuffle_lz_artifact_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    forced_artifact_bytes(|| CodecStack::shuffle_lz(4), &BYTES)
+}
+
+fn rc_artifact_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    forced_artifact_bytes(CodecStack::rc, &BYTES)
+}
+
+/// The same model saved as a v1 (raw, pre-codec) artifact through the
+/// compat write path.
+fn v1_artifact_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (model, tables) = calibrated();
+        let mem = MemStorage::new();
+        ArtifactWriter::save_on_with(&model, &tables, &mem, "v1.quqm", &WriteOptions::v1())
+            .expect("v1 save");
+        mem.get("v1.quqm").expect("object stored").to_vec()
     })
 }
 
@@ -281,6 +331,80 @@ fn artifact_roundtrips_byte_identically_through_both_backends() {
     let _ = fs::remove_file(&path);
 }
 
+/// Compressed (forced-stack) and v1 artifacts must all reconstruct the
+/// same model, bit for bit, as the default v2 Auto artifact.
+#[test]
+fn compressed_and_v1_artifacts_load_bit_identically() {
+    let load = |bytes: &[u8], tag: &str| {
+        let mem = MemStorage::new();
+        mem.write(tag, bytes).expect("mem write");
+        let art = Artifact::open_on(Arc::new(mem) as Arc<dyn Storage>, tag).expect("open");
+        let (model, _) = art.load_all().expect("load_all");
+        (art.version(), model)
+    };
+    let (v2_ver, v2_model) = load(artifact_bytes(), "auto");
+    assert_eq!(v2_ver, 2);
+    for (bytes, tag) in [
+        (shuffle_lz_artifact_bytes(), "shuffle-lz"),
+        (rc_artifact_bytes(), "rc"),
+    ] {
+        let (ver, model) = load(bytes, tag);
+        assert_eq!(ver, 2, "{tag}");
+        assert_eq!(model.weights(), v2_model.weights(), "{tag}");
+    }
+    let (v1_ver, v1_model) = load(v1_artifact_bytes(), "v1");
+    assert_eq!(v1_ver, 1);
+    assert_eq!(v1_model.weights(), v2_model.weights());
+    // The codec work must actually pay: every forced-compressed file and
+    // the Auto file land below the raw v1 byte count.
+    assert!(artifact_bytes().len() < v1_artifact_bytes().len());
+    assert!(shuffle_lz_artifact_bytes().len() < v1_artifact_bytes().len());
+}
+
+/// v1 is a raw-only format: asking the writer for v1 with any compression
+/// policy other than raw is a structured error, not silent misencoding.
+#[test]
+fn v1_save_rejects_compression() {
+    let (model, tables) = calibrated();
+    let mem = MemStorage::new();
+    for codec in [CodecChoice::Auto, CodecChoice::Force(CodecStack::lz())] {
+        let options = WriteOptions { version: 1, codec };
+        assert!(matches!(
+            ArtifactWriter::save_on_with(&model, &tables, &mem, "bad.quqm", &options),
+            Err(StoreError::Unsupported(_))
+        ));
+    }
+}
+
+/// A mid-write storage failure must surface the error *and* leave no
+/// stranded `.tmp.` file behind: the drop guard unlinks the partial file.
+#[test]
+fn failed_save_cleans_up_its_temp_file() {
+    let (model, tables) = calibrated();
+    let dir = std::env::temp_dir().join(format!("quqm-failwrite-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    // Fail at several points through the write, including 0 bytes in.
+    for fail_after in [0usize, 1, 28, 4096] {
+        let storage = FsStorage::failing_after(dir.clone(), fail_after);
+        let err = ArtifactWriter::save_on(&model, &tables, &storage, "doomed.quqm");
+        assert!(matches!(err, Err(StoreError::Io(_))), "fail@{fail_after}");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "fail@{fail_after} left files behind: {leftovers:?}"
+        );
+    }
+    // The same directory still accepts a clean save afterwards.
+    let storage = FsStorage::new(dir.clone());
+    ArtifactWriter::save_on(&model, &tables, &storage, "ok.quqm").expect("clean save");
+    assert!(dir.join("ok.quqm").exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -302,6 +426,37 @@ proptest! {
             Ok(()) => prop_assert!(
                 false,
                 "flip at byte {pos} bit {bit} loaded without an error"
+            ),
+        }
+    }
+
+    /// The flip property holds just as hard when chunks are compressed:
+    /// the CRC guards the *stored* bytes, so corruption is caught before
+    /// a codec ever runs, and the range decoder is total regardless.
+    #[test]
+    fn single_byte_flips_in_compressed_artifacts_are_detected(
+        pos_seed in 0u64..u64::MAX,
+        bit in 0u32..8,
+        which in 0usize..3,
+    ) {
+        let bytes = match which {
+            0 => shuffle_lz_artifact_bytes(),
+            1 => rc_artifact_bytes(),
+            _ => v1_artifact_bytes(),
+        };
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+
+        let mem = MemStorage::new();
+        mem.write("flip.quqm", &corrupt).expect("mem write");
+        let outcome = Artifact::open_on(Arc::new(mem) as Arc<dyn Storage>, "flip.quqm")
+            .and_then(|a| a.load_all().map(|_| ()));
+        match outcome {
+            Err(_) => {}
+            Ok(()) => prop_assert!(
+                false,
+                "fixture {which}: flip at byte {pos} bit {bit} loaded without an error"
             ),
         }
     }

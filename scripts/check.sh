@@ -217,6 +217,42 @@ wait "$SERVE_PID"
 rm -f "$store_art" "$store_art.bad"
 echo "store smoke: cold-start server answered bit-identically and drained clean"
 
+# Codec gate: one artifact per codec policy. Each must verify clean,
+# reject a flipped byte, and serve logits over TCP bit-identical to the
+# raw artifact's integer forward — compression must be invisible to
+# inference.
+codec_raw=target/check_codec_raw.quqm
+cargo run --release -q -p quq-bench --bin storebench -- --save "$codec_raw" --codec raw
+for codec in auto shuffle-lz shuffle-rc v1; do
+    codec_art="target/check_codec_$codec.quqm"
+    rm -f "$codec_art" "$codec_art.bad"
+    cargo run --release -q -p quq-bench --bin storebench -- --save "$codec_art" --codec "$codec"
+    cargo run --release -q -p quq-bench --bin storebench -- --verify "$codec_art" >/dev/null
+    python3 - "$codec_art" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[2 * len(data) // 3] ^= 0x04
+open(path + ".bad", "wb").write(bytes(data))
+PY
+    if cargo run --release -q -p quq-bench --bin storebench -- --verify "$codec_art.bad" 2>/dev/null; then
+        echo "codec smoke: corrupted $codec artifact was NOT rejected" >&2
+        exit 1
+    fi
+    coproc CSERVE { cargo run --release -q -p quq-serve -- \
+        --model-path "$codec_art" --addr 127.0.0.1:0 2>/dev/null; }
+    read -r _ _ codec_addr _ <&"${CSERVE[0]}"
+    # Probe against the RAW artifact: the served (compressed) model must
+    # produce the exact logits the uncompressed artifact defines.
+    cargo run --release -q -p quq-bench --bin storebench -- \
+        --probe "$codec_addr" --artifact "$codec_raw"
+    echo >&"${CSERVE[1]}"   # request graceful drain
+    wait "$CSERVE_PID"
+    rm -f "$codec_art" "$codec_art.bad"
+    echo "codec smoke: $codec verified, flip rejected, served bit-identical to raw"
+done
+rm -f "$codec_raw"
+
 # Multi-model registry gate: two artifacts (distinct seeds), a server
 # whose resident-bytes budget holds roughly one of them, LOAD/LIST/UNLOAD
 # over TCP, bit-identical answers from both models across eviction +

@@ -17,7 +17,7 @@ use std::process::Command;
 use quq_accel::IntegerBackend;
 use quq_core::pipeline::{calibrate, PtqConfig};
 use quq_core::quantizer::QuqMethod;
-use quq_store::{Artifact, ArtifactWriter};
+use quq_store::{Artifact, ArtifactWriter, WriteOptions};
 use quq_vit::{Dataset, Fp32Backend, ModelConfig, VitModel};
 
 const IMG_FILL: f32 = 0.25;
@@ -128,4 +128,45 @@ fn fresh_process_logits_are_bit_identical_on_both_backends() {
         );
     }
     let _ = std::fs::remove_file(&path);
+}
+
+/// The codec layer must be invisible to inference: the same model saved as
+/// a v1 raw artifact and as a v2 compressed artifact yields bit-identical
+/// logits from fresh processes, on both backends.
+#[test]
+fn v2_compressed_artifact_matches_v1_raw_in_fresh_processes() {
+    let config = ModelConfig::test_config();
+    let model = VitModel::synthesize(config, 9);
+    let calib = Dataset::calibration(model.config(), 4, 3);
+    let tables = calibrate(
+        &QuqMethod::without_optimization(),
+        &model,
+        &calib,
+        PtqConfig::full_w8a8(),
+    )
+    .expect("calibration");
+
+    let v1_path = temp_artifact("v1-raw");
+    ArtifactWriter::save_with(&model, &tables, &v1_path, &WriteOptions::v1()).expect("v1 save");
+
+    let v2_path = temp_artifact("v2-auto");
+    let report = ArtifactWriter::save_with(&model, &tables, &v2_path, &WriteOptions::default())
+        .expect("v2 save");
+    assert!(
+        report.chunks.iter().any(|c| !c.stack.is_raw()),
+        "the v2 auto artifact compressed nothing — the comparison would be vacuous"
+    );
+    assert!(report.total_bytes < std::fs::metadata(&v1_path).expect("stat v1").len());
+
+    for backend in ["fp32", "int"] {
+        let from_v1 = fresh_process_logits(&v1_path, backend, 1);
+        let from_v2 = fresh_process_logits(&v2_path, backend, 1);
+        assert_eq!(
+            from_v1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            from_v2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{backend}: v2 compressed logits diverge from the v1 raw artifact"
+        );
+    }
+    let _ = std::fs::remove_file(&v1_path);
+    let _ = std::fs::remove_file(&v2_path);
 }
