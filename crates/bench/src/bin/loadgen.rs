@@ -34,10 +34,28 @@
 //!    throughput comparison;
 //! 6. **Pipelined client** — one connection with 32 requests in flight
 //!    (matched by id) vs the same connection closed-loop, showing what
-//!    request pipelining buys.
+//!    request pipelining buys;
+//! 7. **Multi-tenant fairness** — a paced-compute server (deterministic
+//!    per-batch cost, so the latency gates are machine-independent) with
+//!    per-tenant token-bucket quotas: a misbehaving batch-class tenant
+//!    floods at up to 4× capacity while a compliant interactive tenant
+//!    runs well inside its quota. Gates: the compliant tenant is never
+//!    shed, and its p99 under 4× overload stays within 20% of its
+//!    unloaded value; the shed-fairness curve (shed% per tenant vs
+//!    offered load) is recorded;
+//! 8. **Shadow routing** — a bit-identical candidate armed at a 25%
+//!    mirror: the permille accumulator must select exactly ⌊N/4⌋
+//!    requests, top-1 agreement must be 100%, and every primary reply
+//!    must stay bit-exact while mirroring runs.
 //!
 //! A graceful drain ends every phase: the exit code is non-zero if any
 //! admitted request was dropped or any gate failed.
+//!
+//! `--slo ADDR` switches to external-drive mode for `scripts/check.sh`:
+//! instead of running the phases, hammer an already-running `quq-serve`
+//! (started with `--tenant-quota`/`--shadow`) with a compliant
+//! interactive tenant and a flooding batch tenant, print a parseable
+//! `SLO …` summary line, and exit.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,11 +64,15 @@ use std::time::{Duration, Instant};
 use quq_accel::IntegerBackend;
 use quq_core::pipeline::{calibrate, PtqConfig, PtqTables};
 use quq_core::quantizer::QuqMethod;
+use quq_serve::BackendProvider;
 use quq_serve::{
-    sys, Client, Fp32Provider, Frontend, InferResponse, IntegerProvider, ServeConfig, Server,
+    sys, Class, Client, Fp32Provider, Frontend, InferOptions, InferResponse, IntegerProvider,
+    ModelState, ServeConfig, Server,
 };
 use quq_tensor::{pool, Tensor};
-use quq_vit::{evaluate_parallel, Dataset, Fp32Backend, ModelConfig, ModelId, Observed, VitModel};
+use quq_vit::{
+    evaluate_parallel, Backend, Dataset, Fp32Backend, ModelConfig, ModelId, Observed, VitModel,
+};
 
 fn quick() -> bool {
     std::env::var("QUQ_QUICK")
@@ -523,7 +545,209 @@ fn pipelined_throughput(
     total as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Value of `--flag VALUE` on the command line, if present.
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// An fp32 provider with a fixed sleep prepended to every batch: compute
+/// cost becomes a deterministic constant, so the fairness phase's latency
+/// gates compare *scheduling policy*, not machine speed.
+struct PacedProvider {
+    per_batch: Duration,
+}
+
+impl BackendProvider for PacedProvider {
+    fn name(&self) -> &'static str {
+        "paced-fp32"
+    }
+
+    fn with_backend(&self, work: &mut dyn FnMut(&mut dyn Backend)) {
+        std::thread::sleep(self.per_batch);
+        let mut be = Observed::new(Fp32Backend::new());
+        work(&mut be);
+    }
+}
+
+/// Offers `rate` req/s for `duration` as one tenant — same shared-schedule
+/// structure as [`fixed_rate`], but every request carries `opts` (class,
+/// tenant). Returns (ok, shed, latencies of the ok responses).
+fn tenant_load(
+    addr: std::net::SocketAddr,
+    img: &Tensor,
+    opts: InferOptions,
+    rate: f64,
+    duration: Duration,
+    senders: usize,
+) -> (usize, usize, Vec<Duration>) {
+    let n = (rate * duration.as_secs_f64()).round().max(1.0) as usize;
+    let start = Instant::now() + Duration::from_millis(20);
+    let schedule: Arc<Mutex<std::collections::VecDeque<Instant>>> = Arc::new(Mutex::new(
+        (0..n)
+            .map(|i| start + Duration::from_secs_f64(i as f64 / rate))
+            .collect(),
+    ));
+    let ok = Arc::new(AtomicUsize::new(0));
+    let shed = Arc::new(AtomicUsize::new(0));
+    let lats: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let threads: Vec<_> = (0..senders)
+        .map(|_| {
+            let schedule = Arc::clone(&schedule);
+            let ok = Arc::clone(&ok);
+            let shed = Arc::clone(&shed);
+            let lats = Arc::clone(&lats);
+            let img = img.clone();
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut mine = Vec::new();
+                loop {
+                    let due = match schedule.lock().unwrap().pop_front() {
+                        Some(d) => d,
+                        None => break,
+                    };
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let s = Instant::now();
+                    match c.infer_with("", &img, &opts).expect("infer") {
+                        InferResponse::Ok { .. } => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            mine.push(s.elapsed());
+                        }
+                        InferResponse::Overloaded => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("tenant load got {other:?}"),
+                    }
+                }
+                lats.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("tenant sender");
+    }
+    let lats = Arc::try_unwrap(lats).unwrap().into_inner().unwrap();
+    (
+        ok.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+        lats,
+    )
+}
+
+/// One point on the shed-fairness curve: a hog tenant at a multiple of
+/// server capacity running concurrently with the compliant tenant.
+struct TenantPoint {
+    hog_multiple: f64,
+    hog_offered_per_sec: f64,
+    hog_ok: usize,
+    hog_shed: usize,
+    well_ok: usize,
+    well_shed: usize,
+    well_p99_ms: f64,
+}
+
+/// `--slo ADDR` mode for `scripts/check.sh`: drive an externally started
+/// `quq-serve` (test-config model, `--tenant-quota` active) with a
+/// flooding batch tenant and a compliant interactive tenant, then print a
+/// parseable `SLO …` summary line. The server's own `--metrics-json`
+/// snapshot carries the site-coverage evidence; this mode only asserts
+/// the client-visible invariants.
+fn drive_external_slo(addr: &str) {
+    let addr: std::net::SocketAddr = addr.parse().expect("--slo ADDR must be host:port");
+    let img = ModelConfig::test_config().dummy_image(0.3);
+    let well_opts = InferOptions {
+        class: Class::Interactive,
+        tenant: "well".into(),
+        ..InferOptions::default()
+    };
+    let hog_opts = InferOptions {
+        class: Class::Batch,
+        tenant: "hog".into(),
+        ..InferOptions::default()
+    };
+    let mut well = Client::connect(addr).expect("connect well tenant");
+    for _ in 0..5 {
+        match well.infer_with("", &img, &well_opts).expect("warmup") {
+            InferResponse::Ok { .. } => {}
+            other => panic!("warmup got {other:?}"),
+        }
+    }
+    // The hog keeps a deep pipelined window in flight (far past the admission
+    // queue) until the compliant tenant finishes its measured run, so the
+    // well requests always land on a saturated queue.
+    let running = Arc::new(AtomicBool::new(true));
+    let hog_handle = {
+        let running = Arc::clone(&running);
+        let img = img.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect hog tenant");
+            let depth = 64usize;
+            let (mut ok, mut shed) = (0usize, 0usize);
+            let mut inflight = 0usize;
+            let mut tally = |resp: InferResponse| match resp {
+                InferResponse::Ok { .. } => ok += 1,
+                InferResponse::Overloaded => shed += 1,
+                other => panic!("hog tenant got {other:?}"),
+            };
+            while running.load(Ordering::Relaxed) {
+                while inflight < depth {
+                    c.send_infer_with("", &img, &hog_opts).expect("hog send");
+                    inflight += 1;
+                }
+                tally(c.recv_response().expect("hog recv").1);
+                inflight -= 1;
+            }
+            for _ in 0..inflight {
+                tally(c.recv_response().expect("hog drain").1);
+            }
+            (ok, shed)
+        })
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let (mut well_ok, mut well_shed) = (0usize, 0usize);
+    let mut lats = Vec::new();
+    for _ in 0..50 {
+        let s = Instant::now();
+        match well.infer_with("", &img, &well_opts).expect("well infer") {
+            InferResponse::Ok { .. } => {
+                well_ok += 1;
+                lats.push(s.elapsed());
+            }
+            InferResponse::Overloaded => well_shed += 1,
+            other => panic!("well tenant got {other:?}"),
+        }
+    }
+    running.store(false, Ordering::Relaxed);
+    let (hog_ok, hog_shed) = hog_handle.join().expect("hog thread");
+    lats.sort_unstable();
+    let p99 = percentile_ms(&lats, 0.99);
+    assert_eq!(
+        well_shed, 0,
+        "compliant tenant was shed under the hog flood"
+    );
+    assert!(
+        hog_shed > 0,
+        "hog flood was never shed — quota not engaged?"
+    );
+    println!(
+        "SLO well_p99_ms={p99:.2} well_ok={well_ok} well_shed={well_shed} hog_ok={hog_ok} hog_shed={hog_shed}"
+    );
+}
+
 fn main() {
+    if let Some(addr) = arg_value("--slo") {
+        drive_external_slo(&addr);
+        return;
+    }
     let threads = pool::num_threads();
     let embed_metrics = metrics_enabled();
     println!("loadgen: {threads} pool thread(s), quick={}", quick());
@@ -701,6 +925,182 @@ fn main() {
         "pipelining must outrun one-at-a-time on the same connection"
     );
 
+    // Phase 7 — multi-tenant fairness under per-tenant quotas. The paced
+    // provider pins batch cost to a constant, so capacity and the latency
+    // gates below are machine-independent: a compliant interactive tenant
+    // at a quarter of its quota must never be shed and must keep its p99
+    // while a batch-class hog floods at up to 4× server capacity.
+    println!("multi-tenant fairness (paced backend, token-bucket quotas):");
+    let pace = Duration::from_millis(5);
+    let fair_max_batch = 4usize;
+    let fair_capacity = fair_max_batch as f64 / pace.as_secs_f64();
+    let quota = fair_capacity / 8.0;
+    let well_rate = quota / 4.0;
+    let (unloaded_p99_ms, fairness_points) = {
+        let server = Server::start(
+            Arc::clone(&sweep_model),
+            Arc::new(PacedProvider { per_batch: pace }),
+            ServeConfig {
+                workers: 1,
+                max_batch: fair_max_batch,
+                max_wait: Duration::from_millis(10),
+                queue_capacity: 16,
+                tenant_rate: quota,
+                tenant_burst: quota / 10.0,
+                ..ServeConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+        let well = InferOptions {
+            class: Class::Interactive,
+            tenant: "well".into(),
+            ..InferOptions::default()
+        };
+        let hog = InferOptions {
+            class: Class::Batch,
+            tenant: "hog".into(),
+            ..InferOptions::default()
+        };
+        let mut warmc = Client::connect(addr).expect("connect");
+        assert!(matches!(
+            warmc.infer_with("", &sweep_img, &well).expect("warmup"),
+            InferResponse::Ok { .. }
+        ));
+        let fair_duration = Duration::from_secs_f64(if quick() { 1.0 } else { 2.0 });
+        // Unloaded baseline: the compliant tenant alone.
+        let (b_ok, b_shed, mut b_lats) =
+            tenant_load(addr, &sweep_img, well.clone(), well_rate, fair_duration, 4);
+        assert!(b_ok > 0 && b_shed == 0, "in-quota tenant shed while alone");
+        b_lats.sort_unstable();
+        let unloaded_p99 = percentile_ms(&b_lats, 0.99);
+        println!("  unloaded well tenant: {b_ok} ok, p99 {unloaded_p99:.2}ms");
+        let mut points = Vec::new();
+        for mult in [1.0, 2.0, 4.0] {
+            let hog_rate = fair_capacity * mult;
+            let hog_handle = {
+                let img = sweep_img.clone();
+                let hog = hog.clone();
+                std::thread::spawn(move || {
+                    tenant_load(addr, &img, hog, hog_rate, fair_duration, 96)
+                })
+            };
+            let (w_ok, w_shed, mut w_lats) =
+                tenant_load(addr, &sweep_img, well.clone(), well_rate, fair_duration, 4);
+            let (h_ok, h_shed, _) = hog_handle.join().expect("hog thread");
+            w_lats.sort_unstable();
+            let p = TenantPoint {
+                hog_multiple: mult,
+                hog_offered_per_sec: hog_rate,
+                hog_ok: h_ok,
+                hog_shed: h_shed,
+                well_ok: w_ok,
+                well_shed: w_shed,
+                well_p99_ms: percentile_ms(&w_lats, 0.99),
+            };
+            println!(
+                "  hog at {:.0}x capacity: hog ok {} shed {} ({:.0}%), well ok {} shed {} p99 {:.2}ms",
+                p.hog_multiple,
+                p.hog_ok,
+                p.hog_shed,
+                100.0 * p.hog_shed as f64 / (p.hog_ok + p.hog_shed).max(1) as f64,
+                p.well_ok,
+                p.well_shed,
+                p.well_p99_ms
+            );
+            assert_eq!(
+                p.well_shed, 0,
+                "in-quota interactive tenant was shed at {mult}x hog overload"
+            );
+            points.push(p);
+        }
+        server.shutdown();
+        (unloaded_p99, points)
+    };
+    let overload_point = fairness_points.last().unwrap();
+    assert!(
+        overload_point.hog_shed > 0,
+        "a 4x-capacity hog must be shed"
+    );
+    let loaded_p99_ms = overload_point.well_p99_ms;
+    // The 0.5ms epsilon keeps the relative gate meaningful when both p99s
+    // sit near the (deterministic, paced) few-millisecond floor.
+    let fairness_ok = loaded_p99_ms <= unloaded_p99_ms * 1.2 + 0.5;
+    assert!(
+        fairness_ok,
+        "compliant tenant p99 degraded past 20% under 4x hog overload: \
+         {loaded_p99_ms:.2}ms loaded vs {unloaded_p99_ms:.2}ms unloaded"
+    );
+    println!(
+        "  compliant p99 under 4x overload: {loaded_p99_ms:.2}ms vs {unloaded_p99_ms:.2}ms unloaded ✓"
+    );
+
+    // Phase 8 — shadow routing at a 25% mirror against a bit-identical
+    // candidate: the permille accumulator must select exactly ⌊N/4⌋
+    // requests, agreement must be 100%, and every primary reply must stay
+    // bit-exact while mirroring runs.
+    let shadow_requests = 64usize;
+    let shadow_report = {
+        let server = sweep_server(&sweep_model, Frontend::EventLoop);
+        server.register_model(
+            "cand",
+            Arc::new(ModelState::new(
+                Arc::clone(&sweep_model),
+                Arc::new(Fp32Provider),
+            )),
+        );
+        let mut c = Client::connect(server.local_addr()).expect("connect");
+        match c.shadow_set("cand", 0.25).expect("shadow set") {
+            InferResponse::Shadow(r) => {
+                assert!(r.active && r.name == "cand", "arming failed: {r:?}")
+            }
+            other => panic!("shadow set got {other:?}"),
+        }
+        for _ in 0..shadow_requests {
+            match c.infer(&sweep_img).expect("infer") {
+                InferResponse::Ok { logits, .. } => assert_eq!(
+                    logits, sweep_offline,
+                    "primary reply changed while shadow mirroring ran"
+                ),
+                other => panic!("shadow phase got {other:?}"),
+            }
+        }
+        // Mirroring runs after the primary reply is sent; poll until the
+        // async compares catch up.
+        let want = shadow_requests as u64 / 4;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let report = loop {
+            let r = match c.shadow_status().expect("shadow status") {
+                InferResponse::Shadow(r) => r,
+                other => panic!("shadow status got {other:?}"),
+            };
+            if r.mirrored >= want && r.agree + r.disagree >= want {
+                break r;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "shadow compares did not catch up: {r:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        server.shutdown();
+        assert_eq!(
+            report.mirrored, want,
+            "25% mirror must select exactly N/4 of {shadow_requests} requests"
+        );
+        assert_eq!(
+            report.agree, want,
+            "bit-identical candidate must agree on every mirrored request"
+        );
+        assert_eq!(report.disagree, 0, "bit-identical candidate disagreed");
+        println!(
+            "shadow at 25%: {}/{} mirrored, agree {}, disagree {}, primary bit-exact ✓",
+            report.mirrored, shadow_requests, report.agree, report.disagree
+        );
+        report
+    };
+
     // Metric-site coverage: the serving path must have reported its
     // counters and per-backend histograms during the phases above.
     let delta = quq_obs::snapshot().delta_since(&run_start);
@@ -781,6 +1181,28 @@ fn main() {
         tpc.images_per_sec,
         el_top.rss_per_conn_kib,
         tpc.rss_per_conn_kib,
+    ));
+    json.push_str(&format!(
+        ", \"slo_fairness\": {{\"capacity_per_sec\": {fair_capacity:.1}, \"quota_per_sec\": {quota:.1}, \"well_rate_per_sec\": {well_rate:.1}, \"unloaded_p99_ms\": {unloaded_p99_ms:.2}, \"loaded_p99_ms\": {loaded_p99_ms:.2}, \"p99_ratio\": {:.3}, \"fairness_ok\": {fairness_ok}, \"points\": [",
+        loaded_p99_ms / unloaded_p99_ms.max(1e-9),
+    ));
+    for (i, p) in fairness_points.iter().enumerate() {
+        json.push_str(&format!(
+            "{}{{\"hog_multiple\": {:.1}, \"hog_offered_per_sec\": {:.1}, \"hog_ok\": {}, \"hog_shed\": {}, \"hog_shed_rate\": {:.4}, \"well_ok\": {}, \"well_shed\": {}, \"well_p99_ms\": {:.2}}}",
+            if i > 0 { ", " } else { "" },
+            p.hog_multiple,
+            p.hog_offered_per_sec,
+            p.hog_ok,
+            p.hog_shed,
+            p.hog_shed as f64 / (p.hog_ok + p.hog_shed).max(1) as f64,
+            p.well_ok,
+            p.well_shed,
+            p.well_p99_ms
+        ));
+    }
+    json.push_str(&format!(
+        "]}}, \"shadow\": {{\"fraction\": 0.25, \"requests\": {shadow_requests}, \"mirrored\": {}, \"agree\": {}, \"disagree\": {}, \"primary_bitexact\": true, \"shadow_ok\": true}}",
+        shadow_report.mirrored, shadow_report.agree, shadow_report.disagree
     ));
     if embed_metrics {
         json.push_str(&format!(", \"metrics\": {}", delta.to_json()));

@@ -25,7 +25,15 @@
 //!
 //! Multi-model servers are addressed with [`Client::infer_model`] (empty
 //! name = the default model) and administered with [`Client::load`],
-//! [`Client::unload`], and [`Client::list`].
+//! [`Client::unload`], and [`Client::list`]. Requests with SLO metadata
+//! (priority class, deadline, tenant) go through [`Client::infer_with`],
+//! and shadow/canary routing is administered with
+//! [`Client::shadow_set`] / [`Client::shadow_promote`] /
+//! [`Client::shadow_abort`] / [`Client::shadow_status`].
+//!
+//! The per-request receive timeout is configurable at construction via
+//! [`Client::builder`] (or later via [`Client::set_timeout`]); by default
+//! reads block indefinitely.
 
 use std::collections::{HashSet, VecDeque};
 use std::io;
@@ -36,8 +44,9 @@ use quq_tensor::Tensor;
 
 use crate::framing::FrameDecoder;
 use crate::protocol::{
-    decode_response, encode_infer_request, encode_infer_request_for, encode_list_request,
-    encode_load_request, encode_reload_request, encode_unload_request, write_frame, InferResponse,
+    decode_response, encode_infer_request, encode_infer_request_for, encode_infer_request_with,
+    encode_list_request, encode_load_request, encode_reload_request, encode_shadow_request,
+    encode_unload_request, write_frame, InferOptions, InferResponse, ShadowCmd,
 };
 
 /// Most stale (timed-out) request ids remembered at once. Beyond this the
@@ -45,6 +54,44 @@ use crate::protocol::{
 /// client instead of being silently discarded, which is the safe failure:
 /// a bounded set can never become an unbounded leak.
 pub const STALE_CAP: usize = 1024;
+
+/// Configures and connects a [`Client`] — currently just the per-request
+/// receive timeout, previously hard-coded by callers after `connect`.
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use quq_serve::Client;
+///
+/// let client = Client::builder()
+///     .timeout(Duration::from_secs(2))
+///     .connect("127.0.0.1:7878")?;
+/// # let _ = client;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ClientBuilder {
+    timeout: Option<Duration>,
+}
+
+impl ClientBuilder {
+    /// Bounds how long each response read waits. Unset = block forever.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Connects with the configured options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let mut client = Client::connect(addr)?;
+        client.set_timeout(self.timeout)?;
+        Ok(client)
+    }
+}
 
 /// A blocking connection to a [`crate::Server`].
 ///
@@ -68,6 +115,12 @@ pub struct Client {
 }
 
 impl Client {
+    /// Starts configuring a connection (receive timeout, …).
+    #[must_use]
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
     /// Connects to a running server.
     ///
     /// # Errors
@@ -173,6 +226,87 @@ impl Client {
         self.wait_for(id)
     }
 
+    /// Like [`Client::infer_model`], with explicit SLO metadata: priority
+    /// class, optional relative deadline, and tenant id
+    /// ([`InferOptions`]). A request whose deadline expires before a
+    /// worker picks it up answers [`InferResponse::DeadlineExceeded`]
+    /// without being computed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn infer_with(
+        &mut self,
+        model: &str,
+        image: &Tensor,
+        opts: &InferOptions,
+    ) -> io::Result<InferResponse> {
+        let id = self.send_infer_with(model, image, opts)?;
+        self.wait_for(id)
+    }
+
+    /// Arms shadow routing: mirror `fraction` (0.0–1.0) of default-model
+    /// traffic to candidate model `name`, tallying top-1 agreement.
+    /// Returns [`InferResponse::Shadow`] with the reset counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn shadow_set(&mut self, name: &str, fraction: f64) -> io::Result<InferResponse> {
+        let permille = if (0.0..=1.0).contains(&fraction) {
+            (fraction * 1000.0).round() as u16
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shadow fraction {fraction} outside [0, 1]"),
+            ));
+        };
+        let id = self.send_request(|id| {
+            encode_shadow_request(
+                id,
+                &ShadowCmd::Set {
+                    name: name.to_string(),
+                    permille,
+                },
+            )
+        })?;
+        self.wait_for(id)
+    }
+
+    /// Promotes the armed shadow candidate to be the default model and
+    /// disarms mirroring. Returns the final [`InferResponse::Shadow`]
+    /// report, or [`InferResponse::Error`] if no shadow is armed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn shadow_promote(&mut self) -> io::Result<InferResponse> {
+        let id = self.send_request(|id| encode_shadow_request(id, &ShadowCmd::Promote))?;
+        self.wait_for(id)
+    }
+
+    /// Disarms shadow routing without promoting. Returns the final
+    /// [`InferResponse::Shadow`] report.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn shadow_abort(&mut self) -> io::Result<InferResponse> {
+        let id = self.send_request(|id| encode_shadow_request(id, &ShadowCmd::Abort))?;
+        self.wait_for(id)
+    }
+
+    /// Fetches the current shadow report ([`InferResponse::Shadow`])
+    /// without changing anything.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::infer`].
+    pub fn shadow_status(&mut self) -> io::Result<InferResponse> {
+        let id = self.send_request(|id| encode_shadow_request(id, &ShadowCmd::Status))?;
+        self.wait_for(id)
+    }
+
     /// Asks the server to hot-swap its default model from the QUQM
     /// artifact at `path` (a path on the *server's* filesystem). Returns
     /// [`InferResponse::Reloaded`] on success and
@@ -239,6 +373,20 @@ impl Client {
     /// Propagates socket errors (which poison the client).
     pub fn send_infer_model(&mut self, model: &str, image: &Tensor) -> io::Result<u32> {
         self.send_request(|id| encode_infer_request_for(id, model, image))
+    }
+
+    /// Pipelining: like [`Client::infer_with`] without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (which poison the client).
+    pub fn send_infer_with(
+        &mut self,
+        model: &str,
+        image: &Tensor,
+        opts: &InferOptions,
+    ) -> io::Result<u32> {
+        self.send_request(|id| encode_infer_request_with(id, model, image, opts))
     }
 
     /// Pipelining: blocks for the next response in *arrival* order —

@@ -4,11 +4,13 @@
 //! The offline stack (PRs 1–3) evaluates datasets; this crate serves
 //! individual requests the way the ROADMAP's production framing demands:
 //!
-//! * a **length-prefixed TCP protocol** ([`protocol`], version 3) — image
+//! * a **length-prefixed TCP protocol** ([`protocol`], version 4) — image
 //!   tensor in, logits + top-1 out — where every request carries a `u32`
 //!   id that its response echoes, so one connection can pipeline many
-//!   requests and take the answers out of order, and an optional model
-//!   name (empty = the default model) routing it through the registry;
+//!   requests and take the answers out of order, an optional model
+//!   name (empty = the default model) routing it through the registry,
+//!   and SLO metadata: a priority [`Class`] (`interactive`/`batch`), an
+//!   optional relative deadline, and a tenant id;
 //! * a **readiness-driven front end** ([`reactor`]): a few epoll-based
 //!   reactor threads own *all* client sockets, keeping one
 //!   [`FrameDecoder`] per connection so a request that trickles in over
@@ -19,9 +21,23 @@
 //!   [`ServeConfig::write_high_water`] stops being *read* until the
 //!   client drains its responses, so a never-reading pipelined client
 //!   cannot grow server memory;
-//! * a **bounded admission queue** with shed-on-full backpressure and a
-//!   **dynamic micro-batcher** ([`batcher`]) that flushes on `max_batch`
-//!   requests or `max_wait` elapsed, whichever comes first;
+//! * an **SLO-aware scheduler** ([`sched`]) replacing the flat admission
+//!   queue: interactive strictly ahead of batch, deficit round-robin
+//!   across tenants within a class, per-tenant token-bucket quotas
+//!   ([`ServeConfig::tenant_rate`]), class-aware shedding (batch before
+//!   interactive, over-quota tenants first — an arriving better-standing
+//!   request *displaces* a worse-standing one at capacity), and
+//!   deadline-aware flushing that ships a partial batch early when the
+//!   oldest admitted deadline approaches instead of waiting out
+//!   `max_wait` (the generic [`batcher::BatchQueue`] primitive remains
+//!   for library users);
+//! * **shadow/canary routing** on the registry: a configurable fraction
+//!   of default-model traffic is mirrored to a candidate model *after*
+//!   the primary replies are sent, top-1 agreement is tallied in
+//!   `shadow.agree`/`shadow.disagree` counters, and the admin `SHADOW`
+//!   message ([`Client::shadow_set`], [`Client::shadow_promote`],
+//!   [`Client::shadow_abort`], [`Client::shadow_status`]) arms, promotes,
+//!   or aborts the canary live;
 //! * a **worker shard** ([`server`]) where each worker runs whole batches
 //!   through [`VitModel::forward_batch`](quq_vit::VitModel::forward_batch)
 //!   on a backend built by a shared [`BackendProvider`] — integer workers
@@ -80,14 +96,18 @@ pub mod poller;
 pub mod protocol;
 pub(crate) mod reactor;
 pub mod registry;
+pub mod sched;
 pub mod server;
 pub mod sys;
 
 pub use batcher::{BatchQueue, PushError};
-pub use client::Client;
+pub use client::{Client, ClientBuilder};
 pub use framing::{FrameDecoder, WriteBuf};
-pub use protocol::{InferResponse, ModelEntry, RegistrySnapshot};
+pub use protocol::{
+    Class, InferOptions, InferResponse, ModelEntry, RegistrySnapshot, ShadowReport,
+};
 pub use registry::DEFAULT_MODEL;
+pub use sched::{Admission, Admitted, Batch, SchedConfig, Scheduler};
 pub use server::{
     artifact_state, BackendProvider, Fp32Provider, Frontend, IntegerProvider, ModelState,
     ServeConfig, Server,

@@ -34,13 +34,29 @@
 //! * `--frontend event-loop|thread-per-conn` — connection front end
 //!   (default `event-loop`; `thread-per-conn` is the legacy baseline)
 //! * `--reactors N`       — event-loop reactor threads (default 1)
+//! * `--tenant-quota RATE[:BURST]` — per-tenant token-bucket quota in
+//!   requests/second (optional burst size, default `max(RATE, 1)`);
+//!   over-quota tenants shed first under pressure (default: no quota)
+//! * `--shadow NAME=FRACTION` — mirror `FRACTION` (0.0–1.0) of
+//!   default-model traffic to registered model `NAME` and tally top-1
+//!   agreement (`shadow.agree` / `shadow.disagree`)
 //! * `--metrics`          — enable the `quq-obs` recorder and print a
 //!   summary (`serve.*` counters, slowest op sites) after the drain
+//! * `--metrics-json FILE` — write the drained metrics window as JSON to
+//!   `FILE` (implies the recorder is enabled); what `scripts/check.sh`
+//!   asserts `sched.*` / `shadow.*` coverage against
+//!
+//! Count/duration flags (`--workers`, `--reactors`, `--max-batch`,
+//! `--max-wait-us`, `--queue`) must be positive integers and
+//! `--max-resident-bytes` must be > 0 (omit it for an unbounded budget);
+//! violations exit with a clear error instead of hanging deep in the
+//! scheduler.
 //!
 //! A running server also accepts the admin `RELOAD`, `LOAD`, `UNLOAD`,
-//! and `LIST` protocol messages ([`quq_serve::Client::reload`],
-//! [`quq_serve::Client::load`], …): models can be hot-swapped, registered,
-//! and dropped without dropping in-flight requests.
+//! `LIST`, and `SHADOW` protocol messages ([`quq_serve::Client::reload`],
+//! [`quq_serve::Client::load`], [`quq_serve::Client::shadow_set`], …):
+//! models can be hot-swapped, registered, dropped, and canaried without
+//! dropping in-flight requests.
 
 use std::io::BufRead;
 use std::path::Path;
@@ -99,26 +115,116 @@ fn split_model_path(v: &str) -> (Option<&str>, &str) {
     }
 }
 
+/// Parses a count/duration flag that must be a positive integer, naming
+/// the flag in the error instead of panicking (or letting a zero hang
+/// the scheduler's batch-collection wait).
+fn parse_positive(flag: &str, value: Option<String>, default: u64) -> Result<u64, String> {
+    match value {
+        None => Ok(default),
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) | Err(_) => Err(format!("{flag} {v:?}: expected a positive integer")),
+            Ok(n) => Ok(n),
+        },
+    }
+}
+
+/// Parses `--max-resident-bytes`. An *explicit* 0 is rejected — omitting
+/// the flag is how you ask for an unbounded budget — so a typo cannot
+/// silently disable the residency LRU.
+fn parse_resident_bytes(value: Option<String>) -> Result<u64, String> {
+    match value {
+        None => Ok(0),
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) => Err(
+                "--max-resident-bytes must be > 0 (omit the flag for an unbounded budget)".into(),
+            ),
+            Err(_) => Err(format!(
+                "--max-resident-bytes {v:?}: expected a positive integer"
+            )),
+            Ok(n) => Ok(n),
+        },
+    }
+}
+
+/// Parses a `--tenant-quota RATE[:BURST]` value into `(rate, burst)`:
+/// RATE in requests/second (> 0), BURST in requests (≥ 1, default
+/// `max(RATE, 1)`).
+fn parse_tenant_quota(v: &str) -> Result<(f64, f64), String> {
+    let (rate_s, burst_s) = match v.split_once(':') {
+        Some((r, b)) => (r, Some(b)),
+        None => (v, None),
+    };
+    let rate: f64 = rate_s
+        .parse()
+        .map_err(|_| format!("--tenant-quota {v:?}: RATE must be a number"))?;
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(format!("--tenant-quota {v:?}: RATE must be > 0"));
+    }
+    let burst = match burst_s {
+        None => rate.max(1.0),
+        Some(b) => {
+            let burst: f64 = b
+                .parse()
+                .map_err(|_| format!("--tenant-quota {v:?}: BURST must be a number"))?;
+            if !burst.is_finite() || burst < 1.0 {
+                return Err(format!("--tenant-quota {v:?}: BURST must be >= 1"));
+            }
+            burst
+        }
+    };
+    Ok((rate, burst))
+}
+
+/// Parses a `--shadow NAME=FRACTION` value.
+fn parse_shadow(v: &str) -> Result<(String, f64), String> {
+    let (name, frac_s) = v
+        .split_once('=')
+        .ok_or_else(|| format!("--shadow {v:?}: expected NAME=FRACTION"))?;
+    if name.is_empty() {
+        return Err(format!("--shadow {v:?}: NAME must be non-empty"));
+    }
+    let fraction: f64 = frac_s
+        .parse()
+        .map_err(|_| format!("--shadow {v:?}: FRACTION must be a number"))?;
+    if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+        return Err(format!("--shadow {v:?}: FRACTION must be in [0, 1]"));
+    }
+    Ok((name.to_string(), fraction))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let backend = arg_value("--backend").unwrap_or_else(|| "int".into());
     let model_name = arg_value("--model").unwrap_or_else(|| "vits".into());
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
-    let metrics = std::env::args().any(|a| a == "--metrics");
+    let metrics_json = arg_value("--metrics-json");
+    let metrics = std::env::args().any(|a| a == "--metrics") || metrics_json.is_some();
+    let (tenant_rate, tenant_burst) = match arg_value("--tenant-quota") {
+        Some(v) => parse_tenant_quota(&v)?,
+        None => (0.0, 0.0),
+    };
+    // Parsed up front so a bad flag fails before the model loads; applied
+    // after the candidate model is registered.
+    let shadow = arg_value("--shadow")
+        .map(|v| parse_shadow(&v))
+        .transpose()?;
     let config = ServeConfig {
-        workers: arg_value("--workers").map_or(1, |v| v.parse().expect("--workers")),
-        max_batch: arg_value("--max-batch").map_or(8, |v| v.parse().expect("--max-batch")),
-        max_wait: Duration::from_micros(
-            arg_value("--max-wait-us").map_or(2000, |v| v.parse().expect("--max-wait-us")),
-        ),
-        queue_capacity: arg_value("--queue").map_or(64, |v| v.parse().expect("--queue")),
+        workers: parse_positive("--workers", arg_value("--workers"), 1)? as usize,
+        max_batch: parse_positive("--max-batch", arg_value("--max-batch"), 8)? as usize,
+        max_wait: Duration::from_micros(parse_positive(
+            "--max-wait-us",
+            arg_value("--max-wait-us"),
+            2000,
+        )?),
+        queue_capacity: parse_positive("--queue", arg_value("--queue"), 64)? as usize,
         frontend: match arg_value("--frontend").as_deref() {
             None | Some("event-loop") => Frontend::EventLoop,
             Some("thread-per-conn") => Frontend::ThreadPerConn,
             Some(other) => return Err(format!("unknown --frontend {other}").into()),
         },
-        reactors: arg_value("--reactors").map_or(1, |v| v.parse().expect("--reactors")),
-        max_resident_bytes: arg_value("--max-resident-bytes")
-            .map_or(0, |v| v.parse().expect("--max-resident-bytes")),
+        reactors: parse_positive("--reactors", arg_value("--reactors"), 1)? as usize,
+        max_resident_bytes: parse_resident_bytes(arg_value("--max-resident-bytes"))?,
+        tenant_rate,
+        tenant_burst,
         ..ServeConfig::default()
     };
 
@@ -210,6 +316,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t0.elapsed().as_secs_f64() * 1e3
         );
     }
+    if let Some((name, fraction)) = &shadow {
+        server
+            .set_shadow(name, *fraction)
+            .map_err(|e| format!("--shadow: {e}"))?;
+        eprintln!(
+            "shadowing {:.1}% of default traffic to {name:?}",
+            fraction * 100.0
+        );
+    }
     println!(
         "serving on {} ({backend}); press Enter to drain",
         server.local_addr()
@@ -224,6 +339,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if metrics {
         let delta = quq_obs::snapshot().delta_since(&before);
+        if let Some(path) = &metrics_json {
+            std::fs::write(path, delta.to_json())?;
+            eprintln!("wrote metrics JSON to {path}");
+        }
         println!(
             "accepted {} · shed {}",
             delta.counter_total("serve.accepted"),
@@ -237,4 +356,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_flags_reject_zero_and_garbage() {
+        assert_eq!(parse_positive("--max-batch", None, 8), Ok(8));
+        assert_eq!(parse_positive("--max-batch", Some("16".into()), 8), Ok(16));
+        let err = parse_positive("--max-batch", Some("0".into()), 8).unwrap_err();
+        assert!(err.contains("--max-batch"), "error names the flag: {err}");
+        assert!(parse_positive("--max-wait-us", Some("-3".into()), 2000).is_err());
+        assert!(parse_positive("--queue", Some("many".into()), 64).is_err());
+    }
+
+    #[test]
+    fn explicit_zero_resident_bytes_is_rejected_with_guidance() {
+        assert_eq!(parse_resident_bytes(None), Ok(0));
+        assert_eq!(parse_resident_bytes(Some("1000".into())), Ok(1000));
+        let err = parse_resident_bytes(Some("0".into())).unwrap_err();
+        assert!(err.contains("omit the flag"), "error guides the fix: {err}");
+        assert!(parse_resident_bytes(Some("big".into())).is_err());
+    }
+
+    #[test]
+    fn tenant_quota_parses_rate_and_optional_burst() {
+        assert_eq!(parse_tenant_quota("50"), Ok((50.0, 50.0)));
+        assert_eq!(parse_tenant_quota("0.5"), Ok((0.5, 1.0))); // burst floor
+        assert_eq!(parse_tenant_quota("50:200"), Ok((50.0, 200.0)));
+        assert!(parse_tenant_quota("0").is_err());
+        assert!(parse_tenant_quota("-1").is_err());
+        assert!(parse_tenant_quota("50:0.5").is_err());
+        assert!(parse_tenant_quota("inf").is_err());
+        assert!(parse_tenant_quota("fast").is_err());
+    }
+
+    #[test]
+    fn shadow_flag_parses_name_and_fraction() {
+        assert_eq!(parse_shadow("cand=0.25"), Ok(("cand".to_string(), 0.25)));
+        assert!(parse_shadow("cand").is_err());
+        assert!(parse_shadow("=0.25").is_err());
+        assert!(parse_shadow("cand=1.5").is_err());
+        assert!(parse_shadow("cand=-0.1").is_err());
+        assert!(parse_shadow("cand=lots").is_err());
+    }
 }

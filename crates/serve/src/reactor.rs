@@ -25,12 +25,13 @@
 //! ```
 //!
 //! Requests are tagged with a per-request id
-//! ([`crate::protocol::PROTOCOL_VERSION`] 3), so one connection may keep
+//! ([`crate::protocol::PROTOCOL_VERSION`] 4), so one connection may keep
 //! many requests in flight and receive responses out of order — whichever
 //! micro-batch finishes first replies first. Decoded requests enter the
-//! same bounded [`BatchQueue`](crate::batcher::BatchQueue) as before:
-//! admission control (shed with `OVERLOADED`), micro-batching, drain on
-//! shutdown, and the `RELOAD`/`LOAD`/`UNLOAD`/`LIST` admin paths.
+//! bounded SLO-aware [`Scheduler`](crate::sched::Scheduler): admission
+//! control (shed with `OVERLOADED`, or displace a lower-standing queued
+//! request), class/tenant-fair micro-batching, drain on shutdown, and the
+//! `RELOAD`/`LOAD`/`UNLOAD`/`LIST`/`SHADOW` admin paths.
 //!
 //! ## Write-backlog backpressure
 //!
@@ -62,13 +63,13 @@ use crate::batcher::PushError;
 use crate::framing::{FrameDecoder, WriteBuf};
 use crate::poller::{Event, Interest, Poller, Waker};
 use crate::protocol::{
-    decode_infer_request, decode_load_request, decode_reload_request, decode_unload_request,
-    encode_error_response, encode_list_response, encode_status_response, request_id, tag_response,
-    OP_INFER, OP_LIST, OP_LOAD, OP_RELOAD, OP_UNLOAD, STATUS_DRAINING, STATUS_OVERLOADED,
-    STATUS_RELOADED, STATUS_UNLOADED,
+    decode_infer_request, decode_load_request, decode_reload_request, decode_shadow_request,
+    decode_unload_request, encode_error_response, encode_list_response, encode_status_response,
+    request_id, tag_response, OP_INFER, OP_LIST, OP_LOAD, OP_RELOAD, OP_SHADOW, OP_UNLOAD,
+    STATUS_DRAINING, STATUS_OVERLOADED, STATUS_RELOADED, STATUS_UNLOADED,
 };
 use crate::registry::{resolve_name, Admit};
-use crate::server::{Job, Reply, Shared};
+use crate::server::{answer_displaced, flow_label, shadow_command, Job, Reply, Shared};
 
 /// Metrics site for admin operations (RELOAD/LOAD), which run on a
 /// side thread rather than a backend worker.
@@ -103,6 +104,9 @@ pub(crate) struct Completion {
     pub t0: Instant,
     /// Metrics site (the provider name at admission).
     pub site: &'static str,
+    /// `class:tenant` site for the per-flow `serve.e2e` record; empty
+    /// for admin completions.
+    pub flow: String,
 }
 
 /// Cloneable sender half of a reactor's completion channel; every send
@@ -459,11 +463,13 @@ impl Reactor {
 
     /// Delivers one worker completion to its connection.
     fn complete(&mut self, c: Completion) {
-        quq_obs::record_at(
-            "serve.e2e",
-            || SiteKey::global(c.site),
-            c.t0.elapsed().as_nanos() as u64,
-        );
+        let dt = c.t0.elapsed().as_nanos() as u64;
+        quq_obs::record_at("serve.e2e", || SiteKey::global(c.site), dt);
+        if !c.flow.is_empty() {
+            // Second record under the `class:tenant` site, so per-flow
+            // latency is attributable without losing the per-provider view.
+            quq_obs::record_at("serve.e2e", || SiteKey::global(c.flow.clone()), dt);
+        }
         if let Some(conn) = self.conns.get_mut(&c.token) {
             conn.inflight = conn.inflight.saturating_sub(1);
             conn.out.enqueue_frame(&tag_response(c.id, &c.body));
@@ -512,9 +518,11 @@ impl Reactor {
         let mut modify: Option<(std::os::fd::RawFd, Interest)> = None;
         if let Some(conn) = self.conns.get_mut(&token) {
             let done_writing = conn.out.is_empty();
-            if (conn.close_after_flush && done_writing)
-                || (conn.peer_closed && done_writing && conn.inflight == 0)
-            {
+            // Both arms require inflight == 0: a close_after_flush marked
+            // connection (e.g. answered DRAINING) may still be owed
+            // replies to requests admitted *before* the drain began —
+            // closing on an empty buffer alone would drop them.
+            if done_writing && conn.inflight == 0 && (conn.close_after_flush || conn.peer_closed) {
                 done = true;
             } else {
                 let want = Interest {
@@ -558,7 +566,7 @@ fn handle_frame(
     match frame.first() {
         Some(&OP_INFER) => {
             let t0 = Instant::now();
-            let (id, model, image) = match decode_infer_request(frame) {
+            let (id, meta, model, image) = match decode_infer_request(frame) {
                 Ok(p) => p,
                 Err(e) => {
                     let body = encode_error_response(&e.to_string());
@@ -592,16 +600,30 @@ fn handle_frame(
                 // the shape there.
                 Admit::Cold => "cold-start",
             };
+            let flow = flow_label(meta.class, &meta.tenant);
+            let deadline = (meta.deadline_us > 0)
+                .then(|| t0 + Duration::from_micros(u64::from(meta.deadline_us)));
             let job = Job {
                 model: name.to_string(),
                 image,
-                reply: Reply::reactor(comp.clone(), token, id, t0, site),
+                reply: Reply::reactor(comp.clone(), token, id, t0, site, flow),
             };
-            match shared.queue.push(job) {
-                Ok(depth) => {
+            match shared.queue.push(job, meta.class, &meta.tenant, deadline) {
+                Ok(admission) => {
                     conn.inflight += 1;
                     quq_obs::add("serve.accepted", 1);
-                    quq_obs::record_at("serve.queue_depth", || SiteKey::global(site), depth as u64);
+                    quq_obs::record_at(
+                        "serve.queue_depth",
+                        || SiteKey::global(site),
+                        admission.depth as u64,
+                    );
+                    // A displaced lower-standing request is answered
+                    // OVERLOADED through its own Reply, which routes the
+                    // completion back to whichever reactor/connection owns
+                    // it (and decrements that connection's inflight).
+                    if let Some(victim) = admission.displaced {
+                        answer_displaced(victim);
+                    }
                 }
                 Err(PushError::Full(job)) => {
                     // The front end answers; the bounced job's Reply must
@@ -620,6 +642,18 @@ fn handle_frame(
                     conn.close_after_flush = true;
                 }
             }
+        }
+        Some(&OP_SHADOW) => {
+            // All SHADOW actions are cheap (registry metadata + counter
+            // reads; PROMOTE copies one registry entry): answer inline.
+            let body = match decode_shadow_request(frame) {
+                Ok((_, cmd)) => {
+                    shadow_command(shared, cmd).unwrap_or_else(|msg| encode_error_response(&msg))
+                }
+                Err(e) => encode_error_response(&e.to_string()),
+            };
+            conn.out
+                .enqueue_frame(&tag_response(request_id(frame), &body));
         }
         Some(&OP_RELOAD) => {
             let t0 = Instant::now();
@@ -658,6 +692,7 @@ fn handle_frame(
                         body,
                         t0,
                         site: ADMIN_SITE,
+                        flow: String::new(),
                     });
                 })
                 .expect("spawn reload thread");
@@ -696,6 +731,7 @@ fn handle_frame(
                         body,
                         t0,
                         site: ADMIN_SITE,
+                        flow: String::new(),
                     });
                 })
                 .expect("spawn load thread");

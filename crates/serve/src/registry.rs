@@ -230,6 +230,48 @@ impl Registry {
         Ok(())
     }
 
+    /// Promotes model `name` to be the new default: the candidate's
+    /// source and resident state are installed under [`DEFAULT_MODEL`],
+    /// keeping the default entry's request counter (mirroring
+    /// [`Registry::reload_default`]). The candidate entry itself stays
+    /// registered under its own name. Used by shadow/canary promotion.
+    pub(crate) fn promote(&self, name: &str) -> Result<(), String> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let (source, resident, bytes, loading) = {
+            let e = inner
+                .entries
+                .get(name)
+                .ok_or_else(|| format!("unknown model {name:?}"))?;
+            if e.resident.is_none() && e.source.is_none() {
+                return Err(format!(
+                    "model {name:?} has neither a resident state nor an artifact source"
+                ));
+            }
+            (
+                e.source.clone(),
+                e.resident.clone(),
+                e.bytes,
+                Arc::clone(&e.loading),
+            )
+        };
+        let requests = inner.entries.get(DEFAULT_MODEL).map_or(0, |e| e.requests);
+        inner.entries.insert(
+            DEFAULT_MODEL.to_string(),
+            Entry {
+                source,
+                resident,
+                bytes,
+                last_used: tick,
+                requests,
+                loading,
+            },
+        );
+        self.evict_locked(&mut inner, DEFAULT_MODEL);
+        Ok(())
+    }
+
     /// Drops model `name` from the registry entirely. Returns `false` if
     /// no such model was registered.
     pub(crate) fn unload(&self, name: &str) -> bool {

@@ -5,21 +5,34 @@
 //! ## Data flow (event-loop front end, the default)
 //!
 //! ```text
-//! clients ══╗  epoll   ┌ FrameDecoder ┐ push  ┌────────────┐ next_batch
-//!  (many) ══╬═▶ reactor│ per-conn     ├──────▶│ BatchQueue │────▶ workers
-//!           ║          └ WriteBuf ◀───┘       └────────────┘ forward_batch
-//!  responses╚══════════════▲ id-tagged completions ◀──────────────┘
+//! clients ══╗  epoll   ┌ FrameDecoder ┐ push  ┌───────────┐ next_batch
+//!  (many) ══╬═▶ reactor│ per-conn     ├──────▶│ Scheduler │────▶ workers
+//!           ║          └ WriteBuf ◀───┘       └───────────┘ forward_batch
+//!  responses╚══════════════▲ id-tagged completions ◀─────────────┘
 //! ```
 //!
 //! One or a few [`reactor`](crate::reactor) threads own every socket;
 //! requests carry a `u32` id so a connection can pipeline many and take
 //! responses out of order. Workers pull micro-batches from the bounded
-//! [`BatchQueue`] and run [`VitModel::forward_batch`] on a backend built
-//! per batch by the shared [`BackendProvider`] (integer workers share one
-//! [`WeightQubCache`](quq_accel::WeightQubCache) through their provider).
-//! Because `forward_batch` is bit-identical to per-image `forward`, a
-//! client observes the same logits regardless of which requests it was
-//! batched with — or in which order the responses came back.
+//! SLO-aware [`Scheduler`](crate::sched::Scheduler) — interactive ahead
+//! of batch, deficit-round-robin across tenants, deadline-aware flushing;
+//! see the [`crate::sched`] docs — and run [`VitModel::forward_batch`] on
+//! a backend built per batch by the shared [`BackendProvider`] (integer
+//! workers share one [`WeightQubCache`](quq_accel::WeightQubCache)
+//! through their provider). Because `forward_batch` is bit-identical to
+//! per-image `forward`, a client observes the same logits regardless of
+//! which requests it was batched with — or in which order the responses
+//! came back.
+//!
+//! ## Shadow/canary routing
+//!
+//! A registered candidate model can *shadow* the default: a configured
+//! fraction of default-model requests is mirrored to the candidate after
+//! the primary replies are sent, and top-1 agreement is tallied
+//! (`shadow.mirrored/agree/disagree`). The primary path is untouched —
+//! same batches, same bit-exact logits — so a canary can soak under real
+//! traffic before [`Server::promote_shadow`] (or the wire SHADOW PROMOTE)
+//! atomically makes it the default.
 //!
 //! The legacy [`Frontend::ThreadPerConn`] handler-thread front end is
 //! retained as a benchmark baseline and as the living exhibit of the
@@ -31,9 +44,12 @@
 //!
 //! Admission is the only unbounded-work point and it is bounded by
 //! `queue_capacity`; when full the front end replies `OVERLOADED`
-//! immediately (shedding) instead of queueing. The reactor's write
-//! buffers hold only replies to requests that were actually admitted (or
-//! tiny status frames), so nothing in the server grows with offered load.
+//! immediately (shedding) — or, if the incoming request outranks a queued
+//! one (interactive over batch, in-quota over over-quota), the queued
+//! request is displaced and answered `OVERLOADED` instead. The reactor's
+//! write buffers hold only replies to requests that were actually
+//! admitted (or tiny status frames), so nothing in the server grows with
+//! offered load.
 //!
 //! ## Graceful shutdown
 //!
@@ -59,16 +75,18 @@ use quq_store::{Artifact, StoreError};
 use quq_tensor::Tensor;
 use quq_vit::{Backend, Fp32Backend, Observed, VitModel};
 
-use crate::batcher::{BatchQueue, PushError};
+use crate::batcher::PushError;
 use crate::protocol::{
-    decode_infer_request, decode_load_request, decode_reload_request, decode_unload_request,
-    encode_error_response, encode_list_response, encode_ok_response, encode_status_response,
-    read_frame, request_id, tag_response, write_frame, RegistrySnapshot, OP_INFER, OP_LIST,
-    OP_LOAD, OP_RELOAD, OP_UNLOAD, STATUS_DRAINING, STATUS_OVERLOADED, STATUS_RELOADED,
+    decode_infer_request, decode_load_request, decode_reload_request, decode_shadow_request,
+    decode_unload_request, encode_error_response, encode_list_response, encode_ok_response,
+    encode_shadow_response, encode_status_response, read_frame, request_id, tag_response,
+    write_frame, RegistrySnapshot, ShadowCmd, ShadowReport, OP_INFER, OP_LIST, OP_LOAD, OP_RELOAD,
+    OP_SHADOW, OP_UNLOAD, STATUS_DEADLINE, STATUS_DRAINING, STATUS_OVERLOADED, STATUS_RELOADED,
     STATUS_UNLOADED,
 };
 use crate::reactor::{Completion, CompletionSender, Reactor, ReactorHandle};
 use crate::registry::{resolve_name, Admit, Registry, DEFAULT_MODEL};
+use crate::sched::{SchedConfig, Scheduler};
 
 /// Builds an inference backend for a worker, once per batch.
 ///
@@ -180,6 +198,18 @@ pub struct ServeConfig {
     /// this value. Bounds server memory against pipelined clients that
     /// never read their responses.
     pub write_high_water: usize,
+    /// Per-tenant token-bucket refill in requests/second; requests beyond
+    /// it are marked over-quota and shed first under pressure.
+    /// 0 = quotas off.
+    pub tenant_rate: f64,
+    /// Token-bucket burst capacity per tenant. 0 = `tenant_rate.max(1)`.
+    pub tenant_burst: f64,
+    /// Deficit-round-robin quantum: requests one tenant may dequeue per
+    /// scheduler ring visit before yielding to the next tenant.
+    pub drr_quantum: usize,
+    /// Flush a partial batch this long before the most urgent queued
+    /// deadline, so the request clears compute in time.
+    pub deadline_slack: Duration,
 }
 
 impl Default for ServeConfig {
@@ -193,6 +223,10 @@ impl Default for ServeConfig {
             reactors: 1,
             max_resident_bytes: 0,
             write_high_water: 1 << 20,
+            tenant_rate: 0.0,
+            tenant_burst: 0.0,
+            drr_quantum: 1,
+            deadline_slack: Duration::from_millis(1),
         }
     }
 }
@@ -214,6 +248,9 @@ enum ReplySink {
         id: u32,
         t0: Instant,
         site: &'static str,
+        /// `class:tenant` site for the per-flow `serve.e2e` record; empty
+        /// for admin completions (no flow record).
+        flow: String,
     },
 }
 
@@ -230,6 +267,7 @@ impl Reply {
         id: u32,
         t0: Instant,
         site: &'static str,
+        flow: String,
     ) -> Reply {
         Reply {
             inner: Some(ReplySink::Reactor {
@@ -238,6 +276,7 @@ impl Reply {
                 id,
                 t0,
                 site,
+                flow,
             }),
         }
     }
@@ -265,12 +304,14 @@ impl Reply {
                 id,
                 t0,
                 site,
+                flow,
             }) => comp.send(Completion {
                 token,
                 id,
                 body,
                 t0,
                 site,
+                flow,
             }),
             None => {}
         }
@@ -344,9 +385,86 @@ pub fn artifact_state(path: &Path, backend: &str) -> Result<ModelState, StoreErr
     Ok(ModelState::new(Arc::new(model), provider))
 }
 
+/// Shadow/canary routing state: the configured candidate plus the
+/// comparison tallies. Mirroring is deterministic — a permille
+/// accumulator, no RNG — so N primary requests at fraction p/1000 mirror
+/// exactly ⌊N·p/1000⌋ of them (in arrival order).
+pub(crate) struct Shadow {
+    /// `(candidate name, permille)` when shadowing is active.
+    cfg: Mutex<Option<(String, u16)>>,
+    /// Permille accumulator driving deterministic mirror selection.
+    acc: AtomicU64,
+    mirrored: AtomicU64,
+    agree: AtomicU64,
+    disagree: AtomicU64,
+}
+
+impl Shadow {
+    fn new() -> Shadow {
+        Shadow {
+            cfg: Mutex::new(None),
+            acc: AtomicU64::new(0),
+            mirrored: AtomicU64::new(0),
+            agree: AtomicU64::new(0),
+            disagree: AtomicU64::new(0),
+        }
+    }
+
+    /// The active `(candidate, permille)` target, if any.
+    fn target(&self) -> Option<(String, u16)> {
+        self.cfg
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Arms shadowing at `permille`/1000 toward `name`, resetting the
+    /// comparison tallies.
+    fn arm(&self, name: String, permille: u16) {
+        let mut cfg = self.cfg.lock().unwrap_or_else(PoisonError::into_inner);
+        *cfg = Some((name, permille));
+        self.acc.store(0, Ordering::Relaxed);
+        self.mirrored.store(0, Ordering::Relaxed);
+        self.agree.store(0, Ordering::Relaxed);
+        self.disagree.store(0, Ordering::Relaxed);
+    }
+
+    /// Disarms shadowing; returns whether it was armed.
+    fn disarm(&self) -> bool {
+        self.cfg
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .is_some()
+    }
+
+    /// One deterministic mirror decision: `true` when the accumulated
+    /// permille mass crosses the next multiple of 1000.
+    fn should_mirror(&self, permille: u16) -> bool {
+        let prev = self.acc.fetch_add(u64::from(permille), Ordering::Relaxed);
+        (prev + u64::from(permille)) / 1000 > prev / 1000
+    }
+
+    fn report(&self) -> ShadowReport {
+        let (active, name, permille) = match self.target() {
+            Some((name, permille)) => (true, name, permille),
+            None => (false, String::new(), 0),
+        };
+        ShadowReport {
+            active,
+            name,
+            permille,
+            mirrored: self.mirrored.load(Ordering::Relaxed),
+            agree: self.agree.load(Ordering::Relaxed),
+            disagree: self.disagree.load(Ordering::Relaxed),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) registry: Registry,
-    pub(crate) queue: BatchQueue<Job>,
+    pub(crate) queue: Scheduler<Job>,
+    pub(crate) shadow: Shadow,
     pub(crate) shutdown: AtomicBool,
     /// Set after workers have drained and joined: reactors flush whatever
     /// replies remain, then exit.
@@ -413,7 +531,14 @@ impl Server {
         registry.register_state(DEFAULT_MODEL, state, None);
         let shared = Arc::new(Shared {
             registry,
-            queue: BatchQueue::new(config.queue_capacity),
+            queue: Scheduler::new(SchedConfig {
+                capacity: config.queue_capacity,
+                quantum: config.drr_quantum.max(1),
+                tenant_rate: config.tenant_rate,
+                tenant_burst: config.tenant_burst,
+                deadline_slack: config.deadline_slack,
+            }),
+            shadow: Shadow::new(),
             shutdown: AtomicBool::new(false),
             finalize: AtomicBool::new(false),
             write_high_water: config.write_high_water.max(1),
@@ -523,6 +648,66 @@ impl Server {
     /// Point-in-time snapshot of the model registry.
     pub fn registry_snapshot(&self) -> RegistrySnapshot {
         self.shared.registry.snapshot()
+    }
+
+    /// Registers an in-process model state under `name` (no artifact
+    /// source, so it is never evicted). The in-process counterpart of
+    /// LOAD for states that did not come from disk — e.g. a shadow
+    /// candidate built by a test or benchmark.
+    pub fn register_model(&self, name: &str, state: Arc<ModelState>) {
+        self.shared
+            .registry
+            .register_state(resolve_name(name), state, None);
+    }
+
+    /// Starts mirroring `fraction` (0.0..=1.0) of default-model traffic
+    /// to the registered candidate `name`, comparing top-1 results. The
+    /// in-process counterpart of the wire SHADOW SET.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an unknown candidate, the default model itself, or a
+    /// fraction outside `[0, 1]`.
+    pub fn set_shadow(&self, name: &str, fraction: f64) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(format!("shadow fraction {fraction} outside [0, 1]"));
+        }
+        let permille = (fraction * 1000.0).round() as u16;
+        match shadow_command(
+            &self.shared,
+            ShadowCmd::Set {
+                name: name.to_string(),
+                permille,
+            },
+        ) {
+            Ok(_) => Ok(()),
+            Err(msg) => Err(msg),
+        }
+    }
+
+    /// The current shadow-routing report (candidate, mirror fraction,
+    /// agreement tallies).
+    pub fn shadow_report(&self) -> ShadowReport {
+        self.shared.shadow.report()
+    }
+
+    /// Promotes the shadow candidate to default model and stops
+    /// mirroring. The in-process counterpart of SHADOW PROMOTE.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no shadow is configured or the candidate can no longer
+    /// be resolved.
+    pub fn promote_shadow(&self) -> Result<(), String> {
+        shadow_command(&self.shared, ShadowCmd::Promote).map(|_| ())
+    }
+
+    /// Stops mirroring without touching the default model; returns
+    /// whether a shadow was active. The counterpart of SHADOW ABORT.
+    pub fn abort_shadow(&self) -> bool {
+        let was = self.shared.shadow.target().is_some();
+        let _ = shadow_command(&self.shared, ShadowCmd::Abort);
+        was
     }
 
     /// Times any connection's reads were paused at the write-backlog
@@ -667,11 +852,62 @@ fn handle_request(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) 
             let body = encode_list_response(&shared.registry.snapshot());
             write_frame(stream, &tag_response(request_id(payload), &body)).is_ok()
         }
+        Some(&OP_SHADOW) => {
+            let body = match decode_shadow_request(payload) {
+                Ok((_, cmd)) => {
+                    shadow_command(shared, cmd).unwrap_or_else(|msg| encode_error_response(&msg))
+                }
+                Err(e) => encode_error_response(&e.to_string()),
+            };
+            write_frame(stream, &tag_response(request_id(payload), &body)).is_ok()
+        }
         _ => {
             let body = encode_error_response("unknown opcode");
             write_frame(stream, &tag_response(request_id(payload), &body)).is_ok()
         }
     }
+}
+
+/// Executes one SHADOW admin command against the shared state; shared by
+/// both front ends and the in-process [`Server`] methods. `Ok` carries
+/// the SHADOW response body (the post-command report); `Err` the message
+/// for an ERROR response.
+pub(crate) fn shadow_command(shared: &Shared, cmd: ShadowCmd) -> Result<Vec<u8>, String> {
+    match cmd {
+        ShadowCmd::Set { name, permille } => {
+            let name = resolve_name(&name).to_string();
+            if name == DEFAULT_MODEL {
+                return Err("cannot shadow the default model onto itself".into());
+            }
+            if permille > 1000 {
+                return Err(format!("shadow permille {permille} exceeds 1000"));
+            }
+            if !shared
+                .registry
+                .snapshot()
+                .models
+                .iter()
+                .any(|m| m.name == name)
+            {
+                return Err(format!("unknown shadow candidate {name:?}"));
+            }
+            shared.shadow.arm(name, permille);
+        }
+        ShadowCmd::Promote => {
+            let (name, _) = shared
+                .shadow
+                .target()
+                .ok_or_else(|| "no shadow candidate configured".to_string())?;
+            shared.registry.promote(&name)?;
+            shared.shadow.disarm();
+            quq_obs::add("shadow.promotions", 1);
+        }
+        ShadowCmd::Abort => {
+            shared.shadow.disarm();
+        }
+        ShadowCmd::Status => {}
+    }
+    Ok(encode_shadow_response(&shared.shadow.report()))
 }
 
 /// Admin path: swap the default model for one restored from an artifact.
@@ -738,9 +974,32 @@ fn handle_unload(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -
     write_frame(stream, &tag_response(id, &body)).is_ok()
 }
 
+/// The `class:tenant` obs site label for a request's per-flow records.
+pub(crate) fn flow_label(class: crate::protocol::Class, tenant: &str) -> String {
+    format!(
+        "{class}:{}",
+        if tenant.is_empty() {
+            crate::sched::ANON_TENANT
+        } else {
+            tenant
+        }
+    )
+}
+
+/// Answers a request the scheduler displaced to make room for a
+/// higher-standing one: `OVERLOADED` through its own reply route (which
+/// also counts it as shed).
+pub(crate) fn answer_displaced(victim: crate::sched::Admitted<Job>) {
+    quq_obs::add("serve.shed", 1);
+    victim
+        .item
+        .reply
+        .send(encode_status_response(STATUS_OVERLOADED));
+}
+
 fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) -> bool {
     let t0 = Instant::now();
-    let (id, model, image) = match decode_infer_request(payload) {
+    let (id, meta, model, image) = match decode_infer_request(payload) {
         Ok(p) => p,
         Err(e) => {
             let body = encode_error_response(&e.to_string());
@@ -769,16 +1028,23 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
         Admit::Cold => "cold-start".to_string(),
     };
     let site = || SiteKey::global(site_name.clone());
+    let flow = flow_label(meta.class, &meta.tenant);
+    let deadline =
+        (meta.deadline_us > 0).then(|| t0 + Duration::from_micros(u64::from(meta.deadline_us)));
 
     let (tx, rx) = mpsc::channel();
-    match shared.queue.push(Job {
+    let job = Job {
         model: name,
         image,
         reply: Reply::blocking(tx),
-    }) {
-        Ok(depth) => {
+    };
+    match shared.queue.push(job, meta.class, &meta.tenant, deadline) {
+        Ok(admission) => {
             quq_obs::add("serve.accepted", 1);
-            quq_obs::record_at("serve.queue_depth", site, depth as u64);
+            quq_obs::record_at("serve.queue_depth", site, admission.depth as u64);
+            if let Some(victim) = admission.displaced {
+                answer_displaced(victim);
+            }
             // The reply always arrives: workers flush every admitted job
             // before exiting, and a worker panic drops the Reply, which
             // delivers an error body instead of a hang.
@@ -786,7 +1052,9 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
                 .recv()
                 .unwrap_or_else(|_| encode_error_response("worker dropped the request"));
             let ok = write_frame(stream, &tag_response(id, &body)).is_ok();
-            quq_obs::record_at("serve.e2e", site, t0.elapsed().as_nanos() as u64);
+            let dt = t0.elapsed().as_nanos() as u64;
+            quq_obs::record_at("serve.e2e", site, dt);
+            quq_obs::record_at("serve.e2e", || SiteKey::global(flow.clone()), dt);
             ok
         }
         Err(PushError::Full(job)) => {
@@ -806,11 +1074,22 @@ fn handle_infer(stream: &mut TcpStream, shared: &Arc<Shared>, payload: &[u8]) ->
 
 fn worker_loop(shared: &Arc<Shared>, cfg: &ServeConfig) {
     while let Some(batch) = shared.queue.next_batch(cfg.max_batch, cfg.max_wait) {
-        debug_assert!(!batch.is_empty(), "next_batch never yields empty batches");
+        // Requests whose deadline passed while queued are answered
+        // without compute: the whole point of carrying a deadline.
+        for expired in batch.expired {
+            quq_obs::add("sched.deadline_expired", 1);
+            expired
+                .item
+                .reply
+                .send(encode_status_response(STATUS_DEADLINE));
+        }
         // Group by model: one forward_batch per model keeps the
         // bit-identity guarantee while letting one queue serve N models.
+        // Jobs arrive in scheduler order (interactive first), which
+        // grouping preserves within each model.
         let mut groups: BTreeMap<String, Vec<Job>> = BTreeMap::new();
-        for job in batch {
+        for admitted in batch.jobs {
+            let job = admitted.item;
             groups.entry(job.model.clone()).or_default().push(job);
         }
         for (name, jobs) in groups {
@@ -870,6 +1149,14 @@ fn run_group(shared: &Arc<Shared>, name: &str, jobs: Vec<Job>) {
             for (job, l) in valid.into_iter().zip(&logits) {
                 job.reply.send(encode_ok_response(l.data()));
             }
+            // Shadow compare runs strictly after every primary reply is
+            // sent, so mirroring adds zero latency and zero bit-level
+            // impact to the primary path.
+            if name == DEFAULT_MODEL {
+                if let Some((candidate, permille)) = shared.shadow.target() {
+                    run_shadow(shared, &candidate, permille, &images, &logits);
+                }
+            }
         }
         Some(Err(msg)) => {
             for job in valid {
@@ -879,5 +1166,82 @@ fn run_group(shared: &Arc<Shared>, name: &str, jobs: Vec<Job>) {
         // Provider never ran the work: dropping the jobs delivers
         // "worker dropped the request" errors via Reply::drop.
         None => drop(valid),
+    }
+}
+
+/// Argmax by `total_cmp`, matching [`encode_ok_response`]'s top-1 rule.
+fn top1(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
+}
+
+/// Mirrors the deterministically-selected subset of one default-model
+/// batch to the shadow candidate and tallies top-1 agreement against the
+/// already-sent primary logits.
+fn run_shadow(
+    shared: &Arc<Shared>,
+    candidate: &str,
+    permille: u16,
+    images: &[Tensor],
+    primary: &[Tensor],
+) {
+    let selected: Vec<usize> = (0..images.len())
+        .filter(|_| shared.shadow.should_mirror(permille))
+        .collect();
+    if selected.is_empty() {
+        return;
+    }
+    let state = match shared.registry.get(candidate) {
+        Ok(state) => state,
+        Err(_) => {
+            quq_obs::add("shadow.errors", selected.len() as u64);
+            return;
+        }
+    };
+    // The candidate may expect a different input shape than the default
+    // (mismatched canary): skip those images rather than failing a batch.
+    let cfg = state.model.config();
+    let want = [cfg.in_chans, cfg.img_size, cfg.img_size];
+    let selected: Vec<usize> = selected
+        .into_iter()
+        .filter(|&i| images[i].shape() == want)
+        .collect();
+    if selected.is_empty() {
+        return;
+    }
+    let mirror_images: Vec<Tensor> = selected.iter().map(|&i| images[i].clone()).collect();
+    let mut result: Option<Result<Vec<Tensor>, String>> = None;
+    state.provider.with_backend(&mut |be| {
+        let mut be: &mut dyn Backend = be;
+        result = Some(
+            state
+                .model
+                .forward_batch(&mirror_images, &mut be)
+                .map_err(|e| format!("backend error: {e:?}")),
+        );
+    });
+    let shadow_logits = match result {
+        Some(Ok(logits)) => logits,
+        _ => {
+            quq_obs::add("shadow.errors", selected.len() as u64);
+            return;
+        }
+    };
+    shared
+        .shadow
+        .mirrored
+        .fetch_add(selected.len() as u64, Ordering::Relaxed);
+    quq_obs::add("shadow.mirrored", selected.len() as u64);
+    for (&i, mirrored) in selected.iter().zip(&shadow_logits) {
+        if top1(primary[i].data()) == top1(mirrored.data()) {
+            shared.shadow.agree.fetch_add(1, Ordering::Relaxed);
+            quq_obs::add("shadow.agree", 1);
+        } else {
+            shared.shadow.disagree.fetch_add(1, Ordering::Relaxed);
+            quq_obs::add("shadow.disagree", 1);
+        }
     }
 }

@@ -1,9 +1,12 @@
 //! End-to-end tests of the serving path: correctness against the offline
 //! forward, backpressure under overload, graceful drain, artifact
-//! cold-start + hot reload, and the framing state machines — slow-client
+//! cold-start + hot reload, the framing state machines — slow-client
 //! dribble reassembly on the event loop, the legacy front end's desync
-//! (kept as the regression exhibit), pipelining by request id, and the
-//! client's timeout resync.
+//! (kept as the regression exhibit), pipelining by request id, the
+//! client's timeout resync — and the SLO scheduler: deadline-aware
+//! flushing and expiry, interactive-over-batch displacement under
+//! quota, shadow/canary mirroring + promotion, and exactly-once replies
+//! when shutdown lands mid-overload.
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -16,8 +19,8 @@ use quq_serve::protocol::{
     decode_response, encode_infer_request, encode_ok_response, tag_response, write_frame,
 };
 use quq_serve::{
-    artifact_state, BackendProvider, Client, Fp32Provider, FrameDecoder, Frontend, InferResponse,
-    IntegerProvider, ServeConfig, Server,
+    artifact_state, BackendProvider, Class, Client, Fp32Provider, FrameDecoder, Frontend,
+    InferOptions, InferResponse, IntegerProvider, ServeConfig, Server,
 };
 use quq_store::ArtifactWriter;
 use quq_vit::{Backend, Fp32Backend, ModelConfig, Observed, VitModel};
@@ -1093,4 +1096,416 @@ fn never_reading_pipelined_client_is_paused_not_buffered_unboundedly() {
         "write backlog peaked at {peak} bytes; an unbounded buffer leak"
     );
     server.shutdown();
+}
+
+#[test]
+fn deadline_flushes_a_partial_batch_ahead_of_max_wait() {
+    // With a 10 s batching window, a lone request would normally sit
+    // until max_wait elapses. A 500 ms deadline must pull the flush
+    // forward: the scheduler ships the partial batch at deadline − slack
+    // and the reply arrives bit-exact long before the window closes.
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(Fp32Provider),
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_secs(10),
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let img = images(&model, 1, 31).remove(0);
+    let offline = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let opts = InferOptions {
+        class: Class::Interactive,
+        deadline: Some(Duration::from_millis(500)),
+        tenant: "slo".into(),
+    };
+    let t0 = std::time::Instant::now();
+    match client.infer_with("", &img, &opts).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(logits, offline.data()),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline did not pull the flush forward: waited {elapsed:?} against a 10 s max_wait"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_answered_without_running_inference() {
+    // A request whose deadline passes while it is queued behind a slow
+    // batch must answer DeadlineExceeded and must NOT be computed: the
+    // provider's batch counter stays at the two batches the live
+    // requests caused.
+    let model = test_model();
+    let provider = Arc::new(SlowProvider {
+        delay: Duration::from_millis(300),
+        batches: AtomicUsize::new(0),
+    });
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::clone(&provider) as Arc<dyn BackendProvider>,
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let img = images(&model, 1, 33).remove(0);
+
+    // Occupy the single worker for 300 ms.
+    let blocker = {
+        let img = img.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.infer(&img).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(80)); // blocker is in the worker
+    let mut client = Client::connect(addr).unwrap();
+    let opts = InferOptions {
+        deadline: Some(Duration::from_millis(50)),
+        ..InferOptions::default()
+    };
+    match client.infer_with("", &img, &opts).unwrap() {
+        InferResponse::DeadlineExceeded => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(matches!(blocker.join().unwrap(), InferResponse::Ok { .. }));
+    // The expired request never reached the backend; a healthy follow-up
+    // on the same connection does.
+    assert_eq!(provider.batches.load(Ordering::SeqCst), 1);
+    assert!(matches!(
+        client.infer(&img).unwrap(),
+        InferResponse::Ok { .. }
+    ));
+    assert_eq!(provider.batches.load(Ordering::SeqCst), 2);
+    server.shutdown();
+}
+
+#[test]
+fn interactive_in_quota_tenant_displaces_over_quota_batch_traffic() {
+    // A hog tenant floods batch-class traffic past its token-bucket
+    // quota while the worker is pinned; the queue fills. A compliant
+    // tenant's interactive request arriving at a full queue must still
+    // be served — it displaces an over-quota batch job, which is shed —
+    // and every hog request is answered exactly once (Ok or Overloaded).
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(SlowProvider {
+            delay: Duration::from_millis(200),
+            batches: AtomicUsize::new(0),
+        }),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 4,
+            tenant_rate: 2.0,
+            tenant_burst: 2.0,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let img = images(&model, 1, 35).remove(0);
+    let offline = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+
+    let mut hog = Client::connect(addr).unwrap();
+    let hog_opts = InferOptions {
+        class: Class::Batch,
+        deadline: None,
+        tenant: "hog".into(),
+    };
+    let n = 10;
+    let ids: Vec<u32> = (0..n)
+        .map(|_| hog.send_infer_with("", &img, &hog_opts).unwrap())
+        .collect();
+
+    // Queue is now at capacity behind the pinned worker; the compliant
+    // tenant's interactive request must still get through.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut well = Client::connect(addr).unwrap();
+    let well_opts = InferOptions {
+        class: Class::Interactive,
+        deadline: None,
+        tenant: "well".into(),
+    };
+    match well.infer_with("", &img, &well_opts).unwrap() {
+        InferResponse::Ok { logits, .. } => assert_eq!(
+            logits,
+            offline.data(),
+            "compliant tenant's reply lost bit-exactness under displacement"
+        ),
+        other => panic!("compliant interactive request not served: {other:?}"),
+    }
+
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..n {
+        let (id, resp) = hog.recv_response().unwrap();
+        assert!(ids.contains(&id), "unknown id {id}");
+        assert!(seen.insert(id), "duplicate response for id {id}");
+        match resp {
+            InferResponse::Ok { logits, .. } => {
+                assert_eq!(logits, offline.data());
+                ok += 1;
+            }
+            InferResponse::Overloaded => shed += 1,
+            other => panic!("hog request {id} got {other:?}"),
+        }
+    }
+    assert_eq!(ok + shed, n, "every hog request answered exactly once");
+    assert!(shed > 0, "flooding a 4-deep queue must shed");
+    assert!(ok > 0, "in-quota hog traffic must still be served");
+    server.shutdown();
+}
+
+#[test]
+fn shadow_mirrors_deterministically_and_promotes_the_candidate() {
+    let (model_a, tables_a, path_a) = saved_artifact(42, "shadow-a");
+    let (model_b, tables_b, path_b) = saved_artifact(77, "shadow-b");
+    let img = images(&model_a, 1, 37).remove(0);
+    let logits_a = {
+        let mut be = quq_accel::IntegerBackend::new(&tables_a);
+        model_a.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    let logits_b = {
+        let mut be = quq_accel::IntegerBackend::new(&tables_b);
+        model_b.forward(&img, &mut be).unwrap().data().to_vec()
+    };
+    assert_ne!(logits_a, logits_b);
+
+    let state = artifact_state(&path_a, "int").unwrap();
+    let server =
+        Server::start_with_state(Arc::new(state), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    server.load_model("same", &path_a).unwrap();
+    server.load_model("cand", &path_b).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Shadow routing runs after the primary replies; poll the report
+    // until the asynchronous compares catch up.
+    let wait_mirrored = |client: &mut Client, want: u64| -> quq_serve::ShadowReport {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.shadow_status().unwrap() {
+                InferResponse::Shadow(r) if r.mirrored >= want => return r,
+                InferResponse::Shadow(r) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "shadow compares never caught up: {r:?}"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("expected Shadow, got {other:?}"),
+            }
+        }
+    };
+
+    // 25% mirror to a bit-identical candidate: the permille accumulator
+    // selects exactly ⌊8/4⌋ = 2 of 8 requests, and every compare agrees.
+    match client.shadow_set("same", 0.25).unwrap() {
+        InferResponse::Shadow(r) => {
+            assert!(r.active);
+            assert_eq!((r.name.as_str(), r.permille, r.mirrored), ("same", 250, 0));
+        }
+        other => panic!("expected Shadow, got {other:?}"),
+    }
+    for _ in 0..8 {
+        match client.infer(&img).unwrap() {
+            InferResponse::Ok { logits, .. } => assert_eq!(
+                logits, logits_a,
+                "primary reply changed while shadowing — mirroring must be zero-impact"
+            ),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    let r = wait_mirrored(&mut client, 2);
+    assert_eq!(r.mirrored, 2, "250‰ of 8 requests is exactly 2");
+    assert_eq!((r.agree, r.disagree), (2, 0), "identical model must agree");
+
+    // Arming a different candidate resets the counters; a full mirror to
+    // a *different* model still leaves every primary reply bit-exact.
+    match client.shadow_set("cand", 1.0).unwrap() {
+        InferResponse::Shadow(r) => assert_eq!((r.mirrored, r.agree, r.disagree), (0, 0, 0)),
+        other => panic!("expected Shadow, got {other:?}"),
+    }
+    for _ in 0..4 {
+        match client.infer(&img).unwrap() {
+            InferResponse::Ok { logits, .. } => assert_eq!(logits, logits_a),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+    let r = wait_mirrored(&mut client, 4);
+    assert_eq!(r.agree + r.disagree, 4, "every mirrored request compared");
+
+    // Abort disarms without touching the default model.
+    match client.shadow_abort().unwrap() {
+        InferResponse::Shadow(r) => assert!(!r.active),
+        other => panic!("expected Shadow, got {other:?}"),
+    }
+    assert!(matches!(
+        client.infer(&img).unwrap(),
+        InferResponse::Ok { ref logits, .. } if *logits == logits_a
+    ));
+
+    // Promote installs the candidate as the default model.
+    match client.shadow_set("cand", 1.0).unwrap() {
+        InferResponse::Shadow(r) => assert!(r.active),
+        other => panic!("expected Shadow, got {other:?}"),
+    }
+    match client.shadow_promote().unwrap() {
+        InferResponse::Shadow(r) => assert!(!r.active, "promotion disarms the shadow"),
+        other => panic!("expected Shadow, got {other:?}"),
+    }
+    match client.infer(&img).unwrap() {
+        InferResponse::Ok { logits, .. } => {
+            assert_eq!(logits, logits_b, "promoted candidate must serve as default")
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    // Error paths: unknown candidate, shadowing the default into itself,
+    // promoting with nothing armed.
+    assert!(matches!(
+        client.shadow_set("nope", 0.5).unwrap(),
+        InferResponse::Error(_)
+    ));
+    assert!(matches!(
+        client.shadow_set("", 0.5).unwrap(),
+        InferResponse::Error(_)
+    ));
+    assert!(matches!(
+        client.shadow_promote().unwrap(),
+        InferResponse::Error(_)
+    ));
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+}
+
+#[test]
+fn shutdown_under_overload_answers_every_admitted_request_exactly_once() {
+    // Satellite regression for the reactor sweep: a pipelined connection
+    // that receives a DRAINING reply (which marks it close-after-flush)
+    // used to be closed as soon as its write buffer drained — even with
+    // admitted requests still in flight, whose replies were then dropped
+    // on the floor. Here shutdown lands while the queue is at capacity
+    // and shedding; every request written must still get exactly one
+    // reply: Ok (bit-exact), Overloaded, or Draining — never silence,
+    // never a duplicate, never a "worker dropped" error.
+    let model = test_model();
+    let server = Server::start(
+        Arc::clone(&model),
+        Arc::new(SlowProvider {
+            delay: Duration::from_millis(150),
+            batches: AtomicUsize::new(0),
+        }),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let img = images(&model, 1, 39).remove(0);
+    let offline = model.forward(&img, &mut Fp32Backend::new()).unwrap();
+
+    const CONNS: usize = 3;
+    const EARLY: u32 = 8; // per conn, written before shutdown
+                          // One post-drain request per conn: its DRAINING reply marks the conn
+                          // close-after-flush, and a conn with nothing else in flight may then
+                          // close immediately — further writes would race the close.
+    const LATE: u32 = 1;
+
+    let mut streams: Vec<TcpStream> = (0..CONNS)
+        .map(|_| {
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            s
+        })
+        .collect();
+    for (c, stream) in streams.iter_mut().enumerate() {
+        for i in 0..EARLY {
+            let id = (c as u32) * 100 + i + 1;
+            stream.write_all(&wire_request(id, &img)).unwrap();
+        }
+        stream.flush().unwrap();
+    }
+
+    // Let the queue fill and shedding begin behind the pinned worker,
+    // then start the drain concurrently (it blocks until complete).
+    std::thread::sleep(Duration::from_millis(80));
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Late requests race the drain: they are answered DRAINING, which
+    // marks their connections close-after-flush while earlier admitted
+    // requests are still being computed.
+    for (c, stream) in streams.iter_mut().enumerate() {
+        for i in 0..LATE {
+            let id = (c as u32) * 100 + EARLY + i + 1;
+            stream.write_all(&wire_request(id, &img)).unwrap();
+        }
+        stream.flush().unwrap();
+    }
+
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut draining = 0usize;
+    for (c, stream) in streams.iter_mut().enumerate() {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let per_conn = (EARLY + LATE) as usize;
+        let responses = read_responses(stream, per_conn);
+        let mut seen = std::collections::HashSet::new();
+        for (id, resp) in responses {
+            assert!(seen.insert(id), "duplicate response for id {id}");
+            let lo = (c as u32) * 100 + 1;
+            assert!(
+                (lo..lo + EARLY + LATE).contains(&id),
+                "response {id} on the wrong connection"
+            );
+            match resp {
+                InferResponse::Ok { logits, .. } => {
+                    assert_eq!(logits, offline.data(), "request {id} lost bit-exactness");
+                    ok += 1;
+                }
+                InferResponse::Overloaded => shed += 1,
+                InferResponse::Draining => draining += 1,
+                other => panic!("request {id} got {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), per_conn, "connection {c} lost replies");
+    }
+    shutdown.join().unwrap();
+    assert_eq!(ok + shed + draining, CONNS * (EARLY + LATE) as usize);
+    assert!(
+        ok > 0,
+        "admitted requests must be completed through the drain"
+    );
+    assert!(shed > 0, "a 4-deep queue under this burst must shed");
+    assert!(draining > 0, "late requests must see DRAINING");
 }

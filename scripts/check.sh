@@ -276,4 +276,53 @@ wait "$MULTI_PID"
 rm -f "$multi_a" "$multi_b"
 echo "multi-model smoke: LOAD/LIST/UNLOAD clean, bit-identical across evictions"
 
+# SLO gate: a quota-limited server with a shadow candidate armed at 25%.
+# loadgen --slo floods it with a batch-class hog (deep pipelined window,
+# far past the queue) while a compliant interactive tenant runs; the well
+# tenant must never be shed, the hog must be, and the server's metrics
+# snapshot must carry the scheduler + shadow evidence.
+slo_art=target/check_slo.quqm
+slo_metrics=target/check_slo_metrics.json
+rm -f "$slo_art" "$slo_metrics"
+cargo run --release -q -p quq-bench --bin storebench -- --save "$slo_art" --seed 5
+coproc SLO { cargo run --release -q -p quq-serve -- \
+    --model-path "$slo_art" --model-path "cand=$slo_art" \
+    --workers 1 --max-batch 4 --queue 8 \
+    --tenant-quota 25 --shadow cand=0.25 \
+    --metrics-json "$slo_metrics" --addr 127.0.0.1:0 2>/dev/null; }
+read -r _ _ slo_addr _ <&"${SLO[0]}"
+slo_line=$(cargo run --release -q -p quq-bench --bin loadgen -- --slo "$slo_addr" | tee /dev/stderr | grep '^SLO ')
+echo >&"${SLO[1]}"   # request graceful drain
+wait "$SLO_PID"
+python3 - "$slo_metrics" "$slo_line" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+slo = dict(kv.split("=") for kv in sys.argv[2].split()[1:])
+
+# Client-visible SLO invariants (also asserted inside loadgen --slo).
+assert int(slo["well_shed"]) == 0, slo
+assert int(slo["hog_shed"]) > 0, slo
+assert float(slo["well_p99_ms"]) < 1000.0, slo  # generous smoke bound
+
+# Scheduler + shadow evidence in the server's own metrics snapshot.
+counters = {c["name"]: 0 for c in metrics["counters"]}
+for c in metrics["counters"]:
+    counters[c["name"]] += c["value"]
+assert counters.get("sched.quota_shed", 0) > 0, counters
+assert counters.get("shadow.mirrored", 0) > 0, counters
+assert counters.get("shadow.agree", 0) + counters.get("shadow.disagree", 0) > 0, counters
+waits = [h for h in metrics["histograms"] if h["name"] == "serve.queue_wait"]
+assert waits and sum(h["count"] for h in waits) > 0, "serve.queue_wait missing"
+# Per-flow sites: both tenants' queue waits were tracked separately.
+sites = {h.get("site") for h in waits}
+assert any(s and "well" in s for s in sites), sites
+assert any(s and "hog" in s for s in sites), sites
+
+print(f"slo smoke: well p99 {float(slo['well_p99_ms']):.1f}ms shed-free under hog flood "
+      f"(hog shed {slo['hog_shed']}), quota + shadow counters present")
+PY
+rm -f "$slo_art" "$slo_metrics"
+
 echo "All checks passed."
